@@ -1,0 +1,80 @@
+// Shared benchmark setup: the simulated "testbed" configurations standing in
+// for the paper's 8-host x 4-segment cluster (see DESIGN.md substitutions),
+// and the GPDB5 / GPDB6 / PostgreSQL mode presets.
+#ifndef GPHTAP_BENCH_BENCH_COMMON_H_
+#define GPHTAP_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "api/gphtap.h"
+#include "workload/chbench.h"
+#include "workload/driver.h"
+#include "workload/htap.h"
+#include "workload/tpcb.h"
+
+namespace gphtap {
+namespace bench {
+
+/// Per-point workload duration; override with GPHTAP_BENCH_MS for longer runs.
+inline int64_t PointMs() {
+  const char* ms = std::getenv("GPHTAP_BENCH_MS");
+  return ms != nullptr ? std::atoll(ms) : 800;
+}
+
+inline int NumSegments() {
+  const char* env = std::getenv("GPHTAP_BENCH_SEGMENTS");
+  return env != nullptr ? std::atoi(env) : 16;
+}
+
+/// GPDB6: all three paper contributions enabled.
+inline ClusterOptions Gpdb6Options() {
+  ClusterOptions o;
+  o.num_segments = NumSegments();
+  o.gdd_enabled = true;
+  o.one_phase_commit_enabled = true;
+  o.direct_dispatch_enabled = true;
+  o.gdd_period_us = 20'000;
+  o.net_latency_us = 30;  // simulated wire latency per message
+  o.fsync_cost_us = 30;   // simulated fsync
+  return o;
+}
+
+/// GPDB5 baseline: table-level ExclusiveLock for UPDATE/DELETE, always 2PC.
+inline ClusterOptions Gpdb5Options() {
+  ClusterOptions o = Gpdb6Options();
+  o.gdd_enabled = false;
+  o.one_phase_commit_enabled = false;
+  return o;
+}
+
+/// "PostgreSQL": a single-node database — one segment, no interconnect cost.
+inline ClusterOptions PostgresOptions() {
+  ClusterOptions o = Gpdb6Options();
+  o.num_segments = 1;
+  o.net_latency_us = 0;
+  return o;
+}
+
+/// Standard TPC-B sizing for the throughput benches. pgbench-style: enough
+/// branches that the branch-row hotspot does not serialize high client counts.
+inline TpcbConfig BenchTpcb() {
+  TpcbConfig c;
+  c.scale = 100;
+  c.accounts_per_branch = 200;  // 20k accounts, 1k tellers, 100 branches
+  return c;
+}
+
+inline void ReportDriver(::benchmark::State& state, const DriverResult& r) {
+  state.counters["tps"] = r.Tps();
+  state.counters["committed"] = static_cast<double>(r.committed);
+  state.counters["aborted"] = static_cast<double>(r.aborted);
+  state.counters["p50_us"] = static_cast<double>(r.latency_us.Percentile(50));
+  state.counters["p95_us"] = static_cast<double>(r.latency_us.Percentile(95));
+}
+
+}  // namespace bench
+}  // namespace gphtap
+
+#endif  // GPHTAP_BENCH_BENCH_COMMON_H_

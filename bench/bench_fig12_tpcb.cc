@@ -1,0 +1,59 @@
+// Figure 12: TPC-B throughput vs client count — GPDB6 vs GPDB5 vs PostgreSQL.
+// Paper shape: GPDB6 scales with clients and beats GPDB5 by ~80x at high
+// concurrency (GPDB5 serializes writers); single-node PostgreSQL is fastest at
+// tiny scale but flattens (Figure 13 explores the data-size axis).
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+void RunTpcbPoint(::benchmark::State& state, const ClusterOptions& options) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(options);
+    TpcbConfig config = BenchTpcb();
+    Status load = LoadTpcb(&cluster, config);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    DriverOptions opts;
+    opts.num_clients = clients;
+    opts.duration_ms = PointMs();
+    DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+      return RunTpcbTransaction(s, rng, config);
+    });
+    Status invariant = CheckTpcbInvariant(&cluster);
+    if (!invariant.ok()) {
+      state.SkipWithError(invariant.ToString().c_str());
+      return;
+    }
+    ReportDriver(state, r);
+  }
+}
+
+void RegisterAll() {
+  for (const char* mode : {"GPDB6", "GPDB5", "PostgreSQL"}) {
+    ClusterOptions options = std::string(mode) == "GPDB6"   ? Gpdb6Options()
+                             : std::string(mode) == "GPDB5" ? Gpdb5Options()
+                                                            : PostgresOptions();
+    auto* b = ::benchmark::RegisterBenchmark(
+        (std::string("Fig12/TPCB/") + mode).c_str(),
+        [options](::benchmark::State& state) { RunTpcbPoint(state, options); });
+    for (int clients : {10, 50, 100, 200, 400}) b->Arg(clients);
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 14: update-only workload, GDD on vs off. Paper shape: ~100x — GPDB5
+// serializes every UPDATE of the same table behind a table-level
+// ExclusiveLock, while the GDD lets disjoint-tuple updates run concurrently.
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+void RunUpdatePoint(::benchmark::State& state, bool gdd_enabled) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(gdd_enabled ? Gpdb6Options() : Gpdb5Options());
+    TpcbConfig config = BenchTpcb();
+    Status load = LoadTpcb(&cluster, config);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    DriverOptions opts;
+    opts.num_clients = clients;
+    opts.duration_ms = PointMs();
+    DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+      return RunUpdateOnlyTransaction(s, rng, config);
+    });
+    ReportDriver(state, r);
+    if (cluster.gdd() != nullptr) {
+      state.counters["gdd_victims"] =
+          static_cast<double>(cluster.gdd()->stats().victims_killed);
+    }
+  }
+}
+
+void RegisterAll() {
+  for (bool gdd : {true, false}) {
+    auto* b = ::benchmark::RegisterBenchmark(
+        gdd ? "Fig14/UpdateOnly/GPDB6_gdd_on" : "Fig14/UpdateOnly/GPDB5_gdd_off",
+        [gdd](::benchmark::State& state) { RunUpdatePoint(state, gdd); });
+    for (int clients : {10, 50, 100, 200}) b->Arg(clients);
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 15: insert-only workload (every insert routed to one segment) with
+// one-phase commit on vs off, plus the per-transaction message and fsync
+// counts behind Figure 10. Paper shape: ~5x throughput from skipping PREPARE.
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+void RunInsertPoint(::benchmark::State& state, int mode) {
+  // mode 0 = 2PC, 1 = 1PC, 2 = 1PC + Figure 11(b) piggybacked commit.
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ClusterOptions options = Gpdb6Options();
+    options.one_phase_commit_enabled = mode >= 1;
+    options.onephase_piggyback_enabled = mode == 2;
+    Cluster cluster(options);
+    TpcbConfig config = BenchTpcb();
+    Status load = LoadTpcb(&cluster, config);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    // Snapshot protocol counters around the run (Figure 10 evidence).
+    SimNet& net = cluster.net();
+    uint64_t prepares_before = net.count(MsgKind::kPrepare);
+    uint64_t commits_before = net.count(MsgKind::kCommit);
+    uint64_t fsyncs_before = 0;
+    for (int i = 0; i < cluster.num_segments(); ++i) {
+      fsyncs_before += cluster.segment(i)->wal().fsyncs();
+    }
+    fsyncs_before += cluster.coordinator_wal().fsyncs();
+
+    DriverOptions opts;
+    opts.num_clients = clients;
+    opts.duration_ms = PointMs();
+    DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+      return RunInsertOnlyTransaction(s, rng, config);
+    });
+    ReportDriver(state, r);
+
+    uint64_t fsyncs_after = cluster.coordinator_wal().fsyncs();
+    for (int i = 0; i < cluster.num_segments(); ++i) {
+      fsyncs_after += cluster.segment(i)->wal().fsyncs();
+    }
+    double txns = std::max<double>(1.0, static_cast<double>(r.committed));
+    state.counters["prepare_msgs_per_txn"] =
+        static_cast<double>(net.count(MsgKind::kPrepare) - prepares_before) / txns;
+    state.counters["commit_msgs_per_txn"] =
+        static_cast<double>(net.count(MsgKind::kCommit) - commits_before) / txns;
+    state.counters["fsyncs_per_txn"] =
+        static_cast<double>(fsyncs_after - fsyncs_before) / txns;
+  }
+}
+
+void RegisterAll() {
+  const char* names[] = {"Fig15/InsertOnly/2PC", "Fig15/InsertOnly/1PC",
+                         "Fig15/InsertOnly/1PC_piggyback(Fig11b)"};
+  for (int mode : {1, 0, 2}) {
+    auto* b = ::benchmark::RegisterBenchmark(
+        names[mode], [mode](::benchmark::State& state) { RunInsertPoint(state, mode); });
+    for (int clients : {10, 50, 100, 200}) b->Arg(clients);
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

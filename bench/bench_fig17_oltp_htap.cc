@@ -1,0 +1,70 @@
+// Figure 17: OLTP throughput (queries per minute) under concurrent OLAP load.
+// Paper shape: GPDB6 loses ~3x OLTP QPM when 20 OLAP clients run alongside;
+// GPDB5 shows no difference because its QPM ceiling is the relation lock, not
+// system resources.
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+ChBenchConfig BenchCh() {
+  ChBenchConfig c;
+  c.warehouses = 8;
+  c.districts_per_warehouse = 10;
+  c.customers_per_district = 100;
+  c.items = 2000;
+  c.initial_orders_per_district = 100;
+  return c;
+}
+
+void RunHtapPoint(::benchmark::State& state, bool gpdb6) {
+  int oltp_clients = static_cast<int>(state.range(0));
+  int olap_clients = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    ClusterOptions options = gpdb6 ? Gpdb6Options() : Gpdb5Options();
+    options.exec_cpu_ns_per_row = 6000;
+    options.total_cores = 32;
+    Cluster cluster(options);
+    HtapConfig config;
+    config.chbench = BenchCh();
+    Status load = LoadChBench(&cluster, config.chbench);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    config.olap_clients = olap_clients;
+    config.oltp_clients = oltp_clients;
+    config.duration_ms = PointMs() * 2;
+    HtapResult r = RunHtapWorkload(&cluster, config);
+    state.counters["oltp_qpm"] = r.OltpQpm();
+    state.counters["olap_qph"] = r.OlapQph();
+    state.counters["oltp_p95_ms"] =
+        static_cast<double>(r.oltp.latency_us.Percentile(95)) / 1000.0;
+  }
+}
+
+void RegisterAll() {
+  for (bool gpdb6 : {true, false}) {
+    auto* b = ::benchmark::RegisterBenchmark(
+        gpdb6 ? "Fig17/OltpQpm/GPDB6" : "Fig17/OltpQpm/GPDB5",
+        [gpdb6](::benchmark::State& state) { RunHtapPoint(state, gpdb6); });
+    for (int oltp : {10, 25, 50, 100}) {
+      b->Args({oltp, 0});
+      b->Args({oltp, 20});
+    }
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 18: OLTP latency under the three resource-group configurations from
+// Section 7.3 — (I) even soft CPU shares, (II) cpuset 0-3 for OLAP / 4-31 for
+// OLTP, (III) cpuset 0-15 / 16-31 — with 20 OLAP clients running throughout.
+// Paper shape: isolating CPUs for the OLTP group cuts its latency; more
+// isolated cores keep helping.
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+// Sized so the load is dominated by *simulated* CPU (the governor's domain)
+// rather than by host threads fighting over real cores.
+ChBenchConfig BenchCh() {
+  ChBenchConfig c;
+  c.warehouses = 8;
+  c.districts_per_warehouse = 10;
+  c.customers_per_district = 100;
+  c.items = 500;
+  c.initial_orders_per_district = 30;
+  return c;
+}
+
+// The paper's three CREATE RESOURCE GROUP configurations, verbatim.
+const char* kConfigs[][2] = {
+    // Configuration I: even soft shares.
+    {"CREATE RESOURCE GROUP olap_group WITH (CONCURRENCY=10, MEMORY_LIMIT=15, "
+     "CPU_RATE_LIMIT=20)",
+     "CREATE RESOURCE GROUP oltp_group WITH (CONCURRENCY=50, MEMORY_LIMIT=15, "
+     "CPU_RATE_LIMIT=20)"},
+    // Configuration II: OLAP pinned to cores 0-3.
+    {"CREATE RESOURCE GROUP olap_group WITH (CONCURRENCY=10, MEMORY_LIMIT=15, "
+     "CPU_SET=0-3)",
+     "CREATE RESOURCE GROUP oltp_group WITH (CONCURRENCY=50, MEMORY_LIMIT=15, "
+     "CPU_SET=4-31)"},
+    // Configuration III: 16/16 split.
+    {"CREATE RESOURCE GROUP olap_group WITH (CONCURRENCY=10, MEMORY_LIMIT=15, "
+     "CPU_SET=0-15)",
+     "CREATE RESOURCE GROUP oltp_group WITH (CONCURRENCY=50, MEMORY_LIMIT=15, "
+     "CPU_SET=16-31)"},
+};
+
+void RunResgroupPoint(::benchmark::State& state) {
+  int config_index = static_cast<int>(state.range(0)) - 1;
+  for (auto _ : state) {
+    ClusterOptions options = Gpdb6Options();
+    options.resource_groups_enabled = true;
+    options.exec_cpu_ns_per_row = 40000;
+    options.total_cores = 32;
+    Cluster cluster(options);
+
+    auto admin = cluster.Connect();
+    for (const char* ddl : kConfigs[config_index]) {
+      Status s = admin->Execute(ddl).status();
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    admin->Execute("CREATE ROLE olap_role RESOURCE GROUP olap_group");
+    admin->Execute("CREATE ROLE oltp_role RESOURCE GROUP oltp_group");
+
+    HtapConfig config;
+    config.chbench = BenchCh();
+    Status load = LoadChBench(&cluster, config.chbench);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    config.olap_clients = 10;
+    config.oltp_clients = 12;
+    config.olap_role = "olap_role";
+    config.oltp_role = "oltp_role";
+    config.duration_ms = PointMs() * 3;
+    HtapResult r = RunHtapWorkload(&cluster, config);
+    state.counters["oltp_avg_ms"] = r.oltp.latency_us.Mean() / 1000.0;
+    state.counters["oltp_p95_ms"] =
+        static_cast<double>(r.oltp.latency_us.Percentile(95)) / 1000.0;
+    state.counters["oltp_qpm"] = r.OltpQpm();
+    state.counters["olap_qph"] = r.OlapQph();
+  }
+}
+
+void RegisterAll() {
+  auto* b = ::benchmark::RegisterBenchmark("Fig18/OltpLatencyByResourceGroupConfig",
+                                           RunResgroupPoint);
+  b->Arg(1)->Arg(2)->Arg(3);  // configurations I, II, III
+  b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

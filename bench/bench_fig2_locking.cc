@@ -1,0 +1,67 @@
+// Figure 2: share of query runtime spent waiting on locks vs connection count
+// under the pre-GDD (GPDB5) locking regime, compared with GDD enabled.
+// Paper shape: >25% lock time at a handful of connections, "unacceptable"
+// beyond ~100 — because every UPDATE takes a table-level ExclusiveLock.
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+int64_t TotalLockWaitUs(Cluster* cluster) {
+  int64_t total = cluster->coordinator_locks().stats().total_wait_us;
+  for (int i = 0; i < cluster->num_segments(); ++i) {
+    total += cluster->segment(i)->locks().stats().total_wait_us;
+  }
+  return total;
+}
+
+void RunLockingPoint(::benchmark::State& state, bool gdd_enabled) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ClusterOptions options = gdd_enabled ? Gpdb6Options() : Gpdb5Options();
+    Cluster cluster(options);
+    TpcbConfig config = BenchTpcb();
+    Status load = LoadTpcb(&cluster, config);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    int64_t wait_before = TotalLockWaitUs(&cluster);
+    DriverOptions opts;
+    opts.num_clients = clients;
+    opts.duration_ms = PointMs();
+    DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+      return RunUpdateOnlyTransaction(s, rng, config);
+    });
+    int64_t waited = TotalLockWaitUs(&cluster) - wait_before;
+    // Total "query running time" = clients * wall time.
+    double total_runtime_us = static_cast<double>(clients) * r.seconds * 1e6;
+    ReportDriver(state, r);
+    state.counters["lock_wait_pct"] =
+        total_runtime_us > 0 ? 100.0 * static_cast<double>(waited) / total_runtime_us
+                             : 0;
+  }
+}
+
+void RegisterAll() {
+  for (bool gdd : {false, true}) {
+    auto* b = ::benchmark::RegisterBenchmark(
+        gdd ? "Fig2/LockWaitShare/GDD_on" : "Fig2/LockWaitShare/GDD_off(GPDB5)",
+        [gdd](::benchmark::State& state) { RunLockingPoint(state, gdd); });
+    for (int clients : {2, 5, 10, 50, 100, 200}) b->Arg(clients);
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  gphtap::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// GDD cost model: Algorithm 1 runtime vs wait-for graph size (the paper's
+// "does not consume much resource" claim), plus the live collection cost on an
+// idle cluster — the daemon's steady-state overhead.
+#include <benchmark/benchmark.h>
+
+#include "api/gphtap.h"
+#include "common/rng.h"
+#include "gdd/gdd_algorithm.h"
+
+namespace gphtap {
+namespace {
+
+std::vector<LocalWaitGraph> RandomGraphs(int nodes, int edges_per_node, uint64_t seed,
+                                         bool plant_cycle) {
+  Rng rng(seed);
+  std::vector<LocalWaitGraph> graphs;
+  for (int n = 0; n < nodes; ++n) {
+    LocalWaitGraph g;
+    g.node_id = n;
+    for (int e = 0; e < edges_per_node; ++e) {
+      uint64_t a = 1 + rng.Uniform(200);
+      uint64_t b = 1 + rng.Uniform(200);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);  // acyclic unless planted
+      g.edges.push_back(WaitEdge{a, b, rng.Chance(0.3)});
+    }
+    graphs.push_back(std::move(g));
+  }
+  if (plant_cycle && !graphs.empty()) {
+    graphs[0].edges.push_back(WaitEdge{500, 501, false});
+    graphs[0].edges.push_back(WaitEdge{501, 500, false});
+  }
+  return graphs;
+}
+
+void BM_GddAlgorithmAcyclic(benchmark::State& state) {
+  auto graphs = RandomGraphs(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), 7, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunGddAlgorithm(graphs));
+  }
+}
+BENCHMARK(BM_GddAlgorithmAcyclic)
+    ->Args({4, 16})
+    ->Args({16, 64})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GddAlgorithmWithCycle(benchmark::State& state) {
+  auto graphs = RandomGraphs(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), 7, true);
+  for (auto _ : state) {
+    auto result = RunGddAlgorithm(graphs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GddAlgorithmWithCycle)
+    ->Args({4, 16})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LiveCollection(benchmark::State& state) {
+  ClusterOptions options;
+  options.num_segments = static_cast<int>(state.range(0));
+  options.gdd_enabled = false;  // we drive collection by hand
+  Cluster cluster(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.CollectWaitGraphs());
+  }
+}
+BENCHMARK(BM_LiveCollection)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gphtap
+
+BENCHMARK_MAIN();

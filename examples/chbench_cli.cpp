@@ -1,0 +1,130 @@
+// CH-benCHmark command-line runner: a pgbench-style tool over the in-process
+// cluster. Loads the schema, runs a mixed OLTP+OLAP workload, and prints a
+// per-class report.
+//
+//   $ ./chbench_cli [--oltp N] [--olap N] [--seconds S] [--segments N]
+//                   [--gpdb5] [--isolate]
+//
+//   --gpdb5     run with the paper's baseline switches (no GDD, always 2PC)
+//   --isolate   put the two client classes into cpuset-isolated resource groups
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/gphtap.h"
+#include "workload/htap.h"
+
+using namespace gphtap;  // NOLINT(build/namespaces): example code
+
+namespace {
+
+struct CliOptions {
+  int oltp_clients = 8;
+  int olap_clients = 4;
+  int seconds = 3;
+  int segments = 8;
+  bool gpdb5 = false;
+  bool isolate = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (const char* v = need_value("--oltp")) {
+      out->oltp_clients = std::atoi(v);
+    } else if (const char* v2 = need_value("--olap")) {
+      out->olap_clients = std::atoi(v2);
+    } else if (const char* v3 = need_value("--seconds")) {
+      out->seconds = std::atoi(v3);
+    } else if (const char* v4 = need_value("--segments")) {
+      out->segments = std::atoi(v4);
+    } else if (std::strcmp(argv[i], "--gpdb5") == 0) {
+      out->gpdb5 = true;
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      out->isolate = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 1;
+
+  ClusterOptions options;
+  options.num_segments = cli.segments;
+  options.net_latency_us = 30;
+  options.fsync_cost_us = 30;
+  options.gdd_enabled = !cli.gpdb5;
+  options.one_phase_commit_enabled = !cli.gpdb5;
+  options.exec_cpu_ns_per_row = 5000;
+  options.resource_groups_enabled = cli.isolate;
+  Cluster cluster(options);
+
+  HtapConfig config;
+  config.chbench.warehouses = std::max(4, cli.oltp_clients / 2);
+  config.chbench.items = 500;
+  config.chbench.initial_orders_per_district = 30;
+  std::printf("loading CH-benCHmark (%d warehouses, %d items)...\n",
+              config.chbench.warehouses, config.chbench.items);
+  Status load = LoadChBench(&cluster, config.chbench);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  if (cli.isolate) {
+    auto admin = cluster.Connect();
+    admin->Execute(
+        "CREATE RESOURCE GROUP olap_group WITH (CONCURRENCY=10, MEMORY_LIMIT=15, "
+        "CPU_SET=0-15)");
+    admin->Execute(
+        "CREATE RESOURCE GROUP oltp_group WITH (CONCURRENCY=50, MEMORY_LIMIT=15, "
+        "CPU_SET=16-31)");
+    admin->Execute("CREATE ROLE analyst RESOURCE GROUP olap_group");
+    admin->Execute("CREATE ROLE app RESOURCE GROUP oltp_group");
+    config.olap_role = "analyst";
+    config.oltp_role = "app";
+  }
+
+  config.oltp_clients = cli.oltp_clients;
+  config.olap_clients = cli.olap_clients;
+  config.duration_ms = static_cast<int64_t>(cli.seconds) * 1000;
+  std::printf("running %d OLTP + %d OLAP clients for %ds on %d segments (%s%s)...\n",
+              cli.oltp_clients, cli.olap_clients, cli.seconds, cli.segments,
+              cli.gpdb5 ? "GPDB5 mode" : "GPDB6 mode",
+              cli.isolate ? ", isolated resource groups" : "");
+
+  HtapResult r = RunHtapWorkload(&cluster, config);
+
+  std::printf("\n--- OLTP (NewOrder/Payment mix) ---\n");
+  std::printf("  committed:   %llu txns (%.0f per minute)\n",
+              static_cast<unsigned long long>(r.oltp.committed), r.OltpQpm());
+  std::printf("  aborted:     %llu\n", static_cast<unsigned long long>(r.oltp.aborted));
+  std::printf("  latency:     %s\n", r.oltp.latency_us.Summary().c_str());
+  std::printf("--- OLAP (%zu analytical queries round-robin) ---\n",
+              ChAnalyticalQueries().size());
+  std::printf("  completed:   %llu queries (%.0f per hour)\n",
+              static_cast<unsigned long long>(r.olap.committed), r.OlapQph());
+  std::printf("  latency:     %s\n", r.olap.latency_us.Summary().c_str());
+  if (cluster.gdd() != nullptr) {
+    auto stats = cluster.gdd()->stats();
+    std::printf("--- GDD ---\n  runs=%llu deadlocks=%llu victims=%llu\n",
+                static_cast<unsigned long long>(stats.runs),
+                static_cast<unsigned long long>(stats.deadlocks_found),
+                static_cast<unsigned long long>(stats.victims_killed));
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Global deadlock demo: recreates Figure 6 of the paper live. Two transactions
+// update tuples on two segments in opposite orders; each segment's local state
+// is deadlock-free, but globally they wait on each other. The GDD daemon
+// collects the wait-for graphs, runs the greedy reduction, and terminates the
+// youngest transaction.
+//
+//   $ ./global_deadlock_demo
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "api/gphtap.h"
+
+using namespace gphtap;  // NOLINT(build/namespaces): example code
+
+namespace {
+
+void DumpWaitGraphs(Cluster* cluster) {
+  std::printf("  global wait-for graph:\n");
+  for (const auto& g : cluster->CollectWaitGraphs()) {
+    if (g.edges.empty()) continue;
+    std::printf("    node %2d:", g.node_id);
+    for (const auto& e : g.edges) std::printf("  %s", WaitEdgeToString(e).c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_segments = 3;
+  options.gdd_period_us = 100'000;  // slow enough to watch the deadlock form
+  Cluster cluster(options);
+
+  // Find keys that land on segments 0 and 1 (like the paper's c1=2 / c1=5).
+  auto key_on = [&](int seg) {
+    for (int64_t v = 1;; ++v) {
+      if (cluster.SegmentForHash(Datum(v).Hash()) == seg) return v;
+    }
+  };
+  int64_t k0 = key_on(0), k1 = key_on(1);
+
+  auto setup = cluster.Connect();
+  setup->Execute("CREATE TABLE t1 (c1 int, c2 int) DISTRIBUTED BY (c1)");
+  setup->Execute("INSERT INTO t1 VALUES (" + std::to_string(k0) + ", 0), (" +
+                 std::to_string(k1) + ", 0)");
+  std::printf("t1 rows: c1=%lld on segment 0, c1=%lld on segment 1\n\n",
+              static_cast<long long>(k0), static_cast<long long>(k1));
+
+  auto a = cluster.Connect();
+  auto b = cluster.Connect();
+  a->Execute("BEGIN");
+  b->Execute("BEGIN");
+
+  std::printf("(1) txn A updates c1=%lld (locks the tuple on segment 0)\n",
+              static_cast<long long>(k0));
+  a->Execute("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k0));
+  std::printf("(2) txn B updates c1=%lld (locks the tuple on segment 1)\n",
+              static_cast<long long>(k1));
+  b->Execute("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k1));
+
+  std::printf("(3) txn B updates c1=%lld -> must wait for A on segment 0\n",
+              static_cast<long long>(k0));
+  auto b_future = std::async(std::launch::async, [&] {
+    return b->Execute("UPDATE t1 SET c2 = 30 WHERE c1 = " + std::to_string(k0)).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  DumpWaitGraphs(&cluster);
+
+  std::printf("(4) txn A updates c1=%lld -> must wait for B on segment 1: DEADLOCK\n",
+              static_cast<long long>(k1));
+  auto a_future = std::async(std::launch::async, [&] {
+    return a->Execute("UPDATE t1 SET c2 = 40 WHERE c1 = " + std::to_string(k1)).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  DumpWaitGraphs(&cluster);
+
+  Status a_status = a_future.get();
+  Status b_status = b_future.get();
+  std::printf("\n(5) the GDD daemon breaks the cycle:\n");
+  std::printf("    txn A -> %s\n", a_status.ToString().c_str());
+  std::printf("    txn B -> %s   (youngest transaction = victim)\n",
+              b_status.ToString().c_str());
+  auto stats = cluster.gdd()->stats();
+  std::printf("    GDD stats: runs=%llu deadlocks=%llu victims=%llu\n",
+              static_cast<unsigned long long>(stats.runs),
+              static_cast<unsigned long long>(stats.deadlocks_found),
+              static_cast<unsigned long long>(stats.victims_killed));
+
+  a->Execute("COMMIT");
+  b->Execute("ROLLBACK");
+  auto check = cluster.Connect();
+  auto rows = check->Execute("SELECT c1, c2 FROM t1 ORDER BY 1");
+  std::printf("\nfinal table state (A's updates won):\n%s", rows->ToString().c_str());
+  return 0;
+}

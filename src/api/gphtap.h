@@ -1,0 +1,23 @@
+// Umbrella header: the public API of gphtap.
+//
+// Quickstart:
+//   gphtap::ClusterOptions options;
+//   options.num_segments = 4;
+//   gphtap::Cluster cluster(options);
+//   auto session = cluster.Connect();
+//   session->Execute("CREATE TABLE t (c1 int, c2 int) DISTRIBUTED BY (c1)");
+//   session->Execute("INSERT INTO t VALUES (1, 10), (2, 20)");
+//   auto rows = session->Execute("SELECT c1, c2 FROM t ORDER BY 1");
+//
+// See README.md for the SQL dialect and ClusterOptions for the GPDB5/GPDB6
+// mode switches (gdd_enabled, one_phase_commit_enabled, resource groups).
+#ifndef GPHTAP_API_GPHTAP_H_
+#define GPHTAP_API_GPHTAP_H_
+
+#include "cluster/cluster.h"   // IWYU pragma: export
+#include "cluster/session.h"   // IWYU pragma: export
+#include "common/status.h"     // IWYU pragma: export
+#include "catalog/datum.h"     // IWYU pragma: export
+#include "catalog/schema.h"    // IWYU pragma: export
+
+#endif  // GPHTAP_API_GPHTAP_H_

@@ -1,0 +1,245 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cluster/session.h"
+#include "storage/heap_table.h"
+
+namespace gphtap {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      coordinator_wal_(options.fsync_cost_us),
+      coordinator_locks_(-1, options.locks),
+      coordinator_txns_(&coordinator_clog_, &coordinator_dlog_, &coordinator_wal_),
+      net_(options.net_latency_us),
+      governor_(options.total_cores),
+      vmem_(options.global_shared_mem_mb << 20),
+      resgroups_(&governor_, &vmem_) {
+  // The built-in default group: every session not mapped to a user group
+  // charges CPU here. Soft 100% share means it only throttles when the
+  // machine's simulated capacity is saturated — which is exactly the
+  // un-isolated interference the paper's Figures 16/17 show.
+  ResourceGroupConfig default_group;
+  default_group.name = "default_group";
+  default_group.concurrency = 1'000'000;
+  default_group.cpu_rate_limit = 100;
+  default_group.memory_limit_mb = options.global_shared_mem_mb;
+  resgroups_.CreateGroup(default_group);
+
+  Segment::Options seg_options;
+  seg_options.buffer_pool = options.buffer_pool;
+  seg_options.fsync_cost_us = options.fsync_cost_us;
+  seg_options.locks = options.locks;
+  seg_options.enable_mirroring = options.mirrors_enabled;
+  segments_.reserve(static_cast<size_t>(options.num_segments));
+  for (int i = 0; i < options.num_segments; ++i) {
+    segments_.push_back(std::make_unique<Segment>(i, seg_options));
+    if (options.mirrors_enabled) {
+      mirrors_.push_back(std::make_unique<MirrorSegment>(i));
+      mirrors_.back()->Start(segments_.back()->change_log());
+    }
+  }
+
+  if (options.gdd_enabled) {
+    GddDaemon::Hooks hooks;
+    hooks.collect = [this] {
+      net_.Deliver(MsgKind::kGddCollect);
+      return CollectWaitGraphs();
+    };
+    hooks.txn_running = [this](Gxid gxid) { return dtm_.IsRunning(gxid); };
+    hooks.kill = [this](Gxid gxid, Status reason) { CancelTxn(gxid, std::move(reason)); };
+    gdd_ = std::make_unique<GddDaemon>(std::move(hooks), options.gdd_period_us);
+    gdd_->Start();
+  }
+
+  if (options.maintenance_period_us > 0) {
+    maintenance_running_.store(true);
+    maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& m : mirrors_) m->Stop();
+  if (gdd_) gdd_->Stop();
+  if (maintenance_running_.exchange(false) && maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
+  }
+}
+
+void Cluster::MaintenanceLoop() {
+  while (maintenance_running_.load(std::memory_order_relaxed)) {
+    TruncateXidMaps();
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.maintenance_period_us));
+  }
+}
+
+Status Cluster::CreateTable(TableDef def) {
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    if (catalog_.count(def.name)) return Status::AlreadyExists("table " + def.name);
+    def.id = next_table_id_++;
+    catalog_[def.name] = def;
+  }
+  for (auto& seg : segments_) {
+    TableDef seg_def = def;
+    // External tables share one backing file; only segment 0 materializes it so
+    // the data is neither written nor scanned N times. The same applies to
+    // external leaf partitions.
+    if (seg->index() != 0) {
+      if (seg_def.storage == StorageKind::kExternal) seg_def.external_path = "";
+      if (seg_def.partitions.has_value()) {
+        for (auto& range : seg_def.partitions->ranges) {
+          if (range.storage == StorageKind::kExternal) range.external_path = "";
+        }
+      }
+    }
+    GPHTAP_RETURN_IF_ERROR(seg->CreateTable(seg_def));
+  }
+  for (auto& m : mirrors_) {
+    TableDef mirror_def = def;
+    if (m->primary_index() != 0 && mirror_def.storage == StorageKind::kExternal) {
+      mirror_def.external_path = "";
+    }
+    GPHTAP_RETURN_IF_ERROR(m->CreateTable(mirror_def));
+  }
+  return Status::OK();
+}
+
+Status Cluster::CreateIndex(const std::string& table, const std::string& column) {
+  TableId id;
+  int col;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    auto it = catalog_.find(table);
+    if (it == catalog_.end()) return Status::NotFound("table " + table);
+    col = it->second.schema.FindColumn(column);
+    if (col < 0) return Status::NotFound("column " + column);
+    if (it->second.storage != StorageKind::kHeap || it->second.partitions.has_value()) {
+      return Status::NotSupported("hash indexes require plain heap tables");
+    }
+    for (int existing : it->second.indexed_cols) {
+      if (existing == col) return Status::AlreadyExists("index on " + column);
+    }
+    it->second.indexed_cols.push_back(col);
+    id = it->second.id;
+  }
+  for (auto& seg : segments_) {
+    auto* heap = dynamic_cast<HeapTable*>(seg->GetTable(id));
+    if (heap != nullptr) heap->AddIndex(col);
+  }
+  return Status::OK();
+}
+
+Status Cluster::DropTable(const std::string& name) {
+  TableId id;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) return Status::NotFound("table " + name);
+    id = it->second.id;
+    catalog_.erase(it);
+  }
+  for (auto& seg : segments_) seg->DropTable(id);
+  for (auto& m : mirrors_) m->DropTable(id);
+  return Status::OK();
+}
+
+StatusOr<TableDef> Cluster::LookupTable(const std::string& name) const {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("table " + name);
+  return it->second;
+}
+
+StatusOr<TableDef> Cluster::LookupTableById(TableId id) const {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  for (const auto& [name, def] : catalog_) {
+    if (def.id == id) return def;
+  }
+  return Status::NotFound("table id " + std::to_string(id));
+}
+
+std::vector<TableDef> Cluster::ListTables() const {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  std::vector<TableDef> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, def] : catalog_) out.push_back(def);
+  return out;
+}
+
+std::unique_ptr<Session> Cluster::Connect(const std::string& role) {
+  return std::make_unique<Session>(this, role);
+}
+
+void Cluster::CancelTxn(Gxid gxid, Status reason) {
+  auto owner = dtm_.OwnerOf(gxid);
+  if (owner != nullptr) owner->Cancel(std::move(reason));
+  coordinator_locks_.WakeWaitersOf(gxid);
+  for (auto& seg : segments_) seg->locks().WakeWaitersOf(gxid);
+}
+
+std::vector<LocalWaitGraph> Cluster::CollectWaitGraphs() {
+  std::vector<LocalWaitGraph> graphs;
+  graphs.reserve(segments_.size() + 1);
+  graphs.push_back(coordinator_locks_.CollectWaitGraph());
+  for (auto& seg : segments_) graphs.push_back(seg->locks().CollectWaitGraph());
+  return graphs;
+}
+
+Status Cluster::CatchUpMirrors(int64_t timeout_ms) {
+  for (auto& m : mirrors_) {
+    GPHTAP_RETURN_IF_ERROR(m->CatchUp(timeout_ms));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Visible rows of a table under clog-only rules (valid when quiesced).
+StatusOr<std::vector<std::string>> SnapshotRows(Table* table, const CommitLog* clog) {
+  VisibilityContext ctx;
+  ctx.clog = clog;
+  std::vector<std::string> rows;
+  GPHTAP_RETURN_IF_ERROR(table->Scan(ctx, [&](TupleId tid, const Row& row) {
+    rows.push_back(std::to_string(tid) + ":" + RowToString(row));
+    return true;
+  }));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+Status Cluster::VerifyMirrorsConsistent() {
+  GPHTAP_RETURN_IF_ERROR(CatchUpMirrors());
+  for (auto& m : mirrors_) {
+    Segment* primary = segments_[static_cast<size_t>(m->primary_index())].get();
+    for (const TableDef& def : ListTables()) {
+      if (def.partitions.has_value()) continue;  // not mirrored
+      Table* ptab = primary->GetTable(def.id);
+      Table* mtab = m->GetTable(def.id);
+      if (ptab == nullptr || mtab == nullptr) continue;
+      if (def.storage == StorageKind::kExternal) continue;  // shared file
+      GPHTAP_ASSIGN_OR_RETURN(auto primary_rows, SnapshotRows(ptab, &primary->clog()));
+      GPHTAP_ASSIGN_OR_RETURN(auto mirror_rows, SnapshotRows(mtab, &m->clog()));
+      if (primary_rows != mirror_rows) {
+        return Status::Internal(
+            "mirror divergence on segment " + std::to_string(m->primary_index()) +
+            " table " + def.name + ": primary " + std::to_string(primary_rows.size()) +
+            " rows vs mirror " + std::to_string(mirror_rows.size()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Cluster::TruncateXidMaps() {
+  Gxid horizon = dtm_.OldestVisibleGxid();
+  uint64_t removed = coordinator_dlog_.TruncateBelow(horizon);
+  for (auto& seg : segments_) removed += seg->dlog().TruncateBelow(horizon);
+  return removed;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,72 @@
+// Mirror segments (Section 3.1): each primary ships its logical change stream
+// ("WAL") to a mirror that replays it on the fly on its own replica of the
+// data. Mirrors do not participate in computing; they exist so that this
+// repository models the paper's high-availability substrate and so tests can
+// verify that replay reproduces the primary bit-for-bit.
+//
+// Partitioned roots are not mirrored (see DESIGN.md out-of-scope notes).
+#ifndef GPHTAP_CLUSTER_MIRROR_H_
+#define GPHTAP_CLUSTER_MIRROR_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "storage/change_log.h"
+#include "storage/heap_table.h"
+#include "storage/table_factory.h"
+#include "txn/clog.h"
+
+namespace gphtap {
+
+class MirrorSegment {
+ public:
+  explicit MirrorSegment(int primary_index) : primary_index_(primary_index) {}
+  ~MirrorSegment() { Stop(); }
+
+  MirrorSegment(const MirrorSegment&) = delete;
+  MirrorSegment& operator=(const MirrorSegment&) = delete;
+
+  int primary_index() const { return primary_index_; }
+
+  /// Mirrors hold the same tables as their primary (created empty; data
+  /// arrives through replay).
+  Status CreateTable(const TableDef& def);
+  Status DropTable(TableId id);
+  Table* GetTable(TableId id);
+  CommitLog& clog() { return clog_; }
+
+  /// Starts continuous replay from the primary's stream.
+  void Start(ChangeLog* source);
+  void Stop();
+
+  /// Blocks until everything currently in the source stream has been applied.
+  Status CatchUp(int64_t timeout_ms = 5000);
+
+  uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
+  /// Replay errors are sticky; a healthy mirror reports OK.
+  Status health() const;
+
+ private:
+  void ReplayLoop();
+  Status Apply(const ChangeRecord& record);
+
+  const int primary_index_;
+  CommitLog clog_;
+
+  std::shared_mutex tables_mu_;
+  std::unordered_map<TableId, std::unique_ptr<Table>> tables_;
+
+  ChangeLog* source_ = nullptr;
+  std::thread replayer_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> applied_{0};
+  mutable std::mutex err_mu_;
+  Status error_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_MIRROR_H_

@@ -1,0 +1,94 @@
+// One worker segment: an "enhanced PostgreSQL instance" (Section 3.1) with its
+// own lock table, transaction manager, commit log, WAL, buffer cache, and the
+// shard of every table's data.
+#ifndef GPHTAP_CLUSTER_SEGMENT_H_
+#define GPHTAP_CLUSTER_SEGMENT_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "lock/lock_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+#include "storage/table_factory.h"
+#include "txn/clog.h"
+#include "txn/distributed_log.h"
+#include "txn/local_txn_manager.h"
+#include "txn/wal.h"
+
+namespace gphtap {
+
+class Segment {
+ public:
+  struct Options {
+    BufferPool::Options buffer_pool;
+    int64_t fsync_cost_us = 0;
+    LockManager::Options locks;
+    bool enable_mirroring = false;  // emit a logical change stream (WAL shipping)
+  };
+
+  Segment(int index, const Options& options)
+      : index_(index),
+        wal_(options.fsync_cost_us),
+        pool_(options.buffer_pool),
+        locks_(index, options.locks),
+        txns_(&clog_, &dlog_, &wal_) {
+    if (options.enable_mirroring) {
+      change_log_ = std::make_unique<ChangeLog>();
+      txns_.set_change_log(change_log_.get());
+    }
+  }
+
+  int index() const { return index_; }
+
+  CommitLog& clog() { return clog_; }
+  DistributedLog& dlog() { return dlog_; }
+  WalStub& wal() { return wal_; }
+  BufferPool& pool() { return pool_; }
+  LockManager& locks() { return locks_; }
+  LocalTxnManager& txns() { return txns_; }
+  /// The replication stream, or null when mirroring is disabled.
+  ChangeLog* change_log() { return change_log_.get(); }
+
+  Status CreateTable(const TableDef& def) {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    if (tables_.count(def.id)) return Status::AlreadyExists("table id in segment");
+    auto table = gphtap::CreateTable(def, &clog_, &pool_);
+    // Partitioned roots are not mirrored (leaf routing is not in the stream).
+    if (change_log_ != nullptr && !def.partitions.has_value()) {
+      table->SetChangeLog(change_log_.get());
+    }
+    tables_[def.id] = std::move(table);
+    return Status::OK();
+  }
+
+  Status DropTable(TableId id) {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    if (tables_.erase(id) == 0) return Status::NotFound("table id in segment");
+    return Status::OK();
+  }
+
+  Table* GetTable(TableId id) {
+    std::shared_lock<std::shared_mutex> g(tables_mu_);
+    auto it = tables_.find(id);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+
+ private:
+  const int index_;
+  CommitLog clog_;
+  DistributedLog dlog_;
+  WalStub wal_;
+  BufferPool pool_;
+  LockManager locks_;
+  LocalTxnManager txns_;
+  std::unique_ptr<ChangeLog> change_log_;
+
+  std::shared_mutex tables_mu_;
+  std::unordered_map<TableId, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_SEGMENT_H_

@@ -1,0 +1,844 @@
+#include "cluster/session.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "common/clock.h"
+#include "exec/executor.h"
+#include "sql/driver.h"
+#include "storage/ao_table.h"
+#include "storage/column_store.h"
+#include "storage/heap_table.h"
+#include "storage/partitioned_table.h"
+
+namespace gphtap {
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += " | ";
+    out += columns[i];
+  }
+  if (!columns.empty()) out += "\n";
+  for (const Row& r : rows) {
+    out += RowToString(r);
+    out += "\n";
+  }
+  if (columns.empty()) out += "affected: " + std::to_string(affected) + "\n";
+  return out;
+}
+
+Session::Session(Cluster* cluster, std::string role)
+    : cluster_(cluster), role_(std::move(role)) {
+  SetRole(role_);
+}
+
+Session::~Session() {
+  if (in_txn()) Rollback();
+}
+
+void Session::SetRole(const std::string& role) {
+  role_ = role;
+  group_ = nullptr;
+  if (cluster_->options().resource_groups_enabled && !role_.empty()) {
+    group_ = cluster_->resgroups().GroupForRole(role_);
+  }
+  if (group_ == nullptr) group_ = cluster_->resgroups().Get("default_group");
+}
+
+// ---------------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------------
+
+Status Session::EnsureTxn() {
+  if (failed_block_) {
+    return Status::Aborted(
+        "current transaction is aborted, commands ignored until end of block");
+  }
+  if (in_txn()) {
+    if (txn_failed_) {
+      return Status::Aborted(
+          "current transaction is aborted, commands ignored until end of block");
+    }
+    if (owner_->cancelled()) {
+      txn_failed_ = true;
+      return owner_->cancel_reason();
+    }
+    return Status::OK();
+  }
+  owner_ = cluster_->dtm().BeginTxn(&gxid_, MonotonicMicros());
+  txn_failed_ = false;
+  write_segments_.clear();
+  snapshot_pinned_ = false;
+  if (cluster_->options().resource_groups_enabled && !admitted_) {
+    Status s = group_->Admit();
+    if (!s.ok()) {
+      cluster_->dtm().MarkAborted(gxid_);
+      gxid_ = kInvalidGxid;
+      owner_.reset();
+      return s;
+    }
+    admitted_ = true;
+  }
+  return Status::OK();
+}
+
+Status Session::TakeStatementSnapshot() {
+  // Read committed: a fresh distributed snapshot per statement.
+  snapshot_ = cluster_->dtm().TakeSnapshot();
+  if (!snapshot_pinned_) {
+    cluster_->dtm().PinSnapshot(gxid_, snapshot_.gxmin);
+    snapshot_pinned_ = true;
+  }
+  return Status::OK();
+}
+
+Status Session::Begin() {
+  if (failed_block_) {
+    return Status::Aborted(
+        "current transaction is aborted, commands ignored until end of block");
+  }
+  if (in_txn()) return Status::InvalidArgument("transaction already in progress");
+  GPHTAP_RETURN_IF_ERROR(EnsureTxn());
+  explicit_txn_ = true;
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (failed_block_) {
+    // COMMIT of a failed block is a no-op rollback acknowledgement.
+    failed_block_ = false;
+    return Status::OK();
+  }
+  if (!in_txn()) return Status::OK();
+  if (txn_failed_ || owner_->cancelled()) {
+    // COMMIT of a failed transaction is a rollback (PostgreSQL semantics).
+    AbortProtocol();
+    return Status::OK();
+  }
+  Status s = CommitProtocol();
+  if (!s.ok()) AbortProtocol();
+  return s;
+}
+
+Status Session::Rollback() {
+  if (failed_block_) {
+    failed_block_ = false;
+    return Status::OK();
+  }
+  if (!in_txn()) return Status::OK();
+  AbortProtocol();
+  return Status::OK();
+}
+
+Status Session::CommitProtocol() {
+  SimNet& net = cluster_->net();
+  std::vector<int> participants(write_segments_.begin(), write_segments_.end());
+
+  if (participants.empty()) {
+    // Read-only: nothing to make durable.
+    cluster_->dtm().MarkCommitted(gxid_);
+  } else if (participants.size() == 1 && cluster_->options().one_phase_commit_enabled) {
+    // One-phase commit (Section 5.2): skip PREPARE; one round trip, one
+    // segment fsync, no coordinator commit record. With the Figure 11(b)
+    // optimization, an implicit transaction's COMMIT rides on the statement
+    // dispatch itself and the round trip disappears too.
+    int seg_index = participants[0];
+    bool piggyback = implicit_commit_ && cluster_->options().onephase_piggyback_enabled;
+    if (!piggyback) net.Deliver(MsgKind::kCommit);
+    Status s = cluster_->segment(seg_index)->txns().Commit(gxid_);
+    if (!piggyback) net.Deliver(MsgKind::kCommitAck);
+    GPHTAP_RETURN_IF_ERROR(s);
+    cluster_->dtm().MarkCommitted(gxid_);
+    ++stats_.one_phase_commits;
+    if (piggyback) ++stats_.piggybacked_commits;
+  } else {
+    // Two-phase commit: PREPARE everywhere, coordinator commit record, then
+    // COMMIT PREPARED everywhere. Phases fan out in parallel, as the real
+    // dispatcher does.
+    auto fanout = [&](auto&& fn) -> Status {
+      std::vector<Status> results(participants.size());
+      std::vector<std::thread> threads;
+      threads.reserve(participants.size());
+      for (size_t i = 0; i < participants.size(); ++i) {
+        threads.emplace_back([&, i] { results[i] = fn(participants[i]); });
+      }
+      for (auto& t : threads) t.join();
+      for (const Status& s : results) {
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    };
+
+    // Figure 11(a): for an implicit transaction the segments already know the
+    // statement they just ran was the last one, so they prepare on their own —
+    // the coordinator skips the PREPARE broadcast and only collects acks.
+    bool auto_prepare = implicit_commit_ && cluster_->options().auto_prepare_enabled;
+    Status prepared = fanout([&](int seg_index) -> Status {
+      if (!auto_prepare) net.Deliver(MsgKind::kPrepare);
+      Status s = cluster_->segment(seg_index)->txns().Prepare(gxid_);
+      net.Deliver(MsgKind::kPrepareAck);
+      return s;
+    });
+    GPHTAP_RETURN_IF_ERROR(prepared);
+    if (auto_prepare) ++stats_.auto_prepares;
+
+    // The distributed commit record is the commit point.
+    cluster_->CoordinatorCommitRecord(gxid_);
+
+    Status committed = fanout([&](int seg_index) -> Status {
+      net.Deliver(MsgKind::kCommit);
+      Status s = cluster_->segment(seg_index)->txns().CommitPrepared(gxid_);
+      net.Deliver(MsgKind::kCommitAck);
+      return s;
+    });
+    GPHTAP_RETURN_IF_ERROR(committed);
+    cluster_->dtm().MarkCommitted(gxid_);
+    ++stats_.two_phase_commits;
+  }
+
+  ReleaseAllLocks();
+  ++stats_.txns_committed;
+  ClearTxnState();
+  return Status::OK();
+}
+
+void Session::AbortProtocol() {
+  SimNet& net = cluster_->net();
+  for (int seg_index : write_segments_) {
+    net.Deliver(MsgKind::kAbort);
+    cluster_->segment(seg_index)->txns().Abort(gxid_);
+    net.Deliver(MsgKind::kAbortAck);
+  }
+  cluster_->dtm().MarkAborted(gxid_);
+  ReleaseAllLocks();
+  ++stats_.txns_aborted;
+  ClearTxnState();
+}
+
+void Session::ReleaseAllLocks() {
+  cluster_->coordinator_locks().ReleaseAll(*owner_);
+  for (int i = 0; i < cluster_->num_segments(); ++i) {
+    cluster_->segment(i)->locks().ReleaseAll(*owner_);
+  }
+}
+
+void Session::ClearTxnState() {
+  gxid_ = kInvalidGxid;
+  owner_.reset();
+  write_segments_.clear();
+  explicit_txn_ = false;
+  txn_failed_ = false;
+  snapshot_pinned_ = false;
+  if (admitted_) {
+    group_->Leave();
+    admitted_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement plumbing
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
+  ++stats_.statements;
+  bool implicit = !in_txn();
+  GPHTAP_RETURN_IF_ERROR(EnsureTxn());
+  GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
+  StatusOr<QueryResult> result = fn();
+  if (!result.ok()) {
+    // Errors abort the transaction right away, releasing every lock (as
+    // PostgreSQL's AbortTransaction does); an explicit block additionally
+    // rejects statements until the user ends it.
+    AbortProtocol();
+    if (!implicit) failed_block_ = true;
+    return result;
+  }
+  if (implicit) {
+    implicit_commit_ = true;
+    Status commit = Commit();
+    implicit_commit_ = false;
+    if (!commit.ok()) return commit;
+  }
+  return result;
+}
+
+Status Session::EnsureSegmentWrite(Segment* seg) {
+  // Serialized: parallel DML workers register concurrently.
+  std::lock_guard<std::mutex> g(write_reg_mu_);
+  if (write_segments_.count(seg->index())) return Status::OK();
+  // Transaction lock: every writer holds ExclusiveLock on its own transaction
+  // on that segment; blocked updaters take ShareLock on it (solid wait edges).
+  // Acquiring our own transaction lock never blocks.
+  GPHTAP_RETURN_IF_ERROR(seg->locks().Acquire(owner_, LockTag::Transaction(gxid_),
+                                              LockMode::kExclusive));
+  seg->txns().AssignXid(gxid_);
+  write_segments_.insert(seg->index());
+  return Status::OK();
+}
+
+Status Session::LockRelationCoordinator(const TableDef& def, LockMode mode) {
+  return cluster_->coordinator_locks().Acquire(owner_, LockTag::Relation(def.id), mode);
+}
+
+Status Session::LockRelationSegment(Segment* seg, const TableDef& def, LockMode mode) {
+  return seg->locks().Acquire(owner_, LockTag::Relation(def.id), mode);
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    // Parse-analyze locks on the coordinator.
+    for (const TableDef& t : query.tables) {
+      GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
+    }
+
+    PlannerOptions popts;
+    popts.num_segments = cluster_->num_segments();
+    popts.use_orca = cluster_->options().use_orca;
+    popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+    popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+    popts.row_estimate = [this](TableId id) -> uint64_t {
+      Table* t = cluster_->segment(0)->GetTable(id);
+      if (t == nullptr) return 1000;
+      return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
+    };
+    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
+
+    for (size_t i = 0; i < planned.gang.size(); ++i) {
+      cluster_->net().Deliver(MsgKind::kDispatch);
+    }
+    auto mem = group_->NewMemoryAccount();
+    QueryResult result;
+    result.columns = planned.columns;
+    QueryPlan qp;
+    qp.root = std::move(planned.root);
+    qp.gang = planned.gang;
+    Status s = ExecutePlan(cluster_, qp, gxid_, owner_, snapshot_, group_.get(),
+                           mem.get(), [&](Row&& row) -> Status {
+                             result.rows.push_back(std::move(row));
+                             return Status::OK();
+                           });
+    cluster_->net().Deliver(MsgKind::kResult);
+    GPHTAP_RETURN_IF_ERROR(s);
+    result.affected = static_cast<int64_t>(result.rows.size());
+    return result;
+  });
+}
+
+StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
+  PlannerOptions popts;
+  popts.num_segments = cluster_->num_segments();
+  popts.use_orca = cluster_->options().use_orca;
+  popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+  popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+  popts.row_estimate = [this](TableId id) -> uint64_t {
+    Table* t = cluster_->segment(0)->GetTable(id);
+    if (t == nullptr) return 1000;
+    return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
+  };
+  GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
+
+  QueryResult result;
+  result.columns = {"QUERY PLAN"};
+  std::string gang = "gang: segments {";
+  for (size_t i = 0; i < planned.gang.size(); ++i) {
+    if (i) gang += ",";
+    gang += std::to_string(planned.gang[i]);
+  }
+  gang += planned.gang.size() == 1 ? "}  (direct dispatch)" : "}";
+  result.rows.push_back(Row{Datum(gang)});
+  // Split the plan tree rendering into one row per line, like EXPLAIN output.
+  std::string text = planned.root->ToString();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) result.rows.push_back(Row{Datum(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  result.affected = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------------
+
+int Session::RouteInsert(const TableDef& def, const Row& row) {
+  // Partitions with external leaves live on segment 0 only.
+  if (def.partitions.has_value()) {
+    const Datum& key = row[static_cast<size_t>(def.partitions->partition_col)];
+    int leaf = def.partitions->RouteValue(key);
+    if (leaf >= 0 &&
+        def.partitions->ranges[static_cast<size_t>(leaf)].storage ==
+            StorageKind::kExternal) {
+      return 0;
+    }
+  }
+  if (def.storage == StorageKind::kExternal) return 0;
+  switch (def.distribution.kind) {
+    case DistributionKind::kHash:
+      return cluster_->SegmentForHash(HashRowKey(row, def.distribution.key_cols));
+    case DistributionKind::kRandom:
+      return static_cast<int>(insert_round_robin_++ %
+                              static_cast<uint64_t>(cluster_->num_segments()));
+    case DistributionKind::kReplicated:
+      return -1;  // all segments
+  }
+  return 0;
+}
+
+StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
+                                             const std::vector<Row>& rows) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, LockMode::kRowExclusive));
+    for (const Row& row : rows) {
+      GPHTAP_RETURN_IF_ERROR(def.schema.CheckRow(row));
+    }
+
+    // Bucket rows per target segment, then dispatch per segment.
+    std::map<int, std::vector<const Row*>> buckets;
+    for (const Row& row : rows) {
+      int target = RouteInsert(def, row);
+      if (target < 0) {
+        for (int s = 0; s < cluster_->num_segments(); ++s) buckets[s].push_back(&row);
+      } else {
+        buckets[target].push_back(&row);
+      }
+    }
+
+    int64_t inserted = 0;
+    for (auto& [seg_index, seg_rows] : buckets) {
+      Segment* seg = cluster_->segment(seg_index);
+      cluster_->net().Deliver(MsgKind::kDispatch);
+      GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kRowExclusive));
+      GPHTAP_RETURN_IF_ERROR(EnsureSegmentWrite(seg));
+      Table* table = seg->GetTable(def.id);
+      if (table == nullptr) return Status::NotFound("table missing on segment");
+      LocalXid xid = seg->txns().AssignXid(gxid_);
+      for (const Row* row : seg_rows) {
+        GPHTAP_ASSIGN_OR_RETURN(TupleId tid, table->Insert(xid, *row));
+        (void)tid;
+        ++inserted;
+      }
+      cluster_->net().Deliver(MsgKind::kResult);
+    }
+    QueryResult r;
+    r.affected = def.distribution.kind == DistributionKind::kReplicated
+                     ? static_cast<int64_t>(rows.size())
+                     : inserted;
+    return r;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+std::vector<int> Session::TargetSegmentsForWrite(const TableDef& def, const ExprPtr& where) {
+  if (cluster_->options().direct_dispatch_enabled && where != nullptr) {
+    std::vector<ExprPtr> quals = {where};
+    int seg = DirectDispatchSegment(def, quals, 0, cluster_->num_segments());
+    if (seg >= 0) return {seg};
+  }
+  std::vector<int> all(static_cast<size_t>(cluster_->num_segments()));
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+Status Session::DmlWorker(Segment* seg, const TableDef& def,
+                          const std::vector<std::pair<int, ExprPtr>>* sets,
+                          const ExprPtr& where, int64_t* affected) {
+  GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kRowExclusive));
+  GPHTAP_RETURN_IF_ERROR(EnsureSegmentWrite(seg));
+  Table* table = seg->GetTable(def.id);
+  if (table == nullptr) return Status::NotFound("table missing on segment");
+  auto* heap = dynamic_cast<HeapTable*>(table);
+  if (heap == nullptr) {
+    if (auto* part = dynamic_cast<PartitionedTable*>(table)) {
+      // Updates against partitioned roots: operate on every heap leaf.
+      Status st;
+      for (size_t i = 0; i < part->num_leaves(); ++i) {
+        auto* leaf_heap = dynamic_cast<HeapTable*>(part->leaf(i));
+        if (leaf_heap == nullptr) continue;  // AO/external leaves are read-only
+        GPHTAP_RETURN_IF_ERROR(
+            DmlWorkerOnHeap(seg, def, leaf_heap, sets, where, affected));
+      }
+      return st;
+    }
+    if (def.storage == StorageKind::kAoRow || def.storage == StorageKind::kAoColumn) {
+      return DmlWorkerOnAppendOptimized(seg, def, table, sets, where, affected);
+    }
+    return Status::NotSupported("UPDATE/DELETE on " +
+                                std::string(StorageKindName(def.storage)) + " storage");
+  }
+  return DmlWorkerOnHeap(seg, def, heap, sets, where, affected);
+}
+
+Status Session::DmlWorkerOnAppendOptimized(
+    Segment* seg, const TableDef& def, Table* table,
+    const std::vector<std::pair<int, ExprPtr>>* sets, const ExprPtr& where,
+    int64_t* affected) {
+  // AO writers serialize on the relation: the segment-level ExclusiveLock (the
+  // coordinator already holds one) means no concurrent writer can race the
+  // visibility map.
+  GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kExclusive));
+  LocalXid my_xid = seg->txns().AssignXid(gxid_);
+
+  VisibilityContext vis;
+  vis.clog = &seg->clog();
+  vis.dlog = &seg->dlog();
+  vis.dsnap = &snapshot_;
+  LocalSnapshot lsnap = seg->txns().TakeLocalSnapshot();
+  vis.lsnap = &lsnap;
+  vis.my_xid = my_xid;
+
+  // Collect targets first (Halloween protection for the UPDATE re-inserts).
+  std::vector<std::pair<TupleId, Row>> targets;
+  Status inner = Status::OK();
+  GPHTAP_RETURN_IF_ERROR(table->Scan(vis, [&](TupleId tid, const Row& row) {
+    if (where != nullptr) {
+      auto pass = EvalPredicate(*where, row);
+      if (!pass.ok()) {
+        inner = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    targets.emplace_back(tid, row);
+    return true;
+  }));
+  GPHTAP_RETURN_IF_ERROR(inner);
+
+  auto mark = [&](TupleId tid) -> Status {
+    if (auto* ao = dynamic_cast<AoRowTable*>(table)) return ao->MarkDeleted(tid, my_xid);
+    if (auto* aoc = dynamic_cast<AoColumnTable*>(table)) {
+      return aoc->MarkDeleted(tid, my_xid);
+    }
+    return Status::Internal("not an AO table");
+  };
+  for (auto& [tid, row] : targets) {
+    GPHTAP_RETURN_IF_ERROR(mark(tid));
+    if (sets != nullptr) {
+      Row new_row = row;
+      for (const auto& [col, expr] : *sets) {
+        GPHTAP_ASSIGN_OR_RETURN(Datum d, EvalExpr(*expr, row));
+        new_row[static_cast<size_t>(col)] = std::move(d);
+      }
+      GPHTAP_RETURN_IF_ERROR(def.schema.CheckRow(new_row));
+      GPHTAP_RETURN_IF_ERROR(table->Insert(my_xid, new_row).status());
+    }
+    ++*affected;
+  }
+  return Status::OK();
+}
+
+Status Session::DmlWorkerOnHeap(Segment* seg, const TableDef& def, HeapTable* heap,
+                                const std::vector<std::pair<int, ExprPtr>>* sets,
+                                const ExprPtr& where, int64_t* affected) {
+  LocalXid my_xid = seg->txns().AssignXid(gxid_);
+
+  // Phase 1: collect candidate tuple ids (avoids the Halloween problem: the
+  // target list is fixed before any new versions are written).
+  VisibilityContext vis;
+  vis.clog = &seg->clog();
+  vis.dlog = &seg->dlog();
+  vis.dsnap = &snapshot_;
+  LocalSnapshot lsnap = seg->txns().TakeLocalSnapshot();
+  vis.lsnap = &lsnap;
+  vis.my_xid = my_xid;
+
+  std::vector<TupleId> targets;
+  int64_t rows_examined = 0;
+  bool used_index = false;
+  if (where != nullptr) {
+    for (int icol : def.indexed_cols) {
+      Datum key;
+      if (ExtractEqualityConst(*where, icol, &key) && heap->HasIndexOn(icol)) {
+        for (TupleId tid : heap->IndexLookup(icol, key)) {
+          ++rows_examined;
+          auto v = heap->Get(tid);
+          if (!v.ok()) continue;
+          if (!TupleVisible(v->header.xmin, v->header.xmax, vis)) continue;
+          auto pass = EvalPredicate(*where, v->row);
+          if (!pass.ok()) return pass.status();
+          if (*pass) targets.push_back(tid);
+        }
+        used_index = true;
+        break;
+      }
+    }
+  }
+  if (!used_index) {
+    Status inner = Status::OK();
+    Status scan = heap->Scan(vis, [&](TupleId tid, const Row& row) {
+      ++rows_examined;
+      if (where != nullptr) {
+        auto pass = EvalPredicate(*where, row);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return false;
+        }
+        if (!*pass) return true;
+      }
+      targets.push_back(tid);
+      return true;
+    });
+    GPHTAP_RETURN_IF_ERROR(inner);
+    GPHTAP_RETURN_IF_ERROR(scan);
+  }
+
+  // DML scans consume CPU like any other executor work; charge it to the
+  // session's resource group (this is what lets Figure 18's cpuset isolation
+  // shorten OLTP transactions).
+  int64_t cpu_ns = cluster_->options().exec_cpu_ns_per_row * rows_examined;
+  if (cpu_ns > 0) group_->ChargeCpu(cpu_ns / 1000);
+
+  // Phase 2: stamp each target, waiting out concurrent writers.
+  for (TupleId target : targets) {
+    TupleId cur = target;
+    while (true) {
+      if (owner_->cancelled()) return owner_->cancel_reason();
+      MarkDeleteResult r = heap->TryMarkDeleted(cur, my_xid);
+      if (r.outcome == MarkDeleteOutcome::kSelfUpdated) break;
+      if (r.outcome == MarkDeleteOutcome::kFollow) {
+        // A committed writer replaced the row: follow the version chain and
+        // re-check the predicate against the new version (EvalPlanQual).
+        if (r.next == kInvalidTupleId) break;  // deleted outright
+        cur = r.next;
+        auto v = heap->Get(cur);
+        if (!v.ok()) break;
+        if (where != nullptr) {
+          GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*where, v->row));
+          if (!pass) break;
+        }
+        continue;
+      }
+      if (r.outcome == MarkDeleteOutcome::kWait) {
+        // Tuple lock first (short-term; dotted wait edges hang off it), then
+        // the holder's transaction lock (solid edge), then retry.
+        LockTag tuple_tag = LockTag::Tuple(def.id, cur);
+        GPHTAP_RETURN_IF_ERROR(
+            seg->locks().Acquire(owner_, tuple_tag, LockMode::kExclusive));
+        MarkDeleteResult r2 = heap->TryMarkDeleted(cur, my_xid);
+        if (r2.outcome == MarkDeleteOutcome::kWait) {
+          auto holder_gxid = seg->txns().GxidOfRunning(r2.wait_xid);
+          if (holder_gxid.has_value()) {
+            Status s = seg->locks().Acquire(
+                owner_, LockTag::Transaction(*holder_gxid), LockMode::kShare);
+            if (!s.ok()) {
+              seg->locks().Release(*owner_, tuple_tag, LockMode::kExclusive);
+              return s;
+            }
+            seg->locks().Release(*owner_, LockTag::Transaction(*holder_gxid),
+                                 LockMode::kShare);
+          }
+          seg->locks().Release(*owner_, tuple_tag, LockMode::kExclusive);
+          continue;  // holder finished; retry the stamp
+        }
+        seg->locks().Release(*owner_, tuple_tag, LockMode::kExclusive);
+        if (r2.outcome == MarkDeleteOutcome::kSelfUpdated) break;
+        if (r2.outcome == MarkDeleteOutcome::kFollow) {
+          if (r2.next == kInvalidTupleId) break;
+          cur = r2.next;
+          continue;
+        }
+        r = r2;  // kOk
+      }
+      // kOk: we own the delete of `cur`.
+      if (sets != nullptr) {
+        auto v = heap->Get(cur);
+        if (!v.ok()) return v.status();
+        Row new_row = v->row;
+        for (const auto& [col, expr] : *sets) {
+          GPHTAP_ASSIGN_OR_RETURN(Datum d, EvalExpr(*expr, v->row));
+          new_row[static_cast<size_t>(col)] = std::move(d);
+        }
+        GPHTAP_RETURN_IF_ERROR(def.schema.CheckRow(new_row));
+        GPHTAP_ASSIGN_OR_RETURN(TupleId new_tid, heap->Insert(my_xid, new_row));
+        heap->LinkNewVersion(cur, new_tid);
+      }
+      ++*affected;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> Session::ExecuteUpdate(
+    const TableDef& def, const std::vector<std::pair<int, ExprPtr>>& sets,
+    const ExprPtr& where) {
+  // Updating the distribution key would require moving tuples across segments;
+  // like classic Greenplum we reject it.
+  for (const auto& [col, expr] : sets) {
+    if (def.distribution.kind == DistributionKind::kHash) {
+      for (int key_col : def.distribution.key_cols) {
+        if (col == key_col) {
+          return Status::NotSupported("UPDATE of the distribution key column " +
+                                      def.schema.column(static_cast<size_t>(col)).name);
+        }
+      }
+    }
+  }
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    // The pre-GDD locking regime serializes writers on the whole relation;
+    // append-optimized tables keep the ExclusiveLock even under GDD (as in
+    // Greenplum: the visibility map is not safe for concurrent writers).
+    bool ao = def.storage == StorageKind::kAoRow || def.storage == StorageKind::kAoColumn;
+    LockMode mode = cluster_->options().gdd_enabled && !ao ? LockMode::kRowExclusive
+                                                           : LockMode::kExclusive;
+    GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
+    std::vector<int> segs = TargetSegmentsForWrite(def, where);
+    std::vector<Status> results(segs.size());
+    std::vector<int64_t> counts(segs.size(), 0);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      cluster_->net().Deliver(MsgKind::kDispatch);
+    }
+    if (segs.size() == 1) {
+      GPHTAP_RETURN_IF_ERROR(
+          DmlWorker(cluster_->segment(segs[0]), def, &sets, where, &counts[0]));
+    } else {
+      // Parallel per-segment workers, like the dispatcher's gangs. A worker
+      // may block on another transaction mid-statement while its siblings keep
+      // running — the behaviour the global deadlock cases exercise.
+      for (size_t i = 0; i < segs.size(); ++i) {
+        threads.emplace_back([&, i] {
+          results[i] = DmlWorker(cluster_->segment(segs[i]), def, &sets, where, &counts[i]);
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    for (size_t i = 0; i < segs.size(); ++i) {
+      cluster_->net().Deliver(MsgKind::kResult);
+    }
+    int64_t total = 0;
+    for (int64_t c : counts) total += c;
+    for (const Status& s : results) {
+      GPHTAP_RETURN_IF_ERROR(s);
+    }
+    QueryResult r;
+    r.affected = total;
+    return r;
+  });
+}
+
+StatusOr<QueryResult> Session::ExecuteDelete(const TableDef& def, const ExprPtr& where) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    bool ao = def.storage == StorageKind::kAoRow || def.storage == StorageKind::kAoColumn;
+    LockMode mode = cluster_->options().gdd_enabled && !ao ? LockMode::kRowExclusive
+                                                           : LockMode::kExclusive;
+    GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
+    std::vector<int> segs = TargetSegmentsForWrite(def, where);
+    std::vector<Status> results(segs.size());
+    std::vector<int64_t> counts(segs.size(), 0);
+    for (size_t i = 0; i < segs.size(); ++i) cluster_->net().Deliver(MsgKind::kDispatch);
+    if (segs.size() == 1) {
+      GPHTAP_RETURN_IF_ERROR(
+          DmlWorker(cluster_->segment(segs[0]), def, nullptr, where, &counts[0]));
+    } else {
+      std::vector<std::thread> threads;
+      for (size_t i = 0; i < segs.size(); ++i) {
+        threads.emplace_back([&, i] {
+          results[i] = DmlWorker(cluster_->segment(segs[i]), def, nullptr, where,
+                                 &counts[i]);
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    for (size_t i = 0; i < segs.size(); ++i) cluster_->net().Deliver(MsgKind::kResult);
+    int64_t total = 0;
+    for (int64_t c : counts) total += c;
+    for (const Status& s : results) {
+      GPHTAP_RETURN_IF_ERROR(s);
+    }
+    QueryResult r;
+    r.affected = total;
+    return r;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// LOCK TABLE / VACUUM
+// ---------------------------------------------------------------------------
+
+Status Session::LockTable(const TableDef& def, LockMode mode) {
+  ++stats_.statements;
+  GPHTAP_RETURN_IF_ERROR(EnsureTxn());
+  // LOCK TABLE only makes sense inside an explicit transaction (locks are
+  // released at commit); we allow it implicitly too for symmetry.
+  GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
+  for (int i = 0; i < cluster_->num_segments(); ++i) {
+    Status s = cluster_->segment(i)->locks().Acquire(owner_, LockTag::Relation(def.id),
+                                                     mode);
+    if (!s.ok()) {
+      txn_failed_ = true;
+      return s;
+    }
+  }
+  if (!explicit_txn_) {
+    return Commit();
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> Session::ExecuteVacuum(const TableDef& def) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    GPHTAP_RETURN_IF_ERROR(
+        LockRelationCoordinator(def, LockMode::kShareUpdateExclusive));
+    int64_t reclaimed = 0;
+    for (int i = 0; i < cluster_->num_segments(); ++i) {
+      Segment* seg = cluster_->segment(i);
+      GPHTAP_RETURN_IF_ERROR(
+          LockRelationSegment(seg, def, LockMode::kShareUpdateExclusive));
+      auto* heap = dynamic_cast<HeapTable*>(seg->GetTable(def.id));
+      if (heap == nullptr) continue;
+      // A deleted version is reclaimable only when every live distributed
+      // snapshot already sees the deletion: read-only sessions never acquire a
+      // local xid here, so the local running set alone is NOT a safe horizon.
+      Gxid oldest_gxid = cluster_->dtm().OldestVisibleGxid();
+      reclaimed += static_cast<int64_t>(
+          heap->Vacuum([&](LocalXid xmax) {
+            auto gxid = seg->dlog().Lookup(xmax);
+            // Mapping truncated => the deleter predates every live snapshot.
+            return !gxid.has_value() || *gxid < oldest_gxid;
+          }));
+    }
+    QueryResult r;
+    r.affected = reclaimed;
+    return r;
+  });
+}
+
+StatusOr<QueryResult> Session::ExecuteTruncate(const TableDef& def) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, LockMode::kAccessExclusive));
+    for (int i = 0; i < cluster_->num_segments(); ++i) {
+      Segment* seg = cluster_->segment(i);
+      GPHTAP_RETURN_IF_ERROR(
+          LockRelationSegment(seg, def, LockMode::kAccessExclusive));
+      Table* table = seg->GetTable(def.id);
+      if (table != nullptr) GPHTAP_RETURN_IF_ERROR(table->Truncate());
+    }
+    return QueryResult{};
+  });
+}
+
+StatusOr<QueryResult> Session::Execute(const std::string& sql) {
+  auto result = sql_driver::ExecuteSql(this, sql);
+  // Errors that never reached the statement executor (parse/analyze time)
+  // still abort an open explicit transaction, PostgreSQL-style.
+  if (!result.ok() && in_txn()) {
+    AbortProtocol();
+    failed_block_ = true;
+  }
+  return result;
+}
+
+}  // namespace gphtap

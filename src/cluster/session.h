@@ -1,0 +1,143 @@
+// A client session: transaction lifecycle (distributed snapshots, 1PC/2PC),
+// DML execution with PostgreSQL-faithful tuple locking, SELECT planning and
+// dispatch, and resource-group admission.
+#ifndef GPHTAP_CLUSTER_SESSION_H_
+#define GPHTAP_CLUSTER_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "plan/planner.h"
+#include "plan/select_query.h"
+
+namespace gphtap {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+
+  std::string ToString() const;
+};
+
+class Session {
+ public:
+  Session(Cluster* cluster, std::string role);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes one SQL statement (see sql/ for the dialect).
+  StatusOr<QueryResult> Execute(const std::string& sql);
+
+  // ---- Programmatic statement API (what the SQL layer lowers into) ----
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_txn() const { return gxid_ != kInvalidGxid; }
+  bool txn_failed() const { return txn_failed_; }
+  Gxid current_gxid() const { return gxid_; }
+
+  StatusOr<QueryResult> ExecuteSelect(const SelectQuery& query);
+  /// Plans the query and returns the plan text (EXPLAIN), without executing.
+  StatusOr<QueryResult> ExplainSelect(const SelectQuery& query);
+  StatusOr<QueryResult> ExecuteInsert(const TableDef& def, const std::vector<Row>& rows);
+  StatusOr<QueryResult> ExecuteUpdate(const TableDef& def,
+                                      const std::vector<std::pair<int, ExprPtr>>& sets,
+                                      const ExprPtr& where);
+  StatusOr<QueryResult> ExecuteDelete(const TableDef& def, const ExprPtr& where);
+  Status LockTable(const TableDef& def, LockMode mode);
+  StatusOr<QueryResult> ExecuteVacuum(const TableDef& def);
+  /// TRUNCATE: discards all contents under AccessExclusiveLock. Immediate (not
+  /// MVCC / not rollbackable), as a bulk maintenance operation.
+  StatusOr<QueryResult> ExecuteTruncate(const TableDef& def);
+
+  /// Changes the active role (SET ROLE), re-resolving the resource group.
+  void SetRole(const std::string& role);
+  const std::string& role() const { return role_; }
+
+  Cluster* cluster() { return cluster_; }
+
+  // ---- Statistics (per session) ----
+  struct Stats {
+    uint64_t txns_committed = 0;
+    uint64_t txns_aborted = 0;
+    uint64_t one_phase_commits = 0;
+    uint64_t two_phase_commits = 0;
+    uint64_t piggybacked_commits = 0;  // Figure 11(b) fast path taken
+    uint64_t auto_prepares = 0;        // Figure 11(a) fast path taken
+    uint64_t statements = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Wraps a statement in an implicit transaction when none is open.
+  template <typename Fn>
+  StatusOr<QueryResult> RunStatement(Fn&& fn);
+
+  Status EnsureTxn();
+  Status TakeStatementSnapshot();
+  // Declares `seg` a write participant: transaction lock + local xid.
+  Status EnsureSegmentWrite(Segment* seg);
+  // Relation lock on the coordinator at parse-analyze time (Section 4.2).
+  Status LockRelationCoordinator(const TableDef& def, LockMode mode);
+  Status LockRelationSegment(Segment* seg, const TableDef& def, LockMode mode);
+
+  // The per-segment UPDATE/DELETE worker: finds visible matching tuples and
+  // stamps them, waiting on tuple/transaction locks as PostgreSQL does.
+  Status DmlWorker(Segment* seg, const TableDef& def,
+                   const std::vector<std::pair<int, ExprPtr>>* sets, const ExprPtr& where,
+                   int64_t* affected);
+  Status DmlWorkerOnHeap(Segment* seg, const TableDef& def, class HeapTable* heap,
+                         const std::vector<std::pair<int, ExprPtr>>* sets,
+                         const ExprPtr& where, int64_t* affected);
+  // AO tables: visibility-map deletes under relation ExclusiveLock (writers
+  // serialize, so no tuple-lock dance is needed).
+  Status DmlWorkerOnAppendOptimized(Segment* seg, const TableDef& def, Table* table,
+                                    const std::vector<std::pair<int, ExprPtr>>* sets,
+                                    const ExprPtr& where, int64_t* affected);
+
+  // Commit protocols (Section 5.2, Figure 10).
+  Status CommitProtocol();
+  void AbortProtocol();
+  void ReleaseAllLocks();
+  void ClearTxnState();
+
+  // Resolves the target segments of a DML statement.
+  std::vector<int> TargetSegmentsForWrite(const TableDef& def, const ExprPtr& where);
+  int RouteInsert(const TableDef& def, const Row& row);
+
+  Cluster* const cluster_;
+  std::string role_;
+  std::shared_ptr<ResourceGroup> group_;  // never null (default group)
+
+  // Transaction state.
+  Gxid gxid_ = kInvalidGxid;
+  std::shared_ptr<LockOwner> owner_;
+  DistributedSnapshot snapshot_;
+  bool snapshot_pinned_ = false;
+  std::set<int> write_segments_;
+  std::mutex write_reg_mu_;  // guards write_segments_ during parallel DML dispatch
+  bool explicit_txn_ = false;
+  bool txn_failed_ = false;
+  // After an error inside BEGIN...COMMIT the transaction is rolled back
+  // immediately (locks released, like PostgreSQL's AbortTransaction), but the
+  // session stays in a failed block until COMMIT/ROLLBACK.
+  bool failed_block_ = false;
+  bool admitted_ = false;
+  // True while committing an implicit (single-statement) transaction: the
+  // Figure 11 piggyback optimizations only apply there.
+  bool implicit_commit_ = false;
+  uint64_t insert_round_robin_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_SESSION_H_

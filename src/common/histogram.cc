@@ -1,0 +1,99 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gphtap {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+// Buckets: [0], [1], then powers-of-two subdivided by 4 for ~18% resolution.
+int Histogram::BucketFor(int64_t v) {
+  if (v <= 0) return 0;
+  if (v == 1) return 1;
+  int log2 = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+  int64_t base = int64_t{1} << log2;
+  int sub = static_cast<int>(((v - base) * 4) / base);  // 0..3
+  int b = 2 + (log2 - 1) * 4 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketLow(int b) {
+  if (b <= 1) return b;
+  int log2 = (b - 2) / 4 + 1;
+  int sub = (b - 2) % 4;
+  int64_t base = int64_t{1} << log2;
+  return base + (base * sub) / 4;
+}
+
+int64_t Histogram::BucketHigh(int b) {
+  if (b <= 1) return b;
+  if (b >= kNumBuckets - 1) return INT64_MAX / 2;
+  return BucketLow(b + 1) - 1;
+}
+
+void Histogram::Record(int64_t value_us) {
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  ++count_;
+  sum_ += value_us;
+  ++buckets_[BucketFor(value_us)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  int64_t target = static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<int64_t>(1, std::min(target, count_));
+  if (target == count_) return max_;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      int64_t lo = BucketLow(i), hi = BucketHigh(i);
+      int64_t mid = lo + (hi - lo) / 2;
+      return std::max(min_, std::min(mid, max_));
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1fus p50=%lldus p95=%lldus p99=%lldus max=%lldus",
+                static_cast<long long>(count_), Mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(95)),
+                static_cast<long long>(Percentile(99)), static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,44 @@
+// Latency histogram with log-scaled buckets; used by the workload driver to report
+// percentiles. Thread-compatible: merge per-thread histograms after a run.
+#ifndef GPHTAP_COMMON_HISTOGRAM_H_
+#define GPHTAP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gphtap {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  /// p in [0, 100]. Returns an approximate value at that percentile (bucket midpoint).
+  int64_t Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 128;
+  static int BucketFor(int64_t v);
+  static int64_t BucketLow(int b);
+  static int64_t BucketHigh(int b);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_HISTOGRAM_H_

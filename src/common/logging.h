@@ -1,0 +1,57 @@
+// Minimal leveled logger. Thread-safe; intended for debugging and daemon tracing.
+#ifndef GPHTAP_COMMON_LOGGING_H_
+#define GPHTAP_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gphtap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+class Logger {
+ public:
+  static Logger& Get() {
+    static Logger* logger = new Logger();
+    return *logger;
+  }
+
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  void Write(LogLevel level, const std::string& msg) {
+    if (level < this->level()) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> g(mu_);
+    std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)], msg.c_str());
+  }
+
+ private:
+  Logger() = default;
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  std::mutex mu_;
+};
+
+namespace log_internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+}  // namespace gphtap
+
+#define GPHTAP_LOG(level)                                                       \
+  ::gphtap::log_internal::LogMessage(::gphtap::LogLevel::k##level).stream()
+
+#endif  // GPHTAP_COMMON_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace gphtap {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kDeadlockDetected:
+      return "DeadlockDetected";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kStopIteration:
+      return "StopIteration";
+  }
+  return "Unknown";
+}
+
+}  // namespace gphtap

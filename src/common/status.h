@@ -1,0 +1,146 @@
+// Status and StatusOr: error propagation without exceptions (RocksDB/Arrow idiom).
+#ifndef GPHTAP_COMMON_STATUS_H_
+#define GPHTAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gphtap {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,            // transaction aborted (deadlock victim, serialization, cancel)
+  kDeadlockDetected,   // aborted specifically as a deadlock victim
+  kResourceExhausted,  // vmem limit / admission failure
+  kTimedOut,
+  kUnavailable,
+  kInternal,
+  kNotSupported,
+  kStopIteration,  // internal: producer should stop early (LIMIT satisfied)
+};
+
+/// Returns a stable human-readable name for `code` ("Ok", "Aborted", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Aborted(std::string m) { return Status(StatusCode::kAborted, std::move(m)); }
+  static Status DeadlockDetected(std::string m) {
+    return Status(StatusCode::kDeadlockDetected, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status TimedOut(std::string m) { return Status(StatusCode::kTimedOut, std::move(m)); }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status StopIteration() { return Status(StatusCode::kStopIteration, ""); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// True if the transaction holding this status must roll back (victim/cancel paths).
+  bool IsAbortLike() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kDeadlockDetected ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// A Status or a value of type T.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gphtap
+
+/// Propagates a non-OK Status to the caller.
+#define GPHTAP_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::gphtap::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr) and moves its value into `lhs`, or returns the error.
+#define GPHTAP_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto GPHTAP_CONCAT_(_so, __LINE__) = (rexpr); \
+  if (!GPHTAP_CONCAT_(_so, __LINE__).ok())      \
+    return GPHTAP_CONCAT_(_so, __LINE__).status(); \
+  lhs = std::move(GPHTAP_CONCAT_(_so, __LINE__)).value()
+
+#define GPHTAP_CONCAT_IMPL_(a, b) a##b
+#define GPHTAP_CONCAT_(a, b) GPHTAP_CONCAT_IMPL_(a, b)
+
+#endif  // GPHTAP_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#include "common/thread_pool.h"
+
+namespace gphtap {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity) : tasks_(queue_capacity) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) { return tasks_.Push(std::move(task)); }
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace gphtap

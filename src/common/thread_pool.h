@@ -1,0 +1,38 @@
+// Fixed-size thread pool used to run plan slices on segments.
+#ifndef GPHTAP_COMMON_THREAD_POOL_H_
+#define GPHTAP_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+
+namespace gphtap {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 4096);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks if the queue is full. Returns false after Shutdown.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, and joins all workers.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_THREAD_POOL_H_

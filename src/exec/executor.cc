@@ -1,0 +1,680 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "storage/heap_table.h"
+
+namespace gphtap {
+
+namespace {
+
+// ---------- helpers ----------
+
+Status TableForNode(ExecContext& ctx, TableId id, Table** out) {
+  Table* t = nullptr;
+  if (ctx.segment != nullptr) {
+    t = ctx.segment->GetTable(id);
+  }
+  if (t == nullptr) {
+    return Status::NotFound("table id " + std::to_string(id) + " on node");
+  }
+  *out = t;
+  return Status::OK();
+}
+
+// Acquires the scan-level relation lock on this node (AccessShare), held to
+// transaction end per two-phase locking.
+Status AcquireScanLock(ExecContext& ctx, TableId table) {
+  LockManager& locks =
+      ctx.segment != nullptr ? ctx.segment->locks() : ctx.cluster->coordinator_locks();
+  return locks.Acquire(ctx.owner, LockTag::Relation(table), LockMode::kAccessShare);
+}
+
+uint64_t HashKeys(const Row& row, const std::vector<int>& keys) {
+  return HashRowKey(row, keys);
+}
+
+std::string KeyString(const Row& row, const std::vector<int>& keys) {
+  std::string s;
+  for (int k : keys) {
+    const Datum& d = row[static_cast<size_t>(k)];
+    s += d.is_null() ? std::string("\x01N") : d.ToString();
+    s += '\x02';
+  }
+  return s;
+}
+
+bool KeysHaveNull(const Row& row, const std::vector<int>& keys) {
+  for (int k : keys) {
+    if (row[static_cast<size_t>(k)].is_null()) return true;
+  }
+  return false;
+}
+
+int64_t RowFootprint(const Row& row) {
+  int64_t bytes = 32;
+  for (const Datum& d : row) bytes += static_cast<int64_t>(d.FootprintBytes());
+  return bytes;
+}
+
+// ---------- aggregation ----------
+
+struct AggState {
+  int64_t count = 0;
+  bool has_value = false;
+  Datum acc;       // sum / min / max accumulator
+  double sum = 0;  // numeric sum for kSum / kAvg
+  bool sum_is_int = true;
+  int64_t isum = 0;
+};
+
+void AggInit(AggState* s) { *s = AggState(); }
+
+Status AggUpdate(const AggSpec& spec, AggState* s, const Row& row) {
+  if (spec.fn == AggFunc::kCountStar) {
+    ++s->count;
+    return Status::OK();
+  }
+  GPHTAP_ASSIGN_OR_RETURN(Datum v, EvalExpr(*spec.arg, row));
+  if (v.is_null()) return Status::OK();
+  switch (spec.fn) {
+    case AggFunc::kCount:
+      ++s->count;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      ++s->count;
+      if (v.is_int() && s->sum_is_int) {
+        s->isum += v.int_val();
+      } else {
+        if (s->sum_is_int) {
+          s->sum = static_cast<double>(s->isum);
+          s->sum_is_int = false;
+        }
+        s->sum += v.AsDouble();
+      }
+      s->has_value = true;
+      break;
+    case AggFunc::kMin:
+      if (!s->has_value || v.Compare(s->acc) < 0) s->acc = v;
+      s->has_value = true;
+      break;
+    case AggFunc::kMax:
+      if (!s->has_value || v.Compare(s->acc) > 0) s->acc = v;
+      s->has_value = true;
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+Datum AggSumDatum(const AggState& s) {
+  if (!s.has_value) return Datum::Null();
+  return s.sum_is_int ? Datum(s.isum) : Datum(s.sum);
+}
+
+// Appends the partial state columns for one agg (wire format between the
+// partial and final phases).
+void AggEmitPartial(const AggSpec& spec, const AggState& s, Row* out) {
+  switch (spec.fn) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      out->push_back(Datum(s.count));
+      break;
+    case AggFunc::kSum:
+      out->push_back(AggSumDatum(s));
+      break;
+    case AggFunc::kAvg:
+      out->push_back(AggSumDatum(s));
+      out->push_back(Datum(s.count));
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out->push_back(s.has_value ? s.acc : Datum::Null());
+      break;
+  }
+}
+
+// Merges one partial-state row segment into the final state. `col` points at
+// the first state column of this agg within the input row; returns columns
+// consumed.
+Status AggMergePartial(const AggSpec& spec, AggState* s, const Row& row, int col) {
+  const Datum& v0 = row[static_cast<size_t>(col)];
+  switch (spec.fn) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      if (!v0.is_null()) s->count += v0.int_val();
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (!v0.is_null()) {
+        if (v0.is_int() && s->sum_is_int) {
+          s->isum += v0.int_val();
+        } else {
+          if (s->sum_is_int) {
+            s->sum = static_cast<double>(s->isum);
+            s->sum_is_int = false;
+          }
+          s->sum += v0.AsDouble();
+        }
+        s->has_value = true;
+      }
+      if (spec.fn == AggFunc::kAvg) {
+        const Datum& c = row[static_cast<size_t>(col) + 1];
+        if (!c.is_null()) s->count += c.int_val();
+      }
+      return Status::OK();
+    }
+    case AggFunc::kMin:
+      if (!v0.is_null() && (!s->has_value || v0.Compare(s->acc) < 0)) s->acc = v0;
+      if (!v0.is_null()) s->has_value = true;
+      return Status::OK();
+    case AggFunc::kMax:
+      if (!v0.is_null() && (!s->has_value || v0.Compare(s->acc) > 0)) s->acc = v0;
+      if (!v0.is_null()) s->has_value = true;
+      return Status::OK();
+  }
+  return Status::Internal("bad agg");
+}
+
+void AggEmitFinal(const AggSpec& spec, const AggState& s, Row* out) {
+  switch (spec.fn) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      out->push_back(Datum(s.count));
+      break;
+    case AggFunc::kSum:
+      out->push_back(AggSumDatum(s));
+      break;
+    case AggFunc::kAvg: {
+      if (s.count == 0) {
+        out->push_back(Datum::Null());
+      } else {
+        double total = s.sum_is_int ? static_cast<double>(s.isum) : s.sum;
+        out->push_back(Datum(total / static_cast<double>(s.count)));
+      }
+      break;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out->push_back(s.has_value ? s.acc : Datum::Null());
+      break;
+  }
+}
+
+// ---------- node execution ----------
+
+Status ExecScanCommon(const PlanNode& node, ExecContext& ctx, Table* table,
+                      const RowSink& sink) {
+  Status inner = Status::OK();
+  VisibilityContext vis = ctx.Vis();
+  auto cb = [&](TupleId, const Row& row) {
+    Status t = ctx.Tick();
+    if (!t.ok()) {
+      inner = t;
+      return false;
+    }
+    if (node.filter) {
+      auto pass = EvalPredicate(*node.filter, row);
+      if (!pass.ok()) {
+        inner = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    Row out = row;
+    Status s = sink(std::move(out));
+    if (!s.ok()) {
+      inner = s;
+      return false;
+    }
+    return true;
+  };
+  Status scan;
+  if (!node.scan_cols.empty()) {
+    scan = table->ScanColumns(vis, node.scan_cols, cb);
+  } else {
+    scan = table->Scan(vis, cb);
+  }
+  if (!inner.ok()) return inner;
+  return scan;
+}
+
+Status ExecIndexScan(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  Table* table = nullptr;
+  GPHTAP_RETURN_IF_ERROR(TableForNode(ctx, node.table, &table));
+  auto* heap = dynamic_cast<HeapTable*>(table);
+  if (heap == nullptr || !heap->HasIndexOn(node.index_col)) {
+    // Fall back to a filtered sequential scan.
+    return ExecScanCommon(node, ctx, table, sink);
+  }
+  VisibilityContext vis = ctx.Vis();
+  for (TupleId tid : heap->IndexLookup(node.index_col, node.index_key)) {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+    auto v = heap->Get(tid);
+    if (!v.ok()) continue;  // vacuumed concurrently
+    if (!TupleVisible(v->header.xmin, v->header.xmax, vis)) continue;
+    if (node.filter) {
+      GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, v->row));
+      if (!pass) continue;
+    }
+    GPHTAP_RETURN_IF_ERROR(sink(std::move(v->row)));
+  }
+  return Status::OK();
+}
+
+Status ExecHashJoin(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  // Build side = children[1] (inner), fully materialized first — this is also
+  // the Appendix-B network-deadlock prophylactic.
+  std::unordered_multimap<uint64_t, Row> build;
+  int64_t reserved = 0;
+  Status st = ExecuteNode(*node.children[1], ctx, [&](Row&& row) -> Status {
+    if (KeysHaveNull(row, node.right_keys)) return Status::OK();
+    int64_t bytes = RowFootprint(row);
+    if (ctx.mem != nullptr) {
+      GPHTAP_RETURN_IF_ERROR(ctx.mem->Reserve(bytes));
+      reserved += bytes;
+    }
+    build.emplace(HashKeys(row, node.right_keys), std::move(row));
+    return Status::OK();
+  });
+  GPHTAP_RETURN_IF_ERROR(st);
+
+  // Probe side streams.
+  return ExecuteNode(*node.children[0], ctx, [&](Row&& probe) -> Status {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+    if (KeysHaveNull(probe, node.left_keys)) return Status::OK();
+    auto range = build.equal_range(HashKeys(probe, node.left_keys));
+    for (auto it = range.first; it != range.second; ++it) {
+      // Verify key equality (hash collisions).
+      bool match = true;
+      for (size_t k = 0; k < node.left_keys.size(); ++k) {
+        if (probe[static_cast<size_t>(node.left_keys[k])].Compare(
+                it->second[static_cast<size_t>(node.right_keys[k])]) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row combined = probe;
+      combined.insert(combined.end(), it->second.begin(), it->second.end());
+      if (node.filter) {
+        GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, combined));
+        if (!pass) continue;
+      }
+      GPHTAP_RETURN_IF_ERROR(sink(std::move(combined)));
+    }
+    return Status::OK();
+  });
+}
+
+Status ExecNestLoop(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  std::vector<Row> inner;
+  auto join_with_inner = [&](const Row& outer) -> Status {
+    for (const Row& irow : inner) {
+      GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+      Row combined = outer;
+      combined.insert(combined.end(), irow.begin(), irow.end());
+      if (node.filter) {
+        GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, combined));
+        if (!pass) continue;
+      }
+      GPHTAP_RETURN_IF_ERROR(sink(std::move(combined)));
+    }
+    return Status::OK();
+  };
+
+  if (node.prefetch_inner) {
+    // Safe order: drain the inner motion entirely before touching the outer.
+    GPHTAP_RETURN_IF_ERROR(ExecuteNode(*node.children[1], ctx, [&](Row&& row) -> Status {
+      if (ctx.mem != nullptr) GPHTAP_RETURN_IF_ERROR(ctx.mem->Reserve(RowFootprint(row)));
+      inner.push_back(std::move(row));
+      return Status::OK();
+    }));
+    return ExecuteNode(*node.children[0], ctx, [&](Row&& outer) -> Status {
+      return join_with_inner(outer);
+    });
+  }
+
+  // Deadlock-prone order (what Appendix B warns about): consume ONE outer
+  // tuple, then drain the inner — while other slices' outer senders may be
+  // blocked on full buffers.
+  bool inner_loaded = false;
+  return ExecuteNode(*node.children[0], ctx, [&](Row&& outer) -> Status {
+    if (!inner_loaded) {
+      inner_loaded = true;
+      GPHTAP_RETURN_IF_ERROR(
+          ExecuteNode(*node.children[1], ctx, [&](Row&& row) -> Status {
+            inner.push_back(std::move(row));
+            return Status::OK();
+          }));
+    }
+    return join_with_inner(outer);
+  });
+}
+
+Status ExecHashAgg(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  std::map<std::string, Group> groups;
+
+  Status mem_status = Status::OK();
+  auto group_for = [&](const Row& row, const std::vector<int>& cols) -> Group& {
+    std::string key = KeyString(row, cols);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      for (int c : cols) g.key.push_back(row[static_cast<size_t>(c)]);
+      g.states.resize(node.aggs.size());
+      // Memory grows with the number of groups, not the number of input rows.
+      if (ctx.mem != nullptr && mem_status.ok()) {
+        mem_status = ctx.mem->Reserve(RowFootprint(g.key) +
+                                      64 * static_cast<int64_t>(node.aggs.size()));
+      }
+      it = groups.emplace(std::move(key), std::move(g)).first;
+    }
+    return it->second;
+  };
+
+  if (node.agg_phase == AggPhase::kFinal) {
+    // Input layout: group cols, then each agg's partial state columns.
+    std::vector<int> gcols(node.group_cols.size());
+    for (size_t i = 0; i < gcols.size(); ++i) gcols[i] = static_cast<int>(i);
+    GPHTAP_RETURN_IF_ERROR(ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+      GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+      Group& g = group_for(row, gcols);
+      GPHTAP_RETURN_IF_ERROR(mem_status);
+      int col = static_cast<int>(node.group_cols.size());
+      for (size_t a = 0; a < node.aggs.size(); ++a) {
+        GPHTAP_RETURN_IF_ERROR(AggMergePartial(node.aggs[a], &g.states[a], row, col));
+        col += AggStateArity(node.aggs[a].fn);
+      }
+      return Status::OK();
+    }));
+  } else {
+    GPHTAP_RETURN_IF_ERROR(ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+      GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+      Group& g = group_for(row, node.group_cols);
+      GPHTAP_RETURN_IF_ERROR(mem_status);
+      for (size_t a = 0; a < node.aggs.size(); ++a) {
+        GPHTAP_RETURN_IF_ERROR(AggUpdate(node.aggs[a], &g.states[a], row));
+      }
+      return Status::OK();
+    }));
+  }
+
+  // Global aggregates with zero input rows still produce one output group.
+  if (groups.empty() && node.group_cols.empty()) {
+    Group g;
+    g.states.resize(node.aggs.size());
+    groups.emplace("", std::move(g));
+  }
+
+  for (auto& [key, g] : groups) {
+    Row out = g.key;
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      if (node.agg_phase == AggPhase::kPartial) {
+        AggEmitPartial(node.aggs[a], g.states[a], &out);
+      } else {
+        AggEmitFinal(node.aggs[a], g.states[a], &out);
+      }
+    }
+    Status s = sink(std::move(out));
+    if (s.code() == StatusCode::kStopIteration) return s;
+    GPHTAP_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status ExecSort(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  std::vector<Row> rows;
+  GPHTAP_RETURN_IF_ERROR(ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+    if (ctx.mem != nullptr) GPHTAP_RETURN_IF_ERROR(ctx.mem->Reserve(RowFootprint(row)));
+    rows.push_back(std::move(row));
+    return Status::OK();
+  }));
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (const SortKey& k : node.sort_keys) {
+      int c = a[static_cast<size_t>(k.column)].Compare(b[static_cast<size_t>(k.column)]);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  for (Row& r : rows) {
+    Status s = sink(std::move(r));
+    if (s.code() == StatusCode::kStopIteration) return s;
+    GPHTAP_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status ExecMotionRecv(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  auto it = ctx.exchanges->find(node.motion_id);
+  if (it == ctx.exchanges->end()) {
+    return Status::Internal("no exchange for motion " + std::to_string(node.motion_id));
+  }
+  MotionExchange& ex = *it->second;
+  while (auto row = ex.Recv(ctx.receiver_index)) {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+    Status s = sink(std::move(*row));
+    if (s.code() == StatusCode::kStopIteration) {
+      // LIMIT satisfied: stop consuming; the exchange gets aborted by the
+      // query driver once the top slice finishes.
+      return s;
+    }
+    GPHTAP_RETURN_IF_ERROR(s);
+  }
+  if (ex.aborted() && !(ctx.owner && ctx.owner->cancelled())) {
+    return Status::Aborted("motion exchange aborted");
+  }
+  if (ctx.owner && ctx.owner->cancelled()) return ctx.owner->cancel_reason();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  switch (node.kind) {
+    case PlanKind::kSeqScan: {
+      Table* table = nullptr;
+      GPHTAP_RETURN_IF_ERROR(TableForNode(ctx, node.table, &table));
+      GPHTAP_RETURN_IF_ERROR(AcquireScanLock(ctx, node.table));
+      return ExecScanCommon(node, ctx, table, sink);
+    }
+    case PlanKind::kIndexScan: {
+      GPHTAP_RETURN_IF_ERROR(AcquireScanLock(ctx, node.table));
+      return ExecIndexScan(node, ctx, sink);
+    }
+    case PlanKind::kValues: {
+      for (const Row& r : node.rows) {
+        GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+        Row copy = r;
+        Status s = sink(std::move(copy));
+        if (s.code() == StatusCode::kStopIteration) return s;
+        GPHTAP_RETURN_IF_ERROR(s);
+      }
+      return Status::OK();
+    }
+    case PlanKind::kGenerateSeries: {
+      for (int64_t v = node.series_start; v <= node.series_end; ++v) {
+        GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+        Status s = sink(Row{Datum(v)});
+        if (s.code() == StatusCode::kStopIteration) return s;
+        GPHTAP_RETURN_IF_ERROR(s);
+      }
+      return Status::OK();
+    }
+    case PlanKind::kFilter:
+      return ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+        GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, row));
+        if (!pass) return Status::OK();
+        return sink(std::move(row));
+      });
+    case PlanKind::kProject:
+      return ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+        Row out;
+        out.reserve(node.exprs.size());
+        for (const ExprPtr& e : node.exprs) {
+          GPHTAP_ASSIGN_OR_RETURN(Datum d, EvalExpr(*e, row));
+          out.push_back(std::move(d));
+        }
+        return sink(std::move(out));
+      });
+    case PlanKind::kHashJoin:
+      return ExecHashJoin(node, ctx, sink);
+    case PlanKind::kNestLoop:
+      return ExecNestLoop(node, ctx, sink);
+    case PlanKind::kHashAgg:
+      return ExecHashAgg(node, ctx, sink);
+    case PlanKind::kSort:
+      return ExecSort(node, ctx, sink);
+    case PlanKind::kLimit: {
+      int64_t remaining = node.limit;
+      if (remaining == 0) return Status::OK();
+      Status s = ExecuteNode(*node.children[0], ctx, [&](Row&& row) -> Status {
+        GPHTAP_RETURN_IF_ERROR(sink(std::move(row)));
+        if (--remaining <= 0) return Status::StopIteration();
+        return Status::OK();
+      });
+      if (s.code() == StatusCode::kStopIteration) return Status::OK();
+      return s;
+    }
+    case PlanKind::kMotion:
+      return ExecMotionRecv(node, ctx, sink);
+  }
+  return Status::Internal("bad plan node");
+}
+
+namespace {
+
+// Collects motion nodes in the order producers must start (bottom-up).
+void CollectMotions(const PlanNode& node, std::vector<const PlanNode*>* out) {
+  for (const auto& c : node.children) CollectMotions(*c, out);
+  if (node.kind == PlanKind::kMotion) out->push_back(&node);
+}
+
+}  // namespace
+
+Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
+                   const std::shared_ptr<LockOwner>& owner,
+                   const DistributedSnapshot& snapshot, ResourceGroup* group,
+                   QueryMemoryAccount* mem, const RowSink& sink) {
+  std::vector<const PlanNode*> motions;
+  CollectMotions(*plan.root, &motions);
+
+  ExchangeMap exchanges;
+  for (const PlanNode* m : motions) {
+    int senders = static_cast<int>(plan.gang.size());
+    int receivers = m->motion == MotionKind::kGather ? 1 : static_cast<int>(plan.gang.size());
+    exchanges[m->motion_id] = std::make_shared<MotionExchange>(
+        senders, receivers, cluster->options().motion_buffer_rows, &cluster->net());
+  }
+
+  std::mutex err_mu;
+  Status first_error;
+  std::atomic<bool> query_done{false};  // set once the top slice succeeded
+  auto record_error = [&](const Status& s) {
+    if (s.ok() || s.code() == StatusCode::kStopIteration) return;
+    // After a successful top slice we deliberately abort the exchanges to
+    // unblock producers (LIMIT early-out); their resulting abort statuses are
+    // expected, not query failures.
+    if (query_done.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> g(err_mu);
+    if (first_error.ok()) {
+      first_error = s;
+      for (auto& [id, ex] : exchanges) ex->Abort();
+    }
+  };
+
+  // Producer threads: one per (motion, gang member).
+  std::vector<std::thread> producers;
+  for (const PlanNode* m : motions) {
+    for (size_t gi = 0; gi < plan.gang.size(); ++gi) {
+      int seg_index = plan.gang[gi];
+      producers.emplace_back([&, m, gi, seg_index] {
+        ExecContext ctx;
+        ctx.cluster = cluster;
+        ctx.segment = cluster->segment(seg_index);
+        ctx.receiver_index = static_cast<int>(gi);
+        ctx.gxid = gxid;
+        ctx.owner = owner;
+        ctx.snapshot = &snapshot;
+        ctx.lsnap = ctx.segment->txns().TakeLocalSnapshot();
+        ctx.exchanges = &exchanges;
+        ctx.group = group;
+        ctx.mem = mem;
+        ctx.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
+
+        MotionExchange& ex = *exchanges[m->motion_id];
+        const std::vector<int>& hash_cols = m->hash_cols;
+        MotionKind kind = m->motion;
+        int receivers = ex.num_receivers();
+        Status s = ExecuteNode(*m->children[0], ctx, [&](Row&& row) -> Status {
+          bool sent = true;
+          switch (kind) {
+            case MotionKind::kGather:
+              sent = ex.Send(0, std::move(row));
+              break;
+            case MotionKind::kBroadcast:
+              sent = ex.SendToAll(row);
+              break;
+            case MotionKind::kRedistribute: {
+              int target = static_cast<int>(HashRowKey(row, hash_cols) %
+                                            static_cast<uint64_t>(receivers));
+              sent = ex.Send(target, std::move(row));
+              break;
+            }
+          }
+          // A closed exchange is either deliberate early termination (LIMIT)
+          // or a failure someone else already recorded; stop quietly.
+          if (!sent) return Status::StopIteration();
+          return Status::OK();
+        });
+        ctx.FlushCpu();
+        record_error(s);
+        ex.CloseSender();
+      });
+    }
+  }
+
+  // Top slice on the caller's thread (coordinator).
+  ExecContext top;
+  top.cluster = cluster;
+  top.segment = nullptr;
+  top.receiver_index = 0;
+  top.gxid = gxid;
+  top.owner = owner;
+  top.snapshot = &snapshot;
+  top.lsnap = cluster->coordinator_txns().TakeLocalSnapshot();
+  top.exchanges = &exchanges;
+  top.group = group;
+  top.mem = mem;
+  top.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
+
+  Status top_status = ExecuteNode(*plan.root, top, sink);
+  if (top_status.code() == StatusCode::kStopIteration) top_status = Status::OK();
+  top.FlushCpu();
+  if (top_status.ok()) {
+    query_done.store(true, std::memory_order_release);
+  } else {
+    record_error(top_status);
+  }
+  // Unblock any still-running producers (error path, or LIMIT stopped the
+  // consumer before draining) and join them.
+  for (auto& [id, ex] : exchanges) ex->Abort();
+  for (auto& t : producers) t.join();
+
+  // The first recorded error is the root cause; later errors (e.g. the top
+  // slice seeing "motion exchange aborted") are its echoes.
+  if (!first_error.ok()) return first_error;
+  return top_status;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,39 @@
+// Push-based SPMD plan execution (Section 3.2): motion nodes cut the plan into
+// slices; each (slice, gang member) runs as its own producer thread feeding a
+// MotionExchange, and the top slice runs on the caller's thread, streaming rows
+// into the caller's sink.
+#ifndef GPHTAP_EXEC_EXECUTOR_H_
+#define GPHTAP_EXEC_EXECUTOR_H_
+
+#include <functional>
+
+#include "exec/exec_context.h"
+#include "plan/plan.h"
+
+namespace gphtap {
+
+/// Receives produced rows. Returning kStopIteration stops production early
+/// (LIMIT); any other non-OK status aborts the query.
+using RowSink = std::function<Status(Row&&)>;
+
+/// Executes one plan node subtree within a slice, pushing rows into `sink`.
+/// Exposed for unit tests; queries normally go through ExecutePlan.
+Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink);
+
+struct QueryPlan {
+  PlanPtr root;
+  /// Segments executing the leaf slices (all segments, or one under direct
+  /// dispatch). The top slice always runs on the coordinator.
+  std::vector<int> gang;
+};
+
+/// Runs the full sliced plan against the cluster. Producer threads are spawned
+/// per (motion, gang member); the caller's thread drives the top slice.
+Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
+                   const std::shared_ptr<LockOwner>& owner,
+                   const DistributedSnapshot& snapshot, ResourceGroup* group,
+                   QueryMemoryAccount* mem, const RowSink& sink);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_EXEC_EXECUTOR_H_

@@ -1,0 +1,185 @@
+#include "gdd/gdd_algorithm.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gphtap {
+
+namespace {
+
+// Mutable working copy of the multigraph: one edge list per node, with a kept flag.
+struct WorkEdge {
+  int node;
+  WaitEdge e;
+  bool kept = true;
+};
+
+}  // namespace
+
+GddResult RunGddAlgorithm(const std::vector<LocalWaitGraph>& locals) {
+  std::vector<WorkEdge> edges;
+  for (const auto& lg : locals) {
+    for (const auto& e : lg.edges) edges.push_back(WorkEdge{lg.node_id, e, true});
+  }
+
+  auto global_out_degree = [&](std::unordered_map<uint64_t, int>* deg) {
+    deg->clear();
+    for (const auto& we : edges) {
+      if (!we.kept) continue;
+      (*deg)[we.e.waiter] += 1;
+      // Ensure holders appear with (at least) zero degree.
+      deg->emplace(we.e.holder, 0);
+    }
+  };
+
+  bool removed = true;
+  std::unordered_map<uint64_t, int> gdeg;
+  while (removed) {
+    removed = false;
+
+    // Phase 1: drop all edges pointing to vertices with zero global out-degree.
+    global_out_degree(&gdeg);
+    for (auto& we : edges) {
+      if (!we.kept) continue;
+      auto it = gdeg.find(we.e.holder);
+      if (it == gdeg.end() || it->second == 0) {
+        we.kept = false;
+        removed = true;
+      }
+    }
+
+    // Phase 2: per node, drop dotted edges pointing to vertices with zero local
+    // out-degree on that node.
+    std::unordered_map<int, std::unordered_map<uint64_t, int>> ldeg;
+    for (const auto& we : edges) {
+      if (!we.kept) continue;
+      ldeg[we.node][we.e.waiter] += 1;
+    }
+    for (auto& we : edges) {
+      if (!we.kept || !we.e.dotted) continue;
+      const auto& node_deg = ldeg[we.node];
+      auto it = node_deg.find(we.e.holder);
+      if (it == node_deg.end() || it->second == 0) {
+        we.kept = false;
+        removed = true;
+      }
+    }
+  }
+
+  GddResult result;
+  std::unordered_map<int, LocalWaitGraph> by_node;
+  std::vector<WaitEdge> flat;
+  for (const auto& we : edges) {
+    if (!we.kept) continue;
+    auto& lg = by_node[we.node];
+    lg.node_id = we.node;
+    lg.edges.push_back(we.e);
+    flat.push_back(we.e);
+  }
+  for (auto& [node, lg] : by_node) result.remaining.push_back(std::move(lg));
+  std::sort(result.remaining.begin(), result.remaining.end(),
+            [](const LocalWaitGraph& a, const LocalWaitGraph& b) {
+              return a.node_id < b.node_id;
+            });
+
+  if (flat.empty()) return result;
+
+  result.cycle_vertices = VerticesOnCycles(flat);
+  if (!result.cycle_vertices.empty()) {
+    result.deadlock = true;
+    result.victim =
+        *std::max_element(result.cycle_vertices.begin(), result.cycle_vertices.end());
+  }
+  return result;
+}
+
+std::vector<uint64_t> VerticesOnCycles(const std::vector<WaitEdge>& edges) {
+  // Tarjan's SCC, iterative.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+  std::unordered_set<uint64_t> vertices;
+  std::unordered_set<uint64_t> self_loops;
+  for (const auto& e : edges) {
+    vertices.insert(e.waiter);
+    vertices.insert(e.holder);
+    if (e.waiter == e.holder) {
+      self_loops.insert(e.waiter);
+      continue;
+    }
+    adj[e.waiter].push_back(e.holder);
+  }
+
+  std::unordered_map<uint64_t, int> index, lowlink;
+  std::unordered_set<uint64_t> on_stack;
+  std::vector<uint64_t> stack;
+  int next_index = 0;
+  std::vector<uint64_t> result(self_loops.begin(), self_loops.end());
+
+  struct Frame {
+    uint64_t v;
+    size_t child = 0;
+  };
+
+  for (uint64_t root : vertices) {
+    if (index.count(root)) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack.insert(root);
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      auto& children = adj[f.v];
+      if (f.child < children.size()) {
+        uint64_t w = children[f.child++];
+        if (!index.count(w)) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack.insert(w);
+          frames.push_back({w});
+        } else if (on_stack.count(w)) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          // Pop one SCC.
+          std::vector<uint64_t> scc;
+          while (true) {
+            uint64_t w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == f.v) break;
+          }
+          if (scc.size() > 1) {
+            result.insert(result.end(), scc.begin(), scc.end());
+          }
+        }
+        uint64_t child_v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[child_v]);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::string GddResult::ToString() const {
+  std::string s = deadlock ? "DEADLOCK victim=" + std::to_string(victim) : "no-deadlock";
+  for (const auto& lg : remaining) {
+    s += " | node " + std::to_string(lg.node_id) + ":";
+    for (const auto& e : lg.edges) {
+      s += " " + WaitEdgeToString(e);
+    }
+  }
+  return s;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,46 @@
+// The Global Deadlock Detection algorithm (Algorithm 1, Section 4.3).
+//
+// Input: the set of per-node local wait-for graphs with solid/dotted edge labels.
+// The algorithm greedily removes edges that might disappear on their own:
+//   * all edges pointing to a vertex with zero GLOBAL out-degree (that transaction
+//     is not blocked anywhere, so it may finish and release everything), and
+//   * dotted edges pointing to a vertex with zero LOCAL out-degree on that node
+//     (the holder is not blocked on this node, so it may release its tuple lock
+//     without ending the transaction).
+// If no removal is possible and edges remain, the remaining graph is checked for
+// cycles; transactions on a cycle are globally deadlocked.
+#ifndef GPHTAP_GDD_GDD_ALGORITHM_H_
+#define GPHTAP_GDD_GDD_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lock/wait_graph.h"
+
+namespace gphtap {
+
+/// Outcome of one run of the detection algorithm.
+struct GddResult {
+  bool deadlock = false;
+  /// Edges that survived greedy reduction (empty when no deadlock candidates).
+  std::vector<LocalWaitGraph> remaining;
+  /// All transactions that sit on some cycle of the remaining graph.
+  std::vector<uint64_t> cycle_vertices;
+  /// Suggested victim: the youngest transaction (largest gxid) on a cycle. 0 if none.
+  uint64_t victim = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs Algorithm 1 over the collected local graphs. Pure function: no locking,
+/// no side effects — the daemon wraps it with collection and validation.
+GddResult RunGddAlgorithm(const std::vector<LocalWaitGraph>& locals);
+
+/// Strongly connected components of a directed graph given as edges; returns the
+/// set of vertices that belong to a cycle (SCC of size > 1, or a self-loop).
+std::vector<uint64_t> VerticesOnCycles(const std::vector<WaitEdge>& edges);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_GDD_GDD_ALGORITHM_H_

@@ -1,0 +1,82 @@
+#include "gdd/gdd_daemon.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace gphtap {
+
+GddDaemon::GddDaemon(Hooks hooks, int64_t period_us)
+    : hooks_(std::move(hooks)), period_us_(period_us) {}
+
+GddDaemon::~GddDaemon() { Stop(); }
+
+void GddDaemon::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GddDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void GddDaemon::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    RunOnce();
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait_for(lk, std::chrono::microseconds(period_us_),
+                      [this] { return !running_.load(std::memory_order_relaxed); });
+  }
+}
+
+GddResult GddDaemon::RunOnce() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++stats_.runs;
+  }
+  GddResult result = RunGddAlgorithm(hooks_.collect());
+  if (!result.deadlock) return result;
+
+  // Collection is asynchronous across nodes; re-validate before acting (the
+  // paper: lock the final state, check all remaining transactions still exist,
+  // otherwise discard and retry next period). We re-collect and require the
+  // detection to reproduce with every implicated transaction still running.
+  GddResult second = RunGddAlgorithm(hooks_.collect());
+  if (!second.deadlock) {
+    std::lock_guard<std::mutex> g(mu_);
+    ++stats_.stale_discards;
+    return second;
+  }
+  for (uint64_t v : second.cycle_vertices) {
+    if (!hooks_.txn_running(v)) {
+      std::lock_guard<std::mutex> g(mu_);
+      ++stats_.stale_discards;
+      return second;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++stats_.deadlocks_found;
+    ++stats_.victims_killed;
+  }
+  GPHTAP_LOG(Info) << "GDD: global deadlock detected, killing youngest victim gxid="
+                   << second.victim;
+  hooks_.kill(second.victim,
+              Status::DeadlockDetected("victim of global deadlock (gxid=" +
+                                       std::to_string(second.victim) + ")"));
+  return second;
+}
+
+GddDaemon::Stats GddDaemon::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,75 @@
+// The GDD daemon (Section 4.3): a coordinator-side thread that periodically
+// collects per-node wait-for graphs, runs Algorithm 1, re-validates the result
+// against live transactions, and terminates the youngest deadlocked transaction.
+#ifndef GPHTAP_GDD_GDD_DAEMON_H_
+#define GPHTAP_GDD_GDD_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gdd/gdd_algorithm.h"
+#include "lock/wait_graph.h"
+
+namespace gphtap {
+
+class GddDaemon {
+ public:
+  /// Callbacks into the cluster. `collect` gathers all local wait-for graphs
+  /// (coordinator + segments). `txn_running(gxid)` reports whether the
+  /// transaction still exists (the paper's final-state validation: stale graphs
+  /// are discarded). `kill(gxid, status)` cancels the victim everywhere.
+  struct Hooks {
+    std::function<std::vector<LocalWaitGraph>()> collect;
+    std::function<bool(uint64_t)> txn_running;
+    std::function<void(uint64_t, Status)> kill;
+  };
+
+  struct Stats {
+    uint64_t runs = 0;
+    uint64_t deadlocks_found = 0;
+    uint64_t victims_killed = 0;
+    uint64_t stale_discards = 0;  // detection discarded because a txn finished
+  };
+
+  GddDaemon(Hooks hooks, int64_t period_us);
+  ~GddDaemon();
+
+  GddDaemon(const GddDaemon&) = delete;
+  GddDaemon& operator=(const GddDaemon&) = delete;
+
+  /// Starts the background detection thread. Idempotent.
+  void Start();
+  /// Stops and joins the background thread. Idempotent.
+  void Stop();
+
+  /// Runs one detection round synchronously (used by tests and by the thread).
+  /// Returns the algorithm result of the final (validated) run.
+  GddResult RunOnce();
+
+  Stats stats() const;
+  int64_t period_us() const { return period_us_; }
+
+ private:
+  void Loop();
+
+  Hooks hooks_;
+  const int64_t period_us_;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+
+  std::atomic<bool> running_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::thread thread_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_GDD_GDD_DAEMON_H_

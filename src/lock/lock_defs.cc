@@ -1,0 +1,89 @@
+#include "lock/lock_defs.h"
+
+namespace gphtap {
+
+// Conflict masks transcribed from Table 1 of the paper. Bit i (1-based lock level)
+// set means "conflicts with level i".
+//
+//   AccessShare(1)           conflicts with {8}
+//   RowShare(2)              conflicts with {7,8}
+//   RowExclusive(3)          conflicts with {5,6,7,8}
+//   ShareUpdateExclusive(4)  conflicts with {4,5,6,7,8}
+//   Share(5)                 conflicts with {3,4,6,7,8}
+//   ShareRowExclusive(6)     conflicts with {3,4,5,6,7,8}
+//   Exclusive(7)             conflicts with {2,3,4,5,6,7,8}
+//   AccessExclusive(8)       conflicts with {1,2,3,4,5,6,7,8}
+namespace {
+constexpr uint16_t Bit(int level) { return static_cast<uint16_t>(1u << level); }
+
+constexpr uint16_t kConflictMask[9] = {
+    /*None*/ 0,
+    /*AccessShare*/ Bit(8),
+    /*RowShare*/ Bit(7) | Bit(8),
+    /*RowExclusive*/ Bit(5) | Bit(6) | Bit(7) | Bit(8),
+    /*ShareUpdateExclusive*/ Bit(4) | Bit(5) | Bit(6) | Bit(7) | Bit(8),
+    /*Share*/ Bit(3) | Bit(4) | Bit(6) | Bit(7) | Bit(8),
+    /*ShareRowExclusive*/ Bit(3) | Bit(4) | Bit(5) | Bit(6) | Bit(7) | Bit(8),
+    /*Exclusive*/ Bit(2) | Bit(3) | Bit(4) | Bit(5) | Bit(6) | Bit(7) | Bit(8),
+    /*AccessExclusive*/
+    Bit(1) | Bit(2) | Bit(3) | Bit(4) | Bit(5) | Bit(6) | Bit(7) | Bit(8),
+};
+}  // namespace
+
+uint16_t LockConflictMask(LockMode mode) { return kConflictMask[static_cast<int>(mode)]; }
+
+bool LockConflicts(LockMode held, LockMode requested) {
+  return (kConflictMask[static_cast<int>(held)] &
+          Bit(static_cast<int>(requested))) != 0;
+}
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNone:
+      return "None";
+    case LockMode::kAccessShare:
+      return "AccessShareLock";
+    case LockMode::kRowShare:
+      return "RowShareLock";
+    case LockMode::kRowExclusive:
+      return "RowExclusiveLock";
+    case LockMode::kShareUpdateExclusive:
+      return "ShareUpdateExclusiveLock";
+    case LockMode::kShare:
+      return "ShareLock";
+    case LockMode::kShareRowExclusive:
+      return "ShareRowExclusiveLock";
+    case LockMode::kExclusive:
+      return "ExclusiveLock";
+    case LockMode::kAccessExclusive:
+      return "AccessExclusiveLock";
+  }
+  return "?";
+}
+
+const char* LockObjectTypeName(LockObjectType t) {
+  switch (t) {
+    case LockObjectType::kRelation:
+      return "relation";
+    case LockObjectType::kTuple:
+      return "tuple";
+    case LockObjectType::kTransaction:
+      return "transaction";
+  }
+  return "?";
+}
+
+std::string LockTag::ToString() const {
+  std::string s = LockObjectTypeName(type);
+  s += "(";
+  if (type == LockObjectType::kTransaction) {
+    s += "xid=" + std::to_string(obj);
+  } else {
+    s += "rel=" + std::to_string(rel);
+    if (type == LockObjectType::kTuple) s += ",tup=" + std::to_string(obj);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,74 @@
+// Lock modes, the conflict matrix (Table 1 of the paper), and lock tags.
+#ifndef GPHTAP_LOCK_LOCK_DEFS_H_
+#define GPHTAP_LOCK_LOCK_DEFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gphtap {
+
+/// The eight PostgreSQL/Greenplum object-lock modes, ordered by level (Table 1).
+enum class LockMode : uint8_t {
+  kNone = 0,
+  kAccessShare = 1,           // pure SELECT
+  kRowShare = 2,              // SELECT FOR UPDATE
+  kRowExclusive = 3,          // INSERT / (UPDATE & DELETE with GDD enabled)
+  kShareUpdateExclusive = 4,  // VACUUM (not full)
+  kShare = 5,                 // CREATE INDEX
+  kShareRowExclusive = 6,     // collation create
+  kExclusive = 7,             // (UPDATE & DELETE without GDD, pre-GPDB6 behaviour)
+  kAccessExclusive = 8,       // ALTER TABLE
+};
+
+/// True when holding `held` blocks a request for `requested` (symmetric).
+bool LockConflicts(LockMode held, LockMode requested);
+
+/// Bitmask (bit i set = conflicts with level i) per Table 1.
+uint16_t LockConflictMask(LockMode mode);
+
+const char* LockModeName(LockMode mode);
+
+/// What kind of object a lock protects. Determines the wait-for edge label:
+/// waits on tuple locks are *dotted* (the holder can release mid-transaction);
+/// waits on relation and transaction locks are *solid* (released at txn end).
+enum class LockObjectType : uint8_t { kRelation = 0, kTuple = 1, kTransaction = 2 };
+
+const char* LockObjectTypeName(LockObjectType t);
+
+/// Identifies one lockable object within a node's lock table.
+struct LockTag {
+  LockObjectType type = LockObjectType::kRelation;
+  uint32_t rel = 0;  // table id (relation and tuple locks)
+  uint64_t obj = 0;  // tuple id, or transaction id for transaction locks
+
+  static LockTag Relation(uint32_t table_id) {
+    return {LockObjectType::kRelation, table_id, 0};
+  }
+  static LockTag Tuple(uint32_t table_id, uint64_t tuple_id) {
+    return {LockObjectType::kTuple, table_id, tuple_id};
+  }
+  static LockTag Transaction(uint64_t txn_id) {
+    return {LockObjectType::kTransaction, 0, txn_id};
+  }
+
+  bool operator==(const LockTag& o) const {
+    return type == o.type && rel == o.rel && obj == o.obj;
+  }
+
+  std::string ToString() const;
+};
+
+struct LockTagHash {
+  size_t operator()(const LockTag& t) const {
+    uint64_t h = static_cast<uint64_t>(t.type) * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(t.rel) + 0x517cc1b727220a95ULL) * 0xff51afd7ed558ccdULL;
+    h ^= (t.obj + 0x2545f4914f6cdd1dULL) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_LOCK_LOCK_DEFS_H_

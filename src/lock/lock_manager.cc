@@ -1,0 +1,329 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+LockManager::LockManager(int node_id) : LockManager(node_id, Options()) {}
+
+LockManager::LockManager(int node_id, Options options)
+    : node_id_(node_id), options_(options) {}
+
+LockManager::~LockManager() = default;
+
+bool LockManager::ConflictsWithGranted(const LockState& st, uint64_t gxid,
+                                       LockMode mode) const {
+  for (const auto& [holder, counts] : st.granted) {
+    if (holder == gxid) continue;
+    for (int m = 1; m <= 8; ++m) {
+      if (counts[static_cast<size_t>(m)] > 0 &&
+          LockConflicts(static_cast<LockMode>(m), mode)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+uint16_t LockManager::QueueWaitMask(const LockState& st) const {
+  uint16_t mask = 0;
+  for (const auto& w : st.queue) {
+    if (!w->granted) mask |= static_cast<uint16_t>(1u << static_cast<int>(w->mode));
+  }
+  return mask;
+}
+
+bool LockManager::CanGrantNow(const LockState& st, uint64_t gxid, LockMode mode) const {
+  if (ConflictsWithGranted(st, gxid, mode)) return false;
+  // Holding the lock already (in any mode) allows jumping the queue — this is
+  // the PostgreSQL lock-upgrade fast path and avoids trivial self-starvation.
+  auto it = st.granted.find(gxid);
+  bool holds_already = it != st.granted.end();
+  if (holds_already) return true;
+  // Do not jump ahead of waiters we conflict with (fairness / no starvation).
+  return (LockConflictMask(mode) & QueueWaitMask(st)) == 0;
+}
+
+void LockManager::GrantTo(LockState& st, const std::shared_ptr<LockOwner>& owner,
+                          const LockTag& tag, LockMode mode) {
+  auto& counts = st.granted[owner->gxid()];
+  ++counts[static_cast<size_t>(mode)];
+  auto& info = holders_[owner->gxid()];
+  if (!info.owner) info.owner = owner;
+  info.tags.push_back(tag);
+}
+
+void LockManager::ProcessQueue(LockState& st, const LockTag& tag) {
+  uint16_t ahead_mask = 0;
+  bool granted_any = false;
+  for (auto& w : st.queue) {
+    if (w->granted) continue;
+    uint16_t mode_bit = static_cast<uint16_t>(1u << static_cast<int>(w->mode));
+    bool blocked_by_ahead = (LockConflictMask(w->mode) & ahead_mask) != 0;
+    if (!blocked_by_ahead && !ConflictsWithGranted(st, w->owner->gxid(), w->mode)) {
+      w->granted = true;
+      GrantTo(st, w->owner, tag, w->mode);
+      granted_any = true;
+    } else {
+      ahead_mask |= mode_bit;
+    }
+  }
+  if (granted_any) st.cv.notify_all();
+}
+
+void LockManager::RemoveWaiter(LockState& st, const Waiter* w) {
+  for (auto it = st.queue.begin(); it != st.queue.end(); ++it) {
+    if (it->get() == w) {
+      st.queue.erase(it);
+      return;
+    }
+  }
+}
+
+void LockManager::EraseLockIfIdle(const LockTag& tag) {
+  auto it = locks_.find(tag);
+  if (it != locks_.end() && it->second.granted.empty() && it->second.queue.empty()) {
+    locks_.erase(it);
+  }
+}
+
+Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockTag& tag,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++stats_.acquires;
+  if (owner->cancelled()) return owner->cancel_reason();
+  LockState& st = locks_[tag];
+  if (CanGrantNow(st, owner->gxid(), mode)) {
+    GrantTo(st, owner, tag, mode);
+    return Status::OK();
+  }
+
+  ++stats_.waits;
+  auto w = std::make_shared<Waiter>();
+  w->owner = owner;
+  w->mode = mode;
+  st.queue.push_back(w);
+  waiting_[owner->gxid()].push_back(tag);
+
+  Stopwatch sw;
+  bool checked_local = false;
+  Status result = Status::OK();
+  while (!w->granted) {
+    if (owner->cancelled()) {
+      result = owner->cancel_reason();
+      break;
+    }
+    if (!checked_local) {
+      auto cv_status = st.cv.wait_for(
+          lk, std::chrono::microseconds(options_.local_deadlock_timeout_us));
+      if (cv_status == std::cv_status::timeout && !w->granted) {
+        checked_local = true;
+        if (LocalCycleFrom(owner->gxid())) {
+          ++stats_.local_deadlocks;
+          result = Status::DeadlockDetected("local deadlock detected on node " +
+                                            std::to_string(node_id_));
+          break;
+        }
+      }
+    } else {
+      // Steady state: rely on notifications; periodic wake is lost-wakeup insurance.
+      st.cv.wait_for(lk, std::chrono::milliseconds(100));
+    }
+  }
+
+  // Remove the waiting registration.
+  auto wit = waiting_.find(owner->gxid());
+  if (wit != waiting_.end()) {
+    auto& tags = wit->second;
+    for (auto it = tags.begin(); it != tags.end(); ++it) {
+      if (*it == tag) {
+        tags.erase(it);
+        break;
+      }
+    }
+    if (tags.empty()) waiting_.erase(wit);
+  }
+  stats_.total_wait_us += sw.ElapsedMicros();
+
+  if (!w->granted) {
+    RemoveWaiter(st, w.get());
+    // Our departure may unblock waiters that conflicted with our queued request.
+    ProcessQueue(st, tag);
+    EraseLockIfIdle(tag);
+    return result.ok() ? Status::Internal("lock wait ended without grant") : result;
+  }
+  // Granted while (possibly) also cancelled: prefer the grant; the caller will
+  // observe the cancel flag at its next cancellation point.
+  RemoveWaiter(st, w.get());
+  return Status::OK();
+}
+
+bool LockManager::TryAcquire(const std::shared_ptr<LockOwner>& owner, const LockTag& tag,
+                             LockMode mode) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.acquires;
+  LockState& st = locks_[tag];
+  if (!CanGrantNow(st, owner->gxid(), mode)) {
+    EraseLockIfIdle(tag);
+    return false;
+  }
+  GrantTo(st, owner, tag, mode);
+  return true;
+}
+
+void LockManager::Release(const LockOwner& owner, const LockTag& tag, LockMode mode) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = locks_.find(tag);
+  if (it == locks_.end()) return;
+  LockState& st = it->second;
+  auto git = st.granted.find(owner.gxid());
+  if (git == st.granted.end()) return;
+  auto& counts = git->second;
+  if (counts[static_cast<size_t>(mode)] == 0) return;
+  --counts[static_cast<size_t>(mode)];
+  bool any = false;
+  for (int m = 1; m <= 8; ++m) any |= counts[static_cast<size_t>(m)] > 0;
+  if (!any) st.granted.erase(git);
+
+  // Drop one matching holder-tag entry.
+  auto hit = holders_.find(owner.gxid());
+  if (hit != holders_.end()) {
+    auto& tags = hit->second.tags;
+    for (auto t = tags.begin(); t != tags.end(); ++t) {
+      if (*t == tag) {
+        tags.erase(t);
+        break;
+      }
+    }
+    if (tags.empty()) holders_.erase(hit);
+  }
+
+  ProcessQueue(st, tag);
+  EraseLockIfIdle(tag);
+}
+
+void LockManager::ReleaseAll(const LockOwner& owner) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hit = holders_.find(owner.gxid());
+  if (hit == holders_.end()) return;
+  // Unique tags held by this owner.
+  std::vector<LockTag> tags = std::move(hit->second.tags);
+  holders_.erase(hit);
+  std::sort(tags.begin(), tags.end(), [](const LockTag& a, const LockTag& b) {
+    LockTagHash h;
+    return h(a) < h(b);
+  });
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  for (const LockTag& tag : tags) {
+    auto it = locks_.find(tag);
+    if (it == locks_.end()) continue;
+    it->second.granted.erase(owner.gxid());
+    ProcessQueue(it->second, tag);
+    EraseLockIfIdle(tag);
+  }
+}
+
+bool LockManager::Holds(const LockOwner& owner, const LockTag& tag, LockMode mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = locks_.find(tag);
+  if (it == locks_.end()) return false;
+  auto git = it->second.granted.find(owner.gxid());
+  if (git == it->second.granted.end()) return false;
+  return git->second[static_cast<size_t>(mode)] > 0;
+}
+
+void LockManager::AppendEdgesLocked(std::vector<WaitEdge>* edges) const {
+  for (const auto& [tag, st] : locks_) {
+    bool dotted = tag.type == LockObjectType::kTuple;
+    uint16_t ahead_mask = 0;
+    for (const auto& w : st.queue) {
+      if (w->granted) continue;
+      uint16_t mode_bit = static_cast<uint16_t>(1u << static_cast<int>(w->mode));
+      // Edges to conflicting holders.
+      for (const auto& [holder, counts] : st.granted) {
+        if (holder == w->owner->gxid()) continue;
+        for (int m = 1; m <= 8; ++m) {
+          if (counts[static_cast<size_t>(m)] > 0 &&
+              LockConflicts(static_cast<LockMode>(m), w->mode)) {
+            edges->push_back(WaitEdge{w->owner->gxid(), holder, dotted});
+            break;
+          }
+        }
+      }
+      // Edges to conflicting waiters ahead in the queue (they will be granted
+      // before us). These carry the same label as the lock type.
+      for (const auto& ahead : st.queue) {
+        if (ahead.get() == w.get()) break;
+        if (ahead->granted) continue;
+        if (ahead->owner->gxid() == w->owner->gxid()) continue;
+        if (LockConflicts(ahead->mode, w->mode) || LockConflicts(w->mode, ahead->mode)) {
+          edges->push_back(WaitEdge{w->owner->gxid(), ahead->owner->gxid(), dotted});
+        }
+      }
+      ahead_mask |= mode_bit;
+    }
+  }
+}
+
+LocalWaitGraph LockManager::CollectWaitGraph() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  LocalWaitGraph g;
+  g.node_id = node_id_;
+  AppendEdgesLocked(&g.edges);
+  return g;
+}
+
+bool LockManager::LocalCycleFrom(uint64_t start) const {
+  std::vector<WaitEdge> edges;
+  AppendEdgesLocked(&edges);
+  // DFS over adjacency looking for a path from `start` back to `start`.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+  for (const auto& e : edges) adj[e.waiter].push_back(e.holder);
+  std::vector<uint64_t> stack = {start};
+  std::unordered_map<uint64_t, bool> visited;
+  while (!stack.empty()) {
+    uint64_t v = stack.back();
+    stack.pop_back();
+    for (uint64_t next : adj[v]) {
+      if (next == start) return true;
+      if (!visited[next]) {
+        visited[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool LockManager::WakeWaitersOf(uint64_t gxid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = waiting_.find(gxid);
+  if (it == waiting_.end()) return false;
+  for (const LockTag& tag : it->second) {
+    auto lit = locks_.find(tag);
+    if (lit != locks_.end()) lit->second.cv.notify_all();
+  }
+  return true;
+}
+
+bool LockManager::IsWaiting(uint64_t gxid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiting_.count(gxid) > 0;
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::string WaitEdgeToString(const WaitEdge& e) {
+  std::string s = std::to_string(e.waiter);
+  s += e.dotted ? " -.-> " : " ---> ";
+  s += std::to_string(e.holder);
+  return s;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,128 @@
+// Per-node object lock table with blocking FIFO wait queues, PostgreSQL-style
+// grant rules, cancellation (used by the GDD to kill victims), local deadlock
+// detection after a timeout, and wait-for graph export.
+#ifndef GPHTAP_LOCK_LOCK_MANAGER_H_
+#define GPHTAP_LOCK_LOCK_MANAGER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lock/lock_defs.h"
+#include "lock/lock_owner.h"
+#include "lock/wait_graph.h"
+
+namespace gphtap {
+
+/// One lock table, as owned by a segment or by the coordinator.
+///
+/// Thread-safe. All waiting is done on condition variables inside Acquire(); a
+/// waiting transaction is woken either by a grant, by LockOwner cancellation
+/// (GDD victim / user cancel), or periodically to re-check both.
+class LockManager {
+ public:
+  struct Options {
+    /// After this long waiting, run PostgreSQL-style *local* deadlock detection
+    /// once. Local cycles abort the checker; global cycles are left for the GDD.
+    int64_t local_deadlock_timeout_us = 100'000;
+  };
+
+  struct Stats {
+    uint64_t acquires = 0;       // total Acquire calls
+    uint64_t waits = 0;          // Acquire calls that blocked
+    uint64_t local_deadlocks = 0;
+    int64_t total_wait_us = 0;   // cumulative blocked time
+  };
+
+  explicit LockManager(int node_id);
+  LockManager(int node_id, Options options);
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Blocks until granted. Returns a non-OK status if the owner was cancelled
+  /// (kDeadlockDetected / kAborted) or a local deadlock was found.
+  /// Re-entrant: an owner already holding the tag (any mode) may upgrade and
+  /// jumps the wait queue, as in PostgreSQL.
+  Status Acquire(const std::shared_ptr<LockOwner>& owner, const LockTag& tag,
+                 LockMode mode);
+
+  /// Non-blocking variant; returns false instead of waiting.
+  bool TryAcquire(const std::shared_ptr<LockOwner>& owner, const LockTag& tag,
+                  LockMode mode);
+
+  /// Releases one reference of (tag, mode) held by the owner. No-op if not held.
+  void Release(const LockOwner& owner, const LockTag& tag, LockMode mode);
+
+  /// Releases everything the owner holds on this node (transaction end).
+  void ReleaseAll(const LockOwner& owner);
+
+  /// True if the owner currently holds the tag in a mode >= `mode` semantics
+  /// (exact-mode check; used by tests).
+  bool Holds(const LockOwner& owner, const LockTag& tag, LockMode mode) const;
+
+  /// Snapshot of all wait-for edges on this node, labeled solid/dotted.
+  LocalWaitGraph CollectWaitGraph() const;
+
+  /// Wakes any thread of `gxid` waiting in this lock table so that it observes
+  /// its owner's cancel flag. Returns true if such a waiter existed.
+  bool WakeWaitersOf(uint64_t gxid);
+
+  /// True if `gxid` is currently parked in this lock table.
+  bool IsWaiting(uint64_t gxid) const;
+
+  Stats stats() const;
+  int node_id() const { return node_id_; }
+
+ private:
+  struct Waiter {
+    std::shared_ptr<LockOwner> owner;
+    LockMode mode = LockMode::kNone;
+    bool granted = false;
+  };
+
+  struct LockState {
+    // gxid -> per-mode grant counts (index by lock level 1..8).
+    std::unordered_map<uint64_t, std::array<uint32_t, 9>> granted;
+    std::deque<std::shared_ptr<Waiter>> queue;
+    std::condition_variable cv;
+  };
+
+  // All private helpers require mu_ held.
+  bool ConflictsWithGranted(const LockState& st, uint64_t gxid, LockMode mode) const;
+  uint16_t QueueWaitMask(const LockState& st) const;
+  bool CanGrantNow(const LockState& st, uint64_t gxid, LockMode mode) const;
+  void GrantTo(LockState& st, const std::shared_ptr<LockOwner>& owner, const LockTag& tag,
+               LockMode mode);
+  void ProcessQueue(LockState& st, const LockTag& tag);
+  void RemoveWaiter(LockState& st, const Waiter* w);
+  void EraseLockIfIdle(const LockTag& tag);
+  void AppendEdgesLocked(std::vector<WaitEdge>* edges) const;
+  bool LocalCycleFrom(uint64_t start) const;
+
+  const int node_id_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<LockTag, LockState, LockTagHash> locks_;
+  // gxid -> tags it waits on (a txn has one waiting thread per slice; normally 1).
+  std::unordered_map<uint64_t, std::vector<LockTag>> waiting_;
+  // gxid -> owner handle + list of held (tag) entries for ReleaseAll.
+  struct HolderInfo {
+    std::shared_ptr<LockOwner> owner;
+    std::vector<LockTag> tags;  // may contain duplicates (ref-counted grants)
+  };
+  std::unordered_map<uint64_t, HolderInfo> holders_;
+  Stats stats_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,54 @@
+// The lock-owner handle shared between a transaction and every lock manager it
+// touches. Carries the cancellation flag the GDD daemon uses to kill victims.
+#ifndef GPHTAP_LOCK_LOCK_OWNER_H_
+#define GPHTAP_LOCK_LOCK_OWNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace gphtap {
+
+/// One per distributed transaction. Lock managers park waiting threads against
+/// this handle; Cancel() wakes them with an abort status.
+class LockOwner {
+ public:
+  explicit LockOwner(uint64_t gxid, int64_t start_time_us = 0)
+      : gxid_(gxid), start_time_us_(start_time_us) {}
+
+  LockOwner(const LockOwner&) = delete;
+  LockOwner& operator=(const LockOwner&) = delete;
+
+  uint64_t gxid() const { return gxid_; }
+  int64_t start_time_us() const { return start_time_us_; }
+
+  /// Marks the transaction for abort. Idempotent; first reason wins.
+  void Cancel(Status reason) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      reason_ = std::move(reason);
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  Status cancel_reason() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return reason_;
+  }
+
+ private:
+  const uint64_t gxid_;
+  const int64_t start_time_us_;
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status reason_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_LOCK_LOCK_OWNER_H_

@@ -1,0 +1,35 @@
+// Wait-for graph types exchanged between segment lock managers and the GDD.
+#ifndef GPHTAP_LOCK_WAIT_GRAPH_H_
+#define GPHTAP_LOCK_WAIT_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gphtap {
+
+/// One waiting relationship: `waiter` cannot proceed until `holder` releases a lock.
+/// `dotted` edges (tuple-lock waits) vanish when the holder merely stops waiting on
+/// this segment; solid edges vanish only when the holder's transaction ends
+/// (Section 4.3 of the paper).
+struct WaitEdge {
+  uint64_t waiter = 0;  // distributed transaction id
+  uint64_t holder = 0;  // distributed transaction id
+  bool dotted = false;
+
+  bool operator==(const WaitEdge& o) const {
+    return waiter == o.waiter && holder == o.holder && dotted == o.dotted;
+  }
+};
+
+/// All wait edges observed on one node at collection time.
+struct LocalWaitGraph {
+  int node_id = -1;  // -1 = coordinator, 0..N-1 = segments
+  std::vector<WaitEdge> edges;
+};
+
+std::string WaitEdgeToString(const WaitEdge& e);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_LOCK_WAIT_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "net/motion_exchange.h"
+
+namespace gphtap {
+
+MotionExchange::MotionExchange(int num_senders, int num_receivers, size_t buffer_rows,
+                               SimNet* net)
+    : num_senders_(num_senders), num_receivers_(num_receivers), net_(net) {
+  queues_.reserve(static_cast<size_t>(num_receivers));
+  eos_seen_.reserve(static_cast<size_t>(num_receivers));
+  for (int i = 0; i < num_receivers; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<Item>>(buffer_rows));
+    eos_seen_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+}
+
+bool MotionExchange::Send(int receiver, Row row) {
+  if (aborted_.load(std::memory_order_acquire)) return false;
+  if (net_ != nullptr &&
+      rows_sent_.fetch_add(1, std::memory_order_relaxed) % kRowsPerMessage == 0) {
+    net_->Deliver(MsgKind::kTupleData);
+  }
+  return queues_[static_cast<size_t>(receiver)]->Push(Item(std::move(row)));
+}
+
+bool MotionExchange::SendToAll(const Row& row) {
+  for (int r = 0; r < num_receivers_; ++r) {
+    if (!Send(r, row)) return false;
+  }
+  return true;
+}
+
+void MotionExchange::CloseSender() {
+  int count = closed_senders_.fetch_add(1) + 1;
+  (void)count;
+  for (int r = 0; r < num_receivers_; ++r) {
+    queues_[static_cast<size_t>(r)]->Push(Item(Eos{}));
+  }
+}
+
+std::optional<Row> MotionExchange::Recv(int receiver) {
+  auto& queue = *queues_[static_cast<size_t>(receiver)];
+  auto& eos = *eos_seen_[static_cast<size_t>(receiver)];
+  while (true) {
+    if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
+    auto item = queue.Pop();
+    if (!item.has_value()) return std::nullopt;  // queue closed (abort)
+    if (std::holds_alternative<Eos>(*item)) {
+      if (eos.fetch_add(1) + 1 >= num_senders_) return std::nullopt;
+      continue;
+    }
+    return std::get<Row>(std::move(*item));
+  }
+}
+
+void MotionExchange::Abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& q : queues_) q->Close();
+}
+
+size_t MotionExchange::BufferedRows(int receiver) const {
+  return queues_[static_cast<size_t>(receiver)]->size();
+}
+
+}  // namespace gphtap

@@ -1,0 +1,72 @@
+// Tuple transport between plan slices (the Motion node's wire, Section 3.2).
+// Bounded per-receiver buffers give the same flow-control semantics as the real
+// UDP-with-ACK interconnect: a sender blocks when the receiver's buffer is full,
+// which is exactly what makes the Appendix-B network deadlock possible when a
+// join consumes its inputs in the wrong order.
+#ifndef GPHTAP_NET_MOTION_EXCHANGE_H_
+#define GPHTAP_NET_MOTION_EXCHANGE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "catalog/datum.h"
+#include "common/bounded_queue.h"
+#include "net/sim_net.h"
+
+namespace gphtap {
+
+/// One motion's data plane: `num_senders` producers feeding `num_receivers`
+/// consumers, one bounded queue per receiver. Thread-safe.
+class MotionExchange {
+ public:
+  /// `net` (optional) charges kTupleData once per kRowsPerMessage rows.
+  MotionExchange(int num_senders, int num_receivers, size_t buffer_rows,
+                 SimNet* net = nullptr);
+
+  static constexpr uint64_t kRowsPerMessage = 64;
+
+  /// Sends a row to one receiver. Blocks while that receiver's buffer is full.
+  /// Returns false if the exchange was aborted (query cancelled).
+  bool Send(int receiver, Row row);
+
+  /// Broadcast to every receiver.
+  bool SendToAll(const Row& row);
+
+  /// Declares one sender finished; when all senders finish, receivers drain and
+  /// then see end-of-stream.
+  void CloseSender();
+
+  /// Receives the next row for `receiver`; nullopt = end of stream (all senders
+  /// closed and buffer drained) or abort.
+  std::optional<Row> Recv(int receiver);
+
+  /// Unblocks everyone and poisons the exchange (error/cancel path).
+  void Abort();
+
+  int num_senders() const { return num_senders_; }
+  int num_receivers() const { return num_receivers_; }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Rows currently buffered for `receiver` (observability/tests).
+  size_t BufferedRows(int receiver) const;
+
+ private:
+  struct Eos {};
+  using Item = std::variant<Row, Eos>;
+
+  const int num_senders_;
+  const int num_receivers_;
+  SimNet* const net_;
+  std::vector<std::unique_ptr<BoundedQueue<Item>>> queues_;  // one per receiver
+  std::vector<std::unique_ptr<std::atomic<int>>> eos_seen_;  // per receiver
+  std::atomic<int> closed_senders_{0};
+  std::atomic<bool> aborted_{false};
+  std::atomic<uint64_t> rows_sent_{0};
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_NET_MOTION_EXCHANGE_H_

@@ -1,0 +1,59 @@
+// Simulated interconnect cost model. The cluster is in-process, so "sending a
+// message" is a function call; this injects the per-message wire latency and
+// counts messages by kind so protocol costs (dispatch, 2PC vs 1PC round trips —
+// Figure 10) are measurable and tunable.
+#ifndef GPHTAP_NET_SIM_NET_H_
+#define GPHTAP_NET_SIM_NET_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+enum class MsgKind : uint8_t {
+  kDispatch = 0,       // plan/statement dispatch to a segment
+  kResult = 1,         // result/ack back to coordinator
+  kPrepare = 2,        // 2PC phase one
+  kPrepareAck = 3,
+  kCommit = 4,         // commit / commit-prepared / 1PC commit
+  kCommitAck = 5,
+  kAbort = 6,
+  kAbortAck = 7,
+  kGddCollect = 8,     // GDD daemon pulling wait-for graphs
+  kTupleData = 9,      // motion traffic
+  kNumKinds = 10,
+};
+
+class SimNet {
+ public:
+  explicit SimNet(int64_t latency_us = 0) : latency_us_(latency_us) {}
+
+  /// Charges one message of `kind`: counts it and sleeps the wire latency.
+  void Deliver(MsgKind kind) {
+    counts_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+    PreciseSleepUs(latency_us_);
+  }
+
+  uint64_t count(MsgKind kind) const {
+    return counts_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+
+  uint64_t TotalMessages() const {
+    uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  int64_t latency_us() const { return latency_us_; }
+
+ private:
+  const int64_t latency_us_;
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)> counts_{};
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_NET_SIM_NET_H_

@@ -1,0 +1,71 @@
+// Scalar expression trees evaluated over rows.
+#ifndef GPHTAP_PLAN_EXPR_H_
+#define GPHTAP_PLAN_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/datum.h"
+#include "common/status.h"
+
+namespace gphtap {
+
+enum class ExprKind : uint8_t { kConst, kColumn, kBinary, kNot, kIsNull };
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpName(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Build with the factory helpers.
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  Datum value;      // kConst
+  int column = -1;  // kColumn: index into the input row
+  BinOp op = BinOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;  // null for kNot / kIsNull
+
+  static ExprPtr Const(Datum d);
+  static ExprPtr Column(int index);
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr IsNull(ExprPtr e);
+
+  std::string ToString() const;
+};
+
+/// Evaluates `e` against `row`. Comparison/arithmetic with NULL yields NULL;
+/// AND/OR use three-valued logic collapsed to (NULL == false) at the boolean
+/// boundary, matching how WHERE treats unknown.
+StatusOr<Datum> EvalExpr(const Expr& e, const Row& row);
+
+/// Evaluates as a WHERE predicate: NULL and false are both "reject".
+StatusOr<bool> EvalPredicate(const Expr& e, const Row& row);
+
+/// If the predicate (conjunctively) pins `row[col] == <constant>`, returns that
+/// constant — the key enabler of direct dispatch and index point lookups.
+bool ExtractEqualityConst(const Expr& e, int col, Datum* out);
+
+/// True if the expression reads any column (false = evaluable at plan time).
+bool ExprReadsColumns(const Expr& e);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_PLAN_EXPR_H_

@@ -1,0 +1,135 @@
+#include "plan/plan.h"
+
+namespace gphtap {
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+int AggStateArity(AggFunc fn) { return fn == AggFunc::kAvg ? 2 : 1; }
+
+namespace {
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kSeqScan:
+      return "SeqScan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
+    case PlanKind::kValues:
+      return "Values";
+    case PlanKind::kGenerateSeries:
+      return "GenerateSeries";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kNestLoop:
+      return "NestLoop";
+    case PlanKind::kHashAgg:
+      return "HashAgg";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kMotion:
+      return "Motion";
+  }
+  return "?";
+}
+
+const char* MotionKindName(MotionKind k) {
+  switch (k) {
+    case MotionKind::kGather:
+      return "Gather";
+    case MotionKind::kRedistribute:
+      return "Redistribute";
+    case MotionKind::kBroadcast:
+      return "Broadcast";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kIndexScan:
+      s += " table=" + std::to_string(table);
+      if (kind == PlanKind::kIndexScan) {
+        s += " key[$" + std::to_string(index_col) + "=" + index_key.ToString() + "]";
+      }
+      if (filter) s += " filter=" + filter->ToString();
+      break;
+    case PlanKind::kFilter:
+      if (filter) s += " " + filter->ToString();
+      break;
+    case PlanKind::kMotion:
+      s += std::string(" ") + MotionKindName(motion) + " id=" + std::to_string(motion_id);
+      break;
+    case PlanKind::kHashAgg:
+      s += " phase=" + std::to_string(static_cast<int>(agg_phase)) +
+           " groups=" + std::to_string(group_cols.size()) +
+           " aggs=" + std::to_string(aggs.size());
+      break;
+    case PlanKind::kLimit:
+      s += " n=" + std::to_string(limit);
+      break;
+    default:
+      break;
+  }
+  s += "\n";
+  for (const auto& c : children) s += c->ToString(indent + 1);
+  return s;
+}
+
+PlanPtr MakeSeqScan(TableId table, int arity, ExprPtr filter) {
+  auto p = std::make_unique<PlanNode>();
+  p->kind = PlanKind::kSeqScan;
+  p->table = table;
+  p->filter = std::move(filter);
+  p->output_arity = arity;
+  return p;
+}
+
+PlanPtr MakeIndexScan(TableId table, int arity, int col, Datum key, ExprPtr filter) {
+  auto p = std::make_unique<PlanNode>();
+  p->kind = PlanKind::kIndexScan;
+  p->table = table;
+  p->index_col = col;
+  p->index_key = std::move(key);
+  p->filter = std::move(filter);
+  p->output_arity = arity;
+  return p;
+}
+
+PlanPtr MakeMotion(MotionKind kind, PlanPtr child, int motion_id,
+                   std::vector<int> hash_cols) {
+  auto p = std::make_unique<PlanNode>();
+  p->kind = PlanKind::kMotion;
+  p->motion = kind;
+  p->motion_id = motion_id;
+  p->hash_cols = std::move(hash_cols);
+  p->output_arity = child->output_arity;
+  p->children.push_back(std::move(child));
+  return p;
+}
+
+}  // namespace gphtap

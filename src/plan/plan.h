@@ -1,0 +1,111 @@
+// Physical plan representation. Motion nodes cut the tree into slices; every
+// slice executes SPMD on its gang (all segments, one segment under direct
+// dispatch, or the coordinator for the top slice) — Section 3.2.
+#ifndef GPHTAP_PLAN_PLAN_H_
+#define GPHTAP_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "plan/expr.h"
+
+namespace gphtap {
+
+enum class PlanKind : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kValues,
+  kGenerateSeries,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kNestLoop,
+  kHashAgg,
+  kSort,
+  kLimit,
+  kMotion,  // receive side; the child subtree is the send-side slice
+};
+
+enum class MotionKind : uint8_t {
+  kGather,        // N senders -> 1 receiver (coordinator)
+  kRedistribute,  // N senders -> N receivers by hash of keys
+  kBroadcast,     // N senders -> every receiver gets every row
+};
+
+enum class AggFunc : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc fn);
+
+struct AggSpec {
+  AggFunc fn = AggFunc::kCountStar;
+  ExprPtr arg;  // null for COUNT(*)
+};
+
+enum class AggPhase : uint8_t { kSingle, kPartial, kFinal };
+
+struct SortKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+/// One physical plan node. A single struct with per-kind fields keeps the
+/// executor's dispatch simple; unused fields stay default.
+struct PlanNode {
+  PlanKind kind = PlanKind::kSeqScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kSeqScan / kIndexScan
+  TableId table = 0;
+  std::vector<int> scan_cols;  // projection pushed into the scan (empty = all)
+  ExprPtr filter;              // also used by kFilter / join filters
+  int index_col = -1;          // kIndexScan
+  Datum index_key;
+
+  // kValues / kGenerateSeries
+  std::vector<Row> rows;
+  int64_t series_start = 0, series_end = 0;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+
+  // kHashJoin / kNestLoop: children[0]=outer/probe, children[1]=inner/build
+  std::vector<int> left_keys, right_keys;
+  bool prefetch_inner = true;  // Appendix B: materialize inner before outer
+
+  // kHashAgg
+  std::vector<int> group_cols;
+  std::vector<AggSpec> aggs;
+  AggPhase agg_phase = AggPhase::kSingle;
+
+  // kSort / kLimit
+  std::vector<SortKey> sort_keys;
+  int64_t limit = -1;
+
+  // kMotion
+  MotionKind motion = MotionKind::kGather;
+  std::vector<int> hash_cols;  // kRedistribute
+  int motion_id = -1;
+
+  /// Number of columns this node produces (filled in by the planner).
+  int output_arity = 0;
+
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Convenience builders used by the planner and tests.
+PlanPtr MakeSeqScan(TableId table, int arity, ExprPtr filter = nullptr);
+PlanPtr MakeIndexScan(TableId table, int arity, int col, Datum key,
+                      ExprPtr filter = nullptr);
+PlanPtr MakeMotion(MotionKind kind, PlanPtr child, int motion_id,
+                   std::vector<int> hash_cols = {});
+
+/// Number of output columns contributed by one aggregate's partial state.
+int AggStateArity(AggFunc fn);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_PLAN_PLAN_H_

@@ -1,0 +1,41 @@
+// Query planning (Section 3.4): a fast heuristic planner for transactional
+// queries ("MPP-aware PostgreSQL planner") and a cost-based mode for analytics
+// ("Orca-style"): join ordering by cardinality and broadcast-vs-redistribute
+// motion choice. Both produce sliced physical plans with Motion nodes, and both
+// apply direct dispatch when a predicate pins the distribution key.
+#ifndef GPHTAP_PLAN_PLANNER_H_
+#define GPHTAP_PLAN_PLANNER_H_
+
+#include <functional>
+
+#include "plan/plan.h"
+#include "plan/select_query.h"
+
+namespace gphtap {
+
+struct PlannerOptions {
+  int num_segments = 1;
+  bool use_orca = false;          // cost-based join order + motion choice
+  bool direct_dispatch = true;    // single-segment routing for pinned keys
+  /// Estimated stored rows per table (for the cost-based mode); may be null.
+  std::function<uint64_t(TableId)> row_estimate;
+  /// Allocates cluster-unique motion ids.
+  std::function<int()> next_motion_id;
+};
+
+struct PlannedSelect {
+  PlanPtr root;                       // top slice runs on the coordinator
+  std::vector<int> gang;              // segments executing the leaf slices
+  std::vector<std::string> columns;   // output column labels
+};
+
+StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOptions& opts);
+
+/// Returns the segment a fully pinned distribution key routes to, or -1.
+/// Exposed for DML direct dispatch as well.
+int DirectDispatchSegment(const TableDef& table, const std::vector<ExprPtr>& quals,
+                          int first_col_offset, int num_segments);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_PLAN_PLANNER_H_

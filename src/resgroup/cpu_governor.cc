@@ -1,0 +1,122 @@
+#include "resgroup/cpu_governor.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+namespace {
+constexpr int64_t kWindowUs = 10'000;          // contention accounting window
+constexpr double kBucketCapacityMs = 20.0;     // burst capacity per core
+}  // namespace
+
+CpuGovernor::CpuGovernor(int total_cores) : total_cores_(total_cores) {}
+
+void CpuGovernor::ConfigureGroup(const std::string& name, double cores, bool hard) {
+  std::lock_guard<std::mutex> g(groups_mu_);
+  auto& state = groups_[name];
+  if (!state) state = std::make_shared<GroupState>();
+  std::lock_guard<std::mutex> sg(state->mu);
+  state->rate_cores = std::max(0.01, cores);
+  state->hard = hard;
+  state->tokens_us = 0;
+  state->last_refill_us = MonotonicMicros();
+}
+
+void CpuGovernor::RemoveGroup(const std::string& name) {
+  std::lock_guard<std::mutex> g(groups_mu_);
+  groups_.erase(name);
+}
+
+void CpuGovernor::NoteWindowWork(const std::string& group, int64_t work_us) {
+  std::lock_guard<std::mutex> g(window_mu_);
+  int64_t now = MonotonicMicros();
+  if (now - window_start_us_ > kWindowUs) {
+    window_start_us_ = now;
+    window_work_us_.clear();
+  }
+  window_work_us_[group] += work_us;
+}
+
+double CpuGovernor::Saturation() const {
+  std::lock_guard<std::mutex> g(window_mu_);
+  int64_t now = MonotonicMicros();
+  int64_t elapsed = now - window_start_us_;
+  if (elapsed <= 0 || elapsed > kWindowUs * 2) return 0;
+  int64_t total = 0;
+  for (const auto& [name, work] : window_work_us_) total += work;
+  return static_cast<double>(total) /
+         (static_cast<double>(total_cores_) * static_cast<double>(elapsed));
+}
+
+bool CpuGovernor::SystemContended(const std::string& self) const {
+  std::lock_guard<std::mutex> g(window_mu_);
+  int64_t now = MonotonicMicros();
+  if (now - window_start_us_ > kWindowUs) return false;  // stale window: idle
+  // Contended when OTHER groups' work in the window is a nontrivial share of
+  // what the machine could execute in that window.
+  int64_t others = 0;
+  for (const auto& [name, work] : window_work_us_) {
+    if (name != self) others += work;
+  }
+  return others > static_cast<int64_t>(0.2 * static_cast<double>(total_cores_) *
+                                       static_cast<double>(now - window_start_us_ + 1));
+}
+
+void CpuGovernor::Charge(const std::string& group, int64_t work_us) {
+  if (work_us <= 0) return;
+  total_charged_us_.fetch_add(work_us, std::memory_order_relaxed);
+  NoteWindowWork(group, work_us);
+
+  std::shared_ptr<GroupState> state;
+  {
+    std::lock_guard<std::mutex> g(groups_mu_);
+    auto it = groups_.find(group);
+    if (it == groups_.end()) return;  // unknown group: unthrottled
+    state = it->second;
+  }
+  state->charged_us.fetch_add(work_us, std::memory_order_relaxed);
+
+  int64_t sleep_us = 0;
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> sg(state->mu);
+    int64_t now = MonotonicMicros();
+    double capacity = kBucketCapacityMs * 1000.0 * state->rate_cores;
+    state->tokens_us = std::min(
+        capacity, state->tokens_us + static_cast<double>(now - state->last_refill_us) *
+                                         state->rate_cores);
+    state->last_refill_us = now;
+    state->tokens_us -= static_cast<double>(work_us);
+    if (state->tokens_us < 0) {
+      over_budget = true;
+      // Soft groups (cpu.shares) may overdraw while the system is idle.
+      if (!state->hard && !SystemContended(group)) {
+        state->tokens_us = 0;
+      } else {
+        sleep_us = static_cast<int64_t>(-state->tokens_us / state->rate_cores);
+      }
+    }
+  }
+  // Fair-share queueing delay: when the machine is oversubscribed, soft-group
+  // work waits for a runnable core like any CFS thread would. Hard (cpuset)
+  // groups own their cores and are insulated from the global runqueue — this
+  // insulation is exactly what Figure 18 measures.
+  if (!state->hard && sleep_us == 0 && !over_budget) {
+    double saturation = Saturation();
+    if (saturation > 1.0) {
+      sleep_us = static_cast<int64_t>(
+          static_cast<double>(work_us) * std::min(saturation - 1.0, 4.0));
+    }
+  }
+  if (sleep_us > 0) PreciseSleepUs(sleep_us);
+}
+
+int64_t CpuGovernor::GroupChargedUs(const std::string& group) const {
+  std::lock_guard<std::mutex> g(groups_mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second->charged_us.load();
+}
+
+}  // namespace gphtap

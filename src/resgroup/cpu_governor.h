@@ -1,0 +1,71 @@
+// CPU isolation (Section 6). The real system uses Linux cgroups; here every
+// operator charges its simulated work to its resource group's token bucket.
+// cpuset-style groups are HARD capped at their core count; cpu_rate_limit
+// (cpu.shares) groups are SOFT: they may exceed their share while the system is
+// uncontended, exactly like cgroup cpu.shares.
+#ifndef GPHTAP_RESGROUP_CPU_GOVERNOR_H_
+#define GPHTAP_RESGROUP_CPU_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gphtap {
+
+class CpuGovernor {
+ public:
+  /// `total_cores` is the machine's virtual core count shared by all groups.
+  explicit CpuGovernor(int total_cores);
+
+  /// Registers or reconfigures a group. `cores` is its budget in core-units
+  /// (cpuset size, or total_cores * rate_limit / 100); `hard` selects cpuset
+  /// semantics.
+  void ConfigureGroup(const std::string& name, double cores, bool hard);
+  void RemoveGroup(const std::string& name);
+
+  /// Charges `work_us` microseconds of CPU to `group`, sleeping as needed to
+  /// keep the group within budget. Unknown groups run unthrottled.
+  void Charge(const std::string& group, int64_t work_us);
+
+  /// Total work charged (all groups), for tests/metrics.
+  int64_t TotalChargedUs() const { return total_charged_us_.load(); }
+
+  int total_cores() const { return total_cores_; }
+
+  /// Work charged to one group so far.
+  int64_t GroupChargedUs(const std::string& group) const;
+
+ private:
+  struct GroupState {
+    double rate_cores = 1.0;  // work-us earned per wall-us
+    bool hard = false;
+    std::mutex mu;            // serializes refill/spend
+    double tokens_us = 0;     // may go negative transiently
+    int64_t last_refill_us = 0;
+    std::atomic<int64_t> charged_us{0};
+  };
+
+  bool SystemContended(const std::string& self) const;
+  /// Total charged work in the current window / machine capacity; >1 means the
+  /// simulated machine is oversubscribed.
+  double Saturation() const;
+  void NoteWindowWork(const std::string& group, int64_t work_us);
+
+  const int total_cores_;
+  mutable std::mutex groups_mu_;
+  std::unordered_map<std::string, std::shared_ptr<GroupState>> groups_;
+  std::atomic<int64_t> total_charged_us_{0};
+  // Sliding contention window: per-group work charged in the current 10ms
+  // window. "Contended" means OTHER groups are also consuming CPU.
+  mutable std::mutex window_mu_;
+  mutable int64_t window_start_us_ = 0;
+  mutable std::unordered_map<std::string, int64_t> window_work_us_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_RESGROUP_CPU_GOVERNOR_H_

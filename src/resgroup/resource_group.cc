@@ -1,0 +1,96 @@
+#include "resgroup/resource_group.h"
+
+#include <chrono>
+
+namespace gphtap {
+
+ResourceGroup::ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor,
+                             VmemTracker* vmem)
+    : config_(std::move(config)), governor_(governor), vmem_(vmem) {
+  memory_ = std::make_shared<GroupMemory>(config_.name, config_.memory_limit_mb << 20,
+                                          config_.memory_shared_quota,
+                                          config_.concurrency);
+  governor_->ConfigureGroup(config_.name, config_.cores(governor_->total_cores()),
+                            config_.uses_cpuset());
+}
+
+ResourceGroup::~ResourceGroup() { governor_->RemoveGroup(config_.name); }
+
+Status ResourceGroup::Admit(const std::atomic<bool>* cancelled) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (active_ >= config_.concurrency) {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_acquire)) {
+      return Status::Aborted("cancelled while queued for resource group " + name());
+    }
+    slot_available_.wait_for(lk, std::chrono::milliseconds(50));
+  }
+  ++active_;
+  return Status::OK();
+}
+
+void ResourceGroup::Leave() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_ > 0) --active_;
+  slot_available_.notify_one();
+}
+
+int ResourceGroup::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+void ResourceGroup::ChargeCpu(int64_t work_us) { governor_->Charge(name(), work_us); }
+
+std::unique_ptr<QueryMemoryAccount> ResourceGroup::NewMemoryAccount() {
+  return std::make_unique<QueryMemoryAccount>(vmem_, memory_);
+}
+
+ResourceGroupRegistry::ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem)
+    : governor_(governor), vmem_(vmem) {}
+
+Status ResourceGroupRegistry::CreateGroup(const ResourceGroupConfig& config) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (groups_.count(config.name)) {
+    return Status::AlreadyExists("resource group " + config.name);
+  }
+  groups_[config.name] = std::make_shared<ResourceGroup>(config, governor_, vmem_);
+  return Status::OK();
+}
+
+Status ResourceGroupRegistry::DropGroup(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (groups_.erase(name) == 0) return Status::NotFound("resource group " + name);
+  for (auto it = role_to_group_.begin(); it != role_to_group_.end();) {
+    if (it->second == name) {
+      it = role_to_group_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<ResourceGroup> ResourceGroupRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : it->second;
+}
+
+Status ResourceGroupRegistry::AssignRole(const std::string& role,
+                                         const std::string& group) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!groups_.count(group)) return Status::NotFound("resource group " + group);
+  role_to_group_[role] = group;
+  return Status::OK();
+}
+
+std::shared_ptr<ResourceGroup> ResourceGroupRegistry::GroupForRole(
+    const std::string& role) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = role_to_group_.find(role);
+  if (it == role_to_group_.end()) return nullptr;
+  auto git = groups_.find(it->second);
+  return git == groups_.end() ? nullptr : git->second;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,88 @@
+// Resource groups (Section 6): concurrency admission + CPU budget + memory
+// pools, created via CREATE RESOURCE GROUP and assigned to roles.
+#ifndef GPHTAP_RESGROUP_RESOURCE_GROUP_H_
+#define GPHTAP_RESGROUP_RESOURCE_GROUP_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "resgroup/cpu_governor.h"
+#include "resgroup/vmem_tracker.h"
+
+namespace gphtap {
+
+struct ResourceGroupConfig {
+  std::string name;
+  int concurrency = 20;           // CONCURRENCY
+  double cpu_rate_limit = 0;      // CPU_RATE_LIMIT percent (soft); 0 = unset
+  int cpuset_begin = -1;          // CPU_SET begin core (hard); -1 = unset
+  int cpuset_end = -1;            // CPU_SET end core, inclusive
+  int64_t memory_limit_mb = 64;   // MEMORY_LIMIT (interpreted as MB here)
+  int memory_shared_quota = 20;   // MEMORY_SHARED_QUOTA percent
+
+  bool uses_cpuset() const { return cpuset_begin >= 0 && cpuset_end >= cpuset_begin; }
+  double cores(int total_cores) const {
+    if (uses_cpuset()) return cpuset_end - cpuset_begin + 1;
+    if (cpu_rate_limit > 0) return total_cores * cpu_rate_limit / 100.0;
+    return total_cores;
+  }
+};
+
+class ResourceGroup {
+ public:
+  ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor, VmemTracker* vmem);
+  ~ResourceGroup();
+
+  const ResourceGroupConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+
+  /// Admission control: blocks while `concurrency` slots are all taken.
+  /// Returns kAborted if `cancelled` (optional) turns true while waiting.
+  Status Admit(const std::atomic<bool>* cancelled = nullptr);
+  void Leave();
+  int active() const;
+
+  /// Charges CPU work to this group (may throttle the calling thread).
+  void ChargeCpu(int64_t work_us);
+
+  /// New memory account drawing from this group's pools.
+  std::unique_ptr<QueryMemoryAccount> NewMemoryAccount();
+
+ private:
+  const ResourceGroupConfig config_;
+  CpuGovernor* const governor_;
+  VmemTracker* const vmem_;
+  std::shared_ptr<GroupMemory> memory_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_available_;
+  int active_ = 0;
+};
+
+/// Registry of groups + role assignments (CREATE/ALTER ROLE ... RESOURCE GROUP).
+class ResourceGroupRegistry {
+ public:
+  ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem);
+
+  Status CreateGroup(const ResourceGroupConfig& config);
+  Status DropGroup(const std::string& name);
+  std::shared_ptr<ResourceGroup> Get(const std::string& name) const;
+
+  Status AssignRole(const std::string& role, const std::string& group);
+  std::shared_ptr<ResourceGroup> GroupForRole(const std::string& role) const;
+
+ private:
+  CpuGovernor* const governor_;
+  VmemTracker* const vmem_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<ResourceGroup>> groups_;
+  std::unordered_map<std::string, std::string> role_to_group_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_RESGROUP_RESOURCE_GROUP_H_

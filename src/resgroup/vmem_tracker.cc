@@ -1,0 +1,59 @@
+#include "resgroup/vmem_tracker.h"
+
+#include <algorithm>
+
+namespace gphtap {
+
+QueryMemoryAccount::QueryMemoryAccount(VmemTracker* tracker,
+                                       std::shared_ptr<GroupMemory> group)
+    : tracker_(tracker), group_(std::move(group)) {}
+
+QueryMemoryAccount::~QueryMemoryAccount() { ReleaseAll(); }
+
+Status QueryMemoryAccount::Reserve(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  int64_t remaining = bytes;
+
+  // Layer 1: the slot quota (no lock needed; slot quota is private to us).
+  if (group_ != nullptr) {
+    int64_t slot_room = group_->slot_quota_bytes() - slot_used_;
+    int64_t take = std::clamp<int64_t>(remaining, 0, std::max<int64_t>(slot_room, 0));
+    slot_used_ += take;
+    remaining -= take;
+    if (remaining == 0) return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> g(tracker_->mu_);
+  // Layer 2: group shared pool.
+  if (group_ != nullptr) {
+    int64_t room = group_->shared_bytes_ - group_->shared_used_;
+    int64_t take = std::clamp<int64_t>(remaining, 0, std::max<int64_t>(room, 0));
+    group_->shared_used_ += take;
+    group_shared_used_ += take;
+    remaining -= take;
+    if (remaining == 0) return Status::OK();
+  }
+  // Layer 3: global shared pool — the last defender.
+  int64_t room = tracker_->global_shared_bytes_ - tracker_->global_used_;
+  if (remaining <= room) {
+    tracker_->global_used_ += remaining;
+    global_used_ += remaining;
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      "vmem: slot, group-shared and global-shared pools exhausted (query in group " +
+      (group_ ? group_->name() : std::string("<none>")) + ")");
+}
+
+void QueryMemoryAccount::ReleaseAll() {
+  slot_used_ = 0;
+  if (group_shared_used_ > 0 || global_used_ > 0) {
+    std::lock_guard<std::mutex> g(tracker_->mu_);
+    if (group_ != nullptr) group_->shared_used_ -= group_shared_used_;
+    tracker_->global_used_ -= global_used_;
+    group_shared_used_ = 0;
+    global_used_ = 0;
+  }
+}
+
+}  // namespace gphtap

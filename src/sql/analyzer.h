@@ -1,0 +1,69 @@
+// Binds raw parse trees against the catalog, producing planner/session inputs.
+#ifndef GPHTAP_SQL_ANALYZER_H_
+#define GPHTAP_SQL_ANALYZER_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "plan/select_query.h"
+#include "sql/ast.h"
+
+namespace gphtap {
+
+struct BoundInsert {
+  TableDef table;
+  std::vector<Row> rows;  // empty when `select` drives the insert
+  std::shared_ptr<sql_ast::SelectNode> select;
+};
+
+struct BoundUpdate {
+  TableDef table;
+  std::vector<std::pair<int, ExprPtr>> sets;
+  ExprPtr where;
+};
+
+struct BoundDelete {
+  TableDef table;
+  ExprPtr where;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(Cluster* cluster) : cluster_(cluster) {}
+
+  StatusOr<SelectQuery> BindSelect(const sql_ast::SelectNode& node);
+  StatusOr<BoundInsert> BindInsert(const sql_ast::InsertNode& node);
+  StatusOr<BoundUpdate> BindUpdate(const sql_ast::UpdateNode& node);
+  StatusOr<BoundDelete> BindDelete(const sql_ast::DeleteNode& node);
+
+  /// Evaluates a constant expression (no column references).
+  static StatusOr<Datum> EvalConst(const sql_ast::ExprNode& e);
+
+  /// True when every FROM item is a set-returning function (generate_series);
+  /// such queries bypass the distributed planner.
+  static bool IsPureFunctionScan(const sql_ast::SelectNode& node);
+
+ private:
+  struct Scope {
+    // (qualifier, column) -> combined index. Empty qualifier matches any table.
+    std::vector<TableDef> tables;
+    std::vector<std::string> aliases;
+    std::vector<int> offsets;
+
+    StatusOr<int> Resolve(const std::string& qualifier, const std::string& column) const;
+  };
+
+  StatusOr<ExprPtr> BindExpr(const sql_ast::ExprNode& e, const Scope& scope);
+  StatusOr<AggSpec> BindAgg(const sql_ast::ExprNode& e, const Scope& scope);
+  /// Binds a HAVING expression over the select-item layout, appending hidden
+  /// items for aggregates/grouped columns that are not already projected.
+  StatusOr<ExprPtr> BindHavingExpr(const sql_ast::ExprNode& e, const Scope& scope,
+                                   SelectQuery* q);
+  static bool IsAggName(const std::string& name);
+
+  Cluster* const cluster_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_SQL_ANALYZER_H_

@@ -1,0 +1,498 @@
+#include "sql/driver.h"
+
+#include <cstdlib>
+
+#include "cluster/session.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace gphtap {
+namespace sql_driver {
+
+namespace {
+
+using sql_ast::ExprNode;
+using sql_ast::ExprNodeKind;
+using sql_ast::Statement;
+using sql_ast::StatementKind;
+
+StatusOr<TypeId> BindType(const std::string& t) {
+  if (t == "int" || t == "integer" || t == "bigint" || t == "smallint" || t == "int4" ||
+      t == "int8" || t == "int2" || t == "serial" || t == "bigserial") {
+    return TypeId::kInt64;
+  }
+  if (t == "double" || t == "float" || t == "float4" || t == "float8" || t == "real" ||
+      t == "numeric" || t == "decimal") {
+    return TypeId::kDouble;
+  }
+  if (t == "text" || t == "varchar" || t == "char" || t == "string" || t == "character") {
+    return TypeId::kString;
+  }
+  return Status::NotSupported("type " + t);
+}
+
+StatusOr<CompressionKind> BindCompression(const std::string& name) {
+  if (name == "none") return CompressionKind::kNone;
+  if (name == "rle" || name == "rle_type") return CompressionKind::kRle;
+  if (name == "delta") return CompressionKind::kDelta;
+  if (name == "dict" || name == "dictionary") return CompressionKind::kDict;
+  // The paper's codecs map onto our from-scratch LZ byte codec.
+  if (name == "lz" || name == "zlib" || name == "zstd" || name == "quicklz") {
+    return CompressionKind::kLz;
+  }
+  return Status::NotSupported("compression " + name);
+}
+
+StatusOr<StorageKind> BindStorageOptions(
+    const std::vector<std::pair<std::string, std::string>>& options,
+    CompressionKind* compression) {
+  StorageKind storage = StorageKind::kHeap;
+  bool appendonly = false;
+  bool column_oriented = false;
+  for (const auto& [key, value] : options) {
+    if (key == "storage") {
+      if (value == "heap") {
+        storage = StorageKind::kHeap;
+      } else if (value == "ao_row" || value == "appendonly_row") {
+        storage = StorageKind::kAoRow;
+      } else if (value == "ao_column" || value == "ao_col" || value == "column") {
+        storage = StorageKind::kAoColumn;
+      } else if (value == "external") {
+        storage = StorageKind::kExternal;
+      } else {
+        return Status::NotSupported("storage " + value);
+      }
+    } else if (key == "appendonly" || key == "appendoptimized") {
+      appendonly = value == "true";
+    } else if (key == "orientation") {
+      column_oriented = value == "column";
+    } else if (key == "compresstype" || key == "compress") {
+      GPHTAP_ASSIGN_OR_RETURN(*compression, BindCompression(value));
+    } else {
+      return Status::NotSupported("table option " + key);
+    }
+  }
+  if (appendonly) storage = column_oriented ? StorageKind::kAoColumn : StorageKind::kAoRow;
+  return storage;
+}
+
+// Local (coordinator-only) SELECT evaluation for FROM-less selects and pure
+// generate_series() function scans: used by the paper's own example inserts.
+StatusOr<QueryResult> LocalSelect(const sql_ast::SelectNode& node) {
+  // Build the input "rows": cross product of the function scans (or one empty
+  // row when there is no FROM).
+  struct FuncCol {
+    std::string name;
+    int64_t start, end;
+  };
+  std::vector<FuncCol> funcs;
+  for (const auto& t : node.from) {
+    if (!t.is_function || t.name != "generate_series" || t.func_args.size() != 2) {
+      return Status::NotSupported("only generate_series(a,b) function scans");
+    }
+    GPHTAP_ASSIGN_OR_RETURN(Datum lo, Analyzer::EvalConst(*t.func_args[0]));
+    GPHTAP_ASSIGN_OR_RETURN(Datum hi, Analyzer::EvalConst(*t.func_args[1]));
+    if (!lo.is_int() || !hi.is_int()) {
+      return Status::InvalidArgument("generate_series expects integers");
+    }
+    funcs.push_back(
+        {t.alias.empty() ? "generate_series" : t.alias, lo.int_val(), hi.int_val()});
+  }
+
+  // Scope resolution: column name -> index into the function-value row.
+  auto resolve = [&](const std::string& qualifier, const std::string& col) -> int {
+    for (size_t i = 0; i < funcs.size(); ++i) {
+      if ((qualifier.empty() || qualifier == funcs[i].name) &&
+          (col == funcs[i].name)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  // Bind one expression over the function row; SRFs in the select list are
+  // handled one level up.
+  std::function<StatusOr<ExprPtr>(const ExprNode&)> bind =
+      [&](const ExprNode& e) -> StatusOr<ExprPtr> {
+    switch (e.kind) {
+      case ExprNodeKind::kLiteral:
+        return Expr::Const(e.literal);
+      case ExprNodeKind::kColumnRef: {
+        int idx = resolve(e.table, e.column);
+        if (idx < 0) return Status::NotFound("column " + e.column);
+        return Expr::Column(idx);
+      }
+      case ExprNodeKind::kBinary: {
+        GPHTAP_ASSIGN_OR_RETURN(ExprPtr l, bind(*e.args[0]));
+        GPHTAP_ASSIGN_OR_RETURN(ExprPtr r, bind(*e.args[1]));
+        BinOp op;
+        if (e.op == "+") {
+          op = BinOp::kAdd;
+        } else if (e.op == "-") {
+          op = BinOp::kSub;
+        } else if (e.op == "*") {
+          op = BinOp::kMul;
+        } else if (e.op == "/") {
+          op = BinOp::kDiv;
+        } else if (e.op == "%") {
+          op = BinOp::kMod;
+        } else if (e.op == "=") {
+          op = BinOp::kEq;
+        } else if (e.op == "<>") {
+          op = BinOp::kNe;
+        } else if (e.op == "<") {
+          op = BinOp::kLt;
+        } else if (e.op == "<=") {
+          op = BinOp::kLe;
+        } else if (e.op == ">") {
+          op = BinOp::kGt;
+        } else if (e.op == ">=") {
+          op = BinOp::kGe;
+        } else if (e.op == "and") {
+          op = BinOp::kAnd;
+        } else if (e.op == "or") {
+          op = BinOp::kOr;
+        } else {
+          return Status::NotSupported("operator " + e.op);
+        }
+        return Expr::Binary(op, l, r);
+      }
+      case ExprNodeKind::kNot: {
+        GPHTAP_ASSIGN_OR_RETURN(ExprPtr inner, bind(*e.args[0]));
+        return Expr::Not(inner);
+      }
+      case ExprNodeKind::kIsNull: {
+        GPHTAP_ASSIGN_OR_RETURN(ExprPtr inner, bind(*e.args[0]));
+        return Expr::IsNull(inner);
+      }
+      case ExprNodeKind::kIsNotNull: {
+        GPHTAP_ASSIGN_OR_RETURN(ExprPtr inner, bind(*e.args[0]));
+        return Expr::Not(Expr::IsNull(inner));
+      }
+      default:
+        return Status::NotSupported("expression in local select");
+    }
+  };
+
+  // Select items: either plain expressions or one generate_series() SRF.
+  struct Item {
+    ExprPtr expr;                  // when scalar
+    int64_t srf_start = 0, srf_end = -1;
+    bool is_srf = false;
+    std::string name;
+  };
+  std::vector<Item> items;
+  int64_t srf_len = 1;
+  for (const auto& si : node.items) {
+    Item item;
+    if (si.expr->kind == ExprNodeKind::kFuncCall && si.expr->func == "generate_series") {
+      if (si.expr->args.size() != 2) {
+        return Status::InvalidArgument("generate_series expects two arguments");
+      }
+      GPHTAP_ASSIGN_OR_RETURN(Datum lo, Analyzer::EvalConst(*si.expr->args[0]));
+      GPHTAP_ASSIGN_OR_RETURN(Datum hi, Analyzer::EvalConst(*si.expr->args[1]));
+      item.is_srf = true;
+      item.srf_start = lo.int_val();
+      item.srf_end = hi.int_val();
+      srf_len = std::max<int64_t>(srf_len, item.srf_end - item.srf_start + 1);
+      item.name = si.alias.empty() ? "generate_series" : si.alias;
+    } else {
+      GPHTAP_ASSIGN_OR_RETURN(item.expr, bind(*si.expr));
+      item.name = si.alias.empty() ? "?column?" : si.alias;
+    }
+    items.push_back(std::move(item));
+  }
+
+  ExprPtr where;
+  if (node.where != nullptr) {
+    GPHTAP_ASSIGN_OR_RETURN(where, bind(*node.where));
+  }
+
+  QueryResult result;
+  for (const Item& item : items) result.columns.push_back(item.name);
+
+  // Iterate the cross product of the function scans.
+  std::vector<int64_t> cursor(funcs.size());
+  for (size_t i = 0; i < funcs.size(); ++i) cursor[i] = funcs[i].start;
+  bool done = false;
+  while (!done) {
+    Row input;
+    input.reserve(funcs.size());
+    for (int64_t v : cursor) input.push_back(Datum(v));
+    bool pass = true;
+    if (where != nullptr) {
+      GPHTAP_ASSIGN_OR_RETURN(pass, EvalPredicate(*where, input));
+    }
+    if (pass) {
+      for (int64_t k = 0; k < srf_len; ++k) {
+        Row out;
+        out.reserve(items.size());
+        for (const Item& item : items) {
+          if (item.is_srf) {
+            int64_t v = item.srf_start + k;
+            out.push_back(v <= item.srf_end ? Datum(v) : Datum::Null());
+          } else {
+            GPHTAP_ASSIGN_OR_RETURN(Datum d, EvalExpr(*item.expr, input));
+            out.push_back(std::move(d));
+          }
+        }
+        result.rows.push_back(std::move(out));
+      }
+    }
+    // Advance the cross-product cursor.
+    if (funcs.empty()) break;
+    size_t i = 0;
+    while (i < funcs.size()) {
+      if (++cursor[i] <= funcs[i].end) break;
+      cursor[i] = funcs[i].start;
+      ++i;
+    }
+    done = i == funcs.size();
+  }
+  if (node.limit >= 0 && static_cast<int64_t>(result.rows.size()) > node.limit) {
+    result.rows.resize(static_cast<size_t>(node.limit));
+  }
+  result.affected = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+StatusOr<QueryResult> RunSelect(Session* session, const sql_ast::SelectNode& node) {
+  if (node.from.empty() || Analyzer::IsPureFunctionScan(node)) {
+    return LocalSelect(node);
+  }
+  Analyzer analyzer(session->cluster());
+  GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(node));
+  return session->ExecuteSelect(q);
+}
+
+StatusOr<QueryResult> RunCreateTable(Session* session,
+                                     const sql_ast::CreateTableNode& ct) {
+  TableDef def;
+  def.name = ct.name;
+  std::vector<Column> cols;
+  for (const auto& c : ct.columns) {
+    GPHTAP_ASSIGN_OR_RETURN(TypeId type, BindType(c.type));
+    cols.push_back({c.name, type});
+  }
+  def.schema = Schema(std::move(cols));
+
+  GPHTAP_ASSIGN_OR_RETURN(def.storage, BindStorageOptions(ct.with_options,
+                                                          &def.compression));
+
+  if (ct.distributed_replicated) {
+    def.distribution = DistributionPolicy::Replicated();
+  } else if (ct.distributed_randomly) {
+    def.distribution = DistributionPolicy::Random();
+  } else if (!ct.distributed_by.empty()) {
+    std::vector<int> key;
+    for (const std::string& c : ct.distributed_by) {
+      int idx = def.schema.FindColumn(c);
+      if (idx < 0) return Status::NotFound("distribution column " + c);
+      key.push_back(idx);
+    }
+    def.distribution = DistributionPolicy::Hash(std::move(key));
+  } else {
+    def.distribution = DistributionPolicy::Hash({0});  // Greenplum default
+  }
+
+  if (!ct.partitions.empty()) {
+    PartitionSpec spec;
+    spec.partition_col = def.schema.FindColumn(ct.partition_col);
+    if (spec.partition_col < 0) {
+      return Status::NotFound("partition column " + ct.partition_col);
+    }
+    for (const auto& p : ct.partitions) {
+      RangePartitionSpec r;
+      r.name = p.name;
+      r.lower = p.start.value_or(Datum::Null());
+      r.upper = p.end.value_or(Datum::Null());
+      CompressionKind comp = def.compression;
+      GPHTAP_ASSIGN_OR_RETURN(r.storage, BindStorageOptions(p.with_options, &comp));
+      if (!p.external_path.empty()) {
+        r.storage = StorageKind::kExternal;
+        r.external_path = p.external_path;
+      }
+      spec.ranges.push_back(std::move(r));
+    }
+    def.partitions = std::move(spec);
+  }
+
+  GPHTAP_RETURN_IF_ERROR(session->cluster()->CreateTable(std::move(def)));
+  return QueryResult{};
+}
+
+StatusOr<QueryResult> RunResourceGroup(Session* session,
+                                       const sql_ast::CreateResourceGroupNode& node) {
+  ResourceGroupConfig config;
+  config.name = node.name;
+  for (const auto& [key, value] : node.options) {
+    if (key == "concurrency") {
+      config.concurrency = std::atoi(value.c_str());
+    } else if (key == "cpu_rate_limit") {
+      config.cpu_rate_limit = std::atof(value.c_str());
+    } else if (key == "cpu_set") {
+      size_t dash = value.find('-');
+      if (dash == std::string::npos) {
+        config.cpuset_begin = config.cpuset_end = std::atoi(value.c_str());
+      } else {
+        config.cpuset_begin = std::atoi(value.substr(0, dash).c_str());
+        config.cpuset_end = std::atoi(value.substr(dash + 1).c_str());
+      }
+    } else if (key == "memory_limit") {
+      config.memory_limit_mb = std::atoll(value.c_str());
+    } else if (key == "memory_shared_quota") {
+      config.memory_shared_quota = std::atoi(value.c_str());
+    } else {
+      return Status::NotSupported("resource group option " + key);
+    }
+  }
+  GPHTAP_RETURN_IF_ERROR(session->cluster()->resgroups().CreateGroup(config));
+  return QueryResult{};
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
+  GPHTAP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  Analyzer analyzer(session->cluster());
+
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return RunSelect(session, *stmt.select);
+
+    case StatementKind::kExplain: {
+      GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(*stmt.select));
+      return session->ExplainSelect(q);
+    }
+
+    case StatementKind::kInsert: {
+      GPHTAP_ASSIGN_OR_RETURN(BoundInsert bound, analyzer.BindInsert(*stmt.insert));
+      if (bound.select != nullptr) {
+        GPHTAP_ASSIGN_OR_RETURN(QueryResult sel, RunSelect(session, *bound.select));
+        // Re-shape the selected rows through the optional column list.
+        std::vector<int> positions;
+        const Schema& schema = bound.table.schema;
+        if (!stmt.insert->columns.empty()) {
+          for (const std::string& col : stmt.insert->columns) {
+            positions.push_back(schema.FindColumn(col));
+          }
+        } else {
+          for (size_t i = 0; i < schema.num_columns(); ++i) {
+            positions.push_back(static_cast<int>(i));
+          }
+        }
+        std::vector<Row> rows;
+        rows.reserve(sel.rows.size());
+        for (Row& r : sel.rows) {
+          if (r.size() != positions.size()) {
+            return Status::InvalidArgument("INSERT SELECT arity mismatch");
+          }
+          Row full(schema.num_columns(), Datum::Null());
+          for (size_t i = 0; i < positions.size(); ++i) {
+            full[static_cast<size_t>(positions[i])] = std::move(r[i]);
+          }
+          rows.push_back(std::move(full));
+        }
+        return session->ExecuteInsert(bound.table, rows);
+      }
+      return session->ExecuteInsert(bound.table, bound.rows);
+    }
+
+    case StatementKind::kUpdate: {
+      GPHTAP_ASSIGN_OR_RETURN(BoundUpdate bound, analyzer.BindUpdate(*stmt.update));
+      return session->ExecuteUpdate(bound.table, bound.sets, bound.where);
+    }
+
+    case StatementKind::kDelete: {
+      GPHTAP_ASSIGN_OR_RETURN(BoundDelete bound, analyzer.BindDelete(*stmt.del));
+      return session->ExecuteDelete(bound.table, bound.where);
+    }
+
+    case StatementKind::kCreateTable:
+      return RunCreateTable(session, *stmt.create_table);
+
+    case StatementKind::kCreateIndex:
+      GPHTAP_RETURN_IF_ERROR(session->cluster()->CreateIndex(
+          stmt.create_index->table, stmt.create_index->column));
+      return QueryResult{};
+
+    case StatementKind::kDropTable: {
+      Status s = session->cluster()->DropTable(stmt.drop_table->name);
+      if (!s.ok() && !(stmt.drop_table->if_exists && s.code() == StatusCode::kNotFound)) {
+        return s;
+      }
+      return QueryResult{};
+    }
+
+    case StatementKind::kBegin:
+      GPHTAP_RETURN_IF_ERROR(session->Begin());
+      return QueryResult{};
+    case StatementKind::kCommit:
+      GPHTAP_RETURN_IF_ERROR(session->Commit());
+      return QueryResult{};
+    case StatementKind::kRollback:
+      GPHTAP_RETURN_IF_ERROR(session->Rollback());
+      return QueryResult{};
+
+    case StatementKind::kLockTable: {
+      GPHTAP_ASSIGN_OR_RETURN(TableDef def,
+                              session->cluster()->LookupTable(stmt.lock_table->table));
+      GPHTAP_RETURN_IF_ERROR(session->LockTable(def, stmt.lock_table->mode));
+      return QueryResult{};
+    }
+
+    case StatementKind::kTruncate: {
+      GPHTAP_ASSIGN_OR_RETURN(TableDef def,
+                              session->cluster()->LookupTable(stmt.truncate->table));
+      return session->ExecuteTruncate(def);
+    }
+
+    case StatementKind::kVacuum: {
+      GPHTAP_ASSIGN_OR_RETURN(TableDef def,
+                              session->cluster()->LookupTable(stmt.vacuum->table));
+      return session->ExecuteVacuum(def);
+    }
+
+    case StatementKind::kCreateResourceGroup:
+      return RunResourceGroup(session, *stmt.create_resource_group);
+
+    case StatementKind::kDropResourceGroup:
+      GPHTAP_RETURN_IF_ERROR(
+          session->cluster()->resgroups().DropGroup(stmt.drop_resource_group->name));
+      return QueryResult{};
+
+    case StatementKind::kCreateRole:
+    case StatementKind::kAlterRole:
+      if (!stmt.role_resource_group->group.empty()) {
+        GPHTAP_RETURN_IF_ERROR(session->cluster()->resgroups().AssignRole(
+            stmt.role_resource_group->role, stmt.role_resource_group->group));
+      }
+      return QueryResult{};
+
+    case StatementKind::kSet:
+      if (stmt.set->name == "role") {
+        session->SetRole(stmt.set->value);
+      }
+      // Other settings are accepted and ignored (GUC compatibility).
+      return QueryResult{};
+
+    case StatementKind::kShowTables: {
+      QueryResult r;
+      r.columns = {"table_name", "storage", "distribution"};
+      for (const TableDef& def : session->cluster()->ListTables()) {
+        const char* dist = def.distribution.kind == DistributionKind::kHash ? "hash"
+                           : def.distribution.kind == DistributionKind::kReplicated
+                               ? "replicated"
+                               : "random";
+        r.rows.push_back(Row{Datum(def.name), Datum(std::string(StorageKindName(def.storage))),
+                             Datum(std::string(dist))});
+      }
+      r.affected = static_cast<int64_t>(r.rows.size());
+      return r;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace sql_driver
+}  // namespace gphtap

@@ -1,0 +1,21 @@
+// Entry point: parse, analyze, and execute one SQL statement on a session.
+#ifndef GPHTAP_SQL_DRIVER_H_
+#define GPHTAP_SQL_DRIVER_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace gphtap {
+
+class Session;
+struct QueryResult;
+
+namespace sql_driver {
+
+StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql);
+
+}  // namespace sql_driver
+}  // namespace gphtap
+
+#endif  // GPHTAP_SQL_DRIVER_H_

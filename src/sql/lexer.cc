@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace gphtap {
+
+bool Token::IsWord(const char* word) const {
+  if (type != TokenType::kIdent) return false;
+  size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (word[i] == '\0' ||
+        std::tolower(static_cast<unsigned char>(text[i])) !=
+            std::tolower(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return word[n] == '\0';
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t k) { return i + k < n ? sql[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(start, i - start);
+      for (char& ch : tok.text) ch = static_cast<char>(std::tolower(
+                                      static_cast<unsigned char>(ch)));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = save;
+        }
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInt;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(tok.pos));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-char symbols.
+    if ((c == '<' && (peek(1) == '=' || peek(1) == '>')) ||
+        (c == '>' && peek(1) == '=') || (c == '!' && peek(1) == '=')) {
+      tok.type = TokenType::kSymbol;
+      tok.text = sql.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "(),;*=<>+-/%.";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                   "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.pos = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,38 @@
+// SQL tokenizer.
+#ifndef GPHTAP_SQL_LEXER_H_
+#define GPHTAP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gphtap {
+
+enum class TokenType : uint8_t {
+  kIdent,     // possibly a keyword; parser matches case-insensitively
+  kInt,
+  kFloat,
+  kString,    // 'quoted'
+  kSymbol,    // ( ) , ; * = < > <= >= <> != + - / % .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // raw text (identifier lowercased; string unquoted)
+  size_t pos = 0;    // byte offset for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/identifier match.
+  bool IsWord(const char* word) const;
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_SQL_LEXER_H_

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the supported SQL dialect (see README).
+#ifndef GPHTAP_SQL_PARSER_H_
+#define GPHTAP_SQL_PARSER_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace gphtap {
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+StatusOr<sql_ast::Statement> ParseStatement(const std::string& sql);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_SQL_PARSER_H_

@@ -1,0 +1,85 @@
+#include "storage/ao_table.h"
+
+namespace gphtap {
+
+StatusOr<TupleId> AoRowTable::Insert(LocalXid xid, const Row& row) {
+  GPHTAP_RETURN_IF_ERROR(schema().CheckRow(row));
+  std::unique_lock<std::shared_mutex> g(latch_);
+  rows_.push_back(StoredRow{xid, row});
+  TupleId tid = static_cast<TupleId>(rows_.size() - 1);
+  if (change_log() != nullptr) {
+    change_log()->Append(
+        ChangeRecord{ChangeKind::kInsert, id(), tid, kInvalidTupleId, xid, row});
+  }
+  return tid;
+}
+
+Status AoRowTable::Scan(const VisibilityContext& ctx, const ScanCallback& fn) {
+  // Append-only: snapshot the current length, then read without re-checking —
+  // concurrent appends land past `n` and are invisible to this snapshot anyway.
+  size_t n;
+  {
+    std::shared_lock<std::shared_mutex> g(latch_);
+    n = rows_.size();
+  }
+  constexpr size_t kBatch = 256;
+  std::vector<std::pair<TupleId, Row>> batch;
+  for (size_t start = 0; start < n; start += kBatch) {
+    size_t end = std::min(n, start + kBatch);
+    batch.clear();
+    {
+      std::shared_lock<std::shared_mutex> g(latch_);
+      for (size_t i = start; i < end; ++i) {
+        const StoredRow& r = rows_[i];
+        auto del = visimap_.find(static_cast<TupleId>(i));
+        LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+        if (!TupleVisible(r.xmin, xmax, ctx)) continue;
+        batch.emplace_back(static_cast<TupleId>(i), r.row);
+        bytes_scanned_ += 16 * r.row.size();
+      }
+    }
+    for (auto& [tid, row] : batch) {
+      if (!fn(tid, row)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status AoRowTable::MarkDeleted(TupleId tid, LocalXid xid) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  if (tid >= rows_.size()) return Status::NotFound("AO tid " + std::to_string(tid));
+  visimap_[tid] = xid;
+  if (change_log() != nullptr) {
+    change_log()->Append(
+        ChangeRecord{ChangeKind::kSetXmax, id(), tid, kInvalidTupleId, xid, {}});
+  }
+  return Status::OK();
+}
+
+size_t AoRowTable::VisimapSize() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return visimap_.size();
+}
+
+Status AoRowTable::Truncate() {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  rows_.clear();
+  visimap_.clear();
+  if (change_log() != nullptr) {
+    change_log()->Append(ChangeRecord{ChangeKind::kTruncate, id(), kInvalidTupleId,
+                                      kInvalidTupleId, kInvalidLocalXid, {}});
+  }
+  return Status::OK();
+}
+
+uint64_t AoRowTable::StoredVersionCount() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return rows_.size();
+}
+
+uint64_t AoRowTable::BytesScanned() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return bytes_scanned_;
+}
+
+}  // namespace gphtap

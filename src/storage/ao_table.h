@@ -1,0 +1,45 @@
+// Append-optimized row-oriented storage (Section 3.4): bulk-load friendly.
+// DELETE/UPDATE go through a visibility map under a relation-level
+// ExclusiveLock (as in Greenplum), not through MVCC version chains.
+#ifndef GPHTAP_STORAGE_AO_TABLE_H_
+#define GPHTAP_STORAGE_AO_TABLE_H_
+
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace gphtap {
+
+class AoRowTable : public Table {
+ public:
+  explicit AoRowTable(TableDef def) : Table(std::move(def)) {}
+
+  StatusOr<TupleId> Insert(LocalXid xid, const Row& row) override;
+  Status Scan(const VisibilityContext& ctx, const ScanCallback& fn) override;
+  Status Truncate() override;
+  uint64_t StoredVersionCount() const override;
+  uint64_t BytesScanned() const override;
+
+  /// Visibility-map delete (Greenplum's AO DML): records that `xid` deleted
+  /// `tid`. Callers serialize through a relation-level ExclusiveLock, so a
+  /// pre-existing entry can only be from an aborted deleter and is overwritten.
+  Status MarkDeleted(TupleId tid, LocalXid xid);
+  size_t VisimapSize() const;
+
+ private:
+  struct StoredRow {
+    LocalXid xmin;
+    Row row;
+  };
+
+  mutable std::shared_mutex latch_;
+  std::vector<StoredRow> rows_;
+  std::unordered_map<TupleId, LocalXid> visimap_;  // tid -> deleting xid
+  mutable uint64_t bytes_scanned_ = 0;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_AO_TABLE_H_

@@ -1,0 +1,51 @@
+#include "storage/buffer_pool.h"
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+BufferPool::BufferPool(Options options) : options_(options) {}
+
+void BufferPool::Access(TableId table, uint64_t page) {
+  bool miss = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    Key key{table, page};
+    auto it = resident_.find(key);
+    if (it != resident_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    ++stats_.misses;
+    miss = true;
+    if (resident_.size() >= options_.capacity_pages && !lru_.empty()) {
+      resident_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    resident_[key] = lru_.begin();
+  }
+  // Pay the I/O cost outside the pool mutex so concurrent hits are not
+  // blocked; faults themselves queue on the device when it is a single disk.
+  if (miss && options_.miss_cost_us > 0) {
+    if (options_.single_device) {
+      std::lock_guard<std::mutex> io(io_mu_);
+      PreciseSleepUs(options_.miss_cost_us);
+    } else {
+      PreciseSleepUs(options_.miss_cost_us);
+    }
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+size_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return resident_.size();
+}
+
+}  // namespace gphtap

@@ -1,0 +1,75 @@
+// A simulated buffer cache: LRU over (table, page) keys with a configurable
+// miss penalty standing in for disk I/O. This is the knob behind the Figure 13
+// experiment (single-host PostgreSQL throughput collapsing once the working set
+// exceeds the cache, while MPP segments each hold only 1/Nth of the data).
+#ifndef GPHTAP_STORAGE_BUFFER_POOL_H_
+#define GPHTAP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "catalog/schema.h"
+
+namespace gphtap {
+
+class BufferPool {
+ public:
+  struct Options {
+    size_t capacity_pages = 1 << 16;  // pages held in cache
+    int64_t miss_cost_us = 0;         // simulated I/O latency per miss
+    // Misses queue on one simulated device (a node has one disk): concurrent
+    // faults serialize, which is what makes a cache-busting working set
+    // collapse a single node's throughput (Figure 13).
+    bool single_device = true;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit BufferPool(Options options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Declares an access to (table, page). On a miss the page is faulted in
+  /// (LRU eviction + simulated I/O latency); on a hit it is moved to MRU.
+  void Access(TableId table, uint64_t page);
+
+  Stats stats() const;
+  size_t resident_pages() const;
+
+ private:
+  struct Key {
+    TableId table;
+    uint64_t page;
+    bool operator==(const Key& o) const { return table == o.table && page == o.page; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.table) << 40) ^ k.page;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  const Options options_;
+  std::mutex io_mu_;  // the simulated device queue
+  mutable std::mutex mu_;
+  std::list<Key> lru_;  // front = MRU
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> resident_;
+  Stats stats_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,79 @@
+// Per-segment logical change stream: the in-process stand-in for WAL shipping
+// (Section 3.1: "mirrors receive WAL logs from their corresponding primary
+// segments continuously and replay the logs on the fly"). Storage and the
+// transaction manager append records in commit-order; a mirror replays them.
+#ifndef GPHTAP_STORAGE_CHANGE_LOG_H_
+#define GPHTAP_STORAGE_CHANGE_LOG_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "catalog/datum.h"
+#include "catalog/schema.h"
+#include "storage/tuple.h"
+#include "txn/xid.h"
+
+namespace gphtap {
+
+enum class ChangeKind : uint8_t {
+  kTxnBegin,   // xid registered
+  kInsert,     // tuple version created at tid
+  kSetXmax,    // delete/update stamped xmax=xid on tid
+  kLink,       // ctid chain: tid -> tid2
+  kFreeSlot,   // vacuum reclaimed tid
+  kTxnCommit,  // local transaction committed
+  kTxnAbort,   // local transaction aborted
+  kTruncate,   // table contents discarded
+};
+
+struct ChangeRecord {
+  ChangeKind kind = ChangeKind::kInsert;
+  TableId table = 0;
+  TupleId tid = kInvalidTupleId;
+  TupleId tid2 = kInvalidTupleId;  // kLink target
+  LocalXid xid = kInvalidLocalXid;
+  Row row;  // kInsert payload
+};
+
+/// Unbounded ordered log with blocking readers. Appenders may hold storage
+/// latches while appending (the log never takes storage locks).
+class ChangeLog {
+ public:
+  void Append(ChangeRecord record) {
+    std::lock_guard<std::mutex> g(mu_);
+    records_.push_back(std::move(record));
+    cv_.notify_all();
+  }
+
+  /// Returns record `index`, blocking until it exists; nullopt once the log is
+  /// closed and `index` is past the end.
+  std::optional<ChangeRecord> Read(size_t index) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || index < records_.size(); });
+    if (index >= records_.size()) return std::nullopt;
+    return records_[index];
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return records_.size();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> g(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ChangeRecord> records_;
+  bool closed_ = false;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_CHANGE_LOG_H_

@@ -1,0 +1,156 @@
+#include "storage/column_store.h"
+
+#include <numeric>
+
+namespace gphtap {
+
+AoColumnTable::AoColumnTable(TableDef def) : Table(std::move(def)) {}
+
+StatusOr<TupleId> AoColumnTable::Insert(LocalXid xid, const Row& row) {
+  GPHTAP_RETURN_IF_ERROR(schema().CheckRow(row));
+  std::unique_lock<std::shared_mutex> g(latch_);
+  open_rows_.push_back(row);
+  open_xmins_.push_back(xid);
+  TupleId tid = sealed_.size() * kRowGroupSize + (open_rows_.size() - 1);
+  if (change_log() != nullptr) {
+    change_log()->Append(
+        ChangeRecord{ChangeKind::kInsert, id(), tid, kInvalidTupleId, xid, row});
+  }
+  if (open_rows_.size() >= kRowGroupSize) SealOpenGroupLocked();
+  return tid;
+}
+
+void AoColumnTable::SealOpenGroupLocked() {
+  RowGroup group;
+  size_t ncols = schema().num_columns();
+  group.columns.resize(ncols);
+  std::vector<Datum> column_values(open_rows_.size());
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t r = 0; r < open_rows_.size(); ++r) column_values[r] = open_rows_[r][c];
+    CompressColumn(def().compression, schema().column(c).type, column_values,
+                   &group.columns[c]);
+  }
+  group.xmins = std::move(open_xmins_);
+  sealed_.push_back(std::move(group));
+  open_rows_.clear();
+  open_xmins_.clear();
+}
+
+Status AoColumnTable::Scan(const VisibilityContext& ctx, const ScanCallback& fn) {
+  std::vector<int> all(schema().num_columns());
+  std::iota(all.begin(), all.end(), 0);
+  return ScanImpl(ctx, all, [&](TupleId tid, const Row& row) { return fn(tid, row); });
+}
+
+Status AoColumnTable::ScanColumns(const VisibilityContext& ctx,
+                                  const std::vector<int>& cols, const ScanCallback& fn) {
+  return ScanImpl(ctx, cols, fn);
+}
+
+Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<int>& cols,
+                               const ScanCallback& fn) {
+  size_t num_sealed;
+  {
+    std::shared_lock<std::shared_mutex> g(latch_);
+    num_sealed = sealed_.size();
+  }
+
+  for (size_t gi = 0; gi < num_sealed; ++gi) {
+    // Decompress only the requested columns of this group.
+    std::vector<std::vector<Datum>> decoded(cols.size());
+    std::vector<LocalXid> xmins;
+    {
+      std::shared_lock<std::shared_mutex> g(latch_);
+      const RowGroup& group = sealed_[gi];
+      xmins = group.xmins;
+      for (size_t k = 0; k < cols.size(); ++k) {
+        const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
+        bytes_scanned_ += block.bytes.size();
+        auto vals = DecompressColumn(block);
+        if (!vals.ok()) return vals.status();
+        decoded[k] = std::move(*vals);
+      }
+    }
+    for (size_t r = 0; r < xmins.size(); ++r) {
+      TupleId tid = gi * kRowGroupSize + r;
+      LocalXid xmax = kInvalidLocalXid;
+      {
+        std::shared_lock<std::shared_mutex> g(latch_);
+        auto del = visimap_.find(tid);
+        if (del != visimap_.end()) xmax = del->second;
+      }
+      if (!TupleVisible(xmins[r], xmax, ctx)) continue;
+      Row row;
+      row.reserve(cols.size());
+      for (size_t k = 0; k < cols.size(); ++k) row.push_back(decoded[k][r]);
+      if (!fn(tid, row)) return Status::OK();
+    }
+  }
+
+  // Open (unsealed) rows.
+  std::vector<std::pair<TupleId, Row>> open_copy;
+  {
+    std::shared_lock<std::shared_mutex> g(latch_);
+    for (size_t r = 0; r < open_rows_.size(); ++r) {
+      auto del = visimap_.find(num_sealed * kRowGroupSize + r);
+      LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+      if (!TupleVisible(open_xmins_[r], xmax, ctx)) continue;
+      Row row;
+      row.reserve(cols.size());
+      for (int c : cols) row.push_back(open_rows_[r][static_cast<size_t>(c)]);
+      bytes_scanned_ += 16 * row.size();
+      open_copy.emplace_back(num_sealed * kRowGroupSize + r, std::move(row));
+    }
+  }
+  for (auto& [tid, row] : open_copy) {
+    if (!fn(tid, row)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status AoColumnTable::Truncate() {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  sealed_.clear();
+  open_rows_.clear();
+  open_xmins_.clear();
+  visimap_.clear();
+  if (change_log() != nullptr) {
+    change_log()->Append(ChangeRecord{ChangeKind::kTruncate, id(), kInvalidTupleId,
+                                      kInvalidTupleId, kInvalidLocalXid, {}});
+  }
+  return Status::OK();
+}
+
+uint64_t AoColumnTable::StoredVersionCount() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return sealed_.size() * kRowGroupSize + open_rows_.size();
+}
+
+uint64_t AoColumnTable::BytesScanned() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return bytes_scanned_;
+}
+
+Status AoColumnTable::MarkDeleted(TupleId tid, LocalXid xid) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  if (tid >= sealed_.size() * kRowGroupSize + open_rows_.size()) {
+    return Status::NotFound("AO-column tid " + std::to_string(tid));
+  }
+  visimap_[tid] = xid;
+  if (change_log() != nullptr) {
+    change_log()->Append(
+        ChangeRecord{ChangeKind::kSetXmax, id(), tid, kInvalidTupleId, xid, {}});
+  }
+  return Status::OK();
+}
+
+uint64_t AoColumnTable::ColumnCompressedBytes(int col) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  uint64_t total = 0;
+  for (const RowGroup& group : sealed_) {
+    total += group.columns[static_cast<size_t>(col)].bytes.size();
+  }
+  return total;
+}
+
+}  // namespace gphtap

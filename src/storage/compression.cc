@@ -1,0 +1,417 @@
+#include "storage/compression.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace gphtap {
+
+namespace {
+
+// ---------- varint / zigzag ----------
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    uint8_t b = in[(*pos)++];
+    result |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool GetString(const std::vector<uint8_t>& in, size_t* pos, std::string* s) {
+  uint64_t len;
+  if (!GetVarint(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(reinterpret_cast<const char*>(in.data()) + *pos, len);
+  *pos += len;
+  return true;
+}
+
+void PutDouble(std::vector<uint8_t>* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+}
+
+bool GetDouble(const std::vector<uint8_t>& in, size_t* pos, double* d) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<uint64_t>(in[*pos + i]) << (8 * i);
+  *pos += 8;
+  std::memcpy(d, &bits, 8);
+  return true;
+}
+
+// ---------- null bitmap ----------
+
+void PutNullBitmap(std::vector<uint8_t>* out, const std::vector<Datum>& values) {
+  size_t nbytes = (values.size() + 7) / 8;
+  size_t start = out->size();
+  out->resize(start + nbytes, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) (*out)[start + i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+}
+
+std::vector<bool> GetNullBitmap(const std::vector<uint8_t>& in, size_t* pos,
+                                uint32_t count) {
+  std::vector<bool> nulls(count, false);
+  size_t nbytes = (count + 7) / 8;
+  for (uint32_t i = 0; i < count && *pos + i / 8 < in.size(); ++i) {
+    nulls[i] = (in[*pos + i / 8] >> (i % 8)) & 1;
+  }
+  *pos += nbytes;
+  return nulls;
+}
+
+void PutValue(std::vector<uint8_t>* out, const Datum& d, TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      PutVarint(out, ZigzagEncode(d.int_val()));
+      break;
+    case TypeId::kDouble:
+      PutDouble(out, d.double_val());
+      break;
+    case TypeId::kString:
+      PutString(out, d.string_val());
+      break;
+  }
+}
+
+bool GetValue(const std::vector<uint8_t>& in, size_t* pos, TypeId type, Datum* d) {
+  switch (type) {
+    case TypeId::kInt64: {
+      uint64_t v;
+      if (!GetVarint(in, pos, &v)) return false;
+      *d = Datum(ZigzagDecode(v));
+      return true;
+    }
+    case TypeId::kDouble: {
+      double v;
+      if (!GetDouble(in, pos, &v)) return false;
+      *d = Datum(v);
+      return true;
+    }
+    case TypeId::kString: {
+      std::string s;
+      if (!GetString(in, pos, &s)) return false;
+      *d = Datum(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------- codec payloads (operate on the non-null values, in order) ----------
+
+void EncodeRaw(const std::vector<Datum>& nn, TypeId type, std::vector<uint8_t>* out) {
+  for (const Datum& d : nn) PutValue(out, d, type);
+}
+
+bool DecodeRaw(const std::vector<uint8_t>& in, size_t* pos, TypeId type, size_t n,
+               std::vector<Datum>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    Datum d;
+    if (!GetValue(in, pos, type, &d)) return false;
+    out->push_back(std::move(d));
+  }
+  return true;
+}
+
+void EncodeRle(const std::vector<Datum>& nn, TypeId type, std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < nn.size()) {
+    size_t j = i;
+    while (j < nn.size() && nn[j] == nn[i]) ++j;
+    PutVarint(out, j - i);  // run length
+    PutValue(out, nn[i], type);
+    i = j;
+  }
+}
+
+bool DecodeRle(const std::vector<uint8_t>& in, size_t* pos, TypeId type, size_t n,
+               std::vector<Datum>* out) {
+  while (out->size() < n) {
+    uint64_t run;
+    Datum d;
+    if (!GetVarint(in, pos, &run)) return false;
+    if (!GetValue(in, pos, type, &d)) return false;
+    if (run == 0 || out->size() + run > n) return false;
+    for (uint64_t k = 0; k < run; ++k) out->push_back(d);
+  }
+  return true;
+}
+
+void EncodeDelta(const std::vector<Datum>& nn, std::vector<uint8_t>* out) {
+  int64_t prev = 0;
+  for (const Datum& d : nn) {
+    int64_t v = d.int_val();
+    PutVarint(out, ZigzagEncode(v - prev));
+    prev = v;
+  }
+}
+
+bool DecodeDelta(const std::vector<uint8_t>& in, size_t* pos, size_t n,
+                 std::vector<Datum>* out) {
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t z;
+    if (!GetVarint(in, pos, &z)) return false;
+    prev += ZigzagDecode(z);
+    out->push_back(Datum(prev));
+  }
+  return true;
+}
+
+void EncodeDict(const std::vector<Datum>& nn, TypeId type, std::vector<uint8_t>* out) {
+  std::vector<Datum> dict;
+  std::unordered_map<std::string, uint64_t> seen;  // keyed by ToString (exact per type)
+  std::vector<uint64_t> codes;
+  codes.reserve(nn.size());
+  for (const Datum& d : nn) {
+    std::string key = d.ToString();
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      it = seen.emplace(key, dict.size()).first;
+      dict.push_back(d);
+    }
+    codes.push_back(it->second);
+  }
+  PutVarint(out, dict.size());
+  for (const Datum& d : dict) PutValue(out, d, type);
+  for (uint64_t c : codes) PutVarint(out, c);
+}
+
+bool DecodeDict(const std::vector<uint8_t>& in, size_t* pos, TypeId type, size_t n,
+                std::vector<Datum>* out) {
+  uint64_t dict_size;
+  if (!GetVarint(in, pos, &dict_size)) return false;
+  std::vector<Datum> dict;
+  dict.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    Datum d;
+    if (!GetValue(in, pos, type, &d)) return false;
+    dict.push_back(std::move(d));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t code;
+    if (!GetVarint(in, pos, &code)) return false;
+    if (code >= dict.size()) return false;
+    out->push_back(dict[code]);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------- LZ77-style byte codec ----------
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& in) {
+  // Format: sequence of tokens. Token byte T:
+  //   T < 0x80: literal run of T+1 bytes follows.
+  //   T >= 0x80: match; length = (T & 0x7f) + kMinMatch, followed by varint
+  //              backward distance (>=1).
+  constexpr size_t kMinMatch = 4;
+  constexpr size_t kMaxMatchLen = 0x7f + kMinMatch;
+  std::vector<uint8_t> out;
+  PutVarint(&out, in.size());
+  if (in.empty()) return out;
+
+  std::unordered_map<uint32_t, size_t> table;  // 4-byte prefix hash -> position
+  auto hash4 = [&](size_t p) {
+    uint32_t v;
+    std::memcpy(&v, in.data() + p, 4);
+    return v * 2654435761u;
+  };
+
+  size_t i = 0, lit_start = 0;
+  auto flush_literals = [&](size_t end) {
+    size_t p = lit_start;
+    while (p < end) {
+      size_t run = std::min<size_t>(end - p, 0x80);
+      out.push_back(static_cast<uint8_t>(run - 1));
+      out.insert(out.end(), in.begin() + static_cast<long>(p),
+                 in.begin() + static_cast<long>(p + run));
+      p += run;
+    }
+  };
+
+  while (i + kMinMatch <= in.size()) {
+    uint32_t h = hash4(i);
+    auto it = table.find(h);
+    size_t match_pos = (it != table.end()) ? it->second : SIZE_MAX;
+    table[h] = i;
+    if (match_pos != SIZE_MAX && i - match_pos <= (1u << 20) &&
+        std::memcmp(in.data() + match_pos, in.data() + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      while (i + len < in.size() && len < kMaxMatchLen &&
+             in[match_pos + len] == in[i + len]) {
+        ++len;
+      }
+      flush_literals(i);
+      out.push_back(static_cast<uint8_t>(0x80 | (len - kMinMatch)));
+      PutVarint(&out, i - match_pos);
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(in.size());
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& in) {
+  constexpr size_t kMinMatch = 4;
+  size_t pos = 0;
+  uint64_t total;
+  if (!GetVarint(in, &pos, &total)) return Status::InvalidArgument("lz: bad header");
+  std::vector<uint8_t> out;
+  out.reserve(total);
+  while (out.size() < total) {
+    if (pos >= in.size()) return Status::InvalidArgument("lz: truncated stream");
+    uint8_t t = in[pos++];
+    if (t < 0x80) {
+      size_t run = static_cast<size_t>(t) + 1;
+      if (pos + run > in.size()) return Status::InvalidArgument("lz: bad literal run");
+      out.insert(out.end(), in.begin() + static_cast<long>(pos),
+                 in.begin() + static_cast<long>(pos + run));
+      pos += run;
+    } else {
+      size_t len = static_cast<size_t>(t & 0x7f) + kMinMatch;
+      uint64_t dist;
+      if (!GetVarint(in, &pos, &dist)) return Status::InvalidArgument("lz: bad distance");
+      if (dist == 0 || dist > out.size()) {
+        return Status::InvalidArgument("lz: distance out of range");
+      }
+      size_t start = out.size() - dist;
+      for (size_t k = 0; k < len; ++k) out.push_back(out[start + k]);  // may overlap
+    }
+  }
+  if (out.size() != total) return Status::InvalidArgument("lz: size mismatch");
+  return out;
+}
+
+// ---------- public entry points ----------
+
+Status CompressColumn(CompressionKind kind, TypeId type,
+                      const std::vector<Datum>& values, CompressedBlock* out) {
+  out->type = type;
+  out->count = static_cast<uint32_t>(values.size());
+  out->bytes.clear();
+
+  std::vector<Datum> non_null;
+  non_null.reserve(values.size());
+  for (const Datum& d : values) {
+    if (!d.is_null()) non_null.push_back(d);
+  }
+  // Delta applies to ints only; fall back to raw otherwise.
+  CompressionKind effective = kind;
+  if (kind == CompressionKind::kDelta && type != TypeId::kInt64) {
+    effective = CompressionKind::kNone;
+  }
+  out->kind = effective;
+
+  PutNullBitmap(&out->bytes, values);
+  switch (effective) {
+    case CompressionKind::kNone:
+      EncodeRaw(non_null, type, &out->bytes);
+      break;
+    case CompressionKind::kRle:
+      EncodeRle(non_null, type, &out->bytes);
+      break;
+    case CompressionKind::kDelta:
+      EncodeDelta(non_null, &out->bytes);
+      break;
+    case CompressionKind::kDict:
+      EncodeDict(non_null, type, &out->bytes);
+      break;
+    case CompressionKind::kLz: {
+      std::vector<uint8_t> raw;
+      EncodeRaw(non_null, type, &raw);
+      std::vector<uint8_t> packed = LzCompress(raw);
+      out->bytes.insert(out->bytes.end(), packed.begin(), packed.end());
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Datum>> DecompressColumn(const CompressedBlock& block) {
+  size_t pos = 0;
+  std::vector<bool> nulls = GetNullBitmap(block.bytes, &pos, block.count);
+  size_t num_non_null = 0;
+  for (bool b : nulls) {
+    if (!b) ++num_non_null;
+  }
+
+  std::vector<Datum> non_null;
+  non_null.reserve(num_non_null);
+  bool ok = false;
+  switch (block.kind) {
+    case CompressionKind::kNone:
+      ok = DecodeRaw(block.bytes, &pos, block.type, num_non_null, &non_null);
+      break;
+    case CompressionKind::kRle:
+      ok = num_non_null == 0 ||
+           DecodeRle(block.bytes, &pos, block.type, num_non_null, &non_null);
+      break;
+    case CompressionKind::kDelta:
+      ok = DecodeDelta(block.bytes, &pos, num_non_null, &non_null);
+      break;
+    case CompressionKind::kDict:
+      ok = DecodeDict(block.bytes, &pos, block.type, num_non_null, &non_null);
+      break;
+    case CompressionKind::kLz: {
+      std::vector<uint8_t> packed(block.bytes.begin() + static_cast<long>(pos),
+                                  block.bytes.end());
+      auto raw = LzDecompress(packed);
+      if (!raw.ok()) return raw.status();
+      size_t rpos = 0;
+      ok = DecodeRaw(*raw, &rpos, block.type, num_non_null, &non_null);
+      break;
+    }
+  }
+  if (!ok) return Status::InvalidArgument("corrupt compressed block");
+
+  std::vector<Datum> out;
+  out.reserve(block.count);
+  size_t next = 0;
+  for (uint32_t i = 0; i < block.count; ++i) {
+    if (nulls[i]) {
+      out.push_back(Datum::Null());
+    } else {
+      out.push_back(std::move(non_null[next++]));
+    }
+  }
+  return out;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,113 @@
+#include "storage/external_table.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gphtap {
+
+StatusOr<Row> ExternalTable::ParseCsvLine(const std::string& line, const Schema& schema) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument("csv arity mismatch: " + line);
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.empty()) {
+      row.push_back(Datum::Null());
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case TypeId::kInt64: {
+        char* end = nullptr;
+        long long v = std::strtoll(f.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad int in csv: " + f);
+        }
+        row.push_back(Datum(static_cast<int64_t>(v)));
+        break;
+      }
+      case TypeId::kDouble: {
+        char* end = nullptr;
+        double v = std::strtod(f.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad double in csv: " + f);
+        }
+        row.push_back(Datum(v));
+        break;
+      }
+      case TypeId::kString:
+        row.push_back(Datum(f));
+        break;
+    }
+  }
+  return row;
+}
+
+std::string ExternalTable::FormatCsvLine(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ",";
+    if (!row[i].is_null()) out += row[i].ToString();
+  }
+  return out;
+}
+
+StatusOr<TupleId> ExternalTable::Insert(LocalXid /*xid*/, const Row& row) {
+  GPHTAP_RETURN_IF_ERROR(schema().CheckRow(row));
+  std::lock_guard<std::mutex> g(mu_);
+  std::ofstream f(def().external_path, std::ios::app);
+  if (!f.good()) {
+    return Status::Unavailable("cannot open external file " + def().external_path);
+  }
+  f << FormatCsvLine(row) << "\n";
+  return kInvalidTupleId;  // external rows have no tuple identity
+}
+
+Status ExternalTable::Scan(const VisibilityContext& /*ctx*/, const ScanCallback& fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ifstream f(def().external_path);
+  if (!f.good()) return Status::OK();  // missing file == empty table
+  std::string line;
+  TupleId tid = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    auto row = ParseCsvLine(line, schema());
+    if (!row.ok()) return row.status();
+    if (!fn(tid++, *row)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status ExternalTable::Truncate() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (def().external_path.empty()) return Status::OK();
+  std::ofstream f(def().external_path, std::ios::trunc);
+  return Status::OK();
+}
+
+uint64_t ExternalTable::StoredVersionCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ifstream f(def().external_path);
+  if (!f.good()) return 0;
+  uint64_t n = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace gphtap

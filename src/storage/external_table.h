@@ -1,0 +1,34 @@
+// External tables: data living outside the database in a CSV file (the paper's
+// S3-style cold storage tier). Scans parse the file; inserts append to it.
+// No MVCC — external rows are visible to everyone.
+#ifndef GPHTAP_STORAGE_EXTERNAL_TABLE_H_
+#define GPHTAP_STORAGE_EXTERNAL_TABLE_H_
+
+#include <mutex>
+#include <string>
+
+#include "storage/table.h"
+
+namespace gphtap {
+
+class ExternalTable : public Table {
+ public:
+  /// `def.external_path` names the CSV file; created lazily on first insert.
+  explicit ExternalTable(TableDef def) : Table(std::move(def)) {}
+
+  StatusOr<TupleId> Insert(LocalXid xid, const Row& row) override;
+  Status Scan(const VisibilityContext& ctx, const ScanCallback& fn) override;
+  Status Truncate() override;
+  uint64_t StoredVersionCount() const override;
+
+  /// Parses one CSV line against `schema`; empty fields become NULL.
+  static StatusOr<Row> ParseCsvLine(const std::string& line, const Schema& schema);
+  static std::string FormatCsvLine(const Row& row);
+
+ private:
+  mutable std::mutex mu_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_EXTERNAL_TABLE_H_

@@ -1,0 +1,20 @@
+// Creates the right Table implementation for a TableDef (including partitioned
+// roots with polymorphic leaf storage).
+#ifndef GPHTAP_STORAGE_TABLE_FACTORY_H_
+#define GPHTAP_STORAGE_TABLE_FACTORY_H_
+
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+#include "txn/clog.h"
+
+namespace gphtap {
+
+/// `clog`/`pool` are the owning segment's; pool may be null (no I/O model).
+std::unique_ptr<Table> CreateTable(const TableDef& def, const CommitLog* clog,
+                                   BufferPool* pool);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_TABLE_FACTORY_H_

@@ -1,0 +1,32 @@
+// MVCC tuple representation for heap storage.
+#ifndef GPHTAP_STORAGE_TUPLE_H_
+#define GPHTAP_STORAGE_TUPLE_H_
+
+#include <cstdint>
+
+#include "catalog/datum.h"
+#include "txn/xid.h"
+
+namespace gphtap {
+
+/// Position of a tuple version within one segment's table: page * slots + slot.
+using TupleId = uint64_t;
+inline constexpr TupleId kInvalidTupleId = ~0ULL;
+
+/// Per-version MVCC header, stamped with segment-local xids (the paper,
+/// Section 5.1: versions carry local xids; the local->distributed mapping plus
+/// the distributed snapshot decide visibility).
+struct TupleHeader {
+  LocalXid xmin = kInvalidLocalXid;  // creating transaction
+  LocalXid xmax = kInvalidLocalXid;  // deleting transaction (0 = live)
+  TupleId next_version = kInvalidTupleId;  // newer version after UPDATE (ctid chain)
+};
+
+struct TupleVersion {
+  TupleHeader header;
+  Row row;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_TUPLE_H_

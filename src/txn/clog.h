@@ -1,0 +1,47 @@
+// Per-segment commit log (PostgreSQL "clog"): the durable record of each local
+// transaction's final state.
+#ifndef GPHTAP_TXN_CLOG_H_
+#define GPHTAP_TXN_CLOG_H_
+
+#include <mutex>
+#include <vector>
+
+#include "txn/xid.h"
+
+namespace gphtap {
+
+/// Thread-safe map LocalXid -> TxnState. Xid 0 is invalid and never used.
+class CommitLog {
+ public:
+  CommitLog() : states_(1, TxnState::kAborted) {}
+
+  /// Registers a new in-progress transaction; `xid` values must arrive in
+  /// ascending order (they are assigned by a single counter).
+  void Register(LocalXid xid) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (states_.size() <= xid) states_.resize(xid + 1, TxnState::kInProgress);
+    states_[xid] = TxnState::kInProgress;
+  }
+
+  void SetState(LocalXid xid, TxnState s) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (states_.size() <= xid) states_.resize(xid + 1, TxnState::kInProgress);
+    states_[xid] = s;
+  }
+
+  TxnState GetState(LocalXid xid) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (xid == kInvalidLocalXid || xid >= states_.size()) return TxnState::kAborted;
+    return states_[xid];
+  }
+
+  bool IsCommitted(LocalXid xid) const { return GetState(xid) == TxnState::kCommitted; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TxnState> states_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_CLOG_H_

@@ -1,0 +1,60 @@
+// The per-segment map from local xids to distributed xids ("the mapping",
+// Section 5.1). Truncated up to the oldest distributed transaction any live
+// snapshot can still see; afterwards local clog + local snapshot decide.
+#ifndef GPHTAP_TXN_DISTRIBUTED_LOG_H_
+#define GPHTAP_TXN_DISTRIBUTED_LOG_H_
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "txn/xid.h"
+
+namespace gphtap {
+
+class DistributedLog {
+ public:
+  void Record(LocalXid local, Gxid gxid) {
+    std::lock_guard<std::mutex> g(mu_);
+    map_[local] = gxid;
+  }
+
+  /// Looks up the distributed xid that created/modified with `local`, or nullopt
+  /// if never recorded or already truncated.
+  std::optional<Gxid> Lookup(LocalXid local) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(local);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Drops all entries with gxid < `oldest_needed`. Entries for in-progress
+  /// transactions are safe because `oldest_needed` never exceeds the oldest
+  /// running distributed xid.
+  size_t TruncateBelow(Gxid oldest_needed) {
+    std::lock_guard<std::mutex> g(mu_);
+    size_t removed = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second < oldest_needed) {
+        it = map_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<LocalXid, Gxid> map_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_DISTRIBUTED_LOG_H_

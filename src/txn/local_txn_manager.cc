@@ -1,0 +1,123 @@
+#include "txn/local_txn_manager.h"
+
+namespace gphtap {
+
+LocalXid LocalTxnManager::AssignXid(Gxid gxid) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = active_.find(gxid);
+  if (it != active_.end()) return it->second;
+  LocalXid xid = next_xid_++;
+  active_[gxid] = xid;
+  running_local_[xid] = gxid;
+  clog_->Register(xid);
+  dlog_->Record(xid, gxid);
+  wal_->Append(WalRecordType::kBegin, xid);
+  if (change_log_ != nullptr) {
+    change_log_->Append(ChangeRecord{ChangeKind::kTxnBegin, 0, kInvalidTupleId,
+                                     kInvalidTupleId, xid, {}});
+  }
+  return xid;
+}
+
+std::optional<LocalXid> LocalTxnManager::LookupXid(Gxid gxid) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = active_.find(gxid);
+  if (it == active_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Gxid> LocalTxnManager::GxidOfRunning(LocalXid xid) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = running_local_.find(xid);
+  if (it == running_local_.end()) return std::nullopt;
+  return it->second;
+}
+
+LocalSnapshot LocalTxnManager::TakeLocalSnapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  LocalSnapshot snap;
+  snap.xmax = next_xid_;
+  snap.xmin = running_local_.empty() ? next_xid_ : running_local_.begin()->first;
+  snap.in_progress.reserve(running_local_.size());
+  for (const auto& [xid, gxid] : running_local_) snap.in_progress.push_back(xid);
+  return snap;
+}
+
+Status LocalTxnManager::Prepare(Gxid gxid) {
+  std::unique_lock<std::mutex> g(mu_);
+  auto it = active_.find(gxid);
+  if (it == active_.end()) {
+    return Status::Internal("PREPARE for unknown distributed txn " + std::to_string(gxid));
+  }
+  LocalXid xid = it->second;
+  g.unlock();
+  // WAL fsync happens outside the manager mutex: prepare latency must not block
+  // unrelated snapshots.
+  wal_->Append(WalRecordType::kPrepare, xid);
+  clog_->SetState(xid, TxnState::kPrepared);
+  return Status::OK();
+}
+
+Status LocalTxnManager::Finish(Gxid gxid, TxnState final_state, WalRecordType record) {
+  std::unique_lock<std::mutex> g(mu_);
+  auto it = active_.find(gxid);
+  if (it == active_.end()) {
+    // A transaction that never wrote here has nothing to finish.
+    return Status::OK();
+  }
+  LocalXid xid = it->second;
+  g.unlock();
+  wal_->Append(record, xid);
+  g.lock();
+  // State flip and removal from the running set are atomic with respect to
+  // TakeLocalSnapshot (both under mu_), so a snapshot never sees a committed
+  // xid as still running.
+  clog_->SetState(xid, final_state);
+  active_.erase(gxid);
+  running_local_.erase(xid);
+  if (change_log_ != nullptr) {
+    change_log_->Append(ChangeRecord{final_state == TxnState::kCommitted
+                                         ? ChangeKind::kTxnCommit
+                                         : ChangeKind::kTxnAbort,
+                                     0, kInvalidTupleId, kInvalidTupleId, xid, {}});
+  }
+  return Status::OK();
+}
+
+Status LocalTxnManager::CommitPrepared(Gxid gxid) {
+  return Finish(gxid, TxnState::kCommitted, WalRecordType::kCommitPrepared);
+}
+
+Status LocalTxnManager::Commit(Gxid gxid) {
+  return Finish(gxid, TxnState::kCommitted, WalRecordType::kCommit);
+}
+
+Status LocalTxnManager::Abort(Gxid gxid) {
+  return Finish(gxid, TxnState::kAborted, WalRecordType::kAbort);
+}
+
+bool LocalTxnManager::HasWritten(Gxid gxid) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.count(gxid) > 0;
+}
+
+size_t LocalTxnManager::NumRunning() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return running_local_.size();
+}
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kInProgress:
+      return "in-progress";
+    case TxnState::kPrepared:
+      return "prepared";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace gphtap

@@ -1,0 +1,78 @@
+// Per-segment transaction bookkeeping: local xid assignment, in-progress set,
+// local snapshots, and the local side of commit protocols.
+#ifndef GPHTAP_TXN_LOCAL_TXN_MANAGER_H_
+#define GPHTAP_TXN_LOCAL_TXN_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/change_log.h"
+#include "txn/clog.h"
+#include "txn/distributed_log.h"
+#include "txn/snapshot.h"
+#include "txn/wal.h"
+#include "txn/xid.h"
+
+namespace gphtap {
+
+/// One per segment (and one on the coordinator for its own writes).
+/// Thread-safe.
+class LocalTxnManager {
+ public:
+  LocalTxnManager(CommitLog* clog, DistributedLog* dlog, WalStub* wal)
+      : clog_(clog), dlog_(dlog), wal_(wal) {}
+
+  /// Returns the local xid of `gxid` on this node, assigning one on first use
+  /// (i.e., when the distributed transaction first writes here). Records the
+  /// local->distributed mapping.
+  LocalXid AssignXid(Gxid gxid);
+
+  /// The local xid already assigned to `gxid`, if any.
+  std::optional<LocalXid> LookupXid(Gxid gxid) const;
+
+  /// The distributed xid of a *running* local transaction (used to translate
+  /// tuple xmax values into lock-wait targets). nullopt once it finished.
+  std::optional<Gxid> GxidOfRunning(LocalXid xid) const;
+
+  /// PostgreSQL-style local snapshot of this node.
+  LocalSnapshot TakeLocalSnapshot() const;
+
+  /// 2PC phase one: durably records PREPARE. The transaction stays in-progress.
+  Status Prepare(Gxid gxid);
+  /// 2PC phase two.
+  Status CommitPrepared(Gxid gxid);
+  /// One-phase or local commit.
+  Status Commit(Gxid gxid);
+  /// Rolls back; also valid after Prepare (2PC abort path).
+  Status Abort(Gxid gxid);
+
+  /// True if the transaction obtained a local xid here (i.e., wrote here).
+  bool HasWritten(Gxid gxid) const;
+
+  /// Number of local transactions currently in progress.
+  size_t NumRunning() const;
+
+  /// Attaches the segment's replication stream (txn begin/commit/abort records).
+  void set_change_log(ChangeLog* log) { change_log_ = log; }
+
+ private:
+  Status Finish(Gxid gxid, TxnState final_state, WalRecordType record);
+
+  CommitLog* const clog_;
+  DistributedLog* const dlog_;
+  WalStub* const wal_;
+  ChangeLog* change_log_ = nullptr;
+
+  mutable std::mutex mu_;
+  LocalXid next_xid_ = 1;
+  std::unordered_map<Gxid, LocalXid> active_;   // running distributed -> local
+  std::map<LocalXid, Gxid> running_local_;      // running local xids (sorted)
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_LOCAL_TXN_MANAGER_H_

@@ -1,0 +1,55 @@
+// Local and distributed snapshots (Section 5.1).
+#ifndef GPHTAP_TXN_SNAPSHOT_H_
+#define GPHTAP_TXN_SNAPSHOT_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "txn/xid.h"
+
+namespace gphtap {
+
+/// A PostgreSQL-style local snapshot: xids < xmin are finished, xids >= xmax had
+/// not started, and `in_progress` lists running xids in [xmin, xmax).
+struct LocalSnapshot {
+  LocalXid xmin = 1;
+  LocalXid xmax = 1;
+  std::vector<LocalXid> in_progress;  // sorted
+
+  bool IsRunning(LocalXid xid) const {
+    if (xid >= xmax) return true;  // treat future xids as running (invisible)
+    if (xid < xmin) return false;
+    return std::binary_search(in_progress.begin(), in_progress.end(), xid);
+  }
+};
+
+/// A distributed snapshot: the list of in-progress distributed transaction ids
+/// plus the largest committed distributed xid at creation time.
+struct DistributedSnapshot {
+  Gxid gxmin = 1;  // oldest in-progress gxid at creation (floor for the xid map)
+  Gxid gxmax = 1;  // one past the largest gxid assigned at creation
+  std::vector<Gxid> in_progress;  // sorted
+  Gxid max_committed = 0;         // largest committed gxid at creation
+
+  bool IsRunning(Gxid gxid) const {
+    if (gxid >= gxmax) return true;
+    if (gxid < gxmin) return false;
+    return std::binary_search(in_progress.begin(), in_progress.end(), gxid);
+  }
+
+  std::string ToString() const {
+    std::string s = "dsnap{gxmin=" + std::to_string(gxmin) +
+                    ",gxmax=" + std::to_string(gxmax) + ",run=[";
+    for (size_t i = 0; i < in_progress.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(in_progress[i]);
+    }
+    s += "]}";
+    return s;
+  }
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_SNAPSHOT_H_

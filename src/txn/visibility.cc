@@ -1,0 +1,35 @@
+#include "txn/visibility.h"
+
+namespace gphtap {
+
+bool XidCommittedForSnapshot(LocalXid xid, const VisibilityContext& ctx) {
+  if (xid == kInvalidLocalXid) return false;
+  if (xid == ctx.my_xid) return true;  // own writes
+
+  TxnState state = ctx.clog->GetState(xid);
+  if (state == TxnState::kAborted) return false;
+
+  auto gxid = ctx.dlog ? ctx.dlog->Lookup(xid) : std::nullopt;
+  if (gxid.has_value() && ctx.dsnap != nullptr) {
+    // The mapping survives: the distributed snapshot is authoritative about
+    // whether the transaction finished before this snapshot was created.
+    if (ctx.dsnap->IsRunning(*gxid)) return false;
+    // Finished before the snapshot; the coordinator only declares a commit
+    // finished after every participant wrote its local commit record, so the
+    // local clog has the outcome.
+    return state == TxnState::kCommitted;
+  }
+
+  // Mapping truncated (or no distributed snapshot): local information decides.
+  if (ctx.lsnap != nullptr && ctx.lsnap->IsRunning(xid)) return false;
+  return state == TxnState::kCommitted;
+}
+
+bool TupleVisible(LocalXid xmin, LocalXid xmax, const VisibilityContext& ctx) {
+  if (!XidCommittedForSnapshot(xmin, ctx)) return false;
+  if (xmax == kInvalidLocalXid) return true;
+  if (xmax == ctx.my_xid) return false;  // deleted by self
+  return !XidCommittedForSnapshot(xmax, ctx);
+}
+
+}  // namespace gphtap

@@ -1,0 +1,38 @@
+// MVCC tuple visibility combining distributed and local snapshot information
+// (Section 5.1 of the paper).
+#ifndef GPHTAP_TXN_VISIBILITY_H_
+#define GPHTAP_TXN_VISIBILITY_H_
+
+#include "txn/clog.h"
+#include "txn/distributed_log.h"
+#include "txn/snapshot.h"
+#include "txn/xid.h"
+
+namespace gphtap {
+
+/// Everything a scan needs to decide tuple visibility on one segment.
+struct VisibilityContext {
+  const CommitLog* clog = nullptr;
+  const DistributedLog* dlog = nullptr;
+  const DistributedSnapshot* dsnap = nullptr;  // may be null in utility mode
+  const LocalSnapshot* lsnap = nullptr;        // fallback after map truncation
+  LocalXid my_xid = kInvalidLocalXid;          // the scanning txn's xid here (0=readonly)
+};
+
+/// True if the transaction `xid` is committed *as of the context's snapshot*.
+/// Resolution order (paper, Section 5.1):
+///   1. own writes are visible;
+///   2. if the local->distributed mapping still has the xid, the distributed
+///      snapshot decides "finished before me?" and the local clog decides the
+///      outcome (commit vs abort);
+///   3. if the mapping was truncated, every snapshot sees the transaction as
+///      finished, so the local clog + local snapshot decide.
+bool XidCommittedForSnapshot(LocalXid xid, const VisibilityContext& ctx);
+
+/// Full tuple check: created by a visible-committed xmin and not deleted by a
+/// visible-committed (or own) xmax.
+bool TupleVisible(LocalXid xmin, LocalXid xmax, const VisibilityContext& ctx);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_VISIBILITY_H_

@@ -1,0 +1,61 @@
+// Write-ahead-log stub: counts records and fsyncs and injects the configured
+// fsync latency, so commit-protocol costs (Figure 10) are measurable without a
+// real disk. Durability/recovery is out of scope (see DESIGN.md).
+#ifndef GPHTAP_TXN_WAL_H_
+#define GPHTAP_TXN_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "txn/xid.h"
+
+namespace gphtap {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 0,
+  kPrepare = 1,        // 2PC phase one
+  kCommit = 2,         // local / one-phase commit
+  kCommitPrepared = 3, // 2PC phase two
+  kAbort = 4,
+  kDistributedCommit = 5,  // coordinator's commit record between 2PC phases
+};
+
+class WalStub {
+ public:
+  explicit WalStub(int64_t fsync_cost_us = 0) : fsync_cost_us_(fsync_cost_us) {}
+
+  /// Appends a record and, for commit-critical records, performs a simulated
+  /// fsync (latency injection + counter).
+  void Append(WalRecordType type, LocalXid /*xid*/) {
+    records_.fetch_add(1, std::memory_order_relaxed);
+    switch (type) {
+      case WalRecordType::kPrepare:
+      case WalRecordType::kCommit:
+      case WalRecordType::kCommitPrepared:
+      case WalRecordType::kDistributedCommit:
+        Fsync();
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Fsync() {
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    PreciseSleepUs(fsync_cost_us_);
+  }
+
+  uint64_t records() const { return records_.load(std::memory_order_relaxed); }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  int64_t fsync_cost_us() const { return fsync_cost_us_; }
+
+ private:
+  const int64_t fsync_cost_us_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TXN_WAL_H_

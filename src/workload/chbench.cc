@@ -1,0 +1,233 @@
+#include "workload/chbench.h"
+
+namespace gphtap {
+
+Status LoadChBench(Cluster* cluster, const ChBenchConfig& config) {
+  auto session = cluster->Connect();
+  auto ddl = [&](const std::string& sql) { return session->Execute(sql).status(); };
+
+  GPHTAP_RETURN_IF_ERROR(ddl(
+      "CREATE TABLE warehouse (w_id int, w_name text, w_ytd double) DISTRIBUTED BY (w_id)"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE district (d_w_id int, d_id int, d_ytd double, d_next_o_id int) "
+          "DISTRIBUTED BY (d_w_id)"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE customer (c_w_id int, c_d_id int, c_id int, c_balance double, "
+          "c_ytd_payment double) DISTRIBUTED BY (c_w_id)"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE orders (o_w_id int, o_d_id int, o_id int, o_c_id int, "
+          "o_ol_cnt int, o_entry_d int) DISTRIBUTED BY (o_w_id)"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE order_line (ol_w_id int, ol_d_id int, ol_o_id int, "
+          "ol_number int, ol_i_id int, ol_qty int, ol_amount double) "
+          "DISTRIBUTED BY (ol_w_id)"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE item (i_id int, i_name text, i_price double, i_category int) "
+          "DISTRIBUTED REPLICATED"));
+  GPHTAP_RETURN_IF_ERROR(
+      ddl("CREATE TABLE stock (s_w_id int, s_i_id int, s_quantity int, s_ytd int) "
+          "DISTRIBUTED BY (s_w_id)"));
+
+  auto insert_rows = [&](const char* table, std::vector<Row> rows) -> Status {
+    if (rows.empty()) return Status::OK();
+    GPHTAP_ASSIGN_OR_RETURN(TableDef def, cluster->LookupTable(table));
+    return session->ExecuteInsert(def, rows).status();
+  };
+
+  Rng rng(7);
+  std::vector<Row> rows;
+  for (int64_t w = 1; w <= config.warehouses; ++w) {
+    rows.push_back(Row{Datum(w), Datum("warehouse_" + std::to_string(w)), Datum(0.0)});
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("warehouse", std::move(rows)));
+
+  rows.clear();
+  for (int64_t w = 1; w <= config.warehouses; ++w) {
+    for (int64_t d = 1; d <= config.districts_per_warehouse; ++d) {
+      rows.push_back(Row{Datum(w), Datum(d), Datum(0.0),
+                         Datum(static_cast<int64_t>(config.initial_orders_per_district + 1))});
+    }
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("district", std::move(rows)));
+
+  rows.clear();
+  for (int64_t w = 1; w <= config.warehouses; ++w) {
+    for (int64_t d = 1; d <= config.districts_per_warehouse; ++d) {
+      for (int64_t c = 1; c <= config.customers_per_district; ++c) {
+        rows.push_back(Row{Datum(w), Datum(d), Datum(c), Datum(0.0), Datum(0.0)});
+      }
+    }
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("customer", std::move(rows)));
+
+  rows.clear();
+  for (int64_t i = 1; i <= config.items; ++i) {
+    rows.push_back(Row{Datum(i), Datum("item_" + std::to_string(i)),
+                       Datum(1.0 + static_cast<double>(i % 100)),
+                       Datum(static_cast<int64_t>(i % 10))});
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("item", std::move(rows)));
+
+  rows.clear();
+  for (int64_t w = 1; w <= config.warehouses; ++w) {
+    for (int64_t i = 1; i <= config.items; ++i) {
+      rows.push_back(Row{Datum(w), Datum(i),
+                         Datum(static_cast<int64_t>(50 + i % 50)), Datum(int64_t{0})});
+    }
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("stock", std::move(rows)));
+
+  // Initial orders with lines.
+  std::vector<Row> orders, lines;
+  for (int64_t w = 1; w <= config.warehouses; ++w) {
+    for (int64_t d = 1; d <= config.districts_per_warehouse; ++d) {
+      for (int64_t o = 1; o <= config.initial_orders_per_district; ++o) {
+        int64_t c = rng.UniformRange(1, config.customers_per_district);
+        orders.push_back(Row{Datum(w), Datum(d), Datum(o), Datum(c),
+                             Datum(static_cast<int64_t>(config.lines_per_order)),
+                             Datum(o)});
+        for (int64_t l = 1; l <= config.lines_per_order; ++l) {
+          int64_t item = rng.UniformRange(1, config.items);
+          int64_t qty = rng.UniformRange(1, 10);
+          lines.push_back(Row{Datum(w), Datum(d), Datum(o), Datum(l), Datum(item),
+                              Datum(qty),
+                              Datum(static_cast<double>(qty) *
+                                    (1.0 + static_cast<double>(item % 100)))});
+        }
+      }
+    }
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("orders", std::move(orders)));
+  GPHTAP_RETURN_IF_ERROR(insert_rows("order_line", std::move(lines)));
+  return Status::OK();
+}
+
+Status RunNewOrderTransaction(Session* session, Rng& rng, const ChBenchConfig& config) {
+  int64_t w = rng.UniformRange(1, config.warehouses);
+  int64_t d = rng.UniformRange(1, config.districts_per_warehouse);
+  int64_t c = rng.UniformRange(1, config.customers_per_district);
+  std::string ws = std::to_string(w), ds = std::to_string(d);
+
+  GPHTAP_RETURN_IF_ERROR(session->Execute("BEGIN").status());
+  auto run = [&](const std::string& sql) -> StatusOr<QueryResult> {
+    auto r = session->Execute(sql);
+    if (!r.ok()) session->Rollback();
+    return r;
+  };
+  // Allocate the order id: the UPDATE serializes concurrent NewOrders on this
+  // district; the SELECT then reads our own (uncommitted) increment.
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+                             "WHERE d_w_id = " + ws + " AND d_id = " + ds)
+                             .status());
+  GPHTAP_ASSIGN_OR_RETURN(
+      QueryResult next,
+      run("SELECT d_next_o_id FROM district WHERE d_w_id = " + ws + " AND d_id = " + ds));
+  if (next.rows.empty()) {
+    session->Rollback();
+    return Status::Internal("district row missing");
+  }
+  int64_t o_id = next.rows[0][0].int_val() - 1;
+  std::string os = std::to_string(o_id);
+
+  GPHTAP_RETURN_IF_ERROR(
+      run("INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_ol_cnt, o_entry_d) "
+          "VALUES (" + ws + ", " + ds + ", " + os + ", " + std::to_string(c) + ", " +
+          std::to_string(config.lines_per_order) + ", " + os + ")")
+          .status());
+  for (int64_t l = 1; l <= config.lines_per_order; ++l) {
+    int64_t item = rng.UniformRange(1, config.items);
+    int64_t qty = rng.UniformRange(1, 10);
+    double amount = static_cast<double>(qty) * (1.0 + static_cast<double>(item % 100));
+    GPHTAP_RETURN_IF_ERROR(
+        run("INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, "
+            "ol_qty, ol_amount) VALUES (" + ws + ", " + ds + ", " + os + ", " +
+            std::to_string(l) + ", " + std::to_string(item) + ", " +
+            std::to_string(qty) + ", " + std::to_string(amount) + ")")
+            .status());
+    GPHTAP_RETURN_IF_ERROR(run("UPDATE stock SET s_quantity = s_quantity - " +
+                               std::to_string(qty) + ", s_ytd = s_ytd + " +
+                               std::to_string(qty) + " WHERE s_w_id = " + ws +
+                               " AND s_i_id = " + std::to_string(item))
+                               .status());
+  }
+  return session->Execute("COMMIT").status();
+}
+
+Status RunPaymentTransaction(Session* session, Rng& rng, const ChBenchConfig& config) {
+  int64_t w = rng.UniformRange(1, config.warehouses);
+  int64_t d = rng.UniformRange(1, config.districts_per_warehouse);
+  int64_t c = rng.UniformRange(1, config.customers_per_district);
+  double amount = static_cast<double>(rng.UniformRange(1, 5000));
+  std::string ws = std::to_string(w), ds = std::to_string(d), cs = std::to_string(c);
+  std::string as = std::to_string(amount);
+
+  GPHTAP_RETURN_IF_ERROR(session->Execute("BEGIN").status());
+  auto run = [&](const std::string& sql) -> Status {
+    Status s = session->Execute(sql).status();
+    if (!s.ok()) session->Rollback();
+    return s;
+  };
+  GPHTAP_RETURN_IF_ERROR(
+      run("UPDATE warehouse SET w_ytd = w_ytd + " + as + " WHERE w_id = " + ws));
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE district SET d_ytd = d_ytd + " + as +
+                             " WHERE d_w_id = " + ws + " AND d_id = " + ds));
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE customer SET c_balance = c_balance - " + as +
+                             ", c_ytd_payment = c_ytd_payment + " + as +
+                             " WHERE c_w_id = " + ws + " AND c_d_id = " + ds +
+                             " AND c_id = " + cs));
+  return session->Execute("COMMIT").status();
+}
+
+Status RunChOltpTransaction(Session* session, Rng& rng, const ChBenchConfig& config) {
+  if (rng.Chance(0.5)) return RunNewOrderTransaction(session, rng, config);
+  return RunPaymentTransaction(session, rng, config);
+}
+
+const std::vector<std::string>& ChAnalyticalQueries() {
+  static const std::vector<std::string>* queries = new std::vector<std::string>{
+      // Q1-style: pricing summary by line number.
+      "SELECT ol_number, sum(ol_qty) AS sum_qty, sum(ol_amount) AS sum_amount, "
+      "avg(ol_qty) AS avg_qty, avg(ol_amount) AS avg_amount, count(*) AS count_order "
+      "FROM order_line GROUP BY ol_number ORDER BY ol_number",
+      // Q6-style: revenue from mid-size quantities.
+      "SELECT sum(ol_amount) AS revenue FROM order_line WHERE ol_qty >= 2 AND ol_qty <= 8",
+      // Q3-style: top orders by value.
+      "SELECT o.o_id, sum(l.ol_amount) AS revenue FROM orders o "
+      "JOIN order_line l ON o.o_id = l.ol_o_id "
+      "WHERE o.o_w_id = l.ol_w_id AND o.o_d_id = l.ol_d_id "
+      "GROUP BY o.o_id ORDER BY revenue DESC LIMIT 10",
+      // Q12-style: order-count profile.
+      "SELECT o_ol_cnt, count(*) AS order_count FROM orders GROUP BY o_ol_cnt "
+      "ORDER BY o_ol_cnt",
+      // Q14-style: revenue by item category (join against the replicated dim).
+      "SELECT i.i_category, sum(l.ol_amount) AS revenue FROM order_line l "
+      "JOIN item i ON l.ol_i_id = i.i_id GROUP BY i.i_category ORDER BY i.i_category",
+      // Stock-pressure: lines touching low-stock items.
+      "SELECT count(*) AS low_stock_lines FROM order_line l "
+      "JOIN stock s ON l.ol_i_id = s.s_i_id "
+      "WHERE l.ol_w_id = s.s_w_id AND s.s_quantity < 60",
+      // Customer balance distribution per district.
+      "SELECT c_d_id, avg(c_balance) AS avg_balance, min(c_balance), max(c_balance) "
+      "FROM customer GROUP BY c_d_id ORDER BY c_d_id",
+      // Recent-order revenue (filter on entry stamp).
+      "SELECT o_d_id, count(*) AS n FROM orders WHERE o_entry_d > 10 GROUP BY o_d_id "
+      "ORDER BY o_d_id",
+      // Q11-style: significant stock positions (HAVING over an aggregate).
+      "SELECT s_i_id, sum(s_quantity) AS total_qty FROM stock GROUP BY s_i_id "
+      "HAVING sum(s_quantity) > 100 ORDER BY total_qty DESC LIMIT 20",
+      // Q16-ish: distinct items actually ordered per district.
+      "SELECT DISTINCT ol_d_id, ol_i_id FROM order_line ORDER BY ol_d_id, ol_i_id "
+      "LIMIT 50",
+      // Big-spender customers (HAVING referencing an alias).
+      "SELECT c_d_id, avg(c_ytd_payment) AS avg_paid FROM customer GROUP BY c_d_id "
+      "HAVING avg_paid >= 0 ORDER BY c_d_id",
+  };
+  return *queries;
+}
+
+Status RunChAnalyticalQuery(Session* session, size_t index) {
+  const auto& queries = ChAnalyticalQueries();
+  return session->Execute(queries[index % queries.size()]).status();
+}
+
+}  // namespace gphtap

@@ -1,0 +1,48 @@
+// CH-benCHmark: TPC-C-style transactional tables and transactions plus
+// TPC-H-style analytical queries over the same data (the paper's HTAP
+// benchmark, Figures 16-18).
+#ifndef GPHTAP_WORKLOAD_CHBENCH_H_
+#define GPHTAP_WORKLOAD_CHBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+#include "common/rng.h"
+
+namespace gphtap {
+
+struct ChBenchConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 100;
+  int items = 1000;
+  int initial_orders_per_district = 30;
+  int lines_per_order = 3;
+};
+
+/// Creates and populates warehouse/district/customer/orders/order_line/item/
+/// stock. Items are replicated (dimension table); everything else is
+/// distributed by warehouse id.
+Status LoadChBench(Cluster* cluster, const ChBenchConfig& config);
+
+/// TPC-C NewOrder (simplified): allocate an order id from the district, insert
+/// the order and its lines, update stock.
+Status RunNewOrderTransaction(Session* session, Rng& rng, const ChBenchConfig& config);
+
+/// TPC-C Payment (simplified): update warehouse, district, and customer sums.
+Status RunPaymentTransaction(Session* session, Rng& rng, const ChBenchConfig& config);
+
+/// The OLTP mix used in the HTAP experiments: ~50% NewOrder, ~50% Payment.
+Status RunChOltpTransaction(Session* session, Rng& rng, const ChBenchConfig& config);
+
+/// The analytical query set (CH-benCHmark style, adapted to the SQL subset).
+const std::vector<std::string>& ChAnalyticalQueries();
+
+/// Runs one analytical query (round-robin by `index`).
+Status RunChAnalyticalQuery(Session* session, size_t index);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_WORKLOAD_CHBENCH_H_

@@ -1,0 +1,77 @@
+#include "workload/driver.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+std::string DriverResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "tps=%.1f committed=%llu aborted=%llu p50=%lldus p95=%lldus",
+                Tps(), static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(aborted),
+                static_cast<long long>(latency_us.Percentile(50)),
+                static_cast<long long>(latency_us.Percentile(95)));
+  return buf;
+}
+
+DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const TxnFn& fn) {
+  struct PerClient {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    Histogram latency;
+    Status fatal;
+  };
+  std::vector<PerClient> results(static_cast<size_t>(options.num_clients));
+  std::atomic<bool> local_stop{false};
+  std::atomic<bool>* stop = options.stop != nullptr ? options.stop : &local_stop;
+
+  Stopwatch run_clock;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options.num_clients));
+  for (int c = 0; c < options.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      PerClient& out = results[static_cast<size_t>(c)];
+      auto session = cluster->Connect(options.role);
+      Rng rng(options.seed * 1099511628211ULL + static_cast<uint64_t>(c));
+      int64_t deadline = MonotonicMicros() + options.duration_ms * 1000;
+      while (!stop->load(std::memory_order_relaxed) && MonotonicMicros() < deadline) {
+        Stopwatch txn_clock;
+        Status s = fn(session.get(), rng);
+        if (s.ok()) {
+          ++out.committed;
+          out.latency.Record(txn_clock.ElapsedMicros());
+        } else if (s.IsAbortLike() || s.code() == StatusCode::kDeadlockDetected) {
+          ++out.aborted;
+          // The session may sit in a failed block; clear it.
+          session->Rollback();
+        } else {
+          out.fatal = s;
+          break;
+        }
+      }
+      if (session->in_txn()) session->Rollback();
+    });
+  }
+  for (auto& t : clients) t.join();
+  double elapsed = run_clock.ElapsedSeconds();
+
+  DriverResult merged;
+  merged.seconds = std::min(elapsed, static_cast<double>(options.duration_ms) / 1000.0 +
+                                         elapsed * 0);  // wall time of the run
+  merged.seconds = elapsed;
+  for (auto& r : results) {
+    if (!r.fatal.ok()) {
+      std::fprintf(stderr, "workload client failed: %s\n", r.fatal.ToString().c_str());
+    }
+    merged.committed += r.committed;
+    merged.aborted += r.aborted;
+    merged.latency_us.Merge(r.latency);
+  }
+  return merged;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,44 @@
+// Multi-client benchmark driver: N sessions on N threads hammering a
+// transaction function for a fixed duration, reporting throughput and latency.
+#ifndef GPHTAP_WORKLOAD_DRIVER_H_
+#define GPHTAP_WORKLOAD_DRIVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace gphtap {
+
+struct DriverResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;   // deadlock victims, cancellations, resource kills
+  Histogram latency_us;   // per committed transaction
+
+  double Tps() const { return seconds > 0 ? static_cast<double>(committed) / seconds : 0; }
+  std::string Summary() const;
+};
+
+/// Executes one transaction (or one query); abort-like failures are counted,
+/// any other error stops the run.
+using TxnFn = std::function<Status(Session*, Rng&)>;
+
+struct DriverOptions {
+  int num_clients = 1;
+  int64_t duration_ms = 1000;
+  std::string role;            // resource-group role for the sessions
+  uint64_t seed = 42;
+  /// Optional external stop signal (mixed workloads stop all classes together).
+  std::atomic<bool>* stop = nullptr;
+};
+
+DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const TxnFn& fn);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_WORKLOAD_DRIVER_H_

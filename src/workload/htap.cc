@@ -1,0 +1,43 @@
+#include "workload/htap.h"
+
+#include <thread>
+
+namespace gphtap {
+
+HtapResult RunHtapWorkload(Cluster* cluster, const HtapConfig& config) {
+  HtapResult result;
+  std::atomic<bool> stop{false};
+
+  std::thread olap_thread([&] {
+    if (config.olap_clients == 0) return;
+    DriverOptions opts;
+    opts.num_clients = config.olap_clients;
+    opts.duration_ms = config.duration_ms;
+    opts.role = config.olap_role;
+    opts.seed = config.seed;
+    opts.stop = &stop;
+    std::atomic<size_t> next_query{0};
+    result.olap = RunWorkload(cluster, opts, [&](Session* s, Rng&) {
+      return RunChAnalyticalQuery(s, next_query.fetch_add(1));
+    });
+  });
+
+  std::thread oltp_thread([&] {
+    if (config.oltp_clients == 0) return;
+    DriverOptions opts;
+    opts.num_clients = config.oltp_clients;
+    opts.duration_ms = config.duration_ms;
+    opts.role = config.oltp_role;
+    opts.seed = config.seed + 1;
+    opts.stop = &stop;
+    result.oltp = RunWorkload(cluster, opts, [&](Session* s, Rng& rng) {
+      return RunChOltpTransaction(s, rng, config.chbench);
+    });
+  });
+
+  olap_thread.join();
+  oltp_thread.join();
+  return result;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,35 @@
+// Mixed OLTP+OLAP execution (the paper's HTAP experiments): two client pools —
+// an analytical one and a transactional one — run concurrently against the
+// same cluster, optionally in different resource groups.
+#ifndef GPHTAP_WORKLOAD_HTAP_H_
+#define GPHTAP_WORKLOAD_HTAP_H_
+
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace gphtap {
+
+struct HtapConfig {
+  int olap_clients = 0;
+  int oltp_clients = 0;
+  int64_t duration_ms = 2000;
+  std::string olap_role;  // resource-group roles (empty = default group)
+  std::string oltp_role;
+  ChBenchConfig chbench;
+  uint64_t seed = 42;
+};
+
+struct HtapResult {
+  DriverResult olap;
+  DriverResult oltp;
+
+  double OlapQph() const { return olap.Tps() * 3600.0; }
+  double OltpQpm() const { return oltp.Tps() * 60.0; }
+};
+
+/// Runs both pools for the configured duration and reports per-class results.
+HtapResult RunHtapWorkload(Cluster* cluster, const HtapConfig& config);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_WORKLOAD_HTAP_H_

@@ -1,0 +1,142 @@
+#include "workload/tpcb.h"
+
+namespace gphtap {
+
+Status LoadTpcb(Cluster* cluster, const TpcbConfig& config) {
+  auto session = cluster->Connect();
+  GPHTAP_RETURN_IF_ERROR(
+      session->Execute("CREATE TABLE pgbench_branches (bid int, bbalance int) "
+                       "DISTRIBUTED BY (bid)")
+          .status());
+  GPHTAP_RETURN_IF_ERROR(
+      session->Execute("CREATE TABLE pgbench_tellers (tid int, bid int, tbalance int) "
+                       "DISTRIBUTED BY (tid)")
+          .status());
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("CREATE TABLE pgbench_accounts (aid int, bid int, abalance int) "
+                    "DISTRIBUTED BY (aid)")
+          .status());
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("CREATE TABLE pgbench_history (tid int, bid int, aid int, delta int) "
+                    "DISTRIBUTED BY (aid)")
+          .status());
+
+  // Bulk load through the programmatic API (no per-row SQL parse).
+  auto insert_rows = [&](const char* table, std::vector<Row> rows) -> Status {
+    GPHTAP_ASSIGN_OR_RETURN(TableDef def, cluster->LookupTable(table));
+    return session->ExecuteInsert(def, rows).status();
+  };
+
+  std::vector<Row> rows;
+  for (int64_t b = 1; b <= config.scale; ++b) {
+    rows.push_back(Row{Datum(b), Datum(int64_t{0})});
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("pgbench_branches", std::move(rows)));
+
+  rows.clear();
+  for (int64_t t = 1; t <= config.num_tellers(); ++t) {
+    int64_t bid = (t - 1) / config.tellers_per_branch + 1;
+    rows.push_back(Row{Datum(t), Datum(bid), Datum(int64_t{0})});
+  }
+  GPHTAP_RETURN_IF_ERROR(insert_rows("pgbench_tellers", std::move(rows)));
+
+  rows.clear();
+  constexpr int64_t kBatch = 20000;
+  for (int64_t a = 1; a <= config.num_accounts(); ++a) {
+    int64_t bid = (a - 1) / config.accounts_per_branch + 1;
+    rows.push_back(Row{Datum(a), Datum(bid), Datum(int64_t{0})});
+    if (static_cast<int64_t>(rows.size()) >= kBatch) {
+      GPHTAP_RETURN_IF_ERROR(insert_rows("pgbench_accounts", std::move(rows)));
+      rows.clear();
+    }
+  }
+  if (!rows.empty()) {
+    GPHTAP_RETURN_IF_ERROR(insert_rows("pgbench_accounts", std::move(rows)));
+  }
+
+  if (config.create_indexes) {
+    GPHTAP_RETURN_IF_ERROR(cluster->CreateIndex("pgbench_accounts", "aid"));
+    GPHTAP_RETURN_IF_ERROR(cluster->CreateIndex("pgbench_tellers", "tid"));
+    GPHTAP_RETURN_IF_ERROR(cluster->CreateIndex("pgbench_branches", "bid"));
+  }
+  return Status::OK();
+}
+
+Status RunTpcbTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
+  int64_t aid = rng.UniformRange(1, config.num_accounts());
+  int64_t tid = rng.UniformRange(1, config.num_tellers());
+  int64_t bid = rng.UniformRange(1, config.scale);
+  int64_t delta = rng.UniformRange(-5000, 5000);
+  std::string d = std::to_string(delta);
+
+  GPHTAP_RETURN_IF_ERROR(session->Execute("BEGIN").status());
+  auto run = [&](const std::string& sql) -> Status {
+    Status s = session->Execute(sql).status();
+    if (!s.ok()) session->Rollback();
+    return s;
+  };
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_accounts SET abalance = abalance + " + d +
+                             " WHERE aid = " + std::to_string(aid)));
+  GPHTAP_RETURN_IF_ERROR(
+      run("SELECT abalance FROM pgbench_accounts WHERE aid = " + std::to_string(aid)));
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_tellers SET tbalance = tbalance + " + d +
+                             " WHERE tid = " + std::to_string(tid)));
+  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_branches SET bbalance = bbalance + " + d +
+                             " WHERE bid = " + std::to_string(bid)));
+  GPHTAP_RETURN_IF_ERROR(run("INSERT INTO pgbench_history (tid, bid, aid, delta) VALUES (" +
+                             std::to_string(tid) + ", " + std::to_string(bid) + ", " +
+                             std::to_string(aid) + ", " + d + ")"));
+  return session->Execute("COMMIT").status();
+}
+
+Status RunUpdateOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
+  int64_t aid = rng.UniformRange(1, config.num_accounts());
+  return session
+      ->Execute("UPDATE pgbench_accounts SET abalance = abalance + 1 WHERE aid = " +
+                std::to_string(aid))
+      .status();
+}
+
+Status RunInsertOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
+  int64_t aid = rng.UniformRange(1, config.num_accounts());
+  return session
+      ->Execute("INSERT INTO pgbench_history (tid, bid, aid, delta) VALUES (1, 1, " +
+                std::to_string(aid) + ", 1)")
+      .status();
+}
+
+Status RunSelectOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
+  int64_t aid = rng.UniformRange(1, config.num_accounts());
+  return session
+      ->Execute("SELECT abalance FROM pgbench_accounts WHERE aid = " +
+                std::to_string(aid))
+      .status();
+}
+
+Status CheckTpcbInvariant(Cluster* cluster) {
+  auto session = cluster->Connect();
+  auto get_sum = [&](const std::string& sql) -> StatusOr<int64_t> {
+    GPHTAP_ASSIGN_OR_RETURN(QueryResult r, session->Execute(sql));
+    if (r.rows.empty() || r.rows[0][0].is_null()) return int64_t{0};
+    return r.rows[0][0].int_val();
+  };
+  GPHTAP_ASSIGN_OR_RETURN(int64_t accounts,
+                          get_sum("SELECT sum(abalance) FROM pgbench_accounts"));
+  GPHTAP_ASSIGN_OR_RETURN(int64_t tellers,
+                          get_sum("SELECT sum(tbalance) FROM pgbench_tellers"));
+  GPHTAP_ASSIGN_OR_RETURN(int64_t branches,
+                          get_sum("SELECT sum(bbalance) FROM pgbench_branches"));
+  GPHTAP_ASSIGN_OR_RETURN(int64_t history,
+                          get_sum("SELECT sum(delta) FROM pgbench_history"));
+  if (accounts != tellers || tellers != branches || branches != history) {
+    return Status::Internal(
+        "TPC-B invariant violated: accounts=" + std::to_string(accounts) +
+        " tellers=" + std::to_string(tellers) + " branches=" + std::to_string(branches) +
+        " history=" + std::to_string(history));
+  }
+  return Status::OK();
+}
+
+}  // namespace gphtap

@@ -1,0 +1,47 @@
+// TPC-B (pgbench-style) workload: schema, loader, and the transaction mixes
+// used by the paper's OLTP experiments (Figures 12-15).
+#ifndef GPHTAP_WORKLOAD_TPCB_H_
+#define GPHTAP_WORKLOAD_TPCB_H_
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+#include "common/rng.h"
+
+namespace gphtap {
+
+struct TpcbConfig {
+  int scale = 1;                    // branches
+  int tellers_per_branch = 10;
+  int accounts_per_branch = 10000;  // pgbench uses 100'000; scaled down
+  bool create_indexes = true;
+
+  int64_t num_accounts() const {
+    return static_cast<int64_t>(scale) * accounts_per_branch;
+  }
+  int64_t num_tellers() const { return static_cast<int64_t>(scale) * tellers_per_branch; }
+};
+
+/// Creates and populates pgbench_accounts / _branches / _tellers / _history.
+Status LoadTpcb(Cluster* cluster, const TpcbConfig& config);
+
+/// The full TPC-B transaction: update account, read it back, update teller and
+/// branch, insert history — in one explicit transaction (five statements).
+Status RunTpcbTransaction(Session* session, Rng& rng, const TpcbConfig& config);
+
+/// Figure 14's microworkload: a single-row account update (implicit txn).
+Status RunUpdateOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config);
+
+/// Figure 15's microworkload: a single-row insert whose values all map to one
+/// segment — the 1PC candidate.
+Status RunInsertOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config);
+
+/// A single-row point SELECT on an account.
+Status RunSelectOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config);
+
+/// TPC-B consistency: sum(abalance) == sum(bbalance) == sum(tbalance), and the
+/// history row count matches the number of committed full transactions.
+Status CheckTpcbInvariant(Cluster* cluster);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_WORKLOAD_TPCB_H_

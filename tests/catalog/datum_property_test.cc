@@ -1,0 +1,112 @@
+// Property sweeps over Datum: the algebraic contracts the executor relies on
+// (hash/equality consistency, comparison ordering laws, routing stability).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "catalog/datum.h"
+#include "common/rng.h"
+
+namespace gphtap {
+namespace {
+
+Datum RandomDatum(Rng& rng) {
+  switch (rng.Uniform(4)) {
+    case 0:
+      return Datum::Null();
+    case 1:
+      return Datum(static_cast<int64_t>(rng.UniformRange(-100, 100)));
+    case 2:
+      return Datum(static_cast<double>(rng.UniformRange(-100, 100)) +
+                   (rng.Chance(0.5) ? 0.5 : 0.0));
+    default: {
+      std::string s;
+      for (uint64_t i = 0, n = rng.Uniform(6); i < n; ++i) {
+        s += static_cast<char>('a' + rng.Uniform(4));
+      }
+      return Datum(std::move(s));
+    }
+  }
+}
+
+class DatumPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Equal values (Compare == 0) must co-hash — hash joins and hash distribution
+// both break otherwise. This includes the int-vs-integral-double case.
+TEST_P(DatumPropertyTest, EqualImpliesSameHash) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 3000; ++i) {
+    Datum a = RandomDatum(rng);
+    Datum b = RandomDatum(rng);
+    if (a.is_null() || b.is_null()) continue;
+    if (a.Compare(b) == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash()) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+// Compare must be a strict weak ordering: antisymmetric and transitive.
+TEST_P(DatumPropertyTest, ComparisonLaws) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17);
+  for (int i = 0; i < 1000; ++i) {
+    Datum a = RandomDatum(rng), b = RandomDatum(rng), c = RandomDatum(rng);
+    EXPECT_EQ(a.Compare(b), -b.Compare(a)) << a.ToString() << " / " << b.ToString();
+    EXPECT_EQ(a.Compare(a), 0);
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0)
+          << a.ToString() << " <= " << b.ToString() << " <= " << c.ToString();
+    }
+  }
+}
+
+// Sorting with Compare terminates and yields an ordered sequence.
+TEST_P(DatumPropertyTest, SortableSequences) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  std::vector<Datum> values;
+  for (int i = 0; i < 500; ++i) values.push_back(RandomDatum(rng));
+  std::sort(values.begin(), values.end(),
+            [](const Datum& a, const Datum& b) { return a.Compare(b) < 0; });
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i - 1].Compare(values[i]), 0);
+  }
+  // NULLs sort to the end.
+  bool seen_null = false;
+  for (const Datum& d : values) {
+    if (d.is_null()) {
+      seen_null = true;
+    } else {
+      EXPECT_FALSE(seen_null) << "non-NULL after NULL";
+    }
+  }
+}
+
+// Distribution routing must be stable: the same key always routes to the same
+// segment index regardless of surrounding row contents.
+TEST_P(DatumPropertyTest, RoutingDependsOnlyOnKeyColumns) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101);
+  for (int i = 0; i < 1000; ++i) {
+    Datum key = RandomDatum(rng);
+    Row r1 = {key, RandomDatum(rng), RandomDatum(rng)};
+    Row r2 = {key, RandomDatum(rng), RandomDatum(rng)};
+    EXPECT_EQ(HashRowKey(r1, {0}) % 16, HashRowKey(r2, {0}) % 16);
+  }
+}
+
+// Hashes of small int domains must spread across segments (no pathological
+// skew that would put every row on one segment).
+TEST_P(DatumPropertyTest, HashSpreadsAcrossSegments) {
+  constexpr int kSegments = 8;
+  std::vector<int> counts(kSegments, 0);
+  for (int64_t v = 0; v < 8000; ++v) {
+    counts[Datum(v).Hash() % kSegments]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 8000 / kSegments / 2);
+    EXPECT_LT(c, 8000 / kSegments * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatumPropertyTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,76 @@
+#include "catalog/datum.h"
+
+#include <gtest/gtest.h>
+
+namespace gphtap {
+namespace {
+
+TEST(DatumTest, NullBasics) {
+  Datum d;
+  EXPECT_TRUE(d.is_null());
+  EXPECT_EQ(d.ToString(), "NULL");
+  EXPECT_EQ(Datum::Null().Compare(Datum::Null()), 0);
+}
+
+TEST(DatumTest, TypedAccessors) {
+  EXPECT_EQ(Datum(int64_t{42}).int_val(), 42);
+  EXPECT_DOUBLE_EQ(Datum(2.5).double_val(), 2.5);
+  EXPECT_EQ(Datum(std::string("hi")).string_val(), "hi");
+}
+
+TEST(DatumTest, CompareInts) {
+  EXPECT_LT(Datum(int64_t{1}).Compare(Datum(int64_t{2})), 0);
+  EXPECT_GT(Datum(int64_t{5}).Compare(Datum(int64_t{2})), 0);
+  EXPECT_EQ(Datum(int64_t{3}).Compare(Datum(int64_t{3})), 0);
+}
+
+TEST(DatumTest, CompareCrossNumeric) {
+  EXPECT_EQ(Datum(int64_t{2}).Compare(Datum(2.0)), 0);
+  EXPECT_LT(Datum(int64_t{2}).Compare(Datum(2.5)), 0);
+  EXPECT_GT(Datum(3.5).Compare(Datum(int64_t{3})), 0);
+}
+
+TEST(DatumTest, CompareStrings) {
+  EXPECT_LT(Datum(std::string("abc")).Compare(Datum(std::string("abd"))), 0);
+  EXPECT_EQ(Datum(std::string("x")).Compare(Datum(std::string("x"))), 0);
+}
+
+TEST(DatumTest, NullsSortLast) {
+  EXPECT_GT(Datum::Null().Compare(Datum(int64_t{1})), 0);
+  EXPECT_LT(Datum(int64_t{1}).Compare(Datum::Null()), 0);
+}
+
+TEST(DatumTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Datum(int64_t{7}).Hash(), Datum(int64_t{7}).Hash());
+  EXPECT_EQ(Datum(std::string("abc")).Hash(), Datum(std::string("abc")).Hash());
+  // Integral double co-hashes with the equal int (needed for join/distribution keys).
+  EXPECT_EQ(Datum(int64_t{7}).Hash(), Datum(7.0).Hash());
+}
+
+TEST(DatumTest, HashSpreads) {
+  // Consecutive ints should not collide pathologically.
+  std::vector<uint64_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) hashes.push_back(Datum(i).Hash());
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::unique(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(DatumTest, RowKeyHashUsesListedColumns) {
+  Row r1 = {Datum(int64_t{1}), Datum(int64_t{100})};
+  Row r2 = {Datum(int64_t{1}), Datum(int64_t{200})};
+  EXPECT_EQ(HashRowKey(r1, {0}), HashRowKey(r2, {0}));
+  EXPECT_NE(HashRowKey(r1, {0, 1}), HashRowKey(r2, {0, 1}));
+}
+
+TEST(DatumTest, RowToString) {
+  Row r = {Datum(int64_t{1}), Datum(std::string("a")), Datum::Null()};
+  EXPECT_EQ(RowToString(r), "(1, a, NULL)");
+}
+
+TEST(DatumTest, FootprintLargerForStrings) {
+  EXPECT_GT(Datum(std::string(100, 'x')).FootprintBytes(),
+            Datum(int64_t{1}).FootprintBytes());
+}
+
+}  // namespace
+}  // namespace gphtap

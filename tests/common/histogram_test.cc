@@ -1,0 +1,69 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace gphtap {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+  EXPECT_EQ(h.Percentile(50), 100);
+}
+
+TEST(HistogramTest, PercentilesAreApproximatelyRight) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  // Log-bucketed: accept 20% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 5000, 1200);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(95)), 9500, 2000);
+  EXPECT_EQ(h.Percentile(100), 10000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5000.5);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.Mean(), 505.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ZeroAndNegativeGoToFirstBucket) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LE(h.Percentile(50), 0);  // both land in the first bucket
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  for (int i = 0; i < 42; ++i) h.Record(7);
+  EXPECT_NE(h.Summary().find("count=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gphtap

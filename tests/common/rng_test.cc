@@ -1,0 +1,72 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gphtap {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.Uniform(8)]++;
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 10000 / 8 / 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(11);
+  Zipf z(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Sample(rng), 1000u);
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  Rng rng(13);
+  Zipf z(1000, 0.99);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (z.Sample(rng) < 100) ++low;
+  }
+  // With theta=0.99 far more than 10% of mass is on the first 10% of keys.
+  EXPECT_GT(low, 4000);
+}
+
+}  // namespace
+}  // namespace gphtap

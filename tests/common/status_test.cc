@@ -1,0 +1,87 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gphtap {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t1");
+  EXPECT_EQ(s.ToString(), "NotFound: table t1");
+}
+
+TEST(StatusTest, AbortLikeClassification) {
+  EXPECT_TRUE(Status::Aborted("x").IsAbortLike());
+  EXPECT_TRUE(Status::DeadlockDetected("x").IsAbortLike());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsAbortLike());
+  EXPECT_FALSE(Status::NotFound("x").IsAbortLike());
+  EXPECT_FALSE(Status::OK().IsAbortLike());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kNotSupported); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  GPHTAP_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  auto err = ParsePositive(0);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> UseAssignOr(int v) {
+  GPHTAP_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto ok = UseAssignOr(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_FALSE(UseAssignOr(-5).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(7));
+  ASSERT_TRUE(so.ok());
+  std::unique_ptr<int> p = std::move(so).value();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace gphtap

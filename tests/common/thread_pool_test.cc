@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace gphtap {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { done++; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = ++running;
+      int old = peak.load();
+      while (now > old && !peak.compare_exchange_weak(old, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --running;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_GE(peak.load(), 2) << "tasks never overlapped";
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueueThenRejects) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done++;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 20);  // queued tasks completed before join
+  EXPECT_FALSE(pool.Submit([&] { done++; }));
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorJoins) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.Submit([&] { done++; });
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, NumThreadsReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  pool.Shutdown();
+  EXPECT_EQ(pool.num_threads(), 0u);
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,216 @@
+// Unit tests for the push-based executor: operators driven through ExecuteNode
+// and full plans through ExecutePlan on a real cluster.
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "api/gphtap.h"
+
+namespace gphtap {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    ClusterOptions o;
+    o.num_segments = 2;
+    cluster_ = std::make_unique<Cluster>(o);
+    session_ = cluster_->Connect();
+    EXPECT_TRUE(
+        session_->Execute("CREATE TABLE t (k int, v int) DISTRIBUTED BY (k)").ok());
+    EXPECT_TRUE(
+        session_->Execute("INSERT INTO t SELECT i, i * 10 FROM generate_series(1, 20) i")
+            .ok());
+  }
+
+  // Runs a plan whose leaves live on all segments, gathering to this thread.
+  StatusOr<std::vector<Row>> Run(PlanPtr root) {
+    QueryPlan plan;
+    plan.root = std::move(root);
+    for (int i = 0; i < cluster_->num_segments(); ++i) plan.gang.push_back(i);
+    Gxid gxid;
+    auto owner = cluster_->dtm().BeginTxn(&gxid);
+    DistributedSnapshot snap = cluster_->dtm().TakeSnapshot();
+    std::vector<Row> rows;
+    Status s = ExecutePlan(cluster_.get(), plan, gxid, owner, snap, nullptr, nullptr,
+                           [&](Row&& row) -> Status {
+                             rows.push_back(std::move(row));
+                             return Status::OK();
+                           });
+    cluster_->dtm().MarkAborted(gxid);
+    cluster_->coordinator_locks().ReleaseAll(*owner);
+    for (int i = 0; i < cluster_->num_segments(); ++i) {
+      cluster_->segment(i)->locks().ReleaseAll(*owner);
+    }
+    if (!s.ok()) return s;
+    return rows;
+  }
+
+  TableId TableIdOf(const char* name) { return cluster_->LookupTable(name)->id; }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ExecutorTest, GatheredSeqScan) {
+  auto rows = Run(MakeMotion(MotionKind::kGather, MakeSeqScan(TableIdOf("t"), 2), 1000));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 20u);
+}
+
+TEST_F(ExecutorTest, ScanFilterPushdown) {
+  ExprPtr filter =
+      Expr::Binary(BinOp::kGt, Expr::Column(0), Expr::Const(Datum(int64_t{15})));
+  auto rows =
+      Run(MakeMotion(MotionKind::kGather, MakeSeqScan(TableIdOf("t"), 2, filter), 1001));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+}
+
+TEST_F(ExecutorTest, ProjectComputesExpressions) {
+  auto project = std::make_unique<PlanNode>();
+  project->kind = PlanKind::kProject;
+  project->exprs = {Expr::Binary(BinOp::kAdd, Expr::Column(0), Expr::Column(1))};
+  project->output_arity = 1;
+  project->children.push_back(MakeSeqScan(TableIdOf("t"), 2));
+  auto rows = Run(MakeMotion(MotionKind::kGather, std::move(project), 1002));
+  ASSERT_TRUE(rows.ok());
+  int64_t sum = 0;
+  for (const Row& r : *rows) sum += r[0].int_val();
+  // sum(k + 10k) = 11 * sum(1..20) = 11 * 210.
+  EXPECT_EQ(sum, 11 * 210);
+}
+
+TEST_F(ExecutorTest, RedistributeThenGatherPreservesRows) {
+  PlanPtr redist = MakeMotion(MotionKind::kRedistribute,
+                              MakeSeqScan(TableIdOf("t"), 2), 1003, {1});
+  auto rows = Run(MakeMotion(MotionKind::kGather, std::move(redist), 1004));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 20u);
+}
+
+TEST_F(ExecutorTest, BroadcastDuplicatesPerReceiver) {
+  PlanPtr bcast =
+      MakeMotion(MotionKind::kBroadcast, MakeSeqScan(TableIdOf("t"), 2), 1005);
+  auto rows = Run(MakeMotion(MotionKind::kGather, std::move(bcast), 1006));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 40u);  // every row reaches both segments
+}
+
+TEST_F(ExecutorTest, PartialFinalAggPipeline) {
+  auto partial = std::make_unique<PlanNode>();
+  partial->kind = PlanKind::kHashAgg;
+  partial->agg_phase = AggPhase::kPartial;
+  partial->aggs = {AggSpec{AggFunc::kCountStar, nullptr},
+                   AggSpec{AggFunc::kSum, Expr::Column(1)},
+                   AggSpec{AggFunc::kAvg, Expr::Column(1)}};
+  partial->output_arity = 4;  // count, sum, avg(sum,count)
+  partial->children.push_back(MakeSeqScan(TableIdOf("t"), 2));
+
+  auto final_agg = std::make_unique<PlanNode>();
+  final_agg->kind = PlanKind::kHashAgg;
+  final_agg->agg_phase = AggPhase::kFinal;
+  final_agg->aggs = partial->aggs;
+  final_agg->output_arity = 3;
+  final_agg->children.push_back(
+      MakeMotion(MotionKind::kGather, std::move(partial), 1007));
+
+  auto rows = Run(std::move(final_agg));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].int_val(), 20);          // count
+  EXPECT_EQ((*rows)[0][1].int_val(), 2100);        // sum(v)
+  EXPECT_DOUBLE_EQ((*rows)[0][2].double_val(), 105.0);  // avg(v)
+}
+
+TEST_F(ExecutorTest, EmptyInputGlobalAggregateProducesOneRow) {
+  EXPECT_TRUE(session_->Execute("CREATE TABLE empty_t (k int, v int)").ok());
+  auto partial = std::make_unique<PlanNode>();
+  partial->kind = PlanKind::kHashAgg;
+  partial->agg_phase = AggPhase::kPartial;
+  partial->aggs = {AggSpec{AggFunc::kCountStar, nullptr}};
+  partial->output_arity = 1;
+  partial->children.push_back(MakeSeqScan(TableIdOf("empty_t"), 2));
+  auto final_agg = std::make_unique<PlanNode>();
+  final_agg->kind = PlanKind::kHashAgg;
+  final_agg->agg_phase = AggPhase::kFinal;
+  final_agg->aggs = partial->aggs;
+  final_agg->output_arity = 1;
+  final_agg->children.push_back(
+      MakeMotion(MotionKind::kGather, std::move(partial), 1008));
+  auto rows = Run(std::move(final_agg));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].int_val(), 0);
+}
+
+TEST_F(ExecutorTest, SortAndLimitStopProducersEarly) {
+  auto sort = std::make_unique<PlanNode>();
+  sort->kind = PlanKind::kSort;
+  sort->sort_keys = {SortKey{0, false}};
+  sort->output_arity = 2;
+  sort->children.push_back(
+      MakeMotion(MotionKind::kGather, MakeSeqScan(TableIdOf("t"), 2), 1009));
+  auto limit = std::make_unique<PlanNode>();
+  limit->kind = PlanKind::kLimit;
+  limit->limit = 3;
+  limit->output_arity = 2;
+  limit->children.push_back(std::move(sort));
+  auto rows = Run(std::move(limit));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].int_val(), 20);
+  EXPECT_EQ((*rows)[2][0].int_val(), 18);
+}
+
+TEST_F(ExecutorTest, GenerateSeriesAndValuesNodes) {
+  auto series = std::make_unique<PlanNode>();
+  series->kind = PlanKind::kGenerateSeries;
+  series->series_start = 5;
+  series->series_end = 9;
+  series->output_arity = 1;
+  auto rows = Run(MakeMotion(MotionKind::kGather, std::move(series), 1010));
+  ASSERT_TRUE(rows.ok());
+  // Each gang member produces the series: 5 values x 2 segments.
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(ExecutorTest, CancellationAbortsQuery) {
+  Gxid gxid;
+  auto owner = cluster_->dtm().BeginTxn(&gxid);
+  DistributedSnapshot snap = cluster_->dtm().TakeSnapshot();
+  QueryPlan plan;
+  plan.root = MakeMotion(MotionKind::kGather, MakeSeqScan(TableIdOf("t"), 2), 1011);
+  for (int i = 0; i < cluster_->num_segments(); ++i) plan.gang.push_back(i);
+  owner->Cancel(Status::Aborted("user cancel"));
+  Status s = ExecutePlan(cluster_.get(), plan, gxid, owner, snap, nullptr, nullptr,
+                         [&](Row&&) -> Status { return Status::OK(); });
+  EXPECT_TRUE(s.IsAbortLike()) << s.ToString();
+  cluster_->dtm().MarkAborted(gxid);
+}
+
+TEST_F(ExecutorTest, MemoryAccountEnforcedBySort) {
+  // A sort through a 0-byte memory account must be cancelled, not crash.
+  VmemTracker tiny(0);
+  auto group = std::make_shared<GroupMemory>("g", 0, 0, 1);
+  QueryMemoryAccount account(&tiny, group);
+  Gxid gxid;
+  auto owner = cluster_->dtm().BeginTxn(&gxid);
+  DistributedSnapshot snap = cluster_->dtm().TakeSnapshot();
+  QueryPlan plan;
+  auto sort = std::make_unique<PlanNode>();
+  sort->kind = PlanKind::kSort;
+  sort->sort_keys = {SortKey{0, true}};
+  sort->output_arity = 2;
+  sort->children.push_back(
+      MakeMotion(MotionKind::kGather, MakeSeqScan(TableIdOf("t"), 2), 1012));
+  plan.root = std::move(sort);
+  for (int i = 0; i < cluster_->num_segments(); ++i) plan.gang.push_back(i);
+  Status s = ExecutePlan(cluster_.get(), plan, gxid, owner, snap, nullptr, &account,
+                         [&](Row&&) -> Status { return Status::OK(); });
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  cluster_->dtm().MarkAborted(gxid);
+}
+
+}  // namespace
+}  // namespace gphtap

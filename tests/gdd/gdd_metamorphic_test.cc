@@ -1,0 +1,132 @@
+// Metamorphic properties of Algorithm 1: transformations whose effect on the
+// verdict is known a priori, applied to random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gdd/gdd_algorithm.h"
+
+namespace gphtap {
+namespace {
+
+std::vector<LocalWaitGraph> RandomAcyclic(Rng& rng, int nodes, int edges_per_node) {
+  std::vector<LocalWaitGraph> graphs;
+  for (int n = 0; n < nodes; ++n) {
+    LocalWaitGraph g;
+    g.node_id = n;
+    for (int e = 0; e < edges_per_node; ++e) {
+      uint64_t a = 1 + rng.Uniform(12);
+      uint64_t b = 1 + rng.Uniform(12);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      g.edges.push_back(WaitEdge{a, b, rng.Chance(0.4)});
+    }
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+class GddMetamorphicTest : public ::testing::TestWithParam<int> {};
+
+// Removing any edge from a non-deadlocked graph keeps it non-deadlocked
+// (edge-monotonicity of the verdict).
+TEST_P(GddMetamorphicTest, EdgeRemovalNeverCreatesDeadlock) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 20; ++iter) {
+    auto graphs = RandomAcyclic(rng, 3, 8);
+    ASSERT_FALSE(RunGddAlgorithm(graphs).deadlock);
+    for (size_t n = 0; n < graphs.size(); ++n) {
+      if (graphs[n].edges.empty()) continue;
+      auto copy = graphs;
+      copy[n].edges.erase(copy[n].edges.begin() +
+                          static_cast<long>(rng.Uniform(copy[n].edges.size())));
+      EXPECT_FALSE(RunGddAlgorithm(copy).deadlock);
+    }
+  }
+}
+
+// Renaming transactions consistently (an order-preserving gxid shift) must not
+// change the verdict, and must shift the victim by the same amount.
+TEST_P(GddMetamorphicTest, GxidShiftInvariance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto graphs = RandomAcyclic(rng, 2, 6);
+    // Plant a cycle half the time.
+    bool planted = rng.Chance(0.5);
+    if (planted) {
+      graphs[0].edges.push_back(WaitEdge{100, 101, false});
+      graphs[0].edges.push_back(WaitEdge{101, 100, false});
+    }
+    GddResult base = RunGddAlgorithm(graphs);
+    auto shifted = graphs;
+    constexpr uint64_t kShift = 1000;
+    for (auto& g : shifted) {
+      for (auto& e : g.edges) {
+        e.waiter += kShift;
+        e.holder += kShift;
+      }
+    }
+    GddResult after = RunGddAlgorithm(shifted);
+    EXPECT_EQ(base.deadlock, after.deadlock);
+    if (base.deadlock) EXPECT_EQ(base.victim + kShift, after.victim);
+  }
+}
+
+// Merging two independent clusters of transactions (disjoint gxid ranges) into
+// one collection: deadlock iff either side deadlocks.
+TEST_P(GddMetamorphicTest, DisjointUnionPreservesVerdict) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto a = RandomAcyclic(rng, 2, 6);
+    auto b = RandomAcyclic(rng, 2, 6);
+    for (auto& g : b) {
+      g.node_id += 10;  // different segments
+      for (auto& e : g.edges) {
+        e.waiter += 500;  // disjoint gxids
+        e.holder += 500;
+      }
+    }
+    bool plant_in_b = rng.Chance(0.5);
+    if (plant_in_b) {
+      b[0].edges.push_back(WaitEdge{900, 901, false});
+      b[0].edges.push_back(WaitEdge{901, 900, false});
+    }
+    std::vector<LocalWaitGraph> merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    GddResult ra = RunGddAlgorithm(a);
+    GddResult rb = RunGddAlgorithm(b);
+    GddResult rm = RunGddAlgorithm(merged);
+    EXPECT_EQ(rm.deadlock, ra.deadlock || rb.deadlock);
+    if (plant_in_b) {
+      EXPECT_TRUE(rm.deadlock);
+      EXPECT_EQ(rm.victim, rb.victim);
+    }
+  }
+}
+
+// Turning a dotted edge into a solid one can only make deadlock MORE likely,
+// never less (solid edges are strictly harder to remove).
+TEST_P(GddMetamorphicTest, SolidifyingEdgesIsMonotone) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<LocalWaitGraph> graphs;
+    LocalWaitGraph g;
+    g.node_id = 0;
+    for (int e = 0; e < 10; ++e) {
+      uint64_t x = 1 + rng.Uniform(6), y = 1 + rng.Uniform(6);
+      if (x == y) continue;
+      g.edges.push_back(WaitEdge{x, y, rng.Chance(0.6)});
+    }
+    graphs.push_back(g);
+    bool before = RunGddAlgorithm(graphs).deadlock;
+    for (auto& e : graphs[0].edges) e.dotted = false;
+    bool after = RunGddAlgorithm(graphs).deadlock;
+    EXPECT_TRUE(!before || after) << "solidifying edges removed a deadlock";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GddMetamorphicTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace gphtap

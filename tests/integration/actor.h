@@ -1,0 +1,69 @@
+// Test helper: a session driven on its own thread, so scenarios can interleave
+// blocking statements across concurrent transactions.
+#ifndef GPHTAP_TESTS_INTEGRATION_ACTOR_H_
+#define GPHTAP_TESTS_INTEGRATION_ACTOR_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/gphtap.h"
+#include "common/bounded_queue.h"
+
+namespace gphtap {
+
+class Actor {
+ public:
+  explicit Actor(Cluster* cluster, const std::string& role = "")
+      : session_(cluster->Connect(role)), queue_(64) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~Actor() {
+    queue_.Close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Enqueues a statement; the future resolves when it finishes (possibly after
+  /// blocking on locks).
+  std::future<Status> Run(std::string sql) {
+    auto task = std::make_shared<Task>();
+    task->sql = std::move(sql);
+    std::future<Status> f = task->done.get_future();
+    queue_.Push(task);
+    return f;
+  }
+
+  /// Runs and waits; convenience for non-blocking statements.
+  Status RunSync(std::string sql) { return Run(std::move(sql)).get(); }
+
+  Session* session() { return session_.get(); }
+
+ private:
+  struct Task {
+    std::string sql;
+    std::promise<Status> done;
+  };
+
+  void Loop() {
+    while (auto task = queue_.Pop()) {
+      auto result = session_->Execute((*task)->sql);
+      (*task)->done.set_value(result.ok() ? Status::OK() : result.status());
+    }
+  }
+
+  std::unique_ptr<Session> session_;
+  BoundedQueue<std::shared_ptr<Task>> queue_;
+  std::thread thread_;
+};
+
+/// True if the future is still pending after `ms` milliseconds (i.e. the
+/// statement is blocked on a lock).
+inline bool StillBlocked(std::future<Status>& f, int ms = 100) {
+  return f.wait_for(std::chrono::milliseconds(ms)) != std::future_status::ready;
+}
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_TESTS_INTEGRATION_ACTOR_H_

@@ -1,0 +1,313 @@
+// The paper's global-deadlock case studies (Figures 6, 7, 8) reproduced live:
+// concurrent sessions on real threads, blocking on the segment lock tables,
+// with the GDD daemon deciding who dies.
+#include <gtest/gtest.h>
+
+#include "catalog/datum.h"
+#include "integration/actor.h"
+
+namespace gphtap {
+namespace {
+
+class GddCasesTest : public ::testing::Test {
+ protected:
+  void StartCluster(bool gdd_enabled) {
+    ClusterOptions options;
+    options.num_segments = 3;
+    options.gdd_enabled = gdd_enabled;
+    options.gdd_period_us = 10'000;
+    options.locks.local_deadlock_timeout_us = 200'000;
+    cluster_ = std::make_unique<Cluster>(options);
+  }
+
+  /// Smallest positive int whose hash routes to `segment` and is not in `used`.
+  int64_t KeyOnSegment(int segment, std::vector<int64_t>* used) {
+    for (int64_t v = 1;; ++v) {
+      if (std::find(used->begin(), used->end(), v) != used->end()) continue;
+      if (cluster_->SegmentForHash(Datum(v).Hash()) == segment) {
+        used->push_back(v);
+        return v;
+      }
+    }
+  }
+
+  // Creates t1(c1,c2) with one row per requested key.
+  void Setup(const std::vector<int64_t>& keys) {
+    auto s = cluster_->Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t1 (c1 int, c2 int) DISTRIBUTED BY (c1)").ok());
+    ASSERT_TRUE(s->Execute("CREATE TABLE t2 (c1 int, c2 int) DISTRIBUTED BY (c1)").ok());
+    for (int64_t k : keys) {
+      ASSERT_TRUE(s->Execute("INSERT INTO t1 VALUES (" + std::to_string(k) + ", " +
+                             std::to_string(k) + ")")
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+// Figure 6: A updates on seg0 then seg1; B updates on seg1 then seg0.
+// A global deadlock the local detectors cannot see; the GDD must break it by
+// killing the youngest transaction (B).
+TEST_F(GddCasesTest, Figure6GlobalDeadlockBrokenByGdd) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k0 = KeyOnSegment(0, &used);
+  int64_t k1 = KeyOnSegment(1, &used);
+  Setup({k0, k1});
+
+  Actor a(cluster_.get()), b(cluster_.get());
+  ASSERT_TRUE(a.RunSync("BEGIN").ok());
+  ASSERT_TRUE(b.RunSync("BEGIN").ok());
+
+  // (1) A locks the tuple on segment 0.
+  ASSERT_TRUE(
+      a.RunSync("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k0)).ok());
+  // (2) B locks the tuple on segment 1.
+  ASSERT_TRUE(
+      b.RunSync("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k1)).ok());
+  // (3) B waits for A on segment 0.
+  auto b_blocked = b.Run("UPDATE t1 SET c2 = 30 WHERE c1 = " + std::to_string(k0));
+  ASSERT_TRUE(StillBlocked(b_blocked)) << "B should wait on A";
+  // (4) A waits for B on segment 1 -> global deadlock.
+  auto a_blocked = a.Run("UPDATE t1 SET c2 = 40 WHERE c1 = " + std::to_string(k1));
+
+  // The GDD must kill exactly one of them — the youngest (B began later).
+  Status b_status = b_blocked.get();
+  Status a_status = a_blocked.get();
+  EXPECT_EQ(b_status.code(), StatusCode::kDeadlockDetected) << b_status.ToString();
+  EXPECT_TRUE(a_status.ok()) << a_status.ToString();
+
+  ASSERT_TRUE(a.RunSync("COMMIT").ok());
+  ASSERT_TRUE(b.RunSync("ROLLBACK").ok());
+
+  // A's updates won; B's all rolled back.
+  auto check = cluster_->Connect();
+  auto r = check->Execute("SELECT c2 FROM t1 WHERE c1 = " + std::to_string(k0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].int_val(), 10);
+  r = check->Execute("SELECT c2 FROM t1 WHERE c1 = " + std::to_string(k1));
+  EXPECT_EQ(r->rows[0][0].int_val(), 40);
+  EXPECT_GE(cluster_->gdd()->stats().victims_killed, 1u);
+}
+
+// The same schedule with GDD *disabled* cannot even be constructed: the
+// pre-GPDB6 locking takes table-level ExclusiveLock, so B's first UPDATE
+// blocks on the whole relation and no tuple-level cross-segment waits arise.
+TEST_F(GddCasesTest, Figure6WithGddDisabledWritersSerialize) {
+  StartCluster(/*gdd_enabled=*/false);
+  std::vector<int64_t> used;
+  int64_t k0 = KeyOnSegment(0, &used);
+  int64_t k1 = KeyOnSegment(1, &used);
+  Setup({k0, k1});
+
+  Actor a(cluster_.get()), b(cluster_.get());
+  ASSERT_TRUE(a.RunSync("BEGIN").ok());
+  ASSERT_TRUE(b.RunSync("BEGIN").ok());
+  ASSERT_TRUE(
+      a.RunSync("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k0)).ok());
+  // B's update of a DIFFERENT tuple blocks at the relation lock.
+  auto b_blocked = b.Run("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k1));
+  EXPECT_TRUE(StillBlocked(b_blocked)) << "GPDB5 mode must serialize writers";
+  ASSERT_TRUE(a.RunSync("COMMIT").ok());
+  EXPECT_TRUE(b_blocked.get().ok());
+  ASSERT_TRUE(b.RunSync("COMMIT").ok());
+}
+
+// Figure 7: four transactions, the coordinator participates via LOCK TABLE.
+// Cycle: A -> B (seg1), B -> D (seg0), D -> C (coordinator), C -> A (seg0).
+TEST_F(GddCasesTest, Figure7CoordinatorDeadlockBrokenByGdd) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k2 = KeyOnSegment(0, &used);  // paper's c1=2 (segment 0)
+  int64_t k1 = KeyOnSegment(1, &used);  // paper's c1=1 (segment 1)
+  int64_t k3 = KeyOnSegment(0, &used);  // paper's c1=3 (segment 0)
+  Setup({k2, k1, k3});
+
+  Actor a(cluster_.get()), b(cluster_.get()), c(cluster_.get()), d(cluster_.get());
+  for (Actor* t : {&a, &b, &c, &d}) ASSERT_TRUE(t->RunSync("BEGIN").ok());
+
+  // (1) A locks tuple k2 on seg0.
+  ASSERT_TRUE(a.RunSync("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k2)).ok());
+  // (2) B locks tuple k1 on seg1.
+  ASSERT_TRUE(b.RunSync("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k1)).ok());
+  // (3) C locks relation t2 everywhere.
+  ASSERT_TRUE(c.RunSync("LOCK t2 IN ACCESS EXCLUSIVE MODE").ok());
+  // (4) C waits for A's tuple on seg0.
+  auto c_blocked = c.Run("UPDATE t1 SET c2 = 30 WHERE c1 = " + std::to_string(k2));
+  ASSERT_TRUE(StillBlocked(c_blocked));
+  // (5) A waits for B's tuple on seg1.
+  auto a_blocked = a.Run("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k1));
+  ASSERT_TRUE(StillBlocked(a_blocked));
+  // (6) D locks tuple k3 on seg0.
+  ASSERT_TRUE(d.RunSync("UPDATE t1 SET c2 = 50 WHERE c1 = " + std::to_string(k3)).ok());
+  // (7) D waits for C's relation lock on the coordinator.
+  auto d_blocked = d.Run("LOCK t2 IN ACCESS EXCLUSIVE MODE");
+  ASSERT_TRUE(StillBlocked(d_blocked));
+  // (8) B waits for D's tuple on seg0 -> the cycle closes.
+  auto b_blocked = b.Run("UPDATE t1 SET c2 = 40 WHERE c1 = " + std::to_string(k3));
+
+  // Youngest on the cycle is D.
+  Status d_status = d_blocked.get();
+  EXPECT_EQ(d_status.code(), StatusCode::kDeadlockDetected) << d_status.ToString();
+  ASSERT_TRUE(d.RunSync("ROLLBACK").ok());
+
+  // With D gone: B gets k3, then A gets k1 after B commits, etc. Unwind.
+  Status b_status = b_blocked.get();
+  EXPECT_TRUE(b_status.ok()) << b_status.ToString();
+  ASSERT_TRUE(b.RunSync("COMMIT").ok());
+  Status a_status = a_blocked.get();
+  EXPECT_TRUE(a_status.ok()) << a_status.ToString();
+  ASSERT_TRUE(a.RunSync("COMMIT").ok());
+  Status c_status = c_blocked.get();
+  EXPECT_TRUE(c_status.ok()) << c_status.ToString();
+  ASSERT_TRUE(c.RunSync("COMMIT").ok());
+
+  EXPECT_EQ(cluster_->gdd()->stats().victims_killed, 1u);
+}
+
+// Figure 8: the dotted-edge case. B blocks behind A (seg0) and C (seg1) while
+// holding tuple locks; A then blocks on B's TUPLE lock (a dotted edge). The
+// GDD must NOT kill anyone: C can finish and everything unwinds.
+TEST_F(GddCasesTest, Figure8DottedEdgesNoVictim) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k3 = KeyOnSegment(0, &used);  // paper's c1=3 on segment 0
+  int64_t k1 = KeyOnSegment(1, &used);  // paper's c1=1 on segment 1
+  Setup({k3, k1});
+
+  Actor a(cluster_.get()), b(cluster_.get()), c(cluster_.get());
+  for (Actor* t : {&a, &b, &c}) ASSERT_TRUE(t->RunSync("BEGIN").ok());
+
+  // (1) A locks tuple k3 on seg0 (the paper matches it via c2 = 3).
+  ASSERT_TRUE(a.RunSync("UPDATE t1 SET c2 = 10 WHERE c2 = " + std::to_string(k3)).ok());
+  // (2) C locks tuple k1 on seg1.
+  ASSERT_TRUE(c.RunSync("UPDATE t1 SET c2 = 30 WHERE c1 = " + std::to_string(k1)).ok());
+  // (3) B tries both tuples: waits for A on seg0 and C on seg1, holding tuple
+  //     locks on both segments.
+  auto b_blocked = b.Run("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k1) +
+                         " OR c2 = " + std::to_string(k3));
+  ASSERT_TRUE(StillBlocked(b_blocked));
+  // (4) A tries tuple k1 on seg1: blocked by B's tuple lock (dotted edge).
+  auto a_blocked = a.Run("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k1));
+  ASSERT_TRUE(StillBlocked(a_blocked, 150));
+
+  // Run several GDD periods: nobody may be killed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(cluster_->gdd()->stats().victims_killed, 0u)
+      << "GDD killed a victim in a non-deadlock scenario";
+  EXPECT_TRUE(StillBlocked(a_blocked, 10));
+  EXPECT_TRUE(StillBlocked(b_blocked, 10));
+
+  // Unwind: cancel A (user Ctrl-C) -> its statement aborts and its locks are
+  // released, so B can take seg0; commit C -> B can take seg1.
+  cluster_->CancelTxn(a.session()->current_gxid(), Status::Aborted("user cancel"));
+  Status a_status = a_blocked.get();
+  EXPECT_TRUE(a_status.IsAbortLike()) << a_status.ToString();
+  ASSERT_TRUE(a.RunSync("ROLLBACK").ok());
+  ASSERT_TRUE(c.RunSync("COMMIT").ok());
+  Status b_status = b_blocked.get();
+  EXPECT_TRUE(b_status.ok()) << b_status.ToString();
+  ASSERT_TRUE(b.RunSync("COMMIT").ok());
+  EXPECT_EQ(cluster_->gdd()->stats().victims_killed, 0u);
+}
+
+// Figure 19 (Appendix A): mixed solid and dotted edges across four
+// transactions — NOT a deadlock. B holds a tuple it updated earlier (solid
+// edge from D), waits for A and C on two segments while holding tuple locks
+// (dotted edge from A). The greedy reduction must unwind it all.
+TEST_F(GddCasesTest, Figure19MixedEdgesNoVictim) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k3 = KeyOnSegment(0, &used);  // paper's c2=3 tuple, lives on segment 0
+  int64_t k2 = KeyOnSegment(1, &used);  // paper's c1=2 on segment 1
+  int64_t k4 = KeyOnSegment(1, &used);  // paper's c1=4 on segment 1
+  Setup({k3, k2, k4});
+
+  Actor a(cluster_.get()), b(cluster_.get()), c(cluster_.get()), d(cluster_.get());
+  for (Actor* t : {&a, &b, &c, &d}) ASSERT_TRUE(t->RunSync("BEGIN").ok());
+
+  // (1) A locks the c2=k3 tuple on segment 0 (non-key predicate: full scan).
+  ASSERT_TRUE(a.RunSync("UPDATE t1 SET c2 = 10 WHERE c2 = " + std::to_string(k3)).ok());
+  // (2) C locks tuple k2 on segment 1.
+  ASSERT_TRUE(c.RunSync("UPDATE t1 SET c2 = 30 WHERE c1 = " + std::to_string(k2)).ok());
+  // (3) B locks tuple k4 on segment 1.
+  ASSERT_TRUE(b.RunSync("UPDATE t1 SET c2 = 20 WHERE c1 = " + std::to_string(k4)).ok());
+  // (4) B tries the A-held tuple (seg0) and the C-held tuple (seg1) at once.
+  auto b_blocked = b.Run("UPDATE t1 SET c2 = 21 WHERE c2 = " + std::to_string(k3) +
+                         " OR c1 = " + std::to_string(k2));
+  ASSERT_TRUE(StillBlocked(b_blocked));
+  // (5) A tries tuple k2: blocked by B's TUPLE lock on segment 1 (dotted edge).
+  auto a_blocked = a.Run("UPDATE t1 SET c2 = 10 WHERE c1 = " + std::to_string(k2));
+  ASSERT_TRUE(StillBlocked(a_blocked, 150));
+  // (6) D tries tuple k4: blocked by B's transaction lock (solid edge).
+  auto d_blocked = d.Run("UPDATE t1 SET c2 = 50 WHERE c1 = " + std::to_string(k4));
+  ASSERT_TRUE(StillBlocked(d_blocked, 150));
+
+  // Several GDD periods: no victim may be chosen.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(cluster_->gdd()->stats().victims_killed, 0u)
+      << "GDD killed a victim in the paper's non-deadlock Figure 19";
+
+  // Unwind: cancel A (it sits between B and C), then commit C; B finishes,
+  // then D gets the k4 tuple once B commits.
+  cluster_->CancelTxn(a.session()->current_gxid(), Status::Aborted("user cancel"));
+  EXPECT_TRUE(a_blocked.get().IsAbortLike());
+  ASSERT_TRUE(a.RunSync("ROLLBACK").ok());
+  ASSERT_TRUE(c.RunSync("COMMIT").ok());
+  Status b_status = b_blocked.get();
+  EXPECT_TRUE(b_status.ok()) << b_status.ToString();
+  ASSERT_TRUE(b.RunSync("COMMIT").ok());
+  Status d_status = d_blocked.get();
+  EXPECT_TRUE(d_status.ok()) << d_status.ToString();
+  ASSERT_TRUE(d.RunSync("COMMIT").ok());
+  EXPECT_EQ(cluster_->gdd()->stats().victims_killed, 0u);
+}
+
+// Concurrent updates of DIFFERENT tuples on the same table must proceed in
+// parallel under GDD (the whole point of downgrading the lock level).
+TEST_F(GddCasesTest, ConcurrentUpdatesDifferentTuplesDoNotBlock) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k0 = KeyOnSegment(0, &used);
+  int64_t k1 = KeyOnSegment(1, &used);
+  Setup({k0, k1});
+
+  Actor a(cluster_.get()), b(cluster_.get());
+  ASSERT_TRUE(a.RunSync("BEGIN").ok());
+  ASSERT_TRUE(b.RunSync("BEGIN").ok());
+  ASSERT_TRUE(a.RunSync("UPDATE t1 SET c2 = 1 WHERE c1 = " + std::to_string(k0)).ok());
+  // B updates a different tuple: must NOT block.
+  auto b_fut = b.Run("UPDATE t1 SET c2 = 2 WHERE c1 = " + std::to_string(k1));
+  EXPECT_FALSE(StillBlocked(b_fut, 300));
+  EXPECT_TRUE(b_fut.get().ok());
+  ASSERT_TRUE(a.RunSync("COMMIT").ok());
+  ASSERT_TRUE(b.RunSync("COMMIT").ok());
+}
+
+// Writers of the SAME tuple serialize and both changes apply (second waits for
+// the first, then follows the version chain).
+TEST_F(GddCasesTest, SameTupleWritersSerializeAndBothApply) {
+  StartCluster(/*gdd_enabled=*/true);
+  std::vector<int64_t> used;
+  int64_t k = KeyOnSegment(0, &used);
+  Setup({k});
+
+  Actor a(cluster_.get()), b(cluster_.get());
+  ASSERT_TRUE(a.RunSync("BEGIN").ok());
+  ASSERT_TRUE(
+      a.RunSync("UPDATE t1 SET c2 = c2 + 100 WHERE c1 = " + std::to_string(k)).ok());
+  auto b_fut = b.Run("UPDATE t1 SET c2 = c2 + 10 WHERE c1 = " + std::to_string(k));
+  ASSERT_TRUE(StillBlocked(b_fut));
+  ASSERT_TRUE(a.RunSync("COMMIT").ok());
+  EXPECT_TRUE(b_fut.get().ok());
+
+  auto check = cluster_->Connect();
+  auto r = check->Execute("SELECT c2 FROM t1 WHERE c1 = " + std::to_string(k));
+  ASSERT_TRUE(r.ok());
+  // Initial value = k; both increments applied.
+  EXPECT_EQ(r->rows[0][0].int_val(), k + 110);
+}
+
+}  // namespace
+}  // namespace gphtap

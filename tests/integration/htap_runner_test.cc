@@ -1,0 +1,85 @@
+// The mixed-workload runner used by the HTAP figures, and the interference
+// shape it must reproduce: OLTP load slows OLAP on GPDB6 but not on GPDB5.
+#include <gtest/gtest.h>
+
+#include "workload/htap.h"
+
+namespace gphtap {
+namespace {
+
+ChBenchConfig SmallCh() {
+  ChBenchConfig c;
+  c.warehouses = 2;
+  c.districts_per_warehouse = 4;
+  c.customers_per_district = 20;
+  c.items = 200;
+  c.initial_orders_per_district = 10;
+  return c;
+}
+
+TEST(HtapRunnerTest, BothClassesMakeProgress) {
+  ClusterOptions o;
+  o.num_segments = 2;
+  Cluster cluster(o);
+  HtapConfig config;
+  config.chbench = SmallCh();
+  ASSERT_TRUE(LoadChBench(&cluster, config.chbench).ok());
+  config.olap_clients = 2;
+  config.oltp_clients = 4;
+  config.duration_ms = 600;
+  HtapResult r = RunHtapWorkload(&cluster, config);
+  EXPECT_GT(r.olap.committed, 5u);
+  EXPECT_GT(r.oltp.committed, 10u);
+  EXPECT_GT(r.OlapQph(), 0);
+  EXPECT_GT(r.OltpQpm(), 0);
+}
+
+TEST(HtapRunnerTest, ZeroClientPoolsAreAllowed) {
+  ClusterOptions o;
+  o.num_segments = 2;
+  Cluster cluster(o);
+  HtapConfig config;
+  config.chbench = SmallCh();
+  ASSERT_TRUE(LoadChBench(&cluster, config.chbench).ok());
+  config.olap_clients = 2;
+  config.oltp_clients = 0;
+  config.duration_ms = 300;
+  HtapResult r = RunHtapWorkload(&cluster, config);
+  EXPECT_GT(r.olap.committed, 0u);
+  EXPECT_EQ(r.oltp.committed, 0u);
+}
+
+// The Figure 16/17 mechanism in miniature: with simulated CPU and a saturated
+// default group, adding OLTP clients must cost the OLAP side throughput on
+// GPDB6, while GPDB5's serialized OLTP barely registers.
+TEST(HtapRunnerTest, OltpLoadInterferesOnGpdb6NotGpdb5) {
+  auto run = [&](bool gdd, int oltp_clients) {
+    ClusterOptions o;
+    o.num_segments = 2;
+    o.gdd_enabled = gdd;
+    o.one_phase_commit_enabled = gdd;
+    o.exec_cpu_ns_per_row = 20'000;
+    o.total_cores = 4;  // small machine: interference bites fast
+    Cluster cluster(o);
+    HtapConfig config;
+    config.chbench = SmallCh();
+    EXPECT_TRUE(LoadChBench(&cluster, config.chbench).ok());
+    config.olap_clients = 3;
+    config.oltp_clients = oltp_clients;
+    config.duration_ms = 900;
+    return RunHtapWorkload(&cluster, config);
+  };
+
+  HtapResult gpdb6_idle = run(true, 0);
+  HtapResult gpdb6_busy = run(true, 12);
+  HtapResult gpdb5_busy = run(false, 12);
+
+  // GPDB6's OLTP side does real damage...
+  EXPECT_LT(gpdb6_busy.OlapQph(), gpdb6_idle.OlapQph() * 0.8)
+      << "idle=" << gpdb6_idle.OlapQph() << " busy=" << gpdb6_busy.OlapQph();
+  // ... because it pushes far more transactions than GPDB5's serialized mode.
+  EXPECT_GT(gpdb6_busy.OltpQpm(), gpdb5_busy.OltpQpm() * 2);
+}
+
+}  // namespace
+}  // namespace gphtap

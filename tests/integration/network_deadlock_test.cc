@@ -1,0 +1,110 @@
+// Appendix B: the interconnect (network) deadlock. A join slice that consumes
+// one outer tuple and then turns to the inner side can deadlock with the
+// senders' bounded buffers; prefetching (materializing) the inner side first
+// breaks the cycle. We reproduce the exact 4-process wait cycle of Figure 21
+// on two motion exchanges with small buffers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/motion_exchange.h"
+
+namespace gphtap {
+namespace {
+
+constexpr int kRowsPerSender = 200;
+constexpr size_t kSmallBuffer = 4;
+
+Row R(int64_t v) { return Row{Datum(v)}; }
+
+// Sender: a redistribute motion whose data is SKEWED — the first half of the
+// stream hashes to receiver 0, the second half to receiver 1. This is the
+// paper's setup: p_seg1^slice1 has produced no tuple for segment 1 yet when
+// its send buffer towards segment 0 fills up.
+void RunSender(MotionExchange* ex, int sender_id) {
+  for (int i = 0; i < kRowsPerSender; ++i) {
+    int receiver = i < kRowsPerSender / 2 ? 0 : 1;
+    if (!ex->Send(receiver, R(sender_id * kRowsPerSender + i))) break;
+  }
+  ex->CloseSender();
+}
+
+// Join slice, SAFE order: drain inner fully (materialize), then outer.
+void JoinWithPrefetch(MotionExchange* outer, MotionExchange* inner, int receiver,
+                      std::atomic<long>* joined) {
+  long inner_count = 0;
+  while (inner->Recv(receiver)) ++inner_count;
+  while (outer->Recv(receiver)) *joined += inner_count > 0 ? 1 : 0;
+}
+
+// Join slice, DEADLOCK-PRONE order: one outer tuple first, then the inner.
+void JoinWithoutPrefetch(MotionExchange* outer, MotionExchange* inner, int receiver,
+                         std::atomic<long>* joined) {
+  auto first_outer = outer->Recv(receiver);  // p^slice3 waits for its first outer
+  if (!first_outer.has_value()) return;
+  long inner_count = 0;
+  while (inner->Recv(receiver)) ++inner_count;  // ... then turns to the inner side
+  *joined += 1;
+  while (outer->Recv(receiver)) *joined += 1;
+  (void)inner_count;
+}
+
+TEST(NetworkDeadlockTest, PrefetchInnerCompletes) {
+  MotionExchange outer(2, 2, kSmallBuffer), inner(2, 2, kSmallBuffer);
+  std::atomic<long> joined{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back(RunSender, &outer, 0);
+  threads.emplace_back(RunSender, &outer, 1);
+  threads.emplace_back(RunSender, &inner, 0);
+  threads.emplace_back(RunSender, &inner, 1);
+  threads.emplace_back(JoinWithPrefetch, &outer, &inner, 0, &joined);
+  threads.emplace_back(JoinWithPrefetch, &outer, &inner, 1, &joined);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(joined.load(), 2 * kRowsPerSender);
+}
+
+TEST(NetworkDeadlockTest, NoPrefetchDeadlocksAndAbortRecovers) {
+  MotionExchange outer(2, 2, kSmallBuffer), inner(2, 2, kSmallBuffer);
+  std::atomic<long> joined{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back(RunSender, &outer, 0);
+  threads.emplace_back(RunSender, &outer, 1);
+  threads.emplace_back(RunSender, &inner, 0);
+  threads.emplace_back(RunSender, &inner, 1);
+  threads.emplace_back(JoinWithoutPrefetch, &outer, &inner, 0, &joined);
+  threads.emplace_back(JoinWithoutPrefetch, &outer, &inner, 1, &joined);
+
+  // The cycle from Figure 21 forms: receiver 0 waits for inner EOS while the
+  // inner senders are stuck on receiver 1's full buffer; receiver 1 waits for
+  // its first outer tuple while the outer senders are stuck on receiver 0's
+  // full buffer. Nothing completes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  long progress = joined.load();
+  EXPECT_EQ(progress, 0) << "expected a network deadlock, but the join progressed";
+
+  // Recovery (what query cancel does): abort the exchanges.
+  outer.Abort();
+  inner.Abort();
+  for (auto& t : threads) t.join();
+  EXPECT_LT(joined.load(), 2 * kRowsPerSender);
+}
+
+TEST(NetworkDeadlockTest, LargeBuffersHideTheProblem) {
+  // With buffers big enough for the whole stream, even the bad order works —
+  // which is why the bug is insidious in practice.
+  MotionExchange outer(2, 2, 4096), inner(2, 2, 4096);
+  std::atomic<long> joined{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back(RunSender, &outer, 0);
+  threads.emplace_back(RunSender, &outer, 1);
+  threads.emplace_back(RunSender, &inner, 0);
+  threads.emplace_back(RunSender, &inner, 1);
+  threads.emplace_back(JoinWithoutPrefetch, &outer, &inner, 0, &joined);
+  threads.emplace_back(JoinWithoutPrefetch, &outer, &inner, 1, &joined);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(joined.load(), 2 * kRowsPerSender);
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,228 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace gphtap {
+namespace {
+
+std::shared_ptr<LockOwner> MakeOwner(uint64_t gxid) {
+  return std::make_shared<LockOwner>(gxid);
+}
+
+TEST(LockManagerTest, GrantAndRelease) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1);
+  LockTag tag = LockTag::Relation(10);
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kRowExclusive).ok());
+  EXPECT_TRUE(lm.Holds(*t1, tag, LockMode::kRowExclusive));
+  lm.Release(*t1, tag, LockMode::kRowExclusive);
+  EXPECT_FALSE(lm.Holds(*t1, tag, LockMode::kRowExclusive));
+}
+
+TEST(LockManagerTest, CompatibleModesShareGrant) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kRowExclusive).ok());
+  // RowExclusive is self-compatible (the GDD-enabled DML level).
+  EXPECT_TRUE(lm.TryAcquire(t2, tag, LockMode::kRowExclusive));
+}
+
+TEST(LockManagerTest, ConflictingModeBlocks) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  EXPECT_FALSE(lm.TryAcquire(t2, tag, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, WaiterIsGrantedOnRelease) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Acquire(t2, tag, LockMode::kExclusive).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  EXPECT_TRUE(lm.IsWaiting(2));
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_TRUE(lm.Holds(*t2, tag, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReentrantAcquireSameMode) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1);
+  LockTag tag = LockTag::Relation(10);
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  lm.Release(*t1, tag, LockMode::kExclusive);
+  EXPECT_TRUE(lm.Holds(*t1, tag, LockMode::kExclusive));
+  lm.Release(*t1, tag, LockMode::kExclusive);
+  EXPECT_FALSE(lm.Holds(*t1, tag, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeJumpsQueue) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kRowExclusive).ok());
+  // t2 queues for AccessExclusive behind t1.
+  std::thread waiter([&] { lm.Acquire(t2, tag, LockMode::kAccessExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // t1 upgrades to Exclusive: must not deadlock against the queued t2.
+  EXPECT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  lm.ReleaseAll(*t2);
+}
+
+TEST(LockManagerTest, FairnessNoJumpOverConflictingWaiter) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2), t3 = MakeOwner(3);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kAccessShare).ok());
+  std::thread waiter([&] { lm.Acquire(t2, tag, LockMode::kAccessExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // t3's AccessShare does not conflict with granted (t1) but does conflict with
+  // the queued AccessExclusive request: it must queue behind t2, not starve it.
+  EXPECT_FALSE(lm.TryAcquire(t3, tag, LockMode::kAccessShare));
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  lm.ReleaseAll(*t2);
+}
+
+TEST(LockManagerTest, CancelWakesWaiterWithReason) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+
+  Status got;
+  std::thread waiter([&] { got = lm.Acquire(t2, tag, LockMode::kExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  t2->Cancel(Status::DeadlockDetected("victim"));
+  EXPECT_TRUE(lm.WakeWaitersOf(2));
+  waiter.join();
+  EXPECT_EQ(got.code(), StatusCode::kDeadlockDetected);
+  EXPECT_FALSE(lm.IsWaiting(2));
+  // t1 still holds; the cancelled waiter left no residue.
+  lm.ReleaseAll(*t1);
+  EXPECT_TRUE(lm.TryAcquire(t2, tag, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, WaitGraphReportsSolidEdgeForRelation) {
+  LockManager lm(3);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  std::thread waiter([&] { lm.Acquire(t2, tag, LockMode::kExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  LocalWaitGraph g = lm.CollectWaitGraph();
+  EXPECT_EQ(g.node_id, 3);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_EQ(g.edges[0].waiter, 2u);
+  EXPECT_EQ(g.edges[0].holder, 1u);
+  EXPECT_FALSE(g.edges[0].dotted);
+
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  lm.ReleaseAll(*t2);
+  EXPECT_TRUE(lm.CollectWaitGraph().edges.empty());
+}
+
+TEST(LockManagerTest, WaitGraphReportsDottedEdgeForTuple) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Tuple(10, 77);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  std::thread waiter([&] { lm.Acquire(t2, tag, LockMode::kExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  LocalWaitGraph g = lm.CollectWaitGraph();
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_TRUE(g.edges[0].dotted);
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  lm.ReleaseAll(*t2);
+}
+
+TEST(LockManagerTest, LocalDeadlockDetectedByTimeoutCheck) {
+  LockManager::Options opts;
+  opts.local_deadlock_timeout_us = 30'000;
+  LockManager lm(0, opts);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag a = LockTag::Relation(1), b = LockTag::Relation(2);
+  ASSERT_TRUE(lm.Acquire(t1, a, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(t2, b, LockMode::kExclusive).ok());
+
+  Status s1, s2;
+  // On abort each "session" rolls back (releases its locks), unblocking the peer.
+  std::thread th1([&] {
+    s1 = lm.Acquire(t1, b, LockMode::kExclusive);
+    if (!s1.ok()) lm.ReleaseAll(*t1);
+  });
+  std::thread th2([&] {
+    s2 = lm.Acquire(t2, a, LockMode::kExclusive);
+    if (!s2.ok()) lm.ReleaseAll(*t2);
+  });
+  th1.join();
+  th2.join();
+  // At least one must have been aborted by local deadlock detection; if one
+  // succeeded, the other was the one that detected.
+  bool one_deadlocked = s1.code() == StatusCode::kDeadlockDetected ||
+                        s2.code() == StatusCode::kDeadlockDetected;
+  EXPECT_TRUE(one_deadlocked) << s1.ToString() << " / " << s2.ToString();
+  EXPECT_GE(lm.stats().local_deadlocks, 1u);
+  lm.ReleaseAll(*t1);
+  lm.ReleaseAll(*t2);
+}
+
+TEST(LockManagerTest, StatsCountWaits) {
+  LockManager lm(0);
+  auto t1 = MakeOwner(1), t2 = MakeOwner(2);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(t1, tag, LockMode::kExclusive).ok());
+  std::thread waiter([&] { lm.Acquire(t2, tag, LockMode::kExclusive); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm.ReleaseAll(*t1);
+  waiter.join();
+  auto st = lm.stats();
+  EXPECT_GE(st.acquires, 2u);
+  EXPECT_GE(st.waits, 1u);
+  EXPECT_GT(st.total_wait_us, 10'000);
+  lm.ReleaseAll(*t2);
+}
+
+TEST(LockManagerTest, ReleaseAllUnblocksMultipleWaiters) {
+  LockManager lm(0);
+  auto holder = MakeOwner(1);
+  LockTag tag = LockTag::Relation(10);
+  ASSERT_TRUE(lm.Acquire(holder, tag, LockMode::kAccessExclusive).ok());
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<LockOwner>> owners;
+  for (int i = 2; i <= 5; ++i) owners.push_back(MakeOwner(static_cast<uint64_t>(i)));
+  for (auto& o : owners) {
+    threads.emplace_back([&, o] {
+      if (lm.Acquire(o, tag, LockMode::kAccessShare).ok()) granted++;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(granted.load(), 0);
+  lm.ReleaseAll(*holder);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(granted.load(), 4);  // all shares granted together
+}
+
+}  // namespace
+}  // namespace gphtap

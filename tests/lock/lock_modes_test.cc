@@ -1,0 +1,88 @@
+// Verifies the lock-mode conflict matrix against Table 1 of the paper.
+#include <gtest/gtest.h>
+
+#include "lock/lock_defs.h"
+
+namespace gphtap {
+namespace {
+
+// Table 1, "Conflict lock level" column, indexed by lock level 1..8.
+const std::vector<std::vector<int>> kPaperConflicts = {
+    /*1 AccessShare*/ {8},
+    /*2 RowShare*/ {7, 8},
+    /*3 RowExclusive*/ {5, 6, 7, 8},
+    /*4 ShareUpdateExclusive*/ {4, 5, 6, 7, 8},
+    /*5 Share*/ {3, 4, 6, 7, 8},
+    /*6 ShareRowExclusive*/ {3, 4, 5, 6, 7, 8},
+    /*7 Exclusive*/ {2, 3, 4, 5, 6, 7, 8},
+    /*8 AccessExclusive*/ {1, 2, 3, 4, 5, 6, 7, 8},
+};
+
+TEST(LockModesTest, MatrixMatchesTable1Exactly) {
+  for (int held = 1; held <= 8; ++held) {
+    const auto& conflicts = kPaperConflicts[static_cast<size_t>(held - 1)];
+    for (int req = 1; req <= 8; ++req) {
+      bool expected =
+          std::find(conflicts.begin(), conflicts.end(), req) != conflicts.end();
+      EXPECT_EQ(LockConflicts(static_cast<LockMode>(held), static_cast<LockMode>(req)),
+                expected)
+          << "held=" << held << " req=" << req;
+    }
+  }
+}
+
+TEST(LockModesTest, MatrixIsSymmetric) {
+  for (int a = 1; a <= 8; ++a) {
+    for (int b = 1; b <= 8; ++b) {
+      EXPECT_EQ(LockConflicts(static_cast<LockMode>(a), static_cast<LockMode>(b)),
+                LockConflicts(static_cast<LockMode>(b), static_cast<LockMode>(a)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(LockModesTest, HigherLevelsConflictWithSupersets) {
+  // AccessExclusive conflicts with everything; AccessShare only with level 8.
+  for (int m = 1; m <= 8; ++m) {
+    EXPECT_TRUE(LockConflicts(LockMode::kAccessExclusive, static_cast<LockMode>(m)));
+  }
+  for (int m = 1; m <= 7; ++m) {
+    EXPECT_FALSE(LockConflicts(LockMode::kAccessShare, static_cast<LockMode>(m)));
+  }
+}
+
+TEST(LockModesTest, RowExclusiveSelfCompatible) {
+  // The GDD optimization hinges on this: concurrent UPDATEs take RowExclusive,
+  // which does not conflict with itself (unlike Exclusive, the pre-GDD level).
+  EXPECT_FALSE(LockConflicts(LockMode::kRowExclusive, LockMode::kRowExclusive));
+  EXPECT_TRUE(LockConflicts(LockMode::kExclusive, LockMode::kExclusive));
+  EXPECT_TRUE(LockConflicts(LockMode::kExclusive, LockMode::kRowExclusive));
+}
+
+TEST(LockModesTest, NamesMatchPaper) {
+  EXPECT_STREQ(LockModeName(LockMode::kAccessShare), "AccessShareLock");
+  EXPECT_STREQ(LockModeName(LockMode::kRowExclusive), "RowExclusiveLock");
+  EXPECT_STREQ(LockModeName(LockMode::kAccessExclusive), "AccessExclusiveLock");
+}
+
+TEST(LockTagTest, EqualityAndHash) {
+  LockTag a = LockTag::Relation(7);
+  LockTag b = LockTag::Relation(7);
+  LockTag c = LockTag::Tuple(7, 3);
+  LockTag d = LockTag::Transaction(99);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(c == d);
+  LockTagHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+}
+
+TEST(LockTagTest, ToStringIsReadable) {
+  EXPECT_EQ(LockTag::Relation(5).ToString(), "relation(rel=5)");
+  EXPECT_EQ(LockTag::Tuple(5, 9).ToString(), "tuple(rel=5,tup=9)");
+  EXPECT_EQ(LockTag::Transaction(3).ToString(), "transaction(xid=3)");
+}
+
+}  // namespace
+}  // namespace gphtap

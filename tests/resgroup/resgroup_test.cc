@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "resgroup/cpu_governor.h"
+#include "resgroup/resource_group.h"
+#include "resgroup/vmem_tracker.h"
+
+namespace gphtap {
+namespace {
+
+// ---------- CPU governor ----------
+
+TEST(CpuGovernorTest, UnknownGroupUnthrottled) {
+  CpuGovernor gov(4);
+  Stopwatch sw;
+  for (int i = 0; i < 100; ++i) gov.Charge("nobody", 10'000);
+  EXPECT_LT(sw.ElapsedMicros(), 50'000);
+}
+
+TEST(CpuGovernorTest, HardGroupThrottlesToBudget) {
+  CpuGovernor gov(8);
+  gov.ConfigureGroup("g", /*cores=*/1.0, /*hard=*/true);
+  // Burn past the burst capacity (20ms/core), then measure throttling.
+  gov.Charge("g", 100'000);
+  Stopwatch sw;
+  gov.Charge("g", 50'000);  // 50ms of work at 1 core => ~50ms wall
+  int64_t wall = sw.ElapsedMicros();
+  EXPECT_GT(wall, 30'000) << "hard cpuset group was not throttled";
+}
+
+TEST(CpuGovernorTest, SoftGroupBurstsWhenIdle) {
+  CpuGovernor gov(8);
+  gov.ConfigureGroup("g", /*cores=*/0.5, /*hard=*/false);
+  // No other load: a soft group may exceed its share freely.
+  Stopwatch sw;
+  for (int i = 0; i < 50; ++i) gov.Charge("g", 10'000);
+  EXPECT_LT(sw.ElapsedMicros(), 100'000) << "soft group throttled while system idle";
+}
+
+TEST(CpuGovernorTest, BiggerHardBudgetRunsFaster) {
+  auto run = [&](double cores) {
+    CpuGovernor gov(32);
+    gov.ConfigureGroup("g", cores, true);
+    gov.Charge("g", static_cast<int64_t>(cores * 20'000));  // drain burst capacity
+    Stopwatch sw;
+    for (int i = 0; i < 20; ++i) gov.Charge("g", 10'000);  // 200ms of work
+    return sw.ElapsedMicros();
+  };
+  int64_t slow = run(2);   // 200ms work / 2 cores = ~100ms
+  int64_t fast = run(16);  // 200ms work / 16 cores = ~12ms
+  EXPECT_GT(slow, fast * 2) << "slow=" << slow << " fast=" << fast;
+}
+
+TEST(CpuGovernorTest, ChargeAccounting) {
+  CpuGovernor gov(4);
+  gov.ConfigureGroup("a", 4, false);
+  gov.Charge("a", 1000);
+  gov.Charge("a", 2000);
+  EXPECT_EQ(gov.GroupChargedUs("a"), 3000);
+  EXPECT_EQ(gov.TotalChargedUs(), 3000);
+}
+
+// ---------- Vmem tracker ----------
+
+TEST(VmemTrackerTest, SlotThenGroupSharedThenGlobal) {
+  VmemTracker tracker(/*global shared=*/1 << 20);  // 1 MB global
+  // Group: 10 MB limit, 20% shared => 8 MB non-shared, slot = 8MB/4 = 2 MB.
+  auto group = std::make_shared<GroupMemory>("g", 10 << 20, 20, 4);
+  QueryMemoryAccount acct(&tracker, group);
+
+  EXPECT_EQ(group->slot_quota_bytes(), 2 << 20);
+  // First 2 MB from the slot.
+  ASSERT_TRUE(acct.Reserve(2 << 20).ok());
+  EXPECT_EQ(acct.slot_used(), 2 << 20);
+  EXPECT_EQ(acct.group_shared_used(), 0);
+  // Next 2 MB spills into group shared pool (2 MB available).
+  ASSERT_TRUE(acct.Reserve(2 << 20).ok());
+  EXPECT_EQ(acct.group_shared_used(), 2 << 20);
+  // Next 1 MB must come from global shared.
+  ASSERT_TRUE(acct.Reserve(1 << 20).ok());
+  EXPECT_EQ(acct.global_used(), 1 << 20);
+  // All three layers exhausted -> cancellation signal.
+  Status s = acct.Reserve(1 << 20);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmemTrackerTest, ReleaseReturnsToPools) {
+  VmemTracker tracker(1 << 20);
+  auto group = std::make_shared<GroupMemory>("g", 4 << 20, 50, 1);
+  {
+    QueryMemoryAccount acct(&tracker, group);
+    // slot 2MB + group shared 2MB + global 1MB.
+    ASSERT_TRUE(acct.Reserve(5 << 20).ok());
+    EXPECT_GT(tracker.global_shared_used(), 0);
+  }  // destructor releases
+  EXPECT_EQ(tracker.global_shared_used(), 0);
+  QueryMemoryAccount acct2(&tracker, group);
+  EXPECT_TRUE(acct2.Reserve(5 << 20).ok());
+}
+
+TEST(VmemTrackerTest, GroupsCompeteForSharedPools) {
+  VmemTracker tracker(0);  // no global shared
+  auto group = std::make_shared<GroupMemory>("g", 2 << 20, 50, 2);  // 1MB shared
+  QueryMemoryAccount a(&tracker, group), b(&tracker, group);
+  // Each slot = 512 KB. a eats its slot + entire group shared pool.
+  ASSERT_TRUE(a.Reserve((512 << 10) + (1 << 20)).ok());
+  // b still has its slot...
+  ASSERT_TRUE(b.Reserve(512 << 10).ok());
+  // ... but the shared pool is gone.
+  EXPECT_EQ(b.Reserve(1 << 10).code(), StatusCode::kResourceExhausted);
+}
+
+// ---------- Resource group admission ----------
+
+TEST(ResourceGroupTest, ConcurrencyAdmission) {
+  CpuGovernor gov(4);
+  VmemTracker vmem(64 << 20);
+  ResourceGroupConfig config;
+  config.name = "g";
+  config.concurrency = 2;
+  config.cpu_rate_limit = 50;
+  ResourceGroup group(config, &gov, &vmem);
+
+  ASSERT_TRUE(group.Admit().ok());
+  ASSERT_TRUE(group.Admit().ok());
+  EXPECT_EQ(group.active(), 2);
+
+  std::atomic<bool> third_admitted{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(group.Admit().ok());
+    third_admitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_admitted.load());
+  group.Leave();
+  waiter.join();
+  EXPECT_TRUE(third_admitted.load());
+  group.Leave();
+  group.Leave();
+  EXPECT_EQ(group.active(), 0);
+}
+
+TEST(ResourceGroupTest, AdmitCancellable) {
+  CpuGovernor gov(4);
+  VmemTracker vmem(64 << 20);
+  ResourceGroupConfig config;
+  config.name = "g";
+  config.concurrency = 1;
+  ResourceGroup group(config, &gov, &vmem);
+  ASSERT_TRUE(group.Admit().ok());
+  std::atomic<bool> cancelled{false};
+  Status got;
+  std::thread waiter([&] { got = group.Admit(&cancelled); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cancelled = true;
+  waiter.join();
+  EXPECT_EQ(got.code(), StatusCode::kAborted);
+  group.Leave();
+}
+
+TEST(ResourceGroupTest, RegistryCreateAssignResolve) {
+  CpuGovernor gov(32);
+  VmemTracker vmem(256 << 20);
+  ResourceGroupRegistry registry(&gov, &vmem);
+  ResourceGroupConfig olap;
+  olap.name = "olap_group";
+  olap.concurrency = 10;
+  olap.cpu_rate_limit = 20;
+  ASSERT_TRUE(registry.CreateGroup(olap).ok());
+  EXPECT_EQ(registry.CreateGroup(olap).code(), StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(registry.AssignRole("dev1", "olap_group").ok());
+  EXPECT_EQ(registry.AssignRole("dev1", "missing").code(), StatusCode::kNotFound);
+  auto g = registry.GroupForRole("dev1");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->name(), "olap_group");
+  EXPECT_EQ(registry.GroupForRole("other"), nullptr);
+
+  ASSERT_TRUE(registry.DropGroup("olap_group").ok());
+  EXPECT_EQ(registry.GroupForRole("dev1"), nullptr);  // assignment dropped too
+}
+
+TEST(ResourceGroupTest, CpusetConfigGivesHardCores) {
+  ResourceGroupConfig config;
+  config.cpuset_begin = 4;
+  config.cpuset_end = 31;
+  EXPECT_TRUE(config.uses_cpuset());
+  EXPECT_DOUBLE_EQ(config.cores(32), 28.0);
+  ResourceGroupConfig rate;
+  rate.cpu_rate_limit = 20;
+  EXPECT_FALSE(rate.uses_cpuset());
+  EXPECT_DOUBLE_EQ(rate.cores(32), 6.4);
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,82 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gphtap {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  auto r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto tokens = Lex("SELECT FooBar _x9");
+  ASSERT_EQ(tokens.size(), 4u);  // + end
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "foobar");
+  EXPECT_EQ(tokens[2].text, "_x9");
+  EXPECT_TRUE(tokens[3].Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Lex("1 23.5 0.5 1e3 2E-2 7");
+  EXPECT_TRUE(tokens[0].Is(TokenType::kInt));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kFloat));
+  EXPECT_TRUE(tokens[2].Is(TokenType::kFloat));
+  EXPECT_TRUE(tokens[3].Is(TokenType::kFloat));
+  EXPECT_TRUE(tokens[4].Is(TokenType::kFloat));
+  EXPECT_TRUE(tokens[5].Is(TokenType::kInt));
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Lex("<= >= <> != = < >");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "!=");
+  EXPECT_EQ(tokens[4].text, "=");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("a -- comment with ' and stuff\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  auto tokens = Lex("SeLeCt");
+  EXPECT_TRUE(tokens[0].IsWord("select"));
+  EXPECT_TRUE(tokens[0].IsWord("SELECT"));
+  EXPECT_FALSE(tokens[0].IsWord("selec"));
+  EXPECT_FALSE(tokens[0].IsWord("selects"));
+}
+
+TEST(LexerTest, ErrorsSurface) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].pos, 0u);
+  EXPECT_EQ(tokens[1].pos, 4u);
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kEnd));
+}
+
+}  // namespace
+}  // namespace gphtap

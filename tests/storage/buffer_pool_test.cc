@@ -1,0 +1,101 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace gphtap {
+namespace {
+
+TEST(BufferPoolTest, FirstAccessMissesSecondHits) {
+  BufferPool pool({.capacity_pages = 10, .miss_cost_us = 0});
+  pool.Access(1, 0);
+  pool.Access(1, 0);
+  auto s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, EvictsLru) {
+  BufferPool pool({.capacity_pages = 2, .miss_cost_us = 0});
+  pool.Access(1, 0);  // miss
+  pool.Access(1, 1);  // miss
+  pool.Access(1, 0);  // hit, 0 becomes MRU
+  pool.Access(1, 2);  // miss, evicts page 1 (LRU)
+  pool.Access(1, 0);  // hit (still resident)
+  pool.Access(1, 1);  // miss (was evicted)
+  auto s = pool.stats();
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, DistinctTablesDistinctPages) {
+  BufferPool pool({.capacity_pages = 10, .miss_cost_us = 0});
+  pool.Access(1, 0);
+  pool.Access(2, 0);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, MissCostIsCharged) {
+  BufferPool pool({.capacity_pages = 4, .miss_cost_us = 2000});
+  Stopwatch sw;
+  pool.Access(1, 0);  // miss -> ~2ms
+  int64_t miss_time = sw.ElapsedMicros();
+  sw.Restart();
+  pool.Access(1, 0);  // hit -> fast
+  int64_t hit_time = sw.ElapsedMicros();
+  EXPECT_GE(miss_time, 1500);
+  EXPECT_LT(hit_time, 1500);
+}
+
+TEST(BufferPoolTest, WorkingSetLargerThanPoolKeepsMissing) {
+  BufferPool pool({.capacity_pages = 8, .miss_cost_us = 0});
+  // Cycle through 16 pages twice: with LRU, every access misses.
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = 0; p < 16; ++p) pool.Access(1, p);
+  }
+  EXPECT_EQ(pool.stats().misses, 32u);
+  // Working set that fits stays hot.
+  BufferPool small({.capacity_pages = 32, .miss_cost_us = 0});
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = 0; p < 16; ++p) small.Access(1, p);
+  }
+  EXPECT_EQ(small.stats().misses, 16u);
+  EXPECT_EQ(small.stats().hits, 16u);
+}
+
+TEST(BufferPoolTest, SingleDeviceQueueSerializesFaults) {
+  BufferPool::Options opts;
+  opts.capacity_pages = 2;
+  opts.miss_cost_us = 20'000;
+  opts.single_device = true;
+  BufferPool pool(opts);
+  // Four concurrent faults on one device: ~4 x 20ms sequential.
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (uint64_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&pool, p] { pool.Access(1, p); });
+  }
+  for (auto& t : threads) t.join();
+  int64_t serialized = sw.ElapsedMicros();
+  EXPECT_GE(serialized, 70'000);
+
+  opts.single_device = false;
+  BufferPool parallel_pool(opts);
+  sw.Restart();
+  threads.clear();
+  for (uint64_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&parallel_pool, p] { parallel_pool.Access(1, p); });
+  }
+  for (auto& t : threads) t.join();
+  // Overlapping faults: well under the serialized time.
+  EXPECT_LT(sw.ElapsedMicros(), serialized);
+}
+
+}  // namespace
+}  // namespace gphtap

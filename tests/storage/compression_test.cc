@@ -1,0 +1,162 @@
+#include "storage/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gphtap {
+namespace {
+
+std::vector<Datum> Ints(std::initializer_list<int64_t> vs) {
+  std::vector<Datum> out;
+  for (int64_t v : vs) out.push_back(Datum(v));
+  return out;
+}
+
+void ExpectRoundTrip(CompressionKind kind, TypeId type, const std::vector<Datum>& vals) {
+  CompressedBlock block;
+  ASSERT_TRUE(CompressColumn(kind, type, vals, &block).ok());
+  auto back = DecompressColumn(block);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ((*back)[i].is_null(), vals[i].is_null()) << i;
+    if (!vals[i].is_null()) EXPECT_EQ((*back)[i].Compare(vals[i]), 0) << i;
+  }
+}
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CompressionKind> {};
+
+TEST_P(CodecRoundTripTest, EmptyBlock) { ExpectRoundTrip(GetParam(), TypeId::kInt64, {}); }
+
+TEST_P(CodecRoundTripTest, SmallInts) {
+  ExpectRoundTrip(GetParam(), TypeId::kInt64, Ints({1, 2, 3, -4, 0, 1 << 20}));
+}
+
+TEST_P(CodecRoundTripTest, IntsWithNulls) {
+  std::vector<Datum> vals = Ints({5, 5, 5});
+  vals.insert(vals.begin() + 1, Datum::Null());
+  vals.push_back(Datum::Null());
+  ExpectRoundTrip(GetParam(), TypeId::kInt64, vals);
+}
+
+TEST_P(CodecRoundTripTest, AllNulls) {
+  ExpectRoundTrip(GetParam(), TypeId::kInt64,
+                  {Datum::Null(), Datum::Null(), Datum::Null()});
+}
+
+TEST_P(CodecRoundTripTest, Strings) {
+  std::vector<Datum> vals = {Datum(std::string("alpha")), Datum(std::string("beta")),
+                             Datum(std::string("alpha")), Datum(std::string("")),
+                             Datum::Null()};
+  ExpectRoundTrip(GetParam(), TypeId::kString, vals);
+}
+
+TEST_P(CodecRoundTripTest, Doubles) {
+  std::vector<Datum> vals = {Datum(1.5), Datum(-2.25), Datum(0.0), Datum(1e300)};
+  ExpectRoundTrip(GetParam(), TypeId::kDouble, vals);
+}
+
+TEST_P(CodecRoundTripTest, RandomIntFuzz) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<Datum> vals;
+    size_t n = rng.Uniform(500);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Chance(0.1)) {
+        vals.push_back(Datum::Null());
+      } else if (rng.Chance(0.5)) {
+        vals.push_back(Datum(static_cast<int64_t>(rng.Uniform(16))));  // runs likely
+      } else {
+        vals.push_back(Datum(static_cast<int64_t>(rng.Next())));
+      }
+    }
+    ExpectRoundTrip(GetParam(), TypeId::kInt64, vals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
+                         ::testing::Values(CompressionKind::kNone, CompressionKind::kRle,
+                                           CompressionKind::kDelta, CompressionKind::kDict,
+                                           CompressionKind::kLz),
+                         [](const auto& info) {
+                           return CompressionKindName(info.param);
+                         });
+
+TEST(CompressionTest, RleShrinksRuns) {
+  std::vector<Datum> vals(10000, Datum(int64_t{7}));
+  CompressedBlock rle, raw;
+  ASSERT_TRUE(CompressColumn(CompressionKind::kRle, TypeId::kInt64, vals, &rle).ok());
+  ASSERT_TRUE(CompressColumn(CompressionKind::kNone, TypeId::kInt64, vals, &raw).ok());
+  EXPECT_LT(rle.bytes.size() * 5, raw.bytes.size());
+}
+
+TEST(CompressionTest, DeltaShrinksSortedSequences) {
+  std::vector<Datum> vals;
+  for (int64_t i = 0; i < 10000; ++i) vals.push_back(Datum(1'000'000'000 + i));
+  CompressedBlock delta, raw;
+  ASSERT_TRUE(CompressColumn(CompressionKind::kDelta, TypeId::kInt64, vals, &delta).ok());
+  ASSERT_TRUE(CompressColumn(CompressionKind::kNone, TypeId::kInt64, vals, &raw).ok());
+  EXPECT_LT(delta.bytes.size() * 2, raw.bytes.size());
+}
+
+TEST(CompressionTest, DictShrinksLowCardinalityStrings) {
+  std::vector<Datum> vals;
+  const char* names[] = {"frequent_flyer", "occasional", "rare_visitor"};
+  for (int i = 0; i < 3000; ++i) vals.push_back(Datum(std::string(names[i % 3])));
+  CompressedBlock dict, raw;
+  ASSERT_TRUE(CompressColumn(CompressionKind::kDict, TypeId::kString, vals, &dict).ok());
+  ASSERT_TRUE(CompressColumn(CompressionKind::kNone, TypeId::kString, vals, &raw).ok());
+  EXPECT_LT(dict.bytes.size() * 4, raw.bytes.size());
+}
+
+TEST(CompressionTest, DeltaOnStringsFallsBackToRaw) {
+  std::vector<Datum> vals = {Datum(std::string("a")), Datum(std::string("b"))};
+  CompressedBlock block;
+  ASSERT_TRUE(CompressColumn(CompressionKind::kDelta, TypeId::kString, vals, &block).ok());
+  EXPECT_EQ(block.kind, CompressionKind::kNone);
+  auto back = DecompressColumn(block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[1].string_val(), "b");
+}
+
+TEST(LzTest, RoundTripEmpty) {
+  auto out = LzDecompress(LzCompress({}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(LzTest, RoundTripRepetitive) {
+  std::vector<uint8_t> in;
+  for (int i = 0; i < 5000; ++i) in.push_back(static_cast<uint8_t>("abcabcab"[i % 8]));
+  auto packed = LzCompress(in);
+  EXPECT_LT(packed.size(), in.size() / 4);
+  auto out = LzDecompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(LzTest, RoundTripRandom) {
+  Rng rng(5);
+  std::vector<uint8_t> in;
+  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<uint8_t>(rng.Next()));
+  auto out = LzDecompress(LzCompress(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(LzTest, OverlappingMatch) {
+  // "aaaa..." forces distance-1 overlapping copies.
+  std::vector<uint8_t> in(1000, 'a');
+  auto out = LzDecompress(LzCompress(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(LzTest, CorruptInputRejected) {
+  std::vector<uint8_t> bogus = {0xff, 0xff, 0xff, 0x01, 0x80};
+  EXPECT_FALSE(LzDecompress(bogus).ok());
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "lock/lock_owner.h"
+#include "txn/clog.h"
+#include "txn/distributed_log.h"
+#include "txn/distributed_txn_manager.h"
+#include "txn/local_txn_manager.h"
+#include "txn/wal.h"
+
+namespace gphtap {
+namespace {
+
+struct SegmentFixture {
+  CommitLog clog;
+  DistributedLog dlog;
+  WalStub wal{0};
+  LocalTxnManager mgr{&clog, &dlog, &wal};
+};
+
+TEST(LocalTxnManagerTest, AssignXidIsStablePerGxid) {
+  SegmentFixture f;
+  LocalXid x1 = f.mgr.AssignXid(100);
+  LocalXid x2 = f.mgr.AssignXid(100);
+  EXPECT_EQ(x1, x2);
+  LocalXid x3 = f.mgr.AssignXid(101);
+  EXPECT_NE(x1, x3);
+  EXPECT_TRUE(f.mgr.HasWritten(100));
+  EXPECT_FALSE(f.mgr.HasWritten(999));
+}
+
+TEST(LocalTxnManagerTest, MappingRecorded) {
+  SegmentFixture f;
+  LocalXid x = f.mgr.AssignXid(42);
+  auto g = f.dlog.Lookup(x);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, 42u);
+}
+
+TEST(LocalTxnManagerTest, CommitFlipsClogAndLeavesRunningSet) {
+  SegmentFixture f;
+  LocalXid x = f.mgr.AssignXid(1);
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kInProgress);
+  EXPECT_TRUE(f.mgr.Commit(1).ok());
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kCommitted);
+  EXPECT_EQ(f.mgr.NumRunning(), 0u);
+  EXPECT_FALSE(f.mgr.GxidOfRunning(x).has_value());
+}
+
+TEST(LocalTxnManagerTest, AbortFlipsClog) {
+  SegmentFixture f;
+  LocalXid x = f.mgr.AssignXid(1);
+  EXPECT_TRUE(f.mgr.Abort(1).ok());
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kAborted);
+}
+
+TEST(LocalTxnManagerTest, PrepareThenCommitPrepared) {
+  SegmentFixture f;
+  LocalXid x = f.mgr.AssignXid(1);
+  EXPECT_TRUE(f.mgr.Prepare(1).ok());
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kPrepared);
+  EXPECT_EQ(f.mgr.NumRunning(), 1u);  // still running until phase 2
+  EXPECT_TRUE(f.mgr.CommitPrepared(1).ok());
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kCommitted);
+}
+
+TEST(LocalTxnManagerTest, PrepareThenAbort) {
+  SegmentFixture f;
+  LocalXid x = f.mgr.AssignXid(1);
+  EXPECT_TRUE(f.mgr.Prepare(1).ok());
+  EXPECT_TRUE(f.mgr.Abort(1).ok());
+  EXPECT_EQ(f.clog.GetState(x), TxnState::kAborted);
+}
+
+TEST(LocalTxnManagerTest, PrepareUnknownFails) {
+  SegmentFixture f;
+  EXPECT_FALSE(f.mgr.Prepare(77).ok());
+}
+
+TEST(LocalTxnManagerTest, CommitWithoutWriteIsNoop) {
+  SegmentFixture f;
+  EXPECT_TRUE(f.mgr.Commit(5).ok());
+  EXPECT_EQ(f.wal.records(), 0u);
+}
+
+TEST(LocalTxnManagerTest, WalCountsFsyncs) {
+  SegmentFixture f;
+  f.mgr.AssignXid(1);
+  f.mgr.Prepare(1);
+  f.mgr.CommitPrepared(1);
+  // Begin is not fsynced; prepare and commit-prepared are.
+  EXPECT_EQ(f.wal.records(), 3u);
+  EXPECT_EQ(f.wal.fsyncs(), 2u);
+}
+
+TEST(LocalTxnManagerTest, LocalSnapshotSeesRunning) {
+  SegmentFixture f;
+  LocalXid x1 = f.mgr.AssignXid(1);
+  LocalXid x2 = f.mgr.AssignXid(2);
+  f.mgr.Commit(1);
+  LocalSnapshot snap = f.mgr.TakeLocalSnapshot();
+  EXPECT_FALSE(snap.IsRunning(x1));
+  EXPECT_TRUE(snap.IsRunning(x2));
+  EXPECT_TRUE(snap.IsRunning(x2 + 100));  // future xids treated as running
+}
+
+TEST(DistributedTxnManagerTest, GxidsMonotonic) {
+  DistributedTxnManager m;
+  auto o1 = std::make_shared<LockOwner>(0);
+  Gxid g1 = m.Begin(o1);
+  Gxid g2 = m.Begin(o1);
+  EXPECT_LT(g1, g2);
+}
+
+TEST(DistributedTxnManagerTest, SnapshotTracksInProgress) {
+  DistributedTxnManager m;
+  auto o = std::make_shared<LockOwner>(0);
+  Gxid g1 = m.Begin(o);
+  Gxid g2 = m.Begin(o);
+  DistributedSnapshot snap = m.TakeSnapshot();
+  EXPECT_TRUE(snap.IsRunning(g1));
+  EXPECT_TRUE(snap.IsRunning(g2));
+  EXPECT_TRUE(snap.IsRunning(g2 + 1));  // future
+  m.MarkCommitted(g1);
+  DistributedSnapshot snap2 = m.TakeSnapshot();
+  EXPECT_FALSE(snap2.IsRunning(g1));
+  EXPECT_TRUE(snap2.IsRunning(g2));
+  EXPECT_EQ(snap2.max_committed, g1);
+  // The earlier snapshot still sees g1 as running (repeatable reads).
+  EXPECT_TRUE(snap.IsRunning(g1));
+}
+
+TEST(DistributedTxnManagerTest, OwnerLookup) {
+  DistributedTxnManager m;
+  auto o = std::make_shared<LockOwner>(123);
+  Gxid g = m.Begin(o);
+  EXPECT_EQ(m.OwnerOf(g).get(), o.get());
+  EXPECT_TRUE(m.IsRunning(g));
+  m.MarkAborted(g);
+  EXPECT_EQ(m.OwnerOf(g), nullptr);
+  EXPECT_FALSE(m.IsRunning(g));
+}
+
+TEST(DistributedTxnManagerTest, OldestVisibleRespectsPinnedSnapshots) {
+  DistributedTxnManager m;
+  auto o = std::make_shared<LockOwner>(0);
+  Gxid g1 = m.Begin(o);
+  DistributedSnapshot s1 = m.TakeSnapshot();
+  m.PinSnapshot(g1, s1.gxmin);
+  Gxid g2 = m.Begin(o);
+  DistributedSnapshot s2 = m.TakeSnapshot();
+  m.PinSnapshot(g2, s2.gxmin);
+  // g1 is the oldest running txn; nothing below it is needed.
+  EXPECT_EQ(m.OldestVisibleGxid(), g1);
+  m.MarkCommitted(g1);
+  // g2's snapshot was taken while g1 ran, so g2 can still "see" g1 as running:
+  // the horizon must stay at g1 until g2 ends.
+  EXPECT_EQ(m.OldestVisibleGxid(), g1);
+  m.MarkCommitted(g2);
+  EXPECT_GT(m.OldestVisibleGxid(), g2);
+}
+
+TEST(DistributedLogTest, TruncateBelowDropsOldEntries) {
+  DistributedLog dlog;
+  dlog.Record(1, 10);
+  dlog.Record(2, 20);
+  dlog.Record(3, 30);
+  EXPECT_EQ(dlog.TruncateBelow(25), 2u);
+  EXPECT_FALSE(dlog.Lookup(1).has_value());
+  EXPECT_FALSE(dlog.Lookup(2).has_value());
+  ASSERT_TRUE(dlog.Lookup(3).has_value());
+  EXPECT_EQ(*dlog.Lookup(3), 30u);
+}
+
+}  // namespace
+}  // namespace gphtap

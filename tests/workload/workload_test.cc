@@ -1,0 +1,219 @@
+// Workload generators and the concurrency property the paper's OLTP claims
+// rest on: TPC-B money conservation under many concurrent clients with GDD on.
+#include <gtest/gtest.h>
+
+#include "workload/chbench.h"
+#include "workload/driver.h"
+#include "workload/tpcb.h"
+
+namespace gphtap {
+namespace {
+
+ClusterOptions FastCluster(int segments = 3) {
+  ClusterOptions o;
+  o.num_segments = segments;
+  o.gdd_period_us = 10'000;
+  return o;
+}
+
+TEST(TpcbTest, LoadPopulatesTables) {
+  Cluster cluster(FastCluster());
+  TpcbConfig config;
+  config.scale = 2;
+  config.accounts_per_branch = 500;
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+  auto s = cluster.Connect();
+  EXPECT_EQ(s->Execute("SELECT count(*) FROM pgbench_accounts")->rows[0][0].int_val(),
+            1000);
+  EXPECT_EQ(s->Execute("SELECT count(*) FROM pgbench_branches")->rows[0][0].int_val(), 2);
+  EXPECT_EQ(s->Execute("SELECT count(*) FROM pgbench_tellers")->rows[0][0].int_val(), 20);
+}
+
+TEST(TpcbTest, SingleTransactionKeepsInvariant) {
+  Cluster cluster(FastCluster());
+  TpcbConfig config;
+  config.accounts_per_branch = 100;
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+  auto session = cluster.Connect();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(RunTpcbTransaction(session.get(), rng, config).ok());
+  }
+  EXPECT_TRUE(CheckTpcbInvariant(&cluster).ok());
+  auto s = cluster.Connect();
+  EXPECT_EQ(s->Execute("SELECT count(*) FROM pgbench_history")->rows[0][0].int_val(), 20);
+}
+
+// The paper's core OLTP claim exercised as a property: many concurrent
+// sessions hammering the same rows with GDD enabled must neither lose updates
+// nor corrupt balances, no matter how the tuple-lock dances interleave.
+TEST(TpcbTest, ConcurrentClientsPreserveInvariant) {
+  Cluster cluster(FastCluster());
+  TpcbConfig config;
+  config.scale = 2;
+  config.accounts_per_branch = 50;  // small: plenty of conflicts
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+
+  DriverOptions opts;
+  opts.num_clients = 8;
+  opts.duration_ms = 1500;
+  DriverResult result = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+    return RunTpcbTransaction(s, rng, config);
+  });
+  EXPECT_GT(result.committed, 50u);
+  Status invariant = CheckTpcbInvariant(&cluster);
+  EXPECT_TRUE(invariant.ok()) << invariant.ToString();
+  // History rows == committed transactions (no lost or phantom commits).
+  auto s = cluster.Connect();
+  EXPECT_EQ(
+      s->Execute("SELECT count(*) FROM pgbench_history")->rows[0][0].int_val(),
+      static_cast<int64_t>(result.committed));
+}
+
+TEST(TpcbTest, ConcurrentInvariantHoldsInGpdb5ModeToo) {
+  ClusterOptions o = FastCluster();
+  o.gdd_enabled = false;
+  o.one_phase_commit_enabled = false;
+  Cluster cluster(o);
+  TpcbConfig config;
+  config.accounts_per_branch = 50;
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration_ms = 800;
+  DriverResult result = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+    return RunTpcbTransaction(s, rng, config);
+  });
+  EXPECT_GT(result.committed, 5u);
+  EXPECT_TRUE(CheckTpcbInvariant(&cluster).ok());
+}
+
+TEST(TpcbTest, UpdateOnlyAndInsertOnlyRun) {
+  Cluster cluster(FastCluster());
+  TpcbConfig config;
+  config.accounts_per_branch = 100;
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+  auto session = cluster.Connect();
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(RunUpdateOnlyTransaction(session.get(), rng, config).ok());
+    ASSERT_TRUE(RunInsertOnlyTransaction(session.get(), rng, config).ok());
+    ASSERT_TRUE(RunSelectOnlyTransaction(session.get(), rng, config).ok());
+  }
+  // Insert-only rows land on exactly one segment each => 1PC commits.
+  EXPECT_GE(session->stats().one_phase_commits, 10u);
+}
+
+TEST(ChBenchTest, LoadAndOltpMix) {
+  Cluster cluster(FastCluster());
+  ChBenchConfig config;
+  config.warehouses = 2;
+  config.items = 200;
+  config.customers_per_district = 20;
+  config.initial_orders_per_district = 5;
+  ASSERT_TRUE(LoadChBench(&cluster, config).ok());
+
+  auto session = cluster.Connect();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Status s = RunChOltpTransaction(session.get(), rng, config);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  // NewOrder allocated fresh order ids; order count grew.
+  auto r = cluster.Connect()->Execute("SELECT count(*) FROM orders");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows[0][0].int_val(),
+            static_cast<int64_t>(config.warehouses) * config.districts_per_warehouse *
+                config.initial_orders_per_district);
+}
+
+TEST(ChBenchTest, NewOrderIdsUniquePerDistrictUnderConcurrency) {
+  Cluster cluster(FastCluster());
+  ChBenchConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;  // heavy contention on d_next_o_id
+  config.items = 100;
+  ASSERT_TRUE(LoadChBench(&cluster, config).ok());
+  DriverOptions opts;
+  opts.num_clients = 6;
+  opts.duration_ms = 800;
+  DriverResult result = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+    return RunNewOrderTransaction(s, rng, config);
+  });
+  EXPECT_GT(result.committed, 10u);
+  // No duplicate (w, d, o_id): group by and compare counts.
+  auto session = cluster.Connect();
+  auto total = session->Execute("SELECT count(*) FROM orders");
+  ASSERT_TRUE(total.ok());
+  auto grouped = session->Execute(
+      "SELECT o_w_id, o_d_id, o_id, count(*) AS n FROM orders "
+      "GROUP BY o_w_id, o_d_id, o_id");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(static_cast<int64_t>(grouped->rows.size()), total->rows[0][0].int_val());
+  for (const Row& r : grouped->rows) {
+    EXPECT_EQ(r[3].int_val(), 1) << "duplicate order id allocated";
+  }
+}
+
+TEST(ChBenchTest, AllAnalyticalQueriesRun) {
+  Cluster cluster(FastCluster());
+  ChBenchConfig config;
+  config.warehouses = 2;
+  config.items = 200;
+  config.customers_per_district = 20;
+  config.initial_orders_per_district = 10;
+  ASSERT_TRUE(LoadChBench(&cluster, config).ok());
+  auto session = cluster.Connect();
+  for (size_t i = 0; i < ChAnalyticalQueries().size(); ++i) {
+    Status s = RunChAnalyticalQuery(session.get(), i);
+    EXPECT_TRUE(s.ok()) << "query " << i << ": " << s.ToString() << "\n"
+                        << ChAnalyticalQueries()[i];
+  }
+}
+
+TEST(ChBenchTest, Q1AggregatesMatchManualComputation) {
+  Cluster cluster(FastCluster());
+  ChBenchConfig config;
+  config.warehouses = 1;
+  config.items = 50;
+  config.initial_orders_per_district = 4;
+  ASSERT_TRUE(LoadChBench(&cluster, config).ok());
+  auto session = cluster.Connect();
+  auto q1 = session->Execute(ChAnalyticalQueries()[0]);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_EQ(q1->rows.size(), static_cast<size_t>(config.lines_per_order));
+  // Every (district, order) contributes exactly one line per ol_number.
+  int64_t expected_per_number =
+      config.districts_per_warehouse * config.initial_orders_per_district;
+  for (const Row& r : q1->rows) {
+    EXPECT_EQ(r[5].int_val(), expected_per_number);
+  }
+}
+
+TEST(DriverTest, StopFlagEndsRunEarly) {
+  Cluster cluster(FastCluster(2));
+  auto setup = cluster.Connect();
+  ASSERT_TRUE(setup->Execute("CREATE TABLE t (k int, v int)").ok());
+  std::atomic<bool> stop{false};
+  DriverOptions opts;
+  opts.num_clients = 2;
+  opts.duration_ms = 60'000;  // would run a minute...
+  opts.stop = &stop;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop = true;
+  });
+  Stopwatch sw;
+  DriverResult r = RunWorkload(&cluster, opts, [](Session* s, Rng& rng) {
+    return s->Execute("INSERT INTO t VALUES (" +
+                      std::to_string(rng.UniformRange(1, 100)) + ", 1)")
+        .status();
+  });
+  stopper.join();
+  EXPECT_LT(sw.ElapsedSeconds(), 10.0);  // ... but stops in ~0.2s
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.latency_us.count(), 0);
+}
+
+}  // namespace
+}  // namespace gphtap
