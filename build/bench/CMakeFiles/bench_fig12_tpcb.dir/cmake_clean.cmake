@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tpcb.dir/bench_fig12_tpcb.cc.o"
+  "CMakeFiles/bench_fig12_tpcb.dir/bench_fig12_tpcb.cc.o.d"
+  "bench_fig12_tpcb"
+  "bench_fig12_tpcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_olap_htap.dir/bench_fig16_olap_htap.cc.o"
+  "CMakeFiles/bench_fig16_olap_htap.dir/bench_fig16_olap_htap.cc.o.d"
+  "bench_fig16_olap_htap"
+  "bench_fig16_olap_htap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_olap_htap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

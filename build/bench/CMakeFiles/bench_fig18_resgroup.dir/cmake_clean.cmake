@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_resgroup.dir/bench_fig18_resgroup.cc.o"
+  "CMakeFiles/bench_fig18_resgroup.dir/bench_fig18_resgroup.cc.o.d"
+  "bench_fig18_resgroup"
+  "bench_fig18_resgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_resgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

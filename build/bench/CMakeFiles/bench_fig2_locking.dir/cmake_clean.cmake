@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_locking.dir/bench_fig2_locking.cc.o"
+  "CMakeFiles/bench_fig2_locking.dir/bench_fig2_locking.cc.o.d"
+  "bench_fig2_locking"
+  "bench_fig2_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gdd_detector.dir/bench_gdd_detector.cc.o"
+  "CMakeFiles/bench_gdd_detector.dir/bench_gdd_detector.cc.o.d"
+  "bench_gdd_detector"
+  "bench_gdd_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gdd_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

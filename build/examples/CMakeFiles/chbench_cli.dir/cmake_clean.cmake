@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chbench_cli.dir/chbench_cli.cpp.o"
+  "CMakeFiles/chbench_cli.dir/chbench_cli.cpp.o.d"
+  "chbench_cli"
+  "chbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

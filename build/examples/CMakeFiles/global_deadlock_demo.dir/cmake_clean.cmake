@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_deadlock_demo.dir/global_deadlock_demo.cpp.o"
+  "CMakeFiles/global_deadlock_demo.dir/global_deadlock_demo.cpp.o.d"
+  "global_deadlock_demo"
+  "global_deadlock_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_deadlock_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

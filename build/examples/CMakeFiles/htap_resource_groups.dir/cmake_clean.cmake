@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_resource_groups.dir/htap_resource_groups.cpp.o"
+  "CMakeFiles/htap_resource_groups.dir/htap_resource_groups.cpp.o.d"
+  "htap_resource_groups"
+  "htap_resource_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_resource_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

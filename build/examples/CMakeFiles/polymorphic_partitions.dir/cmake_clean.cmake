@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorphic_partitions.dir/polymorphic_partitions.cpp.o"
+  "CMakeFiles/polymorphic_partitions.dir/polymorphic_partitions.cpp.o.d"
+  "polymorphic_partitions"
+  "polymorphic_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorphic_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

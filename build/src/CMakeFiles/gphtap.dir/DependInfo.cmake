@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/datum.cc" "src/CMakeFiles/gphtap.dir/catalog/datum.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/catalog/datum.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/gphtap.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/gphtap.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/mirror.cc" "src/CMakeFiles/gphtap.dir/cluster/mirror.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/cluster/mirror.cc.o.d"
+  "/root/repo/src/cluster/session.cc" "src/CMakeFiles/gphtap.dir/cluster/session.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/cluster/session.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/gphtap.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gphtap.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/gphtap.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/gphtap.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/exec/executor.cc.o.d"
+  "/root/repo/src/gdd/gdd_algorithm.cc" "src/CMakeFiles/gphtap.dir/gdd/gdd_algorithm.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/gdd/gdd_algorithm.cc.o.d"
+  "/root/repo/src/gdd/gdd_daemon.cc" "src/CMakeFiles/gphtap.dir/gdd/gdd_daemon.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/gdd/gdd_daemon.cc.o.d"
+  "/root/repo/src/lock/lock_defs.cc" "src/CMakeFiles/gphtap.dir/lock/lock_defs.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/lock/lock_defs.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/CMakeFiles/gphtap.dir/lock/lock_manager.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/lock/lock_manager.cc.o.d"
+  "/root/repo/src/net/motion_exchange.cc" "src/CMakeFiles/gphtap.dir/net/motion_exchange.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/net/motion_exchange.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/gphtap.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/gphtap.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/gphtap.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/plan/planner.cc.o.d"
+  "/root/repo/src/resgroup/cpu_governor.cc" "src/CMakeFiles/gphtap.dir/resgroup/cpu_governor.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/resgroup/cpu_governor.cc.o.d"
+  "/root/repo/src/resgroup/resource_group.cc" "src/CMakeFiles/gphtap.dir/resgroup/resource_group.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/resgroup/resource_group.cc.o.d"
+  "/root/repo/src/resgroup/vmem_tracker.cc" "src/CMakeFiles/gphtap.dir/resgroup/vmem_tracker.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/resgroup/vmem_tracker.cc.o.d"
+  "/root/repo/src/sql/analyzer.cc" "src/CMakeFiles/gphtap.dir/sql/analyzer.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/sql/analyzer.cc.o.d"
+  "/root/repo/src/sql/driver.cc" "src/CMakeFiles/gphtap.dir/sql/driver.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/sql/driver.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/gphtap.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/gphtap.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/ao_table.cc" "src/CMakeFiles/gphtap.dir/storage/ao_table.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/ao_table.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/gphtap.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/column_store.cc" "src/CMakeFiles/gphtap.dir/storage/column_store.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/column_store.cc.o.d"
+  "/root/repo/src/storage/compression.cc" "src/CMakeFiles/gphtap.dir/storage/compression.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/compression.cc.o.d"
+  "/root/repo/src/storage/external_table.cc" "src/CMakeFiles/gphtap.dir/storage/external_table.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/external_table.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/gphtap.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/storage/partitioned_table.cc" "src/CMakeFiles/gphtap.dir/storage/partitioned_table.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/partitioned_table.cc.o.d"
+  "/root/repo/src/storage/table_factory.cc" "src/CMakeFiles/gphtap.dir/storage/table_factory.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/storage/table_factory.cc.o.d"
+  "/root/repo/src/txn/distributed_txn_manager.cc" "src/CMakeFiles/gphtap.dir/txn/distributed_txn_manager.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/txn/distributed_txn_manager.cc.o.d"
+  "/root/repo/src/txn/local_txn_manager.cc" "src/CMakeFiles/gphtap.dir/txn/local_txn_manager.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/txn/local_txn_manager.cc.o.d"
+  "/root/repo/src/txn/visibility.cc" "src/CMakeFiles/gphtap.dir/txn/visibility.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/txn/visibility.cc.o.d"
+  "/root/repo/src/workload/chbench.cc" "src/CMakeFiles/gphtap.dir/workload/chbench.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/workload/chbench.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/gphtap.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/htap.cc" "src/CMakeFiles/gphtap.dir/workload/htap.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/workload/htap.cc.o.d"
+  "/root/repo/src/workload/tpcb.cc" "src/CMakeFiles/gphtap.dir/workload/tpcb.cc.o" "gcc" "src/CMakeFiles/gphtap.dir/workload/tpcb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_protocol_test.dir/cluster/commit_protocol_test.cc.o"
+  "CMakeFiles/commit_protocol_test.dir/cluster/commit_protocol_test.cc.o.d"
+  "commit_protocol_test"
+  "commit_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datum_property_test.dir/catalog/datum_property_test.cc.o"
+  "CMakeFiles/datum_property_test.dir/catalog/datum_property_test.cc.o.d"
+  "datum_property_test"
+  "datum_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datum_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datum_test.dir/catalog/datum_test.cc.o"
+  "CMakeFiles/datum_test.dir/catalog/datum_test.cc.o.d"
+  "datum_test"
+  "datum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

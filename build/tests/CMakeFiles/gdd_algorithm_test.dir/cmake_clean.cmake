@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdd_algorithm_test.dir/gdd/gdd_algorithm_test.cc.o"
+  "CMakeFiles/gdd_algorithm_test.dir/gdd/gdd_algorithm_test.cc.o.d"
+  "gdd_algorithm_test"
+  "gdd_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdd_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

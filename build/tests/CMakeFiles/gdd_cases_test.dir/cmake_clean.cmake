@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdd_cases_test.dir/integration/gdd_cases_test.cc.o"
+  "CMakeFiles/gdd_cases_test.dir/integration/gdd_cases_test.cc.o.d"
+  "gdd_cases_test"
+  "gdd_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdd_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

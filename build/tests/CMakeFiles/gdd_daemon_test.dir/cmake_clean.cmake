@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdd_daemon_test.dir/gdd/gdd_daemon_test.cc.o"
+  "CMakeFiles/gdd_daemon_test.dir/gdd/gdd_daemon_test.cc.o.d"
+  "gdd_daemon_test"
+  "gdd_daemon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdd_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdd_liveness_test.dir/integration/gdd_liveness_test.cc.o"
+  "CMakeFiles/gdd_liveness_test.dir/integration/gdd_liveness_test.cc.o.d"
+  "gdd_liveness_test"
+  "gdd_liveness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdd_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

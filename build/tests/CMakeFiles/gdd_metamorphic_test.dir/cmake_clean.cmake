@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdd_metamorphic_test.dir/gdd/gdd_metamorphic_test.cc.o"
+  "CMakeFiles/gdd_metamorphic_test.dir/gdd/gdd_metamorphic_test.cc.o.d"
+  "gdd_metamorphic_test"
+  "gdd_metamorphic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdd_metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

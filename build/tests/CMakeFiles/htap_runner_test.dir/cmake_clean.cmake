@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_runner_test.dir/integration/htap_runner_test.cc.o"
+  "CMakeFiles/htap_runner_test.dir/integration/htap_runner_test.cc.o.d"
+  "htap_runner_test"
+  "htap_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

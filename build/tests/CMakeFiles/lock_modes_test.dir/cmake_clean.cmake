@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_modes_test.dir/lock/lock_modes_test.cc.o"
+  "CMakeFiles/lock_modes_test.dir/lock/lock_modes_test.cc.o.d"
+  "lock_modes_test"
+  "lock_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_exchange_test.dir/net/motion_exchange_test.cc.o"
+  "CMakeFiles/motion_exchange_test.dir/net/motion_exchange_test.cc.o.d"
+  "motion_exchange_test"
+  "motion_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_deadlock_test.dir/integration/network_deadlock_test.cc.o"
+  "CMakeFiles/network_deadlock_test.dir/integration/network_deadlock_test.cc.o.d"
+  "network_deadlock_test"
+  "network_deadlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

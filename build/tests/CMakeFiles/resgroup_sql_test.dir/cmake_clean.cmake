@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resgroup_sql_test.dir/resgroup/resgroup_sql_test.cc.o"
+  "CMakeFiles/resgroup_sql_test.dir/resgroup/resgroup_sql_test.cc.o.d"
+  "resgroup_sql_test"
+  "resgroup_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resgroup_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

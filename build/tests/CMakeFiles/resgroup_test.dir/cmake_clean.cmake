@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resgroup_test.dir/resgroup/resgroup_test.cc.o"
+  "CMakeFiles/resgroup_test.dir/resgroup/resgroup_test.cc.o.d"
+  "resgroup_test"
+  "resgroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resgroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_stress_test.dir/integration/snapshot_stress_test.cc.o"
+  "CMakeFiles/snapshot_stress_test.dir/integration/snapshot_stress_test.cc.o.d"
+  "snapshot_stress_test"
+  "snapshot_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_kinds_test.dir/storage/storage_kinds_test.cc.o"
+  "CMakeFiles/storage_kinds_test.dir/storage/storage_kinds_test.cc.o.d"
+  "storage_kinds_test"
+  "storage_kinds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
