@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency-heavy
+# subset (locks, GDD, commit protocol, mirrors, crash recovery) again under
+# ThreadSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
+cmake --build build-tsan -j
+(cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test')

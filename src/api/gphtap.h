@@ -11,6 +11,13 @@
 //
 // See README.md for the SQL dialect and ClusterOptions for the GPDB5/GPDB6
 // mode switches (gdd_enabled, one_phase_commit_enabled, resource groups).
+//
+// Robustness surface (DESIGN.md "Crash recovery and failover"):
+//   cluster.faults()            — arm named fault points (FaultInjector)
+//   cluster.CrashSegment(i) / cluster.RecoverSegment(i)
+//   cluster.FailoverToMirror(i) — promote a mirror (FTS does this automatically
+//                                 when ClusterOptions::fts_enabled)
+//   cluster.Health()            — per-segment up/down, mirror lag, FTS stats
 #ifndef GPHTAP_API_GPHTAP_H_
 #define GPHTAP_API_GPHTAP_H_
 

@@ -28,16 +28,20 @@ Cluster::Cluster(ClusterOptions options)
   default_group.memory_limit_mb = options.global_shared_mem_mb;
   resgroups_.CreateGroup(default_group);
 
+  net_.set_fault_injector(&faults_);
+
   Segment::Options seg_options;
   seg_options.buffer_pool = options.buffer_pool;
   seg_options.fsync_cost_us = options.fsync_cost_us;
   seg_options.locks = options.locks;
   seg_options.enable_mirroring = options.mirrors_enabled;
+  seg_options.enable_recovery = options.crash_recovery_enabled;
   segments_.reserve(static_cast<size_t>(options.num_segments));
   for (int i = 0; i < options.num_segments; ++i) {
     segments_.push_back(std::make_unique<Segment>(i, seg_options));
     if (options.mirrors_enabled) {
       mirrors_.push_back(std::make_unique<MirrorSegment>(i));
+      mirrors_.back()->set_fault_injector(&faults_);
       mirrors_.back()->Start(segments_.back()->change_log());
     }
   }
@@ -54,6 +58,30 @@ Cluster::Cluster(ClusterOptions options)
     gdd_->Start();
   }
 
+  if (options.fts_enabled) {
+    FtsDaemon::Hooks hooks;
+    hooks.num_segments = options.num_segments;
+    hooks.probe = [this](int i) {
+      // Probe + response both cross the wire; either leg can be dropped or
+      // delayed by a fault, and a down segment never answers.
+      if (!net_.Deliver(MsgKind::kFtsProbe)) return false;
+      Segment* seg = segment(i);
+      if (!seg->up()) return false;
+      if (faults_.Evaluate(fault_points::kFtsProbeTimeout, i)) return false;
+      return net_.Deliver(MsgKind::kFtsProbe);
+    };
+    hooks.can_failover = [this](int i) {
+      MirrorSegment* m = mirror(i);
+      return m != nullptr && !m->promoted();
+    };
+    hooks.failover = [this](int i) { return FailoverToMirror(i); };
+    FtsDaemon::Options fts_options;
+    fts_options.period_us = options.fts_period_us;
+    fts_options.misses_before_failover = options.fts_misses_before_failover;
+    fts_ = std::make_unique<FtsDaemon>(std::move(hooks), fts_options);
+    fts_->Start();
+  }
+
   if (options.maintenance_period_us > 0) {
     maintenance_running_.store(true);
     maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
@@ -61,6 +89,7 @@ Cluster::Cluster(ClusterOptions options)
 }
 
 Cluster::~Cluster() {
+  if (fts_) fts_->Stop();
   for (auto& m : mirrors_) m->Stop();
   if (gdd_) gdd_->Stop();
   if (maintenance_running_.exchange(false) && maintenance_thread_.joinable()) {
@@ -240,6 +269,93 @@ uint64_t Cluster::TruncateXidMaps() {
   uint64_t removed = coordinator_dlog_.TruncateBelow(horizon);
   for (auto& seg : segments_) removed += seg->dlog().TruncateBelow(horizon);
   return removed;
+}
+
+std::vector<TableDef> Cluster::DefsForSegment(int index) const {
+  std::vector<TableDef> defs = ListTables();
+  if (index != 0) {
+    // Mirror of CreateTable(): only segment 0 materializes external files.
+    for (TableDef& def : defs) {
+      if (def.storage == StorageKind::kExternal) def.external_path = "";
+      if (def.partitions.has_value()) {
+        for (auto& range : def.partitions->ranges) {
+          if (range.storage == StorageKind::kExternal) range.external_path = "";
+        }
+      }
+    }
+  }
+  return defs;
+}
+
+Status Cluster::CrashSegment(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("no segment " + std::to_string(index));
+  }
+  return segment(index)->Crash();
+}
+
+Segment::InDoubtDecision Cluster::ResolveInDoubt(Gxid gxid) {
+  if (HasDistributedCommitRecord(gxid)) return Segment::InDoubtDecision::kCommit;
+  // Still running on the coordinator: phase two has not been decided yet, so
+  // keep the prepared transaction; COMMIT PREPARED or ABORT will arrive.
+  if (dtm_.IsRunning(gxid)) return Segment::InDoubtDecision::kKeepPrepared;
+  return Segment::InDoubtDecision::kAbort;
+}
+
+Status Cluster::RecoverSegment(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("no segment " + std::to_string(index));
+  }
+  return segment(index)->Recover(
+      DefsForSegment(index), [this](Gxid gxid) { return ResolveInDoubt(gxid); },
+      Segment::RecoverySource::kLocalWal);
+}
+
+Status Cluster::FailoverToMirror(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("no segment " + std::to_string(index));
+  }
+  std::lock_guard<std::mutex> failover_guard(failover_mu_);
+  MirrorSegment* m = mirror(index);
+  if (m == nullptr) return Status::NotSupported("segment has no mirror");
+  if (m->promoted()) {
+    return Status::NotSupported("mirror of segment " + std::to_string(index) +
+                                " already promoted");
+  }
+  Segment* seg = segment(index);
+  // Fence the primary so it stops producing while we promote.
+  if (seg->up()) GPHTAP_RETURN_IF_ERROR(seg->Crash());
+  // Drain the shipped stream into the mirror, then freeze it.
+  GPHTAP_RETURN_IF_ERROR(m->CatchUp());
+  m->Stop();
+  m->MarkPromoted();
+  // Rebuild the primary in place from the stream the mirror replayed. The
+  // mirror's copy and the stream are byte-identical (same ChangeLog), so this
+  // is "the mirror takes over" without moving table objects between nodes.
+  return seg->Recover(DefsForSegment(index),
+                      [this](Gxid gxid) { return ResolveInDoubt(gxid); },
+                      Segment::RecoverySource::kShippedStream);
+}
+
+ClusterHealth Cluster::Health() {
+  ClusterHealth health;
+  health.segments.reserve(segments_.size());
+  for (auto& seg : segments_) {
+    SegmentHealthInfo info;
+    info.index = seg->index();
+    info.up = seg->up();
+    info.change_log_size = seg->change_log() != nullptr ? seg->change_log()->size() : 0;
+    MirrorSegment* m = mirror(seg->index());
+    if (m != nullptr) {
+      info.has_mirror = true;
+      info.mirror_promoted = m->promoted();
+      info.mirror_applied = m->applied();
+      info.mirror_health = m->health();
+    }
+    health.segments.push_back(std::move(info));
+  }
+  if (fts_) health.fts = fts_->stats();
+  return health;
 }
 
 }  // namespace gphtap

@@ -13,8 +13,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/fts.h"
 #include "cluster/mirror.h"
 #include "cluster/segment.h"
+#include "common/fault_injector.h"
 #include "gdd/gdd_daemon.h"
 #include "net/sim_net.h"
 #include "resgroup/resource_group.h"
@@ -73,6 +75,39 @@ struct ClusterOptions {
   // High availability: give every primary segment a mirror that continuously
   // replays its change stream (Section 3.1). Mirrors do not serve queries.
   bool mirrors_enabled = false;
+
+  // Crash recovery: segments keep a change stream even without mirrors so a
+  // "crashed" segment can be rebuilt (Segment::Recover). Implied by mirrors.
+  bool crash_recovery_enabled = false;
+
+  // Fault Tolerance Service (Section 3.1): probe segments over the simulated
+  // interconnect and promote mirrors of unresponsive primaries.
+  bool fts_enabled = false;
+  int64_t fts_period_us = 10'000;
+  int fts_misses_before_failover = 2;
+
+  // Coordinator retry policy for the post-commit-record half of 2PC: COMMIT
+  // PREPARED is retried with capped exponential backoff until the deadline
+  // (the paper's coordinator "retries forever"; tests need a horizon).
+  int64_t commit_retry_initial_backoff_us = 500;
+  int64_t commit_retry_max_backoff_us = 50'000;
+  int64_t commit_retry_deadline_us = 10'000'000;
+};
+
+/// Point-in-time health of one segment (cluster health API).
+struct SegmentHealthInfo {
+  int index = 0;
+  bool up = true;
+  bool has_mirror = false;
+  bool mirror_promoted = false;    // mirror already consumed by a failover
+  uint64_t mirror_applied = 0;     // change records the mirror has replayed
+  uint64_t change_log_size = 0;    // change records the primary has produced
+  Status mirror_health;            // sticky replay error, OK when healthy
+};
+
+struct ClusterHealth {
+  std::vector<SegmentHealthInfo> segments;
+  FtsDaemon::Stats fts;
 };
 
 /// Catalog + distributed-transaction brain + segments.
@@ -112,10 +147,40 @@ class Cluster {
   WalStub& coordinator_wal() { return coordinator_wal_; }
 
   /// Writes (and fsyncs) the coordinator's distributed-commit record — the 2PC
-  /// commit point between PREPARE and COMMIT PREPARED (Figure 10).
-  void CoordinatorCommitRecord(Gxid /*gxid*/) {
-    coordinator_wal_.Append(WalRecordType::kDistributedCommit, 0);
+  /// commit point between PREPARE and COMMIT PREPARED (Figure 10), and the
+  /// authority for resolving in-doubt prepared transactions after a crash.
+  void CoordinatorCommitRecord(Gxid gxid) {
+    coordinator_wal_.Append(WalRecordType::kDistributedCommit, 0, gxid);
   }
+
+  /// True once the 2PC commit point for `gxid` is durable on the coordinator.
+  bool HasDistributedCommitRecord(Gxid gxid) const {
+    return coordinator_wal_.HasDistributedCommit(gxid);
+  }
+
+  // ---- Fault injection + crash recovery + failover ----
+  FaultInjector& faults() { return faults_; }
+
+  /// Simulated crash of a primary segment (volatile state lost, service down).
+  Status CrashSegment(int index);
+
+  /// Restarts a crashed segment from its own durable state (WAL + change log).
+  /// In-doubt prepared transactions are resolved against the coordinator's
+  /// distributed commit record (ResolveInDoubt).
+  Status RecoverSegment(int index);
+
+  /// Promotes segment `index`'s mirror: the primary is fenced (crashed if still
+  /// up), the mirror catches up and stops, and the primary is rebuilt from the
+  /// shipped stream. Called by the FTS daemon; also callable directly.
+  Status FailoverToMirror(int index);
+
+  /// Recovery policy for a prepared transaction found in a crashed segment's
+  /// log: commit if the coordinator's commit record exists, keep prepared if
+  /// the coordinator still runs it (phase two will arrive), abort otherwise.
+  Segment::InDoubtDecision ResolveInDoubt(Gxid gxid);
+
+  /// Per-segment up/down + mirror replication lag + FTS counters.
+  ClusterHealth Health();
 
   /// Cancels a transaction everywhere: flags its owner and wakes any lock wait
   /// it is parked in (coordinator or segments). Used by the GDD kill hook and
@@ -154,6 +219,9 @@ class Cluster {
 
  private:
   void MaintenanceLoop();
+  /// The table defs segment `index` was created with (external paths are only
+  /// materialized on segment 0); used to rebuild the schema during recovery.
+  std::vector<TableDef> DefsForSegment(int index) const;
 
   const ClusterOptions options_;
 
@@ -165,6 +233,7 @@ class Cluster {
   LocalTxnManager coordinator_txns_;
   DistributedTxnManager dtm_;
   SimNet net_;
+  FaultInjector faults_;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<MirrorSegment>> mirrors_;
@@ -178,7 +247,9 @@ class Cluster {
   ResourceGroupRegistry resgroups_;
 
   std::unique_ptr<GddDaemon> gdd_;
+  std::unique_ptr<FtsDaemon> fts_;
   std::atomic<int> next_motion_id_{0};
+  std::mutex failover_mu_;  // serializes FTS-driven and manual failovers
 
   std::atomic<bool> maintenance_running_{false};
   std::thread maintenance_thread_;

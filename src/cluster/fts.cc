@@ -1,0 +1,48 @@
+#include "cluster/fts.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gphtap {
+
+void FtsDaemon::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FtsDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void FtsDaemon::Loop() {
+  std::vector<int> misses(static_cast<size_t>(hooks_.num_segments), 0);
+  while (running_.load(std::memory_order_relaxed)) {
+    for (int i = 0; i < hooks_.num_segments; ++i) {
+      if (!running_.load(std::memory_order_relaxed)) return;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_.probe(i)) {
+        misses[static_cast<size_t>(i)] = 0;
+        continue;
+      }
+      probe_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (++misses[static_cast<size_t>(i)] < options_.misses_before_failover) continue;
+      misses[static_cast<size_t>(i)] = 0;
+      if (hooks_.can_failover == nullptr || !hooks_.can_failover(i)) continue;
+      if (hooks_.failover(i).ok()) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed_failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Sleep the probe period in slices so Stop() is responsive.
+    int64_t slept = 0;
+    while (running_.load(std::memory_order_relaxed) && slept < options_.period_us) {
+      int64_t slice = std::min<int64_t>(1'000, options_.period_us - slept);
+      std::this_thread::sleep_for(std::chrono::microseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+}  // namespace gphtap

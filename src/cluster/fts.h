@@ -1,0 +1,76 @@
+// Fault Tolerance Service (Section 3.1): a coordinator-side daemon that probes
+// every segment over the interconnect on a fixed period, counts consecutive
+// missed probes per segment, and — once a primary misses enough probes in a
+// row — promotes its mirror. Probing and promotion are injected as hooks so the
+// daemon stays decoupled from Cluster (and trivially testable).
+#ifndef GPHTAP_CLUSTER_FTS_H_
+#define GPHTAP_CLUSTER_FTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gphtap {
+
+class FtsDaemon {
+ public:
+  struct Hooks {
+    int num_segments = 0;
+    /// True if segment `i` answered the liveness probe.
+    std::function<bool(int)> probe;
+    /// True if segment `i` has a promotable mirror.
+    std::function<bool(int)> can_failover;
+    /// Promotes segment `i`'s mirror. Called from the daemon thread.
+    std::function<Status(int)> failover;
+  };
+
+  struct Options {
+    int64_t period_us = 10'000;       // probe round interval
+    int misses_before_failover = 2;   // consecutive missed probes to act
+  };
+
+  struct Stats {
+    uint64_t probes = 0;
+    uint64_t probe_misses = 0;
+    uint64_t failovers = 0;
+    uint64_t failed_failovers = 0;
+  };
+
+  FtsDaemon(Hooks hooks, Options options)
+      : hooks_(std::move(hooks)), options_(options) {}
+  ~FtsDaemon() { Stop(); }
+
+  FtsDaemon(const FtsDaemon&) = delete;
+  FtsDaemon& operator=(const FtsDaemon&) = delete;
+
+  void Start();
+  void Stop();
+
+  Stats stats() const {
+    return Stats{probes_.load(std::memory_order_relaxed),
+                 probe_misses_.load(std::memory_order_relaxed),
+                 failovers_.load(std::memory_order_relaxed),
+                 failed_failovers_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  void Loop();
+
+  const Hooks hooks_;
+  const Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> probe_misses_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> failed_failovers_{0};
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_FTS_H_

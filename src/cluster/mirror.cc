@@ -1,11 +1,9 @@
 #include "cluster/mirror.h"
 
-#include "storage/ao_table.h"
-#include "storage/column_store.h"
-
 #include <chrono>
 
 #include "common/clock.h"
+#include "storage/replay.h"
 
 namespace gphtap {
 
@@ -46,6 +44,13 @@ void MirrorSegment::ReplayLoop() {
   while (running_.load(std::memory_order_relaxed)) {
     auto record = source_->Read(next);
     if (!record.has_value()) break;  // stream closed
+    // An armed "mirror.replay_stall" (scoped by primary index) freezes replay
+    // with the record in hand, so applied lag is observable until disarmed.
+    while (running_.load(std::memory_order_relaxed) && faults_ != nullptr &&
+           faults_->IsArmed(fault_points::kMirrorReplayStall, primary_index_)) {
+      PreciseSleepUs(100);
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
     Status s = Apply(*record);
     if (!s.ok()) {
       std::lock_guard<std::mutex> g(err_mu_);
@@ -61,6 +66,9 @@ Status MirrorSegment::Apply(const ChangeRecord& record) {
     case ChangeKind::kTxnBegin:
       clog_.Register(record.xid);
       return Status::OK();
+    case ChangeKind::kTxnPrepare:
+      clog_.SetState(record.xid, TxnState::kPrepared);
+      return Status::OK();
     case ChangeKind::kTxnCommit:
       clog_.SetState(record.xid, TxnState::kCommitted);
       return Status::OK();
@@ -75,32 +83,7 @@ Status MirrorSegment::Apply(const ChangeRecord& record) {
   if (table == nullptr) {
     return Status::NotFound("mirror replay: table " + std::to_string(record.table));
   }
-  auto* heap = dynamic_cast<HeapTable*>(table);
-  switch (record.kind) {
-    case ChangeKind::kInsert:
-      if (heap != nullptr) return heap->ApplyInsertAt(record.tid, record.xid, record.row);
-      // Append-only storage reproduces tids by replaying appends in order.
-      return table->Insert(record.xid, record.row).status();
-    case ChangeKind::kSetXmax:
-      if (heap != nullptr) {
-        heap->ApplySetXmax(record.tid, record.xid);
-      } else if (auto* ao = dynamic_cast<AoRowTable*>(table)) {
-        return ao->MarkDeleted(record.tid, record.xid);
-      } else if (auto* aoc = dynamic_cast<AoColumnTable*>(table)) {
-        return aoc->MarkDeleted(record.tid, record.xid);
-      }
-      return Status::OK();
-    case ChangeKind::kLink:
-      if (heap != nullptr) heap->ApplyLink(record.tid, record.tid2);
-      return Status::OK();
-    case ChangeKind::kFreeSlot:
-      if (heap != nullptr) heap->ApplyFreeSlot(record.tid);
-      return Status::OK();
-    case ChangeKind::kTruncate:
-      return table->Truncate();
-    default:
-      return Status::Internal("mirror replay: bad record kind");
-  }
+  return ApplyDataChange(table, record);
 }
 
 Status MirrorSegment::CatchUp(int64_t timeout_ms) {

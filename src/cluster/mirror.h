@@ -14,6 +14,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "storage/change_log.h"
 #include "storage/heap_table.h"
 #include "storage/table_factory.h"
@@ -49,6 +50,15 @@ class MirrorSegment {
   /// Replay errors are sticky; a healthy mirror reports OK.
   Status health() const;
 
+  /// Attaches the cluster's fault injector; the "mirror.replay_stall" point
+  /// (scoped by primary index) pauses replay to simulate a lagging mirror.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Failover bookkeeping: once promoted, the mirror's stream has been used to
+  /// rebuild the primary in place and this replica must not be promoted again.
+  void MarkPromoted() { promoted_.store(true, std::memory_order_release); }
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+
  private:
   void ReplayLoop();
   Status Apply(const ChangeRecord& record);
@@ -60,8 +70,10 @@ class MirrorSegment {
   std::unordered_map<TableId, std::unique_ptr<Table>> tables_;
 
   ChangeLog* source_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   std::thread replayer_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> promoted_{false};
   std::atomic<uint64_t> applied_{0};
   mutable std::mutex err_mu_;
   Status error_;

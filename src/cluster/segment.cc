@@ -1,0 +1,197 @@
+#include "cluster/segment.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "storage/replay.h"
+
+namespace gphtap {
+
+Status Segment::Crash() {
+  // try_lock, not lock: Crash() must never block (it is called from under
+  // service pins), and if recovery holds the mutex the segment is already down
+  // — crashing it again is a no-op.
+  std::unique_lock<std::mutex> state(state_mu_, std::try_to_lock);
+  if (!state.owns_lock() || !up()) return Status::OK();
+  // Blocked lock waiters would otherwise sit until their timeout; a crashed
+  // node answers nobody. Cancel them (and poison the table against late
+  // arrivals) with a retryable error so their sessions abort promptly. Granted
+  // locks die with the lock table in Recover(). This happens BEFORE the segment
+  // is observably down: once up() is false a concurrent Recover() may start,
+  // and it must not race with the teardown here.
+  locks_.CancelAllWaiters(Status::Unavailable(
+      "segment " + std::to_string(index_) + " crashed while transaction waited"));
+  up_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Segment::Recover(const std::vector<TableDef>& defs, const InDoubtResolver& resolver,
+                        RecoverySource source) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  if (up()) {
+    return Status::Internal("segment " + std::to_string(index_) +
+                            ": Recover() on a segment that is up");
+  }
+  if (change_log_ == nullptr) {
+    return Status::NotSupported("segment " + std::to_string(index_) +
+                                ": recovery requires a change log "
+                                "(enable_recovery/enable_mirroring)");
+  }
+  // Drain in-flight pinned requests; new ones fail fast on the up_ check.
+  std::unique_lock<std::shared_mutex> service(service_mu_);
+
+  // --- Tear down all volatile state. ---
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    tables_.clear();
+  }
+  clog_.Reset();
+  dlog_.Reset();
+  locks_.Reset();
+
+  // --- Recreate the schema, detached from the change log so replay does not
+  // re-append history. Partitioned roots come back empty: leaf routing is not
+  // in the stream (documented data loss, matching the mirroring limitation). ---
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    for (const TableDef& def : defs) {
+      tables_[def.id] = gphtap::CreateTable(def, &clog_, &pool_);
+    }
+  }
+
+  // --- Rebuild transaction states. kLocalWal replays this segment's own WAL;
+  // kShippedStream trusts only what was shipped to the mirror (the txn records
+  // in the change stream), modeling a promotion where the primary's disk died. ---
+  struct TxnInfo {
+    Gxid gxid = kInvalidGxid;
+    TxnState state = TxnState::kInProgress;
+  };
+  std::map<LocalXid, TxnInfo> txns;
+  LocalXid max_xid = 0;
+  auto note = [&](LocalXid xid, Gxid gxid, TxnState state, bool begin) {
+    if (xid == kInvalidLocalXid) return;
+    max_xid = std::max(max_xid, xid);
+    auto& info = txns[xid];
+    if (begin) {
+      info.gxid = gxid;
+      info.state = TxnState::kInProgress;
+    } else {
+      info.state = state;
+    }
+  };
+  if (source == RecoverySource::kLocalWal) {
+    for (const WalRecord& rec : wal_.Snapshot()) {
+      switch (rec.type) {
+        case WalRecordType::kBegin:
+          note(rec.xid, rec.gxid, TxnState::kInProgress, /*begin=*/true);
+          break;
+        case WalRecordType::kPrepare:
+          note(rec.xid, rec.gxid, TxnState::kPrepared, /*begin=*/false);
+          break;
+        case WalRecordType::kCommit:
+        case WalRecordType::kCommitPrepared:
+          note(rec.xid, rec.gxid, TxnState::kCommitted, /*begin=*/false);
+          break;
+        case WalRecordType::kAbort:
+          note(rec.xid, rec.gxid, TxnState::kAborted, /*begin=*/false);
+          break;
+        case WalRecordType::kDistributedCommit:
+          break;  // coordinator-only record
+      }
+    }
+  }
+
+  // --- Replay the change stream: txn records (for kShippedStream) and data
+  // records (both sources). Snapshot first; resolution below appends new
+  // records that must not be replayed into the tables we are rebuilding. ---
+  const std::vector<ChangeRecord> stream = change_log_->Snapshot(change_log_->size());
+  for (const ChangeRecord& rec : stream) {
+    switch (rec.kind) {
+      case ChangeKind::kTxnBegin:
+        if (source == RecoverySource::kShippedStream) {
+          note(rec.xid, rec.gxid, TxnState::kInProgress, /*begin=*/true);
+        }
+        continue;
+      case ChangeKind::kTxnPrepare:
+        if (source == RecoverySource::kShippedStream) {
+          note(rec.xid, rec.gxid, TxnState::kPrepared, /*begin=*/false);
+        }
+        continue;
+      case ChangeKind::kTxnCommit:
+        if (source == RecoverySource::kShippedStream) {
+          note(rec.xid, rec.gxid, TxnState::kCommitted, /*begin=*/false);
+        }
+        continue;
+      case ChangeKind::kTxnAbort:
+        if (source == RecoverySource::kShippedStream) {
+          note(rec.xid, rec.gxid, TxnState::kAborted, /*begin=*/false);
+        }
+        continue;
+      default:
+        break;
+    }
+    Table* table = GetTable(rec.table);
+    if (table == nullptr) continue;  // dropped table / partitioned root
+    Status s = ApplyDataChange(table, rec);
+    if (!s.ok()) return s;
+  }
+
+  // --- Install transaction states and resolve what the log left open. ---
+  std::vector<std::pair<Gxid, LocalXid>> reinstated;
+  std::unordered_map<Gxid, TxnState> finished;
+  auto finish = [&](LocalXid xid, Gxid gxid, TxnState state, WalRecordType wal_type,
+                    ChangeKind stream_kind) {
+    clog_.SetState(xid, state);
+    wal_.Append(wal_type, xid, gxid);
+    change_log_->Append(
+        ChangeRecord{stream_kind, 0, kInvalidTupleId, kInvalidTupleId, xid, {}, gxid});
+    if (gxid != kInvalidGxid) finished[gxid] = state;
+  };
+  for (const auto& [xid, info] : txns) {
+    clog_.Register(xid);
+    clog_.SetState(xid, info.state);
+    if (info.gxid != kInvalidGxid) dlog_.Record(xid, info.gxid);
+    switch (info.state) {
+      case TxnState::kPrepared: {
+        InDoubtDecision d =
+            info.gxid != kInvalidGxid ? resolver(info.gxid) : InDoubtDecision::kAbort;
+        if (d == InDoubtDecision::kCommit) {
+          finish(xid, info.gxid, TxnState::kCommitted, WalRecordType::kCommitPrepared,
+                 ChangeKind::kTxnCommit);
+        } else if (d == InDoubtDecision::kAbort) {
+          finish(xid, info.gxid, TxnState::kAborted, WalRecordType::kAbort,
+                 ChangeKind::kTxnAbort);
+        } else {
+          reinstated.emplace_back(info.gxid, xid);
+        }
+        break;
+      }
+      case TxnState::kInProgress:
+        // Volatile state (including any not-yet-prepared writes' fate) died
+        // with the crash: the transaction aborts, as in PostgreSQL recovery.
+        finish(xid, info.gxid, TxnState::kAborted, WalRecordType::kAbort,
+               ChangeKind::kTxnAbort);
+        break;
+      case TxnState::kCommitted:
+      case TxnState::kAborted:
+        break;  // already final
+    }
+  }
+  txns_.ResetForRecovery(max_xid + 1, reinstated, std::move(finished));
+
+  // --- Reconnect the change stream and reopen for service. ---
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    for (const TableDef& def : defs) {
+      auto it = tables_.find(def.id);
+      if (it != tables_.end() && !def.partitions.has_value()) {
+        it->second->SetChangeLog(change_log_.get());
+      }
+    }
+  }
+  up_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace gphtap

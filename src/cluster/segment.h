@@ -1,12 +1,25 @@
 // One worker segment: an "enhanced PostgreSQL instance" (Section 3.1) with its
 // own lock table, transaction manager, commit log, WAL, buffer cache, and the
 // shard of every table's data.
+//
+// Segments can "crash" (Crash(): volatile state — running transactions, the
+// lock table, table data — becomes untrustworthy and all service stops) and be
+// recovered (Recover(): tables are rebuilt by replaying the change log, the
+// commit log / xid map are rebuilt from the WAL, prepared-but-unresolved
+// transactions are reinstated or resolved against the coordinator's distributed
+// commit record). Sessions enter a segment through Pin(), which holds off
+// recovery while a request is in flight and fails fast with a retryable error
+// when the segment is down.
 #ifndef GPHTAP_CLUSTER_SEGMENT_H_
 #define GPHTAP_CLUSTER_SEGMENT_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "lock/lock_manager.h"
 #include "storage/buffer_pool.h"
@@ -19,6 +32,19 @@
 
 namespace gphtap {
 
+/// RAII service pin: while alive, the segment cannot enter recovery (shared
+/// side of the service lock). Obtained via Segment::Pin(); movable only.
+class SegmentPin {
+ public:
+  SegmentPin() = default;
+  explicit SegmentPin(std::shared_mutex& mu) : lock_(mu) {}
+  SegmentPin(SegmentPin&&) = default;
+  SegmentPin& operator=(SegmentPin&&) = default;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
 class Segment {
  public:
   struct Options {
@@ -26,7 +52,17 @@ class Segment {
     int64_t fsync_cost_us = 0;
     LockManager::Options locks;
     bool enable_mirroring = false;  // emit a logical change stream (WAL shipping)
+    bool enable_recovery = false;   // keep a change stream for crash recovery
   };
+
+  /// What recovery should do with a prepared transaction whose outcome is not
+  /// decided by this segment's own WAL.
+  enum class InDoubtDecision { kCommit, kAbort, kKeepPrepared };
+  using InDoubtResolver = std::function<InDoubtDecision(Gxid)>;
+
+  /// Where Recover() reads the change stream from: the segment's own log
+  /// (restart after a crash) or a mirror's shipped copy (failover promotion).
+  enum class RecoverySource { kLocalWal, kShippedStream };
 
   Segment(int index, const Options& options)
       : index_(index),
@@ -34,7 +70,7 @@ class Segment {
         pool_(options.buffer_pool),
         locks_(index, options.locks),
         txns_(&clog_, &dlog_, &wal_) {
-    if (options.enable_mirroring) {
+    if (options.enable_mirroring || options.enable_recovery) {
       change_log_ = std::make_unique<ChangeLog>();
       txns_.set_change_log(change_log_.get());
     }
@@ -48,10 +84,40 @@ class Segment {
   BufferPool& pool() { return pool_; }
   LockManager& locks() { return locks_; }
   LocalTxnManager& txns() { return txns_; }
-  /// The replication stream, or null when mirroring is disabled.
+  /// The replication stream, or null when mirroring and recovery are disabled.
   ChangeLog* change_log() { return change_log_.get(); }
 
+  bool up() const { return up_.load(std::memory_order_acquire); }
+
+  /// Enters the segment for one request. Fails with kUnavailable (retryable)
+  /// when the segment is down. Pins must not nest (a second shared lock on the
+  /// same thread can deadlock behind a queued recovery writer) — pin only at
+  /// outermost entry points.
+  StatusOr<SegmentPin> Pin() {
+    SegmentPin pin(service_mu_);
+    if (!up()) {
+      return Status::Unavailable("segment " + std::to_string(index_) +
+                                 " is down (retry after recovery)");
+    }
+    return pin;
+  }
+
+  /// Simulated crash: service stops immediately and every blocked lock waiter
+  /// is cancelled with a retryable error. Non-blocking and idempotent; the
+  /// actual teardown of volatile state is deferred to Recover().
+  Status Crash();
+
+  /// Rebuilds the segment from durable state. `defs` recreates the schema,
+  /// the change stream (own log or a mirror's shipped copy, per `source`)
+  /// replays the data, the WAL replays transaction states, and `resolver`
+  /// decides in-doubt prepared transactions (normally backed by the
+  /// coordinator's distributed commit record). Blocks until in-flight pinned
+  /// requests drain. Requires the segment to be down and a change log attached.
+  Status Recover(const std::vector<TableDef>& defs, const InDoubtResolver& resolver,
+                 RecoverySource source);
+
   Status CreateTable(const TableDef& def) {
+    if (!up()) return Status::Unavailable("segment " + std::to_string(index_) + " is down");
     std::unique_lock<std::shared_mutex> g(tables_mu_);
     if (tables_.count(def.id)) return Status::AlreadyExists("table id in segment");
     auto table = gphtap::CreateTable(def, &clog_, &pool_);
@@ -64,6 +130,7 @@ class Segment {
   }
 
   Status DropTable(TableId id) {
+    if (!up()) return Status::Unavailable("segment " + std::to_string(index_) + " is down");
     std::unique_lock<std::shared_mutex> g(tables_mu_);
     if (tables_.erase(id) == 0) return Status::NotFound("table id in segment");
     return Status::OK();
@@ -84,6 +151,15 @@ class Segment {
   LockManager locks_;
   LocalTxnManager txns_;
   std::unique_ptr<ChangeLog> change_log_;
+
+  std::atomic<bool> up_{true};
+  // Serializes the Crash()/Recover() state transitions themselves: without it a
+  // fast Recover() racing a still-running Crash() could have its fresh lock
+  // table poisoned by the tail of the crash. Crash() only try_locks (it must
+  // never block); Recover() holds it for the whole rebuild.
+  std::mutex state_mu_;
+  // Shared side: one in-flight request (SegmentPin). Exclusive side: Recover().
+  std::shared_mutex service_mu_;
 
   std::shared_mutex tables_mu_;
   std::unordered_map<TableId, std::unique_ptr<Table>> tables_;

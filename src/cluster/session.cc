@@ -118,7 +118,9 @@ Status Session::Commit() {
     return Status::OK();
   }
   Status s = CommitProtocol();
-  if (!s.ok()) AbortProtocol();
+  // Past the commit point CommitProtocol cleans up itself (in_txn() is false)
+  // and the error is informational; before it, the transaction aborts.
+  if (!s.ok() && in_txn()) AbortProtocol();
   return s;
 }
 
@@ -132,8 +134,73 @@ Status Session::Rollback() {
   return Status::OK();
 }
 
+namespace {
+
+// Errors that mean "the segment did not act on the message" or "the outcome is
+// unknown": segment down, message dropped, wait cancelled by a crash. The
+// coordinator retries these after the commit point; everything else (Aborted,
+// Internal, ...) is a definitive verdict.
+bool RetryableCommitError(const Status& s) {
+  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimedOut;
+}
+
+}  // namespace
+
+Status Session::CommitSegmentWithRetry(int seg_index, bool one_phase,
+                                       bool piggyback_first) {
+  SimNet& net = cluster_->net();
+  FaultInjector& faults = cluster_->faults();
+  const ClusterOptions& opts = cluster_->options();
+  Segment* seg = cluster_->segment(seg_index);
+  const char* crash_point =
+      one_phase ? fault_points::kCrashBeforeCommit : fault_points::kCrashAfterPrepare;
+  const char* ack_crash_point = one_phase ? fault_points::kCrashBeforeCommitAck
+                                          : fault_points::kCrashBeforeCommitPreparedAck;
+  int64_t backoff_us = opts.commit_retry_initial_backoff_us;
+  int64_t deadline = MonotonicMicros() + opts.commit_retry_deadline_us;
+  bool first_attempt = true;
+  while (true) {
+    // The segment dies before acting on this commit message. For 1PC this
+    // loses the transaction; for 2PC the prepared transaction is in doubt and
+    // recovery resolves it from the coordinator's commit record.
+    if (faults.Evaluate(crash_point, seg_index)) seg->Crash();
+    bool piggyback = piggyback_first && first_attempt;
+    first_attempt = false;
+    Status s = Status::OK();
+    if (!piggyback && !net.Deliver(MsgKind::kCommit)) {
+      s = Status::Unavailable("commit message to segment " + std::to_string(seg_index) +
+                              " dropped");
+    } else if (auto pin = seg->Pin(); !pin.ok()) {
+      s = pin.status();
+    } else {
+      s = one_phase ? seg->txns().Commit(gxid_) : seg->txns().CommitPrepared(gxid_);
+      if (s.ok()) {
+        // Commit is durable on the segment but the ack never arrives; the
+        // retry must land on the idempotent already-finished path.
+        if (faults.Evaluate(ack_crash_point, seg_index)) {
+          seg->Crash();
+          s = Status::Unavailable("segment " + std::to_string(seg_index) +
+                                  " crashed before commit ack");
+        } else if (!piggyback && !net.Deliver(MsgKind::kCommitAck)) {
+          s = Status::Unavailable("commit ack from segment " +
+                                  std::to_string(seg_index) + " dropped");
+        }
+      }
+    }
+    if (s.ok() || !RetryableCommitError(s)) return s;
+    if (MonotonicMicros() >= deadline) {
+      return Status::TimedOut("commit retry deadline exceeded for segment " +
+                              std::to_string(seg_index) + ": " + s.message());
+    }
+    ++stats_.commit_retries;
+    PreciseSleepUs(backoff_us);
+    backoff_us = std::min(backoff_us * 2, opts.commit_retry_max_backoff_us);
+  }
+}
+
 Status Session::CommitProtocol() {
   SimNet& net = cluster_->net();
+  FaultInjector& faults = cluster_->faults();
   std::vector<int> participants(write_segments_.begin(), write_segments_.end());
 
   if (participants.empty()) {
@@ -146,10 +213,8 @@ Status Session::CommitProtocol() {
     // dispatch itself and the round trip disappears too.
     int seg_index = participants[0];
     bool piggyback = implicit_commit_ && cluster_->options().onephase_piggyback_enabled;
-    if (!piggyback) net.Deliver(MsgKind::kCommit);
-    Status s = cluster_->segment(seg_index)->txns().Commit(gxid_);
-    if (!piggyback) net.Deliver(MsgKind::kCommitAck);
-    GPHTAP_RETURN_IF_ERROR(s);
+    GPHTAP_RETURN_IF_ERROR(
+        CommitSegmentWithRetry(seg_index, /*one_phase=*/true, piggyback));
     cluster_->dtm().MarkCommitted(gxid_);
     ++stats_.one_phase_commits;
     if (piggyback) ++stats_.piggybacked_commits;
@@ -157,7 +222,7 @@ Status Session::CommitProtocol() {
     // Two-phase commit: PREPARE everywhere, coordinator commit record, then
     // COMMIT PREPARED everywhere. Phases fan out in parallel, as the real
     // dispatcher does.
-    auto fanout = [&](auto&& fn) -> Status {
+    auto fanout = [&](auto&& fn) -> std::vector<Status> {
       std::vector<Status> results(participants.size());
       std::vector<std::thread> threads;
       threads.reserve(participants.size());
@@ -165,37 +230,69 @@ Status Session::CommitProtocol() {
         threads.emplace_back([&, i] { results[i] = fn(participants[i]); });
       }
       for (auto& t : threads) t.join();
-      for (const Status& s : results) {
-        if (!s.ok()) return s;
-      }
-      return Status::OK();
+      return results;
     };
 
     // Figure 11(a): for an implicit transaction the segments already know the
     // statement they just ran was the last one, so they prepare on their own —
     // the coordinator skips the PREPARE broadcast and only collects acks.
     bool auto_prepare = implicit_commit_ && cluster_->options().auto_prepare_enabled;
-    Status prepared = fanout([&](int seg_index) -> Status {
-      if (!auto_prepare) net.Deliver(MsgKind::kPrepare);
-      Status s = cluster_->segment(seg_index)->txns().Prepare(gxid_);
-      net.Deliver(MsgKind::kPrepareAck);
+    std::vector<Status> prepared = fanout([&](int seg_index) -> Status {
+      Segment* seg = cluster_->segment(seg_index);
+      if (faults.Evaluate(fault_points::kCrashBeforePrepare, seg_index)) seg->Crash();
+      if (!auto_prepare && !net.Deliver(MsgKind::kPrepare)) {
+        return Status::Unavailable("prepare message to segment " +
+                                   std::to_string(seg_index) + " dropped");
+      }
+      auto pin = seg->Pin();
+      if (!pin.ok()) return pin.status();  // down: no process to answer
+      Status s = seg->txns().Prepare(gxid_);
+      if (s.ok() && faults.Evaluate(fault_points::kCrashBeforePrepareAck, seg_index)) {
+        // PREPARE is durable but the coordinator never hears about it: the
+        // transaction aborts here and recovery resolves the orphan.
+        seg->Crash();
+        return Status::Unavailable("segment " + std::to_string(seg_index) +
+                                   " crashed before prepare ack");
+      }
+      // The (possibly negative) ack crosses the wire; a drop means the
+      // coordinator cannot tell success from failure and must abort.
+      if (!net.Deliver(MsgKind::kPrepareAck) && s.ok()) {
+        s = Status::Unavailable("prepare ack from segment " +
+                                std::to_string(seg_index) + " dropped");
+      }
       return s;
     });
-    GPHTAP_RETURN_IF_ERROR(prepared);
+    // ANY prepare failure aborts the whole transaction — the caller's
+    // AbortProtocol() sends ABORT to every reachable participant, including
+    // those whose PREPARE succeeded.
+    for (const Status& s : prepared) {
+      GPHTAP_RETURN_IF_ERROR(s);
+    }
     if (auto_prepare) ++stats_.auto_prepares;
 
-    // The distributed commit record is the commit point.
+    // The distributed commit record is the commit point: from here the
+    // transaction IS committed, and phase two is retried, never aborted.
     cluster_->CoordinatorCommitRecord(gxid_);
 
-    Status committed = fanout([&](int seg_index) -> Status {
-      net.Deliver(MsgKind::kCommit);
-      Status s = cluster_->segment(seg_index)->txns().CommitPrepared(gxid_);
-      net.Deliver(MsgKind::kCommitAck);
-      return s;
+    std::vector<Status> committed = fanout([&](int seg_index) -> Status {
+      return CommitSegmentWithRetry(seg_index, /*one_phase=*/false,
+                                    /*piggyback_first=*/false);
     });
-    GPHTAP_RETURN_IF_ERROR(committed);
     cluster_->dtm().MarkCommitted(gxid_);
     ++stats_.two_phase_commits;
+    Status worst = Status::OK();
+    for (const Status& s : committed) {
+      if (!s.ok()) worst = s;
+    }
+    if (!worst.ok()) {
+      // Informational: the transaction is durably committed (commit record +
+      // every segment either acked or will resolve from it), but an ack is
+      // still outstanding. Clean up so the session is usable.
+      ReleaseAllLocks();
+      ++stats_.txns_committed;
+      ClearTxnState();
+      return worst;
+    }
   }
 
   ReleaseAllLocks();
@@ -206,12 +303,18 @@ Status Session::CommitProtocol() {
 
 void Session::AbortProtocol() {
   SimNet& net = cluster_->net();
+  // Record the abort verdict on the coordinator FIRST: a segment recovering
+  // concurrently resolves in-doubt prepared transactions by asking the
+  // coordinator, and must not re-prepare one we are about to abort.
+  cluster_->dtm().MarkAborted(gxid_);
   for (int seg_index : write_segments_) {
+    Segment* seg = cluster_->segment(seg_index);
+    auto pin = seg->Pin();
+    if (!pin.ok()) continue;  // down: recovery aborts it via the coordinator
     net.Deliver(MsgKind::kAbort);
-    cluster_->segment(seg_index)->txns().Abort(gxid_);
+    seg->txns().Abort(gxid_);
     net.Deliver(MsgKind::kAbortAck);
   }
-  cluster_->dtm().MarkAborted(gxid_);
   ReleaseAllLocks();
   ++stats_.txns_aborted;
   ClearTxnState();
@@ -304,7 +407,10 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
     popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
     popts.row_estimate = [this](TableId id) -> uint64_t {
-      Table* t = cluster_->segment(0)->GetTable(id);
+      Segment* seg0 = cluster_->segment(0);
+      auto pin = seg0->Pin();
+      if (!pin.ok()) return 1000;  // down: fall back to a default estimate
+      Table* t = seg0->GetTable(id);
       if (t == nullptr) return 1000;
       return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
     };
@@ -338,7 +444,10 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
   popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
   popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
   popts.row_estimate = [this](TableId id) -> uint64_t {
-    Table* t = cluster_->segment(0)->GetTable(id);
+    Segment* seg0 = cluster_->segment(0);
+    auto pin = seg0->Pin();
+    if (!pin.ok()) return 1000;  // down: fall back to a default estimate
+    Table* t = seg0->GetTable(id);
     if (t == nullptr) return 1000;
     return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
   };
@@ -417,6 +526,7 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
     for (auto& [seg_index, seg_rows] : buckets) {
       Segment* seg = cluster_->segment(seg_index);
       cluster_->net().Deliver(MsgKind::kDispatch);
+      GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kRowExclusive));
       GPHTAP_RETURN_IF_ERROR(EnsureSegmentWrite(seg));
       Table* table = seg->GetTable(def.id);
@@ -455,6 +565,9 @@ std::vector<int> Session::TargetSegmentsForWrite(const TableDef& def, const Expr
 Status Session::DmlWorker(Segment* seg, const TableDef& def,
                           const std::vector<std::pair<int, ExprPtr>>* sets,
                           const ExprPtr& where, int64_t* affected) {
+  // Service pin for the whole worker: held across lock waits (a crash cancels
+  // the wait and the pin drains), released before the commit protocol runs.
+  GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
   GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kRowExclusive));
   GPHTAP_RETURN_IF_ERROR(EnsureSegmentWrite(seg));
   Table* table = seg->GetTable(def.id);
@@ -775,8 +888,13 @@ Status Session::LockTable(const TableDef& def, LockMode mode) {
   // released at commit); we allow it implicitly too for symmetry.
   GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
   for (int i = 0; i < cluster_->num_segments(); ++i) {
-    Status s = cluster_->segment(i)->locks().Acquire(owner_, LockTag::Relation(def.id),
-                                                     mode);
+    Segment* seg = cluster_->segment(i);
+    auto pin = seg->Pin();
+    if (!pin.ok()) {
+      txn_failed_ = true;
+      return pin.status();
+    }
+    Status s = seg->locks().Acquire(owner_, LockTag::Relation(def.id), mode);
     if (!s.ok()) {
       txn_failed_ = true;
       return s;
@@ -795,6 +913,7 @@ StatusOr<QueryResult> Session::ExecuteVacuum(const TableDef& def) {
     int64_t reclaimed = 0;
     for (int i = 0; i < cluster_->num_segments(); ++i) {
       Segment* seg = cluster_->segment(i);
+      GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(
           LockRelationSegment(seg, def, LockMode::kShareUpdateExclusive));
       auto* heap = dynamic_cast<HeapTable*>(seg->GetTable(def.id));
@@ -821,6 +940,7 @@ StatusOr<QueryResult> Session::ExecuteTruncate(const TableDef& def) {
     GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, LockMode::kAccessExclusive));
     for (int i = 0; i < cluster_->num_segments(); ++i) {
       Segment* seg = cluster_->segment(i);
+      GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(
           LockRelationSegment(seg, def, LockMode::kAccessExclusive));
       Table* table = seg->GetTable(def.id);

@@ -71,6 +71,7 @@ class Session {
     uint64_t two_phase_commits = 0;
     uint64_t piggybacked_commits = 0;  // Figure 11(b) fast path taken
     uint64_t auto_prepares = 0;        // Figure 11(a) fast path taken
+    uint64_t commit_retries = 0;       // commit/commit-prepared resends
     uint64_t statements = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -104,6 +105,12 @@ class Session {
 
   // Commit protocols (Section 5.2, Figure 10).
   Status CommitProtocol();
+  // Delivers COMMIT (one_phase) or COMMIT PREPARED to one segment, retrying
+  // retryable failures (segment down, message dropped) with capped exponential
+  // backoff until the configured deadline. Evaluates the commit-side crash
+  // fault points. `piggyback_first`: the first attempt rides the statement
+  // dispatch (Figure 11(b)) and skips the wire round trip.
+  Status CommitSegmentWithRetry(int seg_index, bool one_phase, bool piggyback_first);
   void AbortProtocol();
   void ReleaseAllLocks();
   void ClearTxnState();

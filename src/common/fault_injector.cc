@@ -1,0 +1,106 @@
+#include "common/fault_injector.h"
+
+namespace gphtap {
+
+void FaultInjector::Arm(const std::string& point, Spec spec) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, std::move(spec));
+  (void)it;
+  if (inserted) num_armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmOneShot(const std::string& point, int scope) {
+  Spec s;
+  s.mode = Mode::kOneShot;
+  s.scope = scope;
+  Arm(point, std::move(s));
+}
+
+void FaultInjector::ArmAlways(const std::string& point, int scope) {
+  Spec s;
+  s.mode = Mode::kAlways;
+  s.scope = scope;
+  Arm(point, std::move(s));
+}
+
+void FaultInjector::ArmProbability(const std::string& point, double p, uint64_t seed,
+                                   int scope) {
+  Spec s;
+  s.mode = Mode::kProbability;
+  s.scope = scope;
+  s.probability = p;
+  s.rng = Rng(seed);
+  Arm(point, std::move(s));
+}
+
+void FaultInjector::ArmDelay(const std::string& point, int64_t delay_us, int scope) {
+  Spec s;
+  s.mode = Mode::kAlways;
+  s.scope = scope;
+  s.delay_us = delay_us;
+  Arm(point, std::move(s));
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (points_.erase(point) > 0) num_armed_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  num_armed_.fetch_sub(static_cast<int>(points_.size()), std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FaultInjector::EvaluateLocked(Spec& spec, int scope) {
+  if (spec.scope != kAnyScope && scope != kAnyScope && spec.scope != scope) return false;
+  switch (spec.mode) {
+    case Mode::kOneShot:
+    case Mode::kAlways:
+      return true;
+    case Mode::kProbability:
+      return spec.rng.Chance(spec.probability);
+  }
+  return false;
+}
+
+bool FaultInjector::Evaluate(const std::string& point, int scope) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  if (!EvaluateLocked(it->second, scope)) return false;
+  ++fired_[point];
+  if (it->second.mode == Mode::kOneShot) {
+    points_.erase(it);
+    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+int64_t FaultInjector::EvaluateDelay(const std::string& point, int scope) {
+  if (!AnyArmed()) return 0;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || it->second.delay_us <= 0) return 0;
+  if (!EvaluateLocked(it->second, scope)) return 0;
+  ++fired_[point];
+  return it->second.delay_us;
+}
+
+bool FaultInjector::IsArmed(const std::string& point, int scope) const {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  const Spec& spec = it->second;
+  return spec.scope == kAnyScope || scope == kAnyScope || spec.scope == scope;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = fired_.find(point);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+}  // namespace gphtap

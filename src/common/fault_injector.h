@@ -1,0 +1,100 @@
+// Deterministic fault injection for robustness tests: named fault points in
+// the commit, replication, and interconnect paths that tests arm per-run with
+// one-shot, always-on, or probabilistic (seeded RNG) triggers.
+//
+// A fault point is a string name plus an optional integer scope (for us: the
+// segment index, kAnyScope = match any). Production code calls Evaluate() at
+// the point; it returns true when the test armed a matching trigger. The fast
+// path — nothing armed anywhere — is a single relaxed atomic load.
+#ifndef GPHTAP_COMMON_FAULT_INJECTOR_H_
+#define GPHTAP_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace gphtap {
+
+// Canonical fault-point names. Tests may use arbitrary strings, but the points
+// the commit/replication paths actually evaluate are catalogued here (and in
+// DESIGN.md). Crash points take the segment index as scope.
+namespace fault_points {
+// 2PC: segment dies before its PREPARE became durable (transaction is lost).
+inline constexpr char kCrashBeforePrepare[] = "segment.crash_before_prepare";
+// 2PC: PREPARE is durable but the ack never reaches the coordinator.
+inline constexpr char kCrashBeforePrepareAck[] = "segment.crash_before_prepare_ack";
+// 2PC: segment dies between the coordinator's commit record and COMMIT
+// PREPARED — the in-doubt window Section 5 resolves from the commit record.
+inline constexpr char kCrashAfterPrepare[] = "segment.crash_after_prepare";
+// 2PC: COMMIT PREPARED is durable but the ack is lost (retry must be
+// idempotent).
+inline constexpr char kCrashBeforeCommitPreparedAck[] =
+    "segment.crash_before_commit_prepared_ack";
+// 1PC: segment dies before the single-phase COMMIT became durable.
+inline constexpr char kCrashBeforeCommit[] = "segment.crash_before_commit";
+// 1PC: COMMIT is durable but the ack is lost.
+inline constexpr char kCrashBeforeCommitAck[] = "segment.crash_before_commit_ack";
+// Mirror replay pauses while armed (non-consuming; checked with IsArmed).
+inline constexpr char kMirrorReplayStall[] = "mirror.replay_stall";
+// FTS probe times out even though the wire delivered it (scope = segment).
+inline constexpr char kFtsProbeTimeout[] = "fts.probe_timeout";
+}  // namespace fault_points
+
+/// Thread-safe registry of armed fault points. One per Cluster.
+class FaultInjector {
+ public:
+  static constexpr int kAnyScope = -1;
+
+  /// Fires exactly once, on the first matching Evaluate(), then disarms.
+  void ArmOneShot(const std::string& point, int scope = kAnyScope);
+  /// Fires on every matching Evaluate() until disarmed.
+  void ArmAlways(const std::string& point, int scope = kAnyScope);
+  /// Fires with probability `p` per matching Evaluate(), deterministically
+  /// from `seed`.
+  void ArmProbability(const std::string& point, double p, uint64_t seed,
+                      int scope = kAnyScope);
+  /// Arms a delay point: EvaluateDelay() returns `delay_us` while armed.
+  void ArmDelay(const std::string& point, int64_t delay_us, int scope = kAnyScope);
+
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// True when an armed trigger matches; consumes one-shot triggers.
+  bool Evaluate(const std::string& point, int scope = kAnyScope);
+  /// Extra latency (us) to inject at this point, or 0.
+  int64_t EvaluateDelay(const std::string& point, int scope = kAnyScope);
+  /// Non-consuming check (used for stall-while-armed points).
+  bool IsArmed(const std::string& point, int scope = kAnyScope) const;
+
+  /// Times the point fired (evaluated true) since arming.
+  uint64_t FireCount(const std::string& point) const;
+
+  bool AnyArmed() const { return num_armed_.load(std::memory_order_relaxed) > 0; }
+
+ private:
+  enum class Mode { kOneShot, kAlways, kProbability };
+
+  struct Spec {
+    Mode mode = Mode::kAlways;
+    int scope = kAnyScope;
+    double probability = 1.0;
+    Rng rng{0};
+    int64_t delay_us = 0;
+  };
+
+  void Arm(const std::string& point, Spec spec);
+  bool EvaluateLocked(Spec& spec, int scope);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Spec> points_;
+  std::unordered_map<std::string, uint64_t> fired_;  // survives one-shot disarm
+  std::atomic<int> num_armed_{0};
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_FAULT_INJECTOR_H_

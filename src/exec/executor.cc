@@ -599,6 +599,14 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     for (size_t gi = 0; gi < plan.gang.size(); ++gi) {
       int seg_index = plan.gang[gi];
       producers.emplace_back([&, m, gi, seg_index] {
+        // Service pin for the whole slice: a down segment fails the query with
+        // a retryable error instead of reading torn state mid-recovery.
+        auto pin = cluster->segment(seg_index)->Pin();
+        if (!pin.ok()) {
+          record_error(pin.status());
+          exchanges[m->motion_id]->CloseSender();
+          return;
+        }
         ExecContext ctx;
         ctx.cluster = cluster;
         ctx.segment = cluster->segment(seg_index);

@@ -95,6 +95,7 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
   std::unique_lock<std::mutex> lk(mu_);
   ++stats_.acquires;
   if (owner->cancelled()) return owner->cancel_reason();
+  if (!poison_.ok()) return poison_;
   LockState& st = locks_[tag];
   if (CanGrantNow(st, owner->gxid(), mode)) {
     GrantTo(st, owner, tag, mode);
@@ -165,6 +166,7 @@ bool LockManager::TryAcquire(const std::shared_ptr<LockOwner>& owner, const Lock
                              LockMode mode) {
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.acquires;
+  if (!poison_.ok()) return false;
   LockState& st = locks_[tag];
   if (!CanGrantNow(st, owner->gxid(), mode)) {
     EraseLockIfIdle(tag);
@@ -312,6 +314,31 @@ bool LockManager::WakeWaitersOf(uint64_t gxid) {
 bool LockManager::IsWaiting(uint64_t gxid) const {
   std::lock_guard<std::mutex> lk(mu_);
   return waiting_.count(gxid) > 0;
+}
+
+size_t LockManager::CancelAllWaiters(const Status& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t cancelled = 0;
+  for (auto& [tag, st] : locks_) {
+    bool any = false;
+    for (auto& w : st.queue) {
+      if (w->granted) continue;
+      w->owner->Cancel(reason);
+      ++cancelled;
+      any = true;
+    }
+    if (any) st.cv.notify_all();
+  }
+  poison_ = reason;
+  return cancelled;
+}
+
+void LockManager::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  locks_.clear();
+  waiting_.clear();
+  holders_.clear();
+  poison_ = Status::OK();
 }
 
 LockManager::Stats LockManager::stats() const {

@@ -78,6 +78,19 @@ class LockManager {
   /// True if `gxid` is currently parked in this lock table.
   bool IsWaiting(uint64_t gxid) const;
 
+  /// Segment crash: cancels every ungranted waiter with `reason` and wakes it so
+  /// that its Acquire() returns promptly, then poisons the table so acquisitions
+  /// that race in after the crash fail with `reason` instead of waiting (waits
+  /// on a dead node could never be granted and would block recovery). Granted
+  /// locks are left alone (they are discarded wholesale by Reset() during
+  /// recovery). Returns waiters cancelled.
+  size_t CancelAllWaiters(const Status& reason);
+
+  /// Crash recovery: discards the entire lock table. Only safe once every
+  /// session thread has drained out of this node (waiters must have been
+  /// cancelled via CancelAllWaiters and returned).
+  void Reset();
+
   Stats stats() const;
   int node_id() const { return node_id_; }
 
@@ -120,6 +133,7 @@ class LockManager {
     std::vector<LockTag> tags;  // may contain duplicates (ref-counted grants)
   };
   std::unordered_map<uint64_t, HolderInfo> holders_;
+  Status poison_ = Status::OK();  // non-OK between CancelAllWaiters and Reset
   Stats stats_;
 };
 

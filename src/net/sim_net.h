@@ -1,15 +1,20 @@
 // Simulated interconnect cost model. The cluster is in-process, so "sending a
 // message" is a function call; this injects the per-message wire latency and
 // counts messages by kind so protocol costs (dispatch, 2PC vs 1PC round trips —
-// Figure 10) are measurable and tunable.
+// Figure 10) are measurable and tunable. With a FaultInjector attached, any
+// message kind can additionally be dropped or delayed ("net.drop.<kind>" /
+// "net.delay.<kind>" fault points); sends are always counted so the Figure-10
+// accounting holds with or without faults, and drops are tallied separately.
 #ifndef GPHTAP_NET_SIM_NET_H_
 #define GPHTAP_NET_SIM_NET_H_
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 
 namespace gphtap {
 
@@ -24,21 +29,84 @@ enum class MsgKind : uint8_t {
   kAbortAck = 7,
   kGddCollect = 8,     // GDD daemon pulling wait-for graphs
   kTupleData = 9,      // motion traffic
-  kNumKinds = 10,
+  kFtsProbe = 10,      // FTS daemon liveness probe / response
+  kNumKinds = 11,
 };
+
+inline const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kDispatch: return "dispatch";
+    case MsgKind::kResult: return "result";
+    case MsgKind::kPrepare: return "prepare";
+    case MsgKind::kPrepareAck: return "prepare_ack";
+    case MsgKind::kCommit: return "commit";
+    case MsgKind::kCommitAck: return "commit_ack";
+    case MsgKind::kAbort: return "abort";
+    case MsgKind::kAbortAck: return "abort_ack";
+    case MsgKind::kGddCollect: return "gdd_collect";
+    case MsgKind::kTupleData: return "tuple_data";
+    case MsgKind::kFtsProbe: return "fts_probe";
+    case MsgKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+/// Fault-point name for dropping messages of `kind` ("net.drop.<kind>").
+inline const std::string& NetDropPoint(MsgKind kind) {
+  static const std::array<std::string, static_cast<size_t>(MsgKind::kNumKinds)>
+      names = [] {
+        std::array<std::string, static_cast<size_t>(MsgKind::kNumKinds)> out;
+        for (size_t i = 0; i < out.size(); ++i) {
+          out[i] = std::string("net.drop.") + MsgKindName(static_cast<MsgKind>(i));
+        }
+        return out;
+      }();
+  return names[static_cast<size_t>(kind)];
+}
+
+/// Fault-point name for delaying messages of `kind` ("net.delay.<kind>").
+inline const std::string& NetDelayPoint(MsgKind kind) {
+  static const std::array<std::string, static_cast<size_t>(MsgKind::kNumKinds)>
+      names = [] {
+        std::array<std::string, static_cast<size_t>(MsgKind::kNumKinds)> out;
+        for (size_t i = 0; i < out.size(); ++i) {
+          out[i] = std::string("net.delay.") + MsgKindName(static_cast<MsgKind>(i));
+        }
+        return out;
+      }();
+  return names[static_cast<size_t>(kind)];
+}
 
 class SimNet {
  public:
   explicit SimNet(int64_t latency_us = 0) : latency_us_(latency_us) {}
 
   /// Charges one message of `kind`: counts it and sleeps the wire latency.
-  void Deliver(MsgKind kind) {
+  /// Returns false when an armed "net.drop.<kind>" fault swallowed the message
+  /// (the send is still counted; the drop is tallied separately).
+  bool Deliver(MsgKind kind) {
     counts_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+    if (faults_ != nullptr && faults_->AnyArmed()) {
+      if (faults_->Evaluate(NetDropPoint(kind))) {
+        drops_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      int64_t extra = faults_->EvaluateDelay(NetDelayPoint(kind));
+      if (extra > 0) PreciseSleepUs(extra);
+    }
     PreciseSleepUs(latency_us_);
+    return true;
   }
+
+  /// Attaches the cluster's fault injector; null disables drop/delay hooks.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   uint64_t count(MsgKind kind) const {
     return counts_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+
+  uint64_t dropped(MsgKind kind) const {
+    return drops_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
   }
 
   uint64_t TotalMessages() const {
@@ -51,7 +119,9 @@ class SimNet {
 
  private:
   const int64_t latency_us_;
+  FaultInjector* faults_ = nullptr;
   std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)> counts_{};
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)> drops_{};
 };
 
 }  // namespace gphtap

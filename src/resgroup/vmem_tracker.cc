@@ -14,11 +14,16 @@ Status QueryMemoryAccount::Reserve(int64_t bytes) {
   if (bytes <= 0) return Status::OK();
   int64_t remaining = bytes;
 
-  // Layer 1: the slot quota (no lock needed; slot quota is private to us).
+  // Layer 1: the slot quota. The account is per-query but a query's parallel
+  // slices share it, so take from the quota with a CAS loop.
   if (group_ != nullptr) {
-    int64_t slot_room = group_->slot_quota_bytes() - slot_used_;
-    int64_t take = std::clamp<int64_t>(remaining, 0, std::max<int64_t>(slot_room, 0));
-    slot_used_ += take;
+    int64_t quota = group_->slot_quota_bytes();
+    int64_t cur = slot_used_.load(std::memory_order_relaxed);
+    int64_t take;
+    do {
+      take = std::clamp<int64_t>(remaining, 0, std::max<int64_t>(quota - cur, 0));
+    } while (take > 0 && !slot_used_.compare_exchange_weak(cur, cur + take,
+                                                           std::memory_order_relaxed));
     remaining -= take;
     if (remaining == 0) return Status::OK();
   }
@@ -29,7 +34,7 @@ Status QueryMemoryAccount::Reserve(int64_t bytes) {
     int64_t room = group_->shared_bytes_ - group_->shared_used_;
     int64_t take = std::clamp<int64_t>(remaining, 0, std::max<int64_t>(room, 0));
     group_->shared_used_ += take;
-    group_shared_used_ += take;
+    group_shared_used_.fetch_add(take, std::memory_order_relaxed);
     remaining -= take;
     if (remaining == 0) return Status::OK();
   }
@@ -37,7 +42,7 @@ Status QueryMemoryAccount::Reserve(int64_t bytes) {
   int64_t room = tracker_->global_shared_bytes_ - tracker_->global_used_;
   if (remaining <= room) {
     tracker_->global_used_ += remaining;
-    global_used_ += remaining;
+    global_used_.fetch_add(remaining, std::memory_order_relaxed);
     return Status::OK();
   }
   return Status::ResourceExhausted(
@@ -46,13 +51,13 @@ Status QueryMemoryAccount::Reserve(int64_t bytes) {
 }
 
 void QueryMemoryAccount::ReleaseAll() {
-  slot_used_ = 0;
-  if (group_shared_used_ > 0 || global_used_ > 0) {
+  slot_used_.store(0, std::memory_order_relaxed);
+  int64_t group_shared = group_shared_used_.exchange(0, std::memory_order_relaxed);
+  int64_t global = global_used_.exchange(0, std::memory_order_relaxed);
+  if (group_shared > 0 || global > 0) {
     std::lock_guard<std::mutex> g(tracker_->mu_);
-    if (group_ != nullptr) group_->shared_used_ -= group_shared_used_;
-    tracker_->global_used_ -= global_used_;
-    group_shared_used_ = 0;
-    global_used_ = 0;
+    if (group_ != nullptr) group_->shared_used_ -= group_shared;
+    tracker_->global_used_ -= global;
   }
 }
 

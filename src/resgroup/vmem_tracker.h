@@ -5,6 +5,7 @@
 #ifndef GPHTAP_RESGROUP_VMEM_TRACKER_H_
 #define GPHTAP_RESGROUP_VMEM_TRACKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -57,17 +58,21 @@ class QueryMemoryAccount {
   Status Reserve(int64_t bytes);
   void ReleaseAll();
 
-  int64_t used_bytes() const { return slot_used_ + group_shared_used_ + global_used_; }
-  int64_t slot_used() const { return slot_used_; }
-  int64_t group_shared_used() const { return group_shared_used_; }
-  int64_t global_used() const { return global_used_; }
+  int64_t used_bytes() const { return slot_used() + group_shared_used() + global_used(); }
+  int64_t slot_used() const { return slot_used_.load(std::memory_order_relaxed); }
+  int64_t group_shared_used() const {
+    return group_shared_used_.load(std::memory_order_relaxed);
+  }
+  int64_t global_used() const { return global_used_.load(std::memory_order_relaxed); }
 
  private:
   VmemTracker* const tracker_;
   std::shared_ptr<GroupMemory> group_;
-  int64_t slot_used_ = 0;
-  int64_t group_shared_used_ = 0;
-  int64_t global_used_ = 0;
+  // Atomic: one query's parallel slices (per-segment DML workers, motion
+  // receivers) reserve through the same account concurrently.
+  std::atomic<int64_t> slot_used_{0};
+  std::atomic<int64_t> group_shared_used_{0};
+  std::atomic<int64_t> global_used_{0};
 };
 
 /// Cluster-wide tracker holding the global shared pool.

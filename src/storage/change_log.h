@@ -5,10 +5,12 @@
 #ifndef GPHTAP_STORAGE_CHANGE_LOG_H_
 #define GPHTAP_STORAGE_CHANGE_LOG_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "catalog/datum.h"
 #include "catalog/schema.h"
@@ -18,14 +20,15 @@
 namespace gphtap {
 
 enum class ChangeKind : uint8_t {
-  kTxnBegin,   // xid registered
-  kInsert,     // tuple version created at tid
-  kSetXmax,    // delete/update stamped xmax=xid on tid
-  kLink,       // ctid chain: tid -> tid2
-  kFreeSlot,   // vacuum reclaimed tid
-  kTxnCommit,  // local transaction committed
-  kTxnAbort,   // local transaction aborted
-  kTruncate,   // table contents discarded
+  kTxnBegin,    // xid registered
+  kInsert,      // tuple version created at tid
+  kSetXmax,     // delete/update stamped xmax=xid on tid
+  kLink,        // ctid chain: tid -> tid2
+  kFreeSlot,    // vacuum reclaimed tid
+  kTxnCommit,   // local transaction committed
+  kTxnAbort,    // local transaction aborted
+  kTruncate,    // table contents discarded
+  kTxnPrepare,  // local transaction PREPAREd (2PC phase one)
 };
 
 struct ChangeRecord {
@@ -35,6 +38,9 @@ struct ChangeRecord {
   TupleId tid2 = kInvalidTupleId;  // kLink target
   LocalXid xid = kInvalidLocalXid;
   Row row;  // kInsert payload
+  // Distributed xid for transaction records; lets a promoted mirror resolve
+  // in-doubt prepared transactions against the coordinator's commit record.
+  Gxid gxid = kInvalidGxid;
 };
 
 /// Unbounded ordered log with blocking readers. Appenders may hold storage
@@ -59,6 +65,14 @@ class ChangeLog {
   size_t size() const {
     std::lock_guard<std::mutex> g(mu_);
     return records_.size();
+  }
+
+  /// Non-blocking copy of the first `limit` records (crash-recovery replay).
+  std::vector<ChangeRecord> Snapshot(size_t limit) const {
+    std::lock_guard<std::mutex> g(mu_);
+    limit = std::min(limit, records_.size());
+    return std::vector<ChangeRecord>(records_.begin(),
+                                     records_.begin() + static_cast<ptrdiff_t>(limit));
   }
 
   void Close() {

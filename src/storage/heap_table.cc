@@ -98,7 +98,8 @@ Status HeapTable::Scan(const VisibilityContext& ctx, const ScanCallback& fn) {
         if (!TupleVisible(v.header.xmin, v.header.xmax, ctx)) continue;
         TupleId tid = p * kSlotsPerPage + s;
         batch.emplace_back(tid, v.row);
-        bytes_scanned_ += 16 * v.row.size();  // logical width estimate
+        bytes_scanned_.fetch_add(16 * v.row.size(),  // logical width estimate
+                                 std::memory_order_relaxed);
       }
     }
     for (auto& [tid, row] : batch) {
@@ -127,8 +128,7 @@ uint64_t HeapTable::StoredVersionCount() const {
 }
 
 uint64_t HeapTable::BytesScanned() const {
-  std::shared_lock<std::shared_mutex> g(latch_);
-  return bytes_scanned_;
+  return bytes_scanned_.load(std::memory_order_relaxed);
 }
 
 StatusOr<TupleVersion> HeapTable::Get(TupleId tid) const {

@@ -4,6 +4,7 @@
 #ifndef GPHTAP_STORAGE_HEAP_TABLE_H_
 #define GPHTAP_STORAGE_HEAP_TABLE_H_
 
+#include <atomic>
 #include <deque>
 #include <shared_mutex>
 #include <unordered_map>
@@ -102,7 +103,7 @@ class HeapTable : public Table {
   std::deque<Page> pages_;
   std::vector<TupleId> free_list_;
   uint64_t live_versions_ = 0;
-  mutable uint64_t bytes_scanned_ = 0;
+  mutable std::atomic<uint64_t> bytes_scanned_{0};  // scanners race under the shared latch
   // Per indexed column: hash(datum) -> tids with that hash (verify on lookup).
   std::unordered_map<int, std::unordered_multimap<uint64_t, TupleId>> indexes_;
 };

@@ -1,0 +1,42 @@
+#include "storage/replay.h"
+
+#include "storage/ao_table.h"
+#include "storage/column_store.h"
+#include "storage/heap_table.h"
+
+namespace gphtap {
+
+Status ApplyDataChange(Table* table, const ChangeRecord& record) {
+  auto* heap = dynamic_cast<HeapTable*>(table);
+  switch (record.kind) {
+    case ChangeKind::kInsert:
+      if (heap != nullptr) return heap->ApplyInsertAt(record.tid, record.xid, record.row);
+      // Append-only storage reproduces tids by replaying appends in order.
+      return table->Insert(record.xid, record.row).status();
+    case ChangeKind::kSetXmax:
+      if (heap != nullptr) {
+        heap->ApplySetXmax(record.tid, record.xid);
+      } else if (auto* ao = dynamic_cast<AoRowTable*>(table)) {
+        return ao->MarkDeleted(record.tid, record.xid);
+      } else if (auto* aoc = dynamic_cast<AoColumnTable*>(table)) {
+        return aoc->MarkDeleted(record.tid, record.xid);
+      }
+      return Status::OK();
+    case ChangeKind::kLink:
+      if (heap != nullptr) heap->ApplyLink(record.tid, record.tid2);
+      return Status::OK();
+    case ChangeKind::kFreeSlot:
+      if (heap != nullptr) heap->ApplyFreeSlot(record.tid);
+      return Status::OK();
+    case ChangeKind::kTruncate:
+      return table->Truncate();
+    case ChangeKind::kTxnBegin:
+    case ChangeKind::kTxnPrepare:
+    case ChangeKind::kTxnCommit:
+    case ChangeKind::kTxnAbort:
+      break;
+  }
+  return Status::Internal("ApplyDataChange: transaction record kind");
+}
+
+}  // namespace gphtap

@@ -1,0 +1,21 @@
+// Shared change-record application: the single switch that turns a logical
+// ChangeRecord back into physical table state. Used by mirror replay (shipped
+// stream) and by segment crash recovery (local change-log replay) so both paths
+// reproduce the primary bit-for-bit with one implementation.
+#ifndef GPHTAP_STORAGE_REPLAY_H_
+#define GPHTAP_STORAGE_REPLAY_H_
+
+#include "common/status.h"
+#include "storage/change_log.h"
+#include "storage/table.h"
+
+namespace gphtap {
+
+/// Applies one *data* change record (kInsert/kSetXmax/kLink/kFreeSlot/kTruncate)
+/// to `table`. Transaction records (kTxnBegin/kTxnPrepare/kTxnCommit/kTxnAbort)
+/// are the caller's job (they touch the clog, not a table) and return Internal.
+Status ApplyDataChange(Table* table, const ChangeRecord& record);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STORAGE_REPLAY_H_

@@ -37,6 +37,12 @@ class CommitLog {
 
   bool IsCommitted(LocalXid xid) const { return GetState(xid) == TxnState::kCommitted; }
 
+  /// Crash recovery: discards all state so the WAL replay can rebuild it.
+  void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    states_.assign(1, TxnState::kAborted);
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<TxnState> states_;

@@ -50,6 +50,12 @@ class DistributedLog {
     return map_.size();
   }
 
+  /// Crash recovery: discards all state so the WAL replay can rebuild it.
+  void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    map_.clear();
+  }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<LocalXid, Gxid> map_;

@@ -11,10 +11,10 @@ LocalXid LocalTxnManager::AssignXid(Gxid gxid) {
   running_local_[xid] = gxid;
   clog_->Register(xid);
   dlog_->Record(xid, gxid);
-  wal_->Append(WalRecordType::kBegin, xid);
+  wal_->Append(WalRecordType::kBegin, xid, gxid);
   if (change_log_ != nullptr) {
     change_log_->Append(ChangeRecord{ChangeKind::kTxnBegin, 0, kInvalidTupleId,
-                                     kInvalidTupleId, xid, {}});
+                                     kInvalidTupleId, xid, {}, gxid});
   }
   return xid;
 }
@@ -47,14 +47,21 @@ Status LocalTxnManager::Prepare(Gxid gxid) {
   std::unique_lock<std::mutex> g(mu_);
   auto it = active_.find(gxid);
   if (it == active_.end()) {
-    return Status::Internal("PREPARE for unknown distributed txn " + std::to_string(gxid));
+    // Volatile state for this transaction is gone — it was lost in a crash
+    // (recovery aborted it) or never wrote here. Either way it cannot prepare.
+    return Status::Aborted("PREPARE for unknown distributed txn " + std::to_string(gxid) +
+                           " (state lost in segment crash?)");
   }
   LocalXid xid = it->second;
   g.unlock();
   // WAL fsync happens outside the manager mutex: prepare latency must not block
   // unrelated snapshots.
-  wal_->Append(WalRecordType::kPrepare, xid);
+  wal_->Append(WalRecordType::kPrepare, xid, gxid);
   clog_->SetState(xid, TxnState::kPrepared);
+  if (change_log_ != nullptr) {
+    change_log_->Append(ChangeRecord{ChangeKind::kTxnPrepare, 0, kInvalidTupleId,
+                                     kInvalidTupleId, xid, {}, gxid});
+  }
   return Status::OK();
 }
 
@@ -62,12 +69,25 @@ Status LocalTxnManager::Finish(Gxid gxid, TxnState final_state, WalRecordType re
   std::unique_lock<std::mutex> g(mu_);
   auto it = active_.find(gxid);
   if (it == active_.end()) {
+    // Crash recovery may already have resolved this transaction from the WAL
+    // (and the coordinator's commit record). A retried commit for a
+    // recovery-committed transaction is an idempotent OK; a commit for a
+    // recovery-aborted transaction must report the loss, never pretend success.
+    auto rit = recovered_finished_.find(gxid);
+    if (rit != recovered_finished_.end()) {
+      if (rit->second == final_state) return Status::OK();
+      if (final_state == TxnState::kCommitted) {
+        return Status::Aborted("distributed txn " + std::to_string(gxid) +
+                               " was aborted during crash recovery");
+      }
+      return Status::OK();  // abort of a recovery-committed txn: caller's cleanup no-op
+    }
     // A transaction that never wrote here has nothing to finish.
     return Status::OK();
   }
   LocalXid xid = it->second;
   g.unlock();
-  wal_->Append(record, xid);
+  wal_->Append(record, xid, gxid);
   g.lock();
   // State flip and removal from the running set are atomic with respect to
   // TakeLocalSnapshot (both under mu_), so a snapshot never sees a committed
@@ -79,7 +99,7 @@ Status LocalTxnManager::Finish(Gxid gxid, TxnState final_state, WalRecordType re
     change_log_->Append(ChangeRecord{final_state == TxnState::kCommitted
                                          ? ChangeKind::kTxnCommit
                                          : ChangeKind::kTxnAbort,
-                                     0, kInvalidTupleId, kInvalidTupleId, xid, {}});
+                                     0, kInvalidTupleId, kInvalidTupleId, xid, {}, gxid});
   }
   return Status::OK();
 }
@@ -104,6 +124,22 @@ bool LocalTxnManager::HasWritten(Gxid gxid) const {
 size_t LocalTxnManager::NumRunning() const {
   std::lock_guard<std::mutex> g(mu_);
   return running_local_.size();
+}
+
+void LocalTxnManager::ResetForRecovery(
+    LocalXid next_xid,
+    const std::vector<std::pair<Gxid, LocalXid>>& reinstated_prepared,
+    std::unordered_map<Gxid, TxnState> finished) {
+  std::lock_guard<std::mutex> g(mu_);
+  active_.clear();
+  running_local_.clear();
+  next_xid_ = next_xid;
+  for (const auto& [gxid, xid] : reinstated_prepared) {
+    active_[gxid] = xid;
+    running_local_[xid] = gxid;
+  }
+  // Merge (keep earlier recoveries' verdicts; a double crash must not forget).
+  for (auto& [gxid, state] : finished) recovered_finished_.emplace(gxid, state);
 }
 
 const char* TxnStateName(TxnState s) {

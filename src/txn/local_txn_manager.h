@@ -8,6 +8,8 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/change_log.h"
@@ -59,6 +61,18 @@ class LocalTxnManager {
   /// Attaches the segment's replication stream (txn begin/commit/abort records).
   void set_change_log(ChangeLog* log) { change_log_ = log; }
 
+  /// Crash recovery: discards all volatile bookkeeping and restarts xid
+  /// assignment at `next_xid`. `reinstated_prepared` re-enters prepared
+  /// transactions (gxid, xid) into the running set so the coordinator's retried
+  /// COMMIT PREPARED / ABORT flows through the normal path. `finished` records
+  /// the final state recovery assigned to each resolved distributed
+  /// transaction, so a coordinator retrying a commit for a transaction whose
+  /// volatile state died gets an idempotent OK (already durable here) or a
+  /// definitive abort (lost in the crash) instead of a silent no-op.
+  void ResetForRecovery(LocalXid next_xid,
+                        const std::vector<std::pair<Gxid, LocalXid>>& reinstated_prepared,
+                        std::unordered_map<Gxid, TxnState> finished);
+
  private:
   Status Finish(Gxid gxid, TxnState final_state, WalRecordType record);
 
@@ -71,6 +85,8 @@ class LocalTxnManager {
   LocalXid next_xid_ = 1;
   std::unordered_map<Gxid, LocalXid> active_;   // running distributed -> local
   std::map<LocalXid, Gxid> running_local_;      // running local xids (sorted)
+  // Final states assigned during crash recovery (see ResetForRecovery).
+  std::unordered_map<Gxid, TxnState> recovered_finished_;
 };
 
 }  // namespace gphtap

@@ -1,11 +1,20 @@
-// Write-ahead-log stub: counts records and fsyncs and injects the configured
-// fsync latency, so commit-protocol costs (Figure 10) are measurable without a
-// real disk. Durability/recovery is out of scope (see DESIGN.md).
+// Write-ahead log: a replayable in-memory log of typed transaction records per
+// node, plus the fsync cost model that makes commit-protocol latencies
+// (Figure 10) measurable. The record vector stands in for the durable on-disk
+// log: a segment "crash" discards all volatile state (tables, lock table,
+// running-transaction bookkeeping) but keeps its Wal, and recovery replays the
+// typed records to rebuild the commit log, the local->distributed xid map, and
+// the set of prepared-but-unresolved transactions (see Segment::Recover and
+// DESIGN.md "Crash recovery and failover"). Fsync() injects latency only; the
+// simulated disk never loses an appended record.
 #ifndef GPHTAP_TXN_WAL_H_
 #define GPHTAP_TXN_WAL_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
 
 #include "common/clock.h"
 #include "txn/xid.h"
@@ -21,13 +30,26 @@ enum class WalRecordType : uint8_t {
   kDistributedCommit = 5,  // coordinator's commit record between 2PC phases
 };
 
-class WalStub {
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  LocalXid xid = kInvalidLocalXid;
+  Gxid gxid = kInvalidGxid;
+};
+
+class Wal {
  public:
-  explicit WalStub(int64_t fsync_cost_us = 0) : fsync_cost_us_(fsync_cost_us) {}
+  explicit Wal(int64_t fsync_cost_us = 0) : fsync_cost_us_(fsync_cost_us) {}
 
   /// Appends a record and, for commit-critical records, performs a simulated
   /// fsync (latency injection + counter).
-  void Append(WalRecordType type, LocalXid /*xid*/) {
+  void Append(WalRecordType type, LocalXid xid, Gxid gxid = kInvalidGxid) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      log_.push_back(WalRecord{type, xid, gxid});
+      if (type == WalRecordType::kDistributedCommit && gxid != kInvalidGxid) {
+        distributed_commits_.insert(gxid);
+      }
+    }
     records_.fetch_add(1, std::memory_order_relaxed);
     switch (type) {
       case WalRecordType::kPrepare:
@@ -46,15 +68,34 @@ class WalStub {
     PreciseSleepUs(fsync_cost_us_);
   }
 
+  /// A copy of the log for recovery replay.
+  std::vector<WalRecord> Snapshot() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return log_;
+  }
+
+  /// True if a kDistributedCommit record for `gxid` exists — the coordinator's
+  /// authority for resolving in-doubt prepared transactions (Section 5).
+  bool HasDistributedCommit(Gxid gxid) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return distributed_commits_.count(gxid) > 0;
+  }
+
   uint64_t records() const { return records_.load(std::memory_order_relaxed); }
   uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
   int64_t fsync_cost_us() const { return fsync_cost_us_; }
 
  private:
   const int64_t fsync_cost_us_;
+  mutable std::mutex mu_;
+  std::vector<WalRecord> log_;
+  std::unordered_set<Gxid> distributed_commits_;
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> fsyncs_{0};
 };
+
+// Transitional alias: the counting stub grew into a real (in-memory) log.
+using WalStub = Wal;
 
 }  // namespace gphtap
 

@@ -10,9 +10,11 @@ namespace gphtap {
 
 std::string DriverResult::Summary() const {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "tps=%.1f committed=%llu aborted=%llu p50=%lldus p95=%lldus",
+  std::snprintf(buf, sizeof(buf),
+                "tps=%.1f committed=%llu aborted=%llu retryable=%llu p50=%lldus p95=%lldus",
                 Tps(), static_cast<unsigned long long>(committed),
                 static_cast<unsigned long long>(aborted),
+                static_cast<unsigned long long>(retryable),
                 static_cast<long long>(latency_us.Percentile(50)),
                 static_cast<long long>(latency_us.Percentile(95)));
   return buf;
@@ -22,6 +24,7 @@ DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const T
   struct PerClient {
     uint64_t committed = 0;
     uint64_t aborted = 0;
+    uint64_t retryable = 0;
     Histogram latency;
     Status fatal;
   };
@@ -48,6 +51,12 @@ DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const T
           ++out.aborted;
           // The session may sit in a failed block; clear it.
           session->Rollback();
+        } else if (s.code() == StatusCode::kUnavailable ||
+                   s.code() == StatusCode::kTimedOut) {
+          // Segment down / failover in progress: a clean retryable error, not
+          // a run-stopping failure. The client rolls back and tries again.
+          ++out.retryable;
+          session->Rollback();
         } else {
           out.fatal = s;
           break;
@@ -69,6 +78,7 @@ DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const T
     }
     merged.committed += r.committed;
     merged.aborted += r.aborted;
+    merged.retryable += r.retryable;
     merged.latency_us.Merge(r.latency);
   }
   return merged;

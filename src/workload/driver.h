@@ -18,6 +18,7 @@ struct DriverResult {
   double seconds = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;   // deadlock victims, cancellations, resource kills
+  uint64_t retryable = 0; // segment-down / timeout errors (crash + failover)
   Histogram latency_us;   // per committed transaction
 
   double Tps() const { return seconds > 0 ? static_cast<double>(committed) / seconds : 0; }

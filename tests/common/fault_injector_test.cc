@@ -1,0 +1,116 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gphtap {
+namespace {
+
+TEST(FaultInjectorTest, NothingArmedNeverFires) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_FALSE(fi.Evaluate("some.point"));
+  EXPECT_EQ(fi.EvaluateDelay("some.point"), 0);
+  EXPECT_EQ(fi.FireCount("some.point"), 0u);
+}
+
+TEST(FaultInjectorTest, OneShotFiresExactlyOnce) {
+  FaultInjector fi;
+  fi.ArmOneShot("p");
+  EXPECT_TRUE(fi.AnyArmed());
+  EXPECT_TRUE(fi.Evaluate("p"));
+  EXPECT_FALSE(fi.Evaluate("p"));
+  EXPECT_FALSE(fi.AnyArmed());
+  // The fire count survives the implicit disarm.
+  EXPECT_EQ(fi.FireCount("p"), 1u);
+}
+
+TEST(FaultInjectorTest, AlwaysFiresUntilDisarmed) {
+  FaultInjector fi;
+  fi.ArmAlways("p");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fi.Evaluate("p"));
+  EXPECT_EQ(fi.FireCount("p"), 5u);
+  fi.Disarm("p");
+  EXPECT_FALSE(fi.Evaluate("p"));
+  EXPECT_EQ(fi.FireCount("p"), 5u);
+}
+
+TEST(FaultInjectorTest, ScopeFiltering) {
+  FaultInjector fi;
+  fi.ArmAlways("p", /*scope=*/1);
+  EXPECT_FALSE(fi.Evaluate("p", 0));
+  EXPECT_FALSE(fi.Evaluate("p", 2));
+  EXPECT_TRUE(fi.Evaluate("p", 1));
+  // kAnyScope on the evaluation side matches any armed scope.
+  EXPECT_TRUE(fi.Evaluate("p", FaultInjector::kAnyScope));
+  fi.DisarmAll();
+
+  // An armed kAnyScope matches every evaluated scope.
+  fi.ArmAlways("q");
+  EXPECT_TRUE(fi.Evaluate("q", 0));
+  EXPECT_TRUE(fi.Evaluate("q", 7));
+}
+
+TEST(FaultInjectorTest, OneShotWithScopeNotConsumedByMismatch) {
+  FaultInjector fi;
+  fi.ArmOneShot("p", /*scope=*/2);
+  EXPECT_FALSE(fi.Evaluate("p", 0));  // mismatch must not consume the shot
+  EXPECT_TRUE(fi.Evaluate("p", 2));
+  EXPECT_FALSE(fi.Evaluate("p", 2));
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicBySeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector fi;
+    fi.ArmProbability("p", 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(fi.Evaluate("p"));
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+  // p=0 never fires; p=1 always fires.
+  FaultInjector fi;
+  fi.ArmProbability("never", 0.0, 1);
+  fi.ArmProbability("always", 1.0, 1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fi.Evaluate("never"));
+    EXPECT_TRUE(fi.Evaluate("always"));
+  }
+}
+
+TEST(FaultInjectorTest, DelayPoint) {
+  FaultInjector fi;
+  fi.ArmDelay("slow", 1500);
+  EXPECT_EQ(fi.EvaluateDelay("slow"), 1500);
+  EXPECT_EQ(fi.EvaluateDelay("slow"), 1500);  // not consumed
+  EXPECT_EQ(fi.EvaluateDelay("other"), 0);
+  fi.Disarm("slow");
+  EXPECT_EQ(fi.EvaluateDelay("slow"), 0);
+}
+
+TEST(FaultInjectorTest, IsArmedDoesNotConsume) {
+  FaultInjector fi;
+  fi.ArmOneShot("p");
+  EXPECT_TRUE(fi.IsArmed("p"));
+  EXPECT_TRUE(fi.IsArmed("p"));
+  EXPECT_TRUE(fi.Evaluate("p"));
+  EXPECT_FALSE(fi.IsArmed("p"));
+}
+
+TEST(FaultInjectorTest, DisarmAllClearsEverything) {
+  FaultInjector fi;
+  fi.ArmAlways("a");
+  fi.ArmOneShot("b");
+  fi.ArmDelay("c", 10);
+  EXPECT_TRUE(fi.AnyArmed());
+  fi.DisarmAll();
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_FALSE(fi.Evaluate("a"));
+  EXPECT_FALSE(fi.Evaluate("b"));
+  EXPECT_EQ(fi.EvaluateDelay("c"), 0);
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,331 @@
+// Crash matrix (tentpole): every commit-path fault point, under both commit
+// protocols, must leave the database all-or-nothing after the crashed segment
+// recovers. Exercises FaultInjector, Segment::Crash/Recover, in-doubt
+// resolution from the coordinator's distributed commit record, and the
+// coordinator's COMMIT PREPARED retry loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/gphtap.h"
+#include "common/clock.h"
+#include "common/fault_injector.h"
+
+namespace gphtap {
+namespace {
+
+ClusterOptions BaseOptions() {
+  ClusterOptions o;
+  o.num_segments = 3;
+  o.crash_recovery_enabled = true;
+  o.commit_retry_initial_backoff_us = 200;
+  o.commit_retry_max_backoff_us = 5'000;
+  o.commit_retry_deadline_us = 5'000'000;
+  return o;
+}
+
+QueryResult MustExec(Session* s, const std::string& sql) {
+  auto r = s->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : QueryResult{};
+}
+
+int64_t CountRows(Session* s) {
+  auto r = s->Execute("SELECT count(*) FROM t");
+  if (!r.ok()) {
+    ADD_FAILURE() << "count failed: " << r.status().ToString();
+    return -1;
+  }
+  return r.value().rows[0][0].int_val();
+}
+
+void RecoverAllDown(Cluster* cluster) {
+  for (int i = 0; i < cluster->num_segments(); ++i) {
+    if (!cluster->segment(i)->up()) {
+      ASSERT_TRUE(cluster->RecoverSegment(i).ok()) << "segment " << i;
+    }
+  }
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void Start(ClusterOptions o = BaseOptions()) {
+    cluster_ = std::make_unique<Cluster>(o);
+    session_ = cluster_->Connect();
+    MustExec(session_.get(), "CREATE TABLE t (k int, v int) DISTRIBUTED BY (k)");
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Session> session_;
+};
+
+// --- Abort-side fault points: the transaction must be lost entirely. ---
+
+TEST_F(CrashRecoveryTest, CrashBeforePrepareAbortsTransaction) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashBeforePrepare, /*scope=*/1);
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(),
+           "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  auto commit = session_->Execute("COMMIT");
+  EXPECT_FALSE(commit.ok());
+  EXPECT_FALSE(cluster_->segment(1)->up());
+  ASSERT_TRUE(cluster_->RecoverSegment(1).ok());
+  EXPECT_EQ(CountRows(session_.get()), 0);
+  // The cluster is fully serviceable again.
+  MustExec(session_.get(), "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  EXPECT_EQ(CountRows(session_.get()), 30);
+}
+
+TEST_F(CrashRecoveryTest, CrashBeforePrepareAckAbortsTransaction) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashBeforePrepareAck, /*scope=*/1);
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(),
+           "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  auto commit = session_->Execute("COMMIT");
+  EXPECT_FALSE(commit.ok());
+  // The segment crashed with a durable PREPARE; recovery must resolve it as
+  // aborted because the coordinator never wrote its commit record.
+  ASSERT_TRUE(cluster_->RecoverSegment(1).ok());
+  EXPECT_EQ(CountRows(session_.get()), 0);
+}
+
+// --- Retry-side fault points: the commit record exists, so the coordinator
+// --- retries COMMIT PREPARED until the segment comes back; no data is lost.
+
+TEST_F(CrashRecoveryTest, CrashAfterPrepareCommitsAfterRecovery) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashAfterPrepare, /*scope=*/1);
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(),
+           "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  Gxid gxid = session_->current_gxid();
+  std::atomic<bool> committed{false};
+  Status commit_status;
+  std::thread committer([&] {
+    auto r = session_->Execute("COMMIT");
+    commit_status = r.status();
+    committed.store(true);
+  });
+  // Wait for the injected crash, then bring the segment back while the
+  // coordinator is retrying.
+  while (cluster_->segment(1)->up()) PreciseSleepUs(200);
+  ASSERT_TRUE(cluster_->RecoverSegment(1).ok());
+  committer.join();
+  EXPECT_TRUE(commit_status.ok()) << commit_status.ToString();
+  EXPECT_TRUE(cluster_->HasDistributedCommitRecord(gxid));
+  EXPECT_GT(session_->stats().commit_retries, 0u);
+  EXPECT_EQ(CountRows(session_.get()), 30);
+}
+
+TEST_F(CrashRecoveryTest, CrashBeforeCommitPreparedAckIsIdempotent) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashBeforeCommitPreparedAck,
+                                /*scope=*/1);
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(),
+           "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  Status commit_status;
+  std::thread committer([&] { commit_status = session_->Execute("COMMIT").status(); });
+  while (cluster_->segment(1)->up()) PreciseSleepUs(200);
+  ASSERT_TRUE(cluster_->RecoverSegment(1).ok());
+  committer.join();
+  // COMMIT PREPARED was durable before the crash; the retry must be a no-op.
+  EXPECT_TRUE(commit_status.ok()) << commit_status.ToString();
+  EXPECT_EQ(CountRows(session_.get()), 30);
+}
+
+// --- 1PC fault points. ---
+
+TEST_F(CrashRecoveryTest, OnePhaseCrashBeforeCommitLosesTransaction) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashBeforeCommit);
+  Status st;
+  std::thread committer(
+      [&] { st = session_->Execute("INSERT INTO t VALUES (1, 1)").status(); });
+  auto any_down = [&] {
+    for (int i = 0; i < cluster_->num_segments(); ++i) {
+      if (!cluster_->segment(i)->up()) return true;
+    }
+    return false;
+  };
+  while (!any_down()) PreciseSleepUs(200);
+  RecoverAllDown(cluster_.get());
+  committer.join();
+  // The COMMIT never became durable: recovery aborted the transaction and the
+  // coordinator's retry learns it cannot be replayed.
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(CountRows(session_.get()), 0);
+}
+
+TEST_F(CrashRecoveryTest, OnePhaseCrashBeforeCommitAckRetriesToSuccess) {
+  Start();
+  cluster_->faults().ArmOneShot(fault_points::kCrashBeforeCommitAck);
+  Status st;
+  std::thread committer(
+      [&] { st = session_->Execute("INSERT INTO t VALUES (1, 1)").status(); });
+  auto any_down = [&] {
+    for (int i = 0; i < cluster_->num_segments(); ++i) {
+      if (!cluster_->segment(i)->up()) return true;
+    }
+    return false;
+  };
+  while (!any_down()) PreciseSleepUs(200);
+  RecoverAllDown(cluster_.get());
+  committer.join();
+  // The single-phase COMMIT was durable; the resent COMMIT is a no-op.
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(CountRows(session_.get()), 1);
+}
+
+// --- The full matrix: every fault point under both protocols must preserve
+// --- all-or-nothing visibility, whatever the commit outcome.
+
+TEST_F(CrashRecoveryTest, CrashMatrixAllOrNothing) {
+  const char* points[] = {
+      fault_points::kCrashBeforePrepare,
+      fault_points::kCrashBeforePrepareAck,
+      fault_points::kCrashAfterPrepare,
+      fault_points::kCrashBeforeCommitPreparedAck,
+      fault_points::kCrashBeforeCommit,
+      fault_points::kCrashBeforeCommitAck,
+  };
+  for (const char* point : points) {
+    for (bool two_phase : {true, false}) {
+      SCOPED_TRACE(std::string(point) + (two_phase ? " / 2PC" : " / 1PC"));
+      Start();
+      cluster_->faults().ArmOneShot(point);
+      const int64_t expected_on_commit = two_phase ? 30 : 1;
+      Status st;
+      std::atomic<bool> done{false};
+      std::thread committer([&] {
+        if (two_phase) {
+          st = session_->Execute("BEGIN").status();
+          if (st.ok()) {
+            st = session_->Execute(
+                         "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i")
+                     .status();
+            if (st.ok()) {
+              st = session_->Execute("COMMIT").status();
+            } else {
+              session_->Rollback();
+            }
+          }
+        } else {
+          st = session_->Execute("INSERT INTO t VALUES (1, 1)").status();
+        }
+        done.store(true);
+      });
+      // Recover any crashed segment so retrying commits can finish. Stop once
+      // the transaction resolved: some (point, protocol) pairs never fire.
+      while (true) {
+        bool recovered = false;
+        for (int i = 0; i < cluster_->num_segments(); ++i) {
+          if (!cluster_->segment(i)->up()) {
+            ASSERT_TRUE(cluster_->RecoverSegment(i).ok());
+            recovered = true;
+          }
+        }
+        if (recovered || done.load()) break;
+        PreciseSleepUs(200);
+      }
+      committer.join();
+      RecoverAllDown(cluster_.get());
+      int64_t count = CountRows(session_.get());
+      if (st.ok()) {
+        EXPECT_EQ(count, expected_on_commit);
+      } else {
+        EXPECT_EQ(count, 0);
+      }
+      session_.reset();
+      cluster_.reset();
+    }
+  }
+}
+
+// --- Crash interactions beyond the commit path. ---
+
+TEST_F(CrashRecoveryTest, CommittedDataSurvivesCrash) {
+  Start();
+  MustExec(session_.get(), "INSERT INTO t SELECT i, i FROM generate_series(1, 30) i");
+  Gxid gxid = kInvalidGxid;
+  {
+    MustExec(session_.get(), "BEGIN");
+    MustExec(session_.get(), "INSERT INTO t SELECT i, i FROM generate_series(31, 60) i");
+    gxid = session_->current_gxid();
+    MustExec(session_.get(), "COMMIT");
+  }
+  EXPECT_TRUE(cluster_->HasDistributedCommitRecord(gxid));
+  ASSERT_TRUE(cluster_->CrashSegment(1).ok());
+  // Queries against a down segment fail with a retryable error.
+  auto r = session_->Execute("SELECT count(*) FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable) << r.status().ToString();
+  ASSERT_TRUE(cluster_->RecoverSegment(1).ok());
+  EXPECT_EQ(CountRows(session_.get()), 60);
+}
+
+TEST_F(CrashRecoveryTest, CrashCancelsLockWaiters) {
+  ClusterOptions o = BaseOptions();
+  o.num_segments = 1;  // the contended row is then certainly on segment 0
+  Start(o);
+  MustExec(session_.get(), "INSERT INTO t VALUES (1, 0)");
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(), "UPDATE t SET v = 1 WHERE k = 1");
+
+  auto blocked = cluster_->Connect();
+  Status blocked_status;
+  std::atomic<bool> started{false};
+  std::thread waiter([&] {
+    started.store(true);
+    blocked_status = blocked->Execute("UPDATE t SET v = 2 WHERE k = 1").status();
+  });
+  while (!started.load()) PreciseSleepUs(100);
+  // Wait until the update is actually parked in a lock wait on the segment.
+  auto waiting = [&] {
+    for (const auto& g : cluster_->CollectWaitGraphs()) {
+      if (!g.edges.empty()) return true;
+    }
+    return false;
+  };
+  while (!waiting()) PreciseSleepUs(500);
+  ASSERT_TRUE(cluster_->CrashSegment(0).ok());
+  waiter.join();
+  EXPECT_FALSE(blocked_status.ok());
+
+  ASSERT_TRUE(cluster_->RecoverSegment(0).ok());
+  // The crash wiped the first session's uncommitted update; its commit fails.
+  EXPECT_FALSE(session_->Execute("COMMIT").ok());
+  auto v = MustExec(session_.get(), "SELECT v FROM t WHERE k = 1");
+  ASSERT_EQ(v.rows.size(), 1u);
+  EXPECT_EQ(v.rows[0][0].int_val(), 0);
+}
+
+TEST_F(CrashRecoveryTest, RecoverRequiresCrashAndChangeLog) {
+  Start();
+  // Recovering an up segment is rejected.
+  EXPECT_FALSE(cluster_->RecoverSegment(0).ok());
+  // Without crash_recovery_enabled (or mirrors), crash is one-way.
+  ClusterOptions o;
+  o.num_segments = 2;
+  Cluster bare(o);
+  ASSERT_TRUE(bare.CrashSegment(0).ok());
+  EXPECT_EQ(bare.RecoverSegment(0).code(), StatusCode::kNotSupported);
+}
+
+TEST_F(CrashRecoveryTest, CrashIsIdempotentAndBoundsChecked) {
+  Start();
+  EXPECT_FALSE(cluster_->CrashSegment(-1).ok());
+  EXPECT_FALSE(cluster_->CrashSegment(99).ok());
+  ASSERT_TRUE(cluster_->CrashSegment(2).ok());
+  ASSERT_TRUE(cluster_->CrashSegment(2).ok());  // already down: no-op
+  ASSERT_TRUE(cluster_->RecoverSegment(2).ok());
+  EXPECT_TRUE(cluster_->segment(2)->up());
+}
+
+}  // namespace
+}  // namespace gphtap
