@@ -28,13 +28,20 @@ void BM_PointSelect(benchmark::State& state) {
   }
   auto session = cluster.Connect();
   Rng rng(5);
+  Histogram lat;
+  Stopwatch total;
   for (auto _ : state) {
+    Stopwatch sw;
     Status s = RunSelectOnlyTransaction(session.get(), rng, config);
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
       return;
     }
+    lat.Record(sw.ElapsedMicros());
   }
+  RecordMicroPoint(direct ? "Ablation/PointSelect/direct_dispatch"
+                          : "Ablation/PointSelect/broadcast_dispatch",
+                   state.range(0), lat, total.ElapsedSeconds(), &cluster);
 }
 BENCHMARK(BM_PointSelect)
     ->Arg(1)
@@ -55,18 +62,24 @@ void BM_SkewedJoin(benchmark::State& state) {
   session->Execute("CREATE TABLE small (v int, name int) DISTRIBUTED BY (v)");
   session->Execute("INSERT INTO big SELECT i, i % 50 FROM generate_series(1, 20000) i");
   session->Execute("INSERT INTO small SELECT i, i FROM generate_series(0, 49) i");
+  Histogram lat;
+  Stopwatch total;
   for (auto _ : state) {
     // Join on big.v = small.name: big must move under the heuristic planner;
     // Orca broadcasts the 50-row side instead.
+    Stopwatch sw;
     auto r = session->Execute(
         "SELECT count(*) FROM big JOIN small ON big.v = small.name");
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
     }
+    lat.Record(sw.ElapsedMicros());
   }
   state.counters["tuple_msgs"] =
       static_cast<double>(cluster.net().count(MsgKind::kTupleData));
+  RecordMicroPoint(orca ? "Ablation/SkewedJoin/orca" : "Ablation/SkewedJoin/heuristic",
+                   state.range(0), lat, total.ElapsedSeconds(), &cluster);
 }
 BENCHMARK(BM_SkewedJoin)->Arg(0)->Arg(1)->ArgName("orca")->Unit(benchmark::kMillisecond);
 
@@ -103,16 +116,23 @@ void BM_AoColumnScan(benchmark::State& state) {
     return bytes;
   };
   uint64_t before = total_bytes();
+  Histogram lat;
+  Stopwatch total;
   for (auto _ : state) {
+    Stopwatch sw;
     auto r = session->Execute(query);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
     }
+    lat.Record(sw.ElapsedMicros());
   }
   state.counters["bytes_per_query"] =
       static_cast<double>(total_bytes() - before) /
       static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  RecordMicroPoint(projected ? "Ablation/AoColumnScan/narrow_projection"
+                             : "Ablation/AoColumnScan/full_width",
+                   state.range(0), lat, total.ElapsedSeconds(), &cluster);
 }
 BENCHMARK(BM_AoColumnScan)
     ->Arg(1)
@@ -129,13 +149,18 @@ void BM_Compress(benchmark::State& state) {
   for (int i = 0; i < 10000; ++i) {
     values.push_back(Datum(static_cast<int64_t>(rng.Uniform(64))));
   }
+  Histogram lat;
+  Stopwatch total;
   for (auto _ : state) {
+    Stopwatch sw;
     CompressedBlock block;
     CompressColumn(kind, TypeId::kInt64, values, &block);
     benchmark::DoNotOptimize(block);
     state.counters["bytes"] = static_cast<double>(block.bytes.size());
+    lat.Record(sw.ElapsedMicros());
   }
   state.SetItemsProcessed(state.iterations() * 10000);
+  RecordMicroPoint("Ablation/Compress", state.range(0), lat, total.ElapsedSeconds());
 }
 BENCHMARK(BM_Compress)
     ->Arg(static_cast<int>(CompressionKind::kNone))
@@ -165,8 +190,8 @@ void BM_GddPeriodOverhead(benchmark::State& state) {
     DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
       return RunUpdateOnlyTransaction(s, rng, config);
     });
-    ReportDriver(state, r);
     state.counters["gdd_runs"] = static_cast<double>(cluster.gdd()->stats().runs);
+    ReportPoint(state, "Ablation/GddPeriodOverhead", period_us, r, &cluster);
   }
 }
 BENCHMARK(BM_GddPeriodOverhead)
@@ -182,4 +207,6 @@ BENCHMARK(BM_GddPeriodOverhead)
 }  // namespace bench
 }  // namespace gphtap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "ablations", nullptr);
+}

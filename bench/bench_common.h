@@ -6,9 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "api/gphtap.h"
+#include "common/clock.h"
 #include "workload/chbench.h"
 #include "workload/driver.h"
 #include "workload/htap.h"
@@ -17,15 +25,32 @@
 namespace gphtap {
 namespace bench {
 
+/// `--smoke`: CI-sized run — short points, small cluster, first arg of every
+/// sweep only. Set by BenchMain before benchmark::Initialize.
+inline bool& SmokeFlag() {
+  static bool smoke = false;
+  return smoke;
+}
+
 /// Per-point workload duration; override with GPHTAP_BENCH_MS for longer runs.
 inline int64_t PointMs() {
   const char* ms = std::getenv("GPHTAP_BENCH_MS");
-  return ms != nullptr ? std::atoll(ms) : 800;
+  if (ms != nullptr) return std::atoll(ms);
+  return SmokeFlag() ? 100 : 800;
 }
 
 inline int NumSegments() {
   const char* env = std::getenv("GPHTAP_BENCH_SEGMENTS");
-  return env != nullptr ? std::atoi(env) : 16;
+  if (env != nullptr) return std::atoi(env);
+  return SmokeFlag() ? 4 : 16;
+}
+
+/// Sweep values for one benchmark axis; collapses to the first value under
+/// --smoke so every registered series still produces one JSON point.
+inline std::vector<int64_t> Points(std::initializer_list<int64_t> all) {
+  std::vector<int64_t> v(all);
+  if (SmokeFlag() && v.size() > 1) v.resize(1);
+  return v;
 }
 
 /// GPDB6: all three paper contributions enabled.
@@ -72,6 +97,146 @@ inline void ReportDriver(::benchmark::State& state, const DriverResult& r) {
   state.counters["aborted"] = static_cast<double>(r.aborted);
   state.counters["p50_us"] = static_cast<double>(r.latency_us.Percentile(50));
   state.counters["p95_us"] = static_cast<double>(r.latency_us.Percentile(95));
+  state.counters["p99_us"] = static_cast<double>(r.latency_us.Percentile(99));
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_<name>.json emission: every binary records one JSON point per
+// (series, arg) and writes the file on exit. The google-benchmark State has
+// no series-name accessor in this version, so the series string is passed
+// explicitly by the registration code.
+// ---------------------------------------------------------------------------
+
+using JsonFields = std::vector<std::pair<std::string, double>>;
+
+struct BenchPoint {
+  std::string series;
+  int64_t arg = 0;
+  JsonFields fields;
+};
+
+inline std::vector<BenchPoint>& JsonPoints() {
+  static std::vector<BenchPoint> points;
+  return points;
+}
+
+inline void RecordPoint(std::string series, int64_t arg, JsonFields fields) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> g(mu);
+  // Google-benchmark re-runs a benchmark while tuning its iteration count;
+  // keep only the final (longest, most settled) measurement per (series, arg).
+  for (BenchPoint& p : JsonPoints()) {
+    if (p.series == series && p.arg == arg) {
+      p.fields = std::move(fields);
+      return;
+    }
+  }
+  JsonPoints().push_back(BenchPoint{std::move(series), arg, std::move(fields)});
+}
+
+/// The required keys: throughput + latency percentiles + commit counts.
+inline void AddDriverFields(const DriverResult& r, JsonFields* fields) {
+  fields->push_back({"throughput_tps", r.Tps()});
+  fields->push_back({"p50_us", static_cast<double>(r.latency_us.Percentile(50))});
+  fields->push_back({"p95_us", static_cast<double>(r.latency_us.Percentile(95))});
+  fields->push_back({"p99_us", static_cast<double>(r.latency_us.Percentile(99))});
+  fields->push_back({"committed", static_cast<double>(r.committed)});
+  fields->push_back({"aborted", static_cast<double>(r.aborted)});
+}
+
+/// Non-zero subsystem counters from Cluster::StatsSnapshot(), as `ctr.<name>`.
+inline void AddClusterCounters(Cluster* cluster, JsonFields* fields) {
+  MetricsSnapshot snap = cluster->StatsSnapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (value != 0) fields->push_back({"ctr." + name, static_cast<double>(value)});
+  }
+}
+
+/// Driver point: benchmark counters + JSON point in one call.
+inline void ReportPoint(::benchmark::State& state, const std::string& series,
+                        int64_t arg, const DriverResult& r, Cluster* cluster,
+                        JsonFields extra = {}) {
+  ReportDriver(state, r);
+  JsonFields fields;
+  AddDriverFields(r, &fields);
+  for (auto& e : extra) fields.push_back(std::move(e));
+  if (cluster != nullptr) AddClusterCounters(cluster, &fields);
+  RecordPoint(series, arg, std::move(fields));
+}
+
+inline void WriteBenchJson(const std::string& bench_name) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n  \"points\": [\n",
+               bench_name.c_str(), SmokeFlag() ? "true" : "false");
+  const auto& points = JsonPoints();
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BenchPoint& p = points[i];
+    std::fprintf(f, "    {\"series\": \"%s\", \"arg\": %lld", p.series.c_str(),
+                 static_cast<long long>(p.arg));
+    for (const auto& [key, value] : p.fields) {
+      double v = std::isfinite(value) ? value : 0.0;
+      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), v);
+    }
+    std::fprintf(f, "}%s\n", i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu points)\n", path.c_str(), points.size());
+}
+
+/// Shared main: strips --smoke, registers, runs, writes BENCH_<name>.json.
+inline int BenchMain(int argc, char** argv, const std::string& json_name,
+                     void (*register_all)()) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      SmokeFlag() = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  if (register_all != nullptr) register_all();
+  ::benchmark::Initialize(&filtered_argc, args.data());
+  ::benchmark::RunSpecifiedBenchmarks();
+  WriteBenchJson(json_name);
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+/// Micro-benchmark point: per-iteration latency histogram -> the same
+/// required keys as the driver-based benches.
+inline void RecordMicroPoint(const std::string& series, int64_t arg,
+                             const Histogram& lat, double seconds,
+                             Cluster* cluster = nullptr) {
+  JsonFields fields;
+  fields.push_back({"throughput_tps",
+                    seconds > 0 ? static_cast<double>(lat.count()) / seconds : 0});
+  fields.push_back({"p50_us", static_cast<double>(lat.Percentile(50))});
+  fields.push_back({"p95_us", static_cast<double>(lat.Percentile(95))});
+  fields.push_back({"p99_us", static_cast<double>(lat.Percentile(99))});
+  fields.push_back({"iterations", static_cast<double>(lat.count())});
+  if (cluster != nullptr) AddClusterCounters(cluster, &fields);
+  RecordPoint(series, arg, std::move(fields));
+}
+
+/// Runs the benchmark loop timing every iteration; one JSON point on return.
+template <typename Fn>
+inline void RunMicro(::benchmark::State& state, const std::string& series,
+                     int64_t arg, Fn&& fn) {
+  Histogram lat;
+  Stopwatch total;
+  for (auto _ : state) {
+    Stopwatch sw;
+    fn();
+    lat.Record(sw.ElapsedMicros());
+  }
+  RecordMicroPoint(series, arg, lat, total.ElapsedSeconds());
 }
 
 }  // namespace bench

@@ -8,7 +8,8 @@ namespace gphtap {
 namespace bench {
 namespace {
 
-void RunTpcbPoint(::benchmark::State& state, const ClusterOptions& options) {
+void RunTpcbPoint(::benchmark::State& state, const std::string& series,
+                  const ClusterOptions& options) {
   int clients = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Cluster cluster(options);
@@ -29,7 +30,7 @@ void RunTpcbPoint(::benchmark::State& state, const ClusterOptions& options) {
       state.SkipWithError(invariant.ToString().c_str());
       return;
     }
-    ReportDriver(state, r);
+    ReportPoint(state, series, clients, r, &cluster);
   }
 }
 
@@ -38,10 +39,12 @@ void RegisterAll() {
     ClusterOptions options = std::string(mode) == "GPDB6"   ? Gpdb6Options()
                              : std::string(mode) == "GPDB5" ? Gpdb5Options()
                                                             : PostgresOptions();
+    std::string series = std::string("Fig12/TPCB/") + mode;
     auto* b = ::benchmark::RegisterBenchmark(
-        (std::string("Fig12/TPCB/") + mode).c_str(),
-        [options](::benchmark::State& state) { RunTpcbPoint(state, options); });
-    for (int clients : {10, 50, 100, 200, 400}) b->Arg(clients);
+        series.c_str(), [series, options](::benchmark::State& state) {
+          RunTpcbPoint(state, series, options);
+        });
+    for (int64_t clients : Points({10, 50, 100, 200, 400})) b->Arg(clients);
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }
@@ -51,9 +54,5 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig12_tpcb", gphtap::bench::RegisterAll);
 }

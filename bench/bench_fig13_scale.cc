@@ -18,7 +18,8 @@ namespace {
 constexpr size_t kPoolPages = 600;      // per-node cache
 constexpr int64_t kMissCostUs = 1500;   // simulated disk read
 
-void RunScalePoint(::benchmark::State& state, bool postgres) {
+void RunScalePoint(::benchmark::State& state, const std::string& series,
+                   bool postgres) {
   int accounts_per_branch = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ClusterOptions options = postgres ? PostgresOptions() : Gpdb6Options();
@@ -39,7 +40,6 @@ void RunScalePoint(::benchmark::State& state, bool postgres) {
     DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
       return RunTpcbTransaction(s, rng, config);
     });
-    ReportDriver(state, r);
     // Aggregate buffer hit rate across nodes.
     uint64_t hits = 0, misses = 0;
     for (int i = 0; i < cluster.num_segments(); ++i) {
@@ -47,23 +47,29 @@ void RunScalePoint(::benchmark::State& state, bool postgres) {
       hits += st.hits;
       misses += st.misses;
     }
-    state.counters["cache_hit_pct"] =
+    double cache_hit_pct =
         hits + misses > 0
             ? 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses)
             : 100.0;
+    state.counters["cache_hit_pct"] = cache_hit_pct;
     state.counters["accounts"] = static_cast<double>(config.num_accounts());
+    ReportPoint(state, series, accounts_per_branch, r, &cluster,
+                {{"cache_hit_pct", cache_hit_pct},
+                 {"accounts", static_cast<double>(config.num_accounts())}});
   }
 }
 
 void RegisterAll() {
   for (bool postgres : {false, true}) {
+    std::string series = postgres ? "Fig13/Scale/PostgreSQL" : "Fig13/Scale/GPDB6";
     auto* b = ::benchmark::RegisterBenchmark(
-        postgres ? "Fig13/Scale/PostgreSQL" : "Fig13/Scale/GPDB6",
-        [postgres](::benchmark::State& state) { RunScalePoint(state, postgres); });
+        series.c_str(), [series, postgres](::benchmark::State& state) {
+          RunScalePoint(state, series, postgres);
+        });
     // Accounts per branch x 8 branches: 16k rows (250 pages, fits everywhere),
     // 120k rows (~1.9k pages, exceeds the single node's 400-page cache), 400k
     // rows (~6.3k pages, far exceeds it); 16 segments hold 1/16th each.
-    for (int apb : {2'000, 15'000, 40'000}) b->Arg(apb);
+    for (int64_t apb : Points({2'000, 15'000, 40'000})) b->Arg(apb);
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }
@@ -73,9 +79,5 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig13_scale", gphtap::bench::RegisterAll);
 }

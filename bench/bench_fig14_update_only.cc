@@ -7,7 +7,8 @@ namespace gphtap {
 namespace bench {
 namespace {
 
-void RunUpdatePoint(::benchmark::State& state, bool gdd_enabled) {
+void RunUpdatePoint(::benchmark::State& state, const std::string& series,
+                    bool gdd_enabled) {
   int clients = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Cluster cluster(gdd_enabled ? Gpdb6Options() : Gpdb5Options());
@@ -23,20 +24,23 @@ void RunUpdatePoint(::benchmark::State& state, bool gdd_enabled) {
     DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
       return RunUpdateOnlyTransaction(s, rng, config);
     });
-    ReportDriver(state, r);
     if (cluster.gdd() != nullptr) {
       state.counters["gdd_victims"] =
           static_cast<double>(cluster.gdd()->stats().victims_killed);
     }
+    ReportPoint(state, series, clients, r, &cluster);
   }
 }
 
 void RegisterAll() {
   for (bool gdd : {true, false}) {
+    std::string series =
+        gdd ? "Fig14/UpdateOnly/GPDB6_gdd_on" : "Fig14/UpdateOnly/GPDB5_gdd_off";
     auto* b = ::benchmark::RegisterBenchmark(
-        gdd ? "Fig14/UpdateOnly/GPDB6_gdd_on" : "Fig14/UpdateOnly/GPDB5_gdd_off",
-        [gdd](::benchmark::State& state) { RunUpdatePoint(state, gdd); });
-    for (int clients : {10, 50, 100, 200}) b->Arg(clients);
+        series.c_str(), [series, gdd](::benchmark::State& state) {
+          RunUpdatePoint(state, series, gdd);
+        });
+    for (int64_t clients : Points({10, 50, 100, 200})) b->Arg(clients);
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }
@@ -46,9 +50,6 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig14_update_only",
+                                  gphtap::bench::RegisterAll);
 }

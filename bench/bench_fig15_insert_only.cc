@@ -7,7 +7,7 @@ namespace gphtap {
 namespace bench {
 namespace {
 
-void RunInsertPoint(::benchmark::State& state, int mode) {
+void RunInsertPoint(::benchmark::State& state, const std::string& series, int mode) {
   // mode 0 = 2PC, 1 = 1PC, 2 = 1PC + Figure 11(b) piggybacked commit.
   int clients = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -37,19 +37,24 @@ void RunInsertPoint(::benchmark::State& state, int mode) {
     DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
       return RunInsertOnlyTransaction(s, rng, config);
     });
-    ReportDriver(state, r);
 
     uint64_t fsyncs_after = cluster.coordinator_wal().fsyncs();
     for (int i = 0; i < cluster.num_segments(); ++i) {
       fsyncs_after += cluster.segment(i)->wal().fsyncs();
     }
     double txns = std::max<double>(1.0, static_cast<double>(r.committed));
-    state.counters["prepare_msgs_per_txn"] =
+    double prepare_per_txn =
         static_cast<double>(net.count(MsgKind::kPrepare) - prepares_before) / txns;
-    state.counters["commit_msgs_per_txn"] =
+    double commit_per_txn =
         static_cast<double>(net.count(MsgKind::kCommit) - commits_before) / txns;
-    state.counters["fsyncs_per_txn"] =
-        static_cast<double>(fsyncs_after - fsyncs_before) / txns;
+    double fsyncs_per_txn = static_cast<double>(fsyncs_after - fsyncs_before) / txns;
+    state.counters["prepare_msgs_per_txn"] = prepare_per_txn;
+    state.counters["commit_msgs_per_txn"] = commit_per_txn;
+    state.counters["fsyncs_per_txn"] = fsyncs_per_txn;
+    ReportPoint(state, series, clients, r, &cluster,
+                {{"prepare_msgs_per_txn", prepare_per_txn},
+                 {"commit_msgs_per_txn", commit_per_txn},
+                 {"fsyncs_per_txn", fsyncs_per_txn}});
   }
 }
 
@@ -57,9 +62,12 @@ void RegisterAll() {
   const char* names[] = {"Fig15/InsertOnly/2PC", "Fig15/InsertOnly/1PC",
                          "Fig15/InsertOnly/1PC_piggyback(Fig11b)"};
   for (int mode : {1, 0, 2}) {
+    std::string series = names[mode];
     auto* b = ::benchmark::RegisterBenchmark(
-        names[mode], [mode](::benchmark::State& state) { RunInsertPoint(state, mode); });
-    for (int clients : {10, 50, 100, 200}) b->Arg(clients);
+        series.c_str(), [series, mode](::benchmark::State& state) {
+          RunInsertPoint(state, series, mode);
+        });
+    for (int64_t clients : Points({10, 50, 100, 200})) b->Arg(clients);
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }
@@ -69,9 +77,6 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig15_insert_only",
+                                  gphtap::bench::RegisterAll);
 }

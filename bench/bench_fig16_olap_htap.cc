@@ -18,7 +18,7 @@ ChBenchConfig BenchCh() {
   return c;
 }
 
-void RunHtapPoint(::benchmark::State& state, bool gpdb6) {
+void RunHtapPoint(::benchmark::State& state, const std::string& series, bool gpdb6) {
   int olap_clients = static_cast<int>(state.range(0));
   int oltp_clients = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -41,15 +41,28 @@ void RunHtapPoint(::benchmark::State& state, bool gpdb6) {
     state.counters["oltp_qpm"] = r.OltpQpm();
     state.counters["olap_p95_ms"] =
         static_cast<double>(r.olap.latency_us.Percentile(95)) / 1000.0;
+    JsonFields mix = {{"olap_clients", static_cast<double>(olap_clients)},
+                      {"oltp_clients", static_cast<double>(oltp_clients)},
+                      {"olap_qph", r.OlapQph()},
+                      {"oltp_qpm", r.OltpQpm()}};
+    ReportPoint(state, series + "/olap", olap_clients, r.olap, &cluster, mix);
+    RecordPoint(series + "/oltp", olap_clients, [&] {
+      JsonFields fields;
+      AddDriverFields(r.oltp, &fields);
+      for (const auto& f : mix) fields.push_back(f);
+      return fields;
+    }());
   }
 }
 
 void RegisterAll() {
   for (bool gpdb6 : {true, false}) {
+    std::string series = gpdb6 ? "Fig16/OlapQph/GPDB6" : "Fig16/OlapQph/GPDB5";
     auto* b = ::benchmark::RegisterBenchmark(
-        gpdb6 ? "Fig16/OlapQph/GPDB6" : "Fig16/OlapQph/GPDB5",
-        [gpdb6](::benchmark::State& state) { RunHtapPoint(state, gpdb6); });
-    for (int olap : {2, 5, 10, 20}) {
+        series.c_str(), [series, gpdb6](::benchmark::State& state) {
+          RunHtapPoint(state, series, gpdb6);
+        });
+    for (int64_t olap : Points({2, 5, 10, 20})) {
       b->Args({olap, 0});
       b->Args({olap, 100});
     }
@@ -62,9 +75,6 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig16_olap_htap",
+                                  gphtap::bench::RegisterAll);
 }

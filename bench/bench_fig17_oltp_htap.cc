@@ -18,7 +18,7 @@ ChBenchConfig BenchCh() {
   return c;
 }
 
-void RunHtapPoint(::benchmark::State& state, bool gpdb6) {
+void RunHtapPoint(::benchmark::State& state, const std::string& series, bool gpdb6) {
   int oltp_clients = static_cast<int>(state.range(0));
   int olap_clients = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -41,15 +41,28 @@ void RunHtapPoint(::benchmark::State& state, bool gpdb6) {
     state.counters["olap_qph"] = r.OlapQph();
     state.counters["oltp_p95_ms"] =
         static_cast<double>(r.oltp.latency_us.Percentile(95)) / 1000.0;
+    JsonFields mix = {{"olap_clients", static_cast<double>(olap_clients)},
+                      {"oltp_clients", static_cast<double>(oltp_clients)},
+                      {"olap_qph", r.OlapQph()},
+                      {"oltp_qpm", r.OltpQpm()}};
+    ReportPoint(state, series + "/oltp", oltp_clients, r.oltp, &cluster, mix);
+    RecordPoint(series + "/olap", oltp_clients, [&] {
+      JsonFields fields;
+      AddDriverFields(r.olap, &fields);
+      for (const auto& f : mix) fields.push_back(f);
+      return fields;
+    }());
   }
 }
 
 void RegisterAll() {
   for (bool gpdb6 : {true, false}) {
+    std::string series = gpdb6 ? "Fig17/OltpQpm/GPDB6" : "Fig17/OltpQpm/GPDB5";
     auto* b = ::benchmark::RegisterBenchmark(
-        gpdb6 ? "Fig17/OltpQpm/GPDB6" : "Fig17/OltpQpm/GPDB5",
-        [gpdb6](::benchmark::State& state) { RunHtapPoint(state, gpdb6); });
-    for (int oltp : {10, 25, 50, 100}) {
+        series.c_str(), [series, gpdb6](::benchmark::State& state) {
+          RunHtapPoint(state, series, gpdb6);
+        });
+    for (int64_t oltp : Points({10, 25, 50, 100})) {
       b->Args({oltp, 0});
       b->Args({oltp, 20});
     }
@@ -62,9 +75,6 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig17_oltp_htap",
+                                  gphtap::bench::RegisterAll);
 }

@@ -78,13 +78,18 @@ void RunResgroupPoint(::benchmark::State& state) {
         static_cast<double>(r.oltp.latency_us.Percentile(95)) / 1000.0;
     state.counters["oltp_qpm"] = r.OltpQpm();
     state.counters["olap_qph"] = r.OlapQph();
+    ReportPoint(state, "Fig18/OltpLatencyByResourceGroupConfig/oltp",
+                config_index + 1, r.oltp, &cluster,
+                {{"oltp_avg_ms", r.oltp.latency_us.Mean() / 1000.0},
+                 {"oltp_qpm", r.OltpQpm()},
+                 {"olap_qph", r.OlapQph()}});
   }
 }
 
 void RegisterAll() {
   auto* b = ::benchmark::RegisterBenchmark("Fig18/OltpLatencyByResourceGroupConfig",
                                            RunResgroupPoint);
-  b->Arg(1)->Arg(2)->Arg(3);  // configurations I, II, III
+  for (int64_t c : Points({1, 2, 3})) b->Arg(c);  // configurations I, II, III
   b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 }
 
@@ -93,9 +98,6 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig18_resgroup",
+                                  gphtap::bench::RegisterAll);
 }

@@ -16,7 +16,8 @@ int64_t TotalLockWaitUs(Cluster* cluster) {
   return total;
 }
 
-void RunLockingPoint(::benchmark::State& state, bool gdd_enabled) {
+void RunLockingPoint(::benchmark::State& state, const std::string& series,
+                     bool gdd_enabled) {
   int clients = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ClusterOptions options = gdd_enabled ? Gpdb6Options() : Gpdb5Options();
@@ -37,19 +38,24 @@ void RunLockingPoint(::benchmark::State& state, bool gdd_enabled) {
     int64_t waited = TotalLockWaitUs(&cluster) - wait_before;
     // Total "query running time" = clients * wall time.
     double total_runtime_us = static_cast<double>(clients) * r.seconds * 1e6;
-    ReportDriver(state, r);
-    state.counters["lock_wait_pct"] =
+    double lock_wait_pct =
         total_runtime_us > 0 ? 100.0 * static_cast<double>(waited) / total_runtime_us
                              : 0;
+    state.counters["lock_wait_pct"] = lock_wait_pct;
+    ReportPoint(state, series, clients, r, &cluster,
+                {{"lock_wait_pct", lock_wait_pct}});
   }
 }
 
 void RegisterAll() {
   for (bool gdd : {false, true}) {
+    std::string series =
+        gdd ? "Fig2/LockWaitShare/GDD_on" : "Fig2/LockWaitShare/GDD_off(GPDB5)";
     auto* b = ::benchmark::RegisterBenchmark(
-        gdd ? "Fig2/LockWaitShare/GDD_on" : "Fig2/LockWaitShare/GDD_off(GPDB5)",
-        [gdd](::benchmark::State& state) { RunLockingPoint(state, gdd); });
-    for (int clients : {2, 5, 10, 50, 100, 200}) b->Arg(clients);
+        series.c_str(), [series, gdd](::benchmark::State& state) {
+          RunLockingPoint(state, series, gdd);
+        });
+    for (int64_t clients : Points({2, 5, 10, 50, 100, 200})) b->Arg(clients);
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }
@@ -59,9 +65,5 @@ void RegisterAll() {
 }  // namespace gphtap
 
 int main(int argc, char** argv) {
-  gphtap::bench::RegisterAll();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return gphtap::bench::BenchMain(argc, argv, "fig2_locking", gphtap::bench::RegisterAll);
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "api/gphtap.h"
+#include "bench_common.h"
 #include "common/rng.h"
 #include "gdd/gdd_algorithm.h"
 
@@ -36,9 +37,9 @@ std::vector<LocalWaitGraph> RandomGraphs(int nodes, int edges_per_node, uint64_t
 void BM_GddAlgorithmAcyclic(benchmark::State& state) {
   auto graphs = RandomGraphs(static_cast<int>(state.range(0)),
                              static_cast<int>(state.range(1)), 7, false);
-  for (auto _ : state) {
+  bench::RunMicro(state, "GddDetector/AlgorithmAcyclic", state.range(0), [&] {
     benchmark::DoNotOptimize(RunGddAlgorithm(graphs));
-  }
+  });
 }
 BENCHMARK(BM_GddAlgorithmAcyclic)
     ->Args({4, 16})
@@ -49,10 +50,10 @@ BENCHMARK(BM_GddAlgorithmAcyclic)
 void BM_GddAlgorithmWithCycle(benchmark::State& state) {
   auto graphs = RandomGraphs(static_cast<int>(state.range(0)),
                              static_cast<int>(state.range(1)), 7, true);
-  for (auto _ : state) {
+  bench::RunMicro(state, "GddDetector/AlgorithmWithCycle", state.range(0), [&] {
     auto result = RunGddAlgorithm(graphs);
     benchmark::DoNotOptimize(result);
-  }
+  });
 }
 BENCHMARK(BM_GddAlgorithmWithCycle)
     ->Args({4, 16})
@@ -64,13 +65,15 @@ void BM_LiveCollection(benchmark::State& state) {
   options.num_segments = static_cast<int>(state.range(0));
   options.gdd_enabled = false;  // we drive collection by hand
   Cluster cluster(options);
-  for (auto _ : state) {
+  bench::RunMicro(state, "GddDetector/LiveCollection", state.range(0), [&] {
     benchmark::DoNotOptimize(cluster.CollectWaitGraphs());
-  }
+  });
 }
 BENCHMARK(BM_LiveCollection)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace gphtap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "gdd_detector", nullptr);
+}

@@ -2,6 +2,7 @@
 // uncontended acquire/release, wait-graph collection.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "lock/lock_manager.h"
 
 namespace gphtap {
@@ -9,12 +10,12 @@ namespace {
 
 void BM_ConflictCheck(benchmark::State& state) {
   int i = 0;
-  for (auto _ : state) {
+  bench::RunMicro(state, "LockManager/ConflictCheck", 0, [&] {
     LockMode a = static_cast<LockMode>(1 + (i % 8));
     LockMode b = static_cast<LockMode>(1 + ((i / 8) % 8));
     benchmark::DoNotOptimize(LockConflicts(a, b));
     ++i;
-  }
+  });
 }
 BENCHMARK(BM_ConflictCheck);
 
@@ -22,10 +23,10 @@ void BM_UncontendedAcquireRelease(benchmark::State& state) {
   LockManager lm(0);
   auto owner = std::make_shared<LockOwner>(1);
   LockTag tag = LockTag::Relation(42);
-  for (auto _ : state) {
+  bench::RunMicro(state, "LockManager/UncontendedAcquireRelease", 0, [&] {
     lm.Acquire(owner, tag, LockMode::kRowExclusive);
     lm.Release(*owner, tag, LockMode::kRowExclusive);
-  }
+  });
 }
 BENCHMARK(BM_UncontendedAcquireRelease);
 
@@ -38,10 +39,10 @@ void BM_SharedAcquireManyHolders(benchmark::State& state) {
     lm.Acquire(owners.back(), tag, LockMode::kAccessShare);
   }
   auto me = std::make_shared<LockOwner>(9999);
-  for (auto _ : state) {
+  bench::RunMicro(state, "LockManager/SharedAcquireManyHolders", state.range(0), [&] {
     lm.Acquire(me, tag, LockMode::kAccessShare);
     lm.Release(*me, tag, LockMode::kAccessShare);
-  }
+  });
   for (auto& o : owners) lm.ReleaseAll(*o);
 }
 BENCHMARK(BM_SharedAcquireManyHolders)->Arg(1)->Arg(16)->Arg(128);
@@ -49,6 +50,8 @@ BENCHMARK(BM_SharedAcquireManyHolders)->Arg(1)->Arg(16)->Arg(128);
 void BM_ReleaseAll(benchmark::State& state) {
   LockManager lm(0);
   int64_t num_locks = state.range(0);
+  Histogram lat;
+  Stopwatch total;
   for (auto _ : state) {
     state.PauseTiming();
     auto owner = std::make_shared<LockOwner>(1);
@@ -57,8 +60,12 @@ void BM_ReleaseAll(benchmark::State& state) {
                  LockMode::kAccessShare);
     }
     state.ResumeTiming();
+    Stopwatch sw;
     lm.ReleaseAll(*owner);
+    lat.Record(sw.ElapsedMicros());
   }
+  bench::RecordMicroPoint("LockManager/ReleaseAll", num_locks, lat,
+                          total.ElapsedSeconds());
 }
 BENCHMARK(BM_ReleaseAll)->Arg(4)->Arg(64);
 
@@ -83,9 +90,9 @@ void BM_CollectWaitGraph(benchmark::State& state) {
   while (lm.CollectWaitGraph().edges.size() < static_cast<size_t>(n)) {
     std::this_thread::yield();
   }
-  for (auto _ : state) {
+  bench::RunMicro(state, "LockManager/CollectWaitGraph", state.range(0), [&] {
     benchmark::DoNotOptimize(lm.CollectWaitGraph());
-  }
+  });
   lm.ReleaseAll(*holder);
   for (auto& t : waiters) t.join();
   for (auto& o : owners) lm.ReleaseAll(*o);
@@ -95,4 +102,6 @@ BENCHMARK(BM_CollectWaitGraph)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace gphtap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "lock_manager", nullptr);
+}

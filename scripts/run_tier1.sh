@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrency-heavy
-# subset (locks, GDD, commit protocol, mirrors, crash recovery) again under
-# ThreadSanitizer.
+# subset (locks, GDD, commit protocol, mirrors, crash recovery, metrics)
+# again under ThreadSanitizer, then one smoke-mode benchmark whose
+# BENCH_*.json output is validated for the required keys.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,4 +13,19 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test')
+
+# Smoke-run one benchmark and validate its machine-readable output.
+(cd build && GPHTAP_BENCH_MS=100 ./bench/bench_fig12_tpcb --smoke)
+python3 - build/BENCH_fig12_tpcb.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "fig12_tpcb", doc
+assert doc["points"], "no points recorded"
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us"}
+for point in doc["points"]:
+    missing = required - set(point)
+    assert not missing, f"point {point.get('series')} missing {missing}"
+print(f"BENCH json OK: {len(doc['points'])} points")
+EOF

@@ -16,7 +16,11 @@ Cluster::Cluster(ClusterOptions options)
       net_(options.net_latency_us),
       governor_(options.total_cores),
       vmem_(options.global_shared_mem_mb << 20),
-      resgroups_(&governor_, &vmem_) {
+      resgroups_(&governor_, &vmem_, &metrics_) {
+  net_.set_metrics(&metrics_);
+  coordinator_wal_.set_metrics(&metrics_);
+  coordinator_locks_.set_metrics(&metrics_);
+  vmem_.set_metrics(&metrics_);
   // The built-in default group: every session not mapped to a user group
   // charges CPU here. Soft 100% share means it only throttles when the
   // machine's simulated capacity is saturated — which is exactly the
@@ -36,6 +40,7 @@ Cluster::Cluster(ClusterOptions options)
   seg_options.locks = options.locks;
   seg_options.enable_mirroring = options.mirrors_enabled;
   seg_options.enable_recovery = options.crash_recovery_enabled;
+  seg_options.metrics = &metrics_;
   segments_.reserve(static_cast<size_t>(options.num_segments));
   for (int i = 0; i < options.num_segments; ++i) {
     segments_.push_back(std::make_unique<Segment>(i, seg_options));
@@ -54,7 +59,7 @@ Cluster::Cluster(ClusterOptions options)
     };
     hooks.txn_running = [this](Gxid gxid) { return dtm_.IsRunning(gxid); };
     hooks.kill = [this](Gxid gxid, Status reason) { CancelTxn(gxid, std::move(reason)); };
-    gdd_ = std::make_unique<GddDaemon>(std::move(hooks), options.gdd_period_us);
+    gdd_ = std::make_unique<GddDaemon>(std::move(hooks), options.gdd_period_us, &metrics_);
     gdd_->Start();
   }
 
@@ -78,7 +83,7 @@ Cluster::Cluster(ClusterOptions options)
     FtsDaemon::Options fts_options;
     fts_options.period_us = options.fts_period_us;
     fts_options.misses_before_failover = options.fts_misses_before_failover;
-    fts_ = std::make_unique<FtsDaemon>(std::move(hooks), fts_options);
+    fts_ = std::make_unique<FtsDaemon>(std::move(hooks), fts_options, &metrics_);
     fts_->Start();
   }
 
@@ -357,5 +362,18 @@ ClusterHealth Cluster::Health() {
   if (fts_) health.fts = fts_->stats();
   return health;
 }
+
+MetricsSnapshot Cluster::StatsSnapshot() {
+  // Refresh level gauges that no subsystem maintains incrementally.
+  metrics_.gauge("txn.running")->Set(static_cast<int64_t>(dtm_.NumRunning()));
+  int64_t resident = 0;
+  for (auto& seg : segments_) {
+    resident += static_cast<int64_t>(seg->pool().resident_pages());
+  }
+  metrics_.gauge("bufferpool.resident_pages")->Set(resident);
+  return metrics_.TakeSnapshot();
+}
+
+std::string Cluster::StatsDump() { return StatsSnapshot().ToString(); }
 
 }  // namespace gphtap

@@ -17,6 +17,8 @@
 #include "cluster/mirror.h"
 #include "cluster/segment.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "gdd/gdd_daemon.h"
 #include "net/sim_net.h"
 #include "resgroup/resource_group.h"
@@ -92,6 +94,13 @@ struct ClusterOptions {
   int64_t commit_retry_initial_backoff_us = 500;
   int64_t commit_retry_max_backoff_us = 50'000;
   int64_t commit_retry_deadline_us = 10'000'000;
+
+  // --- Observability ---
+  // Trace every query executed by every session (per-session enable also
+  // exists: Session::set_trace_enabled).
+  bool trace_queries = false;
+  // Statements slower than this land in the slow-query log; 0 = disabled.
+  int64_t slow_query_threshold_us = 0;
 };
 
 /// Point-in-time health of one segment (cluster health API).
@@ -182,6 +191,18 @@ class Cluster {
   /// Per-segment up/down + mirror replication lag + FTS counters.
   ClusterHealth Health();
 
+  // ---- Observability ----
+  MetricsRegistry& metrics() { return metrics_; }
+  SlowQueryLog& slow_query_log() { return slow_query_log_; }
+  /// Monotonic id source for per-query traces.
+  uint64_t NextTraceId() { return next_trace_id_.fetch_add(1) + 1; }
+
+  /// Point-in-time copy of every registered metric, with liveness gauges
+  /// (running distributed txns, resident buffer pages) refreshed first.
+  MetricsSnapshot StatsSnapshot();
+  /// Human-readable text dump of StatsSnapshot().
+  std::string StatsDump();
+
   /// Cancels a transaction everywhere: flags its owner and wakes any lock wait
   /// it is parked in (coordinator or segments). Used by the GDD kill hook and
   /// by statement-error propagation.
@@ -224,6 +245,12 @@ class Cluster {
   std::vector<TableDef> DefsForSegment(int index) const;
 
   const ClusterOptions options_;
+
+  // Declared before every consumer: subsystems resolve metric pointers into
+  // this registry at construction and may update them until their own dtors.
+  MetricsRegistry metrics_;
+  SlowQueryLog slow_query_log_;
+  std::atomic<uint64_t> next_trace_id_{0};
 
   // Coordinator node state (node id -1).
   CommitLog coordinator_clog_;

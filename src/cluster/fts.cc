@@ -12,6 +12,10 @@ void FtsDaemon::Start() {
 
 void FtsDaemon::Stop() {
   if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> g(wake_mu_);
+    wake_cv_.notify_all();
+  }
   if (thread_.joinable()) thread_.join();
 }
 
@@ -21,27 +25,28 @@ void FtsDaemon::Loop() {
     for (int i = 0; i < hooks_.num_segments; ++i) {
       if (!running_.load(std::memory_order_relaxed)) return;
       probes_.fetch_add(1, std::memory_order_relaxed);
+      if (m_probes_ != nullptr) m_probes_->Add(1);
       if (hooks_.probe(i)) {
         misses[static_cast<size_t>(i)] = 0;
         continue;
       }
       probe_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (m_probe_misses_ != nullptr) m_probe_misses_->Add(1);
       if (++misses[static_cast<size_t>(i)] < options_.misses_before_failover) continue;
       misses[static_cast<size_t>(i)] = 0;
       if (hooks_.can_failover == nullptr || !hooks_.can_failover(i)) continue;
       if (hooks_.failover(i).ok()) {
         failovers_.fetch_add(1, std::memory_order_relaxed);
+        if (m_failovers_ != nullptr) m_failovers_->Add(1);
       } else {
         failed_failovers_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    // Sleep the probe period in slices so Stop() is responsive.
-    int64_t slept = 0;
-    while (running_.load(std::memory_order_relaxed) && slept < options_.period_us) {
-      int64_t slice = std::min<int64_t>(1'000, options_.period_us - slept);
-      std::this_thread::sleep_for(std::chrono::microseconds(slice));
-      slept += slice;
-    }
+    // Park on the wake CV for the probe period; Stop() notifies, so shutdown
+    // does not wait out the period (and never lags it in 1ms slices).
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait_for(lk, std::chrono::microseconds(options_.period_us),
+                      [this] { return !running_.load(std::memory_order_relaxed); });
   }
 }
 

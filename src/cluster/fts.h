@@ -7,11 +7,14 @@
 #define GPHTAP_CLUSTER_FTS_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace gphtap {
@@ -40,8 +43,16 @@ class FtsDaemon {
     uint64_t failed_failovers = 0;
   };
 
-  FtsDaemon(Hooks hooks, Options options)
-      : hooks_(std::move(hooks)), options_(options) {}
+  /// `metrics` (optional) registers fts.probes / fts.probe_misses /
+  /// fts.failovers counters.
+  FtsDaemon(Hooks hooks, Options options, MetricsRegistry* metrics = nullptr)
+      : hooks_(std::move(hooks)), options_(options) {
+    if (metrics != nullptr) {
+      m_probes_ = metrics->counter("fts.probes");
+      m_probe_misses_ = metrics->counter("fts.probe_misses");
+      m_failovers_ = metrics->counter("fts.failovers");
+    }
+  }
   ~FtsDaemon() { Stop(); }
 
   FtsDaemon(const FtsDaemon&) = delete;
@@ -65,6 +76,13 @@ class FtsDaemon {
 
   std::thread thread_;
   std::atomic<bool> running_{false};
+  // Wakes the probe loop out of its inter-round sleep so Stop() returns
+  // promptly (same pattern as GddDaemon).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  Counter* m_probes_ = nullptr;
+  Counter* m_probe_misses_ = nullptr;
+  Counter* m_failovers_ = nullptr;
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> probe_misses_{0};
   std::atomic<uint64_t> failovers_{0};

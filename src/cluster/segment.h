@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "lock/lock_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/table.h"
@@ -53,6 +54,7 @@ class Segment {
     LockManager::Options locks;
     bool enable_mirroring = false;  // emit a logical change stream (WAL shipping)
     bool enable_recovery = false;   // keep a change stream for crash recovery
+    MetricsRegistry* metrics = nullptr;  // cluster-wide observability (optional)
   };
 
   /// What recovery should do with a prepared transaction whose outcome is not
@@ -73,6 +75,11 @@ class Segment {
     if (options.enable_mirroring || options.enable_recovery) {
       change_log_ = std::make_unique<ChangeLog>();
       txns_.set_change_log(change_log_.get());
+    }
+    if (options.metrics != nullptr) {
+      wal_.set_metrics(options.metrics);
+      pool_.set_metrics(options.metrics);
+      locks_.set_metrics(options.metrics);
     }
   }
 

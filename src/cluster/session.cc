@@ -1,6 +1,7 @@
 #include "cluster/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <thread>
 
@@ -32,6 +33,15 @@ std::string QueryResult::ToString() const {
 Session::Session(Cluster* cluster, std::string role)
     : cluster_(cluster), role_(std::move(role)) {
   SetRole(role_);
+  MetricsRegistry& metrics = cluster_->metrics();
+  m_.committed = metrics.counter("txn.committed");
+  m_.aborted = metrics.counter("txn.aborted");
+  m_.one_phase = metrics.counter("txn.one_phase_commits");
+  m_.two_phase = metrics.counter("txn.two_phase_commits");
+  m_.piggybacked = metrics.counter("txn.piggybacked_commits");
+  m_.auto_prepares = metrics.counter("txn.auto_prepares");
+  m_.retries = metrics.counter("txn.commit_retries");
+  m_.statements = metrics.counter("txn.statements");
 }
 
 Session::~Session() {
@@ -193,6 +203,7 @@ Status Session::CommitSegmentWithRetry(int seg_index, bool one_phase,
                               std::to_string(seg_index) + ": " + s.message());
     }
     ++stats_.commit_retries;
+    m_.retries->Add(1);
     PreciseSleepUs(backoff_us);
     backoff_us = std::min(backoff_us * 2, opts.commit_retry_max_backoff_us);
   }
@@ -217,7 +228,11 @@ Status Session::CommitProtocol() {
         CommitSegmentWithRetry(seg_index, /*one_phase=*/true, piggyback));
     cluster_->dtm().MarkCommitted(gxid_);
     ++stats_.one_phase_commits;
-    if (piggyback) ++stats_.piggybacked_commits;
+    m_.one_phase->Add(1);
+    if (piggyback) {
+      ++stats_.piggybacked_commits;
+      m_.piggybacked->Add(1);
+    }
   } else {
     // Two-phase commit: PREPARE everywhere, coordinator commit record, then
     // COMMIT PREPARED everywhere. Phases fan out in parallel, as the real
@@ -268,7 +283,10 @@ Status Session::CommitProtocol() {
     for (const Status& s : prepared) {
       GPHTAP_RETURN_IF_ERROR(s);
     }
-    if (auto_prepare) ++stats_.auto_prepares;
+    if (auto_prepare) {
+      ++stats_.auto_prepares;
+      m_.auto_prepares->Add(1);
+    }
 
     // The distributed commit record is the commit point: from here the
     // transaction IS committed, and phase two is retried, never aborted.
@@ -280,6 +298,7 @@ Status Session::CommitProtocol() {
     });
     cluster_->dtm().MarkCommitted(gxid_);
     ++stats_.two_phase_commits;
+    m_.two_phase->Add(1);
     Status worst = Status::OK();
     for (const Status& s : committed) {
       if (!s.ok()) worst = s;
@@ -290,6 +309,7 @@ Status Session::CommitProtocol() {
       // still outstanding. Clean up so the session is usable.
       ReleaseAllLocks();
       ++stats_.txns_committed;
+      m_.committed->Add(1);
       ClearTxnState();
       return worst;
     }
@@ -297,6 +317,7 @@ Status Session::CommitProtocol() {
 
   ReleaseAllLocks();
   ++stats_.txns_committed;
+  m_.committed->Add(1);
   ClearTxnState();
   return Status::OK();
 }
@@ -317,6 +338,7 @@ void Session::AbortProtocol() {
   }
   ReleaseAllLocks();
   ++stats_.txns_aborted;
+  m_.aborted->Add(1);
   ClearTxnState();
 }
 
@@ -347,6 +369,7 @@ void Session::ClearTxnState() {
 template <typename Fn>
 StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
   ++stats_.statements;
+  m_.statements->Add(1);
   bool implicit = !in_txn();
   GPHTAP_RETURN_IF_ERROR(EnsureTxn());
   GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
@@ -416,6 +439,16 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     };
     GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
 
+    // Per-query distributed trace: a root "query" span on the coordinator;
+    // ExecutePlan opens one child span per slice (coordinator + segments).
+    std::shared_ptr<Trace> trace;
+    uint64_t root_span = 0;
+    if (trace_enabled_ || cluster_->options().trace_queries) {
+      trace = std::make_shared<Trace>(cluster_->NextTraceId());
+      root_span = trace->StartSpan("query");
+      last_trace_ = trace;
+    }
+
     for (size_t i = 0; i < planned.gang.size(); ++i) {
       cluster_->net().Deliver(MsgKind::kDispatch);
     }
@@ -425,12 +458,18 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     QueryPlan qp;
     qp.root = std::move(planned.root);
     qp.gang = planned.gang;
+    ExecProfile profile;
+    profile.trace = trace.get();
+    profile.parent_span = root_span;
     Status s = ExecutePlan(cluster_, qp, gxid_, owner_, snapshot_, group_.get(),
-                           mem.get(), [&](Row&& row) -> Status {
+                           mem.get(),
+                           [&](Row&& row) -> Status {
                              result.rows.push_back(std::move(row));
                              return Status::OK();
-                           });
+                           },
+                           trace ? &profile : nullptr);
     cluster_->net().Deliver(MsgKind::kResult);
+    if (trace) trace->EndSpan(root_span, static_cast<int64_t>(result.rows.size()));
     GPHTAP_RETURN_IF_ERROR(s);
     result.affected = static_cast<int64_t>(result.rows.size());
     return result;
@@ -473,6 +512,90 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
   }
   result.affected = static_cast<int64_t>(result.rows.size());
   return result;
+}
+
+StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
+  return RunStatement([&]() -> StatusOr<QueryResult> {
+    for (const TableDef& t : query.tables) {
+      GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
+    }
+
+    PlannerOptions popts;
+    popts.num_segments = cluster_->num_segments();
+    popts.use_orca = cluster_->options().use_orca;
+    popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+    popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+    popts.row_estimate = [this](TableId id) -> uint64_t {
+      Segment* seg0 = cluster_->segment(0);
+      auto pin = seg0->Pin();
+      if (!pin.ok()) return 1000;
+      Table* t = seg0->GetTable(id);
+      if (t == nullptr) return 1000;
+      return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
+    };
+    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
+    AssignPlanNodeIds(planned.root.get());
+
+    for (size_t i = 0; i < planned.gang.size(); ++i) {
+      cluster_->net().Deliver(MsgKind::kDispatch);
+    }
+    auto mem = group_->NewMemoryAccount();
+    OperatorStatsCollector op_stats;
+    ExecProfile profile;
+    profile.op_stats = &op_stats;
+    QueryPlan qp;
+    qp.root = std::move(planned.root);
+    qp.gang = planned.gang;
+    int64_t rows_out = 0;
+    Stopwatch sw;
+    Status s = ExecutePlan(cluster_, qp, gxid_, owner_, snapshot_, group_.get(),
+                           mem.get(),
+                           [&](Row&&) -> Status {
+                             ++rows_out;
+                             return Status::OK();
+                           },
+                           &profile);
+    int64_t total_us = sw.ElapsedMicros();
+    cluster_->net().Deliver(MsgKind::kResult);
+    GPHTAP_RETURN_IF_ERROR(s);
+
+    QueryResult result;
+    result.columns = {"QUERY PLAN"};
+    std::string gang = "gang: segments {";
+    for (size_t i = 0; i < qp.gang.size(); ++i) {
+      if (i) gang += ",";
+      gang += std::to_string(qp.gang[i]);
+    }
+    gang += qp.gang.size() == 1 ? "}  (direct dispatch)" : "}";
+    result.rows.push_back(Row{Datum(gang)});
+
+    // One row per node: the node's own header line (first line of its
+    // rendering) annotated with the measured actuals. Times are inclusive of
+    // children (push-model pipeline), summed across gang members.
+    auto emit = [&](auto&& self, const PlanNode& node, int indent) -> void {
+      std::string text = node.ToString(indent);
+      size_t eol = text.find('\n');
+      std::string line = text.substr(0, eol == std::string::npos ? text.size() : eol);
+      OperatorStatsCollector::OpStats os = op_stats.Get(node.node_id);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "  (actual rows=%lld loops=%lld time=%.3f ms)",
+                    static_cast<long long>(os.rows),
+                    static_cast<long long>(os.executions),
+                    static_cast<double>(os.total_time_us) / 1000.0);
+      line += buf;
+      result.rows.push_back(Row{Datum(line)});
+      for (const auto& child : node.children) self(self, *child, indent + 1);
+    };
+    emit(emit, *qp.root, 0);
+
+    char total[64];
+    std::snprintf(total, sizeof(total), "Execution time: %.3f ms (%lld rows)",
+                  static_cast<double>(total_us) / 1000.0,
+                  static_cast<long long>(rows_out));
+    result.rows.push_back(Row{Datum(std::string(total))});
+    result.affected = static_cast<int64_t>(result.rows.size());
+    return result;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -883,6 +1006,7 @@ StatusOr<QueryResult> Session::ExecuteDelete(const TableDef& def, const ExprPtr&
 
 Status Session::LockTable(const TableDef& def, LockMode mode) {
   ++stats_.statements;
+  m_.statements->Add(1);
   GPHTAP_RETURN_IF_ERROR(EnsureTxn());
   // LOCK TABLE only makes sense inside an explicit transaction (locks are
   // released at commit); we allow it implicitly too for symmetry.
@@ -951,7 +1075,15 @@ StatusOr<QueryResult> Session::ExecuteTruncate(const TableDef& def) {
 }
 
 StatusOr<QueryResult> Session::Execute(const std::string& sql) {
+  const int64_t threshold_us = cluster_->options().slow_query_threshold_us;
+  Stopwatch sw;
   auto result = sql_driver::ExecuteSql(this, sql);
+  if (threshold_us > 0) {
+    int64_t elapsed_us = sw.ElapsedMicros();
+    if (elapsed_us >= threshold_us) {
+      cluster_->slow_query_log().Record(sql, elapsed_us, MonotonicMicros());
+    }
+  }
   // Errors that never reached the statement executor (parse/analyze time)
   // still abort an open explicit transaction, PostgreSQL-style.
   if (!result.ok() && in_txn()) {

@@ -46,6 +46,9 @@ class Session {
   StatusOr<QueryResult> ExecuteSelect(const SelectQuery& query);
   /// Plans the query and returns the plan text (EXPLAIN), without executing.
   StatusOr<QueryResult> ExplainSelect(const SelectQuery& query);
+  /// EXPLAIN ANALYZE: executes the query (discarding its rows) and returns the
+  /// plan annotated with per-operator actual rows / time.
+  StatusOr<QueryResult> ExplainAnalyzeSelect(const SelectQuery& query);
   StatusOr<QueryResult> ExecuteInsert(const TableDef& def, const std::vector<Row>& rows);
   StatusOr<QueryResult> ExecuteUpdate(const TableDef& def,
                                       const std::vector<std::pair<int, ExprPtr>>& sets,
@@ -62,6 +65,13 @@ class Session {
   const std::string& role() const { return role_; }
 
   Cluster* cluster() { return cluster_; }
+
+  // ---- Tracing ----
+  /// Traces every subsequent query in this session (also on cluster-wide via
+  /// ClusterOptions::trace_queries).
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  /// The most recent query's trace; null when tracing was off.
+  std::shared_ptr<Trace> last_trace() const { return last_trace_; }
 
   // ---- Statistics (per session) ----
   struct Stats {
@@ -143,6 +153,22 @@ class Session {
   uint64_t insert_round_robin_ = 0;
 
   Stats stats_;
+
+  // Cluster-wide txn.* counters mirroring Stats (resolved once; never null).
+  struct TxnMetrics {
+    Counter* committed = nullptr;
+    Counter* aborted = nullptr;
+    Counter* one_phase = nullptr;
+    Counter* two_phase = nullptr;
+    Counter* piggybacked = nullptr;
+    Counter* auto_prepares = nullptr;
+    Counter* retries = nullptr;
+    Counter* statements = nullptr;
+  };
+  TxnMetrics m_;
+
+  bool trace_enabled_ = false;
+  std::shared_ptr<Trace> last_trace_;
 };
 
 }  // namespace gphtap

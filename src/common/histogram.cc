@@ -75,12 +75,18 @@ int64_t Histogram::Percentile(double p) const {
   if (target == count_) return max_;
   int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= target) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] >= target) {
+      // Interpolate by rank position inside the bucket instead of returning
+      // the midpoint; the result is still an approximation, so clamp it to the
+      // exactly-tracked [min_, max_] envelope (a bucket's nominal range can
+      // extend past the extremes actually recorded).
       int64_t lo = BucketLow(i), hi = BucketHigh(i);
-      int64_t mid = lo + (hi - lo) / 2;
-      return std::max(min_, std::min(mid, max_));
+      int64_t rank_in_bucket = target - seen;  // 1..buckets_[i]
+      int64_t v = lo + ((hi - lo) * rank_in_bucket) / buckets_[i];
+      return std::max(min_, std::min(v, max_));
     }
+    seen += buckets_[i];
   }
   return max_;
 }

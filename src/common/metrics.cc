@@ -1,0 +1,49 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace gphtap {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, gv] : gauges_) snap.gauges[name] = gv->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters) out << name << " = " << v << "\n";
+  for (const auto& [name, v] : gauges) out << name << " = " << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    out << name << " = {count=" << h.count() << " p50=" << h.Percentile(50)
+        << " p95=" << h.Percentile(95) << " p99=" << h.Percentile(99)
+        << " max=" << h.max() << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace gphtap

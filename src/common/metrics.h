@@ -1,0 +1,111 @@
+// Cluster-wide metrics registry (observability layer).
+//
+// Subsystems register named metrics once (get-or-create) and then update them
+// lock-free on the hot path: counters and gauges are plain atomics, histograms
+// wrap the log-bucketed Histogram behind a mutex. Pointers returned by the
+// registry are stable for the registry's lifetime, so a subsystem resolves its
+// metrics once in set_metrics() and keeps raw pointers — every hook is
+// nullptr-safe so subsystems still work standalone (unit tests, no registry).
+//
+// Naming scheme: dotted lowercase `<subsystem>.<metric>[.<tag>]`, e.g.
+// `lock.waits`, `txn.one_phase_commits`, `net.sent.tuple_data`. See
+// DESIGN.md "Observability" for the full catalogue.
+#ifndef GPHTAP_COMMON_METRICS_H_
+#define GPHTAP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace gphtap {
+
+/// Monotonically increasing event count. All operations are relaxed atomics:
+/// metrics tolerate torn cross-counter reads, they never synchronize data.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, running transactions); can go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe wrapper over the log-bucketed Histogram.
+class HistogramMetric {
+ public:
+  void Record(int64_t v) {
+    std::lock_guard<std::mutex> g(mu_);
+    hist_.Record(v);
+  }
+  /// Copy of the current distribution (for percentile queries off-path).
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Counter value by name; 0 when the metric was never registered.
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t gauge(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+
+  /// Human-readable text dump, one `name = value` line per metric, sorted.
+  std::string ToString() const;
+};
+
+/// Thread-safe name -> metric registry. Get-or-create: two subsystems asking
+/// for the same name share the metric (e.g. all segments' lock managers
+/// accumulate into one `lock.waits`).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+  MetricsSnapshot TakeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_METRICS_H_

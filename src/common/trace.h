@@ -1,0 +1,105 @@
+// Per-query distributed tracing and EXPLAIN ANALYZE support.
+//
+// A Trace is one query's span tree: the coordinator opens a root span, the
+// planner and each executor slice (one per motion x gang member, running on a
+// segment's producer thread) open child spans, all stamped with the monotonic
+// clock. Spans carry the segment index they ran on (kCoordinatorNode for the
+// coordinator) so tests and the text dump can show where time went.
+//
+// OperatorStatsCollector accumulates per-plan-operator actual rows / wall time
+// keyed by PlanNode::node_id; Session::ExplainAnalyzeSelect renders it as an
+// annotated plan. SlowQueryLog is a small ring buffer of statements that
+// exceeded ClusterOptions::slow_query_threshold_us.
+#ifndef GPHTAP_COMMON_TRACE_H_
+#define GPHTAP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gphtap {
+
+struct TraceSpan {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  int node = -1;  // segment index, or kCoordinatorNode
+  int64_t start_us = 0;
+  int64_t end_us = 0;  // 0 while the span is open
+  int64_t rows = 0;    // rows produced, where the instrumented site knows
+};
+
+/// One query's span collection. Thread-safe: executor producer threads on
+/// different segments append concurrently.
+class Trace {
+ public:
+  static constexpr int kCoordinatorNode = -1;
+
+  explicit Trace(uint64_t trace_id = 0) : trace_id_(trace_id) {}
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Opens a span; returns its id (parent_id 0 makes it a root).
+  uint64_t StartSpan(const std::string& name, uint64_t parent_id = 0,
+                     int node = kCoordinatorNode);
+  void EndSpan(uint64_t span_id, int64_t rows = 0);
+
+  std::vector<TraceSpan> Spans() const;
+  /// Indented text rendering of the span tree with relative timestamps.
+  std::string ToString() const;
+
+ private:
+  const uint64_t trace_id_;
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> next_id_{1};
+  std::vector<TraceSpan> spans_;
+};
+
+/// Per-operator actuals for EXPLAIN ANALYZE, keyed by PlanNode::node_id.
+/// An operator that runs on several gang members records once per execution;
+/// rows accumulate, time keeps the slowest execution (the critical path).
+class OperatorStatsCollector {
+ public:
+  struct OpStats {
+    int64_t rows = 0;
+    int64_t executions = 0;
+    int64_t total_time_us = 0;
+    int64_t max_time_us = 0;
+  };
+
+  void Record(int node_id, int64_t rows, int64_t elapsed_us);
+  /// Zero-valued OpStats when the node never executed.
+  OpStats Get(int node_id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, OpStats> stats_;
+};
+
+/// Fixed-capacity ring of the slowest-offending statements.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string sql;
+    int64_t duration_us = 0;
+    int64_t at_us = 0;  // monotonic timestamp of completion
+  };
+
+  explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  void Record(const std::string& sql, int64_t duration_us, int64_t at_us);
+  std::vector<Entry> Entries() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_TRACE_H_

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
+#include "common/trace.h"
 #include "net/motion_exchange.h"
 #include "resgroup/resource_group.h"
 
@@ -32,6 +33,9 @@ struct ExecContext {
   // Simulated CPU work per row processed, charged to `group`.
   int64_t cpu_ns_per_row = 0;
   int64_t pending_cpu_ns = 0;  // accumulated, flushed in Tick batches
+
+  // EXPLAIN ANALYZE per-operator actuals; null = not collecting.
+  OperatorStatsCollector* op_stats = nullptr;
 
   /// Builds the visibility context for this node.
   VisibilityContext Vis() const {

@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "storage/heap_table.h"
 
@@ -478,9 +479,9 @@ Status ExecMotionRecv(const PlanNode& node, ExecContext& ctx, const RowSink& sin
   return Status::OK();
 }
 
-}  // namespace
-
-Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+// The raw dispatch; the public ExecuteNode wraps it with optional per-operator
+// instrumentation (EXPLAIN ANALYZE).
+Status ExecuteNodeImpl(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
   switch (node.kind) {
     case PlanKind::kSeqScan: {
       Table* table = nullptr;
@@ -552,6 +553,24 @@ Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) 
   return Status::Internal("bad plan node");
 }
 
+}  // namespace
+
+Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  if (ctx.op_stats == nullptr || node.node_id < 0) {
+    return ExecuteNodeImpl(node, ctx, sink);
+  }
+  // Inclusive timing (children execute inside the parent's push pipeline),
+  // same convention as PostgreSQL's EXPLAIN ANALYZE.
+  int64_t rows = 0;
+  Stopwatch sw;
+  Status s = ExecuteNodeImpl(node, ctx, [&](Row&& row) -> Status {
+    ++rows;
+    return sink(std::move(row));
+  });
+  ctx.op_stats->Record(node.node_id, rows, sw.ElapsedMicros());
+  return s;
+}
+
 namespace {
 
 // Collects motion nodes in the order producers must start (bottom-up).
@@ -565,7 +584,12 @@ void CollectMotions(const PlanNode& node, std::vector<const PlanNode*>* out) {
 Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
                    const std::shared_ptr<LockOwner>& owner,
                    const DistributedSnapshot& snapshot, ResourceGroup* group,
-                   QueryMemoryAccount* mem, const RowSink& sink) {
+                   QueryMemoryAccount* mem, const RowSink& sink,
+                   const ExecProfile* profile) {
+  Trace* trace = profile != nullptr ? profile->trace : nullptr;
+  OperatorStatsCollector* op_stats = profile != nullptr ? profile->op_stats : nullptr;
+  const uint64_t parent_span = profile != nullptr ? profile->parent_span : 0;
+
   std::vector<const PlanNode*> motions;
   CollectMotions(*plan.root, &motions);
 
@@ -599,12 +623,18 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     for (size_t gi = 0; gi < plan.gang.size(); ++gi) {
       int seg_index = plan.gang[gi];
       producers.emplace_back([&, m, gi, seg_index] {
+        uint64_t span = 0;
+        if (trace != nullptr) {
+          span = trace->StartSpan("slice:motion" + std::to_string(m->motion_id),
+                                  parent_span, seg_index);
+        }
         // Service pin for the whole slice: a down segment fails the query with
         // a retryable error instead of reading torn state mid-recovery.
         auto pin = cluster->segment(seg_index)->Pin();
         if (!pin.ok()) {
           record_error(pin.status());
           exchanges[m->motion_id]->CloseSender();
+          if (trace != nullptr) trace->EndSpan(span);
           return;
         }
         ExecContext ctx;
@@ -619,12 +649,15 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         ctx.group = group;
         ctx.mem = mem;
         ctx.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
+        ctx.op_stats = op_stats;
 
         MotionExchange& ex = *exchanges[m->motion_id];
         const std::vector<int>& hash_cols = m->hash_cols;
         MotionKind kind = m->motion;
         int receivers = ex.num_receivers();
+        int64_t rows_out = 0;
         Status s = ExecuteNode(*m->children[0], ctx, [&](Row&& row) -> Status {
+          ++rows_out;
           bool sent = true;
           switch (kind) {
             case MotionKind::kGather:
@@ -648,6 +681,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         ctx.FlushCpu();
         record_error(s);
         ex.CloseSender();
+        if (trace != nullptr) trace->EndSpan(span, rows_out);
       });
     }
   }
@@ -665,10 +699,22 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   top.group = group;
   top.mem = mem;
   top.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
+  top.op_stats = op_stats;
 
-  Status top_status = ExecuteNode(*plan.root, top, sink);
+  uint64_t top_span = 0;
+  int64_t top_rows = 0;
+  RowSink top_sink = sink;
+  if (trace != nullptr) {
+    top_span = trace->StartSpan("slice:top", parent_span, Trace::kCoordinatorNode);
+    top_sink = [&](Row&& row) -> Status {
+      ++top_rows;
+      return sink(std::move(row));
+    };
+  }
+  Status top_status = ExecuteNode(*plan.root, top, top_sink);
   if (top_status.code() == StatusCode::kStopIteration) top_status = Status::OK();
   top.FlushCpu();
+  if (trace != nullptr) trace->EndSpan(top_span, top_rows);
   if (top_status.ok()) {
     query_done.store(true, std::memory_order_release);
   } else {

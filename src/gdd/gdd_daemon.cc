@@ -6,8 +6,25 @@
 
 namespace gphtap {
 
-GddDaemon::GddDaemon(Hooks hooks, int64_t period_us)
-    : hooks_(std::move(hooks)), period_us_(period_us) {}
+namespace {
+size_t CountEdges(const std::vector<LocalWaitGraph>& graphs) {
+  size_t n = 0;
+  for (const LocalWaitGraph& g : graphs) n += g.edges.size();
+  return n;
+}
+}  // namespace
+
+GddDaemon::GddDaemon(Hooks hooks, int64_t period_us, MetricsRegistry* metrics)
+    : hooks_(std::move(hooks)), period_us_(period_us) {
+  if (metrics != nullptr) {
+    m_rounds_ = metrics->counter("gdd.rounds");
+    m_deadlocks_ = metrics->counter("gdd.deadlocks");
+    m_victims_ = metrics->counter("gdd.victims");
+    m_stale_discards_ = metrics->counter("gdd.stale_discards");
+    m_edges_collected_ = metrics->counter("gdd.edges_collected");
+    m_edges_reduced_ = metrics->counter("gdd.edges_reduced");
+  }
+}
 
 GddDaemon::~GddDaemon() { Stop(); }
 
@@ -40,7 +57,15 @@ GddResult GddDaemon::RunOnce() {
     std::lock_guard<std::mutex> g(mu_);
     ++stats_.runs;
   }
-  GddResult result = RunGddAlgorithm(hooks_.collect());
+  if (m_rounds_ != nullptr) m_rounds_->Add(1);
+  std::vector<LocalWaitGraph> graphs = hooks_.collect();
+  const size_t edges_in = CountEdges(graphs);
+  GddResult result = RunGddAlgorithm(graphs);
+  if (m_edges_collected_ != nullptr) m_edges_collected_->Add(edges_in);
+  if (m_edges_reduced_ != nullptr) {
+    const size_t edges_left = CountEdges(result.remaining);
+    m_edges_reduced_->Add(edges_in >= edges_left ? edges_in - edges_left : 0);
+  }
   if (!result.deadlock) return result;
 
   // Collection is asynchronous across nodes; re-validate before acting (the
@@ -51,12 +76,14 @@ GddResult GddDaemon::RunOnce() {
   if (!second.deadlock) {
     std::lock_guard<std::mutex> g(mu_);
     ++stats_.stale_discards;
+    if (m_stale_discards_ != nullptr) m_stale_discards_->Add(1);
     return second;
   }
   for (uint64_t v : second.cycle_vertices) {
     if (!hooks_.txn_running(v)) {
       std::lock_guard<std::mutex> g(mu_);
       ++stats_.stale_discards;
+      if (m_stale_discards_ != nullptr) m_stale_discards_->Add(1);
       return second;
     }
   }
@@ -66,6 +93,8 @@ GddResult GddDaemon::RunOnce() {
     ++stats_.deadlocks_found;
     ++stats_.victims_killed;
   }
+  if (m_deadlocks_ != nullptr) m_deadlocks_->Add(1);
+  if (m_victims_ != nullptr) m_victims_->Add(1);
   GPHTAP_LOG(Info) << "GDD: global deadlock detected, killing youngest victim gxid="
                    << second.victim;
   hooks_.kill(second.victim,

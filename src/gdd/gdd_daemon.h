@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "gdd/gdd_algorithm.h"
 #include "lock/wait_graph.h"
@@ -37,7 +38,9 @@ class GddDaemon {
     uint64_t stale_discards = 0;  // detection discarded because a txn finished
   };
 
-  GddDaemon(Hooks hooks, int64_t period_us);
+  /// `metrics` (optional) registers gdd.rounds / gdd.deadlocks / gdd.victims /
+  /// gdd.stale_discards / gdd.edges_collected / gdd.edges_reduced counters.
+  GddDaemon(Hooks hooks, int64_t period_us, MetricsRegistry* metrics = nullptr);
   ~GddDaemon();
 
   GddDaemon(const GddDaemon&) = delete;
@@ -63,6 +66,12 @@ class GddDaemon {
 
   mutable std::mutex mu_;
   Stats stats_;
+  Counter* m_rounds_ = nullptr;
+  Counter* m_deadlocks_ = nullptr;
+  Counter* m_victims_ = nullptr;
+  Counter* m_stale_discards_ = nullptr;
+  Counter* m_edges_collected_ = nullptr;
+  Counter* m_edges_reduced_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::mutex wake_mu_;

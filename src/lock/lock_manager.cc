@@ -94,6 +94,7 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
                             LockMode mode) {
   std::unique_lock<std::mutex> lk(mu_);
   ++stats_.acquires;
+  if (m_acquires_ != nullptr) m_acquires_->Add(1);
   if (owner->cancelled()) return owner->cancel_reason();
   if (!poison_.ok()) return poison_;
   LockState& st = locks_[tag];
@@ -103,6 +104,8 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
   }
 
   ++stats_.waits;
+  if (m_waits_ != nullptr) m_waits_->Add(1);
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Add(1);
   auto w = std::make_shared<Waiter>();
   w->owner = owner;
   w->mode = mode;
@@ -124,6 +127,7 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
         checked_local = true;
         if (LocalCycleFrom(owner->gxid())) {
           ++stats_.local_deadlocks;
+          if (m_local_deadlocks_ != nullptr) m_local_deadlocks_->Add(1);
           result = Status::DeadlockDetected("local deadlock detected on node " +
                                             std::to_string(node_id_));
           break;
@@ -147,7 +151,10 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
     }
     if (tags.empty()) waiting_.erase(wit);
   }
-  stats_.total_wait_us += sw.ElapsedMicros();
+  const int64_t waited_us = sw.ElapsedMicros();
+  stats_.total_wait_us += waited_us;
+  if (m_wait_us_ != nullptr) m_wait_us_->Add(static_cast<uint64_t>(waited_us));
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Add(-1);
 
   if (!w->granted) {
     RemoveWaiter(st, w.get());
@@ -166,6 +173,7 @@ bool LockManager::TryAcquire(const std::shared_ptr<LockOwner>& owner, const Lock
                              LockMode mode) {
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.acquires;
+  if (m_acquires_ != nullptr) m_acquires_->Add(1);
   if (!poison_.ok()) return false;
   LockState& st = locks_[tag];
   if (!CanGrantNow(st, owner->gxid(), mode)) {
@@ -344,6 +352,16 @@ void LockManager::Reset() {
 LockManager::Stats LockManager::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void LockManager::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  m_acquires_ = metrics->counter("lock.acquires");
+  m_waits_ = metrics->counter("lock.waits");
+  m_wait_us_ = metrics->counter("lock.wait_us");
+  m_local_deadlocks_ = metrics->counter("lock.local_deadlocks");
+  m_queue_depth_ = metrics->gauge("lock.queue_depth");
 }
 
 std::string WaitEdgeToString(const WaitEdge& e) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "lock/lock_defs.h"
 #include "lock/lock_owner.h"
@@ -94,6 +95,11 @@ class LockManager {
   Stats stats() const;
   int node_id() const { return node_id_; }
 
+  /// Registers cluster-wide lock metrics (lock.acquires / lock.waits /
+  /// lock.wait_us / lock.local_deadlocks counters, lock.queue_depth gauge).
+  /// All segments share the same names; null is a no-op.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   struct Waiter {
     std::shared_ptr<LockOwner> owner;
@@ -135,6 +141,11 @@ class LockManager {
   std::unordered_map<uint64_t, HolderInfo> holders_;
   Status poison_ = Status::OK();  // non-OK between CancelAllWaiters and Reset
   Stats stats_;
+  Counter* m_acquires_ = nullptr;
+  Counter* m_waits_ = nullptr;
+  Counter* m_wait_us_ = nullptr;
+  Counter* m_local_deadlocks_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace gphtap

@@ -15,9 +15,13 @@ MotionExchange::MotionExchange(int num_senders, int num_receivers, size_t buffer
 
 bool MotionExchange::Send(int receiver, Row row) {
   if (aborted_.load(std::memory_order_acquire)) return false;
-  if (net_ != nullptr &&
-      rows_sent_.fetch_add(1, std::memory_order_relaxed) % kRowsPerMessage == 0) {
-    net_->Deliver(MsgKind::kTupleData);
+  if (net_ != nullptr) {
+    if (rows_sent_.fetch_add(1, std::memory_order_relaxed) % kRowsPerMessage == 0) {
+      net_->Deliver(MsgKind::kTupleData);
+    }
+    uint64_t bytes = sizeof(Row);
+    for (const Datum& d : row) bytes += d.FootprintBytes();
+    net_->CountTupleRows(1, bytes);
   }
   return queues_[static_cast<size_t>(receiver)]->Push(Item(std::move(row)));
 }

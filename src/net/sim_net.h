@@ -15,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 
 namespace gphtap {
 
@@ -86,20 +87,52 @@ class SimNet {
   /// (the send is still counted; the drop is tallied separately).
   bool Deliver(MsgKind kind) {
     counts_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+    if (m_sent_[static_cast<size_t>(kind)] != nullptr) {
+      m_sent_[static_cast<size_t>(kind)]->Add(1);
+    }
     if (faults_ != nullptr && faults_->AnyArmed()) {
       if (faults_->Evaluate(NetDropPoint(kind))) {
         drops_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+        if (m_dropped_[static_cast<size_t>(kind)] != nullptr) {
+          m_dropped_[static_cast<size_t>(kind)]->Add(1);
+        }
         return false;
       }
       int64_t extra = faults_->EvaluateDelay(NetDelayPoint(kind));
-      if (extra > 0) PreciseSleepUs(extra);
+      if (extra > 0) {
+        if (m_injected_delay_us_ != nullptr) {
+          m_injected_delay_us_->Add(static_cast<uint64_t>(extra));
+        }
+        PreciseSleepUs(extra);
+      }
     }
     PreciseSleepUs(latency_us_);
     return true;
   }
 
+  /// Tallies tuple-stream payload (called by MotionExchange per row sent;
+  /// independent of the per-64-row kTupleData message charge).
+  void CountTupleRows(uint64_t rows, uint64_t bytes) {
+    if (m_tuple_rows_ != nullptr) m_tuple_rows_->Add(rows);
+    if (m_tuple_bytes_ != nullptr) m_tuple_bytes_->Add(bytes);
+  }
+
   /// Attaches the cluster's fault injector; null disables drop/delay hooks.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Registers per-kind sent/dropped counters plus tuple-traffic and
+  /// injected-delay totals; null is a no-op (standalone use).
+  void set_metrics(MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    for (size_t i = 0; i < static_cast<size_t>(MsgKind::kNumKinds); ++i) {
+      const char* name = MsgKindName(static_cast<MsgKind>(i));
+      m_sent_[i] = metrics->counter(std::string("net.sent.") + name);
+      m_dropped_[i] = metrics->counter(std::string("net.dropped.") + name);
+    }
+    m_injected_delay_us_ = metrics->counter("net.injected_delay_us");
+    m_tuple_rows_ = metrics->counter("net.tuple_rows");
+    m_tuple_bytes_ = metrics->counter("net.tuple_bytes");
+  }
 
   uint64_t count(MsgKind kind) const {
     return counts_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
@@ -122,6 +155,11 @@ class SimNet {
   FaultInjector* faults_ = nullptr;
   std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)> counts_{};
   std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)> drops_{};
+  std::array<Counter*, static_cast<size_t>(MsgKind::kNumKinds)> m_sent_{};
+  std::array<Counter*, static_cast<size_t>(MsgKind::kNumKinds)> m_dropped_{};
+  Counter* m_injected_delay_us_ = nullptr;
+  Counter* m_tuple_rows_ = nullptr;
+  Counter* m_tuple_bytes_ = nullptr;
 };
 
 }  // namespace gphtap

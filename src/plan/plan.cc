@@ -66,6 +66,13 @@ const char* MotionKindName(MotionKind k) {
 }
 }  // namespace
 
+int AssignPlanNodeIds(PlanNode* root, int next_id) {
+  if (root == nullptr) return next_id;
+  root->node_id = next_id++;
+  for (auto& child : root->children) next_id = AssignPlanNodeIds(child.get(), next_id);
+  return next_id;
+}
+
 std::string PlanNode::ToString(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + PlanKindName(kind);

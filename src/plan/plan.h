@@ -91,10 +91,17 @@ struct PlanNode {
   /// Number of columns this node produces (filled in by the planner).
   int output_arity = 0;
 
+  /// Pre-order id assigned by AssignPlanNodeIds; -1 = unassigned. Keys the
+  /// EXPLAIN ANALYZE per-operator actuals (OperatorStatsCollector).
+  int node_id = -1;
+
   std::string ToString(int indent = 0) const;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Assigns pre-order node ids starting at `next_id`; returns the next free id.
+int AssignPlanNodeIds(PlanNode* root, int next_id = 0);
 
 /// Convenience builders used by the planner and tests.
 PlanPtr MakeSeqScan(TableId table, int arity, ExprPtr filter = nullptr);

@@ -2,11 +2,18 @@
 
 #include <chrono>
 
+#include "common/clock.h"
+
 namespace gphtap {
 
 ResourceGroup::ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor,
-                             VmemTracker* vmem)
+                             VmemTracker* vmem, MetricsRegistry* metrics)
     : config_(std::move(config)), governor_(governor), vmem_(vmem) {
+  if (metrics != nullptr) {
+    m_admitted_ = metrics->counter("resgroup.admitted");
+    m_slot_waits_ = metrics->counter("resgroup.slot_waits");
+    m_slot_wait_us_ = metrics->counter("resgroup.slot_wait_us");
+  }
   memory_ = std::make_shared<GroupMemory>(config_.name, config_.memory_limit_mb << 20,
                                           config_.memory_shared_quota,
                                           config_.concurrency);
@@ -18,13 +25,23 @@ ResourceGroup::~ResourceGroup() { governor_->RemoveGroup(config_.name); }
 
 Status ResourceGroup::Admit(const std::atomic<bool>* cancelled) {
   std::unique_lock<std::mutex> lk(mu_);
+  bool waited = false;
+  Stopwatch sw;
   while (active_ >= config_.concurrency) {
+    if (!waited) {
+      waited = true;
+      if (m_slot_waits_ != nullptr) m_slot_waits_->Add(1);
+    }
     if (cancelled != nullptr && cancelled->load(std::memory_order_acquire)) {
       return Status::Aborted("cancelled while queued for resource group " + name());
     }
     slot_available_.wait_for(lk, std::chrono::milliseconds(50));
   }
+  if (waited && m_slot_wait_us_ != nullptr) {
+    m_slot_wait_us_->Add(static_cast<uint64_t>(sw.ElapsedMicros()));
+  }
   ++active_;
+  if (m_admitted_ != nullptr) m_admitted_->Add(1);
   return Status::OK();
 }
 
@@ -45,15 +62,16 @@ std::unique_ptr<QueryMemoryAccount> ResourceGroup::NewMemoryAccount() {
   return std::make_unique<QueryMemoryAccount>(vmem_, memory_);
 }
 
-ResourceGroupRegistry::ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem)
-    : governor_(governor), vmem_(vmem) {}
+ResourceGroupRegistry::ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem,
+                                             MetricsRegistry* metrics)
+    : governor_(governor), vmem_(vmem), metrics_(metrics) {}
 
 Status ResourceGroupRegistry::CreateGroup(const ResourceGroupConfig& config) {
   std::lock_guard<std::mutex> g(mu_);
   if (groups_.count(config.name)) {
     return Status::AlreadyExists("resource group " + config.name);
   }
-  groups_[config.name] = std::make_shared<ResourceGroup>(config, governor_, vmem_);
+  groups_[config.name] = std::make_shared<ResourceGroup>(config, governor_, vmem_, metrics_);
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "resgroup/cpu_governor.h"
 #include "resgroup/vmem_tracker.h"
@@ -34,7 +35,10 @@ struct ResourceGroupConfig {
 
 class ResourceGroup {
  public:
-  ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor, VmemTracker* vmem);
+  /// `metrics` (optional) registers resgroup.admitted / resgroup.slot_waits /
+  /// resgroup.slot_wait_us counters, shared by every group.
+  ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor, VmemTracker* vmem,
+                MetricsRegistry* metrics = nullptr);
   ~ResourceGroup();
 
   const ResourceGroupConfig& config() const { return config_; }
@@ -61,12 +65,16 @@ class ResourceGroup {
   mutable std::mutex mu_;
   std::condition_variable slot_available_;
   int active_ = 0;
+  Counter* m_admitted_ = nullptr;
+  Counter* m_slot_waits_ = nullptr;
+  Counter* m_slot_wait_us_ = nullptr;
 };
 
 /// Registry of groups + role assignments (CREATE/ALTER ROLE ... RESOURCE GROUP).
 class ResourceGroupRegistry {
  public:
-  ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem);
+  ResourceGroupRegistry(CpuGovernor* governor, VmemTracker* vmem,
+                        MetricsRegistry* metrics = nullptr);
 
   Status CreateGroup(const ResourceGroupConfig& config);
   Status DropGroup(const std::string& name);
@@ -78,6 +86,7 @@ class ResourceGroupRegistry {
  private:
   CpuGovernor* const governor_;
   VmemTracker* const vmem_;
+  MetricsRegistry* const metrics_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ResourceGroup>> groups_;
   std::unordered_map<std::string, std::string> role_to_group_;

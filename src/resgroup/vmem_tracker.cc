@@ -45,6 +45,7 @@ Status QueryMemoryAccount::Reserve(int64_t bytes) {
     global_used_.fetch_add(remaining, std::memory_order_relaxed);
     return Status::OK();
   }
+  if (tracker_->m_vmem_cancels_ != nullptr) tracker_->m_vmem_cancels_->Add(1);
   return Status::ResourceExhausted(
       "vmem: slot, group-shared and global-shared pools exhausted (query in group " +
       (group_ ? group_->name() : std::string("<none>")) + ")");

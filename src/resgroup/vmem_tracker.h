@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace gphtap {
@@ -87,11 +88,18 @@ class VmemTracker {
     return global_used_;
   }
 
+  /// Registers the resgroup.vmem_cancels counter (reservation failures that
+  /// cancel a query); null is a no-op.
+  void set_metrics(MetricsRegistry* metrics) {
+    if (metrics != nullptr) m_vmem_cancels_ = metrics->counter("resgroup.vmem_cancels");
+  }
+
  private:
   friend class QueryMemoryAccount;
   const int64_t global_shared_bytes_;
   mutable std::mutex mu_;
   int64_t global_used_ = 0;
+  Counter* m_vmem_cancels_ = nullptr;
 };
 
 }  // namespace gphtap

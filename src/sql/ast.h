@@ -191,6 +191,7 @@ enum class StatementKind : uint8_t {
 
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
+  bool explain_analyze = false;  // EXPLAIN ANALYZE (kExplain only)
   std::shared_ptr<SelectNode> select;
   std::shared_ptr<InsertNode> insert;
   std::shared_ptr<UpdateNode> update;

@@ -362,6 +362,7 @@ StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
 
     case StatementKind::kExplain: {
       GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(*stmt.select));
+      if (stmt.explain_analyze) return session->ExplainAnalyzeSelect(q);
       return session->ExplainSelect(q);
     }
 

@@ -248,7 +248,7 @@ class Parser {
       return stmt;
     }
     if (AcceptWord("explain")) {
-      AcceptWord("analyze");  // accepted and ignored
+      stmt.explain_analyze = AcceptWord("analyze");
       stmt.kind = StatementKind::kExplain;
       GPHTAP_ASSIGN_OR_RETURN(auto sel, ParseSelect());
       stmt.select = std::move(sel);

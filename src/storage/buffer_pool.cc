@@ -14,14 +14,18 @@ void BufferPool::Access(TableId table, uint64_t page) {
     auto it = resident_.find(key);
     if (it != resident_.end()) {
       ++stats_.hits;
+      if (m_hits_ != nullptr) m_hits_->Add(1);
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
     ++stats_.misses;
+    if (m_misses_ != nullptr) m_misses_->Add(1);
     miss = true;
     if (resident_.size() >= options_.capacity_pages && !lru_.empty()) {
       resident_.erase(lru_.back());
       lru_.pop_back();
+      ++stats_.evictions;
+      if (m_evictions_ != nullptr) m_evictions_->Add(1);
     }
     lru_.push_front(key);
     resident_[key] = lru_.begin();
@@ -46,6 +50,14 @@ BufferPool::Stats BufferPool::stats() const {
 size_t BufferPool::resident_pages() const {
   std::lock_guard<std::mutex> g(mu_);
   return resident_.size();
+}
+
+void BufferPool::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  std::lock_guard<std::mutex> g(mu_);
+  m_hits_ = metrics->counter("bufferpool.hits");
+  m_misses_ = metrics->counter("bufferpool.misses");
+  m_evictions_ = metrics->counter("bufferpool.evictions");
 }
 
 }  // namespace gphtap

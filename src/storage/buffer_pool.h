@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "catalog/schema.h"
+#include "common/metrics.h"
 
 namespace gphtap {
 
@@ -28,6 +29,7 @@ class BufferPool {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     double HitRate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -45,6 +47,10 @@ class BufferPool {
 
   Stats stats() const;
   size_t resident_pages() const;
+
+  /// Registers bufferpool.hits / bufferpool.misses / bufferpool.evictions
+  /// counters (shared across all segments); null is a no-op.
+  void set_metrics(MetricsRegistry* metrics);
 
  private:
   struct Key {
@@ -68,6 +74,9 @@ class BufferPool {
   std::list<Key> lru_;  // front = MRU
   std::unordered_map<Key, std::list<Key>::iterator, KeyHash> resident_;
   Stats stats_;
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace gphtap

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "txn/xid.h"
 
 namespace gphtap {
@@ -53,9 +54,13 @@ class Wal {
     records_.fetch_add(1, std::memory_order_relaxed);
     switch (type) {
       case WalRecordType::kPrepare:
+        if (m_prepare_fsyncs_ != nullptr) m_prepare_fsyncs_->Add(1);
+        Fsync();
+        break;
       case WalRecordType::kCommit:
       case WalRecordType::kCommitPrepared:
       case WalRecordType::kDistributedCommit:
+        if (m_commit_fsyncs_ != nullptr) m_commit_fsyncs_->Add(1);
         Fsync();
         break;
       default:
@@ -85,6 +90,14 @@ class Wal {
   uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
   int64_t fsync_cost_us() const { return fsync_cost_us_; }
 
+  /// Registers txn.prepare_fsyncs / txn.commit_fsyncs counters (cluster-wide
+  /// totals across all nodes' WALs); null is a no-op.
+  void set_metrics(MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    m_prepare_fsyncs_ = metrics->counter("txn.prepare_fsyncs");
+    m_commit_fsyncs_ = metrics->counter("txn.commit_fsyncs");
+  }
+
  private:
   const int64_t fsync_cost_us_;
   mutable std::mutex mu_;
@@ -92,6 +105,8 @@ class Wal {
   std::unordered_set<Gxid> distributed_commits_;
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> fsyncs_{0};
+  Counter* m_prepare_fsyncs_ = nullptr;
+  Counter* m_commit_fsyncs_ = nullptr;
 };
 
 // Transitional alias: the counting stub grew into a real (in-memory) log.

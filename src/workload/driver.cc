@@ -69,9 +69,7 @@ DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const T
   double elapsed = run_clock.ElapsedSeconds();
 
   DriverResult merged;
-  merged.seconds = std::min(elapsed, static_cast<double>(options.duration_ms) / 1000.0 +
-                                         elapsed * 0);  // wall time of the run
-  merged.seconds = elapsed;
+  merged.seconds = elapsed;  // wall time of the run
   for (auto& r : results) {
     if (!r.fatal.ok()) {
       std::fprintf(stderr, "workload client failed: %s\n", r.fatal.ToString().c_str());

@@ -2,7 +2,10 @@
 // streams on the fly and must converge to identical visible contents.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "api/gphtap.h"
+#include "common/clock.h"
 #include "workload/driver.h"
 #include "workload/tpcb.h"
 
@@ -116,6 +119,21 @@ TEST(MirrorTest, TruncateReplicates) {
   ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 1)").ok());
   Status consistent = cluster.VerifyMirrorsConsistent();
   EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+}
+
+// The FTS probe loop sleeps on a condition variable, so Stop() must return
+// promptly even with a probe period far longer than any acceptable shutdown.
+TEST(MirrorTest, FtsStopsPromptlyDespiteLongProbePeriod) {
+  ClusterOptions o = MirroredCluster();
+  o.fts_enabled = true;
+  o.fts_period_us = 2'000'000;  // 2 s between probe rounds
+  auto cluster = std::make_unique<Cluster>(o);
+  auto s = cluster->Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int)").ok());
+  s.reset();
+  Stopwatch sw;
+  cluster.reset();  // joins the FTS thread via FtsDaemon::Stop()
+  EXPECT_LT(sw.ElapsedMicros(), 500'000) << "FTS shutdown waited out its period";
 }
 
 TEST(MirrorTest, DisabledByDefault) {

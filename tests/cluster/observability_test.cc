@@ -1,0 +1,193 @@
+// Cluster-level observability: StatsSnapshot counters after a mixed workload,
+// per-query tracing spans, EXPLAIN ANALYZE, and the slow-query log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+#include "common/rng.h"
+#include "workload/driver.h"
+#include "workload/tpcb.h"
+
+namespace gphtap {
+namespace {
+
+TEST(StatsSnapshotTest, MixedWorkloadPopulatesSubsystemCounters) {
+  ClusterOptions options;
+  options.num_segments = 4;
+  options.gdd_period_us = 5'000;
+  Cluster cluster(options);
+
+  TpcbConfig config;
+  config.scale = 4;
+  config.accounts_per_branch = 100;
+  ASSERT_TRUE(LoadTpcb(&cluster, config).ok());
+
+  // OLTP side: the full TPC-B mix (explicit multi-segment txns -> 2PC) plus
+  // single-segment inserts (-> 1PC).
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration_ms = 300;
+  Rng rng(1);
+  DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& client_rng) {
+    return client_rng.Chance(0.5) ? RunTpcbTransaction(s, client_rng, config)
+                                  : RunInsertOnlyTransaction(s, client_rng, config);
+  });
+  ASSERT_GT(r.committed, 0u);
+
+  // Analytic side: a full-table aggregate over every segment.
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("SELECT count(*) FROM pgbench_accounts").ok());
+
+  MetricsSnapshot snap = cluster.StatsSnapshot();
+  EXPECT_GT(snap.counter("gdd.rounds"), 0u);
+  EXPECT_GT(snap.counter("lock.acquires"), 0u);
+  EXPECT_GT(snap.counter("txn.one_phase_commits"), 0u);
+  EXPECT_GT(snap.counter("txn.two_phase_commits"), 0u);
+  EXPECT_GT(snap.counter("txn.committed"), 0u);
+  EXPECT_GT(snap.counter("txn.statements"), 0u);
+  EXPECT_GT(snap.counter("net.sent.dispatch"), 0u);
+  EXPECT_GT(snap.counter("net.tuple_rows"), 0u);
+  EXPECT_GT(snap.counter("txn.commit_fsyncs"), 0u);
+  EXPECT_GT(snap.counter("bufferpool.hits"), 0u);
+
+  std::string dump = cluster.StatsDump();
+  EXPECT_NE(dump.find("lock.acquires"), std::string::npos);
+  EXPECT_NE(dump.find("txn.committed"), std::string::npos);
+}
+
+TEST(TracingTest, TwoSegmentSelectProducesCoordinatorAndSegmentSpans) {
+  ClusterOptions options;
+  options.num_segments = 2;
+  Cluster cluster(options);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int, v int) DISTRIBUTED BY (k)").ok());
+  ASSERT_TRUE(
+      s->Execute("INSERT INTO t SELECT i, i * 2 FROM generate_series(1, 100) i").ok());
+
+  s->set_trace_enabled(true);
+  auto result = s->Execute("SELECT v FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 100u);
+
+  auto trace = s->last_trace();
+  ASSERT_NE(trace, nullptr);
+  auto spans = trace->Spans();
+  ASSERT_GE(spans.size(), 4u);  // query + slice:top + one per segment
+
+  const TraceSpan* root = nullptr;
+  const TraceSpan* top = nullptr;
+  std::vector<const TraceSpan*> segment_spans;
+  for (const auto& span : spans) {
+    if (span.name == "query") root = &span;
+    if (span.name == "slice:top") top = &span;
+    if (span.name.rfind("slice:motion", 0) == 0) segment_spans.push_back(&span);
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(root->node, Trace::kCoordinatorNode);
+  EXPECT_EQ(root->rows, 100);
+  EXPECT_EQ(top->parent_id, root->span_id);
+  EXPECT_EQ(top->node, Trace::kCoordinatorNode);
+  EXPECT_EQ(top->rows, 100);
+
+  // One producer span per segment, both children of the root span.
+  ASSERT_EQ(segment_spans.size(), 2u);
+  std::vector<int> nodes;
+  for (const TraceSpan* span : segment_spans) {
+    EXPECT_EQ(span->parent_id, root->span_id);
+    nodes.push_back(span->node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1}));
+
+  // Consistent ordering: every span closed, children within the root window.
+  for (const auto& span : spans) {
+    EXPECT_GT(span.end_us, 0) << span.name;
+    EXPECT_GE(span.end_us, span.start_us) << span.name;
+    EXPECT_GE(span.start_us, root->start_us) << span.name;
+  }
+  EXPECT_NE(trace->ToString().find("query"), std::string::npos);
+
+  // Tracing off: a new query does not replace the trace with a fresh one.
+  s->set_trace_enabled(false);
+  ASSERT_TRUE(s->Execute("SELECT v FROM t").ok());
+  EXPECT_EQ(s->last_trace(), trace);
+}
+
+TEST(TracingTest, ClusterWideFlagTracesEverySession) {
+  ClusterOptions options;
+  options.num_segments = 2;
+  options.trace_queries = true;
+  Cluster cluster(options);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t SELECT i FROM generate_series(1, 10) i").ok());
+  ASSERT_TRUE(s->Execute("SELECT k FROM t").ok());
+  ASSERT_NE(s->last_trace(), nullptr);
+  EXPECT_FALSE(s->last_trace()->Spans().empty());
+}
+
+TEST(ExplainAnalyzeTest, ReportsActualRowsPerOperator) {
+  ClusterOptions options;
+  options.num_segments = 2;
+  Cluster cluster(options);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int, v int) DISTRIBUTED BY (k)").ok());
+  ASSERT_TRUE(
+      s->Execute("INSERT INTO t SELECT i, i FROM generate_series(1, 50) i").ok());
+
+  auto result = s->Execute("EXPLAIN ANALYZE SELECT v FROM t WHERE v <= 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rows.empty());
+
+  std::string all;
+  for (const Row& row : result->rows) all += RowToString(row) + "\n";
+  EXPECT_NE(all.find("gang:"), std::string::npos) << all;
+  EXPECT_NE(all.find("actual rows="), std::string::npos) << all;
+  EXPECT_NE(all.find("Execution time:"), std::string::npos) << all;
+  // The gather motion delivers exactly the 10 matching rows to the top slice.
+  EXPECT_NE(all.find("actual rows=10"), std::string::npos) << all;
+
+  // Plain EXPLAIN still works and does NOT carry actuals.
+  auto plain = s->Execute("EXPLAIN SELECT v FROM t");
+  ASSERT_TRUE(plain.ok());
+  std::string plain_text;
+  for (const Row& row : plain->rows) plain_text += RowToString(row) + "\n";
+  EXPECT_EQ(plain_text.find("actual rows="), std::string::npos) << plain_text;
+}
+
+TEST(SlowQueryLogTest, StatementsOverThresholdAreRecorded) {
+  ClusterOptions options;
+  options.num_segments = 2;
+  options.slow_query_threshold_us = 1;  // everything is "slow"
+  Cluster cluster(options);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t SELECT i FROM generate_series(1, 20) i").ok());
+  ASSERT_TRUE(s->Execute("SELECT count(*) FROM t").ok());
+
+  auto entries = cluster.slow_query_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  bool found = false;
+  for (const auto& e : entries) {
+    EXPECT_GT(e.duration_us, 0);
+    if (e.sql.find("SELECT count(*)") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SlowQueryLogTest, DisabledByDefault) {
+  ClusterOptions options;
+  options.num_segments = 2;
+  Cluster cluster(options);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int)").ok());
+  EXPECT_TRUE(cluster.slow_query_log().Entries().empty());
+}
+
+}  // namespace
+}  // namespace gphtap

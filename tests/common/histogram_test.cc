@@ -65,5 +65,56 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("count=42"), std::string::npos);
 }
 
+// Percentile must never report a value outside the observed [min, max], no
+// matter how the log buckets round. Single-value: every percentile IS the
+// value (a bucket's range is much wider than one point).
+TEST(HistogramTest, SingleValuePercentilesEqualTheValue) {
+  Histogram h;
+  h.Record(777);
+  for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 777) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, TwoBucketDistributionStaysWithinBounds) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  for (double p : {0.0, 10.0, 50.0, 89.0, 90.0, 91.0, 95.0, 99.0, 100.0}) {
+    int64_t v = h.Percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+  // p50 is in the low mode, p99+ in the high mode.
+  EXPECT_LE(h.Percentile(50), 100);
+  EXPECT_GE(h.Percentile(99), 100);
+  EXPECT_EQ(h.Percentile(100), 1000);
+}
+
+TEST(HistogramTest, SkewedDistributionPercentilesWithinMinMax) {
+  Histogram h;
+  for (int i = 0; i < 9990; ++i) h.Record(50 + (i % 3));
+  for (int i = 0; i < 10; ++i) h.Record(5'000'000);  // 0.1% huge outliers
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    int64_t v = h.Percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+  EXPECT_LE(h.Percentile(50), 128);  // median stays in the low mode
+  EXPECT_EQ(h.Percentile(100), 5'000'000);
+}
+
+// The max-side clamp: a bucket's upper bound can exceed the largest recorded
+// value, so the top percentile must clamp to max(), not the bucket bound.
+TEST(HistogramTest, TopPercentileClampsToObservedMax) {
+  Histogram h;
+  h.Record(1000);  // log bucket containing 1000 spans beyond it
+  h.Record(1001);
+  for (double p : {99.0, 99.9, 100.0}) {
+    EXPECT_LE(h.Percentile(p), 1001) << "p=" << p;
+  }
+  EXPECT_GE(h.Percentile(1), 1000);
+}
+
 }  // namespace
 }  // namespace gphtap
