@@ -55,6 +55,37 @@ void RunHtapPoint(::benchmark::State& state, const std::string& series, bool gpd
   }
 }
 
+// Vectorized-vs-row ablation: pure OLAP (no OLTP pressure) over AO-column fact
+// tables, real executor CPU only (exec_cpu_ns_per_row=0 — the simulated
+// per-row charge would otherwise drown the batch engine's gains).
+void RunVecAblationPoint(::benchmark::State& state, const std::string& series,
+                         bool vectorized) {
+  int olap_clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ClusterOptions options = Gpdb6Options();
+    options.exec_cpu_ns_per_row = 0;
+    options.vectorized_execution_enabled = vectorized;
+    Cluster cluster(options);
+    HtapConfig config;
+    config.chbench = BenchCh();
+    config.chbench.column_storage = true;
+    Status load = LoadChBench(&cluster, config.chbench);
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    config.olap_clients = olap_clients;
+    config.oltp_clients = 0;
+    config.duration_ms = PointMs() * 2;
+    HtapResult r = RunHtapWorkload(&cluster, config);
+    state.counters["olap_qph"] = r.OlapQph();
+    JsonFields mix = {{"olap_clients", static_cast<double>(olap_clients)},
+                      {"olap_qph", r.OlapQph()},
+                      {"vectorized", vectorized ? 1.0 : 0.0}};
+    ReportPoint(state, series, olap_clients, r.olap, &cluster, mix);
+  }
+}
+
 void RegisterAll() {
   for (bool gpdb6 : {true, false}) {
     std::string series = gpdb6 ? "Fig16/OlapQph/GPDB6" : "Fig16/OlapQph/GPDB5";
@@ -66,6 +97,16 @@ void RegisterAll() {
       b->Args({olap, 0});
       b->Args({olap, 100});
     }
+    b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+  }
+  for (bool vectorized : {true, false}) {
+    std::string series =
+        vectorized ? "Fig16/VecAblation/Vectorized" : "Fig16/VecAblation/RowEngine";
+    auto* b = ::benchmark::RegisterBenchmark(
+        series.c_str(), [series, vectorized](::benchmark::State& state) {
+          RunVecAblationPoint(state, series, vectorized);
+        });
+    for (int64_t olap : Points({4})) b->Args({olap});
     b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
   }
 }

@@ -1,0 +1,164 @@
+// Vectorized kernel microbenchmarks: the batch engine's filter / aggregate /
+// end-to-end scan-query paths against their tuple-at-a-time equivalents on
+// identical data. These measure real executor CPU (no simulated per-row
+// charge), the quantity the Fig16 VecAblation series scales up.
+#include "bench_common.h"
+#include "exec/agg_ops.h"
+#include "plan/expr.h"
+#include "vec/column_batch.h"
+#include "vec/vec_kernels.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+// col0: int64 ascending, col1: int64 pseudo-random, col2: double.
+ColumnBatch MakeBatch(int64_t rows) {
+  ColumnBatch b;
+  b.Reset(3, static_cast<size_t>(rows));
+  Rng rng(42);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.columns[0].push_back(Datum(i));
+    b.columns[1].push_back(Datum(static_cast<int64_t>(rng.Uniform(1000))));
+    b.columns[2].push_back(Datum(static_cast<double>(i) * 0.5));
+  }
+  b.rows = static_cast<size_t>(rows);
+  b.SelectAll();
+  return b;
+}
+
+ExprPtr BenchPredicate() {
+  // col1 < 500 AND col0 % 3 != 0 — selective enough to exercise both branches.
+  return Expr::Binary(
+      BinOp::kAnd,
+      Expr::Binary(BinOp::kLt, Expr::Column(1), Expr::Const(Datum(int64_t{500}))),
+      Expr::Binary(BinOp::kNe,
+                   Expr::Binary(BinOp::kMod, Expr::Column(0),
+                                Expr::Const(Datum(int64_t{3}))),
+                   Expr::Const(Datum(int64_t{0}))));
+}
+
+void BM_FilterVec(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  ExprPtr pred = BenchPredicate();
+  RunMicro(state, "VecKernels/Filter/Vectorized", rows, [&] {
+    base.SelectAll();
+    Status s = VecFilterBatch(*pred, &base);
+    if (!s.ok()) std::abort();
+    ::benchmark::DoNotOptimize(base.sel.size());
+  });
+}
+
+void BM_FilterRow(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  std::vector<Row> materialized;
+  base.AppendTo(&materialized);
+  ExprPtr pred = BenchPredicate();
+  RunMicro(state, "VecKernels/Filter/RowEngine", rows, [&] {
+    size_t kept = 0;
+    for (const Row& row : materialized) {
+      auto ok = EvalPredicate(*pred, row);
+      if (!ok.ok()) std::abort();
+      kept += *ok ? 1 : 0;
+    }
+    ::benchmark::DoNotOptimize(kept);
+  });
+}
+
+void BM_AggVec(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  RunMicro(state, "VecKernels/Agg/Vectorized", rows, [&] {
+    AggState st;
+    VecAggUpdate(AggFunc::kSum, base.columns[1], base.sel, &st);
+    ::benchmark::DoNotOptimize(st.isum);
+  });
+}
+
+void BM_AggRow(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  std::vector<Row> materialized;
+  base.AppendTo(&materialized);
+  RunMicro(state, "VecKernels/Agg/RowEngine", rows, [&] {
+    AggState st;
+    for (const Row& row : materialized) {
+      AggUpdateValue(AggFunc::kSum, &st, row[1]);
+    }
+    ::benchmark::DoNotOptimize(st.isum);
+  });
+}
+
+// End to end: filtered aggregation over an AO-column table, batch engine
+// against row engine, through the full SQL/plan/motion stack.
+void RunScanQuery(::benchmark::State& state, const std::string& series,
+                  bool vectorized) {
+  int64_t rows = state.range(0);
+  ClusterOptions options;
+  options.num_segments = 2;
+  options.vectorized_execution_enabled = vectorized;
+  Cluster cluster(options);
+  auto session = cluster.Connect();
+  auto r = session->Execute(
+      "CREATE TABLE vb (k int, v int, w double) WITH (storage=ao_column) "
+      "DISTRIBUTED BY (k)");
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  TableDef def = *cluster.LookupTable("vb");
+  std::vector<Row> data;
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back(Row{Datum(i), Datum(static_cast<int64_t>(rng.Uniform(1000))),
+                       Datum(static_cast<double>(i))});
+  }
+  if (!session->ExecuteInsert(def, data).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  RunMicro(state, series, rows, [&] {
+    auto q = session->Execute(
+        "SELECT count(*) AS n, sum(v) AS s FROM vb WHERE v < 500");
+    if (!q.ok()) std::abort();
+    ::benchmark::DoNotOptimize(q->rows);
+  });
+}
+
+void BM_ScanQueryVec(::benchmark::State& state) {
+  RunScanQuery(state, "VecKernels/ScanQuery/Vectorized", true);
+}
+
+void BM_ScanQueryRow(::benchmark::State& state) {
+  RunScanQuery(state, "VecKernels/ScanQuery/RowEngine", false);
+}
+
+void RegisterAll() {
+  for (auto* fn : {BM_FilterVec, BM_FilterRow, BM_AggVec, BM_AggRow}) {
+    const char* name = fn == BM_FilterVec   ? "VecKernels/Filter/Vectorized"
+                       : fn == BM_FilterRow ? "VecKernels/Filter/RowEngine"
+                       : fn == BM_AggVec    ? "VecKernels/Agg/Vectorized"
+                                            : "VecKernels/Agg/RowEngine";
+    auto* b = ::benchmark::RegisterBenchmark(name, fn);
+    for (int64_t rows : Points({4096, 65536})) b->Args({rows});
+    b->Unit(::benchmark::kMicrosecond);
+  }
+  for (auto* fn : {BM_ScanQueryVec, BM_ScanQueryRow}) {
+    const char* name = fn == BM_ScanQueryVec ? "VecKernels/ScanQuery/Vectorized"
+                                             : "VecKernels/ScanQuery/RowEngine";
+    auto* b = ::benchmark::RegisterBenchmark(name, fn);
+    for (int64_t rows : Points({20000})) b->Args({rows});
+    b->Unit(::benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "vec_kernels",
+                                  gphtap::bench::RegisterAll);
+}

@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test')
 
 # Smoke-run one benchmark and validate its machine-readable output.
 (cd build && GPHTAP_BENCH_MS=100 ./bench/bench_fig12_tpcb --smoke)
@@ -28,4 +28,23 @@ for point in doc["points"]:
     missing = required - set(point)
     assert not missing, f"point {point.get('series')} missing {missing}"
 print(f"BENCH json OK: {len(doc['points'])} points")
+EOF
+
+# Vectorized-kernel microbench: smoke-run and validate the JSON.
+(cd build && GPHTAP_BENCH_MS=100 ./bench/bench_vec_kernels --smoke)
+python3 - build/BENCH_vec_kernels.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "vec_kernels", doc
+assert doc["points"], "no points recorded"
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us"}
+series = {p["series"] for p in doc["points"]}
+for point in doc["points"]:
+    missing = required - set(point)
+    assert not missing, f"point {point.get('series')} missing {missing}"
+for pair in ("Filter", "Agg", "ScanQuery"):
+    assert f"VecKernels/{pair}/Vectorized" in series, f"missing {pair} vec series"
+    assert f"VecKernels/{pair}/RowEngine" in series, f"missing {pair} row series"
+print(f"BENCH vec json OK: {len(doc['points'])} points")
 EOF

@@ -64,6 +64,10 @@ struct ClusterOptions {
   // join ordering and motion choice ("Orca-style").
   bool use_orca = false;
 
+  // Vectorized batch execution (src/vec/) over AO-column scans; false pins
+  // every plan to the tuple-at-a-time row engine (the ablation switch).
+  bool vectorized_execution_enabled = true;
+
   // Interconnect buffering (rows per receiver queue) for motions.
   size_t motion_buffer_rows = 8192;
 

@@ -428,6 +428,7 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     popts.num_segments = cluster_->num_segments();
     popts.use_orca = cluster_->options().use_orca;
     popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+    popts.vectorize = cluster_->options().vectorized_execution_enabled;
     popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
     popts.row_estimate = [this](TableId id) -> uint64_t {
       Segment* seg0 = cluster_->segment(0);
@@ -481,6 +482,7 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
   popts.num_segments = cluster_->num_segments();
   popts.use_orca = cluster_->options().use_orca;
   popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+  popts.vectorize = cluster_->options().vectorized_execution_enabled;
   popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
   popts.row_estimate = [this](TableId id) -> uint64_t {
     Segment* seg0 = cluster_->segment(0);
@@ -524,6 +526,7 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
     popts.num_segments = cluster_->num_segments();
     popts.use_orca = cluster_->options().use_orca;
     popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
+    popts.vectorize = cluster_->options().vectorized_execution_enabled;
     popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
     popts.row_estimate = [this](TableId id) -> uint64_t {
       Segment* seg0 = cluster_->segment(0);
@@ -577,11 +580,20 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
       size_t eol = text.find('\n');
       std::string line = text.substr(0, eol == std::string::npos ? text.size() : eol);
       OperatorStatsCollector::OpStats os = op_stats.Get(node.node_id);
-      char buf[96];
-      std::snprintf(buf, sizeof(buf), "  (actual rows=%lld loops=%lld time=%.3f ms)",
-                    static_cast<long long>(os.rows),
-                    static_cast<long long>(os.executions),
-                    static_cast<double>(os.total_time_us) / 1000.0);
+      char buf[128];
+      if (os.batches > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  (actual rows=%lld batches=%lld loops=%lld time=%.3f ms)",
+                      static_cast<long long>(os.rows),
+                      static_cast<long long>(os.batches),
+                      static_cast<long long>(os.executions),
+                      static_cast<double>(os.total_time_us) / 1000.0);
+      } else {
+        std::snprintf(buf, sizeof(buf), "  (actual rows=%lld loops=%lld time=%.3f ms)",
+                      static_cast<long long>(os.rows),
+                      static_cast<long long>(os.executions),
+                      static_cast<double>(os.total_time_us) / 1000.0);
+      }
       line += buf;
       result.rows.push_back(Row{Datum(line)});
       for (const auto& child : node.children) self(self, *child, indent + 1);

@@ -66,10 +66,12 @@ std::string Trace::ToString() const {
   return out.str();
 }
 
-void OperatorStatsCollector::Record(int node_id, int64_t rows, int64_t elapsed_us) {
+void OperatorStatsCollector::Record(int node_id, int64_t rows, int64_t elapsed_us,
+                                    int64_t batches) {
   std::lock_guard<std::mutex> g(mu_);
   OpStats& s = stats_[node_id];
   s.rows += rows;
+  s.batches += batches;
   ++s.executions;
   s.total_time_us += elapsed_us;
   s.max_time_us = std::max(s.max_time_us, elapsed_us);

@@ -66,12 +66,13 @@ class OperatorStatsCollector {
  public:
   struct OpStats {
     int64_t rows = 0;
+    int64_t batches = 0;  // ColumnBatches emitted (vectorized operators only)
     int64_t executions = 0;
     int64_t total_time_us = 0;
     int64_t max_time_us = 0;
   };
 
-  void Record(int node_id, int64_t rows, int64_t elapsed_us);
+  void Record(int node_id, int64_t rows, int64_t elapsed_us, int64_t batches = 0);
   /// Zero-valued OpStats when the node never executed.
   OpStats Get(int node_id) const;
 

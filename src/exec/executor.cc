@@ -7,13 +7,12 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "exec/agg_ops.h"
 #include "storage/heap_table.h"
+#include "vec/vec_executor.h"
+#include "vec/vec_kernels.h"
 
 namespace gphtap {
-
-namespace {
-
-// ---------- helpers ----------
 
 Status TableForNode(ExecContext& ctx, TableId id, Table** out) {
   Table* t = nullptr;
@@ -27,26 +26,18 @@ Status TableForNode(ExecContext& ctx, TableId id, Table** out) {
   return Status::OK();
 }
 
-// Acquires the scan-level relation lock on this node (AccessShare), held to
-// transaction end per two-phase locking.
 Status AcquireScanLock(ExecContext& ctx, TableId table) {
   LockManager& locks =
       ctx.segment != nullptr ? ctx.segment->locks() : ctx.cluster->coordinator_locks();
   return locks.Acquire(ctx.owner, LockTag::Relation(table), LockMode::kAccessShare);
 }
 
+namespace {
+
+// ---------- helpers ----------
+
 uint64_t HashKeys(const Row& row, const std::vector<int>& keys) {
   return HashRowKey(row, keys);
-}
-
-std::string KeyString(const Row& row, const std::vector<int>& keys) {
-  std::string s;
-  for (int k : keys) {
-    const Datum& d = row[static_cast<size_t>(k)];
-    s += d.is_null() ? std::string("\x01N") : d.ToString();
-    s += '\x02';
-  }
-  return s;
 }
 
 bool KeysHaveNull(const Row& row, const std::vector<int>& keys) {
@@ -62,153 +53,8 @@ int64_t RowFootprint(const Row& row) {
   return bytes;
 }
 
-// ---------- aggregation ----------
-
-struct AggState {
-  int64_t count = 0;
-  bool has_value = false;
-  Datum acc;       // sum / min / max accumulator
-  double sum = 0;  // numeric sum for kSum / kAvg
-  bool sum_is_int = true;
-  int64_t isum = 0;
-};
-
-void AggInit(AggState* s) { *s = AggState(); }
-
-Status AggUpdate(const AggSpec& spec, AggState* s, const Row& row) {
-  if (spec.fn == AggFunc::kCountStar) {
-    ++s->count;
-    return Status::OK();
-  }
-  GPHTAP_ASSIGN_OR_RETURN(Datum v, EvalExpr(*spec.arg, row));
-  if (v.is_null()) return Status::OK();
-  switch (spec.fn) {
-    case AggFunc::kCount:
-      ++s->count;
-      break;
-    case AggFunc::kSum:
-    case AggFunc::kAvg:
-      ++s->count;
-      if (v.is_int() && s->sum_is_int) {
-        s->isum += v.int_val();
-      } else {
-        if (s->sum_is_int) {
-          s->sum = static_cast<double>(s->isum);
-          s->sum_is_int = false;
-        }
-        s->sum += v.AsDouble();
-      }
-      s->has_value = true;
-      break;
-    case AggFunc::kMin:
-      if (!s->has_value || v.Compare(s->acc) < 0) s->acc = v;
-      s->has_value = true;
-      break;
-    case AggFunc::kMax:
-      if (!s->has_value || v.Compare(s->acc) > 0) s->acc = v;
-      s->has_value = true;
-      break;
-    case AggFunc::kCountStar:
-      break;
-  }
-  return Status::OK();
-}
-
-Datum AggSumDatum(const AggState& s) {
-  if (!s.has_value) return Datum::Null();
-  return s.sum_is_int ? Datum(s.isum) : Datum(s.sum);
-}
-
-// Appends the partial state columns for one agg (wire format between the
-// partial and final phases).
-void AggEmitPartial(const AggSpec& spec, const AggState& s, Row* out) {
-  switch (spec.fn) {
-    case AggFunc::kCountStar:
-    case AggFunc::kCount:
-      out->push_back(Datum(s.count));
-      break;
-    case AggFunc::kSum:
-      out->push_back(AggSumDatum(s));
-      break;
-    case AggFunc::kAvg:
-      out->push_back(AggSumDatum(s));
-      out->push_back(Datum(s.count));
-      break;
-    case AggFunc::kMin:
-    case AggFunc::kMax:
-      out->push_back(s.has_value ? s.acc : Datum::Null());
-      break;
-  }
-}
-
-// Merges one partial-state row segment into the final state. `col` points at
-// the first state column of this agg within the input row; returns columns
-// consumed.
-Status AggMergePartial(const AggSpec& spec, AggState* s, const Row& row, int col) {
-  const Datum& v0 = row[static_cast<size_t>(col)];
-  switch (spec.fn) {
-    case AggFunc::kCountStar:
-    case AggFunc::kCount:
-      if (!v0.is_null()) s->count += v0.int_val();
-      return Status::OK();
-    case AggFunc::kSum:
-    case AggFunc::kAvg: {
-      if (!v0.is_null()) {
-        if (v0.is_int() && s->sum_is_int) {
-          s->isum += v0.int_val();
-        } else {
-          if (s->sum_is_int) {
-            s->sum = static_cast<double>(s->isum);
-            s->sum_is_int = false;
-          }
-          s->sum += v0.AsDouble();
-        }
-        s->has_value = true;
-      }
-      if (spec.fn == AggFunc::kAvg) {
-        const Datum& c = row[static_cast<size_t>(col) + 1];
-        if (!c.is_null()) s->count += c.int_val();
-      }
-      return Status::OK();
-    }
-    case AggFunc::kMin:
-      if (!v0.is_null() && (!s->has_value || v0.Compare(s->acc) < 0)) s->acc = v0;
-      if (!v0.is_null()) s->has_value = true;
-      return Status::OK();
-    case AggFunc::kMax:
-      if (!v0.is_null() && (!s->has_value || v0.Compare(s->acc) > 0)) s->acc = v0;
-      if (!v0.is_null()) s->has_value = true;
-      return Status::OK();
-  }
-  return Status::Internal("bad agg");
-}
-
-void AggEmitFinal(const AggSpec& spec, const AggState& s, Row* out) {
-  switch (spec.fn) {
-    case AggFunc::kCountStar:
-    case AggFunc::kCount:
-      out->push_back(Datum(s.count));
-      break;
-    case AggFunc::kSum:
-      out->push_back(AggSumDatum(s));
-      break;
-    case AggFunc::kAvg: {
-      if (s.count == 0) {
-        out->push_back(Datum::Null());
-      } else {
-        double total = s.sum_is_int ? static_cast<double>(s.isum) : s.sum;
-        out->push_back(Datum(total / static_cast<double>(s.count)));
-      }
-      break;
-    }
-    case AggFunc::kMin:
-    case AggFunc::kMax:
-      out->push_back(s.has_value ? s.acc : Datum::Null());
-      break;
-  }
-}
-
 // ---------- node execution ----------
+// (Aggregation accumulators live in exec/agg_ops.h, shared with src/vec/.)
 
 Status ExecScanCommon(const PlanNode& node, ExecContext& ctx, Table* table,
                       const RowSink& sink) {
@@ -368,7 +214,7 @@ Status ExecHashAgg(const PlanNode& node, ExecContext& ctx, const RowSink& sink) 
 
   Status mem_status = Status::OK();
   auto group_for = [&](const Row& row, const std::vector<int>& cols) -> Group& {
-    std::string key = KeyString(row, cols);
+    std::string key = GroupKeyString(row, cols);
     auto it = groups.find(key);
     if (it == groups.end()) {
       Group g;
@@ -556,6 +402,18 @@ Status ExecuteNodeImpl(const PlanNode& node, ExecContext& ctx, const RowSink& si
 }  // namespace
 
 Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) {
+  // Vectorize-marked subtrees run on the batch engine; when the consumer is a
+  // row operator (this call), batches are exploded back into rows at the
+  // boundary. ExecuteNodeVec does its own per-operator instrumentation.
+  if (node.vectorize && VecEngineSupports(node.kind)) {
+    return ExecuteNodeVec(node, ctx, [&](ColumnBatch&& batch) -> Status {
+      for (int32_t r : batch.sel) {
+        Status s = sink(batch.MaterializeRow(r));
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    });
+  }
   if (ctx.op_stats == nullptr || node.node_id < 0) {
     return ExecuteNodeImpl(node, ctx, sink);
   }
@@ -656,28 +514,60 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         MotionKind kind = m->motion;
         int receivers = ex.num_receivers();
         int64_t rows_out = 0;
-        Status s = ExecuteNode(*m->children[0], ctx, [&](Row&& row) -> Status {
-          ++rows_out;
-          bool sent = true;
-          switch (kind) {
-            case MotionKind::kGather:
-              sent = ex.Send(0, std::move(row));
-              break;
-            case MotionKind::kBroadcast:
-              sent = ex.SendToAll(row);
-              break;
-            case MotionKind::kRedistribute: {
-              int target = static_cast<int>(HashRowKey(row, hash_cols) %
-                                            static_cast<uint64_t>(receivers));
-              sent = ex.Send(target, std::move(row));
-              break;
+        Status s;
+        const PlanNode& slice_root = *m->children[0];
+        if (slice_root.vectorize && VecEngineSupports(slice_root.kind)) {
+          // Vectorized slice: ship whole ColumnBatch chunks instead of rows.
+          s = ExecuteNodeVec(slice_root, ctx, [&](ColumnBatch&& batch) -> Status {
+            if (batch.ActiveRows() == 0) return Status::OK();
+            rows_out += static_cast<int64_t>(batch.ActiveRows());
+            bool sent = true;
+            switch (kind) {
+              case MotionKind::kGather:
+                sent = ex.SendBatch(0, std::make_shared<ColumnBatch>(std::move(batch)));
+                break;
+              case MotionKind::kBroadcast:
+                sent = ex.SendBatchToAll(std::make_shared<ColumnBatch>(std::move(batch)));
+                break;
+              case MotionKind::kRedistribute: {
+                std::vector<ColumnBatch> parts;
+                GPHTAP_RETURN_IF_ERROR(
+                    VecPartitionBatch(batch, hash_cols, receivers, &parts));
+                for (int t = 0; t < receivers && sent; ++t) {
+                  if (parts[static_cast<size_t>(t)].ActiveRows() == 0) continue;
+                  sent = ex.SendBatch(t, std::make_shared<ColumnBatch>(
+                                             std::move(parts[static_cast<size_t>(t)])));
+                }
+                break;
+              }
             }
-          }
-          // A closed exchange is either deliberate early termination (LIMIT)
-          // or a failure someone else already recorded; stop quietly.
-          if (!sent) return Status::StopIteration();
-          return Status::OK();
-        });
+            if (!sent) return Status::StopIteration();
+            return Status::OK();
+          });
+        } else {
+          s = ExecuteNode(slice_root, ctx, [&](Row&& row) -> Status {
+            ++rows_out;
+            bool sent = true;
+            switch (kind) {
+              case MotionKind::kGather:
+                sent = ex.Send(0, std::move(row));
+                break;
+              case MotionKind::kBroadcast:
+                sent = ex.SendToAll(row);
+                break;
+              case MotionKind::kRedistribute: {
+                int target = static_cast<int>(HashRowKey(row, hash_cols) %
+                                              static_cast<uint64_t>(receivers));
+                sent = ex.Send(target, std::move(row));
+                break;
+              }
+            }
+            // A closed exchange is either deliberate early termination (LIMIT)
+            // or a failure someone else already recorded; stop quietly.
+            if (!sent) return Status::StopIteration();
+            return Status::OK();
+          });
+        }
         ctx.FlushCpu();
         record_error(s);
         ex.CloseSender();

@@ -20,6 +20,14 @@ using RowSink = std::function<Status(Row&&)>;
 /// Exposed for unit tests; queries normally go through ExecutePlan.
 Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink);
 
+/// Resolves the plan node's table on the context's node. Shared with the
+/// vectorized engine (src/vec/).
+Status TableForNode(ExecContext& ctx, TableId id, Table** out);
+
+/// Acquires the scan-level relation lock on this node (AccessShare), held to
+/// transaction end per two-phase locking. Shared with src/vec/.
+Status AcquireScanLock(ExecContext& ctx, TableId table);
+
 struct QueryPlan {
   PlanPtr root;
   /// Segments executing the leaf slices (all segments, or one under direct

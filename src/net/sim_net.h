@@ -117,6 +117,11 @@ class SimNet {
     if (m_tuple_bytes_ != nullptr) m_tuple_bytes_->Add(bytes);
   }
 
+  /// Tallies one ColumnBatch shipped over a motion (vectorized transport).
+  void CountTupleBatch() {
+    if (m_tuple_batches_ != nullptr) m_tuple_batches_->Add(1);
+  }
+
   /// Attaches the cluster's fault injector; null disables drop/delay hooks.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
@@ -132,6 +137,7 @@ class SimNet {
     m_injected_delay_us_ = metrics->counter("net.injected_delay_us");
     m_tuple_rows_ = metrics->counter("net.tuple_rows");
     m_tuple_bytes_ = metrics->counter("net.tuple_bytes");
+    m_tuple_batches_ = metrics->counter("net.tuple_batches");
   }
 
   uint64_t count(MsgKind kind) const {
@@ -160,6 +166,7 @@ class SimNet {
   Counter* m_injected_delay_us_ = nullptr;
   Counter* m_tuple_rows_ = nullptr;
   Counter* m_tuple_bytes_ = nullptr;
+  Counter* m_tuple_batches_ = nullptr;
 };
 
 }  // namespace gphtap

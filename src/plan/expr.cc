@@ -185,6 +185,34 @@ Datum TriToDatum(Tri t) {
 
 }  // namespace
 
+StatusOr<Datum> EvalBinaryOp(BinOp op, const Datum& l, const Datum& r) {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod:
+      return EvalArith(op, l, r);
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      return Status::Internal("EvalBinaryOp does not handle AND/OR");
+    default:
+      return EvalCompare(op, l, r);
+  }
+}
+
+int DatumTruth(const Datum& d) {
+  switch (AsTri(d)) {
+    case Tri::kNull:
+      return -1;
+    case Tri::kFalse:
+      return 0;
+    case Tri::kTrue:
+      return 1;
+  }
+  return -1;
+}
+
 StatusOr<Datum> EvalExpr(const Expr& e, const Row& row) {
   switch (e.kind) {
     case ExprKind::kConst:

@@ -59,6 +59,15 @@ StatusOr<Datum> EvalExpr(const Expr& e, const Row& row);
 /// Evaluates as a WHERE predicate: NULL and false are both "reject".
 StatusOr<bool> EvalPredicate(const Expr& e, const Row& row);
 
+/// One non-logical binary op (arithmetic or comparison) over already-evaluated
+/// operands — the same semantics EvalExpr applies per row, exposed so the
+/// vectorized kernels share a single implementation. AND/OR are not accepted
+/// here (they need short-circuit treatment at the caller).
+StatusOr<Datum> EvalBinaryOp(BinOp op, const Datum& l, const Datum& r);
+
+/// SQL truth value of a datum: -1 = NULL/unknown, 0 = false, 1 = true.
+int DatumTruth(const Datum& d);
+
 /// If the predicate (conjunctively) pins `row[col] == <constant>`, returns that
 /// constant — the key enabler of direct dispatch and index point lookups.
 bool ExtractEqualityConst(const Expr& e, int col, Datum* out);

@@ -102,6 +102,7 @@ std::string PlanNode::ToString(int indent) const {
     default:
       break;
   }
+  if (vectorize) s += " (vectorized)";
   s += "\n";
   for (const auto& c : children) s += c->ToString(indent + 1);
   return s;

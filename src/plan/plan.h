@@ -95,6 +95,11 @@ struct PlanNode {
   /// EXPLAIN ANALYZE per-operator actuals (OperatorStatsCollector).
   int node_id = -1;
 
+  /// Marked by the planner when this subtree runs on the vectorized batch
+  /// engine (src/vec/). Unmarked nodes run tuple-at-a-time; the executor
+  /// bridges at marked/unmarked boundaries.
+  bool vectorize = false;
+
   std::string ToString(int indent = 0) const;
 };
 

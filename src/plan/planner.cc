@@ -99,6 +99,36 @@ struct RelState {
   uint64_t rows = 1000;
 };
 
+// Bottom-up vectorizability marking. A node is marked when the batch engine
+// can run its whole input side: SeqScans over AO-column tables, and
+// Filter/Project/Motion/partial-HashAgg chains above them. Final-phase aggs
+// stay on the row engine (they merge partial state, a per-group row walk).
+// Unmarked parents over marked children are fine — the executor bridges the
+// boundary by materializing rows out of batches.
+bool MarkVectorizable(PlanNode* n, const std::set<TableId>& vec_tables) {
+  bool children_marked = !n->children.empty();
+  for (auto& c : n->children) {
+    children_marked &= MarkVectorizable(c.get(), vec_tables);
+  }
+  switch (n->kind) {
+    case PlanKind::kSeqScan:
+      n->vectorize = vec_tables.count(n->table) > 0;
+      break;
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kMotion:
+      n->vectorize = children_marked;
+      break;
+    case PlanKind::kHashAgg:
+      n->vectorize = children_marked && n->agg_phase != AggPhase::kFinal;
+      break;
+    default:
+      n->vectorize = false;
+      break;
+  }
+  return n->vectorize;
+}
+
 }  // namespace
 
 int DirectDispatchSegment(const TableDef& table, const std::vector<ExprPtr>& quals,
@@ -528,6 +558,18 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     limit->output_arity = out.root->output_arity;
     limit->children.push_back(std::move(out.root));
     out.root = std::move(limit);
+  }
+
+  if (opts.vectorize) {
+    std::set<TableId> vec_tables;
+    for (const TableDef& def : query.tables) {
+      // Non-partitioned AO-column tables scan as ColumnBatches. Partitioned
+      // roots fan out to heterogeneous leaves, so they stay on the row path.
+      if (def.storage == StorageKind::kAoColumn && !def.partitions.has_value()) {
+        vec_tables.insert(def.id);
+      }
+    }
+    if (!vec_tables.empty()) MarkVectorizable(out.root.get(), vec_tables);
   }
   return out;
 }

@@ -17,6 +17,7 @@ struct PlannerOptions {
   int num_segments = 1;
   bool use_orca = false;          // cost-based join order + motion choice
   bool direct_dispatch = true;    // single-segment routing for pinned keys
+  bool vectorize = false;         // mark batch-executable subtrees (src/vec/)
   /// Estimated stored rows per table (for the cost-based mode); may be null.
   std::function<uint64_t(TableId)> row_estimate;
   /// Allocates cluster-unique motion ids.

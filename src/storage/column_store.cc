@@ -47,6 +47,18 @@ Status AoColumnTable::ScanColumns(const VisibilityContext& ctx,
   return ScanImpl(ctx, cols, fn);
 }
 
+void AoColumnTable::GroupVisibility(TupleId base_tid, const std::vector<LocalXid>& xmins,
+                                    const VisibilityContext& ctx,
+                                    std::vector<uint8_t>* visible) const {
+  visible->assign(xmins.size(), 0);
+  std::shared_lock<std::shared_mutex> g(latch_);
+  for (size_t r = 0; r < xmins.size(); ++r) {
+    auto del = visimap_.find(base_tid + r);
+    LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+    (*visible)[r] = TupleVisible(xmins[r], xmax, ctx) ? 1 : 0;
+  }
+}
+
 Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<int>& cols,
                                const ScanCallback& fn) {
   size_t num_sealed;
@@ -55,6 +67,7 @@ Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<i
     num_sealed = sealed_.size();
   }
 
+  std::vector<uint8_t> visible;
   for (size_t gi = 0; gi < num_sealed; ++gi) {
     // Decompress only the requested columns of this group.
     std::vector<std::vector<Datum>> decoded(cols.size());
@@ -65,21 +78,16 @@ Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<i
       xmins = group.xmins;
       for (size_t k = 0; k < cols.size(); ++k) {
         const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
-        bytes_scanned_ += block.bytes.size();
+        bytes_scanned_.fetch_add(block.bytes.size(), std::memory_order_relaxed);
         auto vals = DecompressColumn(block);
         if (!vals.ok()) return vals.status();
         decoded[k] = std::move(*vals);
       }
     }
+    GroupVisibility(gi * kRowGroupSize, xmins, ctx, &visible);
     for (size_t r = 0; r < xmins.size(); ++r) {
+      if (!visible[r]) continue;
       TupleId tid = gi * kRowGroupSize + r;
-      LocalXid xmax = kInvalidLocalXid;
-      {
-        std::shared_lock<std::shared_mutex> g(latch_);
-        auto del = visimap_.find(tid);
-        if (del != visimap_.end()) xmax = del->second;
-      }
-      if (!TupleVisible(xmins[r], xmax, ctx)) continue;
       Row row;
       row.reserve(cols.size());
       for (size_t k = 0; k < cols.size(); ++k) row.push_back(decoded[k][r]);
@@ -87,23 +95,91 @@ Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<i
     }
   }
 
-  // Open (unsealed) rows.
+  // Open (unsealed) rows. The tid base is recomputed under the latch: inserts
+  // may have sealed another group since the scan started, and tids derived
+  // from the stale snapshot would name the wrong tuples (rows sealed while we
+  // scanned are skipped — they belong to groups this scan never visits).
   std::vector<std::pair<TupleId, Row>> open_copy;
   {
     std::shared_lock<std::shared_mutex> g(latch_);
+    TupleId base = sealed_.size() * kRowGroupSize;
     for (size_t r = 0; r < open_rows_.size(); ++r) {
-      auto del = visimap_.find(num_sealed * kRowGroupSize + r);
+      auto del = visimap_.find(base + r);
       LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
       if (!TupleVisible(open_xmins_[r], xmax, ctx)) continue;
       Row row;
       row.reserve(cols.size());
       for (int c : cols) row.push_back(open_rows_[r][static_cast<size_t>(c)]);
-      bytes_scanned_ += 16 * row.size();
-      open_copy.emplace_back(num_sealed * kRowGroupSize + r, std::move(row));
+      bytes_scanned_.fetch_add(16 * row.size(), std::memory_order_relaxed);
+      open_copy.emplace_back(base + r, std::move(row));
     }
   }
   for (auto& [tid, row] : open_copy) {
     if (!fn(tid, row)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
+                                  const std::vector<int>& cols,
+                                  const BatchScanCallback& fn) {
+  size_t num_sealed;
+  {
+    std::shared_lock<std::shared_mutex> g(latch_);
+    num_sealed = sealed_.size();
+  }
+
+  std::vector<uint8_t> visible;
+  for (size_t gi = 0; gi < num_sealed; ++gi) {
+    ColumnBatch batch;
+    std::vector<LocalXid> xmins;
+    {
+      std::shared_lock<std::shared_mutex> g(latch_);
+      const RowGroup& group = sealed_[gi];
+      xmins = group.xmins;
+      batch.columns.resize(cols.size());
+      for (size_t k = 0; k < cols.size(); ++k) {
+        const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
+        bytes_scanned_.fetch_add(block.bytes.size(), std::memory_order_relaxed);
+        auto vals = DecompressColumn(block);
+        if (!vals.ok()) return vals.status();
+        // Decompressed column vectors move straight into the batch: zero
+        // per-tuple materialization on the scan path.
+        batch.columns[k] = std::move(*vals);
+      }
+    }
+    batch.rows = xmins.size();
+    GroupVisibility(gi * kRowGroupSize, xmins, ctx, &visible);
+    batch.sel.reserve(batch.rows);
+    for (size_t r = 0; r < xmins.size(); ++r) {
+      if (visible[r]) batch.sel.push_back(static_cast<int32_t>(r));
+    }
+    // Fully-deleted (or fully-invisible) groups never leave the scan.
+    if (batch.sel.empty()) continue;
+    if (!fn(std::move(batch))) return Status::OK();
+  }
+
+  // Open tail: one dense batch of the visible unsealed rows. Same fresh-base
+  // rule as ScanImpl.
+  ColumnBatch tail;
+  tail.columns.resize(cols.size());
+  {
+    std::shared_lock<std::shared_mutex> g(latch_);
+    TupleId base = sealed_.size() * kRowGroupSize;
+    for (size_t r = 0; r < open_rows_.size(); ++r) {
+      auto del = visimap_.find(base + r);
+      LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+      if (!TupleVisible(open_xmins_[r], xmax, ctx)) continue;
+      for (size_t k = 0; k < cols.size(); ++k) {
+        tail.columns[k].push_back(open_rows_[r][static_cast<size_t>(cols[k])]);
+      }
+      bytes_scanned_.fetch_add(16 * cols.size(), std::memory_order_relaxed);
+      ++tail.rows;
+    }
+  }
+  if (tail.rows > 0) {
+    tail.SelectAll();
+    if (!fn(std::move(tail))) return Status::OK();
   }
   return Status::OK();
 }
@@ -127,8 +203,7 @@ uint64_t AoColumnTable::StoredVersionCount() const {
 }
 
 uint64_t AoColumnTable::BytesScanned() const {
-  std::shared_lock<std::shared_mutex> g(latch_);
-  return bytes_scanned_;
+  return bytes_scanned_.load(std::memory_order_relaxed);
 }
 
 Status AoColumnTable::MarkDeleted(TupleId tid, LocalXid xid) {

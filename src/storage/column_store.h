@@ -4,14 +4,20 @@
 #ifndef GPHTAP_STORAGE_COLUMN_STORE_H_
 #define GPHTAP_STORAGE_COLUMN_STORE_H_
 
+#include <atomic>
+#include <functional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/compression.h"
 #include "storage/table.h"
+#include "vec/column_batch.h"
 
 namespace gphtap {
+
+/// Receives one decoded batch per row group; return false to stop the scan.
+using BatchScanCallback = std::function<bool(ColumnBatch&&)>;
 
 class AoColumnTable : public Table {
  public:
@@ -27,6 +33,14 @@ class AoColumnTable : public Table {
   uint64_t StoredVersionCount() const override;
   uint64_t BytesScanned() const override;
 
+  /// Vectorized scan: each sealed row group decompresses its touched columns
+  /// directly into one ColumnBatch whose selection vector holds the visible
+  /// rows (visibility checked once per group, not per tuple); the open
+  /// (unsealed) tail arrives as one final dense batch. Shares the visibility
+  /// logic with the row scans via GroupVisibility.
+  Status ScanBatches(const VisibilityContext& ctx, const std::vector<int>& cols,
+                     const BatchScanCallback& fn);
+
   /// Compressed footprint of one column's sealed blocks, in bytes.
   uint64_t ColumnCompressedBytes(int col) const;
 
@@ -41,6 +55,14 @@ class AoColumnTable : public Table {
 
   // Seals the open group into compressed blocks. Requires latch_ held (unique).
   void SealOpenGroupLocked();
+
+  // Computes per-row visibility for the tuple range [base_tid, base_tid +
+  // xmins.size()): one shared latch acquisition covers the whole group's
+  // visimap lookups. The single visibility path for row AND batch scans.
+  void GroupVisibility(TupleId base_tid, const std::vector<LocalXid>& xmins,
+                       const VisibilityContext& ctx,
+                       std::vector<uint8_t>* visible) const;
+
   Status ScanImpl(const VisibilityContext& ctx, const std::vector<int>& cols,
                   const ScanCallback& fn);
 
@@ -49,7 +71,8 @@ class AoColumnTable : public Table {
   std::vector<Row> open_rows_;
   std::vector<LocalXid> open_xmins_;
   std::unordered_map<TupleId, LocalXid> visimap_;
-  mutable uint64_t bytes_scanned_ = 0;
+  // Atomic: concurrent scans account under the shared latch.
+  mutable std::atomic<uint64_t> bytes_scanned_{0};
 };
 
 }  // namespace gphtap

@@ -1,0 +1,71 @@
+#include "vec/column_batch.h"
+
+namespace gphtap {
+
+void ColumnBatch::Reset(size_t ncols, size_t capacity) {
+  Clear();
+  columns.resize(ncols);
+  for (auto& col : columns) col.reserve(capacity);
+  sel.reserve(capacity);
+}
+
+void ColumnBatch::SelectAll() {
+  sel.resize(rows);
+  for (size_t r = 0; r < rows; ++r) sel[r] = static_cast<int32_t>(r);
+}
+
+void ColumnBatch::AppendRow(const Row& row) {
+  for (size_t c = 0; c < columns.size(); ++c) columns[c].push_back(row[c]);
+  sel.push_back(static_cast<int32_t>(rows));
+  ++rows;
+}
+
+void ColumnBatch::AppendRow(Row&& row) {
+  for (size_t c = 0; c < columns.size(); ++c) columns[c].push_back(std::move(row[c]));
+  sel.push_back(static_cast<int32_t>(rows));
+  ++rows;
+}
+
+Row ColumnBatch::MaterializeRow(int32_t r) const {
+  Row out;
+  out.reserve(columns.size());
+  for (const auto& col : columns) out.push_back(col[static_cast<size_t>(r)]);
+  return out;
+}
+
+void ColumnBatch::AppendTo(std::vector<Row>* out) const {
+  out->reserve(out->size() + sel.size());
+  for (int32_t r : sel) out->push_back(MaterializeRow(r));
+}
+
+ColumnBatch ColumnBatch::FromRows(const std::vector<Row>& rows) {
+  ColumnBatch b;
+  b.Reset(rows.empty() ? 0 : rows[0].size(), rows.size());
+  for (const Row& r : rows) b.AppendRow(r);
+  return b;
+}
+
+void ColumnBatch::Compact() {
+  if (sel.size() == rows) return;  // already dense
+  for (auto& col : columns) {
+    std::vector<Datum> dense;
+    dense.reserve(sel.size());
+    for (int32_t r : sel) dense.push_back(std::move(col[static_cast<size_t>(r)]));
+    col = std::move(dense);
+  }
+  rows = sel.size();
+  SelectAll();
+}
+
+int64_t ColumnBatch::FootprintBytes() const {
+  int64_t bytes = 0;
+  for (int32_t r : sel) {
+    bytes += static_cast<int64_t>(sizeof(Row));
+    for (const auto& col : columns) {
+      bytes += static_cast<int64_t>(col[static_cast<size_t>(r)].FootprintBytes());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace gphtap

@@ -1,0 +1,70 @@
+// Column-oriented tuple batch: the unit of work of the vectorized engine and
+// the payload of batched motion transport. A batch holds up to kDefaultCapacity
+// tuples as parallel Datum columns plus a selection vector of the row indexes
+// that are still "live" (visible and passing all filters applied so far).
+// Kernels (vec_kernels.h) iterate the selection vector in tight loops instead
+// of pushing one Row at a time through virtual sinks.
+#ifndef GPHTAP_VEC_COLUMN_BATCH_H_
+#define GPHTAP_VEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/datum.h"
+
+namespace gphtap {
+
+struct ColumnBatch {
+  /// Matches AoColumnTable::kRowGroupSize so one sealed row group decompresses
+  /// into exactly one batch.
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  /// Parallel columns; every column has exactly `rows` entries.
+  std::vector<std::vector<Datum>> columns;
+  /// Indexes (ascending) of the live rows. Kernels only touch these.
+  std::vector<int32_t> sel;
+  /// Physical rows present in each column (live + filtered-out).
+  size_t rows = 0;
+
+  size_t NumColumns() const { return columns.size(); }
+  size_t ActiveRows() const { return sel.size(); }
+
+  void Clear() {
+    columns.clear();
+    sel.clear();
+    rows = 0;
+  }
+
+  /// Shapes the batch to `ncols` empty columns with `capacity` reserved; used
+  /// when building a batch row by row (AppendRow).
+  void Reset(size_t ncols, size_t capacity = kDefaultCapacity);
+
+  /// Makes the selection vector the identity [0, rows).
+  void SelectAll();
+
+  /// Appends one row (must have NumColumns() datums) and selects it.
+  void AppendRow(const Row& row);
+  void AppendRow(Row&& row);
+
+  /// Materializes physical row `r` as a Row (all columns, in order).
+  Row MaterializeRow(int32_t r) const;
+
+  /// Appends every live row to `out` as materialized Rows.
+  void AppendTo(std::vector<Row>* out) const;
+
+  /// Builds a fully-selected batch from materialized rows.
+  static ColumnBatch FromRows(const std::vector<Row>& rows);
+
+  /// Drops filtered-out rows: columns become dense over the live rows and the
+  /// selection vector resets to the identity. Call before shipping a sparse
+  /// batch over a motion so dead rows don't ride the wire.
+  void Compact();
+
+  /// Approximate memory footprint of the live rows (vmem / SimNet accounting),
+  /// mirroring the row path's sizeof(Row) + datum footprints per tuple.
+  int64_t FootprintBytes() const;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_VEC_COLUMN_BATCH_H_

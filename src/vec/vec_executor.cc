@@ -1,0 +1,341 @@
+#include "vec/vec_executor.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/agg_ops.h"
+#include "exec/executor.h"
+#include "storage/column_store.h"
+#include "vec/vec_kernels.h"
+
+namespace gphtap {
+
+bool VecEngineSupports(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kHashAgg:
+    case PlanKind::kMotion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+Status ExecuteNodeVecImpl(const PlanNode& node, ExecContext& ctx, const BatchSink& sink);
+
+int64_t VecRowFootprint(const Row& row) {
+  int64_t bytes = 32;
+  for (const Datum& d : row) bytes += static_cast<int64_t>(d.FootprintBytes());
+  return bytes;
+}
+
+// Runs a child subtree as a batch producer: the vec path when the child is
+// marked, otherwise the row engine with rows packed into batches (the
+// vec-over-row fallback, counted in vec.fallbacks).
+Status ExecuteChildVec(const PlanNode& child, ExecContext& ctx, const BatchSink& sink) {
+  if (child.vectorize && VecEngineSupports(child.kind)) {
+    return ExecuteNodeVec(child, ctx, sink);
+  }
+  if (ctx.cluster != nullptr) ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+  ColumnBatch batch;
+  bool shaped = false;
+  Status s = ExecuteNode(child, ctx, [&](Row&& row) -> Status {
+    if (!shaped) {
+      batch.Reset(row.size());
+      shaped = true;
+    }
+    batch.AppendRow(std::move(row));
+    if (batch.rows >= ColumnBatch::kDefaultCapacity) {
+      size_t ncols = batch.NumColumns();
+      ColumnBatch full = std::move(batch);
+      batch = ColumnBatch();
+      batch.Reset(ncols);
+      GPHTAP_RETURN_IF_ERROR(sink(std::move(full)));
+    }
+    return Status::OK();
+  });
+  GPHTAP_RETURN_IF_ERROR(s);
+  if (batch.rows > 0) return sink(std::move(batch));
+  return Status::OK();
+}
+
+// Row-scan fallback for a marked scan whose table turns out not to be an AO
+// column store (packs filtered rows into batches). Inlined here rather than
+// bouncing through ExecuteNode, which would re-enter the vec dispatch.
+Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* table,
+                              const BatchSink& sink) {
+  if (ctx.cluster != nullptr) ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+  VisibilityContext vis = ctx.Vis();
+  ColumnBatch batch;
+  bool shaped = false;
+  Status inner = Status::OK();
+  auto cb = [&](TupleId, const Row& row) -> bool {
+    Status t = ctx.Tick();
+    if (!t.ok()) {
+      inner = t;
+      return false;
+    }
+    if (node.filter) {
+      auto pass = EvalPredicate(*node.filter, row);
+      if (!pass.ok()) {
+        inner = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    if (!shaped) {
+      batch.Reset(row.size());
+      shaped = true;
+    }
+    batch.AppendRow(row);
+    if (batch.rows >= ColumnBatch::kDefaultCapacity) {
+      size_t ncols = batch.NumColumns();
+      ColumnBatch full = std::move(batch);
+      batch = ColumnBatch();
+      batch.Reset(ncols);
+      Status sk = sink(std::move(full));
+      if (!sk.ok()) {
+        inner = sk;
+        return false;
+      }
+    }
+    return true;
+  };
+  Status scan = node.scan_cols.empty() ? table->Scan(vis, cb)
+                                       : table->ScanColumns(vis, node.scan_cols, cb);
+  if (!inner.ok()) return inner;
+  GPHTAP_RETURN_IF_ERROR(scan);
+  if (batch.rows > 0) return sink(std::move(batch));
+  return Status::OK();
+}
+
+Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  Table* table = nullptr;
+  GPHTAP_RETURN_IF_ERROR(TableForNode(ctx, node.table, &table));
+  GPHTAP_RETURN_IF_ERROR(AcquireScanLock(ctx, node.table));
+  auto* aoc = dynamic_cast<AoColumnTable*>(table);
+  if (aoc == nullptr) return ExecSeqScanVecFallback(node, ctx, table, sink);
+
+  std::vector<int> cols = node.scan_cols;
+  if (cols.empty()) {
+    cols.resize(table->schema().num_columns());
+    for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+  }
+  VisibilityContext vis = ctx.Vis();
+  Status inner = Status::OK();
+  Status scan = aoc->ScanBatches(vis, cols, [&](ColumnBatch&& batch) -> bool {
+    // One Tick per batch amortizes cancellation checks and simulated-CPU
+    // charging over the whole group.
+    Status t = ctx.Tick(static_cast<int>(batch.rows));
+    if (!t.ok()) {
+      inner = t;
+      return false;
+    }
+    if (node.filter) {
+      Status f = VecFilterBatch(*node.filter, &batch);
+      if (!f.ok()) {
+        inner = f;
+        return false;
+      }
+    }
+    if (batch.ActiveRows() == 0) return true;
+    Status s = sink(std::move(batch));
+    if (!s.ok()) {
+      inner = s;
+      return false;
+    }
+    return true;
+  });
+  if (!inner.ok()) return inner;
+  return scan;
+}
+
+Status ExecHashAggVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+  std::map<std::string, Group> groups;
+  Status mem_status = Status::OK();
+
+  auto new_group = [&](Row key) -> Group {
+    Group g;
+    g.key = std::move(key);
+    g.states.resize(node.aggs.size());
+    // Memory grows with the number of groups, not the number of input rows
+    // (same accounting as the row engine's hash agg).
+    if (ctx.mem != nullptr && mem_status.ok()) {
+      mem_status = ctx.mem->Reserve(VecRowFootprint(g.key) +
+                                    64 * static_cast<int64_t>(node.aggs.size()));
+    }
+    return g;
+  };
+
+  Status s = ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(b.ActiveRows())));
+    // Evaluate each aggregate's argument once over the whole batch.
+    std::vector<std::vector<Datum>> argvals(node.aggs.size());
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      if (node.aggs[a].arg != nullptr) {
+        GPHTAP_RETURN_IF_ERROR(VecEval(*node.aggs[a].arg, b, b.sel, &argvals[a]));
+      }
+    }
+
+    if (node.group_cols.empty()) {
+      // Global aggregation: one group, column-at-a-time accumulation.
+      auto it = groups.find("");
+      if (it == groups.end()) {
+        it = groups.emplace("", new_group({})).first;
+        GPHTAP_RETURN_IF_ERROR(mem_status);
+      }
+      for (size_t a = 0; a < node.aggs.size(); ++a) {
+        VecAggUpdate(node.aggs[a].fn, argvals[a], b.sel, &it->second.states[a]);
+      }
+      return Status::OK();
+    }
+
+    std::string key;
+    for (int32_t r : b.sel) {
+      key.clear();
+      for (int c : node.group_cols) {
+        AppendGroupKeyPart(b.columns[static_cast<size_t>(c)][static_cast<size_t>(r)],
+                           &key);
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        Row gkey;
+        gkey.reserve(node.group_cols.size());
+        for (int c : node.group_cols) {
+          gkey.push_back(b.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+        }
+        it = groups.emplace(key, new_group(std::move(gkey))).first;
+        GPHTAP_RETURN_IF_ERROR(mem_status);
+      }
+      for (size_t a = 0; a < node.aggs.size(); ++a) {
+        AggState& st = it->second.states[a];
+        if (node.aggs[a].fn == AggFunc::kCountStar) {
+          ++st.count;
+        } else {
+          AggUpdateValue(node.aggs[a].fn, &st, argvals[a][static_cast<size_t>(r)]);
+        }
+      }
+    }
+    return Status::OK();
+  });
+  GPHTAP_RETURN_IF_ERROR(s);
+
+  // Global aggregates with zero input rows still produce one output group.
+  if (groups.empty() && node.group_cols.empty()) {
+    Group g;
+    g.states.resize(node.aggs.size());
+    groups.emplace("", std::move(g));
+  }
+
+  ColumnBatch out;
+  bool shaped = false;
+  for (auto& [key, g] : groups) {
+    Row row = g.key;
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      if (node.agg_phase == AggPhase::kPartial) {
+        AggEmitPartial(node.aggs[a], g.states[a], &row);
+      } else {
+        AggEmitFinal(node.aggs[a], g.states[a], &row);
+      }
+    }
+    if (!shaped) {
+      out.Reset(row.size());
+      shaped = true;
+    }
+    out.AppendRow(std::move(row));
+    if (out.rows >= ColumnBatch::kDefaultCapacity) {
+      size_t ncols = out.NumColumns();
+      ColumnBatch full = std::move(out);
+      out = ColumnBatch();
+      out.Reset(ncols);
+      Status es = sink(std::move(full));
+      if (es.code() == StatusCode::kStopIteration) return es;
+      GPHTAP_RETURN_IF_ERROR(es);
+    }
+  }
+  if (out.rows > 0) {
+    Status es = sink(std::move(out));
+    if (es.code() == StatusCode::kStopIteration) return es;
+    GPHTAP_RETURN_IF_ERROR(es);
+  }
+  return Status::OK();
+}
+
+Status ExecMotionRecvVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  auto it = ctx.exchanges->find(node.motion_id);
+  if (it == ctx.exchanges->end()) {
+    return Status::Internal("no exchange for motion " + std::to_string(node.motion_id));
+  }
+  MotionExchange& ex = *it->second;
+  while (auto batch = ex.RecvBatch(ctx.receiver_index)) {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(batch->ActiveRows())));
+    Status s = sink(std::move(*batch));
+    if (s.code() == StatusCode::kStopIteration) return s;
+    GPHTAP_RETURN_IF_ERROR(s);
+  }
+  if (ex.aborted() && !(ctx.owner && ctx.owner->cancelled())) {
+    return Status::Aborted("motion exchange aborted");
+  }
+  if (ctx.owner && ctx.owner->cancelled()) return ctx.owner->cancel_reason();
+  return Status::OK();
+}
+
+Status ExecuteNodeVecImpl(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  switch (node.kind) {
+    case PlanKind::kSeqScan:
+      return ExecSeqScanVec(node, ctx, sink);
+    case PlanKind::kFilter:
+      return ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
+        GPHTAP_RETURN_IF_ERROR(VecFilterBatch(*node.filter, &b));
+        if (b.ActiveRows() == 0) return Status::OK();
+        return sink(std::move(b));
+      });
+    case PlanKind::kProject:
+      return ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
+        ColumnBatch out;
+        GPHTAP_RETURN_IF_ERROR(VecProjectBatch(node.exprs, b, &out));
+        if (out.ActiveRows() == 0) return Status::OK();
+        return sink(std::move(out));
+      });
+    case PlanKind::kHashAgg:
+      return ExecHashAggVec(node, ctx, sink);
+    case PlanKind::kMotion:
+      return ExecMotionRecvVec(node, ctx, sink);
+    default:
+      return Status::Internal("plan node kind not vectorized");
+  }
+}
+
+}  // namespace
+
+Status ExecuteNodeVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  int64_t rows = 0, batches = 0;
+  auto counting = [&](ColumnBatch&& b) -> Status {
+    ++batches;
+    rows += static_cast<int64_t>(b.ActiveRows());
+    return sink(std::move(b));
+  };
+  Stopwatch sw;
+  Status s = ExecuteNodeVecImpl(node, ctx, counting);
+  if (ctx.op_stats != nullptr && node.node_id >= 0) {
+    ctx.op_stats->Record(node.node_id, rows, sw.ElapsedMicros(), batches);
+  }
+  if (ctx.cluster != nullptr) {
+    MetricsRegistry& m = ctx.cluster->metrics();
+    m.counter("vec.batches")->Add(static_cast<uint64_t>(batches));
+    m.counter("vec.rows")->Add(static_cast<uint64_t>(rows));
+  }
+  return s;
+}
+
+}  // namespace gphtap

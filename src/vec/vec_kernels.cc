@@ -1,0 +1,233 @@
+#include "vec/vec_kernels.h"
+
+namespace gphtap {
+
+namespace {
+
+// Comparison fast path for two non-null int64 datums.
+inline int64_t CompareIntOp(BinOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case BinOp::kEq:
+      return a == b;
+    case BinOp::kNe:
+      return a != b;
+    case BinOp::kLt:
+      return a < b;
+    case BinOp::kLe:
+      return a <= b;
+    case BinOp::kGt:
+      return a > b;
+    case BinOp::kGe:
+      return a >= b;
+    default:
+      return 0;  // unreachable, guarded by caller
+  }
+}
+
+inline bool IsCompare(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status VecEvalLogical(const Expr& e, const ColumnBatch& batch,
+                      const std::vector<int32_t>& pos, std::vector<Datum>* out) {
+  const bool is_and = e.op == BinOp::kAnd;
+  std::vector<Datum> lvals;
+  GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &lvals));
+
+  // Positions the left operand did not decide; the right operand is evaluated
+  // ONLY there (short circuit: errors in the skipped positions never surface,
+  // exactly like the row engine).
+  std::vector<int32_t> undecided;
+  undecided.reserve(pos.size());
+  for (int32_t r : pos) {
+    int lt = DatumTruth(lvals[static_cast<size_t>(r)]);
+    if (is_and && lt == 0) {
+      (*out)[static_cast<size_t>(r)] = Datum(int64_t{0});
+    } else if (!is_and && lt == 1) {
+      (*out)[static_cast<size_t>(r)] = Datum(int64_t{1});
+    } else {
+      undecided.push_back(r);
+    }
+  }
+  if (undecided.empty()) return Status::OK();
+
+  std::vector<Datum> rvals;
+  GPHTAP_RETURN_IF_ERROR(VecEval(*e.right, batch, undecided, &rvals));
+  for (int32_t r : undecided) {
+    int lt = DatumTruth(lvals[static_cast<size_t>(r)]);
+    int rt = DatumTruth(rvals[static_cast<size_t>(r)]);
+    Datum& o = (*out)[static_cast<size_t>(r)];
+    if (is_and) {
+      if (lt == 1 && rt == 1) {
+        o = Datum(int64_t{1});
+      } else if (rt == 0) {
+        o = Datum(int64_t{0});
+      } else {
+        o = Datum::Null();
+      }
+    } else {
+      if (lt == 0 && rt == 0) {
+        o = Datum(int64_t{0});
+      } else if (rt == 1) {
+        o = Datum(int64_t{1});
+      } else {
+        o = Datum::Null();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VecEval(const Expr& e, const ColumnBatch& batch,
+               const std::vector<int32_t>& pos, std::vector<Datum>* out) {
+  if (out->size() < batch.rows) out->resize(batch.rows);
+  switch (e.kind) {
+    case ExprKind::kConst:
+      for (int32_t r : pos) (*out)[static_cast<size_t>(r)] = e.value;
+      return Status::OK();
+    case ExprKind::kColumn: {
+      if (e.column < 0 || static_cast<size_t>(e.column) >= batch.NumColumns()) {
+        return Status::Internal("column index out of range: " +
+                                std::to_string(e.column));
+      }
+      const std::vector<Datum>& col = batch.columns[static_cast<size_t>(e.column)];
+      for (int32_t r : pos) (*out)[static_cast<size_t>(r)] = col[static_cast<size_t>(r)];
+      return Status::OK();
+    }
+    case ExprKind::kNot: {
+      std::vector<Datum> vals;
+      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &vals));
+      for (int32_t r : pos) {
+        int t = DatumTruth(vals[static_cast<size_t>(r)]);
+        (*out)[static_cast<size_t>(r)] =
+            t < 0 ? Datum::Null() : Datum(static_cast<int64_t>(t == 1 ? 0 : 1));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kIsNull: {
+      std::vector<Datum> vals;
+      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &vals));
+      for (int32_t r : pos) {
+        (*out)[static_cast<size_t>(r)] = Datum(
+            static_cast<int64_t>(vals[static_cast<size_t>(r)].is_null() ? 1 : 0));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+        return VecEvalLogical(e, batch, pos, out);
+      }
+      std::vector<Datum> lvals, rvals;
+      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &lvals));
+      GPHTAP_RETURN_IF_ERROR(VecEval(*e.right, batch, pos, &rvals));
+      const bool cmp = IsCompare(e.op);
+      const bool fast_arith =
+          e.op == BinOp::kAdd || e.op == BinOp::kSub || e.op == BinOp::kMul;
+      for (int32_t r : pos) {
+        const Datum& l = lvals[static_cast<size_t>(r)];
+        const Datum& v = rvals[static_cast<size_t>(r)];
+        Datum& o = (*out)[static_cast<size_t>(r)];
+        // Int-int fast path: no dispatch, no Status machinery per row.
+        if (l.is_int() && v.is_int()) {
+          int64_t a = l.int_val(), b = v.int_val();
+          if (cmp) {
+            o = Datum(CompareIntOp(e.op, a, b));
+            continue;
+          }
+          if (fast_arith) {
+            o = Datum(e.op == BinOp::kAdd   ? a + b
+                      : e.op == BinOp::kSub ? a - b
+                                            : a * b);
+            continue;
+          }
+        }
+        GPHTAP_ASSIGN_OR_RETURN(o, EvalBinaryOp(e.op, l, v));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Status VecFilterBatch(const Expr& filter, ColumnBatch* batch) {
+  if (batch->sel.empty()) return Status::OK();
+  std::vector<Datum> vals;
+  GPHTAP_RETURN_IF_ERROR(VecEval(filter, *batch, batch->sel, &vals));
+  size_t w = 0;
+  for (int32_t r : batch->sel) {
+    if (DatumTruth(vals[static_cast<size_t>(r)]) == 1) batch->sel[w++] = r;
+  }
+  batch->sel.resize(w);
+  return Status::OK();
+}
+
+Status VecProjectBatch(const std::vector<ExprPtr>& exprs, const ColumnBatch& in,
+                       ColumnBatch* out) {
+  out->Clear();
+  out->columns.resize(exprs.size());
+  std::vector<Datum> vals;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    GPHTAP_RETURN_IF_ERROR(VecEval(*exprs[i], in, in.sel, &vals));
+    std::vector<Datum>& col = out->columns[i];
+    col.clear();
+    col.reserve(in.sel.size());
+    for (int32_t r : in.sel) col.push_back(std::move(vals[static_cast<size_t>(r)]));
+  }
+  out->rows = in.sel.size();
+  out->SelectAll();
+  return Status::OK();
+}
+
+Status VecPartitionBatch(const ColumnBatch& in, const std::vector<int>& hash_cols,
+                         int num_targets, std::vector<ColumnBatch>* out) {
+  if (num_targets <= 0) return Status::InvalidArgument("num_targets");
+  out->clear();
+  out->resize(static_cast<size_t>(num_targets));
+  for (ColumnBatch& b : *out) b.Reset(in.NumColumns(), in.sel.size());
+  for (int32_t r : in.sel) {
+    Row row = in.MaterializeRow(r);
+    size_t t = static_cast<size_t>(HashRowKey(row, hash_cols) %
+                                   static_cast<uint64_t>(num_targets));
+    (*out)[t].AppendRow(std::move(row));
+  }
+  return Status::OK();
+}
+
+void VecAggUpdate(AggFunc fn, const std::vector<Datum>& vals,
+                  const std::vector<int32_t>& pos, AggState* s) {
+  if (fn == AggFunc::kCountStar) {
+    s->count += static_cast<int64_t>(pos.size());
+    return;
+  }
+  if ((fn == AggFunc::kSum || fn == AggFunc::kAvg) && s->sum_is_int) {
+    // Int-sum hot loop; bail to the generic path on the first non-int value.
+    size_t i = 0;
+    for (; i < pos.size(); ++i) {
+      const Datum& v = vals[static_cast<size_t>(pos[i])];
+      if (v.is_null()) continue;
+      if (!v.is_int()) break;
+      s->isum += v.int_val();
+      ++s->count;
+      s->has_value = true;
+    }
+    for (; i < pos.size(); ++i) {
+      AggUpdateValue(fn, s, vals[static_cast<size_t>(pos[i])]);
+    }
+    return;
+  }
+  for (int32_t r : pos) AggUpdateValue(fn, s, vals[static_cast<size_t>(r)]);
+}
+
+}  // namespace gphtap

@@ -1,0 +1,47 @@
+// Vectorized kernels: predicate evaluation, projection, redistribution
+// partitioning, and aggregate accumulation over whole ColumnBatches. Scalar
+// semantics (three-valued logic, NULL propagation, short-circuit AND/OR error
+// behaviour, arithmetic errors) are shared with the row engine via
+// plan/expr.h's EvalBinaryOp/DatumTruth, so both engines agree bit-for-bit.
+#ifndef GPHTAP_VEC_VEC_KERNELS_H_
+#define GPHTAP_VEC_VEC_KERNELS_H_
+
+#include <vector>
+
+#include "exec/agg_ops.h"
+#include "plan/expr.h"
+#include "vec/column_batch.h"
+
+namespace gphtap {
+
+/// Evaluates `e` over `batch` at the row positions in `pos`. `out` is dense by
+/// physical row index (resized to batch.rows); only entries at `pos` are
+/// written. AND/OR evaluate the right operand only at positions the left
+/// operand did not decide — matching the row engine's short circuit, including
+/// its suppression of errors in the unevaluated operand.
+Status VecEval(const Expr& e, const ColumnBatch& batch,
+               const std::vector<int32_t>& pos, std::vector<Datum>* out);
+
+/// Applies a WHERE predicate to the batch, shrinking its selection vector in
+/// place (NULL and false both reject, as in EvalPredicate).
+Status VecFilterBatch(const Expr& filter, ColumnBatch* batch);
+
+/// Projects `exprs` over `in`'s live rows into a dense, fully-selected `out`.
+Status VecProjectBatch(const std::vector<ExprPtr>& exprs, const ColumnBatch& in,
+                       ColumnBatch* out);
+
+/// Splits `in`'s live rows into `num_targets` dense batches routed by
+/// HashRowKey(row, hash_cols) % num_targets — identical routing to the row
+/// path's redistribute motion.
+Status VecPartitionBatch(const ColumnBatch& in, const std::vector<int>& hash_cols,
+                         int num_targets, std::vector<ColumnBatch>* out);
+
+/// Folds a pre-evaluated argument column (dense by row index) into an
+/// aggregate state for every position in `pos`. Tight inner loop for the
+/// int-sum hot path; falls back to AggUpdateValue otherwise.
+void VecAggUpdate(AggFunc fn, const std::vector<Datum>& vals,
+                  const std::vector<int32_t>& pos, AggState* s);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_VEC_VEC_KERNELS_H_

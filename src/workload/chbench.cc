@@ -14,13 +14,18 @@ Status LoadChBench(Cluster* cluster, const ChBenchConfig& config) {
   GPHTAP_RETURN_IF_ERROR(
       ddl("CREATE TABLE customer (c_w_id int, c_d_id int, c_id int, c_balance double, "
           "c_ytd_payment double) DISTRIBUTED BY (c_w_id)"));
+  // The fact tables take the configured storage; insert-heavy TPC-C traffic
+  // (NewOrder appends) suits append-optimized column groups.
+  const std::string fact_opts =
+      config.column_storage ? std::string(" WITH (storage=ao_column)") : std::string();
   GPHTAP_RETURN_IF_ERROR(
       ddl("CREATE TABLE orders (o_w_id int, o_d_id int, o_id int, o_c_id int, "
-          "o_ol_cnt int, o_entry_d int) DISTRIBUTED BY (o_w_id)"));
+          "o_ol_cnt int, o_entry_d int)" +
+          fact_opts + " DISTRIBUTED BY (o_w_id)"));
   GPHTAP_RETURN_IF_ERROR(
       ddl("CREATE TABLE order_line (ol_w_id int, ol_d_id int, ol_o_id int, "
-          "ol_number int, ol_i_id int, ol_qty int, ol_amount double) "
-          "DISTRIBUTED BY (ol_w_id)"));
+          "ol_number int, ol_i_id int, ol_qty int, ol_amount double)" +
+          fact_opts + " DISTRIBUTED BY (ol_w_id)"));
   GPHTAP_RETURN_IF_ERROR(
       ddl("CREATE TABLE item (i_id int, i_name text, i_price double, i_category int) "
           "DISTRIBUTED REPLICATED"));

@@ -20,6 +20,9 @@ struct ChBenchConfig {
   int items = 1000;
   int initial_orders_per_district = 30;
   int lines_per_order = 3;
+  /// Store the fact tables (orders, order_line) as AO-column instead of heap,
+  /// enabling vectorized batch scans for the analytical queries.
+  bool column_storage = false;
 };
 
 /// Creates and populates warehouse/district/customer/orders/order_line/item/

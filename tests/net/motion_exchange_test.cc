@@ -111,6 +111,119 @@ TEST(MotionExchangeTest, NetChargedPerMessageBatch) {
   EXPECT_EQ(net.count(MsgKind::kTupleData), 3u);
 }
 
+BatchPtr MakeBatch(int64_t start, int64_t n) {
+  auto b = std::make_shared<ColumnBatch>();
+  b->Reset(1, static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) b->AppendRow(R(start + i));
+  return b;
+}
+
+TEST(MotionExchangeTest, BatchNetChargedByActualRows) {
+  SimNet net(0);
+  MotionExchange ex(1, 1, 1 << 16, &net);
+  // 256 live rows = 4 message windows, not 1 per SendBatch call.
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(0, 256)));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 4u);
+  // A small batch opens the next 64-row window: exactly one more message.
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(256, 3)));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 5u);
+  // 61 more rows stay inside that window: no extra charge.
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(259, 61)));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 5u);
+}
+
+TEST(MotionExchangeTest, BatchWithDeletedRowsChargesLiveRowsOnly) {
+  SimNet net(0);
+  MotionExchange ex(1, 1, 1 << 16, &net);
+  BatchPtr b = MakeBatch(0, 200);
+  b->sel.resize(10);  // only 10 rows survive the selection vector
+  ASSERT_TRUE(ex.SendBatch(0, b));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 1u);
+  // Empty batches ship nothing and charge nothing.
+  BatchPtr empty = MakeBatch(0, 5);
+  empty->sel.clear();
+  ASSERT_TRUE(ex.SendBatch(0, empty));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 1u);
+}
+
+TEST(MotionExchangeTest, RowAndBatchShareOneAccountingWindow) {
+  SimNet net(0);
+  MotionExchange ex(1, 1, 1 << 16, &net);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ex.Send(0, R(i)));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 1u);
+  // Rows 10..109: crosses exactly the 64-row boundary.
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(10, 100)));
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 2u);
+}
+
+TEST(MotionExchangeTest, RowPathAccountingUnchanged) {
+  SimNet net(0);
+  MetricsRegistry metrics;
+  net.set_metrics(&metrics);
+  MotionExchange ex(1, 1, 1 << 16, &net);
+  for (uint64_t i = 0; i < MotionExchange::kRowsPerMessage * 2 + 1; ++i) {
+    ASSERT_TRUE(ex.Send(0, R(static_cast<int64_t>(i))));
+  }
+  EXPECT_EQ(net.count(MsgKind::kTupleData), 3u);
+  EXPECT_EQ(metrics.counter("net.tuple_rows")->value(),
+            MotionExchange::kRowsPerMessage * 2 + 1);
+  EXPECT_EQ(metrics.counter("net.tuple_batches")->value(), 0u);
+}
+
+TEST(MotionExchangeTest, BatchCountersTallyRowsAndBatches) {
+  SimNet net(0);
+  MetricsRegistry metrics;
+  net.set_metrics(&metrics);
+  MotionExchange ex(1, 1, 1 << 16, &net);
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(0, 100)));
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(100, 28)));
+  EXPECT_EQ(metrics.counter("net.tuple_rows")->value(), 128u);
+  EXPECT_EQ(metrics.counter("net.tuple_batches")->value(), 2u);
+}
+
+TEST(MotionExchangeTest, RecvExplodesBatchesIntoRows) {
+  MotionExchange ex(1, 1, 16);
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(0, 5)));
+  ASSERT_TRUE(ex.Send(0, R(99)));
+  ex.CloseSender();
+  for (int64_t i = 0; i < 5; ++i) {
+    auto row = ex.Recv(0);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ((*row)[0].int_val(), i);
+  }
+  EXPECT_EQ((*ex.Recv(0))[0].int_val(), 99);
+  EXPECT_FALSE(ex.Recv(0).has_value());
+}
+
+TEST(MotionExchangeTest, RecvBatchWrapsRowsAndPassesBatches) {
+  MotionExchange ex(1, 1, 16);
+  ASSERT_TRUE(ex.Send(0, R(7)));
+  ASSERT_TRUE(ex.SendBatch(0, MakeBatch(0, 3)));
+  ex.CloseSender();
+  auto b1 = ex.RecvBatch(0);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->ActiveRows(), 1u);
+  EXPECT_EQ(b1->columns[0][0].int_val(), 7);
+  auto b2 = ex.RecvBatch(0);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->ActiveRows(), 3u);
+  EXPECT_FALSE(ex.RecvBatch(0).has_value());
+}
+
+TEST(MotionExchangeTest, BroadcastBatchReachesEveryReceiver) {
+  MotionExchange ex(1, 3, 16);
+  ASSERT_TRUE(ex.SendBatchToAll(MakeBatch(0, 4)));
+  ex.CloseSender();
+  for (int r = 0; r < 3; ++r) {
+    auto b = ex.RecvBatch(r);
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(b->ActiveRows(), 4u);
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(b->columns[0][static_cast<size_t>(i)].int_val(), i);
+    }
+  }
+}
+
 TEST(MotionExchangeTest, ManySendersManyReceiversStress) {
   constexpr int kSenders = 4, kReceivers = 4, kRows = 2000;
   MotionExchange ex(kSenders, kReceivers, 64);
