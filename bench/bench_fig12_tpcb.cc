@@ -11,8 +11,13 @@ namespace {
 void RunTpcbPoint(::benchmark::State& state, const std::string& series,
                   const ClusterOptions& options) {
   int clients = static_cast<int>(state.range(0));
+  // GPHTAP_TRACE_OUT=<path>: trace every query and export the retained traces
+  // as Chrome trace_event JSON when the point finishes (last point wins).
+  const char* trace_out = std::getenv("GPHTAP_TRACE_OUT");
+  ClusterOptions effective = options;
+  if (trace_out != nullptr) effective.trace_queries = true;
   for (auto _ : state) {
-    Cluster cluster(options);
+    Cluster cluster(effective);
     TpcbConfig config = BenchTpcb();
     Status load = LoadTpcb(&cluster, config);
     if (!load.ok()) {
@@ -29,6 +34,13 @@ void RunTpcbPoint(::benchmark::State& state, const std::string& series,
     if (!invariant.ok()) {
       state.SkipWithError(invariant.ToString().c_str());
       return;
+    }
+    if (trace_out != nullptr) {
+      Status dump = cluster.DumpChromeTrace(trace_out);
+      if (!dump.ok()) {
+        state.SkipWithError(dump.ToString().c_str());
+        return;
+      }
     }
     ReportPoint(state, series, clients, r, &cluster);
   }

@@ -13,10 +13,13 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|wait_event_test|system_views_test')
 
-# Smoke-run one benchmark and validate its machine-readable output.
-(cd build && GPHTAP_BENCH_MS=100 ./bench/bench_fig12_tpcb --smoke)
+# Smoke-run one benchmark and validate its machine-readable output. The run
+# also exports a Chrome trace_event dump of the traced queries, validated
+# below (loadable in Perfetto / about:tracing).
+(cd build && GPHTAP_BENCH_MS=100 GPHTAP_TRACE_OUT=TRACE_fig12_tpcb.json \
+  ./bench/bench_fig12_tpcb --smoke)
 python3 - build/BENCH_fig12_tpcb.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -28,6 +31,24 @@ for point in doc["points"]:
     missing = required - set(point)
     assert not missing, f"point {point.get('series')} missing {missing}"
 print(f"BENCH json OK: {len(doc['points'])} points")
+EOF
+
+# Validate the Chrome trace export: well-formed trace_event JSON where every
+# event is a complete ("X") span carrying ts + dur.
+python3 - build/TRACE_fig12_tpcb.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "no trace events exported"
+for ev in events:
+    assert ev["ph"] == "X", ev
+    assert isinstance(ev["ts"], int) and ev["ts"] >= 0, ev
+    assert isinstance(ev["dur"], int) and ev["dur"] >= 0, ev
+    assert "pid" in ev and "tid" in ev and "name" in ev, ev
+names = {ev["name"] for ev in events}
+assert any(n == "query" for n in names), f"no root query span in {sorted(names)[:10]}"
+print(f"TRACE json OK: {len(events)} spans across {len({e['pid'] for e in events})} queries")
 EOF
 
 # Vectorized-kernel microbench: smoke-run and validate the JSON.

@@ -103,6 +103,9 @@ struct TableDef {
   std::string external_path;                // when storage == kExternal
   // Hash indexes: each entry is a column index with a per-segment hash index.
   std::vector<int> indexed_cols;
+  // System views (gp_stat_activity & co) are virtual: no storage anywhere,
+  // rows are produced on the coordinator from live cluster state at scan time.
+  bool is_system_view = false;
 };
 
 }  // namespace gphtap

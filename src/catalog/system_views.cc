@@ -1,0 +1,107 @@
+#include "catalog/system_views.h"
+
+namespace gphtap {
+
+namespace {
+
+TableDef MakeView(SystemViewId id, std::string name, std::vector<Column> cols) {
+  TableDef def;
+  def.id = static_cast<TableId>(id);
+  def.name = std::move(name);
+  def.schema = Schema(std::move(cols));
+  def.distribution = DistributionPolicy::Replicated();
+  def.is_system_view = true;
+  return def;
+}
+
+std::vector<TableDef> BuildDefs() {
+  std::vector<TableDef> defs;
+
+  // One row per connected session, with its live wait state.
+  defs.push_back(MakeView(
+      SystemViewId::kStatActivity, "gp_stat_activity",
+      {{"sess_id", TypeId::kInt64},
+       {"role", TypeId::kString},
+       {"resgroup", TypeId::kString},
+       {"gxid", TypeId::kInt64},
+       {"state", TypeId::kString},  // idle | active | idle in transaction
+       {"wait_event_class", TypeId::kString},
+       {"wait_event", TypeId::kString},
+       {"wait_us", TypeId::kInt64},  // how long the current wait has lasted
+       {"query", TypeId::kString}}));
+
+  // Every grant and every queued waiter in every lock table (coordinator = -1).
+  defs.push_back(MakeView(SystemViewId::kLocks, "gp_locks",
+                          {{"node", TypeId::kInt64},
+                           {"locktype", TypeId::kString},  // relation|tuple|transactionid
+                           {"relation", TypeId::kInt64},
+                           {"objid", TypeId::kInt64},
+                           {"mode", TypeId::kString},
+                           {"gxid", TypeId::kInt64},
+                           {"granted", TypeId::kInt64}}));  // 1 granted, 0 waiting
+
+  defs.push_back(MakeView(SystemViewId::kResgroupStatus, "gp_resgroup_status",
+                          {{"name", TypeId::kString},
+                           {"concurrency", TypeId::kInt64},
+                           {"active", TypeId::kInt64},
+                           {"cpu_rate_limit", TypeId::kDouble},
+                           {"memory_limit_mb", TypeId::kInt64}}));
+
+  defs.push_back(MakeView(SystemViewId::kSegmentStatus, "gp_segment_status",
+                          {{"segment", TypeId::kInt64},
+                           {"up", TypeId::kInt64},
+                           {"has_mirror", TypeId::kInt64},
+                           {"mirror_promoted", TypeId::kInt64},
+                           {"mirror_applied", TypeId::kInt64},
+                           {"change_log_size", TypeId::kInt64}}));
+
+  // Accumulated wait-event durations per (event, node, resource group).
+  defs.push_back(MakeView(SystemViewId::kWaitEvents, "gp_wait_events",
+                          {{"wait_event_class", TypeId::kString},
+                           {"wait_event", TypeId::kString},
+                           {"node", TypeId::kInt64},
+                           {"resgroup", TypeId::kString},
+                           {"count", TypeId::kInt64},
+                           {"total_us", TypeId::kInt64},
+                           {"max_us", TypeId::kInt64},
+                           {"p95_us", TypeId::kInt64}}));
+
+  // One row per surviving wait-for edge of each confirmed global deadlock.
+  defs.push_back(MakeView(SystemViewId::kDistDeadlocks, "gp_dist_deadlocks",
+                          {{"seq", TypeId::kInt64},
+                           {"detected_at_us", TypeId::kInt64},
+                           {"victim", TypeId::kInt64},
+                           {"waiter", TypeId::kInt64},
+                           {"holder", TypeId::kInt64},
+                           {"node", TypeId::kInt64},
+                           {"edge", TypeId::kString},      // solid | dotted
+                           {"on_cycle", TypeId::kInt64},
+                           {"iterations", TypeId::kInt64},
+                           {"reason", TypeId::kString}}));
+
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<TableDef>& SystemViewDefs() {
+  static const std::vector<TableDef>* defs = new std::vector<TableDef>(BuildDefs());
+  return *defs;
+}
+
+const TableDef* FindSystemView(const std::string& name) {
+  for (const TableDef& def : SystemViewDefs()) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+const TableDef* FindSystemViewById(TableId id) {
+  if (id < kSystemViewIdBase) return nullptr;
+  for (const TableDef& def : SystemViewDefs()) {
+    if (def.id == id) return &def;
+  }
+  return nullptr;
+}
+
+}  // namespace gphtap

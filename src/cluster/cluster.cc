@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "catalog/system_views.h"
 #include "cluster/session.h"
 #include "storage/heap_table.h"
 
@@ -181,17 +182,26 @@ Status Cluster::DropTable(const std::string& name) {
 }
 
 StatusOr<TableDef> Cluster::LookupTable(const std::string& name) const {
-  std::lock_guard<std::mutex> g(catalog_mu_);
-  auto it = catalog_.find(name);
-  if (it == catalog_.end()) return Status::NotFound("table " + name);
-  return it->second;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    auto it = catalog_.find(name);
+    if (it != catalog_.end()) return it->second;
+  }
+  // System views resolve after user tables (a user table may shadow them).
+  const TableDef* view = FindSystemView(name);
+  if (view != nullptr) return *view;
+  return Status::NotFound("table " + name);
 }
 
 StatusOr<TableDef> Cluster::LookupTableById(TableId id) const {
-  std::lock_guard<std::mutex> g(catalog_mu_);
-  for (const auto& [name, def] : catalog_) {
-    if (def.id == id) return def;
+  {
+    std::lock_guard<std::mutex> g(catalog_mu_);
+    for (const auto& [name, def] : catalog_) {
+      if (def.id == id) return def;
+    }
   }
+  const TableDef* view = FindSystemViewById(id);
+  if (view != nullptr) return *view;
   return Status::NotFound("table id " + std::to_string(id));
 }
 

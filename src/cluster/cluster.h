@@ -5,6 +5,7 @@
 #define GPHTAP_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -16,9 +17,11 @@
 #include "cluster/fts.h"
 #include "cluster/mirror.h"
 #include "cluster/segment.h"
+#include "cluster/session_registry.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/wait_event.h"
 #include "gdd/gdd_daemon.h"
 #include "net/sim_net.h"
 #include "resgroup/resource_group.h"
@@ -201,6 +204,25 @@ class Cluster {
   /// Monotonic id source for per-query traces.
   uint64_t NextTraceId() { return next_trace_id_.fetch_add(1) + 1; }
 
+  /// Cluster-wide accumulated wait-event statistics (gp_wait_events).
+  WaitEventRegistry& wait_events() { return wait_events_; }
+  /// Live session directory (gp_stat_activity).
+  SessionRegistry& sessions() { return sessions_; }
+
+  /// Keeps a finished query trace for later export (bounded ring; oldest
+  /// evicted). Sessions call this for every traced query.
+  void RetainTrace(std::shared_ptr<Trace> trace);
+  std::vector<std::shared_ptr<Trace>> RetainedTraces() const;
+  /// Renders every retained trace — query/slice spans and their wait
+  /// intervals — as Chrome trace_event JSON (load in Perfetto / about:tracing).
+  std::string ChromeTraceJson() const;
+  /// ChromeTraceJson() written to `path`.
+  Status DumpChromeTrace(const std::string& path) const;
+
+  /// Produces the current rows of one system view (catalog/system_views.h) from
+  /// live cluster state. Coordinator-only; executed by PlanKind::kVirtualScan.
+  StatusOr<std::vector<Row>> SystemViewRows(TableId view_id);
+
   /// Point-in-time copy of every registered metric, with liveness gauges
   /// (running distributed txns, resident buffer pages) refreshed first.
   MetricsSnapshot StatsSnapshot();
@@ -255,6 +277,11 @@ class Cluster {
   MetricsRegistry metrics_;
   SlowQueryLog slow_query_log_;
   std::atomic<uint64_t> next_trace_id_{0};
+  WaitEventRegistry wait_events_;
+  SessionRegistry sessions_;
+  mutable std::mutex traces_mu_;
+  std::deque<std::shared_ptr<Trace>> retained_traces_;  // newest at the back
+  static constexpr size_t kRetainedTraceCapacity = 256;
 
   // Coordinator node state (node id -1).
   CommitLog coordinator_clog_;

@@ -33,6 +33,7 @@ std::string QueryResult::ToString() const {
 Session::Session(Cluster* cluster, std::string role)
     : cluster_(cluster), role_(std::move(role)) {
   SetRole(role_);
+  info_ = cluster_->sessions().Register(role_, group_->name());
   MetricsRegistry& metrics = cluster_->metrics();
   m_.committed = metrics.counter("txn.committed");
   m_.aborted = metrics.counter("txn.aborted");
@@ -46,6 +47,7 @@ Session::Session(Cluster* cluster, std::string role)
 
 Session::~Session() {
   if (in_txn()) Rollback();
+  cluster_->sessions().Unregister(info_->id);
 }
 
 void Session::SetRole(const std::string& role) {
@@ -55,6 +57,20 @@ void Session::SetRole(const std::string& role) {
     group_ = cluster_->resgroups().GroupForRole(role_);
   }
   if (group_ == nullptr) group_ = cluster_->resgroups().Get("default_group");
+  if (info_ != nullptr) {
+    std::string group_name = group_->name();
+    info_->SetStrings(&role_, &group_name, nullptr);
+  }
+}
+
+WaitContext Session::MakeWaitContext() {
+  WaitContext ctx;
+  ctx.registry = &cluster_->wait_events();
+  ctx.session = &info_->wait;
+  ctx.profile = &wait_profile_;
+  ctx.node = -1;  // coordinator; slice/DML workers override per segment
+  ctx.group = group_->name();
+  return ctx;
 }
 
 // ---------------------------------------------------------------------------
@@ -78,6 +94,7 @@ Status Session::EnsureTxn() {
     return Status::OK();
   }
   owner_ = cluster_->dtm().BeginTxn(&gxid_, MonotonicMicros());
+  info_->gxid.store(gxid_, std::memory_order_release);
   txn_failed_ = false;
   write_segments_.clear();
   snapshot_pinned_ = false;
@@ -86,6 +103,7 @@ Status Session::EnsureTxn() {
     if (!s.ok()) {
       cluster_->dtm().MarkAborted(gxid_);
       gxid_ = kInvalidGxid;
+      info_->gxid.store(gxid_, std::memory_order_release);
       owner_.reset();
       return s;
     }
@@ -105,6 +123,7 @@ Status Session::TakeStatementSnapshot() {
 }
 
 Status Session::Begin() {
+  WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
   if (failed_block_) {
     return Status::Aborted(
         "current transaction is aborted, commands ignored until end of block");
@@ -116,6 +135,7 @@ Status Session::Begin() {
 }
 
 Status Session::Commit() {
+  WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
   if (failed_block_) {
     // COMMIT of a failed block is a no-op rollback acknowledgement.
     failed_block_ = false;
@@ -154,6 +174,19 @@ bool RetryableCommitError(const Status& s) {
   return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimedOut;
 }
 
+// Runs `fn` on scope exit (statement-state restoration on every return path).
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ~ScopeExit() { fn_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  Fn fn_;
+};
+
 }  // namespace
 
 Status Session::CommitSegmentWithRetry(int seg_index, bool one_phase,
@@ -168,6 +201,9 @@ Status Session::CommitSegmentWithRetry(int seg_index, bool one_phase,
                                           : fault_points::kCrashBeforeCommitPreparedAck;
   int64_t backoff_us = opts.commit_retry_initial_backoff_us;
   int64_t deadline = MonotonicMicros() + opts.commit_retry_deadline_us;
+  // The coordinator is blocked on this segment's commit ack for the whole
+  // retry loop (both 1PC COMMIT and 2PC COMMIT PREPARED acks count here).
+  WaitEventScope ack_wait(WaitEvent::kCommitPreparedAck, seg_index);
   bool first_attempt = true;
   while (true) {
     // The segment dies before acting on this commit message. For 1PC this
@@ -237,12 +273,25 @@ Status Session::CommitProtocol() {
     // Two-phase commit: PREPARE everywhere, coordinator commit record, then
     // COMMIT PREPARED everywhere. Phases fan out in parallel, as the real
     // dispatcher does.
-    auto fanout = [&](auto&& fn) -> std::vector<Status> {
+    // Fanout threads inherit the session's wait context so per-segment ack
+    // waits attribute to this session; `ack_event` (when set) tags the whole
+    // per-segment exchange as the coordinator waiting on that ack.
+    const WaitContext* commit_wait_ctx = CurrentWaitContext();
+    auto fanout = [&](WaitEvent ack_event, auto&& fn) -> std::vector<Status> {
       std::vector<Status> results(participants.size());
       std::vector<std::thread> threads;
       threads.reserve(participants.size());
       for (size_t i = 0; i < participants.size(); ++i) {
-        threads.emplace_back([&, i] { results[i] = fn(participants[i]); });
+        threads.emplace_back([&, i] {
+          WaitContext wctx;
+          if (commit_wait_ctx != nullptr) wctx = *commit_wait_ctx;
+          WaitContextGuard guard(wctx);
+          std::unique_ptr<WaitEventScope> ack_wait;
+          if (ack_event != WaitEvent::kNone) {
+            ack_wait = std::make_unique<WaitEventScope>(ack_event, participants[i]);
+          }
+          results[i] = fn(participants[i]);
+        });
       }
       for (auto& t : threads) t.join();
       return results;
@@ -252,7 +301,7 @@ Status Session::CommitProtocol() {
     // statement they just ran was the last one, so they prepare on their own —
     // the coordinator skips the PREPARE broadcast and only collects acks.
     bool auto_prepare = implicit_commit_ && cluster_->options().auto_prepare_enabled;
-    std::vector<Status> prepared = fanout([&](int seg_index) -> Status {
+    std::vector<Status> prepared = fanout(WaitEvent::kPrepareAck, [&](int seg_index) -> Status {
       Segment* seg = cluster_->segment(seg_index);
       if (faults.Evaluate(fault_points::kCrashBeforePrepare, seg_index)) seg->Crash();
       if (!auto_prepare && !net.Deliver(MsgKind::kPrepare)) {
@@ -292,7 +341,8 @@ Status Session::CommitProtocol() {
     // transaction IS committed, and phase two is retried, never aborted.
     cluster_->CoordinatorCommitRecord(gxid_);
 
-    std::vector<Status> committed = fanout([&](int seg_index) -> Status {
+    // CommitSegmentWithRetry opens its own kCommitPreparedAck scope.
+    std::vector<Status> committed = fanout(WaitEvent::kNone, [&](int seg_index) -> Status {
       return CommitSegmentWithRetry(seg_index, /*one_phase=*/false,
                                     /*piggyback_first=*/false);
     });
@@ -351,6 +401,7 @@ void Session::ReleaseAllLocks() {
 
 void Session::ClearTxnState() {
   gxid_ = kInvalidGxid;
+  info_->gxid.store(gxid_, std::memory_order_release);
   owner_.reset();
   write_segments_.clear();
   explicit_txn_ = false;
@@ -370,6 +421,15 @@ template <typename Fn>
 StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
   ++stats_.statements;
   m_.statements->Add(1);
+  // only_if_absent: Execute() installs the context for the SQL path; direct
+  // programmatic calls install it here.
+  WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
+  info_->state.store(static_cast<int>(SessionState::kActive), std::memory_order_release);
+  ScopeExit state_reset([this] {
+    info_->state.store(static_cast<int>(in_txn() ? SessionState::kIdleInTransaction
+                                                 : SessionState::kIdle),
+                       std::memory_order_release);
+  });
   bool implicit = !in_txn();
   GPHTAP_RETURN_IF_ERROR(EnsureTxn());
   GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
@@ -419,8 +479,11 @@ Status Session::LockRelationSegment(Segment* seg, const TableDef& def, LockMode 
 
 StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
   return RunStatement([&]() -> StatusOr<QueryResult> {
-    // Parse-analyze locks on the coordinator.
+    // Parse-analyze locks on the coordinator. System views are lock-free
+    // snapshots of live state — observing a stuck cluster must not itself
+    // queue behind anything.
     for (const TableDef& t : query.tables) {
+      if (t.is_system_view) continue;
       GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
     }
 
@@ -448,6 +511,13 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
       trace = std::make_shared<Trace>(cluster_->NextTraceId());
       root_span = trace->StartSpan("query");
       last_trace_ = trace;
+      // Coordinator-side waits during this query (locks, commit acks) become
+      // wait-interval child spans of the root; ExecutePlan re-parents per
+      // slice for the producer threads.
+      if (WaitContext* cur = CurrentWaitContext()) {
+        cur->trace = trace.get();
+        cur->parent_span = root_span;
+      }
     }
 
     for (size_t i = 0; i < planned.gang.size(); ++i) {
@@ -470,7 +540,20 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
                            },
                            trace ? &profile : nullptr);
     cluster_->net().Deliver(MsgKind::kResult);
-    if (trace) trace->EndSpan(root_span, static_cast<int64_t>(result.rows.size()));
+    if (trace) {
+      if (s.ok()) {
+        trace->EndSpan(root_span, static_cast<int64_t>(result.rows.size()));
+      } else {
+        // Aborted queries used to leak open spans (producers bail between
+        // StartSpan and EndSpan); close them all and flag them aborted.
+        trace->CloseOpenSpans(/*mark_aborted=*/true);
+      }
+      if (WaitContext* cur = CurrentWaitContext()) {
+        cur->trace = nullptr;
+        cur->parent_span = 0;
+      }
+      cluster_->RetainTrace(trace);
+    }
     GPHTAP_RETURN_IF_ERROR(s);
     result.affected = static_cast<int64_t>(result.rows.size());
     return result;
@@ -519,6 +602,7 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
 StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
   return RunStatement([&]() -> StatusOr<QueryResult> {
     for (const TableDef& t : query.tables) {
+      if (t.is_system_view) continue;
       GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
     }
 
@@ -595,6 +679,17 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
                       static_cast<double>(os.total_time_us) / 1000.0);
       }
       line += buf;
+      if (node.kind == PlanKind::kMotion) {
+        // Time spent blocked on the exchange, reported separately from the
+        // inclusive operator time: send = producers on a full queue, recv =
+        // consumers on an empty one.
+        char wbuf[96];
+        std::snprintf(wbuf, sizeof(wbuf),
+                      "  (motion wait: send=%.3f ms recv=%.3f ms)",
+                      static_cast<double>(os.send_wait_us) / 1000.0,
+                      static_cast<double>(os.recv_wait_us) / 1000.0);
+        line += wbuf;
+      }
       result.rows.push_back(Row{Datum(line)});
       for (const auto& child : node.children) self(self, *child, indent + 1);
     };
@@ -955,9 +1050,15 @@ StatusOr<QueryResult> Session::ExecuteUpdate(
     } else {
       // Parallel per-segment workers, like the dispatcher's gangs. A worker
       // may block on another transaction mid-statement while its siblings keep
-      // running — the behaviour the global deadlock cases exercise.
+      // running — the behaviour the global deadlock cases exercise. Each
+      // inherits the session's wait context so its lock waits attribute here.
+      const WaitContext* dml_wait_ctx = CurrentWaitContext();
       for (size_t i = 0; i < segs.size(); ++i) {
         threads.emplace_back([&, i] {
+          WaitContext wctx;
+          if (dml_wait_ctx != nullptr) wctx = *dml_wait_ctx;
+          wctx.node = segs[i];
+          WaitContextGuard guard(wctx);
           results[i] = DmlWorker(cluster_->segment(segs[i]), def, &sets, where, &counts[i]);
         });
       }
@@ -992,8 +1093,13 @@ StatusOr<QueryResult> Session::ExecuteDelete(const TableDef& def, const ExprPtr&
           DmlWorker(cluster_->segment(segs[0]), def, nullptr, where, &counts[0]));
     } else {
       std::vector<std::thread> threads;
+      const WaitContext* dml_wait_ctx = CurrentWaitContext();
       for (size_t i = 0; i < segs.size(); ++i) {
         threads.emplace_back([&, i] {
+          WaitContext wctx;
+          if (dml_wait_ctx != nullptr) wctx = *dml_wait_ctx;
+          wctx.node = segs[i];
+          WaitContextGuard guard(wctx);
           results[i] = DmlWorker(cluster_->segment(segs[i]), def, nullptr, where,
                                  &counts[i]);
         });
@@ -1019,6 +1125,13 @@ StatusOr<QueryResult> Session::ExecuteDelete(const TableDef& def, const ExprPtr&
 Status Session::LockTable(const TableDef& def, LockMode mode) {
   ++stats_.statements;
   m_.statements->Add(1);
+  WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
+  info_->state.store(static_cast<int>(SessionState::kActive), std::memory_order_release);
+  ScopeExit state_reset([this] {
+    info_->state.store(static_cast<int>(in_txn() ? SessionState::kIdleInTransaction
+                                                 : SessionState::kIdle),
+                       std::memory_order_release);
+  });
   GPHTAP_RETURN_IF_ERROR(EnsureTxn());
   // LOCK TABLE only makes sense inside an explicit transaction (locks are
   // released at commit); we allow it implicitly too for symmetry.
@@ -1087,13 +1200,28 @@ StatusOr<QueryResult> Session::ExecuteTruncate(const TableDef& def) {
 }
 
 StatusOr<QueryResult> Session::Execute(const std::string& sql) {
+  // Install the wait context for the whole statement (parse through commit)
+  // and publish the query text for gp_stat_activity.
+  WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
+  wait_profile_.Reset();
+  info_->SetStrings(nullptr, nullptr, &sql);
   const int64_t threshold_us = cluster_->options().slow_query_threshold_us;
   Stopwatch sw;
   auto result = sql_driver::ExecuteSql(this, sql);
   if (threshold_us > 0) {
     int64_t elapsed_us = sw.ElapsedMicros();
     if (elapsed_us >= threshold_us) {
-      cluster_->slow_query_log().Record(sql, elapsed_us, MonotonicMicros());
+      std::vector<SlowQueryLog::WaitItem> waits;
+      for (const QueryWaitProfile::Item& item : wait_profile_.Top(3)) {
+        SlowQueryLog::WaitItem w;
+        w.event = std::string(WaitEventClassName(ClassOfEvent(item.event))) + ":" +
+                  WaitEventName(item.event);
+        w.count = item.count;
+        w.total_us = item.total_us;
+        waits.push_back(std::move(w));
+      }
+      cluster_->slow_query_log().Record(sql, elapsed_us, MonotonicMicros(),
+                                        std::move(waits));
     }
   }
   // Errors that never reached the statement executor (parse/analyze time)

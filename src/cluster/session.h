@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/wait_event.h"
 #include "plan/planner.h"
 #include "plan/select_query.h"
 
@@ -91,6 +92,11 @@ class Session {
   template <typename Fn>
   StatusOr<QueryResult> RunStatement(Fn&& fn);
 
+  // The ambient wait-event context this session's statements install
+  // (thread-local, via WaitContextGuard) so blocking points below attribute
+  // to this session / resource group.
+  WaitContext MakeWaitContext();
+
   Status EnsureTxn();
   Status TakeStatementSnapshot();
   // Declares `seg` a write participant: transaction lock + local xid.
@@ -169,6 +175,13 @@ class Session {
 
   bool trace_enabled_ = false;
   std::shared_ptr<Trace> last_trace_;
+
+  // Published live state (gp_stat_activity) — registered at connect,
+  // unregistered at disconnect. Never null after construction.
+  std::shared_ptr<SessionInfo> info_;
+  // Per-statement wait accumulation; Execute() resets it per statement and
+  // hands the top entries to the slow-query log.
+  QueryWaitProfile wait_profile_;
 };
 
 }  // namespace gphtap

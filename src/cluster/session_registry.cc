@@ -1,0 +1,43 @@
+#include "cluster/session_registry.h"
+
+#include <algorithm>
+
+namespace gphtap {
+
+const char* SessionStateName(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kActive:
+      return "active";
+    case SessionState::kIdleInTransaction:
+      return "idle in transaction";
+  }
+  return "?";
+}
+
+std::shared_ptr<SessionInfo> SessionRegistry::Register(const std::string& role,
+                                                       const std::string& group) {
+  auto info = std::make_shared<SessionInfo>();
+  info->SetStrings(&role, &group, nullptr);
+  std::lock_guard<std::mutex> g(mu_);
+  info->id = ++next_id_;
+  sessions_.push_back(info);
+  return info;
+}
+
+void SessionRegistry::Unregister(int64_t id) {
+  std::lock_guard<std::mutex> g(mu_);
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [&](const std::shared_ptr<SessionInfo>& s) {
+                                   return s->id == id;
+                                 }),
+                  sessions_.end());
+}
+
+std::vector<std::shared_ptr<SessionInfo>> SessionRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return sessions_;
+}
+
+}  // namespace gphtap

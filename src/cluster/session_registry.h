@@ -1,0 +1,83 @@
+// Live session directory backing gp_stat_activity: every connected Session
+// registers a SessionInfo whose fields its own thread updates as statements
+// start and finish, and whose SessionWaitState the ambient wait-event
+// machinery (common/wait_event.h) publishes blocking points into. Readers
+// (the system-view scan) only ever snapshot; nothing here blocks a session.
+#ifndef GPHTAP_CLUSTER_SESSION_REGISTRY_H_
+#define GPHTAP_CLUSTER_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/wait_event.h"
+
+namespace gphtap {
+
+/// Coarse session activity state (gp_stat_activity.state).
+enum class SessionState : int {
+  kIdle = 0,
+  kActive = 1,
+  kIdleInTransaction = 2,
+};
+
+const char* SessionStateName(SessionState s);
+
+/// One connected session's published state. The owning session writes; view
+/// scans read. Scalars are atomics; the strings sit behind a private mutex so
+/// a reader never sees a half-replaced std::string.
+struct SessionInfo {
+  int64_t id = 0;
+  SessionWaitState wait;
+  std::atomic<uint64_t> gxid{0};  // current distributed xid, 0 = none
+  std::atomic<int> state{static_cast<int>(SessionState::kIdle)};
+
+  void SetStrings(const std::string* role, const std::string* group,
+                  const std::string* query) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (role != nullptr) role_ = *role;
+    if (group != nullptr) group_ = *group;
+    if (query != nullptr) query_ = *query;
+  }
+  std::string role() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return role_;
+  }
+  std::string group() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return group_;
+  }
+  std::string query() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return query_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string role_;
+  std::string group_;
+  std::string query_;  // current statement, or the last one when idle
+};
+
+/// Registry of live sessions; Cluster owns one.
+class SessionRegistry {
+ public:
+  std::shared_ptr<SessionInfo> Register(const std::string& role,
+                                        const std::string& group);
+  void Unregister(int64_t id);
+
+  /// Shared handles to every live session, ordered by session id.
+  std::vector<std::shared_ptr<SessionInfo>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t next_id_ = 0;
+  std::vector<std::shared_ptr<SessionInfo>> sessions_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_SESSION_REGISTRY_H_

@@ -29,8 +29,9 @@ class BoundedQueue {
     return true;
   }
 
-  /// Non-blocking push. Returns false if full or closed.
-  bool TryPush(T item) {
+  /// Non-blocking push. Returns false if full or closed; on failure `item` is
+  /// left unmoved, so the caller may retry with the blocking Push.
+  bool TryPush(T&& item) {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));

@@ -24,9 +24,36 @@ void Trace::EndSpan(uint64_t span_id, int64_t rows) {
   std::lock_guard<std::mutex> g(mu_);
   for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
     if (it->span_id == span_id) {
-      it->end_us = now;
-      it->rows = rows;
+      if (it->end_us == 0) {
+        it->end_us = now;
+        it->rows = rows;
+      }
       return;
+    }
+  }
+}
+
+uint64_t Trace::AddCompletedSpan(const std::string& name, uint64_t parent_id,
+                                 int node, int64_t start_us, int64_t end_us) {
+  TraceSpan span;
+  span.span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id = parent_id;
+  span.name = name;
+  span.node = node;
+  span.start_us = start_us;
+  span.end_us = end_us;
+  std::lock_guard<std::mutex> g(mu_);
+  spans_.push_back(std::move(span));
+  return spans_.back().span_id;
+}
+
+void Trace::CloseOpenSpans(bool mark_aborted) {
+  const int64_t now = MonotonicMicros();
+  std::lock_guard<std::mutex> g(mu_);
+  for (TraceSpan& s : spans_) {
+    if (s.end_us == 0) {
+      s.end_us = now;
+      s.aborted = mark_aborted;
     }
   }
 }
@@ -58,6 +85,7 @@ std::string Trace::ToString() const {
       out << " +" << (s.start_us - t0) << "us";
       if (s.end_us > 0) out << " dur=" << (s.end_us - s.start_us) << "us";
       if (s.rows > 0) out << " rows=" << s.rows;
+      if (s.aborted) out << " ABORTED";
       out << "\n";
       self(self, s.span_id, depth + 1);
     }
@@ -77,15 +105,24 @@ void OperatorStatsCollector::Record(int node_id, int64_t rows, int64_t elapsed_u
   s.max_time_us = std::max(s.max_time_us, elapsed_us);
 }
 
+void OperatorStatsCollector::RecordMotionWait(int node_id, int64_t send_wait_us,
+                                              int64_t recv_wait_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  OpStats& s = stats_[node_id];
+  s.send_wait_us += send_wait_us;
+  s.recv_wait_us += recv_wait_us;
+}
+
 OperatorStatsCollector::OpStats OperatorStatsCollector::Get(int node_id) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = stats_.find(node_id);
   return it == stats_.end() ? OpStats{} : it->second;
 }
 
-void SlowQueryLog::Record(const std::string& sql, int64_t duration_us, int64_t at_us) {
+void SlowQueryLog::Record(const std::string& sql, int64_t duration_us, int64_t at_us,
+                          std::vector<WaitItem> top_waits) {
   std::lock_guard<std::mutex> g(mu_);
-  entries_.push_back(Entry{sql, duration_us, at_us});
+  entries_.push_back(Entry{sql, duration_us, at_us, std::move(top_waits)});
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 

@@ -31,6 +31,7 @@ struct TraceSpan {
   int64_t start_us = 0;
   int64_t end_us = 0;  // 0 while the span is open
   int64_t rows = 0;    // rows produced, where the instrumented site knows
+  bool aborted = false;  // span was force-closed when its query aborted
 };
 
 /// One query's span collection. Thread-safe: executor producer threads on
@@ -46,7 +47,18 @@ class Trace {
   /// Opens a span; returns its id (parent_id 0 makes it a root).
   uint64_t StartSpan(const std::string& name, uint64_t parent_id = 0,
                      int node = kCoordinatorNode);
+  /// No-op if the span is already ended (CloseOpenSpans may have beaten us).
   void EndSpan(uint64_t span_id, int64_t rows = 0);
+
+  /// Appends an already-finished span (wait intervals measure first, then
+  /// record). Returns its id.
+  uint64_t AddCompletedSpan(const std::string& name, uint64_t parent_id, int node,
+                            int64_t start_us, int64_t end_us);
+
+  /// Force-closes every still-open span at `now`; with `mark_aborted`, flags
+  /// them so an aborted query's trace shows where execution was cut off
+  /// instead of leaking open spans.
+  void CloseOpenSpans(bool mark_aborted);
 
   std::vector<TraceSpan> Spans() const;
   /// Indented text rendering of the span tree with relative timestamps.
@@ -70,9 +82,15 @@ class OperatorStatsCollector {
     int64_t executions = 0;
     int64_t total_time_us = 0;
     int64_t max_time_us = 0;
+    // Motion nodes only: interconnect blocked time, reported separately from
+    // operator wall time in EXPLAIN ANALYZE.
+    int64_t send_wait_us = 0;
+    int64_t recv_wait_us = 0;
   };
 
   void Record(int node_id, int64_t rows, int64_t elapsed_us, int64_t batches = 0);
+  /// Adds interconnect blocked time to a motion node's stats.
+  void RecordMotionWait(int node_id, int64_t send_wait_us, int64_t recv_wait_us);
   /// Zero-valued OpStats when the node never executed.
   OpStats Get(int node_id) const;
 
@@ -84,15 +102,26 @@ class OperatorStatsCollector {
 /// Fixed-capacity ring of the slowest-offending statements.
 class SlowQueryLog {
  public:
+  struct WaitItem {
+    std::string event;  // "Class:event", e.g. "Lock:relation"
+    uint64_t count = 0;
+    int64_t total_us = 0;
+  };
+
   struct Entry {
     std::string sql;
     int64_t duration_us = 0;
     int64_t at_us = 0;  // monotonic timestamp of completion
+    /// The statement's top wait events by accumulated time (at most 3): a slow
+    /// OLAP scan (empty / Net-heavy) reads differently from a lock-starved
+    /// OLTP statement (Lock-heavy) at a glance.
+    std::vector<WaitItem> top_waits;
   };
 
   explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
 
-  void Record(const std::string& sql, int64_t duration_us, int64_t at_us);
+  void Record(const std::string& sql, int64_t duration_us, int64_t at_us,
+              std::vector<WaitItem> top_waits = {});
   std::vector<Entry> Entries() const;
 
  private:

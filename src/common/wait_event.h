@@ -1,0 +1,184 @@
+// Attributable wait events (modeled on PostgreSQL's pg_stat_activity wait
+// instrumentation): every blocking point in the system — lock-manager queue
+// waits, motion send/recv stalls, WAL fsync, 2PC PREPARE / COMMIT PREPARED ack
+// waits, resource-group admission, buffer-pool misses — publishes a
+// (class, event) tag while it blocks and records the blocked duration when it
+// resumes.
+//
+// The machinery is deliberately ambient: a session thread installs a
+// WaitContext (thread-local) at its entry point, and any code below it opens a
+// WaitEventScope around an actual block. The scope
+//   * publishes the event on the session's SessionWaitState (so gp_stat_activity
+//     shows what a stalled session is waiting on, live),
+//   * accumulates (count, total, max, histogram) into the cluster-wide
+//     WaitEventRegistry keyed by (event, node, resource group), backing
+//     gp_wait_events,
+//   * accumulates into the per-statement QueryWaitProfile (slow-query log
+//     top-3 waits), and
+//   * appends a completed "wait:<event>" child span to the query's Trace so
+//     waits appear on the query timeline.
+// All four sinks are optional; with no context installed a scope is a no-op,
+// so library code (tests, benches) never pays for instrumentation it did not
+// ask for.
+#ifndef GPHTAP_COMMON_WAIT_EVENT_H_
+#define GPHTAP_COMMON_WAIT_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/trace.h"
+
+namespace gphtap {
+
+enum class WaitEventClass {
+  kNone = 0,
+  kLock,      // lock-manager queue waits
+  kNet,       // motion interconnect send/recv
+  kIO,        // WAL fsync, buffer-pool miss
+  kIpc,       // 2PC PREPARE / COMMIT PREPARED ack round trips
+  kResGroup,  // resource-group admission slot
+};
+
+enum class WaitEvent {
+  kNone = 0,
+  kLockRelation,
+  kLockTuple,
+  kLockTransaction,
+  kMotionSend,
+  kMotionRecv,
+  kWalFsync,
+  kBufferRead,
+  kPrepareAck,
+  kCommitPreparedAck,
+  kResGroupSlot,
+};
+
+const char* WaitEventClassName(WaitEventClass c);
+const char* WaitEventName(WaitEvent e);
+WaitEventClass ClassOfEvent(WaitEvent e);
+
+/// Live wait state published on a session (read by gp_stat_activity).
+/// Written only by the session's own threads; read by anyone.
+struct SessionWaitState {
+  std::atomic<int> event{0};           // WaitEvent as int; 0 = not waiting
+  std::atomic<int64_t> start_us{0};    // monotonic start of the current wait
+};
+
+/// Cluster-wide accumulated wait statistics keyed by (event, node, resource
+/// group). Backs the gp_wait_events system view.
+class WaitEventRegistry {
+ public:
+  struct Entry {
+    WaitEvent event = WaitEvent::kNone;
+    int node = -1;  // segment index, or -1 for the coordinator
+    std::string group;
+    uint64_t count = 0;
+    int64_t total_us = 0;
+    int64_t max_us = 0;
+    Histogram histogram;
+  };
+
+  void Record(WaitEvent event, int node, const std::string& group, int64_t elapsed_us);
+  /// Copies of every entry, sorted by (event, node, group).
+  std::vector<Entry> Snapshot() const;
+
+ private:
+  struct Key {
+    int event;
+    int node;
+    std::string group;
+    bool operator<(const Key& o) const {
+      if (event != o.event) return event < o.event;
+      if (node != o.node) return node < o.node;
+      return group < o.group;
+    }
+  };
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+/// Per-statement wait accumulation; the slow-query log keeps the top entries.
+class QueryWaitProfile {
+ public:
+  struct Item {
+    WaitEvent event = WaitEvent::kNone;
+    uint64_t count = 0;
+    int64_t total_us = 0;
+  };
+
+  void Record(WaitEvent event, int64_t elapsed_us);
+  void Reset();
+  /// Up to `n` items, sorted by total_us descending.
+  std::vector<Item> Top(size_t n) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<WaitEvent, Item> items_;
+};
+
+/// Ambient per-thread wait destination. All sinks optional.
+struct WaitContext {
+  WaitEventRegistry* registry = nullptr;
+  SessionWaitState* session = nullptr;
+  QueryWaitProfile* profile = nullptr;
+  Trace* trace = nullptr;       // wait-interval spans land here when set
+  uint64_t parent_span = 0;     // parent for wait spans
+  int node = -1;                // node label for registry + spans (coordinator=-1)
+  std::string group;            // resource group name ("" = none/default)
+};
+
+/// The thread's installed context, or nullptr. The pointer is mutable: the
+/// session updates trace/parent_span in place as a query progresses.
+WaitContext* CurrentWaitContext();
+
+/// Installs `ctx` as the thread's wait context for the guard's lifetime and
+/// restores the previous one after. With `only_if_absent`, an already-installed
+/// context wins and the guard is a no-op — session entry points use this so
+/// nested calls (Execute -> ExecuteSelect) install exactly once.
+class WaitContextGuard {
+ public:
+  explicit WaitContextGuard(WaitContext ctx, bool only_if_absent = false);
+  ~WaitContextGuard();
+
+  WaitContextGuard(const WaitContextGuard&) = delete;
+  WaitContextGuard& operator=(const WaitContextGuard&) = delete;
+
+ private:
+  WaitContext ctx_;
+  WaitContext* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+/// RAII around one actual block. Construct only on the slow path (after a
+/// non-blocking fast path failed) so unblocked operations stay untouched.
+class WaitEventScope {
+ public:
+  /// Node label defaults to the context's; pass `node_override` where the
+  /// blocking site knows better (a segment lock table inside a coordinator
+  /// statement).
+  explicit WaitEventScope(WaitEvent event);
+  WaitEventScope(WaitEvent event, int node_override);
+  ~WaitEventScope();
+
+  WaitEventScope(const WaitEventScope&) = delete;
+  WaitEventScope& operator=(const WaitEventScope&) = delete;
+
+ private:
+  void Init(WaitEvent event, int node);
+
+  WaitContext* ctx_ = nullptr;
+  WaitEvent event_ = WaitEvent::kNone;
+  int node_ = -1;
+  int64_t start_us_ = 0;
+  int prev_event_ = 0;
+  int64_t prev_start_us_ = 0;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_COMMON_WAIT_EVENT_H_

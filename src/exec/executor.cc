@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/wait_event.h"
 #include "exec/agg_ops.h"
 #include "storage/heap_table.h"
 #include "vec/vec_executor.h"
@@ -339,6 +340,26 @@ Status ExecuteNodeImpl(const PlanNode& node, ExecContext& ctx, const RowSink& si
       GPHTAP_RETURN_IF_ERROR(AcquireScanLock(ctx, node.table));
       return ExecIndexScan(node, ctx, sink);
     }
+    case PlanKind::kVirtualScan: {
+      // System views materialize on the coordinator from live cluster state;
+      // the planner never puts them in a segment slice.
+      if (ctx.segment != nullptr) {
+        return Status::Internal("virtual scan dispatched to a segment");
+      }
+      GPHTAP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              ctx.cluster->SystemViewRows(node.table));
+      for (Row& row : rows) {
+        GPHTAP_RETURN_IF_ERROR(ctx.Tick());
+        if (node.filter) {
+          GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, row));
+          if (!pass) continue;
+        }
+        Status s = sink(std::move(row));
+        if (s.code() == StatusCode::kStopIteration) return s;
+        GPHTAP_RETURN_IF_ERROR(s);
+      }
+      return Status::OK();
+    }
     case PlanKind::kValues: {
       for (const Row& r : node.rows) {
         GPHTAP_RETURN_IF_ERROR(ctx.Tick());
@@ -475,7 +496,12 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     }
   };
 
-  // Producer threads: one per (motion, gang member).
+  // Producer threads: one per (motion, gang member). Each inherits the
+  // caller's ambient wait context (registry / session / profile sinks) so
+  // blocking inside a slice — motion back-pressure, segment locks, buffer
+  // misses — is attributed to the owning statement, relabeled with the
+  // segment it happened on and parented under the slice's span.
+  const WaitContext* caller_wait = CurrentWaitContext();
   std::vector<std::thread> producers;
   for (const PlanNode* m : motions) {
     for (size_t gi = 0; gi < plan.gang.size(); ++gi) {
@@ -486,6 +512,12 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
           span = trace->StartSpan("slice:motion" + std::to_string(m->motion_id),
                                   parent_span, seg_index);
         }
+        WaitContext slice_wait;
+        if (caller_wait != nullptr) slice_wait = *caller_wait;
+        slice_wait.node = seg_index;
+        slice_wait.trace = trace;
+        slice_wait.parent_span = span;
+        WaitContextGuard wait_guard(slice_wait);
         // Service pin for the whole slice: a down segment fails the query with
         // a retryable error instead of reading torn state mid-recovery.
         auto pin = cluster->segment(seg_index)->Pin();
@@ -614,6 +646,15 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   // consumer before draining) and join them.
   for (auto& [id, ex] : exchanges) ex->Abort();
   for (auto& t : producers) t.join();
+
+  // Interconnect blocked time, attributed per motion so EXPLAIN ANALYZE can
+  // report "how long did this exchange stall" apart from operator time.
+  if (op_stats != nullptr) {
+    for (const PlanNode* m : motions) {
+      MotionExchange& ex = *exchanges[m->motion_id];
+      op_stats->RecordMotionWait(m->node_id, ex.send_wait_us(), ex.recv_wait_us());
+    }
+  }
 
   // The first recorded error is the root cause; later errors (e.g. the top
   // slice seeing "motion exchange aborted") are its echoes.

@@ -35,9 +35,11 @@ GddResult RunGddAlgorithm(const std::vector<LocalWaitGraph>& locals) {
   };
 
   bool removed = true;
+  int iterations = 0;
   std::unordered_map<uint64_t, int> gdeg;
   while (removed) {
     removed = false;
+    ++iterations;
 
     // Phase 1: drop all edges pointing to vertices with zero global out-degree.
     global_out_degree(&gdeg);
@@ -69,6 +71,7 @@ GddResult RunGddAlgorithm(const std::vector<LocalWaitGraph>& locals) {
   }
 
   GddResult result;
+  result.iterations = iterations;
   std::unordered_map<int, LocalWaitGraph> by_node;
   std::vector<WaitEdge> flat;
   for (const auto& we : edges) {

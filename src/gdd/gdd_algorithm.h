@@ -29,6 +29,8 @@ struct GddResult {
   std::vector<uint64_t> cycle_vertices;
   /// Suggested victim: the youngest transaction (largest gxid) on a cycle. 0 if none.
   uint64_t victim = 0;
+  /// Greedy-reduction sweeps until fixpoint (the final no-removal sweep counts).
+  int iterations = 0;
 
   std::string ToString() const;
 };

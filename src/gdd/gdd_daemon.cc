@@ -1,7 +1,11 @@
 #include "gdd/gdd_daemon.h"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
+#include <unordered_set>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace gphtap {
@@ -97,10 +101,83 @@ GddResult GddDaemon::RunOnce() {
   if (m_victims_ != nullptr) m_victims_->Add(1);
   GPHTAP_LOG(Info) << "GDD: global deadlock detected, killing youngest victim gxid="
                    << second.victim;
-  hooks_.kill(second.victim,
-              Status::DeadlockDetected("victim of global deadlock (gxid=" +
-                                       std::to_string(second.victim) + ")"));
+  const std::string reason =
+      "victim of global deadlock (gxid=" + std::to_string(second.victim) + ")";
+  RecordDeadlock(second, reason);
+  hooks_.kill(second.victim, Status::DeadlockDetected(reason));
   return second;
+}
+
+void GddDaemon::RecordDeadlock(const GddResult& result, const std::string& reason) {
+  DeadlockRecord rec;
+  rec.detected_at_us = MonotonicMicros();
+  rec.victim = result.victim;
+  rec.reason = reason;
+  rec.iterations = result.iterations;
+  std::unordered_set<uint64_t> on_cycle(result.cycle_vertices.begin(),
+                                        result.cycle_vertices.end());
+  for (const LocalWaitGraph& lg : result.remaining) {
+    for (const WaitEdge& e : lg.edges) {
+      rec.edges.push_back(DeadlockRecord::Edge{
+          e.waiter, e.holder, lg.node_id, e.dotted,
+          on_cycle.count(e.waiter) > 0 && on_cycle.count(e.holder) > 0});
+    }
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  rec.seq = ++next_deadlock_seq_;
+  deadlock_history_.push_back(std::move(rec));
+  while (deadlock_history_.size() > kDeadlockHistoryCapacity) {
+    deadlock_history_.pop_front();
+  }
+}
+
+std::vector<GddDaemon::DeadlockRecord> GddDaemon::DeadlockHistory() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return std::vector<DeadlockRecord>(deadlock_history_.begin(), deadlock_history_.end());
+}
+
+std::string GddDaemon::DumpDot() const {
+  DeadlockRecord rec;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (deadlock_history_.empty()) return "";
+    rec = deadlock_history_.back();
+  }
+  std::ostringstream out;
+  out << "digraph gdd_deadlock_" << rec.seq << " {\n";
+  out << "  label=\"global deadlock #" << rec.seq << " victim=" << rec.victim
+      << " iterations=" << rec.iterations << "\";\n";
+  out << "  node [shape=ellipse];\n";
+  // Declare vertices first: the victim filled red, other cycle members outlined.
+  std::vector<uint64_t> vertices;
+  std::unordered_set<uint64_t> cycle_vertices;
+  for (const auto& e : rec.edges) {
+    vertices.push_back(e.waiter);
+    vertices.push_back(e.holder);
+    if (e.on_cycle) {
+      cycle_vertices.insert(e.waiter);
+      cycle_vertices.insert(e.holder);
+    }
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()), vertices.end());
+  for (uint64_t v : vertices) {
+    out << "  \"" << v << "\" [label=\"gxid " << v << "\"";
+    if (v == rec.victim) {
+      out << ", style=filled, fillcolor=red";
+    } else if (cycle_vertices.count(v) > 0) {
+      out << ", color=red";
+    }
+    out << "];\n";
+  }
+  for (const auto& e : rec.edges) {
+    out << "  \"" << e.waiter << "\" -> \"" << e.holder << "\" [label=\"node "
+        << e.node << "\"";
+    if (e.dotted) out << ", style=dotted";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
 }
 
 GddDaemon::Stats GddDaemon::stats() const {

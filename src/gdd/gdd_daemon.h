@@ -7,8 +7,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,6 +40,25 @@ class GddDaemon {
     uint64_t stale_discards = 0;  // detection discarded because a txn finished
   };
 
+  /// One confirmed deadlock, as recorded at kill time: the validated merged
+  /// wait-for graph that survived greedy reduction, plus what was done about
+  /// it. Backs the gp_dist_deadlocks system view and DumpDot().
+  struct DeadlockRecord {
+    uint64_t seq = 0;            // 1-based detection sequence number
+    int64_t detected_at_us = 0;  // monotonic timestamp of the kill decision
+    uint64_t victim = 0;
+    std::string reason;          // the Status message handed to the kill hook
+    int iterations = 0;          // reduction sweeps the final run needed
+    struct Edge {
+      uint64_t waiter = 0;
+      uint64_t holder = 0;
+      int node = -1;   // where the wait was observed (-1 = coordinator)
+      bool dotted = false;
+      bool on_cycle = false;  // both endpoints sit on a deadlock cycle
+    };
+    std::vector<Edge> edges;  // the post-reduction graph, every node merged
+  };
+
   /// `metrics` (optional) registers gdd.rounds / gdd.deadlocks / gdd.victims /
   /// gdd.stale_discards / gdd.edges_collected / gdd.edges_reduced counters.
   GddDaemon(Hooks hooks, int64_t period_us, MetricsRegistry* metrics = nullptr);
@@ -58,14 +79,27 @@ class GddDaemon {
   Stats stats() const;
   int64_t period_us() const { return period_us_; }
 
+  /// The most recent confirmed deadlocks, oldest first (bounded ring).
+  std::vector<DeadlockRecord> DeadlockHistory() const;
+
+  /// Graphviz DOT of the last confirmed deadlock's wait-for graph: solid vs
+  /// dotted (style=dotted) edges, cycle members outlined, the victim filled
+  /// red. Empty string when no deadlock has been recorded yet.
+  std::string DumpDot() const;
+
  private:
   void Loop();
+  void RecordDeadlock(const GddResult& result, const std::string& reason);
 
   Hooks hooks_;
   const int64_t period_us_;
 
+  static constexpr size_t kDeadlockHistoryCapacity = 64;
+
   mutable std::mutex mu_;
   Stats stats_;
+  std::deque<DeadlockRecord> deadlock_history_;
+  uint64_t next_deadlock_seq_ = 0;
   Counter* m_rounds_ = nullptr;
   Counter* m_deadlocks_ = nullptr;
   Counter* m_victims_ = nullptr;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "common/wait_event.h"
 
 namespace gphtap {
 
@@ -111,6 +112,11 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
   w->mode = mode;
   st.queue.push_back(w);
   waiting_[owner->gxid()].push_back(tag);
+
+  WaitEvent wait_event = WaitEvent::kLockRelation;
+  if (tag.type == LockObjectType::kTuple) wait_event = WaitEvent::kLockTuple;
+  if (tag.type == LockObjectType::kTransaction) wait_event = WaitEvent::kLockTransaction;
+  WaitEventScope wait_scope(wait_event, node_id_);
 
   Stopwatch sw;
   bool checked_local = false;
@@ -276,6 +282,25 @@ void LockManager::AppendEdgesLocked(std::vector<WaitEdge>* edges) const {
       ahead_mask |= mode_bit;
     }
   }
+}
+
+std::vector<LockManager::LockInfo> LockManager::SnapshotLocks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LockInfo> out;
+  for (const auto& [tag, st] : locks_) {
+    for (const auto& [gxid, counts] : st.granted) {
+      for (int m = 1; m <= 8; ++m) {
+        if (counts[static_cast<size_t>(m)] > 0) {
+          out.push_back(LockInfo{node_id_, tag, static_cast<LockMode>(m), gxid, true});
+        }
+      }
+    }
+    for (const auto& w : st.queue) {
+      if (w->granted) continue;
+      out.push_back(LockInfo{node_id_, tag, w->mode, w->owner->gxid(), false});
+    }
+  }
+  return out;
 }
 
 LocalWaitGraph LockManager::CollectWaitGraph() const {

@@ -72,6 +72,17 @@ class LockManager {
   /// Snapshot of all wait-for edges on this node, labeled solid/dotted.
   LocalWaitGraph CollectWaitGraph() const;
 
+  /// One granted or queued lock entry (gp_locks system view).
+  struct LockInfo {
+    int node = -1;
+    LockTag tag;
+    LockMode mode = LockMode::kNone;
+    uint64_t gxid = 0;
+    bool granted = false;
+  };
+  /// Every grant (one entry per held mode) and every queued waiter.
+  std::vector<LockInfo> SnapshotLocks() const;
+
   /// Wakes any thread of `gxid` waiting in this lock table so that it observes
   /// its owner's cancel flag. Returns true if such a waiter existed.
   bool WakeWaitersOf(uint64_t gxid);

@@ -1,5 +1,8 @@
 #include "net/motion_exchange.h"
 
+#include "common/clock.h"
+#include "common/wait_event.h"
+
 namespace gphtap {
 
 MotionExchange::MotionExchange(int num_senders, int num_receivers, size_t buffer_rows,
@@ -26,12 +29,35 @@ void MotionExchange::ChargeRows(uint64_t n, uint64_t bytes) {
   net_->CountTupleRows(n, bytes);
 }
 
+bool MotionExchange::PushItem(int receiver, Item item) {
+  auto& queue = *queues_[static_cast<size_t>(receiver)];
+  if (queue.TryPush(std::move(item))) return true;
+  // Receiver buffer full (or closed): this is a real interconnect stall.
+  WaitEventScope wait(WaitEvent::kMotionSend);
+  Stopwatch sw;
+  bool ok = queue.Push(std::move(item));
+  send_wait_us_.fetch_add(sw.ElapsedMicros(), std::memory_order_relaxed);
+  return ok;
+}
+
+std::optional<MotionExchange::Item> MotionExchange::PopItem(int receiver) {
+  auto& queue = *queues_[static_cast<size_t>(receiver)];
+  auto fast = queue.TryPop();
+  if (fast.has_value()) return fast;
+  // Empty buffer: the consumer stalls waiting for producers (or end of stream).
+  WaitEventScope wait(WaitEvent::kMotionRecv);
+  Stopwatch sw;
+  auto item = queue.Pop();
+  recv_wait_us_.fetch_add(sw.ElapsedMicros(), std::memory_order_relaxed);
+  return item;
+}
+
 bool MotionExchange::Send(int receiver, Row row) {
   if (aborted_.load(std::memory_order_acquire)) return false;
   uint64_t bytes = sizeof(Row);
   for (const Datum& d : row) bytes += d.FootprintBytes();
   ChargeRows(1, bytes);
-  return queues_[static_cast<size_t>(receiver)]->Push(Item(std::move(row)));
+  return PushItem(receiver, Item(std::move(row)));
 }
 
 bool MotionExchange::SendToAll(const Row& row) {
@@ -47,7 +73,7 @@ bool MotionExchange::SendBatch(int receiver, BatchPtr batch) {
   ChargeRows(static_cast<uint64_t>(batch->ActiveRows()),
              static_cast<uint64_t>(batch->FootprintBytes()));
   if (net_ != nullptr) net_->CountTupleBatch();
-  return queues_[static_cast<size_t>(receiver)]->Push(Item(std::move(batch)));
+  return PushItem(receiver, Item(std::move(batch)));
 }
 
 bool MotionExchange::SendBatchToAll(const BatchPtr& batch) {
@@ -66,7 +92,6 @@ void MotionExchange::CloseSender() {
 }
 
 std::optional<Row> MotionExchange::Recv(int receiver) {
-  auto& queue = *queues_[static_cast<size_t>(receiver)];
   auto& eos = *eos_seen_[static_cast<size_t>(receiver)];
   auto& pending = *pending_rows_[static_cast<size_t>(receiver)];
   while (true) {
@@ -76,7 +101,7 @@ std::optional<Row> MotionExchange::Recv(int receiver) {
       return row;
     }
     if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
-    auto item = queue.Pop();
+    auto item = PopItem(receiver);
     if (!item.has_value()) return std::nullopt;  // queue closed (abort)
     if (std::holds_alternative<Eos>(*item)) {
       if (eos.fetch_add(1) + 1 >= num_senders_) return std::nullopt;
@@ -92,7 +117,6 @@ std::optional<Row> MotionExchange::Recv(int receiver) {
 }
 
 std::optional<ColumnBatch> MotionExchange::RecvBatch(int receiver) {
-  auto& queue = *queues_[static_cast<size_t>(receiver)];
   auto& eos = *eos_seen_[static_cast<size_t>(receiver)];
   auto& pending = *pending_rows_[static_cast<size_t>(receiver)];
   if (!pending.empty()) {
@@ -107,7 +131,7 @@ std::optional<ColumnBatch> MotionExchange::RecvBatch(int receiver) {
   }
   while (true) {
     if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
-    auto item = queue.Pop();
+    auto item = PopItem(receiver);
     if (!item.has_value()) return std::nullopt;  // queue closed (abort)
     if (std::holds_alternative<Eos>(*item)) {
       if (eos.fetch_add(1) + 1 >= num_senders_) return std::nullopt;

@@ -79,9 +79,20 @@ class MotionExchange {
   /// rows (observability/tests). A buffered batch counts as one item.
   size_t BufferedRows(int receiver) const;
 
+  /// Cumulative blocked time across all senders / receivers of this exchange
+  /// (EXPLAIN ANALYZE reports these separately from operator wall time).
+  int64_t send_wait_us() const { return send_wait_us_.load(std::memory_order_relaxed); }
+  int64_t recv_wait_us() const { return recv_wait_us_.load(std::memory_order_relaxed); }
+
  private:
   struct Eos {};
   using Item = std::variant<Row, BatchPtr, Eos>;
+
+  /// Push with wait attribution: non-blocking fast path first, then a blocking
+  /// Push under a kMotionSend wait scope so only real stalls are counted.
+  bool PushItem(int receiver, Item item);
+  /// Pop with wait attribution (kMotionRecv), same fast-path structure.
+  std::optional<Item> PopItem(int receiver);
 
   // Charges SimNet for `n` payload rows: kTupleData once per kRowsPerMessage
   // boundary crossed by [rows_sent_, rows_sent_ + n), plus the byte tally.
@@ -99,6 +110,8 @@ class MotionExchange {
   std::atomic<int> closed_senders_{0};
   std::atomic<bool> aborted_{false};
   std::atomic<uint64_t> rows_sent_{0};
+  std::atomic<int64_t> send_wait_us_{0};
+  std::atomic<int64_t> recv_wait_us_{0};
 };
 
 }  // namespace gphtap

@@ -29,6 +29,8 @@ const char* PlanKindName(PlanKind k) {
       return "SeqScan";
     case PlanKind::kIndexScan:
       return "IndexScan";
+    case PlanKind::kVirtualScan:
+      return "VirtualScan";
     case PlanKind::kValues:
       return "Values";
     case PlanKind::kGenerateSeries:
@@ -79,6 +81,7 @@ std::string PlanNode::ToString(int indent) const {
   switch (kind) {
     case PlanKind::kSeqScan:
     case PlanKind::kIndexScan:
+    case PlanKind::kVirtualScan:
       s += " table=" + std::to_string(table);
       if (kind == PlanKind::kIndexScan) {
         s += " key[$" + std::to_string(index_col) + "=" + index_key.ToString() + "]";
@@ -111,6 +114,15 @@ std::string PlanNode::ToString(int indent) const {
 PlanPtr MakeSeqScan(TableId table, int arity, ExprPtr filter) {
   auto p = std::make_unique<PlanNode>();
   p->kind = PlanKind::kSeqScan;
+  p->table = table;
+  p->filter = std::move(filter);
+  p->output_arity = arity;
+  return p;
+}
+
+PlanPtr MakeVirtualScan(TableId table, int arity, ExprPtr filter) {
+  auto p = std::make_unique<PlanNode>();
+  p->kind = PlanKind::kVirtualScan;
   p->table = table;
   p->filter = std::move(filter);
   p->output_arity = arity;

@@ -16,6 +16,7 @@ namespace gphtap {
 enum class PlanKind : uint8_t {
   kSeqScan,
   kIndexScan,
+  kVirtualScan,  // coordinator-only system-view scan (Cluster::SystemViewRows)
   kValues,
   kGenerateSeries,
   kFilter,
@@ -110,6 +111,7 @@ int AssignPlanNodeIds(PlanNode* root, int next_id = 0);
 
 /// Convenience builders used by the planner and tests.
 PlanPtr MakeSeqScan(TableId table, int arity, ExprPtr filter = nullptr);
+PlanPtr MakeVirtualScan(TableId table, int arity, ExprPtr filter = nullptr);
 PlanPtr MakeIndexScan(TableId table, int arity, int col, Datum key,
                       ExprPtr filter = nullptr);
 PlanPtr MakeMotion(MotionKind kind, PlanPtr child, int motion_id,

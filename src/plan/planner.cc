@@ -152,6 +152,15 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
   if (query.tables.empty()) return Status::InvalidArgument("SELECT requires FROM");
   const int num_tables = static_cast<int>(query.tables.size());
 
+  // System views execute coordinator-only: one kVirtualScan leaf, no motions,
+  // an empty gang. Joining them — with each other or with stored tables —
+  // would need virtual rows on segments, which is out of scope.
+  bool any_virtual = false;
+  for (const TableDef& t : query.tables) any_virtual |= t.is_system_view;
+  if (any_virtual && num_tables > 1) {
+    return Status::NotSupported("system views cannot be joined with other tables");
+  }
+
   // Combined-layout offsets.
   std::vector<int> offset(static_cast<size_t>(num_tables) + 1, 0);
   for (int t = 0; t < num_tables; ++t) {
@@ -219,6 +228,8 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     all_replicated &= t.distribution.kind == DistributionKind::kReplicated;
   }
   if (all_replicated) gang = {0};
+  // Virtual scans never dispatch to segments at all.
+  if (any_virtual) gang = {};
 
   // Build per-table scans.
   auto estimate = [&](const TableDef& t) -> uint64_t {
@@ -240,7 +251,10 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     // Point lookup through a hash index when available and pinned.
     ExprPtr all_quals = AndAll(table_quals[static_cast<size_t>(t)]);
     bool made_index_scan = false;
-    if (all_quals) {
+    if (def.is_system_view) {
+      scan = MakeVirtualScan(def.id, ncols, scan_filter);
+      made_index_scan = true;  // suppress the SeqScan fallback below
+    } else if (all_quals) {
       for (int icol : def.indexed_cols) {
         Datum key;
         if (ExtractEqualityConst(*all_quals, offset[static_cast<size_t>(t)] + icol, &key)) {
@@ -421,10 +435,13 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
   out.gang = gang;
 
   if (query.HasAggregates()) {
-    // Segment-side partial aggregation.
+    // Aggregation with group columns / agg arguments rebased onto the current
+    // stream layout. Stored tables aggregate in two phases (partial on the
+    // segments, final above a Gather); a system-view scan already runs on the
+    // coordinator, so one single-phase HashAgg suffices and no motion exists.
     auto partial = std::make_unique<PlanNode>();
     partial->kind = PlanKind::kHashAgg;
-    partial->agg_phase = AggPhase::kPartial;
+    partial->agg_phase = any_virtual ? AggPhase::kSingle : AggPhase::kPartial;
     for (int gc : query.group_by) {
       int local = current.col_map[static_cast<size_t>(gc)];
       if (local < 0) return Status::Internal("group-by column lost in join");
@@ -444,21 +461,31 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     partial->output_arity = static_cast<int>(partial->group_cols.size()) + state_arity;
     std::vector<AggSpec> final_aggs = partial->aggs;
     size_t num_groups = partial->group_cols.size();
-    partial->children.push_back(std::move(current.plan));
 
-    PlanPtr gathered = MakeMotion(MotionKind::kGather, std::move(partial),
-                                  opts.next_motion_id());
+    PlanPtr agg_out;
+    if (any_virtual) {
+      partial->output_arity =
+          static_cast<int>(num_groups + partial->aggs.size());
+      partial->children.push_back(std::move(current.plan));
+      agg_out = std::move(partial);
+    } else {
+      partial->children.push_back(std::move(current.plan));
 
-    auto final_agg = std::make_unique<PlanNode>();
-    final_agg->kind = PlanKind::kHashAgg;
-    final_agg->agg_phase = AggPhase::kFinal;
-    for (size_t i = 0; i < num_groups; ++i) {
-      final_agg->group_cols.push_back(static_cast<int>(i));
+      PlanPtr gathered = MakeMotion(MotionKind::kGather, std::move(partial),
+                                    opts.next_motion_id());
+
+      auto final_agg = std::make_unique<PlanNode>();
+      final_agg->kind = PlanKind::kHashAgg;
+      final_agg->agg_phase = AggPhase::kFinal;
+      for (size_t i = 0; i < num_groups; ++i) {
+        final_agg->group_cols.push_back(static_cast<int>(i));
+      }
+      final_agg->aggs = std::move(final_aggs);
+      final_agg->output_arity =
+          static_cast<int>(num_groups + final_agg->aggs.size());
+      final_agg->children.push_back(std::move(gathered));
+      agg_out = std::move(final_agg);
     }
-    final_agg->aggs = std::move(final_aggs);
-    final_agg->output_arity =
-        static_cast<int>(num_groups + final_agg->aggs.size());
-    final_agg->children.push_back(std::move(gathered));
 
     // Final projection: every item (visible + HAVING-hidden) in order.
     auto project = std::make_unique<PlanNode>();
@@ -494,7 +521,7 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
       if (item_index < num_visible) out.columns.push_back(item.name);
     }
     project->output_arity = static_cast<int>(project->exprs.size());
-    project->children.push_back(std::move(final_agg));
+    project->children.push_back(std::move(agg_out));
     out.root = std::move(project);
 
     // HAVING filters over the item layout, then hidden items are chopped off.
@@ -526,7 +553,12 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     }
     project->output_arity = static_cast<int>(project->exprs.size());
     project->children.push_back(std::move(current.plan));
-    out.root = MakeMotion(MotionKind::kGather, std::move(project), opts.next_motion_id());
+    if (any_virtual) {
+      out.root = std::move(project);  // already on the coordinator; no Gather
+    } else {
+      out.root =
+          MakeMotion(MotionKind::kGather, std::move(project), opts.next_motion_id());
+    }
   }
 
   // DISTINCT: dedupe on the coordinator (a grouping with no aggregates).

@@ -1,8 +1,10 @@
 #include "resgroup/resource_group.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/clock.h"
+#include "common/wait_event.h"
 
 namespace gphtap {
 
@@ -26,17 +28,20 @@ ResourceGroup::~ResourceGroup() { governor_->RemoveGroup(config_.name); }
 Status ResourceGroup::Admit(const std::atomic<bool>* cancelled) {
   std::unique_lock<std::mutex> lk(mu_);
   bool waited = false;
+  std::unique_ptr<WaitEventScope> wait_scope;
   Stopwatch sw;
   while (active_ >= config_.concurrency) {
     if (!waited) {
       waited = true;
       if (m_slot_waits_ != nullptr) m_slot_waits_->Add(1);
+      wait_scope = std::make_unique<WaitEventScope>(WaitEvent::kResGroupSlot);
     }
     if (cancelled != nullptr && cancelled->load(std::memory_order_acquire)) {
       return Status::Aborted("cancelled while queued for resource group " + name());
     }
     slot_available_.wait_for(lk, std::chrono::milliseconds(50));
   }
+  wait_scope.reset();
   if (waited && m_slot_wait_us_ != nullptr) {
     m_slot_wait_us_->Add(static_cast<uint64_t>(sw.ElapsedMicros()));
   }
@@ -92,6 +97,17 @@ std::shared_ptr<ResourceGroup> ResourceGroupRegistry::Get(const std::string& nam
   std::lock_guard<std::mutex> g(mu_);
   auto it = groups_.find(name);
   return it == groups_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<ResourceGroup>> ResourceGroupRegistry::ListGroups() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::shared_ptr<ResourceGroup>> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, group] : groups_) out.push_back(group);
+  std::sort(out.begin(), out.end(),
+            [](const std::shared_ptr<ResourceGroup>& a,
+               const std::shared_ptr<ResourceGroup>& b) { return a->name() < b->name(); });
+  return out;
 }
 
 Status ResourceGroupRegistry::AssignRole(const std::string& role,

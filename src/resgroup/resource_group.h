@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -79,6 +80,8 @@ class ResourceGroupRegistry {
   Status CreateGroup(const ResourceGroupConfig& config);
   Status DropGroup(const std::string& name);
   std::shared_ptr<ResourceGroup> Get(const std::string& name) const;
+  /// All groups, sorted by name (gp_resgroup_status system view).
+  std::vector<std::shared_ptr<ResourceGroup>> ListGroups() const;
 
   Status AssignRole(const std::string& role, const std::string& group);
   std::shared_ptr<ResourceGroup> GroupForRole(const std::string& role) const;

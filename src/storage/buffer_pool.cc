@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/clock.h"
+#include "common/wait_event.h"
 
 namespace gphtap {
 
@@ -33,6 +34,7 @@ void BufferPool::Access(TableId table, uint64_t page) {
   // Pay the I/O cost outside the pool mutex so concurrent hits are not
   // blocked; faults themselves queue on the device when it is a single disk.
   if (miss && options_.miss_cost_us > 0) {
+    WaitEventScope wait(WaitEvent::kBufferRead);
     if (options_.single_device) {
       std::lock_guard<std::mutex> io(io_mu_);
       PreciseSleepUs(options_.miss_cost_us);

@@ -18,6 +18,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/wait_event.h"
 #include "txn/xid.h"
 
 namespace gphtap {
@@ -70,7 +71,10 @@ class Wal {
 
   void Fsync() {
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
-    PreciseSleepUs(fsync_cost_us_);
+    if (fsync_cost_us_ > 0) {
+      WaitEventScope wait(WaitEvent::kWalFsync);
+      PreciseSleepUs(fsync_cost_us_);
+    }
   }
 
   /// A copy of the log for recovery replay.
