@@ -1,0 +1,127 @@
+// Chaos harness under measurement: runs the seeded fault schedule against the
+// TPC-B-style transfer + scan mix (src/workload/chaos.h) and reports the
+// resilience rates — committed/abort/retry/shed — plus crash-recovery latency
+// percentiles. The safety invariants are enforced here too: any violation
+// fails the binary (non-zero exit), so the tier-1 chaos smoke gates on them.
+//
+// GPHTAP_CHAOS_MS overrides the schedule length (run_tier1.sh uses 10000).
+#include "bench_common.h"
+
+#include "workload/chaos.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+bool& ViolationFlag() {
+  static bool failed = false;
+  return failed;
+}
+
+int64_t ChaosMs() {
+  const char* ms = std::getenv("GPHTAP_CHAOS_MS");
+  if (ms != nullptr) return std::atoll(ms);
+  return SmokeFlag() ? 1500 : 4000;
+}
+
+ClusterOptions ChaosClusterOptions() {
+  ClusterOptions o;
+  o.num_segments = SmokeFlag() ? 3 : 4;
+  o.gdd_enabled = true;
+  o.mirrors_enabled = true;
+  o.crash_recovery_enabled = true;
+  o.fts_enabled = true;
+  o.breaker_enabled = true;
+  o.commit_retry_deadline_us = 2'000'000;
+  return o;
+}
+
+void RunChaosPoint(::benchmark::State& state, const std::string& series) {
+  uint64_t seed = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(ChaosClusterOptions());
+    ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.duration_ms = ChaosMs();
+    cfg.transfer_sessions = 6;
+    cfg.scan_sessions = 2;
+    cfg.statement_timeout_ms = 1500;
+    Status setup = SetupChaosTables(&cluster, cfg);
+    if (!setup.ok()) {
+      state.SkipWithError(setup.ToString().c_str());
+      return;
+    }
+    Stopwatch sw;
+    ChaosReport r = RunChaosWorkload(&cluster, cfg);
+    double seconds = sw.ElapsedSeconds();
+    std::printf("%s\n", r.ToString().c_str());
+    if (!r.invariants_ok()) {
+      ViolationFlag() = true;
+      state.SkipWithError("chaos invariant violation (see report above)");
+      return;
+    }
+
+    Histogram recovery;
+    for (int64_t us : r.recovery_latencies_us) recovery.Record(us);
+    double attempts = static_cast<double>(r.transfers_attempted + r.scans_attempted);
+    double aborts = static_cast<double>(r.deadlock_victims + r.timeouts + r.shed +
+                                        r.unavailable + r.aborted_other);
+    uint64_t stmt_retries = 0;
+    for (const auto& [name, value] : cluster.StatsSnapshot().counters) {
+      if (name == "resilience.statement_retries") stmt_retries = value;
+    }
+
+    JsonFields fields;
+    fields.push_back({"throughput_tps",
+                      seconds > 0 ? static_cast<double>(r.transfers_committed) / seconds
+                                  : 0});
+    // Latency percentiles: crash -> back-up recovery latency (the run's
+    // availability figure of merit; the recovery_p95_us alias keeps the name
+    // self-describing).
+    fields.push_back({"p50_us", static_cast<double>(recovery.Percentile(50))});
+    fields.push_back({"p95_us", static_cast<double>(recovery.Percentile(95))});
+    fields.push_back({"p99_us", static_cast<double>(recovery.Percentile(99))});
+    fields.push_back({"recovery_p95_us", static_cast<double>(recovery.Percentile(95))});
+    fields.push_back({"transfers_committed", static_cast<double>(r.transfers_committed)});
+    fields.push_back({"transfers_ambiguous", static_cast<double>(r.transfers_ambiguous)});
+    fields.push_back({"abort_rate", attempts > 0 ? aborts / attempts : 0});
+    fields.push_back(
+        {"retry_rate", attempts > 0 ? static_cast<double>(stmt_retries) / attempts : 0});
+    fields.push_back({"shed_rate", attempts > 0 ? static_cast<double>(r.shed) / attempts
+                                                : 0});
+    fields.push_back({"timeout_rate",
+                      attempts > 0 ? static_cast<double>(r.timeouts) / attempts : 0});
+    fields.push_back({"faults_injected", static_cast<double>(r.faults_injected)});
+    fields.push_back({"crashes", static_cast<double>(r.crashes)});
+    fields.push_back({"mirror_promotions", static_cast<double>(r.mirror_promotions)});
+    fields.push_back({"scans_retried_ok", static_cast<double>(r.scans_retried_ok)});
+    AddClusterCounters(&cluster, &fields);
+    RecordPoint(series, static_cast<int64_t>(seed), std::move(fields));
+
+    state.counters["committed"] = static_cast<double>(r.transfers_committed);
+    state.counters["abort_rate"] = attempts > 0 ? aborts / attempts : 0;
+    state.counters["recovery_p95_us"] = static_cast<double>(recovery.Percentile(95));
+  }
+}
+
+void RegisterAll() {
+  std::string series = "Chaos/Invariants";
+  auto* b = ::benchmark::RegisterBenchmark(
+      series.c_str(),
+      [series](::benchmark::State& state) { RunChaosPoint(state, series); });
+  for (int64_t seed : Points({42, 1337})) b->Arg(seed);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  int rc = gphtap::bench::BenchMain(argc, argv, "chaos", gphtap::bench::RegisterAll);
+  if (gphtap::bench::ViolationFlag()) {
+    std::fprintf(stderr, "chaos invariants violated\n");
+    return 1;
+  }
+  return rc;
+}

@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|wait_event_test|system_views_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|wait_event_test|system_views_test|timeout_test|chaos_test')
 
 # Smoke-run one benchmark and validate its machine-readable output. The run
 # also exports a Chrome trace_event dump of the traced queries, validated
@@ -49,6 +49,25 @@ for ev in events:
 names = {ev["name"] for ev in events}
 assert any(n == "query" for n in names), f"no root query span in {sorted(names)[:10]}"
 print(f"TRACE json OK: {len(events)} spans across {len({e['pid'] for e in events})} queries")
+EOF
+
+# Chaos smoke: a 10-second seeded fault schedule (crashes + failover + delay
+# + drop) over concurrent transfers and scans. The binary exits non-zero on
+# any safety-invariant violation; the JSON carries the resilience rates.
+(cd build && GPHTAP_CHAOS_MS=10000 ./bench/bench_chaos --smoke)
+python3 - build/BENCH_chaos.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "chaos", doc
+assert doc["points"], "no points recorded"
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us",
+            "abort_rate", "retry_rate", "shed_rate", "recovery_p95_us"}
+for point in doc["points"]:
+    missing = required - set(point)
+    assert not missing, f"point {point.get('series')} missing {missing}"
+    assert point["faults_injected"] > 0, f"no faults injected in {point['series']}"
+print(f"BENCH chaos json OK: {len(doc['points'])} points")
 EOF
 
 # Vectorized-kernel microbench: smoke-run and validate the JSON.

@@ -28,7 +28,11 @@ std::vector<TableDef> BuildDefs() {
        {"wait_event_class", TypeId::kString},
        {"wait_event", TypeId::kString},
        {"wait_us", TypeId::kInt64},  // how long the current wait has lasted
-       {"query", TypeId::kString}}));
+       {"query", TypeId::kString},
+       // Resilience: time left before the statement deadline fires (-1 = no
+       // deadline armed) and transparent retry count of the current statement.
+       {"deadline_remaining_us", TypeId::kInt64},
+       {"retries", TypeId::kInt64}}));
 
   // Every grant and every queued waiter in every lock table (coordinator = -1).
   defs.push_back(MakeView(SystemViewId::kLocks, "gp_locks",
@@ -45,7 +49,12 @@ std::vector<TableDef> BuildDefs() {
                            {"concurrency", TypeId::kInt64},
                            {"active", TypeId::kInt64},
                            {"cpu_rate_limit", TypeId::kDouble},
-                           {"memory_limit_mb", TypeId::kInt64}}));
+                           {"memory_limit_mb", TypeId::kInt64},
+                           // Overload protection (admission queue) counters.
+                           {"queued", TypeId::kInt64},
+                           {"queued_total", TypeId::kInt64},
+                           {"shed", TypeId::kInt64},
+                           {"admission_timeouts", TypeId::kInt64}}));
 
   defs.push_back(MakeView(SystemViewId::kSegmentStatus, "gp_segment_status",
                           {{"segment", TypeId::kInt64},

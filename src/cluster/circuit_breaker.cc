@@ -1,0 +1,66 @@
+#include "cluster/circuit_breaker.h"
+
+namespace gphtap {
+
+Status CircuitBreaker::Allow(int64_t now_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen:
+      if (now_us >= open_until_us_) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;  // this caller is the probe
+        return Status::OK();
+      }
+      return Status::Unavailable("circuit breaker open (segment suspected down)");
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps failing fast until it reports.
+      if (probe_in_flight_) {
+        return Status::Unavailable("circuit breaker half-open (probe in flight)");
+      }
+      probe_in_flight_ = true;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> g(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (state_ == State::kHalfOpen) {
+    // Probe failed: back to open for another cooldown.
+    state_ = State::kOpen;
+    open_until_us_ = now_us + opts_.cooldown_us;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (state_ == State::kOpen) return;  // already tripped
+  if (++consecutive_failures_ >= opts_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_us_ = now_us + opts_.cooldown_us;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    if (m_trips_ != nullptr) m_trips_->Add(1);
+  }
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  open_until_us_ = 0;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_;
+}
+
+}  // namespace gphtap

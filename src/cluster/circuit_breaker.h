@@ -1,0 +1,65 @@
+// Per-segment circuit breaker (classic closed -> open -> half-open automaton).
+// Dispatch paths consult the breaker before pinning a segment: after a burst of
+// consecutive Unavailable failures the breaker opens and callers fail fast with
+// kUnavailable instead of each paying the probe/timeout cost while FTS is still
+// confirming the crash. After a cooldown the breaker lets one probe through
+// (half-open); success closes it, failure re-opens. Recovery/failover paths
+// reset the breaker explicitly so a freshly promoted mirror is not shunned.
+#ifndef GPHTAP_CLUSTER_CIRCUIT_BREAKER_H_
+#define GPHTAP_CLUSTER_CIRCUIT_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace gphtap {
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 3;      // consecutive failures before tripping
+    int64_t cooldown_us = 200'000;  // open -> half-open probe interval
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options opts) : opts_(opts) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// OK if a call may proceed (closed, or half-open probe slot available, or
+  /// cooldown elapsed); kUnavailable fail-fast while open.
+  Status Allow(int64_t now_us);
+
+  /// Call outcome feedback from the dispatch path.
+  void RecordSuccess();
+  void RecordFailure(int64_t now_us);
+
+  /// Segment recovered / mirror promoted: forget all failure history.
+  void Reset();
+
+  State state() const;
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  /// Counter for resilience.breaker_trips; null is a no-op.
+  void set_trip_counter(Counter* c) { m_trips_ = c; }
+
+ private:
+  const Options opts_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t open_until_us_ = 0;
+  bool probe_in_flight_ = false;
+  std::atomic<uint64_t> trips_{0};
+  Counter* m_trips_ = nullptr;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_CLUSTER_CIRCUIT_BREAKER_H_

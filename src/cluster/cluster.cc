@@ -5,6 +5,8 @@
 
 #include "catalog/system_views.h"
 #include "cluster/session.h"
+#include "common/clock.h"
+#include "net/motion_exchange.h"
 #include "storage/heap_table.h"
 
 namespace gphtap {
@@ -50,6 +52,13 @@ Cluster::Cluster(ClusterOptions options)
       mirrors_.back()->set_fault_injector(&faults_);
       mirrors_.back()->Start(segments_.back()->change_log());
     }
+    if (options.breaker_enabled) {
+      CircuitBreaker::Options breaker_options;
+      breaker_options.failure_threshold = options.breaker_failure_threshold;
+      breaker_options.cooldown_us = options.breaker_cooldown_us;
+      breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_options));
+      breakers_.back()->set_trip_counter(metrics_.counter("resilience.breaker_trips"));
+    }
   }
 
   if (options.gdd_enabled) {
@@ -88,6 +97,37 @@ Cluster::Cluster(ClusterOptions options)
     fts_->Start();
   }
 
+  {
+    // Always on: it is the correctness valve for 2PC transactions whose
+    // commit fanout gave up on a participant (see dtx_recovery.h). Idle cost
+    // is one parked thread.
+    DtxRecoveryDaemon::Hooks hooks;
+    hooks.commit_segment = [this](Gxid gxid, int seg_index) -> Status {
+      // Same wire + pin + local-commit shape as CommitSegmentWithRetry, but
+      // without a deadline: the daemon retries until the segment answers.
+      // Segment::Pin (not the breaker-guarded PinSegment) on purpose — this
+      // path must keep probing a down segment, not fail fast.
+      if (!net_.Deliver(MsgKind::kCommit)) {
+        return Status::Unavailable("commit message to segment " +
+                                   std::to_string(seg_index) + " dropped");
+      }
+      Segment* seg = segment(seg_index);
+      auto pin = seg->Pin();
+      if (!pin.ok()) return pin.status();
+      Status s = seg->txns().CommitPrepared(gxid);
+      if (s.ok()) net_.Deliver(MsgKind::kCommitAck);  // outcome observed directly
+      return s;
+    };
+    hooks.release_locks = [this](const std::shared_ptr<LockOwner>& owner,
+                                 int seg_index) {
+      segment(seg_index)->locks().ReleaseAll(*owner);
+    };
+    hooks.mark_committed = [this](Gxid gxid) { dtm_.MarkCommitted(gxid); };
+    dtx_recovery_ = std::make_unique<DtxRecoveryDaemon>(
+        std::move(hooks), options.dtx_recovery_period_us, &metrics_);
+    dtx_recovery_->Start();
+  }
+
   if (options.maintenance_period_us > 0) {
     maintenance_running_.store(true);
     maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
@@ -95,6 +135,7 @@ Cluster::Cluster(ClusterOptions options)
 }
 
 Cluster::~Cluster() {
+  if (dtx_recovery_) dtx_recovery_->Stop();
   if (fts_) fts_->Stop();
   for (auto& m : mirrors_) m->Stop();
   if (gdd_) gdd_->Stop();
@@ -222,6 +263,44 @@ void Cluster::CancelTxn(Gxid gxid, Status reason) {
   if (owner != nullptr) owner->Cancel(std::move(reason));
   coordinator_locks_.WakeWaitersOf(gxid);
   for (auto& seg : segments_) seg->locks().WakeWaitersOf(gxid);
+  // Abort the query's open motion exchanges: a receiver parked in
+  // Recv/RecvBatch on an idle sender has no lock wait to be woken from and
+  // would otherwise only notice the cancel at its next poll chunk.
+  std::vector<std::weak_ptr<MotionExchange>> exchanges;
+  {
+    std::lock_guard<std::mutex> g(exchanges_mu_);
+    auto it = query_exchanges_.find(gxid);
+    if (it != query_exchanges_.end()) exchanges = it->second;
+  }
+  for (auto& weak : exchanges) {
+    if (auto exchange = weak.lock()) exchange->Abort();
+  }
+}
+
+void Cluster::RegisterExchanges(Gxid gxid,
+                                std::vector<std::weak_ptr<MotionExchange>> exchanges) {
+  std::lock_guard<std::mutex> g(exchanges_mu_);
+  auto& slot = query_exchanges_[gxid];
+  slot.insert(slot.end(), exchanges.begin(), exchanges.end());
+}
+
+void Cluster::UnregisterExchanges(Gxid gxid) {
+  std::lock_guard<std::mutex> g(exchanges_mu_);
+  query_exchanges_.erase(gxid);
+}
+
+StatusOr<SegmentPin> Cluster::PinSegment(int index) {
+  CircuitBreaker* b = breaker(index);
+  if (b == nullptr) return segment(index)->Pin();
+  const int64_t now = MonotonicMicros();
+  GPHTAP_RETURN_IF_ERROR(b->Allow(now));
+  auto pin = segment(index)->Pin();
+  if (pin.ok()) {
+    b->RecordSuccess();
+  } else if (pin.status().code() == StatusCode::kUnavailable) {
+    b->RecordFailure(now);
+  }
+  return pin;
 }
 
 std::vector<LocalWaitGraph> Cluster::CollectWaitGraphs() {
@@ -321,9 +400,11 @@ Status Cluster::RecoverSegment(int index) {
   if (index < 0 || index >= num_segments()) {
     return Status::InvalidArgument("no segment " + std::to_string(index));
   }
-  return segment(index)->Recover(
+  Status s = segment(index)->Recover(
       DefsForSegment(index), [this](Gxid gxid) { return ResolveInDoubt(gxid); },
       Segment::RecoverySource::kLocalWal);
+  if (s.ok() && breaker(index) != nullptr) breaker(index)->Reset();
+  return s;
 }
 
 Status Cluster::FailoverToMirror(int index) {
@@ -347,9 +428,11 @@ Status Cluster::FailoverToMirror(int index) {
   // Rebuild the primary in place from the stream the mirror replayed. The
   // mirror's copy and the stream are byte-identical (same ChangeLog), so this
   // is "the mirror takes over" without moving table objects between nodes.
-  return seg->Recover(DefsForSegment(index),
-                      [this](Gxid gxid) { return ResolveInDoubt(gxid); },
-                      Segment::RecoverySource::kShippedStream);
+  Status s = seg->Recover(DefsForSegment(index),
+                          [this](Gxid gxid) { return ResolveInDoubt(gxid); },
+                          Segment::RecoverySource::kShippedStream);
+  if (s.ok() && breaker(index) != nullptr) breaker(index)->Reset();
+  return s;
 }
 
 ClusterHealth Cluster::Health() {

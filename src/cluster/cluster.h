@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/circuit_breaker.h"
+#include "cluster/dtx_recovery.h"
 #include "cluster/fts.h"
 #include "cluster/mirror.h"
 #include "cluster/segment.h"
@@ -29,6 +31,7 @@
 
 namespace gphtap {
 
+class MotionExchange;
 class Session;
 
 struct ClusterOptions {
@@ -108,6 +111,39 @@ struct ClusterOptions {
   bool trace_queries = false;
   // Statements slower than this land in the slow-query log; 0 = disabled.
   int64_t slow_query_threshold_us = 0;
+
+  // --- Query-lifecycle resilience ---
+  // Cluster-wide defaults for the session timeout GUCs (SET statement_timeout
+  // / lock_timeout / admission_timeout override per session). 0 = disabled.
+  int64_t statement_timeout_us = 0;  // whole-statement absolute deadline
+  int64_t lock_timeout_us = 0;       // per individual lock wait
+  int64_t admission_timeout_us = 0;  // resource-group queue wait
+
+  // Coordinator statement retry: read-only statements failing with a
+  // retryable kUnavailable (segment crash, failover in flight) are re-planned
+  // and re-dispatched with a fresh snapshot under capped exponential backoff.
+  // Writes are never silently retried. <= 1 attempts disables retry.
+  int statement_retry_max_attempts = 3;
+  int64_t statement_retry_initial_backoff_us = 2'000;
+  int64_t statement_retry_max_backoff_us = 200'000;
+
+  // Per-segment circuit breaker: after `breaker_failure_threshold` consecutive
+  // kUnavailable dispatch failures, fail fast for `breaker_cooldown_us` before
+  // letting a probe through (half-open). Reset on recovery/failover.
+  bool breaker_enabled = false;
+  int breaker_failure_threshold = 3;
+  int64_t breaker_cooldown_us = 200'000;
+
+  // Resource-group admission overload protection: bound the per-group wait
+  // queue (0 = unbounded; overflow is shed with kResourceExhausted), or shed
+  // immediately whenever no slot is free (shed-on-saturation mode).
+  int resgroup_max_queue = 0;
+  bool resgroup_shed_on_saturation = false;
+
+  // Background retry period for committed-but-unacked 2PC participants
+  // (DtxRecoveryDaemon). The transaction stays in the distributed in-progress
+  // set — invisible to every snapshot — until the daemon completes it.
+  int64_t dtx_recovery_period_us = 5'000;
 };
 
 /// Point-in-time health of one segment (cluster health API).
@@ -195,6 +231,10 @@ class Cluster {
   /// the coordinator still runs it (phase two will arrive), abort otherwise.
   Segment::InDoubtDecision ResolveInDoubt(Gxid gxid);
 
+  /// Background completion of committed-but-unacked 2PC transactions (the
+  /// session hands over when CommitSegmentWithRetry exhausts its deadline).
+  DtxRecoveryDaemon& dtx_recovery() { return *dtx_recovery_; }
+
   /// Per-segment up/down + mirror replication lag + FTS counters.
   ClusterHealth Health();
 
@@ -229,10 +269,30 @@ class Cluster {
   /// Human-readable text dump of StatsSnapshot().
   std::string StatsDump();
 
-  /// Cancels a transaction everywhere: flags its owner and wakes any lock wait
-  /// it is parked in (coordinator or segments). Used by the GDD kill hook and
-  /// by statement-error propagation.
+  /// Cancels a transaction everywhere: flags its owner, wakes any lock wait it
+  /// is parked in (coordinator or segments), and aborts the query's registered
+  /// motion exchanges so receivers parked in Recv/RecvBatch wake promptly.
+  /// Used by the GDD kill hook and by statement-error propagation.
   void CancelTxn(Gxid gxid, Status reason);
+
+  // ---- Query-lifecycle resilience ----
+  /// Registers a running query's motion exchanges under its gxid so CancelTxn
+  /// (GDD kill, statement timeout, user cancel) can abort them. The executor
+  /// registers after creating the exchanges and unregisters before returning;
+  /// weak_ptrs keep the registry from extending exchange lifetime.
+  void RegisterExchanges(Gxid gxid, std::vector<std::weak_ptr<MotionExchange>> exchanges);
+  void UnregisterExchanges(Gxid gxid);
+
+  /// Breaker-guarded segment entry for dispatch paths: while segment `index`'s
+  /// breaker is open this fails fast with kUnavailable (no service-lock probe);
+  /// otherwise delegates to Segment::Pin and feeds the outcome back into the
+  /// breaker. With the breaker disabled it is exactly Segment::Pin.
+  StatusOr<SegmentPin> PinSegment(int index);
+
+  /// The per-segment breaker, or null when options.breaker_enabled is false.
+  CircuitBreaker* breaker(int index) {
+    return breakers_.empty() ? nullptr : breakers_[static_cast<size_t>(index)].get();
+  }
 
   /// All local wait-for graphs (coordinator node id -1 plus each segment).
   std::vector<LocalWaitGraph> CollectWaitGraphs();
@@ -295,6 +355,10 @@ class Cluster {
 
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<MirrorSegment>> mirrors_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  // empty unless enabled
+
+  mutable std::mutex exchanges_mu_;
+  std::unordered_map<Gxid, std::vector<std::weak_ptr<MotionExchange>>> query_exchanges_;
 
   mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, TableDef> catalog_;
@@ -306,6 +370,7 @@ class Cluster {
 
   std::unique_ptr<GddDaemon> gdd_;
   std::unique_ptr<FtsDaemon> fts_;
+  std::unique_ptr<DtxRecoveryDaemon> dtx_recovery_;
   std::atomic<int> next_motion_id_{0};
   std::mutex failover_mu_;  // serializes FTS-driven and manual failovers
 

@@ -118,13 +118,16 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
           name = WaitEventName(we);
           wait_us = std::max<int64_t>(0, now - start);
         }
+        int64_t deadline = s->deadline_us.load(std::memory_order_acquire);
+        int64_t deadline_remaining = deadline == 0 ? -1 : deadline - now;
         rows.push_back(Row{
             Int(s->id), Datum(s->role()), Datum(s->group()),
             Uint(s->gxid.load(std::memory_order_acquire)),
             Str(SessionStateName(
                 static_cast<SessionState>(s->state.load(std::memory_order_acquire)))),
             Datum(std::move(cls)), Datum(std::move(name)), Int(wait_us),
-            Datum(s->query())});
+            Datum(s->query()), Int(deadline_remaining),
+            Int(s->retries.load(std::memory_order_acquire))});
       }
       return rows;
     }
@@ -143,9 +146,12 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
     }
     case SystemViewId::kResgroupStatus: {
       for (const auto& group : resgroups_.ListGroups()) {
+        ResourceGroup::OverloadStats os = group->overload_stats();
         rows.push_back(Row{Datum(group->name()), Int(group->config().concurrency),
                            Int(group->active()), Datum(group->config().cpu_rate_limit),
-                           Int(group->config().memory_limit_mb)});
+                           Int(group->config().memory_limit_mb), Int(os.queued_now),
+                           Uint(os.queued_total), Uint(os.shed),
+                           Uint(os.admission_timeouts)});
       }
       return rows;
     }

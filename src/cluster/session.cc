@@ -34,6 +34,10 @@ Session::Session(Cluster* cluster, std::string role)
     : cluster_(cluster), role_(std::move(role)) {
   SetRole(role_);
   info_ = cluster_->sessions().Register(role_, group_->name());
+  const ClusterOptions& opts = cluster_->options();
+  statement_timeout_us_ = opts.statement_timeout_us;
+  lock_timeout_us_ = opts.lock_timeout_us;
+  admission_timeout_us_ = opts.admission_timeout_us;
   MetricsRegistry& metrics = cluster_->metrics();
   m_.committed = metrics.counter("txn.committed");
   m_.aborted = metrics.counter("txn.aborted");
@@ -43,6 +47,8 @@ Session::Session(Cluster* cluster, std::string role)
   m_.auto_prepares = metrics.counter("txn.auto_prepares");
   m_.retries = metrics.counter("txn.commit_retries");
   m_.statements = metrics.counter("txn.statements");
+  m_.stmt_retries = metrics.counter("resilience.statement_retries");
+  m_.stmt_timeouts = metrics.counter("resilience.statement_timeouts");
 }
 
 Session::~Session() {
@@ -70,7 +76,25 @@ WaitContext Session::MakeWaitContext() {
   ctx.profile = &wait_profile_;
   ctx.node = -1;  // coordinator; slice/DML workers override per segment
   ctx.group = group_->name();
+  // Ambient interruption: blocking points poll this owner's cancellation /
+  // statement deadline. Null before the first transaction begins; RunStatement
+  // patches the installed context once EnsureTxn creates the owner.
+  ctx.owner = owner_.get();
   return ctx;
+}
+
+void Session::ArmStatementDeadline() {
+  if (owner_ == nullptr) return;
+  int64_t deadline = 0;
+  if (statement_timeout_us_ > 0) deadline = MonotonicMicros() + statement_timeout_us_;
+  owner_->set_deadline_us(deadline);
+  owner_->set_lock_timeout_us(lock_timeout_us_);
+  info_->deadline_us.store(deadline, std::memory_order_release);
+}
+
+void Session::DisarmStatementDeadline() {
+  if (owner_ != nullptr) owner_->set_deadline_us(0);
+  info_->deadline_us.store(0, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -98,13 +122,22 @@ Status Session::EnsureTxn() {
   txn_failed_ = false;
   write_segments_.clear();
   snapshot_pinned_ = false;
+  // The statement deadline covers admission queueing too: arm it before
+  // Admit() so a saturated group evicts this request on time.
+  ArmStatementDeadline();
   if (cluster_->options().resource_groups_enabled && !admitted_) {
-    Status s = group_->Admit();
+    ResourceGroup::AdmitRequest req;
+    req.owner = owner_.get();
+    req.queue_timeout_us = admission_timeout_us_;
+    req.max_queue = cluster_->options().resgroup_max_queue;
+    req.shed_on_saturation = cluster_->options().resgroup_shed_on_saturation;
+    Status s = group_->Admit(req);
     if (!s.ok()) {
       cluster_->dtm().MarkAborted(gxid_);
       gxid_ = kInvalidGxid;
       info_->gxid.store(gxid_, std::memory_order_release);
       owner_.reset();
+      info_->deadline_us.store(0, std::memory_order_release);
       return s;
     }
     admitted_ = true;
@@ -169,10 +202,9 @@ namespace {
 // Errors that mean "the segment did not act on the message" or "the outcome is
 // unknown": segment down, message dropped, wait cancelled by a crash. The
 // coordinator retries these after the commit point; everything else (Aborted,
-// Internal, ...) is a definitive verdict.
-bool RetryableCommitError(const Status& s) {
-  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimedOut;
-}
+// Internal, ...) is a definitive verdict. Shares the classification with the
+// statement retry policy (common/status.h) so the two can't drift.
+bool RetryableCommitError(const Status& s) { return IsRetryableFailure(s); }
 
 // Runs `fn` on scope exit (statement-state restoration on every return path).
 template <typename Fn>
@@ -249,6 +281,16 @@ Status Session::CommitProtocol() {
   SimNet& net = cluster_->net();
   FaultInjector& faults = cluster_->faults();
   std::vector<int> participants(write_segments_.begin(), write_segments_.end());
+
+  // The statement deadline is honored up to — but never past — the commit
+  // decision point. Checked here, before any commit record or 1PC dispatch:
+  // once the decision is durable the transaction IS committed and phase two
+  // runs to completion regardless of deadlines (retrying, never aborting).
+  if (owner_ != nullptr && owner_->DeadlineExpired(MonotonicMicros())) {
+    Status timeout = Status::TimedOut("statement timeout before commit point");
+    owner_->Cancel(timeout);
+    return timeout;
+  }
 
   if (participants.empty()) {
     // Read-only: nothing to make durable.
@@ -337,6 +379,16 @@ Status Session::CommitProtocol() {
       m_.auto_prepares->Add(1);
     }
 
+    // Prepare fsyncs are interruptible (the sleep is cut short once the
+    // deadline passes, with the record already appended), so re-check the
+    // deadline here — still strictly before the commit record, where aborting
+    // is legal. The prepared participants roll back via AbortProtocol.
+    if (owner_ != nullptr && owner_->DeadlineExpired(MonotonicMicros())) {
+      Status timeout = Status::TimedOut("statement timeout during prepare");
+      owner_->Cancel(timeout);
+      return timeout;
+    }
+
     // The distributed commit record is the commit point: from here the
     // transaction IS committed, and phase two is retried, never aborted.
     cluster_->CoordinatorCommitRecord(gxid_);
@@ -346,18 +398,35 @@ Status Session::CommitProtocol() {
       return CommitSegmentWithRetry(seg_index, /*one_phase=*/false,
                                     /*piggyback_first=*/false);
     });
-    cluster_->dtm().MarkCommitted(gxid_);
+    Status worst = Status::OK();
+    std::vector<int> unacked;
+    for (size_t i = 0; i < committed.size(); ++i) {
+      if (!committed[i].ok()) {
+        worst = committed[i];
+        unacked.push_back(participants[static_cast<size_t>(i)]);
+      }
+    }
+    if (unacked.empty()) {
+      cluster_->dtm().MarkCommitted(gxid_);
+    } else {
+      // The transaction is durably committed (the commit record exists), but
+      // some participant never acked COMMIT PREPARED and may still hold it
+      // *prepared*. It must stay in the distributed in-progress set —
+      // invisible to every snapshot — until each such segment has a durable
+      // outcome, or a concurrent scan would see the acked half only
+      // (visibility defers to segment-local clog state once a snapshot says
+      // "finished"). The dtx recovery daemon completes phase two in the
+      // background, releases the locks still pinning the pre-images on those
+      // segments, and then marks the transaction committed.
+      cluster_->dtx_recovery().Enqueue(gxid_, owner_, unacked);
+    }
     ++stats_.two_phase_commits;
     m_.two_phase->Add(1);
-    Status worst = Status::OK();
-    for (const Status& s : committed) {
-      if (!s.ok()) worst = s;
-    }
     if (!worst.ok()) {
-      // Informational: the transaction is durably committed (commit record +
-      // every segment either acked or will resolve from it), but an ack is
-      // still outstanding. Clean up so the session is usable.
-      ReleaseAllLocks();
+      // Informational: the commit decision is durable, but an ack is still
+      // outstanding. Clean up (keeping the unacked segments' locks for the
+      // recovery daemon) so the session is usable.
+      ReleaseLocksExcept(unacked);
       ++stats_.txns_committed;
       m_.committed->Add(1);
       ClearTxnState();
@@ -392,9 +461,18 @@ void Session::AbortProtocol() {
   ClearTxnState();
 }
 
-void Session::ReleaseAllLocks() {
+void Session::ReleaseAllLocks() { ReleaseLocksExcept({}); }
+
+void Session::ReleaseLocksExcept(const std::vector<int>& keep_segments) {
   cluster_->coordinator_locks().ReleaseAll(*owner_);
   for (int i = 0; i < cluster_->num_segments(); ++i) {
+    if (std::find(keep_segments.begin(), keep_segments.end(), i) !=
+        keep_segments.end()) {
+      // Still prepared there: the locks keep concurrent writers off the
+      // pre-images until the dtx recovery daemon lands COMMIT PREPARED (a
+      // lock-free write would branch the update chain and lose one delta).
+      continue;
+    }
     cluster_->segment(i)->locks().ReleaseAll(*owner_);
   }
 }
@@ -402,6 +480,10 @@ void Session::ReleaseAllLocks() {
 void Session::ClearTxnState() {
   gxid_ = kInvalidGxid;
   info_->gxid.store(gxid_, std::memory_order_release);
+  // The ambient wait context may still point at this owner; clear it before
+  // the owner handle drops so no blocking point polls a dead pointer.
+  if (WaitContext* cur = CurrentWaitContext()) cur->owner = nullptr;
+  info_->deadline_us.store(0, std::memory_order_release);
   owner_.reset();
   write_segments_.clear();
   explicit_txn_ = false;
@@ -431,7 +513,15 @@ StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
                        std::memory_order_release);
   });
   bool implicit = !in_txn();
+  // Re-arm the deadline for a statement inside an explicit transaction (the
+  // timeout is per statement, measured from statement start) BEFORE admission
+  // and lock acquisition; EnsureTxn arms a freshly created owner itself.
+  ArmStatementDeadline();
+  ScopeExit deadline_reset([this] { DisarmStatementDeadline(); });
   GPHTAP_RETURN_IF_ERROR(EnsureTxn());
+  // The wait context was installed before the owner existed (first statement
+  // of a transaction); patch the live one so blocking points see the owner.
+  if (WaitContext* cur = CurrentWaitContext()) cur->owner = owner_.get();
   GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
   StatusOr<QueryResult> result = fn();
   if (!result.ok()) {
@@ -440,15 +530,54 @@ StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
     // rejects statements until the user ends it.
     AbortProtocol();
     if (!implicit) failed_block_ = true;
+    if (result.status().code() == StatusCode::kTimedOut) {
+      ++stats_.statement_timeouts;
+      m_.stmt_timeouts->Add(1);
+    }
     return result;
   }
   if (implicit) {
     implicit_commit_ = true;
     Status commit = Commit();
     implicit_commit_ = false;
-    if (!commit.ok()) return commit;
+    if (!commit.ok()) {
+      if (commit.code() == StatusCode::kTimedOut) {
+        ++stats_.statement_timeouts;
+        m_.stmt_timeouts->Add(1);
+      }
+      return commit;
+    }
   }
   return result;
+}
+
+template <typename Fn>
+StatusOr<QueryResult> Session::RunReadOnlyStatement(Fn&& fn) {
+  const ClusterOptions& opts = cluster_->options();
+  // The retry budget shares the statement deadline: attempts stop once the
+  // user's own timeout would have fired, whatever the attempt cap says.
+  const int64_t overall_deadline =
+      statement_timeout_us_ > 0 ? MonotonicMicros() + statement_timeout_us_ : 0;
+  info_->retries.store(0, std::memory_order_release);
+  int64_t backoff_us = opts.statement_retry_initial_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    bool was_implicit = !in_txn();
+    StatusOr<QueryResult> result = fn();
+    if (result.ok()) return result;
+    // Only implicit (single-statement) read-only dispatches retry: a failure
+    // inside an explicit block must surface (the block is failed), and writes
+    // never reach this wrapper. kUnavailable means a segment crashed or a
+    // failover is in flight — replanning against the recovered/promoted
+    // cluster with a fresh snapshot is transparent to the client.
+    if (!was_implicit || !IsRetryableStatementFailure(result.status())) return result;
+    if (attempt >= opts.statement_retry_max_attempts) return result;
+    if (overall_deadline != 0 && MonotonicMicros() >= overall_deadline) return result;
+    ++stats_.statement_retries;
+    m_.stmt_retries->Add(1);
+    info_->retries.fetch_add(1, std::memory_order_acq_rel);
+    PreciseSleepUs(backoff_us);
+    backoff_us = std::min(backoff_us * 2, opts.statement_retry_max_backoff_us);
+  }
 }
 
 Status Session::EnsureSegmentWrite(Segment* seg) {
@@ -460,7 +589,7 @@ Status Session::EnsureSegmentWrite(Segment* seg) {
   // Acquiring our own transaction lock never blocks.
   GPHTAP_RETURN_IF_ERROR(seg->locks().Acquire(owner_, LockTag::Transaction(gxid_),
                                               LockMode::kExclusive));
-  seg->txns().AssignXid(gxid_);
+  GPHTAP_RETURN_IF_ERROR(seg->txns().AssignXid(gxid_).status());
   write_segments_.insert(seg->index());
   return Status::OK();
 }
@@ -478,7 +607,8 @@ Status Session::LockRelationSegment(Segment* seg, const TableDef& def, LockMode 
 // ---------------------------------------------------------------------------
 
 StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
-  return RunStatement([&]() -> StatusOr<QueryResult> {
+  return RunReadOnlyStatement([&] {
+    return RunStatement([&]() -> StatusOr<QueryResult> {
     // Parse-analyze locks on the coordinator. System views are lock-free
     // snapshots of live state — observing a stuck cluster must not itself
     // queue behind anything.
@@ -557,6 +687,7 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     GPHTAP_RETURN_IF_ERROR(s);
     result.affected = static_cast<int64_t>(result.rows.size());
     return result;
+    });
   });
 }
 
@@ -600,7 +731,8 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
 }
 
 StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
-  return RunStatement([&]() -> StatusOr<QueryResult> {
+  return RunReadOnlyStatement([&] {
+    return RunStatement([&]() -> StatusOr<QueryResult> {
     for (const TableDef& t : query.tables) {
       if (t.is_system_view) continue;
       GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
@@ -702,6 +834,7 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
     result.rows.push_back(Row{Datum(std::string(total))});
     result.affected = static_cast<int64_t>(result.rows.size());
     return result;
+    });
   });
 }
 
@@ -761,7 +894,7 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
       GPHTAP_RETURN_IF_ERROR(EnsureSegmentWrite(seg));
       Table* table = seg->GetTable(def.id);
       if (table == nullptr) return Status::NotFound("table missing on segment");
-      LocalXid xid = seg->txns().AssignXid(gxid_);
+      GPHTAP_ASSIGN_OR_RETURN(LocalXid xid, seg->txns().AssignXid(gxid_));
       for (const Row* row : seg_rows) {
         GPHTAP_ASSIGN_OR_RETURN(TupleId tid, table->Insert(xid, *row));
         (void)tid;
@@ -832,7 +965,7 @@ Status Session::DmlWorkerOnAppendOptimized(
   // coordinator already holds one) means no concurrent writer can race the
   // visibility map.
   GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kExclusive));
-  LocalXid my_xid = seg->txns().AssignXid(gxid_);
+  GPHTAP_ASSIGN_OR_RETURN(LocalXid my_xid, seg->txns().AssignXid(gxid_));
 
   VisibilityContext vis;
   vis.clog = &seg->clog();
@@ -882,10 +1015,41 @@ Status Session::DmlWorkerOnAppendOptimized(
   return Status::OK();
 }
 
+Status Session::WaitForDistributedCommitOf(Segment* seg, LocalXid xid) {
+  if (xid == kInvalidLocalXid) return Status::OK();
+  auto gxid = seg->dlog().Lookup(xid);
+  // No mapping: a purely local / long-truncated transaction — by the
+  // truncation horizon it finished before any live snapshot.
+  if (!gxid.has_value()) return Status::OK();
+  while (cluster_->dtm().IsRunning(*gxid)) {
+    if (owner_->cancelled()) return owner_->cancel_reason();
+    if (owner_->DeadlineExpired(MonotonicMicros())) {
+      Status timeout = Status::TimedOut(
+          "statement timeout while waiting for distributed commit of txn " +
+          std::to_string(*gxid));
+      owner_->Cancel(timeout);
+      return timeout;
+    }
+    // The committer holds its transaction lock on this segment until it is
+    // marked distributively committed, so a share-lock wait blocks exactly
+    // until then (and shows up as a solid GDD edge; the committer itself
+    // never waits on locks here, so no cycle can form through it).
+    WaitEventScope wait(WaitEvent::kLockTransaction, seg->index());
+    GPHTAP_RETURN_IF_ERROR(
+        seg->locks().Acquire(owner_, LockTag::Transaction(*gxid), LockMode::kShare));
+    seg->locks().Release(*owner_, LockTag::Transaction(*gxid), LockMode::kShare);
+    // The dtx recovery daemon owns the locks of a half-acked commit and may
+    // briefly leave the gxid in-progress with this segment's lock already
+    // free; don't spin hot while it finishes phase two elsewhere.
+    if (cluster_->dtm().IsRunning(*gxid)) PreciseSleepUs(200);
+  }
+  return Status::OK();
+}
+
 Status Session::DmlWorkerOnHeap(Segment* seg, const TableDef& def, HeapTable* heap,
                                 const std::vector<std::pair<int, ExprPtr>>* sets,
                                 const ExprPtr& where, int64_t* affected) {
-  LocalXid my_xid = seg->txns().AssignXid(gxid_);
+  GPHTAP_ASSIGN_OR_RETURN(LocalXid my_xid, seg->txns().AssignXid(gxid_));
 
   // Phase 1: collect candidate tuple ids (avoids the Halloween problem: the
   // target list is fixed before any new versions are written).
@@ -953,6 +1117,15 @@ Status Session::DmlWorkerOnHeap(Segment* seg, const TableDef& def, HeapTable* he
       if (r.outcome == MarkDeleteOutcome::kFollow) {
         // A committed writer replaced the row: follow the version chain and
         // re-check the predicate against the new version (EvalPlanQual).
+        // "Committed" above means the segment-local clog — but for conflicting
+        // writers the commit point is the *distributed* commit. If the
+        // replacer's gxid is still in the coordinator's in-progress set (phase
+        // two in flight on some other segment), building our update on its
+        // version and committing first would let a concurrent snapshot see
+        // this transaction as finished while its dependency still looks
+        // running — i.e. both the pre-image and our post-image visible at
+        // once. Block until the dependency's distributed commit completes.
+        GPHTAP_RETURN_IF_ERROR(WaitForDistributedCommitOf(seg, r.wait_xid));
         if (r.next == kInvalidTupleId) break;  // deleted outright
         cur = r.next;
         auto v = heap->Get(cur);
@@ -988,6 +1161,8 @@ Status Session::DmlWorkerOnHeap(Segment* seg, const TableDef& def, HeapTable* he
         seg->locks().Release(*owner_, tuple_tag, LockMode::kExclusive);
         if (r2.outcome == MarkDeleteOutcome::kSelfUpdated) break;
         if (r2.outcome == MarkDeleteOutcome::kFollow) {
+          // Same write-dependency barrier as the lock-free follow above.
+          GPHTAP_RETURN_IF_ERROR(WaitForDistributedCommitOf(seg, r2.wait_xid));
           if (r2.next == kInvalidTupleId) break;
           cur = r2.next;
           continue;

@@ -4,6 +4,7 @@
 #ifndef GPHTAP_CLUSTER_SESSION_H_
 #define GPHTAP_CLUSTER_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -65,6 +66,18 @@ class Session {
   void SetRole(const std::string& role);
   const std::string& role() const { return role_; }
 
+  // ---- Query-lifecycle timeouts (SET statement_timeout / lock_timeout /
+  // admission_timeout). 0 disables; defaults come from ClusterOptions. The
+  // statement timeout becomes an absolute deadline armed at statement start
+  // and enforced at every blocking point (executor ticks, lock waits, motion
+  // send/recv, resource-group admission, WAL fsync).
+  void set_statement_timeout_us(int64_t us) { statement_timeout_us_ = us; }
+  int64_t statement_timeout_us() const { return statement_timeout_us_; }
+  void set_lock_timeout_us(int64_t us) { lock_timeout_us_ = us; }
+  int64_t lock_timeout_us() const { return lock_timeout_us_; }
+  void set_admission_timeout_us(int64_t us) { admission_timeout_us_ = us; }
+  int64_t admission_timeout_us() const { return admission_timeout_us_; }
+
   Cluster* cluster() { return cluster_; }
 
   // ---- Tracing ----
@@ -82,8 +95,12 @@ class Session {
     uint64_t two_phase_commits = 0;
     uint64_t piggybacked_commits = 0;  // Figure 11(b) fast path taken
     uint64_t auto_prepares = 0;        // Figure 11(a) fast path taken
-    uint64_t commit_retries = 0;       // commit/commit-prepared resends
+    // Commit/commit-prepared resends. Atomic: the 2PC commit fanout retries
+    // concurrently from one thread per participant.
+    std::atomic<uint64_t> commit_retries{0};
     uint64_t statements = 0;
+    uint64_t statement_retries = 0;    // transparent read-only re-dispatches
+    uint64_t statement_timeouts = 0;   // statements that failed with kTimedOut
   };
   const Stats& stats() const { return stats_; }
 
@@ -91,6 +108,20 @@ class Session {
   // Wraps a statement in an implicit transaction when none is open.
   template <typename Fn>
   StatusOr<QueryResult> RunStatement(Fn&& fn);
+
+  // Statement retry policy (read-only dispatch): reruns `fn` — a full
+  // RunStatement invocation, so each attempt gets a fresh transaction,
+  // snapshot and plan — when it fails with a retryable kUnavailable (segment
+  // crashed, failover in flight) under capped exponential backoff. Only
+  // implicit (single-statement) attempts retry; explicit-block failures and
+  // writes always surface. Never retries past the statement deadline.
+  template <typename Fn>
+  StatusOr<QueryResult> RunReadOnlyStatement(Fn&& fn);
+
+  // Arms/disarms the per-statement absolute deadline + lock timeout on the
+  // transaction's LockOwner and publishes it to gp_stat_activity.
+  void ArmStatementDeadline();
+  void DisarmStatementDeadline();
 
   // The ambient wait-event context this session's statements install
   // (thread-local, via WaitContextGuard) so blocking points below attribute
@@ -104,6 +135,15 @@ class Session {
   // Relation lock on the coordinator at parse-analyze time (Section 4.2).
   Status LockRelationCoordinator(const TableDef& def, LockMode mode);
   Status LockRelationSegment(Segment* seg, const TableDef& def, LockMode mode);
+
+  // Write-dependency barrier: blocks until `xid`'s distributed transaction
+  // (if any) has left the coordinator's in-progress set. Called before
+  // building an update on a version whose replacer is committed in the local
+  // clog but whose phase two is still in flight elsewhere — committing on top
+  // of it first would let a snapshot see this transaction finished while the
+  // dependency still looks running (the pre-image and post-image both
+  // visible). Honors cancellation and the statement deadline.
+  Status WaitForDistributedCommitOf(Segment* seg, LocalXid xid);
 
   // The per-segment UPDATE/DELETE worker: finds visible matching tuples and
   // stamps them, waiting on tuple/transaction locks as PostgreSQL does.
@@ -129,6 +169,10 @@ class Session {
   Status CommitSegmentWithRetry(int seg_index, bool one_phase, bool piggyback_first);
   void AbortProtocol();
   void ReleaseAllLocks();
+  /// ReleaseAllLocks minus `keep_segments` — the 2PC participants whose
+  /// prepared state (and therefore pre-image locks) outlives the session call,
+  /// owned by the dtx recovery daemon from then on.
+  void ReleaseLocksExcept(const std::vector<int>& keep_segments);
   void ClearTxnState();
 
   // Resolves the target segments of a DML statement.
@@ -138,6 +182,11 @@ class Session {
   Cluster* const cluster_;
   std::string role_;
   std::shared_ptr<ResourceGroup> group_;  // never null (default group)
+
+  // Per-session timeout GUCs (microseconds; 0 = disabled).
+  int64_t statement_timeout_us_ = 0;
+  int64_t lock_timeout_us_ = 0;
+  int64_t admission_timeout_us_ = 0;
 
   // Transaction state.
   Gxid gxid_ = kInvalidGxid;
@@ -170,6 +219,8 @@ class Session {
     Counter* auto_prepares = nullptr;
     Counter* retries = nullptr;
     Counter* statements = nullptr;
+    Counter* stmt_retries = nullptr;   // resilience.statement_retries
+    Counter* stmt_timeouts = nullptr;  // resilience.statement_timeouts
   };
   TxnMetrics m_;
 

@@ -34,6 +34,10 @@ struct SessionInfo {
   SessionWaitState wait;
   std::atomic<uint64_t> gxid{0};  // current distributed xid, 0 = none
   std::atomic<int> state{static_cast<int>(SessionState::kIdle)};
+  // Resilience state (gp_stat_activity): the running statement's absolute
+  // deadline (0 = none) and how many times it was transparently retried.
+  std::atomic<int64_t> deadline_us{0};
+  std::atomic<int64_t> retries{0};
 
   void SetStrings(const std::string* role, const std::string* group,
                   const std::string* query) {

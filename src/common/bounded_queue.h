@@ -3,6 +3,7 @@
 #ifndef GPHTAP_COMMON_BOUNDED_QUEUE_H_
 #define GPHTAP_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -44,6 +45,35 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lk(mu_);
     not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Result of a timed push attempt (distinguishes "no room yet" from closed).
+  enum class PushResult { kPushed, kTimedOut, kClosed };
+
+  /// Waits up to `timeout_us` for room. On kTimedOut the item is left unmoved
+  /// so the caller can re-check its cancellation state and retry.
+  PushResult PushFor(T& item, int64_t timeout_us) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                       [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kTimedOut;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kPushed;
+  }
+
+  /// Waits up to `timeout_us` for an item. Returns nullopt on timeout or when
+  /// closed and drained; use closed() to distinguish if needed.
+  std::optional<T> PopFor(int64_t timeout_us) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     not_full_.notify_one();

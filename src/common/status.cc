@@ -32,4 +32,12 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+bool IsRetryableFailure(const Status& s) {
+  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimedOut;
+}
+
+bool IsRetryableStatementFailure(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
+}
+
 }  // namespace gphtap

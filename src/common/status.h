@@ -88,6 +88,23 @@ inline bool operator==(const Status& a, const Status& b) {
   return a.code() == b.code() && a.message() == b.message();
 }
 
+/// Shared retryable/non-retryable classification. Commit retry (PR 1's
+/// CommitSegmentWithRetry) and coordinator statement retry both consult these
+/// so the two policies cannot drift.
+///
+/// A failure is retryable when the remote segment may not have acted — or its
+/// outcome is unknown — and repeating the request is safe or idempotent:
+/// kUnavailable (segment down / failover in flight) and kTimedOut (request may
+/// have been lost in transit).
+bool IsRetryableFailure(const Status& s);
+
+/// Retryability for whole *statements* at the coordinator. Narrower than
+/// IsRetryableFailure: a kTimedOut here is the user's own deadline expiring,
+/// which must surface, so only kUnavailable qualifies. Statements are only
+/// retried when read-only (write retry past the commit decision point could
+/// double-apply effects).
+bool IsRetryableStatementFailure(const Status& s);
+
 /// A Status or a value of type T.
 template <typename T>
 class StatusOr {

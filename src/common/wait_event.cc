@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "lock/lock_owner.h"
 
 namespace gphtap {
 
@@ -125,6 +126,21 @@ thread_local WaitContext* tls_wait_context = nullptr;
 }  // namespace
 
 WaitContext* CurrentWaitContext() { return tls_wait_context; }
+
+Status CheckAmbientInterrupt() {
+  WaitContext* ctx = tls_wait_context;
+  if (ctx == nullptr || ctx->owner == nullptr) return Status::OK();
+  LockOwner* owner = ctx->owner;
+  if (owner->cancelled()) return owner->cancel_reason();
+  if (owner->DeadlineExpired(MonotonicMicros())) {
+    // Cancel the whole transaction so every other slice/worker of this query
+    // unwinds too, then report the timeout from this blocking point.
+    Status timeout = Status::TimedOut("statement timeout");
+    owner->Cancel(timeout);
+    return timeout;
+  }
+  return Status::OK();
+}
 
 WaitContextGuard::WaitContextGuard(WaitContext ctx, bool only_if_absent)
     : ctx_(std::move(ctx)) {

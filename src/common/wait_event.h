@@ -31,9 +31,12 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/status.h"
 #include "common/trace.h"
 
 namespace gphtap {
+
+class LockOwner;
 
 enum class WaitEventClass {
   kNone = 0,
@@ -130,7 +133,23 @@ struct WaitContext {
   uint64_t parent_span = 0;     // parent for wait spans
   int node = -1;                // node label for registry + spans (coordinator=-1)
   std::string group;            // resource group name ("" = none/default)
+  // Cancellation + statement-deadline handle of the owning transaction, for
+  // ambient interruption of blocking points that have no explicit owner
+  // parameter (WAL fsync, motion queue waits). The session keeps the owner
+  // alive for the statement's duration, so a raw pointer is safe here.
+  LockOwner* owner = nullptr;
 };
+
+/// Cancellation/deadline state of the ambient owner (OK when none installed).
+/// Blocking sites call this between timed waits so a parked thread notices a
+/// GDD kill, user cancel, or statement-deadline expiry within one poll chunk.
+Status CheckAmbientInterrupt();
+
+/// Poll granularity for interruptible blocking points: every site that can
+/// park (motion queues, WAL fsync, lock waits, admission) re-checks its
+/// cancel/deadline state at least this often, which bounds how stale a timeout
+/// can be observed (the "2x tick granularity" resilience contract).
+inline constexpr int64_t kInterruptPollUs = 5000;
 
 /// The thread's installed context, or nullptr. The pointer is mutable: the
 /// session updates trace/parent_span in place as a query progresses.

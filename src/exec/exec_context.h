@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
+#include "common/clock.h"
 #include "common/trace.h"
 #include "net/motion_exchange.h"
 #include "resgroup/resource_group.h"
@@ -34,6 +35,12 @@ struct ExecContext {
   int64_t cpu_ns_per_row = 0;
   int64_t pending_cpu_ns = 0;  // accumulated, flushed in Tick batches
 
+  // Absolute statement deadline (statement_timeout GUC); 0 = none. Checked in
+  // Tick with a throttled clock read; expiry cancels the whole owner so every
+  // other slice of the query unwinds at its own next blocking/tick point.
+  int64_t deadline_us = 0;
+  int64_t rows_until_deadline_check = 0;
+
   // EXPLAIN ANALYZE per-operator actuals; null = not collecting.
   OperatorStatsCollector* op_stats = nullptr;
 
@@ -59,6 +66,17 @@ struct ExecContext {
   /// Cancellation point + CPU accounting, called once per row-ish.
   Status Tick(int rows = 1) {
     if (owner != nullptr && owner->cancelled()) return owner->cancel_reason();
+    if (deadline_us != 0) {
+      rows_until_deadline_check -= rows;
+      if (rows_until_deadline_check <= 0) {
+        rows_until_deadline_check = 1024;  // amortize the clock read
+        if (MonotonicMicros() >= deadline_us) {
+          Status timeout = Status::TimedOut("statement timeout");
+          if (owner != nullptr) owner->Cancel(timeout);
+          return timeout;
+        }
+      }
+    }
     if (cpu_ns_per_row > 0) {
       pending_cpu_ns += cpu_ns_per_row * rows;
       if (pending_cpu_ns >= 100'000) {  // flush every 100us of simulated work

@@ -479,6 +479,17 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     exchanges[m->motion_id] = std::make_shared<MotionExchange>(
         senders, receivers, cluster->options().motion_buffer_rows, &cluster->net());
   }
+  // Make the exchanges reachable from Cluster::CancelTxn (GDD kill, statement
+  // timeout, user cancel) so receivers parked on an idle sender wake promptly.
+  if (!exchanges.empty()) {
+    std::vector<std::weak_ptr<MotionExchange>> weak_exchanges;
+    weak_exchanges.reserve(exchanges.size());
+    for (auto& [id, ex] : exchanges) weak_exchanges.push_back(ex);
+    cluster->RegisterExchanges(gxid, std::move(weak_exchanges));
+  }
+  // The statement deadline travels in ExecContext (checked in Tick) and in the
+  // ambient wait context (checked inside motion/fsync waits via the owner).
+  const int64_t deadline_us = owner != nullptr ? owner->deadline_us() : 0;
 
   std::mutex err_mu;
   Status first_error;
@@ -517,10 +528,12 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         slice_wait.node = seg_index;
         slice_wait.trace = trace;
         slice_wait.parent_span = span;
+        slice_wait.owner = owner.get();
         WaitContextGuard wait_guard(slice_wait);
         // Service pin for the whole slice: a down segment fails the query with
-        // a retryable error instead of reading torn state mid-recovery.
-        auto pin = cluster->segment(seg_index)->Pin();
+        // a retryable error instead of reading torn state mid-recovery. Goes
+        // through the per-segment circuit breaker when one is configured.
+        auto pin = cluster->PinSegment(seg_index);
         if (!pin.ok()) {
           record_error(pin.status());
           exchanges[m->motion_id]->CloseSender();
@@ -540,6 +553,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         ctx.mem = mem;
         ctx.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
         ctx.op_stats = op_stats;
+        ctx.deadline_us = deadline_us;
 
         MotionExchange& ex = *exchanges[m->motion_id];
         const std::vector<int>& hash_cols = m->hash_cols;
@@ -608,7 +622,13 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     }
   }
 
-  // Top slice on the caller's thread (coordinator).
+  // Top slice on the caller's thread (coordinator). Re-install the caller's
+  // wait context with the owner attached so motion waits on this thread are
+  // interruptible even when the caller never set one up (tests, benches).
+  WaitContext top_wait;
+  if (caller_wait != nullptr) top_wait = *caller_wait;
+  top_wait.owner = owner.get();
+  WaitContextGuard top_wait_guard(top_wait);
   ExecContext top;
   top.cluster = cluster;
   top.segment = nullptr;
@@ -622,6 +642,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   top.mem = mem;
   top.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
   top.op_stats = op_stats;
+  top.deadline_us = deadline_us;
 
   uint64_t top_span = 0;
   int64_t top_rows = 0;
@@ -637,6 +658,12 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   if (top_status.code() == StatusCode::kStopIteration) top_status = Status::OK();
   top.FlushCpu();
   if (trace != nullptr) trace->EndSpan(top_span, top_rows);
+  // A cancellation (GDD kill, statement timeout) aborts the exchanges, which a
+  // receiver observes as a clean end-of-stream — so an ok top status does not
+  // prove completeness. Surface the cancel instead of truncated results.
+  if (top_status.ok() && owner != nullptr && owner->cancelled()) {
+    top_status = owner->cancel_reason();
+  }
   if (top_status.ok()) {
     query_done.store(true, std::memory_order_release);
   } else {
@@ -646,6 +673,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   // consumer before draining) and join them.
   for (auto& [id, ex] : exchanges) ex->Abort();
   for (auto& t : producers) t.join();
+  cluster->UnregisterExchanges(gxid);
 
   // Interconnect blocked time, attributed per motion so EXPLAIN ANALYZE can
   // report "how long did this exchange stall" apart from operator time.

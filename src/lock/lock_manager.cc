@@ -120,28 +120,57 @@ Status LockManager::Acquire(const std::shared_ptr<LockOwner>& owner, const LockT
 
   Stopwatch sw;
   bool checked_local = false;
+  // The statement deadline (absolute) and the per-wait lock_timeout (relative
+  // to this Acquire) combine into one effective deadline; the earlier fires.
+  const int64_t stmt_deadline = owner->deadline_us();
+  const int64_t lock_timeout = owner->lock_timeout_us();
+  const int64_t lock_deadline =
+      lock_timeout > 0 ? MonotonicMicros() + lock_timeout : 0;
+  int64_t effective_deadline = stmt_deadline;
+  if (lock_deadline != 0 &&
+      (effective_deadline == 0 || lock_deadline < effective_deadline)) {
+    effective_deadline = lock_deadline;
+  }
   Status result = Status::OK();
   while (!w->granted) {
     if (owner->cancelled()) {
       result = owner->cancel_reason();
       break;
     }
-    if (!checked_local) {
-      auto cv_status = st.cv.wait_for(
-          lk, std::chrono::microseconds(options_.local_deadlock_timeout_us));
-      if (cv_status == std::cv_status::timeout && !w->granted) {
-        checked_local = true;
-        if (LocalCycleFrom(owner->gxid())) {
-          ++stats_.local_deadlocks;
-          if (m_local_deadlocks_ != nullptr) m_local_deadlocks_->Add(1);
-          result = Status::DeadlockDetected("local deadlock detected on node " +
-                                            std::to_string(node_id_));
-          break;
-        }
+    const int64_t now = MonotonicMicros();
+    if (effective_deadline != 0 && now >= effective_deadline) {
+      ++stats_.timeouts;
+      if (m_lock_timeouts_ != nullptr) m_lock_timeouts_->Add(1);
+      if (stmt_deadline != 0 && now >= stmt_deadline) {
+        // Statement deadline: the whole transaction is over, not just this wait.
+        result = Status::TimedOut("statement timeout while waiting for lock on node " +
+                                  std::to_string(node_id_));
+        owner->Cancel(result);
+      } else {
+        result = Status::TimedOut("lock timeout on node " + std::to_string(node_id_));
       }
-    } else {
-      // Steady state: rely on notifications; periodic wake is lost-wakeup insurance.
-      st.cv.wait_for(lk, std::chrono::milliseconds(100));
+      break;
+    }
+    // Steady-state poll is lost-wakeup insurance; before the first deadlock
+    // check it equals the deadlock timeout. Clamp to the remaining deadline so
+    // a timeout is observed within one poll of when it fires.
+    int64_t poll_us =
+        checked_local ? 100'000 : options_.local_deadlock_timeout_us;
+    if (effective_deadline != 0) {
+      int64_t remaining = effective_deadline - now;
+      if (remaining < poll_us) poll_us = remaining > 0 ? remaining : 1;
+    }
+    st.cv.wait_for(lk, std::chrono::microseconds(poll_us));
+    if (!checked_local && !w->granted &&
+        sw.ElapsedMicros() >= options_.local_deadlock_timeout_us) {
+      checked_local = true;
+      if (LocalCycleFrom(owner->gxid())) {
+        ++stats_.local_deadlocks;
+        if (m_local_deadlocks_ != nullptr) m_local_deadlocks_->Add(1);
+        result = Status::DeadlockDetected("local deadlock detected on node " +
+                                          std::to_string(node_id_));
+        break;
+      }
     }
   }
 
@@ -386,6 +415,7 @@ void LockManager::set_metrics(MetricsRegistry* metrics) {
   m_waits_ = metrics->counter("lock.waits");
   m_wait_us_ = metrics->counter("lock.wait_us");
   m_local_deadlocks_ = metrics->counter("lock.local_deadlocks");
+  m_lock_timeouts_ = metrics->counter("resilience.lock_timeouts");
   m_queue_depth_ = metrics->gauge("lock.queue_depth");
 }
 

@@ -38,6 +38,7 @@ class LockManager {
     uint64_t acquires = 0;       // total Acquire calls
     uint64_t waits = 0;          // Acquire calls that blocked
     uint64_t local_deadlocks = 0;
+    uint64_t timeouts = 0;       // waits abandoned on lock/statement timeout
     int64_t total_wait_us = 0;   // cumulative blocked time
   };
 
@@ -156,6 +157,7 @@ class LockManager {
   Counter* m_waits_ = nullptr;
   Counter* m_wait_us_ = nullptr;
   Counter* m_local_deadlocks_ = nullptr;
+  Counter* m_lock_timeouts_ = nullptr;
   Gauge* m_queue_depth_ = nullptr;
 };
 

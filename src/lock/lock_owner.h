@@ -41,10 +41,32 @@ class LockOwner {
     return reason_;
   }
 
+  /// Absolute statement deadline (MonotonicMicros clock); 0 = none. Every
+  /// blocking point (lock waits, motion, admission, fsync, Tick) bounds its
+  /// wait by this and fails with kTimedOut once it passes.
+  void set_deadline_us(int64_t us) { deadline_us_.store(us, std::memory_order_release); }
+  int64_t deadline_us() const { return deadline_us_.load(std::memory_order_acquire); }
+
+  /// Relative per-wait lock timeout (lock_timeout GUC); 0 = none. Applies to
+  /// each individual lock acquisition, not the whole statement.
+  void set_lock_timeout_us(int64_t us) {
+    lock_timeout_us_.store(us, std::memory_order_release);
+  }
+  int64_t lock_timeout_us() const {
+    return lock_timeout_us_.load(std::memory_order_acquire);
+  }
+
+  bool DeadlineExpired(int64_t now_us) const {
+    int64_t d = deadline_us();
+    return d != 0 && now_us >= d;
+  }
+
  private:
   const uint64_t gxid_;
   const int64_t start_time_us_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_us_{0};
+  std::atomic<int64_t> lock_timeout_us_{0};
   mutable std::mutex mu_;
   Status reason_;
 };

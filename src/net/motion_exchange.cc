@@ -32,10 +32,22 @@ void MotionExchange::ChargeRows(uint64_t n, uint64_t bytes) {
 bool MotionExchange::PushItem(int receiver, Item item) {
   auto& queue = *queues_[static_cast<size_t>(receiver)];
   if (queue.TryPush(std::move(item))) return true;
-  // Receiver buffer full (or closed): this is a real interconnect stall.
+  // Receiver buffer full (or closed): this is a real interconnect stall. Park
+  // in poll-sized chunks so a GDD kill, user cancel, or statement-deadline
+  // expiry on the ambient owner unblocks the sender within one chunk even if
+  // the receiver never drains.
   WaitEventScope wait(WaitEvent::kMotionSend);
   Stopwatch sw;
-  bool ok = queue.Push(std::move(item));
+  bool ok = false;
+  while (true) {
+    auto res = queue.PushFor(item, kInterruptPollUs);
+    if (res == BoundedQueue<Item>::PushResult::kPushed) {
+      ok = true;
+      break;
+    }
+    if (res == BoundedQueue<Item>::PushResult::kClosed) break;
+    if (!CheckAmbientInterrupt().ok()) break;
+  }
   send_wait_us_.fetch_add(sw.ElapsedMicros(), std::memory_order_relaxed);
   return ok;
 }
@@ -45,9 +57,16 @@ std::optional<MotionExchange::Item> MotionExchange::PopItem(int receiver) {
   auto fast = queue.TryPop();
   if (fast.has_value()) return fast;
   // Empty buffer: the consumer stalls waiting for producers (or end of stream).
+  // Same chunked wait as PushItem: a receiver parked on an idle sender wakes
+  // on cancellation/timeout instead of waiting for the next row.
   WaitEventScope wait(WaitEvent::kMotionRecv);
   Stopwatch sw;
-  auto item = queue.Pop();
+  std::optional<Item> item;
+  while (true) {
+    item = queue.PopFor(kInterruptPollUs);
+    if (item.has_value() || queue.closed()) break;
+    if (!CheckAmbientInterrupt().ok()) break;
+  }
   recv_wait_us_.fetch_add(sw.ElapsedMicros(), std::memory_order_relaxed);
   return item;
 }

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/wait_event.h"
+#include "lock/lock_owner.h"
 
 namespace gphtap {
 
@@ -15,6 +16,8 @@ ResourceGroup::ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor,
     m_admitted_ = metrics->counter("resgroup.admitted");
     m_slot_waits_ = metrics->counter("resgroup.slot_waits");
     m_slot_wait_us_ = metrics->counter("resgroup.slot_wait_us");
+    m_sheds_ = metrics->counter("resilience.sheds");
+    m_admission_timeouts_ = metrics->counter("resilience.admission_timeouts");
   }
   memory_ = std::make_shared<GroupMemory>(config_.name, config_.memory_limit_mb << 20,
                                           config_.memory_shared_quota,
@@ -26,28 +29,90 @@ ResourceGroup::ResourceGroup(ResourceGroupConfig config, CpuGovernor* governor,
 ResourceGroup::~ResourceGroup() { governor_->RemoveGroup(config_.name); }
 
 Status ResourceGroup::Admit(const std::atomic<bool>* cancelled) {
+  AdmitRequest req;
+  req.cancelled = cancelled;
+  return Admit(req);
+}
+
+Status ResourceGroup::Admit(const AdmitRequest& req) {
   std::unique_lock<std::mutex> lk(mu_);
-  bool waited = false;
-  std::unique_ptr<WaitEventScope> wait_scope;
-  Stopwatch sw;
-  while (active_ >= config_.concurrency) {
-    if (!waited) {
-      waited = true;
-      if (m_slot_waits_ != nullptr) m_slot_waits_->Add(1);
-      wait_scope = std::make_unique<WaitEventScope>(WaitEvent::kResGroupSlot);
-    }
-    if (cancelled != nullptr && cancelled->load(std::memory_order_acquire)) {
-      return Status::Aborted("cancelled while queued for resource group " + name());
-    }
-    slot_available_.wait_for(lk, std::chrono::milliseconds(50));
+  // Fast path: a slot is free (uncontended admission never queues).
+  if (active_ < config_.concurrency) {
+    ++active_;
+    if (m_admitted_ != nullptr) m_admitted_->Add(1);
+    return Status::OK();
   }
-  wait_scope.reset();
-  if (waited && m_slot_wait_us_ != nullptr) {
+  // Saturated: shed before queueing when the policy says so.
+  if (req.shed_on_saturation || (req.max_queue > 0 && queued_ >= req.max_queue)) {
+    ++shed_;
+    if (m_sheds_ != nullptr) m_sheds_->Add(1);
+    return Status::ResourceExhausted(
+        "resource group " + name() +
+        (req.shed_on_saturation ? " saturated (shed-on-saturation)"
+                                : " admission queue full"));
+  }
+  ++queued_;
+  ++queued_total_;
+  if (m_slot_waits_ != nullptr) m_slot_waits_->Add(1);
+  WaitEventScope wait_scope(WaitEvent::kResGroupSlot);
+  Stopwatch sw;
+  // Queue-wait timeout (relative) and the owner's statement deadline
+  // (absolute) combine; the earlier evicts this request from the queue.
+  const int64_t stmt_deadline = req.owner != nullptr ? req.owner->deadline_us() : 0;
+  const int64_t queue_deadline =
+      req.queue_timeout_us > 0 ? MonotonicMicros() + req.queue_timeout_us : 0;
+  int64_t effective_deadline = stmt_deadline;
+  if (queue_deadline != 0 &&
+      (effective_deadline == 0 || queue_deadline < effective_deadline)) {
+    effective_deadline = queue_deadline;
+  }
+  Status result = Status::OK();
+  while (active_ >= config_.concurrency) {
+    if ((req.cancelled != nullptr && req.cancelled->load(std::memory_order_acquire)) ||
+        (req.owner != nullptr && req.owner->cancelled())) {
+      result = req.owner != nullptr && req.owner->cancelled()
+                   ? req.owner->cancel_reason()
+                   : Status::Aborted("cancelled while queued for resource group " + name());
+      break;
+    }
+    const int64_t now = MonotonicMicros();
+    if (effective_deadline != 0 && now >= effective_deadline) {
+      ++admission_timeouts_;
+      if (m_admission_timeouts_ != nullptr) m_admission_timeouts_->Add(1);
+      if (stmt_deadline != 0 && now >= stmt_deadline) {
+        result = Status::TimedOut("statement timeout while queued for resource group " +
+                                  name());
+        if (req.owner != nullptr) req.owner->Cancel(result);
+      } else {
+        result = Status::TimedOut("admission timeout in resource group " + name());
+      }
+      break;
+    }
+    int64_t poll_us = 50'000;
+    if (effective_deadline != 0) {
+      int64_t remaining = effective_deadline - now;
+      if (remaining < poll_us) poll_us = remaining > 0 ? remaining : 1;
+    }
+    slot_available_.wait_for(lk, std::chrono::microseconds(poll_us));
+  }
+  --queued_;
+  if (m_slot_wait_us_ != nullptr) {
     m_slot_wait_us_->Add(static_cast<uint64_t>(sw.ElapsedMicros()));
   }
+  if (!result.ok()) return result;
   ++active_;
   if (m_admitted_ != nullptr) m_admitted_->Add(1);
   return Status::OK();
+}
+
+ResourceGroup::OverloadStats ResourceGroup::overload_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  OverloadStats s;
+  s.queued_now = queued_;
+  s.queued_total = queued_total_;
+  s.shed = shed_;
+  s.admission_timeouts = admission_timeouts_;
+  return s;
 }
 
 void ResourceGroup::Leave() {

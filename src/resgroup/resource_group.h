@@ -34,6 +34,8 @@ struct ResourceGroupConfig {
   }
 };
 
+class LockOwner;
+
 class ResourceGroup {
  public:
   /// `metrics` (optional) registers resgroup.admitted / resgroup.slot_waits /
@@ -45,11 +47,41 @@ class ResourceGroup {
   const ResourceGroupConfig& config() const { return config_; }
   const std::string& name() const { return config_.name; }
 
-  /// Admission control: blocks while `concurrency` slots are all taken.
-  /// Returns kAborted if `cancelled` (optional) turns true while waiting.
+  /// Everything an admission attempt carries besides the group itself.
+  struct AdmitRequest {
+    // Cancellation + statement deadline of the requesting transaction; waiting
+    // ends early when the owner is cancelled or its deadline passes.
+    LockOwner* owner = nullptr;
+    // Legacy cancel flag (kept for callers without a LockOwner).
+    const std::atomic<bool>* cancelled = nullptr;
+    // Admission (queue-wait) timeout; a request queued longer self-evicts with
+    // kTimedOut. 0 = wait as long as the statement deadline allows.
+    int64_t queue_timeout_us = 0;
+    // Bounded wait queue: with `max_queue` > 0, a request arriving when that
+    // many are already queued is shed with kResourceExhausted.
+    int max_queue = 0;
+    // Shed-on-saturation: never queue at all — reject with kResourceExhausted
+    // the moment no slot is free (serve-or-shed overload mode).
+    bool shed_on_saturation = false;
+  };
+
+  /// Admission control: blocks while `concurrency` slots are all taken, within
+  /// the request's queue bounds/timeouts. Returns kAborted on cancellation,
+  /// kTimedOut on deadline/queue-timeout expiry, kResourceExhausted on shed.
+  Status Admit(const AdmitRequest& req);
+  /// Back-compat convenience: unbounded wait, optional cancel flag.
   Status Admit(const std::atomic<bool>* cancelled = nullptr);
   void Leave();
   int active() const;
+
+  /// Overload-protection counters (gp_resgroup_status).
+  struct OverloadStats {
+    int queued_now = 0;            // requests currently parked in admission
+    uint64_t queued_total = 0;     // admissions that had to queue
+    uint64_t shed = 0;             // rejected with kResourceExhausted
+    uint64_t admission_timeouts = 0;  // queue-wait/deadline evictions
+  };
+  OverloadStats overload_stats() const;
 
   /// Charges CPU work to this group (may throttle the calling thread).
   void ChargeCpu(int64_t work_us);
@@ -66,9 +98,15 @@ class ResourceGroup {
   mutable std::mutex mu_;
   std::condition_variable slot_available_;
   int active_ = 0;
+  int queued_ = 0;
+  uint64_t queued_total_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t admission_timeouts_ = 0;
   Counter* m_admitted_ = nullptr;
   Counter* m_slot_waits_ = nullptr;
   Counter* m_slot_wait_us_ = nullptr;
+  Counter* m_sheds_ = nullptr;
+  Counter* m_admission_timeouts_ = nullptr;
 };
 
 /// Registry of groups + role assignments (CREATE/ALTER ROLE ... RESOURCE GROUP).

@@ -470,12 +470,38 @@ StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
       }
       return QueryResult{};
 
-    case StatementKind::kSet:
+    case StatementKind::kSet: {
       if (stmt.set->name == "role") {
         session->SetRole(stmt.set->value);
+        return QueryResult{};
+      }
+      // Timeout GUCs take a millisecond count (PostgreSQL's default unit for
+      // statement_timeout / lock_timeout); 0 disables.
+      auto parse_timeout_ms = [&]() -> StatusOr<int64_t> {
+        const std::string& v = stmt.set->value;
+        if (v.empty()) return Status::InvalidArgument("SET " + stmt.set->name +
+                                                      " requires a value");
+        char* end = nullptr;
+        long long ms = std::strtoll(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0' || ms < 0) {
+          return Status::InvalidArgument("invalid value for " + stmt.set->name +
+                                         ": " + v);
+        }
+        return static_cast<int64_t>(ms) * 1000;
+      };
+      if (stmt.set->name == "statement_timeout") {
+        GPHTAP_ASSIGN_OR_RETURN(int64_t us, parse_timeout_ms());
+        session->set_statement_timeout_us(us);
+      } else if (stmt.set->name == "lock_timeout") {
+        GPHTAP_ASSIGN_OR_RETURN(int64_t us, parse_timeout_ms());
+        session->set_lock_timeout_us(us);
+      } else if (stmt.set->name == "admission_timeout") {
+        GPHTAP_ASSIGN_OR_RETURN(int64_t us, parse_timeout_ms());
+        session->set_admission_timeout_us(us);
       }
       // Other settings are accepted and ignored (GUC compatibility).
       return QueryResult{};
+    }
 
     case StatementKind::kShowTables: {
       QueryResult r;

@@ -169,7 +169,11 @@ MarkDeleteResult HeapTable::TryMarkDeleted(TupleId tid, LocalXid xid) {
       }
       return {MarkDeleteOutcome::kOk, kInvalidLocalXid, kInvalidTupleId};
     case TxnState::kCommitted:
-      return {MarkDeleteOutcome::kFollow, kInvalidLocalXid, h.next_version};
+      // wait_xid carries the committed replacer: callers in a distributed
+      // cluster must not build on this version until that transaction's
+      // *distributed* commit has completed (local clog alone is not the
+      // commit point for conflicting writers).
+      return {MarkDeleteOutcome::kFollow, h.xmax, h.next_version};
     case TxnState::kInProgress:
     case TxnState::kPrepared:
       return {MarkDeleteOutcome::kWait, h.xmax, kInvalidTupleId};

@@ -20,7 +20,7 @@ namespace gphtap {
 enum class MarkDeleteOutcome {
   kOk,           // xmax stamped; caller owns the delete
   kWait,         // an in-progress transaction holds the version; wait on wait_xid
-  kFollow,       // a committed transaction replaced it; follow next (may be invalid)
+  kFollow,       // a committed transaction (wait_xid) replaced it; follow next
   kSelfUpdated,  // this transaction already deleted the version
 };
 

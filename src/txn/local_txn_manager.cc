@@ -2,10 +2,23 @@
 
 namespace gphtap {
 
-LocalXid LocalTxnManager::AssignXid(Gxid gxid) {
+StatusOr<LocalXid> LocalTxnManager::AssignXid(Gxid gxid) {
   std::lock_guard<std::mutex> g(mu_);
   auto it = active_.find(gxid);
   if (it != active_.end()) return it->second;
+  // A distributed transaction that crash recovery already finished here must
+  // not restart. Its previous incarnation's writes were aborted when the
+  // segment went down (they were only in-progress in the WAL), and the
+  // coordinator does not know: if a later statement of the same transaction
+  // were handed a fresh local xid, PREPARE/COMMIT would see a perfectly
+  // healthy participant and commit the transaction with its earlier
+  // statements' effects missing — a torn, half-applied transaction. The
+  // statement must fail instead (the PostgreSQL analog: the gang's segment
+  // backend died, so the whole transaction aborts).
+  if (recovered_finished_.count(gxid) > 0) {
+    return Status::Aborted("distributed txn " + std::to_string(gxid) +
+                           " lost its local transaction in a segment crash");
+  }
   LocalXid xid = next_xid_++;
   active_[gxid] = xid;
   running_local_[xid] = gxid;

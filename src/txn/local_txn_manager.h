@@ -30,8 +30,11 @@ class LocalTxnManager {
 
   /// Returns the local xid of `gxid` on this node, assigning one on first use
   /// (i.e., when the distributed transaction first writes here). Records the
-  /// local->distributed mapping.
-  LocalXid AssignXid(Gxid gxid);
+  /// local->distributed mapping. Fails with kAborted when `gxid` already had a
+  /// local transaction here that crash recovery finished: its earlier writes
+  /// died with the crash, and silently opening a fresh local xid would let the
+  /// distributed transaction commit a torn subset of its statements.
+  StatusOr<LocalXid> AssignXid(Gxid gxid);
 
   /// The local xid already assigned to `gxid`, if any.
   std::optional<LocalXid> LookupXid(Gxid gxid) const;

@@ -73,7 +73,17 @@ class Wal {
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
     if (fsync_cost_us_ > 0) {
       WaitEventScope wait(WaitEvent::kWalFsync);
-      PreciseSleepUs(fsync_cost_us_);
+      // The record is already appended (the simulated disk never loses it), so
+      // the latency injection can be abandoned early: a cancelled or
+      // deadline-expired statement stops *waiting* for the fsync without
+      // affecting durability. Sleep in poll-sized chunks and re-check.
+      int64_t remaining = fsync_cost_us_;
+      while (remaining > 0) {
+        if (!CheckAmbientInterrupt().ok()) break;
+        int64_t chunk = remaining < kInterruptPollUs ? remaining : kInterruptPollUs;
+        PreciseSleepUs(chunk);
+        remaining -= chunk;
+      }
     }
   }
 

@@ -1,0 +1,414 @@
+#include "workload/chaos.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "cluster/session.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "net/sim_net.h"
+
+namespace gphtap {
+
+namespace {
+
+// Shared, mutex-guarded accumulation of outcomes + marker sets. Workers only
+// touch it between transactions, so contention is negligible.
+struct ChaosState {
+  std::mutex mu;
+  ChaosReport report;
+  std::unordered_set<int64_t> committed;  // markers with an acknowledged COMMIT
+  std::unordered_set<int64_t> ambiguous;  // markers whose COMMIT verdict is unknown
+
+  void Violation(std::string msg) {
+    std::lock_guard<std::mutex> g(mu);
+    report.violations.push_back(std::move(msg));
+  }
+};
+
+// Buckets a failed statement/transaction status. Caller holds state->mu.
+void ClassifyLocked(const Status& s, ChaosReport* r) {
+  switch (s.code()) {
+    case StatusCode::kDeadlockDetected:
+      ++r->deadlock_victims;
+      break;
+    case StatusCode::kTimedOut:
+      ++r->timeouts;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++r->shed;
+      break;
+    case StatusCode::kUnavailable:
+      ++r->unavailable;
+      break;
+    default:
+      ++r->aborted_other;
+      break;
+  }
+}
+
+// Sleeps until `target_us` (or `hard_stop_us`, whichever is earlier) in small
+// chunks so the scheduler reacts to the end of the run promptly.
+void SleepUntil(int64_t target_us, int64_t hard_stop_us) {
+  while (true) {
+    int64_t now = MonotonicMicros();
+    int64_t stop = std::min(target_us, hard_stop_us);
+    if (now >= stop) return;
+    PreciseSleepUs(std::min<int64_t>(stop - now, 20'000));
+  }
+}
+
+void TransferWorker(Cluster* cluster, const ChaosConfig& cfg, int worker_id,
+                    int64_t end_us, std::atomic<int64_t>* next_marker,
+                    ChaosState* state) {
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(cfg.statement_timeout_ms * 1000);
+  Rng rng(cfg.seed * 7919 + static_cast<uint64_t>(worker_id));
+  while (MonotonicMicros() < end_us) {
+    int64_t marker = next_marker->fetch_add(1, std::memory_order_relaxed);
+    int64_t from = rng.UniformRange(1, cfg.num_accounts);
+    int64_t to = rng.UniformRange(1, cfg.num_accounts);
+    if (to == from) to = to % cfg.num_accounts + 1;
+    int64_t delta = rng.UniformRange(1, 1000);
+    {
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.transfers_attempted;
+    }
+    Status s = session->Execute("BEGIN").status();
+    if (s.ok()) {
+      s = session
+              ->Execute("UPDATE chaos_accounts SET balance = balance + " +
+                        std::to_string(delta) + " WHERE aid = " + std::to_string(from))
+              .status();
+    }
+    if (s.ok()) {
+      s = session
+              ->Execute("UPDATE chaos_accounts SET balance = balance - " +
+                        std::to_string(delta) + " WHERE aid = " + std::to_string(to))
+              .status();
+    }
+    if (s.ok()) {
+      s = session
+              ->Execute("INSERT INTO chaos_history (marker, aid_from, aid_to, delta) "
+                        "VALUES (" +
+                        std::to_string(marker) + ", " + std::to_string(from) + ", " +
+                        std::to_string(to) + ", " + std::to_string(delta) + ")")
+              .status();
+    }
+    if (!s.ok()) {
+      // A failed statement already aborted the transaction; Rollback just
+      // clears the failed block. The transfer left no trace (checked later).
+      session->Rollback();
+      std::lock_guard<std::mutex> g(state->mu);
+      ClassifyLocked(s, &state->report);
+      continue;
+    }
+    Status commit = session->Execute("COMMIT").status();
+    std::lock_guard<std::mutex> g(state->mu);
+    if (commit.ok()) {
+      ++state->report.transfers_committed;
+      state->committed.insert(marker);
+    } else {
+      // The commit verdict is unknown at the client (e.g. the ack was lost
+      // past the commit point, or the retry horizon expired): the marker may
+      // or may not be durable, and both are legal.
+      ++state->report.transfers_ambiguous;
+      state->ambiguous.insert(marker);
+    }
+  }
+}
+
+void ScanWorker(Cluster* cluster, const ChaosConfig& cfg, int worker_id,
+                int64_t end_us, ChaosState* state) {
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(cfg.statement_timeout_ms * 1000);
+  Rng rng(cfg.seed * 104729 + static_cast<uint64_t>(worker_id));
+  while (MonotonicMicros() < end_us) {
+    {
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.scans_attempted;
+    }
+    uint64_t retries_before = session->stats().statement_retries;
+    auto r = session->Execute("SELECT sum(balance) FROM chaos_accounts");
+    if (r.ok()) {
+      int64_t sum = 0;
+      if (!r->rows.empty() && !r->rows[0][0].is_null()) sum = r->rows[0][0].int_val();
+      if (sum != 0) {
+        // Every transfer moves delta between two accounts atomically, so any
+        // distributed-snapshot-consistent scan must see a zero sum.
+        state->Violation("snapshot inconsistency: concurrent scan saw sum(balance)=" +
+                         std::to_string(sum));
+      }
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.scans_ok;
+      if (session->stats().statement_retries > retries_before) {
+        ++state->report.scans_retried_ok;
+      }
+    } else {
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.scan_failures;
+      ClassifyLocked(r.status(), &state->report);
+    }
+    PreciseSleepUs(rng.UniformRange(1000, 5000));
+  }
+}
+
+// The seeded fault scheduler: draws one action per gap from the run's RNG and
+// heals its own damage (crashed primaries recover after a delay; armed net
+// faults are cleared by the periodic "clear" action and at teardown).
+void FaultScheduler(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
+                    ChaosState* state) {
+  Rng rng(cfg.seed ^ 0x5eed5eed5eed5eedULL);
+  FaultInjector& faults = cluster->faults();
+  struct Crash {
+    int segment;
+    int64_t at_us;
+  };
+  std::vector<Crash> down;
+  std::unordered_set<std::string> armed;
+
+  const MsgKind delay_kinds[] = {MsgKind::kTupleData, MsgKind::kDispatch,
+                                 MsgKind::kCommitAck, MsgKind::kPrepareAck};
+  const MsgKind drop_kinds[] = {MsgKind::kCommit, MsgKind::kCommitAck,
+                                MsgKind::kPrepare, MsgKind::kPrepareAck};
+
+  auto recover_due = [&](bool force) {
+    int64_t now = MonotonicMicros();
+    for (auto it = down.begin(); it != down.end();) {
+      if (!force && now - it->at_us < cfg.crash_recover_after_ms * 1000) {
+        ++it;
+        continue;
+      }
+      bool already_up = false;
+      for (const SegmentHealthInfo& info : cluster->Health().segments) {
+        if (info.index == it->segment && info.up) already_up = true;
+      }
+      Status rs = Status::OK();
+      if (!already_up) rs = cluster->RecoverSegment(it->segment);
+      std::lock_guard<std::mutex> g(state->mu);
+      if (already_up) {
+        // FTS promoted the mirror before our recovery was due.
+        ++state->report.mirror_promotions;
+      } else if (!rs.ok()) {
+        state->report.violations.push_back("recovery of segment " +
+                                           std::to_string(it->segment) +
+                                           " failed: " + rs.message());
+      }
+      ++state->report.recoveries;
+      state->report.recovery_latencies_us.push_back(MonotonicMicros() - it->at_us);
+      it = down.erase(it);
+    }
+  };
+
+  while (MonotonicMicros() < end_us) {
+    int64_t gap_us = rng.UniformRange(cfg.fault_min_gap_ms, cfg.fault_max_gap_ms) * 1000;
+    SleepUntil(MonotonicMicros() + gap_us, end_us);
+    recover_due(/*force=*/false);
+    if (MonotonicMicros() >= end_us) break;
+
+    double pick = rng.NextDouble();
+    if (pick < cfg.p_crash) {
+      if (static_cast<int>(down.size()) < cfg.max_down) {
+        int idx = static_cast<int>(rng.Uniform(static_cast<uint64_t>(cluster->num_segments())));
+        if (cluster->CrashSegment(idx).ok()) {
+          down.push_back({idx, MonotonicMicros()});
+          std::lock_guard<std::mutex> g(state->mu);
+          ++state->report.crashes;
+          ++state->report.faults_injected;
+        }
+      }
+    } else if (pick < cfg.p_crash + cfg.p_delay) {
+      MsgKind kind = delay_kinds[rng.Uniform(4)];
+      faults.ArmDelay(NetDelayPoint(kind), rng.UniformRange(300, 2500));
+      armed.insert(NetDelayPoint(kind));
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.faults_injected;
+    } else if (pick < cfg.p_crash + cfg.p_delay + cfg.p_drop) {
+      MsgKind kind = drop_kinds[rng.Uniform(4)];
+      faults.ArmProbability(NetDropPoint(kind), 0.02 + 0.10 * rng.NextDouble(),
+                            rng.Next());
+      armed.insert(NetDropPoint(kind));
+      std::lock_guard<std::mutex> g(state->mu);
+      ++state->report.faults_injected;
+    } else {
+      for (const std::string& point : armed) faults.Disarm(point);
+      armed.clear();
+    }
+  }
+
+  // Teardown: stop injecting, heal everything we broke.
+  for (const std::string& point : armed) faults.Disarm(point);
+  recover_due(/*force=*/true);
+}
+
+}  // namespace
+
+std::string ChaosReport::ToString() const {
+  std::string out;
+  out += "transfers: attempted=" + std::to_string(transfers_attempted) +
+         " committed=" + std::to_string(transfers_committed) +
+         " ambiguous=" + std::to_string(transfers_ambiguous) + "\n";
+  out += "failures: deadlock=" + std::to_string(deadlock_victims) +
+         " timeout=" + std::to_string(timeouts) + " shed=" + std::to_string(shed) +
+         " unavailable=" + std::to_string(unavailable) +
+         " other=" + std::to_string(aborted_other) + "\n";
+  out += "scans: attempted=" + std::to_string(scans_attempted) +
+         " ok=" + std::to_string(scans_ok) +
+         " retried_ok=" + std::to_string(scans_retried_ok) +
+         " failed=" + std::to_string(scan_failures) + "\n";
+  out += "faults: injected=" + std::to_string(faults_injected) +
+         " crashes=" + std::to_string(crashes) +
+         " recoveries=" + std::to_string(recoveries) +
+         " promotions=" + std::to_string(mirror_promotions) + "\n";
+  out += "invariants: " +
+         (violations.empty() ? std::string("OK")
+                             : std::to_string(violations.size()) + " violation(s)") +
+         "\n";
+  for (const std::string& v : violations) out += "  VIOLATION: " + v + "\n";
+  return out;
+}
+
+Status SetupChaosTables(Cluster* cluster, const ChaosConfig& config) {
+  auto session = cluster->Connect();
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("CREATE TABLE chaos_accounts (aid int, balance int) "
+                    "DISTRIBUTED BY (aid)")
+          .status());
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("CREATE TABLE chaos_history (marker int, aid_from int, "
+                    "aid_to int, delta int) DISTRIBUTED BY (marker)")
+          .status());
+  GPHTAP_ASSIGN_OR_RETURN(TableDef accounts, cluster->LookupTable("chaos_accounts"));
+  std::vector<Row> rows;
+  for (int64_t aid = 1; aid <= config.num_accounts; ++aid) {
+    rows.push_back(Row{Datum(aid), Datum(int64_t{0})});
+  }
+  GPHTAP_RETURN_IF_ERROR(session->ExecuteInsert(accounts, rows).status());
+  GPHTAP_RETURN_IF_ERROR(cluster->CreateIndex("chaos_accounts", "aid"));
+  return Status::OK();
+}
+
+ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
+  ChaosState state;
+  std::atomic<int64_t> next_marker{1};
+  const int64_t start_us = MonotonicMicros();
+  const int64_t end_us = start_us + config.duration_ms * 1000;
+
+  std::vector<std::thread> threads;
+  std::vector<int64_t> finished_at(
+      static_cast<size_t>(config.transfer_sessions + config.scan_sessions), 0);
+  for (int i = 0; i < config.transfer_sessions; ++i) {
+    threads.emplace_back([&, i] {
+      TransferWorker(cluster, config, i, end_us, &next_marker, &state);
+      finished_at[static_cast<size_t>(i)] = MonotonicMicros();
+    });
+  }
+  for (int i = 0; i < config.scan_sessions; ++i) {
+    threads.emplace_back([&, i] {
+      ScanWorker(cluster, config, i, end_us, &state);
+      finished_at[static_cast<size_t>(config.transfer_sessions + i)] = MonotonicMicros();
+    });
+  }
+  std::thread scheduler(
+      [&] { FaultScheduler(cluster, config, end_us, &state); });
+
+  for (auto& t : threads) t.join();
+  scheduler.join();
+
+  // Invariant 4 (classified termination): every worker finished within the
+  // statement-timeout slack of the run end. A transfer's last transaction is
+  // at most five statement timeouts plus the commit-retry horizon.
+  const int64_t slack_us = 5 * config.statement_timeout_ms * 1000 +
+                           cluster->options().commit_retry_deadline_us + 1'000'000;
+  for (size_t i = 0; i < finished_at.size(); ++i) {
+    if (finished_at[i] > end_us + slack_us) {
+      state.Violation("worker " + std::to_string(i) + " outlived its deadline by " +
+                      std::to_string(finished_at[i] - end_us) + "us");
+    }
+  }
+
+  // Heal any damage FTS / the scheduler left behind, then verify final state.
+  for (const SegmentHealthInfo& info : cluster->Health().segments) {
+    if (!info.up) {
+      Status rs = cluster->RecoverSegment(info.index);
+      if (!rs.ok()) {
+        state.Violation("final recovery of segment " + std::to_string(info.index) +
+                        " failed: " + rs.message());
+      }
+    }
+  }
+  cluster->faults().DisarmAll();
+
+  auto session = cluster->Connect();  // no statement timeout: verification must finish
+  auto get_rows = [&](const std::string& sql) -> StatusOr<QueryResult> {
+    return session->Execute(sql);
+  };
+
+  // Invariant 1: balance conservation in the final (fully recovered) state.
+  auto sum_r = get_rows("SELECT sum(balance) FROM chaos_accounts");
+  if (!sum_r.ok()) {
+    state.Violation("final balance scan failed: " + sum_r.status().message());
+  } else {
+    int64_t sum = 0;
+    if (!sum_r->rows.empty() && !sum_r->rows[0][0].is_null()) {
+      sum = sum_r->rows[0][0].int_val();
+    }
+    if (sum != 0) {
+      state.Violation("balance conservation violated: final sum(balance)=" +
+                      std::to_string(sum));
+    }
+  }
+
+  // Invariants 2 + 3: the set of markers durable in chaos_history must contain
+  // every acknowledged transfer (no lost writes) and nothing outside
+  // acknowledged-or-ambiguous (no ghost writes).
+  auto hist_r = get_rows("SELECT marker FROM chaos_history");
+  if (!hist_r.ok()) {
+    state.Violation("final history scan failed: " + hist_r.status().message());
+  } else {
+    std::unordered_set<int64_t> durable;
+    for (const Row& row : hist_r->rows) {
+      if (!row.empty() && !row[0].is_null()) durable.insert(row[0].int_val());
+    }
+    std::lock_guard<std::mutex> g(state.mu);
+    for (int64_t marker : state.committed) {
+      if (!durable.count(marker)) {
+        state.report.violations.push_back(
+            "lost write: committed transfer " + std::to_string(marker) +
+            " missing from chaos_history after recovery");
+      }
+    }
+    for (int64_t marker : durable) {
+      if (!state.committed.count(marker) && !state.ambiguous.count(marker)) {
+        state.report.violations.push_back(
+            "ghost write: transfer " + std::to_string(marker) +
+            " present in chaos_history but never acknowledged");
+      }
+    }
+  }
+
+  // Classified-termination bookkeeping: every attempt landed in a bucket.
+  {
+    std::lock_guard<std::mutex> g(state.mu);
+    ChaosReport& r = state.report;
+    uint64_t classified = r.transfers_committed + r.transfers_ambiguous + r.scans_ok +
+                          r.deadlock_victims + r.timeouts + r.shed + r.unavailable +
+                          r.aborted_other;
+    if (classified != r.transfers_attempted + r.scans_attempted) {
+      r.violations.push_back(
+          "unclassified outcomes: attempted=" +
+          std::to_string(r.transfers_attempted + r.scans_attempted) +
+          " classified=" + std::to_string(classified));
+    }
+  }
+
+  std::lock_guard<std::mutex> g(state.mu);
+  return state.report;
+}
+
+}  // namespace gphtap

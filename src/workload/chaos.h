@@ -1,0 +1,103 @@
+// Chaos-invariant harness (robustness): a seeded RandomFaultScheduler drives
+// crash / recover / mirror-promote / net-delay / net-drop faults over the
+// existing FaultInjector + SimNet hooks while concurrent TPC-B-style transfer
+// sessions and analytical scan sessions hammer the cluster. At the end the
+// harness checks the safety invariants no fault schedule may break:
+//
+//   1. Balance conservation — every transfer moves `delta` between two
+//      accounts, so sum(balance) over chaos_accounts is always 0: in every
+//      concurrent scan's distributed snapshot AND in the final state.
+//   2. No lost writes — every transfer whose COMMIT returned OK has its
+//      unique marker row in chaos_history after all segments recover.
+//   3. No ghost writes — every marker present in chaos_history belongs to a
+//      transfer that was either acknowledged or ended ambiguously (commit
+//      verdict unknown at the client); a cleanly-aborted transfer never
+//      leaves a trace.
+//   4. Classified termination — every session finishes every attempt with a
+//      classified outcome (success, retried-success, deadlock victim,
+//      timeout, shed, unavailable/aborted) within its deadline budget; no
+//      outcome is ever unclassified and no worker outlives the run by more
+//      than the statement-timeout slack.
+//
+// The fault schedule is a pure function of the seed, so a failing run is
+// replayable by seed (thread interleaving still varies, but the invariants
+// must hold under every interleaving).
+#ifndef GPHTAP_WORKLOAD_CHAOS_H_
+#define GPHTAP_WORKLOAD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace gphtap {
+
+struct ChaosConfig {
+  uint64_t seed = 42;
+  int64_t duration_ms = 2000;
+
+  int transfer_sessions = 6;  // TPC-B-style two-account transfers
+  int scan_sessions = 2;      // analytical sum(balance) scans
+  int num_accounts = 64;
+
+  // Per-session statement timeout; also bounds how long a worker may outlive
+  // the run end (the classified-termination invariant's slack).
+  int64_t statement_timeout_ms = 2000;
+
+  // Fault schedule: one action every [min,max] ms, drawn from the seeded RNG.
+  int64_t fault_min_gap_ms = 60;
+  int64_t fault_max_gap_ms = 200;
+  // Action mix (remaining probability mass clears armed net faults).
+  double p_crash = 0.30;
+  double p_delay = 0.25;
+  double p_drop = 0.25;
+  // A crashed primary is recovered (or its mirror promoted by FTS) after this.
+  int64_t crash_recover_after_ms = 150;
+  // At most this many primaries down at once (keeps the cluster availble
+  // enough that retries can eventually succeed).
+  int max_down = 1;
+};
+
+struct ChaosReport {
+  // Transfer outcomes (every attempt lands in exactly one bucket).
+  uint64_t transfers_attempted = 0;
+  uint64_t transfers_committed = 0;  // COMMIT acknowledged OK
+  uint64_t transfers_ambiguous = 0;  // COMMIT returned an error: verdict unknown
+  uint64_t deadlock_victims = 0;
+  uint64_t timeouts = 0;
+  uint64_t shed = 0;
+  uint64_t unavailable = 0;
+  uint64_t aborted_other = 0;
+
+  // Scan outcomes.
+  uint64_t scans_attempted = 0;
+  uint64_t scans_ok = 0;
+  uint64_t scans_retried_ok = 0;  // succeeded after transparent statement retry
+  uint64_t scan_failures = 0;     // classified failures (also bucketed above)
+
+  // Fault schedule actually executed.
+  uint64_t faults_injected = 0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t mirror_promotions = 0;
+  std::vector<int64_t> recovery_latencies_us;  // crash -> back-up, per crash
+
+  // Empty when every invariant held; otherwise one message per violation.
+  std::vector<std::string> violations;
+  bool invariants_ok() const { return violations.empty(); }
+
+  std::string ToString() const;
+};
+
+/// Creates + loads chaos_accounts / chaos_history (idempotent per cluster).
+Status SetupChaosTables(Cluster* cluster, const ChaosConfig& config);
+
+/// Runs the full chaos schedule against an already-set-up cluster and returns
+/// the classified outcomes + invariant verdicts. Never throws; infrastructure
+/// errors land in `violations`.
+ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config);
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_WORKLOAD_CHAOS_H_

@@ -1,0 +1,82 @@
+// Seeded chaos smoke: concurrent transfer + scan sessions under a random (but
+// seed-determined) schedule of segment crashes, mirror failovers, message
+// delays and drops. The four safety invariants (balance conservation, no lost
+// writes, no ghost writes, classified termination) must hold for every seed;
+// run_tier1.sh runs a longer schedule, this keeps CI fast.
+#include <gtest/gtest.h>
+
+#include "api/gphtap.h"
+#include "workload/chaos.h"
+
+namespace gphtap {
+namespace {
+
+ClusterOptions ChaosCluster() {
+  ClusterOptions o;
+  o.num_segments = 3;
+  o.gdd_enabled = true;
+  o.mirrors_enabled = true;
+  o.crash_recovery_enabled = true;
+  o.fts_enabled = true;
+  o.breaker_enabled = true;
+  // Bound commit-retry so an ambiguous commit resolves within the run's
+  // classified-termination slack instead of the 10 s default horizon.
+  o.commit_retry_deadline_us = 2'000'000;
+  return o;
+}
+
+ChaosConfig SmokeConfig(uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  cfg.duration_ms = 2000;
+  cfg.transfer_sessions = 6;
+  cfg.scan_sessions = 2;  // >= 8 sessions total
+  cfg.statement_timeout_ms = 1500;
+  return cfg;
+}
+
+void RunSeed(uint64_t seed) {
+  Cluster cluster(ChaosCluster());
+  ASSERT_TRUE(SetupChaosTables(&cluster, SmokeConfig(seed)).ok());
+  ChaosReport report = RunChaosWorkload(&cluster, SmokeConfig(seed));
+  SCOPED_TRACE(report.ToString());
+
+  EXPECT_TRUE(report.invariants_ok()) << report.ToString();
+
+  // The run exercised real work and real faults.
+  EXPECT_GT(report.transfers_attempted, 0u);
+  EXPECT_GT(report.transfers_committed, 0u);
+  EXPECT_GT(report.scans_attempted, 0u);
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GE(report.crashes, 1u);
+  EXPECT_EQ(report.recoveries, report.crashes);
+
+  // Every attempt is classified into exactly one bucket (the failure buckets
+  // cover both transfer and scan failures).
+  EXPECT_EQ(report.transfers_committed + report.transfers_ambiguous + report.scans_ok +
+                report.deadlock_victims + report.timeouts + report.shed +
+                report.unavailable + report.aborted_other,
+            report.transfers_attempted + report.scans_attempted);
+}
+
+TEST(ChaosTest, InvariantsHoldSeed42) { RunSeed(42); }
+
+TEST(ChaosTest, InvariantsHoldSeed1337) { RunSeed(1337); }
+
+// Overload shedding composes with the chaos schedule: a tight bounded queue
+// sheds rather than stalls, and shedding never breaks a safety invariant.
+TEST(ChaosTest, InvariantsHoldUnderSheddingConfig) {
+  ClusterOptions o = ChaosCluster();
+  o.resgroup_max_queue = 2;
+  o.resgroup_shed_on_saturation = false;
+  Cluster cluster(o);
+  ChaosConfig cfg = SmokeConfig(7);
+  cfg.duration_ms = 1500;
+  ASSERT_TRUE(SetupChaosTables(&cluster, cfg).ok());
+  ChaosReport report = RunChaosWorkload(&cluster, cfg);
+  EXPECT_TRUE(report.invariants_ok()) << report.ToString();
+  EXPECT_GT(report.transfers_committed, 0u);
+}
+
+}  // namespace
+}  // namespace gphtap

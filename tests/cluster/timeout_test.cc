@@ -1,0 +1,424 @@
+// Query-lifecycle timeout enforcement: the statement deadline must fire while
+// a statement is parked at each of the four blocking points — (a) a lock
+// queue, (b) motion recv, (c) resource-group admission, (d) WAL fsync — and
+// each firing must abort cleanly: locks released, no orphan gang state, the
+// session immediately reusable. Plus the cancellation-propagation regressions:
+// a receiver blocked on an idle sender wakes on exchange abort / deadline, and
+// CancelTxn wakes a parked lock waiter.
+//
+// Timing bounds are deliberately asymmetric: the lower bound proves the
+// deadline was honored (never fires early), the upper bound proves the parked
+// thread actually woke near the deadline instead of waiting out the block
+// (granularity contract: within ~2x kInterruptPollUs, asserted here with CI
+// headroom on top).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "api/gphtap.h"
+#include "common/clock.h"
+#include "common/wait_event.h"
+#include "integration/actor.h"
+#include "lock/lock_owner.h"
+#include "net/motion_exchange.h"
+#include "net/sim_net.h"
+
+namespace gphtap {
+namespace {
+
+ClusterOptions Base(int segments = 2) {
+  ClusterOptions o;
+  o.num_segments = segments;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Statement timeout while parked in a lock queue.
+// ---------------------------------------------------------------------------
+
+TEST(TimeoutTest, StatementTimeoutInLockQueue) {
+  Cluster cluster(Base());
+  auto admin = cluster.Connect();
+  ASSERT_TRUE(admin->Execute("CREATE TABLE t (k int, v int)").ok());
+  ASSERT_TRUE(admin->Execute("INSERT INTO t VALUES (1, 0), (2, 0)").ok());
+
+  Actor holder(&cluster);
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());
+  ASSERT_TRUE(holder.RunSync("UPDATE t SET v = 1 WHERE k = 1").ok());
+
+  auto victim = cluster.Connect();
+  victim->set_statement_timeout_us(200'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = victim->Execute("UPDATE t SET v = 2 WHERE k = 1");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 190'000);
+  EXPECT_LT(elapsed, 200'000 + 400'000);  // woke near the deadline, not at commit
+  EXPECT_EQ(victim->stats().statement_timeouts, 1u);
+  EXPECT_FALSE(victim->in_txn());  // implicit txn rolled back
+
+  // The victim's locks are gone: the holder commits, a fresh session and the
+  // victim itself can both take the contended row.
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  auto third = cluster.Connect();
+  EXPECT_TRUE(third->Execute("UPDATE t SET v = 3 WHERE k = 1").ok());
+  victim->set_statement_timeout_us(0);
+  EXPECT_TRUE(victim->Execute("UPDATE t SET v = 4 WHERE k = 1").ok());
+}
+
+TEST(TimeoutTest, LockTimeoutIsIndependentOfStatementTimeout) {
+  Cluster cluster(Base());
+  auto admin = cluster.Connect();
+  ASSERT_TRUE(admin->Execute("CREATE TABLE t (k int, v int)").ok());
+  ASSERT_TRUE(admin->Execute("INSERT INTO t VALUES (1, 0)").ok());
+
+  Actor holder(&cluster);
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());
+  ASSERT_TRUE(holder.RunSync("UPDATE t SET v = 1 WHERE k = 1").ok());
+
+  // lock_timeout alone (no statement deadline) bounds the lock wait.
+  auto victim = cluster.Connect();
+  victim->set_lock_timeout_us(120'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = victim->Execute("UPDATE t SET v = 2 WHERE k = 1");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 110'000);
+  EXPECT_LT(elapsed, 120'000 + 400'000);
+
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  // Uncontended statements are untouched by lock_timeout.
+  EXPECT_TRUE(victim->Execute("UPDATE t SET v = 3 WHERE k = 1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// (b) Statement timeout while parked in motion recv.
+// ---------------------------------------------------------------------------
+
+TEST(TimeoutTest, StatementTimeoutInMotionRecv) {
+  Cluster cluster(Base());
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE big (k int, v int)").ok());
+  {
+    auto def = cluster.LookupTable("big");
+    ASSERT_TRUE(def.ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 2000; ++i) rows.push_back(Row{Datum(i), Datum(i * 2)});
+    ASSERT_TRUE(s->ExecuteInsert(*def, rows).ok());
+  }
+
+  // 120 ms per 64-row tuple message: a full scan would stream for seconds,
+  // so the receiver spends nearly all its time parked in motion recv.
+  cluster.faults().ArmDelay(NetDelayPoint(MsgKind::kTupleData), 120'000);
+  s->set_statement_timeout_us(250'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = s->Execute("SELECT k, v FROM big");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 240'000);
+  // Full delivery would take ~16 delayed messages per sender (~1.9 s); the
+  // receiver must wake at the deadline plus at most one in-flight delay.
+  EXPECT_LT(elapsed, 1'200'000);
+
+  // No orphan gang: disarm and the same session scans the whole table.
+  cluster.faults().DisarmAll();
+  s->set_statement_timeout_us(0);
+  auto ok = s->Execute("SELECT k, v FROM big");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows.size(), 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Statement / admission timeout while parked in resource-group admission,
+//     and shed-on-saturation.
+// ---------------------------------------------------------------------------
+
+ClusterOptions RgBase() {
+  ClusterOptions o = Base();
+  o.resource_groups_enabled = true;
+  return o;
+}
+
+void MakeTightGroup(Session* admin) {
+  ASSERT_TRUE(
+      admin->Execute("CREATE RESOURCE GROUP tight WITH (CONCURRENCY=1, MEMORY_LIMIT=8)")
+          .ok());
+  ASSERT_TRUE(admin->Execute("CREATE ROLE app RESOURCE GROUP tight").ok());
+}
+
+TEST(TimeoutTest, StatementTimeoutInAdmissionQueue) {
+  Cluster cluster(RgBase());
+  auto admin = cluster.Connect();
+  MakeTightGroup(admin.get());
+
+  Actor holder(&cluster, "app");
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());  // takes the single slot
+
+  auto victim = cluster.Connect("app");
+  victim->set_statement_timeout_us(200'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = victim->Execute("BEGIN");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 190'000);
+  EXPECT_LT(elapsed, 200'000 + 400'000);
+  EXPECT_FALSE(victim->in_txn());
+
+  // Slot freed -> the victim admits normally afterwards.
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  victim->set_statement_timeout_us(0);
+  EXPECT_TRUE(victim->Execute("BEGIN").ok());
+  EXPECT_TRUE(victim->Execute("COMMIT").ok());
+}
+
+TEST(TimeoutTest, AdmissionTimeoutGucFiresWithoutStatementTimeout) {
+  Cluster cluster(RgBase());
+  auto admin = cluster.Connect();
+  MakeTightGroup(admin.get());
+
+  Actor holder(&cluster, "app");
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());
+
+  auto victim = cluster.Connect("app");
+  victim->set_admission_timeout_us(150'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = victim->Execute("BEGIN");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 140'000);
+  EXPECT_LT(elapsed, 150'000 + 400'000);
+
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  EXPECT_TRUE(victim->Execute("BEGIN").ok());
+  EXPECT_TRUE(victim->Execute("COMMIT").ok());
+}
+
+TEST(TimeoutTest, SaturatedAdmissionQueueSheds) {
+  ClusterOptions o = RgBase();
+  o.resgroup_max_queue = 1;  // one waiter may queue; the next arrival is shed
+  Cluster cluster(o);
+  auto admin = cluster.Connect();
+  MakeTightGroup(admin.get());
+
+  Actor holder(&cluster, "app");
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());  // slot taken
+
+  Actor queued(&cluster, "app");
+  auto queued_f = queued.Run("BEGIN");  // fills the single queue position
+  auto group = cluster.resgroups().GroupForRole("app");
+  ASSERT_NE(group, nullptr);
+  for (int i = 0; i < 400 && group->overload_stats().queued_now < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(group->overload_stats().queued_now, 1);
+
+  // Queue full -> the next arrival is shed immediately, not parked.
+  auto shed = cluster.Connect("app");
+  int64_t t0 = MonotonicMicros();
+  auto r = shed->Execute("BEGIN");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted) << r.status().ToString();
+  EXPECT_LT(elapsed, 150'000);  // fail-fast, no queue wait
+  EXPECT_GE(group->overload_stats().shed, 1u);
+
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  EXPECT_TRUE(queued_f.get().ok());
+  ASSERT_TRUE(queued.RunSync("COMMIT").ok());
+  EXPECT_TRUE(shed->Execute("BEGIN").ok());
+  EXPECT_TRUE(shed->Execute("COMMIT").ok());
+
+  // The overload counters surface through the system view (satellite check).
+  auto view = admin->Execute(
+      "SELECT queued, queued_total, shed, admission_timeouts FROM gp_resgroup_status");
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  auto activity = admin->Execute(
+      "SELECT deadline_remaining_us, retries FROM gp_stat_activity");
+  EXPECT_TRUE(activity.ok()) << activity.status().ToString();
+}
+
+TEST(TimeoutTest, ShedOnSaturationFailsFastWithoutQueueing) {
+  ClusterOptions o = RgBase();
+  o.resgroup_shed_on_saturation = true;  // no queue at all: saturated => shed
+  Cluster cluster(o);
+  auto admin = cluster.Connect();
+  MakeTightGroup(admin.get());
+
+  Actor holder(&cluster, "app");
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());  // slot taken
+
+  auto victim = cluster.Connect("app");
+  int64_t t0 = MonotonicMicros();
+  auto r = victim->Execute("BEGIN");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted) << r.status().ToString();
+  EXPECT_LT(elapsed, 150'000);  // immediate, never parked
+  auto group = cluster.resgroups().GroupForRole("app");
+  ASSERT_NE(group, nullptr);
+  EXPECT_GE(group->overload_stats().shed, 1u);
+
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  EXPECT_TRUE(victim->Execute("BEGIN").ok());
+  EXPECT_TRUE(victim->Execute("COMMIT").ok());
+}
+
+// ---------------------------------------------------------------------------
+// (d) Statement timeout while parked in a WAL fsync (2PC prepare).
+// ---------------------------------------------------------------------------
+
+TEST(TimeoutTest, StatementTimeoutInWalFsync) {
+  ClusterOptions o = Base();
+  o.fsync_cost_us = 400'000;  // every commit-path fsync parks for 400 ms
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int, v int)").ok());
+
+  // Multi-segment write -> 2PC -> the statement parks in the prepare fsync.
+  s->set_statement_timeout_us(150'000);
+  int64_t t0 = MonotonicMicros();
+  auto r = s->Execute(
+      "INSERT INTO t VALUES (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7), (8, 8)");
+  int64_t elapsed = MonotonicMicros() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  EXPECT_GE(elapsed, 140'000);
+  // Interrupted well before the 400 ms fsync would have completed: the parked
+  // fsync was cut short at the deadline and the transaction aborted pre-commit.
+  EXPECT_LT(elapsed, 360'000);
+
+  // Clean abort: no ghost rows, and the same session can write afterwards.
+  s->set_statement_timeout_us(0);
+  auto count = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->rows[0][0].int_val(), 0);
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 1)").ok());
+  count = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int_val(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation-propagation regressions.
+// ---------------------------------------------------------------------------
+
+// A receiver parked on an idle sender (no traffic at all) must wake promptly
+// when the exchange is aborted — the CancelTxn path.
+TEST(MotionWakeTest, IdleSenderReceiverWakesOnAbort) {
+  MotionExchange ex(1, 1, 8);
+  std::atomic<bool> woke{false};
+  std::thread receiver([&] {
+    auto r = ex.Recv(0);  // sender never sends anything
+    EXPECT_FALSE(r.has_value());
+    woke.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(woke.load(std::memory_order_acquire));  // genuinely parked
+  int64_t t0 = MonotonicMicros();
+  ex.Abort();
+  receiver.join();
+  EXPECT_LT(MonotonicMicros() - t0, 500'000);
+}
+
+// Same parked receiver, woken by the ambient statement deadline instead: it
+// must observe the expiry within the poll-granularity contract.
+TEST(MotionWakeTest, IdleSenderReceiverWakesOnStatementDeadline) {
+  MotionExchange ex(1, 1, 8);
+  LockOwner owner(/*gxid=*/1);
+  owner.set_deadline_us(MonotonicMicros() + 150'000);
+  int64_t elapsed = 0;
+  std::thread receiver([&] {
+    WaitContext ctx;
+    ctx.owner = &owner;
+    WaitContextGuard guard(ctx);
+    int64_t t0 = MonotonicMicros();
+    auto r = ex.Recv(0);
+    elapsed = MonotonicMicros() - t0;
+    EXPECT_FALSE(r.has_value());
+  });
+  receiver.join();
+  EXPECT_GE(elapsed, 140'000);
+  // Contract: within ~2x kInterruptPollUs of the deadline (plus CI headroom).
+  EXPECT_LT(elapsed, 150'000 + 20 * kInterruptPollUs);
+  EXPECT_TRUE(owner.cancelled());
+  EXPECT_EQ(owner.cancel_reason().code(), StatusCode::kTimedOut);
+}
+
+TEST(TimeoutTest, CancelTxnWakesLockWaiter) {
+  Cluster cluster(Base());
+  auto admin = cluster.Connect();
+  ASSERT_TRUE(admin->Execute("CREATE TABLE t (k int, v int)").ok());
+  ASSERT_TRUE(admin->Execute("INSERT INTO t VALUES (1, 0)").ok());
+
+  Actor holder(&cluster);
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());
+  ASSERT_TRUE(holder.RunSync("UPDATE t SET v = 1 WHERE k = 1").ok());
+
+  Actor victim(&cluster);
+  auto blocked = victim.Run("UPDATE t SET v = 2 WHERE k = 1");
+  ASSERT_TRUE(StillBlocked(blocked, 100));
+
+  // Find the waiter's gxid through gp_locks (granted = 0).
+  uint64_t waiter_gxid = 0;
+  for (int i = 0; i < 400 && waiter_gxid == 0; ++i) {
+    auto locks = admin->Execute("SELECT gxid, granted FROM gp_locks");
+    ASSERT_TRUE(locks.ok()) << locks.status().ToString();
+    for (const Row& row : locks->rows) {
+      if (row[1].int_val() == 0) {
+        waiter_gxid = static_cast<uint64_t>(row[0].int_val());
+        break;
+      }
+    }
+    if (waiter_gxid == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(waiter_gxid, 0u);
+
+  cluster.CancelTxn(waiter_gxid, Status::Aborted("user requested cancel"));
+  ASSERT_EQ(blocked.wait_for(std::chrono::seconds(2)), std::future_status::ready)
+      << "cancelled lock waiter did not wake";
+  Status s = blocked.get();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted) << s.ToString();
+
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+  EXPECT_TRUE(victim.RunSync("UPDATE t SET v = 3 WHERE k = 1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// SET <timeout-guc> SQL surface.
+// ---------------------------------------------------------------------------
+
+TEST(TimeoutGucTest, SetStatementTimeoutParsesMilliseconds) {
+  Cluster cluster(Base());
+  auto s = cluster.Connect();
+  EXPECT_TRUE(s->Execute("SET statement_timeout = 150").ok());
+  EXPECT_EQ(s->statement_timeout_us(), 150'000);
+  EXPECT_TRUE(s->Execute("SET lock_timeout to 75").ok());
+  EXPECT_EQ(s->lock_timeout_us(), 75'000);
+  EXPECT_TRUE(s->Execute("SET admission_timeout = 200").ok());
+  EXPECT_EQ(s->admission_timeout_us(), 200'000);
+  EXPECT_TRUE(s->Execute("SET statement_timeout = 0").ok());
+  EXPECT_EQ(s->statement_timeout_us(), 0);
+
+  // And the GUC actually bites through SQL alone.
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (k int, v int)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 0)").ok());
+  Actor holder(&cluster);
+  ASSERT_TRUE(holder.RunSync("BEGIN").ok());
+  ASSERT_TRUE(holder.RunSync("UPDATE t SET v = 1 WHERE k = 1").ok());
+  ASSERT_TRUE(s->Execute("SET statement_timeout = 150").ok());
+  auto r = s->Execute("UPDATE t SET v = 2 WHERE k = 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut) << r.status().ToString();
+  ASSERT_TRUE(holder.RunSync("COMMIT").ok());
+}
+
+}  // namespace
+}  // namespace gphtap

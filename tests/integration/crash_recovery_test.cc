@@ -305,6 +305,42 @@ TEST_F(CrashRecoveryTest, CrashCancelsLockWaiters) {
   EXPECT_EQ(v.rows[0][0].int_val(), 0);
 }
 
+// A crash+recovery landing *between* statements of an explicit transaction
+// aborts that transaction's local writes on the recovered segment — but the
+// coordinator doesn't hear about it. A later statement of the same transaction
+// touching that segment again must fail rather than silently open a fresh
+// local transaction there: otherwise PREPARE/COMMIT would see a healthy
+// participant and commit the transaction with its earlier statements' effects
+// missing (a torn, half-applied transaction).
+TEST_F(CrashRecoveryTest, MidTxnCrashRecoveryRefusesToReviveTransaction) {
+  Start();
+  MustExec(session_.get(), "INSERT INTO t SELECT i, 0 FROM generate_series(1, 30) i");
+
+  MustExec(session_.get(), "BEGIN");
+  MustExec(session_.get(), "UPDATE t SET v = v + 1 WHERE k = 1");
+  // Find the segment the update actually wrote to.
+  Gxid gxid = session_->current_gxid();
+  int target = -1;
+  for (int i = 0; i < cluster_->num_segments(); ++i) {
+    if (cluster_->segment(i)->txns().HasWritten(gxid)) target = i;
+  }
+  ASSERT_GE(target, 0);
+  ASSERT_TRUE(cluster_->CrashSegment(target).ok());
+  ASSERT_TRUE(cluster_->RecoverSegment(target).ok());
+
+  // Recovery aborted the in-progress local transaction; re-touching the same
+  // segment must fail instead of handing the transaction a fresh local xid.
+  auto second = session_->Execute("UPDATE t SET v = v + 100 WHERE k = 1");
+  EXPECT_FALSE(second.ok()) << "statement revived a crash-aborted transaction";
+  // The failed block rolls back; COMMIT just closes it (PostgreSQL semantics).
+  session_->Execute("COMMIT");
+
+  // All-or-nothing: neither update half-applied.
+  auto v = MustExec(session_.get(), "SELECT v FROM t WHERE k = 1");
+  ASSERT_EQ(v.rows.size(), 1u);
+  EXPECT_EQ(v.rows[0][0].int_val(), 0);
+}
+
 TEST_F(CrashRecoveryTest, RecoverRequiresCrashAndChangeLog) {
   Start();
   // Recovering an up segment is rejected.

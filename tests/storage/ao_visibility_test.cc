@@ -18,7 +18,7 @@ class AoVisibilityTest : public ::testing::Test {
 
   LocalXid BeginCommitted() {
     Gxid g = next_gxid_++;
-    LocalXid x = mgr_.AssignXid(g);
+    LocalXid x = *mgr_.AssignXid(g);
     mgr_.Commit(g);
     return x;
   }
@@ -144,7 +144,7 @@ TEST_F(AoVisibilityTest, AbortedDeleterLeavesTuplesVisible) {
     ASSERT_TRUE(t.Insert(x, Row{Datum(i), Datum(i)}).ok());
   }
   Gxid g = next_gxid_++;
-  LocalXid aborted = mgr_.AssignXid(g);
+  LocalXid aborted = *mgr_.AssignXid(g);
   ASSERT_TRUE(t.MarkDeleted(3, aborted).ok());
   mgr_.Abort(g);
   EXPECT_EQ(BatchScan(&t).size(), 10u);
@@ -156,7 +156,7 @@ TEST_F(AoVisibilityTest, AbortedInsertInvisibleOnBothPaths) {
   LocalXid committed = BeginCommitted();
   ASSERT_TRUE(t.Insert(committed, Row{Datum(int64_t{1}), Datum(int64_t{1})}).ok());
   Gxid g = next_gxid_++;
-  LocalXid aborted = mgr_.AssignXid(g);
+  LocalXid aborted = *mgr_.AssignXid(g);
   ASSERT_TRUE(t.Insert(aborted, Row{Datum(int64_t{2}), Datum(int64_t{2})}).ok());
   mgr_.Abort(g);
   auto keys = BatchScan(&t);

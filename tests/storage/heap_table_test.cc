@@ -26,7 +26,7 @@ class HeapTableTest : public ::testing::Test {
   LocalXid Begin() {
     Gxid g = dtm_.Begin(owner_);
     gxids_.push_back(g);
-    return mgr_.AssignXid(g);
+    return *mgr_.AssignXid(g);
   }
   void Commit(LocalXid xid) {
     for (Gxid g : gxids_) {

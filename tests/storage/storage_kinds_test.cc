@@ -20,7 +20,7 @@ class StorageKindsTest : public ::testing::Test {
 
   LocalXid BeginCommitted() {
     Gxid g = next_gxid_++;
-    LocalXid x = mgr_.AssignXid(g);
+    LocalXid x = *mgr_.AssignXid(g);
     mgr_.Commit(g);
     return x;
   }
@@ -71,7 +71,7 @@ TEST_F(StorageKindsTest, AoRowInsertAndScan) {
 TEST_F(StorageKindsTest, AoRowAbortedInsertInvisible) {
   AoRowTable t(Def(StorageKind::kAoRow));
   Gxid g = next_gxid_++;
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   ASSERT_TRUE(t.Insert(x, Row{Datum(int64_t{1}), Datum(int64_t{2})}).ok());
   mgr_.Abort(g);
   int count = 0;
@@ -243,7 +243,7 @@ TEST_F(StorageKindsTest, AoVisimapDeleteByAbortedTxnStaysVisible) {
   ASSERT_TRUE(t.Insert(x, Row{Datum(int64_t{1}), Datum(int64_t{1})}).ok());
   // Deleter aborts: the visimap entry must not hide the row.
   Gxid g = next_gxid_++;
-  LocalXid aborted = mgr_.AssignXid(g);
+  LocalXid aborted = *mgr_.AssignXid(g);
   ASSERT_TRUE(t.MarkDeleted(0, aborted).ok());
   mgr_.Abort(g);
   int count = 0;

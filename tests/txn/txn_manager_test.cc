@@ -19,10 +19,10 @@ struct SegmentFixture {
 
 TEST(LocalTxnManagerTest, AssignXidIsStablePerGxid) {
   SegmentFixture f;
-  LocalXid x1 = f.mgr.AssignXid(100);
-  LocalXid x2 = f.mgr.AssignXid(100);
+  LocalXid x1 = *f.mgr.AssignXid(100);
+  LocalXid x2 = *f.mgr.AssignXid(100);
   EXPECT_EQ(x1, x2);
-  LocalXid x3 = f.mgr.AssignXid(101);
+  LocalXid x3 = *f.mgr.AssignXid(101);
   EXPECT_NE(x1, x3);
   EXPECT_TRUE(f.mgr.HasWritten(100));
   EXPECT_FALSE(f.mgr.HasWritten(999));
@@ -30,7 +30,7 @@ TEST(LocalTxnManagerTest, AssignXidIsStablePerGxid) {
 
 TEST(LocalTxnManagerTest, MappingRecorded) {
   SegmentFixture f;
-  LocalXid x = f.mgr.AssignXid(42);
+  LocalXid x = *f.mgr.AssignXid(42);
   auto g = f.dlog.Lookup(x);
   ASSERT_TRUE(g.has_value());
   EXPECT_EQ(*g, 42u);
@@ -38,7 +38,7 @@ TEST(LocalTxnManagerTest, MappingRecorded) {
 
 TEST(LocalTxnManagerTest, CommitFlipsClogAndLeavesRunningSet) {
   SegmentFixture f;
-  LocalXid x = f.mgr.AssignXid(1);
+  LocalXid x = *f.mgr.AssignXid(1);
   EXPECT_EQ(f.clog.GetState(x), TxnState::kInProgress);
   EXPECT_TRUE(f.mgr.Commit(1).ok());
   EXPECT_EQ(f.clog.GetState(x), TxnState::kCommitted);
@@ -48,14 +48,14 @@ TEST(LocalTxnManagerTest, CommitFlipsClogAndLeavesRunningSet) {
 
 TEST(LocalTxnManagerTest, AbortFlipsClog) {
   SegmentFixture f;
-  LocalXid x = f.mgr.AssignXid(1);
+  LocalXid x = *f.mgr.AssignXid(1);
   EXPECT_TRUE(f.mgr.Abort(1).ok());
   EXPECT_EQ(f.clog.GetState(x), TxnState::kAborted);
 }
 
 TEST(LocalTxnManagerTest, PrepareThenCommitPrepared) {
   SegmentFixture f;
-  LocalXid x = f.mgr.AssignXid(1);
+  LocalXid x = *f.mgr.AssignXid(1);
   EXPECT_TRUE(f.mgr.Prepare(1).ok());
   EXPECT_EQ(f.clog.GetState(x), TxnState::kPrepared);
   EXPECT_EQ(f.mgr.NumRunning(), 1u);  // still running until phase 2
@@ -65,7 +65,7 @@ TEST(LocalTxnManagerTest, PrepareThenCommitPrepared) {
 
 TEST(LocalTxnManagerTest, PrepareThenAbort) {
   SegmentFixture f;
-  LocalXid x = f.mgr.AssignXid(1);
+  LocalXid x = *f.mgr.AssignXid(1);
   EXPECT_TRUE(f.mgr.Prepare(1).ok());
   EXPECT_TRUE(f.mgr.Abort(1).ok());
   EXPECT_EQ(f.clog.GetState(x), TxnState::kAborted);
@@ -84,7 +84,7 @@ TEST(LocalTxnManagerTest, CommitWithoutWriteIsNoop) {
 
 TEST(LocalTxnManagerTest, WalCountsFsyncs) {
   SegmentFixture f;
-  f.mgr.AssignXid(1);
+  *f.mgr.AssignXid(1);
   f.mgr.Prepare(1);
   f.mgr.CommitPrepared(1);
   // Begin is not fsynced; prepare and commit-prepared are.
@@ -94,8 +94,8 @@ TEST(LocalTxnManagerTest, WalCountsFsyncs) {
 
 TEST(LocalTxnManagerTest, LocalSnapshotSeesRunning) {
   SegmentFixture f;
-  LocalXid x1 = f.mgr.AssignXid(1);
-  LocalXid x2 = f.mgr.AssignXid(2);
+  LocalXid x1 = *f.mgr.AssignXid(1);
+  LocalXid x2 = *f.mgr.AssignXid(2);
   f.mgr.Commit(1);
   LocalSnapshot snap = f.mgr.TakeLocalSnapshot();
   EXPECT_FALSE(snap.IsRunning(x1));

@@ -41,7 +41,7 @@ TEST_F(VisibilityTest, InvalidXidNeverVisible) {
 
 TEST_F(VisibilityTest, OwnWritesVisible) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
   EXPECT_TRUE(XidCommittedForSnapshot(x, Ctx(&snap, x)));
   EXPECT_FALSE(XidCommittedForSnapshot(x, Ctx(&snap, /*my=*/0)));
@@ -49,7 +49,7 @@ TEST_F(VisibilityTest, OwnWritesVisible) {
 
 TEST_F(VisibilityTest, CommittedBeforeSnapshotVisible) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   mgr_.Commit(g);
   dtm_.MarkCommitted(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
@@ -58,7 +58,7 @@ TEST_F(VisibilityTest, CommittedBeforeSnapshotVisible) {
 
 TEST_F(VisibilityTest, CommittedAfterSnapshotInvisible) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();  // g still in progress here
   mgr_.Commit(g);
   dtm_.MarkCommitted(g);
@@ -70,7 +70,7 @@ TEST_F(VisibilityTest, CommittedAfterSnapshotInvisible) {
 
 TEST_F(VisibilityTest, AbortedNeverVisible) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   mgr_.Abort(g);
   dtm_.MarkAborted(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
@@ -82,7 +82,7 @@ TEST_F(VisibilityTest, AbortedNeverVisible) {
 // the segment committing locally BEFORE the coordinator marks it committed.
 TEST_F(VisibilityTest, OnePhaseCommitWindowHidesLocalCommit) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   mgr_.Commit(g);  // segment side done; Commit Ok still "in flight"
   DistributedSnapshot snap = dtm_.TakeSnapshot();
   EXPECT_TRUE(snap.IsRunning(g));
@@ -95,7 +95,7 @@ TEST_F(VisibilityTest, OnePhaseCommitWindowHidesLocalCommit) {
 
 TEST_F(VisibilityTest, PreparedTransactionInvisible) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   mgr_.Prepare(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
   EXPECT_FALSE(XidCommittedForSnapshot(x, Ctx(&snap)));
@@ -103,7 +103,7 @@ TEST_F(VisibilityTest, PreparedTransactionInvisible) {
 
 TEST_F(VisibilityTest, TruncatedMappingFallsBackToLocalRules) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   mgr_.Commit(g);
   dtm_.MarkCommitted(g);
   // Truncate the mapping (as the background horizon maintenance would).
@@ -118,7 +118,7 @@ TEST_F(VisibilityTest, TruncatedMappingFallsBackToLocalRules) {
 TEST_F(VisibilityTest, TupleVisibleMatrix) {
   // Committed insert, no delete -> visible.
   Gxid g1 = dtm_.Begin(owner_);
-  LocalXid ins = mgr_.AssignXid(g1);
+  LocalXid ins = *mgr_.AssignXid(g1);
   mgr_.Commit(g1);
   dtm_.MarkCommitted(g1);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
@@ -126,7 +126,7 @@ TEST_F(VisibilityTest, TupleVisibleMatrix) {
 
   // Deleted by a committed txn -> invisible.
   Gxid g2 = dtm_.Begin(owner_);
-  LocalXid del = mgr_.AssignXid(g2);
+  LocalXid del = *mgr_.AssignXid(g2);
   mgr_.Commit(g2);
   dtm_.MarkCommitted(g2);
   DistributedSnapshot snap2 = dtm_.TakeSnapshot();
@@ -134,7 +134,7 @@ TEST_F(VisibilityTest, TupleVisibleMatrix) {
 
   // Deleted by an in-progress txn -> still visible to others.
   Gxid g3 = dtm_.Begin(owner_);
-  LocalXid del2 = mgr_.AssignXid(g3);
+  LocalXid del2 = *mgr_.AssignXid(g3);
   DistributedSnapshot snap3 = dtm_.TakeSnapshot();
   EXPECT_TRUE(TupleVisible(ins, del2, Ctx(&snap3)));
   // ... but invisible to the deleter itself.
@@ -149,7 +149,7 @@ TEST_F(VisibilityTest, TupleVisibleMatrix) {
 
 TEST_F(VisibilityTest, UncommittedInsertInvisibleToOthersVisibleToSelf) {
   Gxid g = dtm_.Begin(owner_);
-  LocalXid x = mgr_.AssignXid(g);
+  LocalXid x = *mgr_.AssignXid(g);
   DistributedSnapshot snap = dtm_.TakeSnapshot();
   EXPECT_FALSE(TupleVisible(x, kInvalidLocalXid, Ctx(&snap)));
   EXPECT_TRUE(TupleVisible(x, kInvalidLocalXid, Ctx(&snap, x)));
@@ -173,7 +173,7 @@ TEST_F(VisibilityTest, RandomizedMatchesOracle) {
     uint64_t r = next() % 3;
     if (r == 0 || txns.empty()) {
       Gxid g = dtm_.Begin(owner_);
-      txns.push_back({g, mgr_.AssignXid(g), 0});
+      txns.push_back({g, *mgr_.AssignXid(g), 0});
     } else {
       TxnRec& t = txns[next() % txns.size()];
       if (t.state == 0) {
