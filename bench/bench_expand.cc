@@ -1,0 +1,220 @@
+// Online expansion under load: TPC-B-style transfers hammer a 3-segment
+// cluster, then the cluster grows by two segments and rebalances the tables
+// while the transfers keep flowing. Reports throughput before / during /
+// after the rebalance, the cutover pause (the brief AccessExclusive window
+// writers stall in), and proof the new segments actually serve data.
+//
+// GPHTAP_BENCH_MS overrides the per-phase length (run_tier1.sh uses 300).
+#include "bench_common.h"
+
+#include <atomic>
+#include <thread>
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+constexpr int kAccounts = 64;
+constexpr int kTransferThreads = 4;
+
+ClusterOptions ExpandClusterOptions() {
+  ClusterOptions o;
+  o.num_segments = 3;
+  o.gdd_enabled = true;
+  o.crash_recovery_enabled = true;
+  return o;
+}
+
+// Phases a transfer's latency sample can land in.
+enum Phase { kBefore = 0, kDuring = 1, kAfter = 2 };
+
+struct PhaseStats {
+  Histogram latency_us;
+  uint64_t committed = 0;
+  int64_t elapsed_us = 0;
+};
+
+Status SetupTables(Cluster* cluster) {
+  auto session = cluster->Connect();
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("CREATE TABLE bench_accounts (aid int, balance int) "
+                    "DISTRIBUTED BY (aid)")
+          .status());
+  GPHTAP_RETURN_IF_ERROR(
+      session
+          ->Execute("INSERT INTO bench_accounts SELECT i, 0 FROM "
+                    "generate_series(1, " +
+                    std::to_string(kAccounts) + ") i")
+          .status());
+  return Status::OK();
+}
+
+void TransferLoop(Cluster* cluster, uint64_t seed, std::atomic<int>* phase,
+                  std::atomic<bool>* stop, std::array<PhaseStats, 3>* stats,
+                  std::mutex* stats_mu) {
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(2'000'000);
+  Rng rng(seed);
+  while (!stop->load(std::memory_order_acquire)) {
+    int64_t from = rng.UniformRange(1, kAccounts);
+    int64_t to = rng.UniformRange(1, kAccounts);
+    if (to == from) to = to % kAccounts + 1;
+    int64_t delta = rng.UniformRange(1, 100);
+    int p = phase->load(std::memory_order_acquire);
+    int64_t start = MonotonicMicros();
+    Status s = session->Execute("BEGIN").status();
+    if (s.ok()) {
+      s = session
+              ->Execute("UPDATE bench_accounts SET balance = balance + " +
+                        std::to_string(delta) +
+                        " WHERE aid = " + std::to_string(from))
+              .status();
+    }
+    if (s.ok()) {
+      s = session
+              ->Execute("UPDATE bench_accounts SET balance = balance - " +
+                        std::to_string(delta) +
+                        " WHERE aid = " + std::to_string(to))
+              .status();
+    }
+    if (!s.ok()) {
+      session->Rollback();
+      continue;
+    }
+    if (!session->Execute("COMMIT").ok()) continue;
+    int64_t us = MonotonicMicros() - start;
+    std::lock_guard<std::mutex> g(*stats_mu);
+    (*stats)[static_cast<size_t>(p)].latency_us.Record(us);
+    ++(*stats)[static_cast<size_t>(p)].committed;
+  }
+}
+
+void RunExpandPoint(::benchmark::State& state, const std::string& series) {
+  uint64_t seed = static_cast<uint64_t>(state.range(0));
+  int64_t phase_ms = PointMs() < 200 ? 200 : PointMs();
+  for (auto _ : state) {
+    Cluster cluster(ExpandClusterOptions());
+    Status setup = SetupTables(&cluster);
+    if (!setup.ok()) {
+      state.SkipWithError(setup.ToString().c_str());
+      return;
+    }
+
+    std::atomic<int> phase{kBefore};
+    std::atomic<bool> stop{false};
+    std::array<PhaseStats, 3> stats;
+    std::mutex stats_mu;
+    std::vector<std::thread> workers;
+    for (int i = 0; i < kTransferThreads; ++i) {
+      workers.emplace_back(TransferLoop, &cluster, seed * 31 + i, &phase, &stop,
+                           &stats, &stats_mu);
+    }
+
+    // Phase 1: steady state at the old width.
+    int64_t t0 = MonotonicMicros();
+    PreciseSleepUs(phase_ms * 1000);
+    stats[kBefore].elapsed_us = MonotonicMicros() - t0;
+
+    // Phase 2: grow the cluster and rebalance while transfers keep flowing.
+    phase.store(kDuring, std::memory_order_release);
+    int64_t t1 = MonotonicMicros();
+    StatusOr<int> grow = cluster.AddSegments(2);
+    if (!grow.ok()) {
+      state.SkipWithError(grow.status().ToString().c_str());
+      stop.store(true);
+      for (auto& w : workers) w.join();
+      return;
+    }
+    auto admin = cluster.Connect();
+    double rows_moved = 0, catchup_records = 0, cutover_pause_us = 0;
+    Status reb;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto r = admin->Execute("REBALANCE TABLE bench_accounts");
+      reb = r.status();
+      if (!reb.ok()) continue;
+      const Row& row = r->rows[0];
+      rows_moved += static_cast<double>(row[0].int_val());
+      catchup_records += static_cast<double>(row[1].int_val());
+      cutover_pause_us = std::max(
+          cutover_pause_us, static_cast<double>(row[3].int_val()));
+      if (row[4].int_val() == 1) break;  // cutover_complete
+    }
+    if (!reb.ok()) {
+      state.SkipWithError(("rebalance failed: " + reb.ToString()).c_str());
+      stop.store(true);
+      for (auto& w : workers) w.join();
+      return;
+    }
+    stats[kDuring].elapsed_us = MonotonicMicros() - t1;
+
+    // Phase 3: steady state at the new width.
+    phase.store(kAfter, std::memory_order_release);
+    int64_t t2 = MonotonicMicros();
+    PreciseSleepUs(phase_ms * 1000);
+    stats[kAfter].elapsed_us = MonotonicMicros() - t2;
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+
+    // The new segments must actually serve data after the cutover.
+    auto def = cluster.LookupTable("bench_accounts");
+    if (!def.ok()) {
+      state.SkipWithError("bench_accounts missing from catalog");
+      return;
+    }
+    double new_segment_rows = 0;
+    for (int s = 3; s < cluster.num_segments(); ++s) {
+      Table* t = cluster.segment(s)->GetTable(def->id);
+      if (t != nullptr) new_segment_rows += static_cast<double>(t->StoredVersionCount());
+    }
+    // And the invariant held: sum(balance) is still zero.
+    auto sum = admin->Execute("SELECT sum(balance) FROM bench_accounts");
+    if (!sum.ok() || sum->rows.empty() || sum->rows[0][0].int_val() != 0) {
+      state.SkipWithError("balance conservation violated after rebalance");
+      return;
+    }
+
+    const char* phase_names[] = {"Before", "During", "After"};
+    for (int p = kBefore; p <= kAfter; ++p) {
+      const PhaseStats& ps = stats[static_cast<size_t>(p)];
+      double seconds = static_cast<double>(ps.elapsed_us) / 1e6;
+      JsonFields fields;
+      fields.push_back({"throughput_tps",
+                        seconds > 0 ? static_cast<double>(ps.committed) / seconds : 0});
+      fields.push_back({"p50_us", static_cast<double>(ps.latency_us.Percentile(50))});
+      fields.push_back({"p95_us", static_cast<double>(ps.latency_us.Percentile(95))});
+      fields.push_back({"p99_us", static_cast<double>(ps.latency_us.Percentile(99))});
+      fields.push_back({"committed", static_cast<double>(ps.committed)});
+      if (p == kDuring) {
+        fields.push_back({"rows_moved", rows_moved});
+        fields.push_back({"catchup_records", catchup_records});
+        fields.push_back({"cutover_pause_us", cutover_pause_us});
+        fields.push_back({"new_segment_rows", new_segment_rows});
+      }
+      RecordPoint(series + "/" + phase_names[p], static_cast<int64_t>(seed),
+                  std::move(fields));
+      state.counters[std::string(phase_names[p]) + "_tps"] =
+          seconds > 0 ? static_cast<double>(ps.committed) / seconds : 0;
+    }
+    state.counters["cutover_pause_us"] = cutover_pause_us;
+    state.counters["rows_moved"] = rows_moved;
+    state.counters["new_segment_rows"] = new_segment_rows;
+  }
+}
+
+void RegisterAll() {
+  std::string series = "Expand/Online";
+  auto* b = ::benchmark::RegisterBenchmark(
+      series.c_str(),
+      [series](::benchmark::State& state) { RunExpandPoint(state, series); });
+  for (int64_t seed : Points({42})) b->Arg(seed);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "expand", gphtap::bench::RegisterAll);
+}

@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|wait_event_test|system_views_test|timeout_test|chaos_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test')
 
 # Smoke-run one benchmark and validate its machine-readable output. The run
 # also exports a Chrome trace_event dump of the traced queries, validated
@@ -68,6 +68,31 @@ for point in doc["points"]:
     assert not missing, f"point {point.get('series')} missing {missing}"
     assert point["faults_injected"] > 0, f"no faults injected in {point['series']}"
 print(f"BENCH chaos json OK: {len(doc['points'])} points")
+EOF
+
+# Expansion smoke: transfers flow while the cluster grows 3 -> 5 segments and
+# rebalances online. Validates throughput before/during/after, a bounded
+# cutover pause, rows actually moved, and data served from the new segments.
+(cd build && GPHTAP_BENCH_MS=300 ./bench/bench_expand --smoke)
+python3 - build/BENCH_expand.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "expand", doc
+points = {p["series"]: p for p in doc["points"]}
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us"}
+for name in ("Expand/Online/Before", "Expand/Online/During", "Expand/Online/After"):
+    assert name in points, f"missing {name} in {sorted(points)}"
+    missing = required - set(points[name])
+    assert not missing, f"{name} missing {missing}"
+during = points["Expand/Online/During"]
+assert during["rows_moved"] > 0, "rebalance moved no rows"
+assert during["new_segment_rows"] > 0, "new segments serve no data"
+assert during["cutover_pause_us"] > 0, "no cutover pause recorded"
+for name in ("Expand/Online/Before", "Expand/Online/After"):
+    assert points[name]["throughput_tps"] > 0, f"{name} made no progress"
+print(f"BENCH expand json OK: cutover pause p99 {during['cutover_pause_us']:.0f}us, "
+      f"{during['rows_moved']:.0f} rows moved")
 EOF
 
 # Vectorized-kernel microbench: smoke-run and validate the JSON.

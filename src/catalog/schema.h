@@ -106,6 +106,16 @@ struct TableDef {
   // System views (gp_stat_activity & co) are virtual: no storage anywhere,
   // rows are produced on the coordinator from live cluster state at scan time.
   bool is_system_view = false;
+  // Elastic expansion: how many segments this table's data actually spans.
+  // Hash tables route INSERTs modulo this (not the live segment count) until a
+  // rebalance migrates them; replicated tables have complete copies on
+  // [0, dist_segments). 0 means "all segments" (legacy defs and unit tests
+  // that build TableDefs by hand).
+  int dist_segments = 0;
+  // True while a rebalance is migrating this table to a new span: direct
+  // dispatch is off (any snapshot, pre- or post-cutover, stays correct under
+  // full fan-out) and replicated writes fan to every serving segment.
+  bool rebalancing = false;
 };
 
 }  // namespace gphtap

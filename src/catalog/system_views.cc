@@ -62,7 +62,10 @@ std::vector<TableDef> BuildDefs() {
                            {"has_mirror", TypeId::kInt64},
                            {"mirror_promoted", TypeId::kInt64},
                            {"mirror_applied", TypeId::kInt64},
-                           {"change_log_size", TypeId::kInt64}}));
+                           {"change_log_size", TypeId::kInt64},
+                           {"ao_live_rows", TypeId::kInt64},
+                           {"ao_dead_rows", TypeId::kInt64},
+                           {"ao_reclaimed_groups", TypeId::kInt64}}));
 
   // Accumulated wait-event durations per (event, node, resource group).
   defs.push_back(MakeView(SystemViewId::kWaitEvents, "gp_wait_events",

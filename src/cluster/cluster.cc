@@ -7,6 +7,8 @@
 #include "cluster/session.h"
 #include "common/clock.h"
 #include "net/motion_exchange.h"
+#include "storage/ao_table.h"
+#include "storage/column_store.h"
 #include "storage/heap_table.h"
 
 namespace gphtap {
@@ -37,29 +39,23 @@ Cluster::Cluster(ClusterOptions options)
 
   net_.set_fault_injector(&faults_);
 
-  Segment::Options seg_options;
-  seg_options.buffer_pool = options.buffer_pool;
-  seg_options.fsync_cost_us = options.fsync_cost_us;
-  seg_options.locks = options.locks;
-  seg_options.enable_mirroring = options.mirrors_enabled;
-  seg_options.enable_recovery = options.crash_recovery_enabled;
-  seg_options.metrics = &metrics_;
-  segments_.reserve(static_cast<size_t>(options.num_segments));
-  for (int i = 0; i < options.num_segments; ++i) {
-    segments_.push_back(std::make_unique<Segment>(i, seg_options));
-    if (options.mirrors_enabled) {
-      mirrors_.push_back(std::make_unique<MirrorSegment>(i));
-      mirrors_.back()->set_fault_injector(&faults_);
-      mirrors_.back()->Start(segments_.back()->change_log());
-    }
-    if (options.breaker_enabled) {
-      CircuitBreaker::Options breaker_options;
-      breaker_options.failure_threshold = options.breaker_failure_threshold;
-      breaker_options.cooldown_us = options.breaker_cooldown_us;
-      breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_options));
-      breakers_.back()->set_trip_counter(metrics_.counter("resilience.breaker_trips"));
-    }
+  seg_options_.buffer_pool = options.buffer_pool;
+  seg_options_.fsync_cost_us = options.fsync_cost_us;
+  seg_options_.locks = options.locks;
+  seg_options_.enable_mirroring = options.mirrors_enabled;
+  seg_options_.enable_recovery = options.crash_recovery_enabled;
+  seg_options_.metrics = &metrics_;
+  // Fixed-capacity slot arrays: AddSegments fills slots past the serving count
+  // at runtime, so the vectors themselves never reallocate under readers.
+  segments_.resize(kMaxSegments);
+  mirrors_.resize(kMaxSegments);
+  breakers_.resize(kMaxSegments);
+  const int initial = std::min(options.num_segments, kMaxSegments);
+  for (int i = 0; i < initial; ++i) {
+    Status built = BuildSegmentSlot(i, {});
+    (void)built;  // boot-time slot creation with an empty catalog cannot fail
   }
+  serving_segments_.store(initial, std::memory_order_release);
 
   if (options.gdd_enabled) {
     GddDaemon::Hooks hooks;
@@ -75,7 +71,7 @@ Cluster::Cluster(ClusterOptions options)
 
   if (options.fts_enabled) {
     FtsDaemon::Hooks hooks;
-    hooks.num_segments = options.num_segments;
+    hooks.num_segments = [this] { return num_segments(); };
     hooks.probe = [this](int i) {
       // Probe + response both cross the wire; either leg can be dropped or
       // delayed by a fault, and a down segment never answers.
@@ -137,7 +133,9 @@ Cluster::Cluster(ClusterOptions options)
 Cluster::~Cluster() {
   if (dtx_recovery_) dtx_recovery_->Stop();
   if (fts_) fts_->Stop();
-  for (auto& m : mirrors_) m->Stop();
+  for (auto& m : mirrors_) {
+    if (m != nullptr) m->Stop();
+  }
   if (gdd_) gdd_->Stop();
   if (maintenance_running_.exchange(false) && maintenance_thread_.joinable()) {
     maintenance_thread_.join();
@@ -151,14 +149,96 @@ void Cluster::MaintenanceLoop() {
   }
 }
 
+Status Cluster::BuildSegmentSlot(int index, const std::vector<TableDef>& defs) {
+  auto seg = std::make_unique<Segment>(index, seg_options_);
+  for (const TableDef& def : defs) {
+    GPHTAP_RETURN_IF_ERROR(seg->CreateTable(def));
+  }
+  if (options_.mirrors_enabled) {
+    auto m = std::make_unique<MirrorSegment>(index);
+    m->set_fault_injector(&faults_);
+    for (const TableDef& def : defs) {
+      GPHTAP_RETURN_IF_ERROR(m->CreateTable(def));
+    }
+    m->Start(seg->change_log());
+    mirrors_[static_cast<size_t>(index)] = std::move(m);
+  }
+  if (options_.breaker_enabled) {
+    CircuitBreaker::Options breaker_options;
+    breaker_options.failure_threshold = options_.breaker_failure_threshold;
+    breaker_options.cooldown_us = options_.breaker_cooldown_us;
+    auto b = std::make_unique<CircuitBreaker>(breaker_options);
+    b->set_trip_counter(metrics_.counter("resilience.breaker_trips"));
+    breakers_[static_cast<size_t>(index)] = std::move(b);
+  }
+  segments_[static_cast<size_t>(index)] = std::move(seg);
+  return Status::OK();
+}
+
+StatusOr<int> Cluster::AddSegments(int count) {
+  if (count <= 0) return Status::InvalidArgument("AddSegments: count must be > 0");
+  std::lock_guard<std::mutex> expand(expand_mu_);
+  const int before = num_segments();
+  if (before + count > kMaxSegments) {
+    return Status::InvalidArgument("AddSegments: " + std::to_string(before + count) +
+                                   " segments exceeds the capacity of " +
+                                   std::to_string(kMaxSegments));
+  }
+  for (int i = before; i < before + count; ++i) {
+    // New segments get every catalog table (empty; rebalancing moves data
+    // later) and publish one at a time: a reader that observes count i+1 also
+    // observes slot i's fully-built segment.
+    GPHTAP_RETURN_IF_ERROR(BuildSegmentSlot(i, DefsForSegment(i)));
+    serving_segments_.store(i + 1, std::memory_order_release);
+  }
+  return before + count;
+}
+
+Cluster::TableDistInfo Cluster::TableDist(TableId id) const {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  for (const auto& [name, def] : catalog_) {
+    if (def.id == id) return TableDistInfo{def.dist_segments, def.rebalancing};
+  }
+  return TableDistInfo{};  // system views / unknown: span everything
+}
+
+Status Cluster::SetTableDistSegments(const std::string& name, int dist_segments) {
+  if (dist_segments <= 0 || dist_segments > num_segments()) {
+    return Status::InvalidArgument("dist_segments " + std::to_string(dist_segments) +
+                                   " out of range");
+  }
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("table " + name);
+  it->second.dist_segments = dist_segments;
+  return Status::OK();
+}
+
+Status Cluster::SetTableRebalancing(const std::string& name, bool rebalancing) {
+  std::lock_guard<std::mutex> g(catalog_mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("table " + name);
+  it->second.rebalancing = rebalancing;
+  return Status::OK();
+}
+
 Status Cluster::CreateTable(TableDef def) {
+  // Serialized against AddSegments so the table lands on every segment exactly
+  // once (a concurrent expansion would otherwise race the fanout below).
+  std::lock_guard<std::mutex> expand(expand_mu_);
   {
     std::lock_guard<std::mutex> g(catalog_mu_);
     if (catalog_.count(def.name)) return Status::AlreadyExists("table " + def.name);
     def.id = next_table_id_++;
+    // New tables span every serving segment; expansion then only needs to
+    // migrate tables that predate it.
+    if (def.dist_segments <= 0 || def.dist_segments > num_segments()) {
+      def.dist_segments = num_segments();
+    }
     catalog_[def.name] = def;
   }
-  for (auto& seg : segments_) {
+  for (int i = 0; i < num_segments(); ++i) {
+    Segment* seg = segment(i);
     TableDef seg_def = def;
     // External tables share one backing file; only segment 0 materializes it so
     // the data is neither written nor scanned N times. The same applies to
@@ -173,7 +253,9 @@ Status Cluster::CreateTable(TableDef def) {
     }
     GPHTAP_RETURN_IF_ERROR(seg->CreateTable(seg_def));
   }
-  for (auto& m : mirrors_) {
+  for (int i = 0; i < num_segments(); ++i) {
+    MirrorSegment* m = mirror(i);
+    if (m == nullptr) continue;
     TableDef mirror_def = def;
     if (m->primary_index() != 0 && mirror_def.storage == StorageKind::kExternal) {
       mirror_def.external_path = "";
@@ -184,6 +266,7 @@ Status Cluster::CreateTable(TableDef def) {
 }
 
 Status Cluster::CreateIndex(const std::string& table, const std::string& column) {
+  std::lock_guard<std::mutex> expand(expand_mu_);
   TableId id;
   int col;
   {
@@ -201,14 +284,15 @@ Status Cluster::CreateIndex(const std::string& table, const std::string& column)
     it->second.indexed_cols.push_back(col);
     id = it->second.id;
   }
-  for (auto& seg : segments_) {
-    auto* heap = dynamic_cast<HeapTable*>(seg->GetTable(id));
+  for (int i = 0; i < num_segments(); ++i) {
+    auto* heap = dynamic_cast<HeapTable*>(segment(i)->GetTable(id));
     if (heap != nullptr) heap->AddIndex(col);
   }
   return Status::OK();
 }
 
 Status Cluster::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> expand(expand_mu_);
   TableId id;
   {
     std::lock_guard<std::mutex> g(catalog_mu_);
@@ -217,8 +301,10 @@ Status Cluster::DropTable(const std::string& name) {
     id = it->second.id;
     catalog_.erase(it);
   }
-  for (auto& seg : segments_) seg->DropTable(id);
-  for (auto& m : mirrors_) m->DropTable(id);
+  for (int i = 0; i < num_segments(); ++i) segment(i)->DropTable(id);
+  for (int i = 0; i < num_segments(); ++i) {
+    if (mirror(i) != nullptr) mirror(i)->DropTable(id);
+  }
   return Status::OK();
 }
 
@@ -262,7 +348,7 @@ void Cluster::CancelTxn(Gxid gxid, Status reason) {
   auto owner = dtm_.OwnerOf(gxid);
   if (owner != nullptr) owner->Cancel(std::move(reason));
   coordinator_locks_.WakeWaitersOf(gxid);
-  for (auto& seg : segments_) seg->locks().WakeWaitersOf(gxid);
+  for (int i = 0; i < num_segments(); ++i) segment(i)->locks().WakeWaitersOf(gxid);
   // Abort the query's open motion exchanges: a receiver parked in
   // Recv/RecvBatch on an idle sender has no lock wait to be woken from and
   // would otherwise only notice the cancel at its next poll chunk.
@@ -304,16 +390,18 @@ StatusOr<SegmentPin> Cluster::PinSegment(int index) {
 }
 
 std::vector<LocalWaitGraph> Cluster::CollectWaitGraphs() {
+  const int n = num_segments();
   std::vector<LocalWaitGraph> graphs;
-  graphs.reserve(segments_.size() + 1);
+  graphs.reserve(static_cast<size_t>(n) + 1);
   graphs.push_back(coordinator_locks_.CollectWaitGraph());
-  for (auto& seg : segments_) graphs.push_back(seg->locks().CollectWaitGraph());
+  for (int i = 0; i < n; ++i) graphs.push_back(segment(i)->locks().CollectWaitGraph());
   return graphs;
 }
 
 Status Cluster::CatchUpMirrors(int64_t timeout_ms) {
-  for (auto& m : mirrors_) {
-    GPHTAP_RETURN_IF_ERROR(m->CatchUp(timeout_ms));
+  for (int i = 0; i < num_segments(); ++i) {
+    if (mirror(i) == nullptr) continue;
+    GPHTAP_RETURN_IF_ERROR(mirror(i)->CatchUp(timeout_ms));
   }
   return Status::OK();
 }
@@ -337,8 +425,10 @@ StatusOr<std::vector<std::string>> SnapshotRows(Table* table, const CommitLog* c
 
 Status Cluster::VerifyMirrorsConsistent() {
   GPHTAP_RETURN_IF_ERROR(CatchUpMirrors());
-  for (auto& m : mirrors_) {
-    Segment* primary = segments_[static_cast<size_t>(m->primary_index())].get();
+  for (int mi = 0; mi < num_segments(); ++mi) {
+    MirrorSegment* m = mirror(mi);
+    if (m == nullptr) continue;
+    Segment* primary = segment(m->primary_index());
     for (const TableDef& def : ListTables()) {
       if (def.partitions.has_value()) continue;  // not mirrored
       Table* ptab = primary->GetTable(def.id);
@@ -361,7 +451,9 @@ Status Cluster::VerifyMirrorsConsistent() {
 uint64_t Cluster::TruncateXidMaps() {
   Gxid horizon = dtm_.OldestVisibleGxid();
   uint64_t removed = coordinator_dlog_.TruncateBelow(horizon);
-  for (auto& seg : segments_) removed += seg->dlog().TruncateBelow(horizon);
+  for (int i = 0; i < num_segments(); ++i) {
+    removed += segment(i)->dlog().TruncateBelow(horizon);
+  }
   return removed;
 }
 
@@ -436,9 +528,12 @@ Status Cluster::FailoverToMirror(int index) {
 }
 
 ClusterHealth Cluster::Health() {
+  const int n = num_segments();
+  const std::vector<TableDef> defs = ListTables();
   ClusterHealth health;
-  health.segments.reserve(segments_.size());
-  for (auto& seg : segments_) {
+  health.segments.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Segment* seg = segment(i);
     SegmentHealthInfo info;
     info.index = seg->index();
     info.up = seg->up();
@@ -450,6 +545,27 @@ ClusterHealth Cluster::Health() {
       info.mirror_applied = m->applied();
       info.mirror_health = m->health();
     }
+    // AO bloat under clog-only rules: a row is dead once its inserter aborted
+    // or a deleter committed (whether it is *reclaimable* additionally depends
+    // on the snapshot horizon; this column reports bloat, not reclaimability).
+    const CommitLog& clog = seg->clog();
+    AoRowDeadFn dead = [&clog](LocalXid xmin, LocalXid xmax) {
+      if (clog.GetState(xmin) == TxnState::kAborted) return true;
+      return xmax != kInvalidLocalXid && clog.IsCommitted(xmax);
+    };
+    for (const TableDef& def : defs) {
+      std::vector<AoGroupInfo> groups;
+      if (auto* ao = dynamic_cast<AoRowTable*>(seg->GetTable(def.id))) {
+        groups = ao->GroupInfos(dead);
+      } else if (auto* aoc = dynamic_cast<AoColumnTable*>(seg->GetTable(def.id))) {
+        groups = aoc->GroupInfos(dead);
+      }
+      for (const AoGroupInfo& group : groups) {
+        info.ao_live_rows += group.live;
+        info.ao_dead_rows += group.dead;
+        if (group.freed) ++info.ao_reclaimed_groups;
+      }
+    }
     health.segments.push_back(std::move(info));
   }
   if (fts_) health.fts = fts_->stats();
@@ -460,8 +576,8 @@ MetricsSnapshot Cluster::StatsSnapshot() {
   // Refresh level gauges that no subsystem maintains incrementally.
   metrics_.gauge("txn.running")->Set(static_cast<int64_t>(dtm_.NumRunning()));
   int64_t resident = 0;
-  for (auto& seg : segments_) {
-    resident += static_cast<int64_t>(seg->pool().resident_pages());
+  for (int i = 0; i < num_segments(); ++i) {
+    resident += static_cast<int64_t>(segment(i)->pool().resident_pages());
   }
   metrics_.gauge("bufferpool.resident_pages")->Set(resident);
   return metrics_.TakeSnapshot();

@@ -155,6 +155,12 @@ struct SegmentHealthInfo {
   uint64_t mirror_applied = 0;     // change records the mirror has replayed
   uint64_t change_log_size = 0;    // change records the primary has produced
   Status mirror_health;            // sticky replay error, OK when healthy
+  // AO bloat (summed over the segment's AO / AO-column tables): rows whose
+  // latest state is visible-committed vs. rows dead under clog rules, plus
+  // how many whole row groups reclamation already freed.
+  uint64_t ao_live_rows = 0;
+  uint64_t ao_dead_rows = 0;
+  uint64_t ao_reclaimed_groups = 0;
 };
 
 struct ClusterHealth {
@@ -172,8 +178,32 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   const ClusterOptions& options() const { return options_; }
-  int num_segments() const { return static_cast<int>(segments_.size()); }
+
+  /// Hard ceiling on the segment count; segment slots are pre-allocated so the
+  /// registry can grow at runtime without locking the read path.
+  static constexpr int kMaxSegments = 64;
+
+  /// Segments currently serving queries. Grows via AddSegments.
+  int num_segments() const { return serving_segments_.load(std::memory_order_acquire); }
   Segment* segment(int i) { return segments_[static_cast<size_t>(i)].get(); }
+
+  // ---- Online expansion ----
+  /// Registers `count` new (empty) segments at runtime: each gets every
+  /// catalog table, a mirror and a circuit breaker when those are enabled, and
+  /// joins FTS probing. Existing tables keep routing to their original span
+  /// (TableDef::dist_segments) until Session::RebalanceTable migrates them.
+  /// Returns the new serving count.
+  StatusOr<int> AddSegments(int count);
+
+  /// Per-table distribution span as the router must see it *now* (the catalog
+  /// entry a session cached at plan time may predate an expansion).
+  struct TableDistInfo {
+    int dist_segments = 0;  // 0 = all serving segments (system views, legacy)
+    bool rebalancing = false;
+  };
+  TableDistInfo TableDist(TableId id) const;
+  Status SetTableDistSegments(const std::string& name, int dist_segments);
+  Status SetTableRebalancing(const std::string& name, bool rebalancing);
 
   // ---- Catalog (coordinator-owned, replicated implicitly to segments) ----
   /// Assigns `def.id` and creates the table on every segment.
@@ -291,7 +321,7 @@ class Cluster {
 
   /// The per-segment breaker, or null when options.breaker_enabled is false.
   CircuitBreaker* breaker(int index) {
-    return breakers_.empty() ? nullptr : breakers_[static_cast<size_t>(index)].get();
+    return breakers_[static_cast<size_t>(index)].get();
   }
 
   /// All local wait-for graphs (coordinator node id -1 plus each segment).
@@ -306,18 +336,21 @@ class Cluster {
   CpuGovernor& governor() { return governor_; }
   VmemTracker& vmem() { return vmem_; }
 
-  /// Segment index that hash value `h` routes to.
+  /// Segment index that hash value `h` routes to across all serving segments.
   int SegmentForHash(uint64_t h) const {
-    return static_cast<int>(h % static_cast<uint64_t>(segments_.size()));
+    return static_cast<int>(h % static_cast<uint64_t>(num_segments()));
+  }
+
+  /// Same, over an explicit span (a table's dist_segments modulus).
+  static int SegmentForHash(uint64_t h, int modulus) {
+    return static_cast<int>(h % static_cast<uint64_t>(modulus));
   }
 
   /// Monotonic motion-exchange id source.
   int NextMotionId() { return next_motion_id_.fetch_add(1); }
 
   // ---- Mirrors (when options.mirrors_enabled) ----
-  MirrorSegment* mirror(int i) {
-    return mirrors_.empty() ? nullptr : mirrors_[static_cast<size_t>(i)].get();
-  }
+  MirrorSegment* mirror(int i) { return mirrors_[static_cast<size_t>(i)].get(); }
   /// Waits for every mirror to apply everything its primary produced.
   Status CatchUpMirrors(int64_t timeout_ms = 5000);
   /// Quiesced-state check: every mirrored table's visible contents match the
@@ -330,7 +363,12 @@ class Cluster {
   /// materialized on segment 0); used to rebuild the schema during recovery.
   std::vector<TableDef> DefsForSegment(int index) const;
 
+  /// Builds segment slot `index` (segment + mirror + breaker per options) but
+  /// does not publish it. Requires expand_mu_ held.
+  Status BuildSegmentSlot(int index, const std::vector<TableDef>& defs);
+
   const ClusterOptions options_;
+  Segment::Options seg_options_;  // stashed so AddSegments builds equal segments
 
   // Declared before every consumer: subsystems resolve metric pointers into
   // this registry at construction and may update them until their own dtors.
@@ -353,9 +391,17 @@ class Cluster {
   SimNet net_;
   FaultInjector faults_;
 
+  // Fixed-capacity slot arrays (kMaxSegments) so readers index without locks:
+  // AddSegments fills a slot, then publishes it by bumping serving_segments_
+  // (release); every reader bounds its loop by num_segments() (acquire).
+  // Slots for mirrors/breakers stay null when the feature is disabled.
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<MirrorSegment>> mirrors_;
-  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  // empty unless enabled
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::atomic<int> serving_segments_{0};
+  // Serializes expansion against catalog DDL's per-segment fanout, so every
+  // table lands on every segment exactly once.
+  mutable std::mutex expand_mu_;
 
   mutable std::mutex exchanges_mu_;
   std::unordered_map<Gxid, std::vector<std::weak_ptr<MotionExchange>>> query_exchanges_;

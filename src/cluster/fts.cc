@@ -20,9 +20,11 @@ void FtsDaemon::Stop() {
 }
 
 void FtsDaemon::Loop() {
-  std::vector<int> misses(static_cast<size_t>(hooks_.num_segments), 0);
+  std::vector<int> misses;
   while (running_.load(std::memory_order_relaxed)) {
-    for (int i = 0; i < hooks_.num_segments; ++i) {
+    const int n = hooks_.num_segments();
+    if (misses.size() < static_cast<size_t>(n)) misses.resize(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
       if (!running_.load(std::memory_order_relaxed)) return;
       probes_.fetch_add(1, std::memory_order_relaxed);
       if (m_probes_ != nullptr) m_probes_->Add(1);

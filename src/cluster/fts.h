@@ -22,7 +22,9 @@ namespace gphtap {
 class FtsDaemon {
  public:
   struct Hooks {
-    int num_segments = 0;
+    /// Current serving segment count, re-read every probe round so segments
+    /// added by online expansion join the probe set.
+    std::function<int()> num_segments;
     /// True if segment `i` answered the liveness probe.
     std::function<bool(int)> probe;
     /// True if segment `i` has a promotable mirror.

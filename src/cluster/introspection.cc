@@ -141,7 +141,10 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
         }
       };
       add(coordinator_locks_.SnapshotLocks());
-      for (auto& seg : segments_) add(seg->locks().SnapshotLocks());
+      const int n = num_segments();
+      for (int i = 0; i < n; ++i) {
+        add(segments_[static_cast<size_t>(i)]->locks().SnapshotLocks());
+      }
       return rows;
     }
     case SystemViewId::kResgroupStatus: {
@@ -160,7 +163,9 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
         rows.push_back(Row{Int(info.index), Int(info.up ? 1 : 0),
                            Int(info.has_mirror ? 1 : 0),
                            Int(info.mirror_promoted ? 1 : 0),
-                           Uint(info.mirror_applied), Uint(info.change_log_size)});
+                           Uint(info.mirror_applied), Uint(info.change_log_size),
+                           Uint(info.ao_live_rows), Uint(info.ao_dead_rows),
+                           Uint(info.ao_reclaimed_groups)});
       }
       return rows;
     }

@@ -551,6 +551,11 @@ StatusOr<QueryResult> Session::RunStatement(Fn&& fn) {
   return result;
 }
 
+StatusOr<QueryResult> Session::RunStatementErased(
+    const std::function<StatusOr<QueryResult>()>& fn) {
+  return RunStatement(fn);
+}
+
 template <typename Fn>
 StatusOr<QueryResult> Session::RunReadOnlyStatement(Fn&& fn) {
   const ClusterOptions& opts = cluster_->options();
@@ -623,6 +628,10 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
     popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
     popts.vectorize = cluster_->options().vectorized_execution_enabled;
     popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+    popts.table_dist = [this](TableId id) {
+      Cluster::TableDistInfo d = cluster_->TableDist(id);
+      return std::make_pair(d.dist_segments, d.rebalancing);
+    };
     popts.row_estimate = [this](TableId id) -> uint64_t {
       Segment* seg0 = cluster_->segment(0);
       auto pin = seg0->Pin();
@@ -698,6 +707,10 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
   popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
   popts.vectorize = cluster_->options().vectorized_execution_enabled;
   popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+  popts.table_dist = [this](TableId id) {
+    Cluster::TableDistInfo d = cluster_->TableDist(id);
+    return std::make_pair(d.dist_segments, d.rebalancing);
+  };
   popts.row_estimate = [this](TableId id) -> uint64_t {
     Segment* seg0 = cluster_->segment(0);
     auto pin = seg0->Pin();
@@ -744,6 +757,10 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
     popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
     popts.vectorize = cluster_->options().vectorized_execution_enabled;
     popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
+    popts.table_dist = [this](TableId id) {
+      Cluster::TableDistInfo d = cluster_->TableDist(id);
+      return std::make_pair(d.dist_segments, d.rebalancing);
+    };
     popts.row_estimate = [this](TableId id) -> uint64_t {
       Segment* seg0 = cluster_->segment(0);
       auto pin = seg0->Pin();
@@ -842,7 +859,8 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
 // INSERT
 // ---------------------------------------------------------------------------
 
-int Session::RouteInsert(const TableDef& def, const Row& row) {
+int Session::RouteInsert(const TableDef& def, const Row& row,
+                         const Cluster::TableDistInfo& dist) {
   // Partitions with external leaves live on segment 0 only.
   if (def.partitions.has_value()) {
     const Datum& key = row[static_cast<size_t>(def.partitions->partition_col)];
@@ -854,14 +872,23 @@ int Session::RouteInsert(const TableDef& def, const Row& row) {
     }
   }
   if (def.storage == StorageKind::kExternal) return 0;
+  // Routing modulus is the table's own span (fresh from the catalog — the
+  // session's cached def can be stale across a rebalance cutover), not the
+  // live segment count: rows must keep landing where readers look for them
+  // until a rebalance widens the span.
+  int modulus = dist.dist_segments;
+  if (modulus <= 0 || modulus > cluster_->num_segments()) {
+    modulus = cluster_->num_segments();
+  }
   switch (def.distribution.kind) {
     case DistributionKind::kHash:
-      return cluster_->SegmentForHash(HashRowKey(row, def.distribution.key_cols));
+      return Cluster::SegmentForHash(HashRowKey(row, def.distribution.key_cols),
+                                     modulus);
     case DistributionKind::kRandom:
       return static_cast<int>(insert_round_robin_++ %
-                              static_cast<uint64_t>(cluster_->num_segments()));
+                              static_cast<uint64_t>(modulus));
     case DistributionKind::kReplicated:
-      return -1;  // all segments
+      return -1;  // every segment carrying a copy
   }
   return 0;
 }
@@ -874,12 +901,23 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
       GPHTAP_RETURN_IF_ERROR(def.schema.CheckRow(row));
     }
 
-    // Bucket rows per target segment, then dispatch per segment.
+    // Bucket rows per target segment, then dispatch per segment. Distribution
+    // info comes fresh from the catalog (under the coordinator relation lock,
+    // so a concurrent rebalance cutover — which takes AccessExclusive —
+    // cannot move the span mid-statement).
+    Cluster::TableDistInfo dist = cluster_->TableDist(def.id);
+    int replicated_span = dist.dist_segments;
+    if (replicated_span <= 0 || replicated_span > cluster_->num_segments() ||
+        dist.rebalancing) {
+      // Mid-expansion, replicated writes fan to every serving segment so the
+      // new copies never miss a row.
+      replicated_span = cluster_->num_segments();
+    }
     std::map<int, std::vector<const Row*>> buckets;
     for (const Row& row : rows) {
-      int target = RouteInsert(def, row);
+      int target = RouteInsert(def, row, dist);
       if (target < 0) {
-        for (int s = 0; s < cluster_->num_segments(); ++s) buckets[s].push_back(&row);
+        for (int s = 0; s < replicated_span; ++s) buckets[s].push_back(&row);
       } else {
         buckets[target].push_back(&row);
       }
@@ -915,12 +953,20 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
 // ---------------------------------------------------------------------------
 
 std::vector<int> Session::TargetSegmentsForWrite(const TableDef& def, const ExprPtr& where) {
-  if (cluster_->options().direct_dispatch_enabled && where != nullptr) {
+  Cluster::TableDistInfo dist = cluster_->TableDist(def.id);
+  int span = dist.dist_segments;
+  if (span <= 0 || span > cluster_->num_segments()) span = cluster_->num_segments();
+  if (dist.rebalancing) {
+    // Rows may transiently live at both old and new homes (visibility sorts
+    // them out per snapshot); fan the write across every serving segment and
+    // skip direct dispatch.
+    span = cluster_->num_segments();
+  } else if (cluster_->options().direct_dispatch_enabled && where != nullptr) {
     std::vector<ExprPtr> quals = {where};
-    int seg = DirectDispatchSegment(def, quals, 0, cluster_->num_segments());
+    int seg = DirectDispatchSegment(def, quals, 0, span);
     if (seg >= 0) return {seg};
   }
-  std::vector<int> all(static_cast<size_t>(cluster_->num_segments()));
+  std::vector<int> all(static_cast<size_t>(span));
   std::iota(all.begin(), all.end(), 0);
   return all;
 }
@@ -1212,6 +1258,11 @@ StatusOr<QueryResult> Session::ExecuteUpdate(
     LockMode mode = cluster_->options().gdd_enabled && !ao ? LockMode::kRowExclusive
                                                            : LockMode::kExclusive;
     GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
+    // Lock-then-rescan (read committed): the statement snapshot predates the
+    // lock wait, so a rebalance cutover that committed while we queued would
+    // leave the old-home versions visible but committed-dead — the write
+    // would silently match zero rows. Re-snapshot now that the lock is held.
+    GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
     std::vector<int> segs = TargetSegmentsForWrite(def, where);
     std::vector<Status> results(segs.size());
     std::vector<int64_t> counts(segs.size(), 0);
@@ -1259,6 +1310,8 @@ StatusOr<QueryResult> Session::ExecuteDelete(const TableDef& def, const ExprPtr&
     LockMode mode = cluster_->options().gdd_enabled && !ao ? LockMode::kRowExclusive
                                                            : LockMode::kExclusive;
     GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(def, mode));
+    // Same lock-then-rescan rule as UPDATE (see above).
+    GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
     std::vector<int> segs = TargetSegmentsForWrite(def, where);
     std::vector<Status> results(segs.size());
     std::vector<int64_t> counts(segs.size(), 0);
@@ -1340,8 +1393,16 @@ StatusOr<QueryResult> Session::ExecuteVacuum(const TableDef& def) {
       GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(
           LockRelationSegment(seg, def, LockMode::kShareUpdateExclusive));
-      auto* heap = dynamic_cast<HeapTable*>(seg->GetTable(def.id));
-      if (heap == nullptr) continue;
+      Table* table = seg->GetTable(def.id);
+      if (table == nullptr) continue;
+      auto* heap = dynamic_cast<HeapTable*>(table);
+      if (heap == nullptr) {
+        // Append-optimized: free all-dead sealed groups, then compact
+        // dead-heavy ones by rewriting their live rows into the open tail.
+        GPHTAP_RETURN_IF_ERROR(
+            VacuumAppendOptimizedSegment(seg, def, table, &reclaimed));
+        continue;
+      }
       // A deleted version is reclaimable only when every live distributed
       // snapshot already sees the deletion: read-only sessions never acquire a
       // local xid here, so the local running set alone is NOT a safe horizon.

@@ -26,6 +26,16 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+/// Outcome of one online table rebalance (REBALANCE TABLE <name>).
+struct RebalanceReport {
+  uint64_t rows_moved = 0;       // copies staged onto new home segments
+  uint64_t catchup_records = 0;  // change-log records that landed mid-copy
+  int64_t copy_us = 0;           // online copy phase (writers keep flowing)
+  int64_t cutover_us = 0;        // AccessExclusive cutover window
+  bool cutover_complete = false; // distribution span flipped to the new width
+  bool horizon_cleared = false;  // rebalancing flag dropped (DD re-enabled)
+};
+
 class Session {
  public:
   Session(Cluster* cluster, std::string role);
@@ -58,6 +68,22 @@ class Session {
   StatusOr<QueryResult> ExecuteDelete(const TableDef& def, const ExprPtr& where);
   Status LockTable(const TableDef& def, LockMode mode);
   StatusOr<QueryResult> ExecuteVacuum(const TableDef& def);
+  /// CLUSTER <table> [USING <col>]: transactionally rewrites every visible row
+  /// into fresh storage (ordered by `order_col` when >= 0, storage order
+  /// otherwise) and deletes the originals under MVCC, all in the surrounding
+  /// transaction — BEGIN; CLUSTER; ABORT leaves the table untouched and the
+  /// statement retryable. On AO/AO-column tables the rewrite drains dead-heavy
+  /// row groups into fresh sealed groups; the emptied groups are reclaimed by
+  /// the next VACUUM. Takes ExclusiveLock: readers keep flowing.
+  StatusOr<QueryResult> ExecuteCluster(const TableDef& def, int order_col);
+  /// Online rebalance: migrates a table's rows onto [0, num_segments()) —
+  /// snapshot copy while writers keep flowing, change-log catchup, then a
+  /// brief AccessExclusive cutover. Idempotent and retryable after abort or
+  /// crash (the rebalancing flag keeps reads full-fan-out until a successful
+  /// run completes and the snapshot horizon passes the cutover).
+  StatusOr<RebalanceReport> RebalanceTable(const std::string& name);
+  /// SQL surface of RebalanceTable (REBALANCE TABLE <name>).
+  StatusOr<QueryResult> ExecuteRebalance(const std::string& name);
   /// TRUNCATE: discards all contents under AccessExclusiveLock. Immediate (not
   /// MVCC / not rollbackable), as a bulk maintenance operation.
   StatusOr<QueryResult> ExecuteTruncate(const TableDef& def);
@@ -109,6 +135,11 @@ class Session {
   template <typename Fn>
   StatusOr<QueryResult> RunStatement(Fn&& fn);
 
+  // Type-erased RunStatement for callers outside session.cc (the template
+  // body lives there); reorg.cc drives CLUSTER / REBALANCE through this.
+  StatusOr<QueryResult> RunStatementErased(
+      const std::function<StatusOr<QueryResult>()>& fn);
+
   // Statement retry policy (read-only dispatch): reruns `fn` — a full
   // RunStatement invocation, so each attempt gets a fresh transaction,
   // snapshot and plan — when it fails with a retryable kUnavailable (segment
@@ -159,6 +190,25 @@ class Session {
                                     const std::vector<std::pair<int, ExprPtr>>* sets,
                                     const ExprPtr& where, int64_t* affected);
 
+  // ---- Online reorg / expansion internals (cluster/reorg.cc) ----
+  // AO/AO-column VACUUM: frees all-dead sealed row groups, then rewrites the
+  // live rows out of dead-heavy groups into fresh groups under the vacuum's
+  // own transaction.
+  Status VacuumAppendOptimizedSegment(Segment* seg, const TableDef& def, Table* table,
+                                      int64_t* reclaimed);
+  // Per-segment CLUSTER rewrite: collect visible rows, optionally sort, then
+  // delete + re-insert under this transaction's xid.
+  Status ClusterSegment(Segment* seg, const TableDef& def, int order_col,
+                        int64_t* rewritten);
+  // Rebalance bodies, one distributed transaction each. Run inside
+  // RunStatement by RebalanceTable.
+  Status RebalanceHashTable(const TableDef& def, int new_span, RebalanceReport* report);
+  Status RebalanceReplicatedTable(const TableDef& def, int new_span,
+                                  RebalanceReport* report);
+  // Deletes `tid` with `xid` on any storage kind; callers hold locks strong
+  // enough that the tuple cannot be concurrently write-locked.
+  Status MarkDeletedResolved(Table* table, TupleId tid, LocalXid xid);
+
   // Commit protocols (Section 5.2, Figure 10).
   Status CommitProtocol();
   // Delivers COMMIT (one_phase) or COMMIT PREPARED to one segment, retrying
@@ -177,7 +227,8 @@ class Session {
 
   // Resolves the target segments of a DML statement.
   std::vector<int> TargetSegmentsForWrite(const TableDef& def, const ExprPtr& where);
-  int RouteInsert(const TableDef& def, const Row& row);
+  int RouteInsert(const TableDef& def, const Row& row,
+                  const Cluster::TableDistInfo& dist);
 
   Cluster* const cluster_;
   std::string role_;

@@ -42,6 +42,11 @@ inline constexpr char kCrashBeforeCommitAck[] = "segment.crash_before_commit_ack
 inline constexpr char kMirrorReplayStall[] = "mirror.replay_stall";
 // FTS probe times out even though the wire delivered it (scope = segment).
 inline constexpr char kFtsProbeTimeout[] = "fts.probe_timeout";
+// Expansion: a source segment dies during the rebalance copy scan (scope =
+// segment index). The statement aborts; the rebalancing flag stays up and the
+// coordinator retries after recovery.
+inline constexpr char kCrashDuringRebalanceCopy[] =
+    "segment.crash_during_rebalance_copy";
 }  // namespace fault_points
 
 /// Thread-safe registry of armed fault points. One per Cluster.

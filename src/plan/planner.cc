@@ -215,19 +215,56 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
     residual.push_back(q);
   }
 
+  // Elastic expansion: the span a table's rows actually occupy. Prefers the
+  // live-catalog callback (cached TableDefs go stale across a rebalance
+  // cutover); falls back to the def's own field, then to "all segments".
+  auto dist_of = [&](const TableDef& t) -> std::pair<int, bool> {
+    if (opts.table_dist) {
+      std::pair<int, bool> d = opts.table_dist(t.id);
+      if (d.first > 0 && d.first <= opts.num_segments) return d;
+    }
+    int ds = t.dist_segments;
+    if (ds <= 0 || ds > opts.num_segments) ds = opts.num_segments;
+    return {ds, t.rebalancing};
+  };
+
   // Direct dispatch: single hash-distributed table with a fully pinned key.
+  // The routing modulus is the table's own span, not the cluster width — and
+  // while a rebalance is in flight the row may visibly live at either the old
+  // or the new home depending on snapshot, so dispatch goes wide.
   std::vector<int> gang(static_cast<size_t>(opts.num_segments));
   std::iota(gang.begin(), gang.end(), 0);
   if (num_tables == 1 && opts.direct_dispatch) {
-    int seg = DirectDispatchSegment(query.tables[0], table_quals[0], 0, opts.num_segments);
-    if (seg >= 0) gang = {seg};
+    auto [mod, rebalancing] = dist_of(query.tables[0]);
+    if (!rebalancing) {
+      int seg = DirectDispatchSegment(query.tables[0], table_quals[0], 0, mod);
+      if (seg >= 0) gang = {seg};
+    }
   }
-  // A query over only replicated tables runs on one segment (any copy).
+  // A query over only replicated tables runs on one segment (any copy);
+  // segment 0 always holds a copy regardless of expansion state.
   bool all_replicated = true;
   for (const TableDef& t : query.tables) {
     all_replicated &= t.distribution.kind == DistributionKind::kReplicated;
   }
   if (all_replicated) gang = {0};
+  // A replicated table only has complete copies on [0, dist_segments). When
+  // the gang must span wider (a hash table occupies the new segments too), the
+  // join would silently lose rows on segments with no replica — fail
+  // retryably; expansion syncs replicated tables before rebalancing hash
+  // tables, so a retry lands after the sync.
+  if (!all_replicated && !any_virtual) {
+    for (const TableDef& t : query.tables) {
+      if (t.distribution.kind != DistributionKind::kReplicated) continue;
+      // The recorded span is authoritative even mid-rebalance: the sync flips
+      // it only after every live snapshot can see the new copies, so until
+      // then a wide gang would read missing rows on the added segments.
+      if (dist_of(t).first < opts.num_segments) {
+        return Status::Unavailable("replicated table " + t.name +
+                                   " not yet synced to expanded segments; retry");
+      }
+    }
+  }
   // Virtual scans never dispatch to segments at all.
   if (any_virtual) gang = {};
 
@@ -273,8 +310,16 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
       rel.col_map[static_cast<size_t>(offset[static_cast<size_t>(t)] + c)] = c;
     }
     if (def.distribution.kind == DistributionKind::kHash) {
-      for (int kc : def.distribution.key_cols) {
-        rel.hash_dist.push_back(offset[static_cast<size_t>(t)] + kc);
+      // Collocation only holds when the table's hash modulus matches the
+      // cluster width: a table still routed modulo its pre-expansion span (or
+      // mid-rebalance, with rows transiently at both homes) does not place a
+      // key on the segment a full-width redistribute would, so its
+      // distribution is treated as unknown and joins add a motion.
+      auto [mod, rebalancing] = dist_of(def);
+      if (mod == opts.num_segments && !rebalancing) {
+        for (int kc : def.distribution.key_cols) {
+          rel.hash_dist.push_back(offset[static_cast<size_t>(t)] + kc);
+        }
       }
     } else if (def.distribution.kind == DistributionKind::kReplicated) {
       rel.replicated = true;

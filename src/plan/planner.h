@@ -7,6 +7,7 @@
 #define GPHTAP_PLAN_PLANNER_H_
 
 #include <functional>
+#include <utility>
 
 #include "plan/plan.h"
 #include "plan/select_query.h"
@@ -22,6 +23,12 @@ struct PlannerOptions {
   std::function<uint64_t(TableId)> row_estimate;
   /// Allocates cluster-unique motion ids.
   std::function<int()> next_motion_id;
+  /// Elastic expansion: fresh (dist_segments, rebalancing) for a table, read
+  /// from the live catalog (cached TableDefs can be stale across a cutover).
+  /// Null — the default — means every table spans num_segments and nothing is
+  /// rebalancing. A returned dist_segments <= 0 means "unknown table": the
+  /// planner falls back to the TableDef's own dist_segments field.
+  std::function<std::pair<int, bool>(TableId)> table_dist;
 };
 
 struct PlannedSelect {

@@ -139,6 +139,15 @@ struct VacuumNode {
   std::string table;
 };
 
+struct ClusterNode {  // CLUSTER t [USING col]: transactional reorg rewrite
+  std::string table;
+  std::string using_col;  // empty = keep storage order, just rewrite live rows
+};
+
+struct RebalanceNode {  // REBALANCE TABLE t: migrate onto all serving segments
+  std::string table;
+};
+
 struct TruncateNode {
   std::string table;
 };
@@ -179,6 +188,8 @@ enum class StatementKind : uint8_t {
   kRollback,
   kLockTable,
   kVacuum,
+  kCluster,
+  kRebalance,
   kCreateResourceGroup,
   kDropResourceGroup,
   kCreateRole,
@@ -201,6 +212,8 @@ struct Statement {
   std::shared_ptr<DropTableNode> drop_table;
   std::shared_ptr<LockTableNode> lock_table;
   std::shared_ptr<VacuumNode> vacuum;
+  std::shared_ptr<ClusterNode> cluster;
+  std::shared_ptr<RebalanceNode> rebalance;
   std::shared_ptr<TruncateNode> truncate;
   std::shared_ptr<CreateResourceGroupNode> create_resource_group;
   std::shared_ptr<DropResourceGroupNode> drop_resource_group;

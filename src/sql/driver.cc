@@ -454,6 +454,23 @@ StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
       return session->ExecuteVacuum(def);
     }
 
+    case StatementKind::kCluster: {
+      GPHTAP_ASSIGN_OR_RETURN(TableDef def,
+                              session->cluster()->LookupTable(stmt.cluster->table));
+      int order_col = -1;
+      if (!stmt.cluster->using_col.empty()) {
+        order_col = def.schema.FindColumn(stmt.cluster->using_col);
+        if (order_col < 0) {
+          return Status::InvalidArgument("CLUSTER: no such column: " +
+                                         stmt.cluster->using_col);
+        }
+      }
+      return session->ExecuteCluster(def, order_col);
+    }
+
+    case StatementKind::kRebalance:
+      return session->ExecuteRebalance(stmt.rebalance->table);
+
     case StatementKind::kCreateResourceGroup:
       return RunResourceGroup(session, *stmt.create_resource_group);
 

@@ -303,6 +303,24 @@ class Parser {
       GPHTAP_ASSIGN_OR_RETURN(s.vacuum->table, ExpectIdent());
       return s;
     }
+    if (AcceptWord("cluster")) {
+      Statement s;
+      s.kind = StatementKind::kCluster;
+      s.cluster = std::make_shared<ClusterNode>();
+      GPHTAP_ASSIGN_OR_RETURN(s.cluster->table, ExpectIdent());
+      if (AcceptWord("using")) {
+        GPHTAP_ASSIGN_OR_RETURN(s.cluster->using_col, ExpectIdent());
+      }
+      return s;
+    }
+    if (AcceptWord("rebalance")) {
+      GPHTAP_RETURN_IF_ERROR(ExpectWord("table"));
+      Statement s;
+      s.kind = StatementKind::kRebalance;
+      s.rebalance = std::make_shared<RebalanceNode>();
+      GPHTAP_ASSIGN_OR_RETURN(s.rebalance->table, ExpectIdent());
+      return s;
+    }
     if (AcceptWord("set")) {
       Statement s;
       s.kind = StatementKind::kSet;

@@ -29,6 +29,7 @@ enum class ChangeKind : uint8_t {
   kTxnAbort,    // local transaction aborted
   kTruncate,    // table contents discarded
   kTxnPrepare,  // local transaction PREPAREd (2PC phase one)
+  kFreeGroup,   // AO reclamation freed a whole row group (`tid` = group index)
 };
 
 struct ChangeRecord {
@@ -73,6 +74,15 @@ class ChangeLog {
     limit = std::min(limit, records_.size());
     return std::vector<ChangeRecord>(records_.begin(),
                                      records_.begin() + static_cast<ptrdiff_t>(limit));
+  }
+
+  /// Non-blocking copy of records [from, end) — rebalance catchup reads the
+  /// delta that accumulated since its copy-phase mark.
+  std::vector<ChangeRecord> SnapshotFrom(size_t from) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (from >= records_.size()) return {};
+    return std::vector<ChangeRecord>(records_.begin() + static_cast<ptrdiff_t>(from),
+                                     records_.end());
   }
 
   void Close() {

@@ -75,6 +75,8 @@ Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<i
     {
       std::shared_lock<std::shared_mutex> g(latch_);
       const RowGroup& group = sealed_[gi];
+      // Reclaimed groups held only rows dead to every snapshot (ours too).
+      if (group.reclaimed) continue;
       xmins = group.xmins;
       for (size_t k = 0; k < cols.size(); ++k) {
         const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
@@ -136,6 +138,7 @@ Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
     {
       std::shared_lock<std::shared_mutex> g(latch_);
       const RowGroup& group = sealed_[gi];
+      if (group.reclaimed) continue;
       xmins = group.xmins;
       batch.columns.resize(cols.size());
       for (size_t k = 0; k < cols.size(); ++k) {
@@ -184,9 +187,91 @@ Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
   return Status::OK();
 }
 
+std::vector<AoGroupInfo> AoColumnTable::GroupInfos(const AoRowDeadFn& dead) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  std::vector<AoGroupInfo> infos;
+  infos.reserve(sealed_.size() + 1);
+  auto classify = [&](AoGroupInfo* info, TupleId base,
+                      const std::vector<LocalXid>& xmins) {
+    for (size_t r = 0; r < xmins.size(); ++r) {
+      auto del = visimap_.find(base + r);
+      LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+      if (dead(xmins[r], xmax)) {
+        ++info->dead;
+      } else {
+        ++info->live;
+      }
+    }
+  };
+  for (size_t gi = 0; gi < sealed_.size(); ++gi) {
+    AoGroupInfo info;
+    info.index = gi;
+    info.sealed = true;
+    info.freed = sealed_[gi].reclaimed;
+    info.rows = sealed_[gi].xmins.size();
+    classify(&info, static_cast<TupleId>(gi * kRowGroupSize), sealed_[gi].xmins);
+    infos.push_back(info);
+  }
+  if (!open_rows_.empty()) {
+    AoGroupInfo info;
+    info.index = sealed_.size();
+    info.rows = open_rows_.size();
+    classify(&info, static_cast<TupleId>(sealed_.size() * kRowGroupSize), open_xmins_);
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+void AoColumnTable::FreeGroupLocked(size_t gi) {
+  RowGroup& group = sealed_[gi];
+  TupleId base = static_cast<TupleId>(gi * kRowGroupSize);
+  for (size_t r = 0; r < group.xmins.size(); ++r) visimap_.erase(base + r);
+  std::vector<CompressedBlock>().swap(group.columns);
+  std::vector<LocalXid>().swap(group.xmins);
+  group.reclaimed = true;
+  ++reclaimed_groups_;
+}
+
+AoReclaimResult AoColumnTable::ReclaimDeadGroups(const AoRowDeadFn& dead) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  AoReclaimResult result;
+  for (size_t gi = 0; gi < sealed_.size(); ++gi) {
+    RowGroup& group = sealed_[gi];
+    if (group.reclaimed) continue;
+    TupleId base = static_cast<TupleId>(gi * kRowGroupSize);
+    bool all_dead = true;
+    for (size_t r = 0; r < group.xmins.size() && all_dead; ++r) {
+      auto del = visimap_.find(base + r);
+      LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
+      all_dead = dead(group.xmins[r], xmax);
+    }
+    if (!all_dead) continue;
+    result.rows_freed += group.xmins.size();
+    ++result.groups_freed;
+    FreeGroupLocked(gi);
+    if (change_log() != nullptr) {
+      change_log()->Append(ChangeRecord{ChangeKind::kFreeGroup, id(),
+                                        static_cast<TupleId>(gi), kInvalidTupleId,
+                                        kInvalidLocalXid, {}});
+    }
+  }
+  return result;
+}
+
+Status AoColumnTable::ApplyFreeGroup(size_t group_index) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  if (group_index >= sealed_.size()) {
+    return Status::NotFound("AO-column free-group replay: group " +
+                            std::to_string(group_index));
+  }
+  if (!sealed_[group_index].reclaimed) FreeGroupLocked(group_index);
+  return Status::OK();
+}
+
 Status AoColumnTable::Truncate() {
   std::unique_lock<std::shared_mutex> g(latch_);
   sealed_.clear();
+  reclaimed_groups_ = 0;
   open_rows_.clear();
   open_xmins_.clear();
   visimap_.clear();
@@ -199,7 +284,7 @@ Status AoColumnTable::Truncate() {
 
 uint64_t AoColumnTable::StoredVersionCount() const {
   std::shared_lock<std::shared_mutex> g(latch_);
-  return sealed_.size() * kRowGroupSize + open_rows_.size();
+  return (sealed_.size() - reclaimed_groups_) * kRowGroupSize + open_rows_.size();
 }
 
 uint64_t AoColumnTable::BytesScanned() const {
@@ -223,6 +308,7 @@ uint64_t AoColumnTable::ColumnCompressedBytes(int col) const {
   std::shared_lock<std::shared_mutex> g(latch_);
   uint64_t total = 0;
   for (const RowGroup& group : sealed_) {
+    if (group.reclaimed) continue;
     total += group.columns[static_cast<size_t>(col)].bytes.size();
   }
   return total;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/ao_group.h"
 #include "storage/compression.h"
 #include "storage/table.h"
 #include "vec/column_batch.h"
@@ -47,14 +48,31 @@ class AoColumnTable : public Table {
   /// Visibility-map delete (see AoRowTable::MarkDeleted).
   Status MarkDeleted(TupleId tid, LocalXid xid);
 
+  /// Per-group occupancy under the caller's dead-row predicate (bloat
+  /// reporting and the compaction trigger). The open tail reports unsealed.
+  std::vector<AoGroupInfo> GroupInfos(const AoRowDeadFn& dead) const;
+
+  /// Frees every sealed group whose rows are all dead per `dead` ("dead to
+  /// every snapshot"): drops the compressed blocks and visibility column,
+  /// keeps the group slot so tids stay stable. One kFreeGroup record per
+  /// freed group. Callers hold ShareUpdateExclusiveLock.
+  AoReclaimResult ReclaimDeadGroups(const AoRowDeadFn& dead);
+
+  /// Replay-side free (crash recovery / mirrors): no change record emitted.
+  Status ApplyFreeGroup(size_t group_index);
+
  private:
   struct RowGroup {
     std::vector<CompressedBlock> columns;  // one block per column
     std::vector<LocalXid> xmins;           // uncompressed visibility column
+    bool reclaimed = false;                // blocks freed; slot kept for tids
   };
 
   // Seals the open group into compressed blocks. Requires latch_ held (unique).
   void SealOpenGroupLocked();
+
+  // Frees group `gi`'s storage and visimap range. Requires latch_ held (unique).
+  void FreeGroupLocked(size_t gi);
 
   // Computes per-row visibility for the tuple range [base_tid, base_tid +
   // xmins.size()): one shared latch acquisition covers the whole group's
@@ -68,6 +86,7 @@ class AoColumnTable : public Table {
 
   mutable std::shared_mutex latch_;
   std::vector<RowGroup> sealed_;
+  size_t reclaimed_groups_ = 0;
   std::vector<Row> open_rows_;
   std::vector<LocalXid> open_xmins_;
   std::unordered_map<TupleId, LocalXid> visimap_;

@@ -28,6 +28,14 @@ Status ApplyDataChange(Table* table, const ChangeRecord& record) {
     case ChangeKind::kFreeSlot:
       if (heap != nullptr) heap->ApplyFreeSlot(record.tid);
       return Status::OK();
+    case ChangeKind::kFreeGroup:
+      // AO reclamation: `tid` carries the freed group's index.
+      if (auto* ao = dynamic_cast<AoRowTable*>(table)) {
+        return ao->ApplyFreeGroup(static_cast<size_t>(record.tid));
+      } else if (auto* aoc = dynamic_cast<AoColumnTable*>(table)) {
+        return aoc->ApplyFreeGroup(static_cast<size_t>(record.tid));
+      }
+      return Status::OK();
     case ChangeKind::kTruncate:
       return table->Truncate();
     case ChangeKind::kTxnBegin:

@@ -156,6 +156,106 @@ void ScanWorker(Cluster* cluster, const ChaosConfig& cfg, int worker_id,
   }
 }
 
+// Online-reorg chaos: a maintenance session interleaves VACUUM and CLUSTER
+// (including deliberate BEGIN; CLUSTER; ABORT; retry cycles) with the
+// transfer/scan traffic. Reorg statements may fail under the fault schedule
+// (timeouts, deadlock victims, crashed segments) — that is the point; the
+// safety invariants must hold regardless.
+void MaintenanceWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
+                       ChaosState* state) {
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(cfg.statement_timeout_ms * 1000);
+  Rng rng(cfg.seed * 15485863 + 11);
+  const std::string tables[] = {"chaos_accounts", "chaos_history"};
+  while (MonotonicMicros() < end_us) {
+    SleepUntil(MonotonicMicros() +
+                   rng.UniformRange(cfg.reorg_min_gap_ms, cfg.reorg_max_gap_ms) * 1000,
+               end_us);
+    if (MonotonicMicros() >= end_us) break;
+    const std::string& table = tables[rng.Uniform(2)];
+    Status s;
+    double pick = rng.NextDouble();
+    if (pick < 0.4) {
+      s = session->Execute("VACUUM " + table).status();
+    } else if (pick < 0.7) {
+      s = session->Execute("CLUSTER " + table + " USING aid").status();
+      if (!s.ok() && table == "chaos_history") {
+        s = session->Execute("CLUSTER " + table).status();
+      }
+    } else {
+      // Abort mid-CLUSTER, then retry committed: the rewrite must roll back
+      // cleanly every time and the retry must start from an intact table.
+      if (session->Execute("BEGIN").ok()) {
+        Status cl = session->Execute("CLUSTER " + table).status();
+        session->Rollback();
+        if (cl.ok()) {
+          std::lock_guard<std::mutex> g(state->mu);
+          ++state->report.reorg_aborts;
+        }
+      }
+      s = session->Execute("CLUSTER " + table).status();
+    }
+    std::lock_guard<std::mutex> g(state->mu);
+    if (s.ok()) {
+      ++state->report.reorg_ops;
+    } else {
+      ++state->report.reorg_failures;
+    }
+  }
+}
+
+// Expansion chaos: a third of the way into the run, grow the cluster and
+// rebalance every chaos table onto the new width while transfers, scans,
+// reorg, and the fault schedule all keep running. Rebalance attempts that die
+// under chaos (a source crashes mid-copy, the cutover times out, a deadlock
+// picks us as victim) leave the table consistent and are simply retried; the
+// scheduler heals its crashes at run end, so the retry loop converges shortly
+// after even on hostile schedules.
+void ExpandWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
+                  ChaosState* state) {
+  const int64_t start_us = end_us - cfg.duration_ms * 1000;
+  SleepUntil(start_us + cfg.duration_ms * 1000 / 3, end_us);
+
+  auto grown = cluster->AddSegments(cfg.expand_segments);
+  if (!grown.ok()) {
+    state->Violation("AddSegments failed: " + grown.status().message());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(state->mu);
+    state->report.expanded = true;
+  }
+
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(cfg.statement_timeout_ms * 1000);
+  // Retry budget past run end: the fault scheduler force-heals its crashes at
+  // end_us, so a handful of statement timeouts of slack is enough to converge.
+  const int64_t deadline_us = end_us + 8 * cfg.statement_timeout_ms * 1000;
+  Rng rng(cfg.seed * 32452843 + 13);
+  for (const char* table : {"chaos_accounts", "chaos_history"}) {
+    bool done = false;
+    while (!done && MonotonicMicros() < deadline_us) {
+      {
+        std::lock_guard<std::mutex> g(state->mu);
+        ++state->report.rebalance_attempts;
+      }
+      auto report = session->RebalanceTable(table);
+      if (report.ok() && report->cutover_complete) {
+        done = true;
+        break;
+      }
+      PreciseSleepUs(rng.UniformRange(20, 120) * 1000);
+    }
+    if (!done) {
+      state->Violation(std::string("rebalance of ") + table +
+                       " never completed within the retry budget");
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> g(state->mu);
+  state->report.rebalanced = true;
+}
+
 // The seeded fault scheduler: draws one action per gap from the run's RNG and
 // heals its own damage (crashed primaries recover after a delay; armed net
 // faults are cleared by the periodic "clear" action and at teardown).
@@ -259,6 +359,14 @@ std::string ChaosReport::ToString() const {
          " ok=" + std::to_string(scans_ok) +
          " retried_ok=" + std::to_string(scans_retried_ok) +
          " failed=" + std::to_string(scan_failures) + "\n";
+  if (reorg_ops + reorg_failures + rebalance_attempts > 0) {
+    out += "reorg: ok=" + std::to_string(reorg_ops) +
+           " aborted_cycles=" + std::to_string(reorg_aborts) +
+           " failed=" + std::to_string(reorg_failures) +
+           " rebalance_attempts=" + std::to_string(rebalance_attempts) +
+           " expanded=" + std::to_string(expanded) +
+           " rebalanced=" + std::to_string(rebalanced) + "\n";
+  }
   out += "faults: injected=" + std::to_string(faults_injected) +
          " crashes=" + std::to_string(crashes) +
          " recoveries=" + std::to_string(recoveries) +
@@ -316,9 +424,19 @@ ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
   }
   std::thread scheduler(
       [&] { FaultScheduler(cluster, config, end_us, &state); });
+  std::vector<std::thread> maintenance;
+  if (config.reorg_enabled) {
+    maintenance.emplace_back(
+        [&] { MaintenanceWorker(cluster, config, end_us, &state); });
+  }
+  if (config.expand_segments > 0) {
+    maintenance.emplace_back(
+        [&] { ExpandWorker(cluster, config, end_us, &state); });
+  }
 
   for (auto& t : threads) t.join();
   scheduler.join();
+  for (auto& t : maintenance) t.join();
 
   // Invariant 4 (classified termination): every worker finished within the
   // statement-timeout slack of the run end. A transfer's last transaction is

@@ -57,6 +57,18 @@ struct ChaosConfig {
   // At most this many primaries down at once (keeps the cluster availble
   // enough that retries can eventually succeed).
   int max_down = 1;
+
+  // --- Online reorg / expansion events (ride the same seeded schedule) ---
+  // A maintenance session issues VACUUM and CLUSTER against the chaos tables
+  // while transfers flow, including deliberate BEGIN; CLUSTER; ABORT cycles
+  // followed by a committed retry.
+  bool reorg_enabled = false;
+  int64_t reorg_min_gap_ms = 80;
+  int64_t reorg_max_gap_ms = 250;
+  // When > 0, the harness adds this many segments a third of the way into the
+  // run and rebalances every chaos table onto them, retrying (crashes land on
+  // sources mid-copy) until the cutover completes.
+  int expand_segments = 0;
 };
 
 struct ChaosReport {
@@ -75,6 +87,14 @@ struct ChaosReport {
   uint64_t scans_ok = 0;
   uint64_t scans_retried_ok = 0;  // succeeded after transparent statement retry
   uint64_t scan_failures = 0;     // classified failures (also bucketed above)
+
+  // Online reorg / expansion events (when the config enables them).
+  uint64_t reorg_ops = 0;       // VACUUM / CLUSTER statements that ran OK
+  uint64_t reorg_aborts = 0;    // deliberate BEGIN; CLUSTER; ABORT cycles
+  uint64_t reorg_failures = 0;  // reorg statements that failed under chaos
+  uint64_t rebalance_attempts = 0;
+  bool expanded = false;        // AddSegments took effect mid-run
+  bool rebalanced = false;      // every chaos table completed its cutover
 
   // Fault schedule actually executed.
   uint64_t faults_injected = 0;

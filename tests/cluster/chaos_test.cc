@@ -63,6 +63,46 @@ TEST(ChaosTest, InvariantsHoldSeed42) { RunSeed(42); }
 
 TEST(ChaosTest, InvariantsHoldSeed1337) { RunSeed(1337); }
 
+// Online reorg + elastic expansion ride the chaos schedule: a maintenance
+// session interleaves VACUUM / CLUSTER (with deliberate BEGIN; CLUSTER; ABORT
+// cycles), and mid-run the cluster grows by two segments and rebalances both
+// chaos tables onto the new width — all while transfers, scans, crashes,
+// delays, and drops keep coming. Every safety invariant must still hold, and
+// the expansion must converge.
+void RunReorgExpandSeed(uint64_t seed) {
+  Cluster cluster(ChaosCluster());
+  ChaosConfig cfg = SmokeConfig(seed);
+  cfg.reorg_enabled = true;
+  cfg.expand_segments = 2;
+  ASSERT_TRUE(SetupChaosTables(&cluster, cfg).ok());
+  ChaosReport report = RunChaosWorkload(&cluster, cfg);
+  SCOPED_TRACE(report.ToString());
+
+  EXPECT_TRUE(report.invariants_ok()) << report.ToString();
+  EXPECT_GT(report.transfers_committed, 0u);
+  EXPECT_GT(report.scans_ok, 0u);
+  EXPECT_TRUE(report.expanded);
+  EXPECT_TRUE(report.rebalanced);
+  EXPECT_GT(report.reorg_ops + report.reorg_failures, 0u);
+  EXPECT_EQ(cluster.num_segments(), 5);
+
+  // The new segments actually serve data after the cutover.
+  auto def = cluster.LookupTable("chaos_history");
+  ASSERT_TRUE(def.ok());
+  uint64_t on_new = 0;
+  for (int seg = 3; seg < 5; ++seg) {
+    Table* t = cluster.segment(seg)->GetTable(def->id);
+    if (t != nullptr) on_new += t->StoredVersionCount();
+  }
+  EXPECT_GT(on_new, 0u);
+}
+
+TEST(ChaosTest, ReorgAndExpansionInvariantsSeed42) { RunReorgExpandSeed(42); }
+
+TEST(ChaosTest, ReorgAndExpansionInvariantsSeed1337) { RunReorgExpandSeed(1337); }
+
+TEST(ChaosTest, ReorgAndExpansionInvariantsSeed7) { RunReorgExpandSeed(7); }
+
 // Overload shedding composes with the chaos schedule: a tight bounded queue
 // sheds rather than stalls, and shedding never breaks a safety invariant.
 TEST(ChaosTest, InvariantsHoldUnderSheddingConfig) {
