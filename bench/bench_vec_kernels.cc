@@ -18,9 +18,9 @@ ColumnBatch MakeBatch(int64_t rows) {
   b.Reset(3, static_cast<size_t>(rows));
   Rng rng(42);
   for (int64_t i = 0; i < rows; ++i) {
-    b.columns[0].push_back(Datum(i));
-    b.columns[1].push_back(Datum(static_cast<int64_t>(rng.Uniform(1000))));
-    b.columns[2].push_back(Datum(static_cast<double>(i) * 0.5));
+    b.columns[0].Append(Datum(i));
+    b.columns[1].Append(Datum(static_cast<int64_t>(rng.Uniform(1000))));
+    b.columns[2].Append(Datum(static_cast<double>(i) * 0.5));
   }
   b.rows = static_cast<size_t>(rows);
   b.SelectAll();
@@ -91,6 +91,59 @@ void BM_AggRow(::benchmark::State& state) {
   });
 }
 
+// Redistribution routing. "RowEngine" is the old VecPartitionBatch behavior —
+// materialize a full Row per selected tuple just to hash it — kept here as the
+// before/after baseline for the column-direct hashing fix.
+void BM_PartitionVec(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  const std::vector<int> hash_cols = {1};
+  const int targets = 4;
+  // Routing assertion: the column-direct hash must agree with HashRowKey on
+  // materialized rows for every tuple, or redistribution would mis-place data.
+  {
+    std::vector<ColumnBatch> parts;
+    Status s = VecPartitionBatch(base, hash_cols, targets, &parts);
+    if (!s.ok()) std::abort();
+    size_t total = 0;
+    for (int t = 0; t < targets; ++t) {
+      for (int32_t r : parts[static_cast<size_t>(t)].sel) {
+        Row row = parts[static_cast<size_t>(t)].MaterializeRow(r);
+        if (static_cast<int>(HashRowKey(row, hash_cols) %
+                             static_cast<uint64_t>(targets)) != t) {
+          std::abort();
+        }
+        ++total;
+      }
+    }
+    if (total != static_cast<size_t>(rows)) std::abort();
+  }
+  RunMicro(state, "VecKernels/Partition/Vectorized", rows, [&] {
+    std::vector<ColumnBatch> parts;
+    Status s = VecPartitionBatch(base, hash_cols, targets, &parts);
+    if (!s.ok()) std::abort();
+    ::benchmark::DoNotOptimize(parts[0].rows);
+  });
+}
+
+void BM_PartitionRow(::benchmark::State& state) {
+  int64_t rows = state.range(0);
+  ColumnBatch base = MakeBatch(rows);
+  const std::vector<int> hash_cols = {1};
+  const int targets = 4;
+  RunMicro(state, "VecKernels/Partition/RowEngine", rows, [&] {
+    std::vector<ColumnBatch> parts(static_cast<size_t>(targets));
+    for (auto& p : parts) p.Reset(base.NumColumns(), base.rows / targets + 1);
+    for (int32_t r : base.sel) {
+      Row row = base.MaterializeRow(r);  // the old per-tuple materialization
+      int t = static_cast<int>(HashRowKey(row, hash_cols) %
+                               static_cast<uint64_t>(targets));
+      parts[static_cast<size_t>(t)].AppendRow(std::move(row));
+    }
+    ::benchmark::DoNotOptimize(parts[0].rows);
+  });
+}
+
 // End to end: filtered aggregation over an AO-column table, batch engine
 // against row engine, through the full SQL/plan/motion stack.
 void RunScanQuery(::benchmark::State& state, const std::string& series,
@@ -136,11 +189,14 @@ void BM_ScanQueryRow(::benchmark::State& state) {
 }
 
 void RegisterAll() {
-  for (auto* fn : {BM_FilterVec, BM_FilterRow, BM_AggVec, BM_AggRow}) {
-    const char* name = fn == BM_FilterVec   ? "VecKernels/Filter/Vectorized"
-                       : fn == BM_FilterRow ? "VecKernels/Filter/RowEngine"
-                       : fn == BM_AggVec    ? "VecKernels/Agg/Vectorized"
-                                            : "VecKernels/Agg/RowEngine";
+  for (auto* fn : {BM_FilterVec, BM_FilterRow, BM_AggVec, BM_AggRow,
+                   BM_PartitionVec, BM_PartitionRow}) {
+    const char* name = fn == BM_FilterVec      ? "VecKernels/Filter/Vectorized"
+                       : fn == BM_FilterRow    ? "VecKernels/Filter/RowEngine"
+                       : fn == BM_AggVec       ? "VecKernels/Agg/Vectorized"
+                       : fn == BM_AggRow       ? "VecKernels/Agg/RowEngine"
+                       : fn == BM_PartitionVec ? "VecKernels/Partition/Vectorized"
+                                               : "VecKernels/Partition/RowEngine";
     auto* b = ::benchmark::RegisterBenchmark(name, fn);
     for (int64_t rows : Points({4096, 65536})) b->Args({rows});
     b->Unit(::benchmark::kMicrosecond);

@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test')
 
 # Smoke-run one benchmark and validate its machine-readable output. The run
 # also exports a Chrome trace_event dump of the traced queries, validated
@@ -95,7 +95,9 @@ print(f"BENCH expand json OK: cutover pause p99 {during['cutover_pause_us']:.0f}
       f"{during['rows_moved']:.0f} rows moved")
 EOF
 
-# Vectorized-kernel microbench: smoke-run and validate the JSON.
+# Vectorized-kernel microbench: smoke-run, validate the JSON, and assert the
+# vectorized path actually wins — every Vectorized series must beat (or tie)
+# its RowEngine twin at every swept arg.
 (cd build && GPHTAP_BENCH_MS=100 ./bench/bench_vec_kernels --smoke)
 python3 - build/BENCH_vec_kernels.json <<'EOF'
 import json, sys
@@ -108,8 +110,21 @@ series = {p["series"] for p in doc["points"]}
 for point in doc["points"]:
     missing = required - set(point)
     assert not missing, f"point {point.get('series')} missing {missing}"
-for pair in ("Filter", "Agg", "ScanQuery"):
-    assert f"VecKernels/{pair}/Vectorized" in series, f"missing {pair} vec series"
-    assert f"VecKernels/{pair}/RowEngine" in series, f"missing {pair} row series"
-print(f"BENCH vec json OK: {len(doc['points'])} points")
+by_key = {(p["series"], p["arg"]): p for p in doc["points"]}
+for pair in ("Filter", "Agg", "ScanQuery", "Partition"):
+    vec_name = f"VecKernels/{pair}/Vectorized"
+    row_name = f"VecKernels/{pair}/RowEngine"
+    assert vec_name in series, f"missing {pair} vec series"
+    assert row_name in series, f"missing {pair} row series"
+    for (name, arg), point in sorted(by_key.items()):
+        if name != vec_name:
+            continue
+        row = by_key.get((row_name, arg))
+        assert row is not None, f"{row_name} has no point at arg {arg}"
+        vec_tps, row_tps = point["throughput_tps"], row["throughput_tps"]
+        assert vec_tps >= row_tps, (
+            f"{pair}@{arg}: vectorized {vec_tps:.0f} tps < row {row_tps:.0f} tps")
+        print(f"  {pair}@{arg}: vec {vec_tps:.0f} tps vs row {row_tps:.0f} tps "
+              f"({vec_tps / row_tps:.2f}x)")
+print(f"BENCH vec json OK: {len(doc['points'])} points, vectorized wins everywhere")
 EOF

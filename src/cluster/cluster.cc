@@ -22,6 +22,7 @@ Cluster::Cluster(ClusterOptions options)
       governor_(options.total_cores),
       vmem_(options.global_shared_mem_mb << 20),
       resgroups_(&governor_, &vmem_, &metrics_) {
+  plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_capacity, &metrics_);
   net_.set_metrics(&metrics_);
   coordinator_wal_.set_metrics(&metrics_);
   coordinator_locks_.set_metrics(&metrics_);
@@ -191,6 +192,8 @@ StatusOr<int> Cluster::AddSegments(int count) {
     GPHTAP_RETURN_IF_ERROR(BuildSegmentSlot(i, DefsForSegment(i)));
     serving_segments_.store(i + 1, std::memory_order_release);
   }
+  // Cached plans embed gangs sized to the old serving count.
+  BumpCatalogVersion();
   return before + count;
 }
 
@@ -211,6 +214,7 @@ Status Cluster::SetTableDistSegments(const std::string& name, int dist_segments)
   auto it = catalog_.find(name);
   if (it == catalog_.end()) return Status::NotFound("table " + name);
   it->second.dist_segments = dist_segments;
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -219,6 +223,7 @@ Status Cluster::SetTableRebalancing(const std::string& name, bool rebalancing) {
   auto it = catalog_.find(name);
   if (it == catalog_.end()) return Status::NotFound("table " + name);
   it->second.rebalancing = rebalancing;
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -262,6 +267,7 @@ Status Cluster::CreateTable(TableDef def) {
     }
     GPHTAP_RETURN_IF_ERROR(m->CreateTable(mirror_def));
   }
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -288,6 +294,7 @@ Status Cluster::CreateIndex(const std::string& table, const std::string& column)
     auto* heap = dynamic_cast<HeapTable*>(segment(i)->GetTable(id));
     if (heap != nullptr) heap->AddIndex(col);
   }
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -305,6 +312,7 @@ Status Cluster::DropTable(const std::string& name) {
   for (int i = 0; i < num_segments(); ++i) {
     if (mirror(i) != nullptr) mirror(i)->DropTable(id);
   }
+  BumpCatalogVersion();
   return Status::OK();
 }
 

@@ -26,6 +26,7 @@
 #include "common/wait_event.h"
 #include "gdd/gdd_daemon.h"
 #include "net/sim_net.h"
+#include "plan/plan_cache.h"
 #include "resgroup/resource_group.h"
 #include "txn/distributed_txn_manager.h"
 
@@ -73,6 +74,17 @@ struct ClusterOptions {
   // Vectorized batch execution (src/vec/) over AO-column scans; false pins
   // every plan to the tuple-at-a-time row engine (the ablation switch).
   bool vectorized_execution_enabled = true;
+
+  // Morsel-driven intra-slice parallelism: a vectorized AO-column scan with at
+  // least `vec_morsel_min_groups` sealed row groups splits the groups across
+  // this many decode workers (Hyrise-style), with an order-preserving merge.
+  // <= 1 keeps scans single-threaded.
+  int vec_morsel_workers = 1;
+  size_t vec_morsel_min_groups = 2;
+
+  // Coordinator plan cache: planned SELECTs memoized by SQL text, invalidated
+  // by catalog-version bumps (DDL / expansion / rebalance). 0 disables.
+  size_t plan_cache_capacity = 64;
 
   // Interconnect buffering (rows per receiver queue) for motions.
   size_t motion_buffer_rows = 8192;
@@ -349,6 +361,20 @@ class Cluster {
   /// Monotonic motion-exchange id source.
   int NextMotionId() { return next_motion_id_.fetch_add(1); }
 
+  // ---- Plan cache ----
+  /// Coordinator plan cache (SELECTs keyed by SQL text). Entries planned at an
+  /// older catalog_version() miss and are evicted at lookup.
+  PlanCache& plan_cache() { return *plan_cache_; }
+  /// Monotonic catalog version: bumped by any change that can invalidate a
+  /// cached plan — CREATE/DROP TABLE, CREATE INDEX, segment expansion, and
+  /// distribution-span changes during rebalance.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   // ---- Mirrors (when options.mirrors_enabled) ----
   MirrorSegment* mirror(int i) { return mirrors_[static_cast<size_t>(i)].get(); }
   /// Waits for every mirror to apply everything its primary produced.
@@ -409,6 +435,10 @@ class Cluster {
   mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, TableDef> catalog_;
   TableId next_table_id_ = 1;
+  // Bumped by every catalog change that can invalidate a cached plan.
+  std::atomic<uint64_t> catalog_version_{1};
+  // Constructed after metrics_ (binds plan_cache.* counters into it).
+  std::unique_ptr<PlanCache> plan_cache_;
 
   CpuGovernor governor_;
   VmemTracker vmem_;

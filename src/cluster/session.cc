@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "exec/executor.h"
 #include "sql/driver.h"
+#include "sql/prepared_statement.h"
 #include "storage/ao_table.h"
 #include "storage/column_store.h"
 #include "storage/heap_table.h"
@@ -67,6 +68,42 @@ void Session::SetRole(const std::string& role) {
     std::string group_name = group_->name();
     info_->SetStrings(&role_, &group_name, nullptr);
   }
+}
+
+std::shared_ptr<PreparedStatement> Session::GetPrepared(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> g(prepared_mu_);
+  auto it = prepared_.find(name);
+  return it == prepared_.end() ? nullptr : it->second;
+}
+
+void Session::PutPrepared(const std::string& name,
+                          std::shared_ptr<PreparedStatement> ps) {
+  std::lock_guard<std::mutex> g(prepared_mu_);
+  prepared_[name] = std::move(ps);
+}
+
+bool Session::RemovePrepared(const std::string& name) {
+  std::lock_guard<std::mutex> g(prepared_mu_);
+  return prepared_.erase(name) > 0;
+}
+
+void Session::ClearPrepared() {
+  std::lock_guard<std::mutex> g(prepared_mu_);
+  prepared_.clear();
+}
+
+Status Session::PlanForPrepare(const SelectQuery& query, PreparedStatement* ps) {
+  const uint64_t catalog_version = cluster_->catalog_version();
+  GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned,
+                          PlanSelect(query, MakePlannerOptions()));
+  ps->plan_root = std::move(planned.root);
+  ps->gang = std::move(planned.gang);
+  ps->columns = std::move(planned.columns);
+  ps->tables = query.tables;
+  ps->catalog_version = catalog_version;
+  ps->has_plan = true;
+  return Status::OK();
 }
 
 WaitContext Session::MakeWaitContext() {
@@ -611,96 +648,7 @@ Status Session::LockRelationSegment(Segment* seg, const TableDef& def, LockMode 
 // SELECT
 // ---------------------------------------------------------------------------
 
-StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query) {
-  return RunReadOnlyStatement([&] {
-    return RunStatement([&]() -> StatusOr<QueryResult> {
-    // Parse-analyze locks on the coordinator. System views are lock-free
-    // snapshots of live state — observing a stuck cluster must not itself
-    // queue behind anything.
-    for (const TableDef& t : query.tables) {
-      if (t.is_system_view) continue;
-      GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
-    }
-
-    PlannerOptions popts;
-    popts.num_segments = cluster_->num_segments();
-    popts.use_orca = cluster_->options().use_orca;
-    popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
-    popts.vectorize = cluster_->options().vectorized_execution_enabled;
-    popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
-    popts.table_dist = [this](TableId id) {
-      Cluster::TableDistInfo d = cluster_->TableDist(id);
-      return std::make_pair(d.dist_segments, d.rebalancing);
-    };
-    popts.row_estimate = [this](TableId id) -> uint64_t {
-      Segment* seg0 = cluster_->segment(0);
-      auto pin = seg0->Pin();
-      if (!pin.ok()) return 1000;  // down: fall back to a default estimate
-      Table* t = seg0->GetTable(id);
-      if (t == nullptr) return 1000;
-      return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
-    };
-    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
-
-    // Per-query distributed trace: a root "query" span on the coordinator;
-    // ExecutePlan opens one child span per slice (coordinator + segments).
-    std::shared_ptr<Trace> trace;
-    uint64_t root_span = 0;
-    if (trace_enabled_ || cluster_->options().trace_queries) {
-      trace = std::make_shared<Trace>(cluster_->NextTraceId());
-      root_span = trace->StartSpan("query");
-      last_trace_ = trace;
-      // Coordinator-side waits during this query (locks, commit acks) become
-      // wait-interval child spans of the root; ExecutePlan re-parents per
-      // slice for the producer threads.
-      if (WaitContext* cur = CurrentWaitContext()) {
-        cur->trace = trace.get();
-        cur->parent_span = root_span;
-      }
-    }
-
-    for (size_t i = 0; i < planned.gang.size(); ++i) {
-      cluster_->net().Deliver(MsgKind::kDispatch);
-    }
-    auto mem = group_->NewMemoryAccount();
-    QueryResult result;
-    result.columns = planned.columns;
-    QueryPlan qp;
-    qp.root = std::move(planned.root);
-    qp.gang = planned.gang;
-    ExecProfile profile;
-    profile.trace = trace.get();
-    profile.parent_span = root_span;
-    Status s = ExecutePlan(cluster_, qp, gxid_, owner_, snapshot_, group_.get(),
-                           mem.get(),
-                           [&](Row&& row) -> Status {
-                             result.rows.push_back(std::move(row));
-                             return Status::OK();
-                           },
-                           trace ? &profile : nullptr);
-    cluster_->net().Deliver(MsgKind::kResult);
-    if (trace) {
-      if (s.ok()) {
-        trace->EndSpan(root_span, static_cast<int64_t>(result.rows.size()));
-      } else {
-        // Aborted queries used to leak open spans (producers bail between
-        // StartSpan and EndSpan); close them all and flag them aborted.
-        trace->CloseOpenSpans(/*mark_aborted=*/true);
-      }
-      if (WaitContext* cur = CurrentWaitContext()) {
-        cur->trace = nullptr;
-        cur->parent_span = 0;
-      }
-      cluster_->RetainTrace(trace);
-    }
-    GPHTAP_RETURN_IF_ERROR(s);
-    result.affected = static_cast<int64_t>(result.rows.size());
-    return result;
-    });
-  });
-}
-
-StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
+PlannerOptions Session::MakePlannerOptions() {
   PlannerOptions popts;
   popts.num_segments = cluster_->num_segments();
   popts.use_orca = cluster_->options().use_orca;
@@ -719,7 +667,116 @@ StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
     if (t == nullptr) return 1000;
     return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
   };
-  GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
+  return popts;
+}
+
+StatusOr<QueryResult> Session::RunPlannedSelect(const CachedPlan& plan) {
+  // Per-query distributed trace: a root "query" span on the coordinator;
+  // ExecutePlan opens one child span per slice (coordinator + segments).
+  std::shared_ptr<Trace> trace;
+  uint64_t root_span = 0;
+  if (trace_enabled_ || cluster_->options().trace_queries) {
+    trace = std::make_shared<Trace>(cluster_->NextTraceId());
+    root_span = trace->StartSpan("query");
+    last_trace_ = trace;
+    // Coordinator-side waits during this query (locks, commit acks) become
+    // wait-interval child spans of the root; ExecutePlan re-parents per
+    // slice for the producer threads.
+    if (WaitContext* cur = CurrentWaitContext()) {
+      cur->trace = trace.get();
+      cur->parent_span = root_span;
+    }
+  }
+
+  for (size_t i = 0; i < plan.gang.size(); ++i) {
+    cluster_->net().Deliver(MsgKind::kDispatch);
+  }
+  auto mem = group_->NewMemoryAccount();
+  QueryResult result;
+  result.columns = plan.columns;
+  QueryPlan qp;
+  qp.root = plan.root;
+  qp.gang = plan.gang;
+  ExecProfile profile;
+  profile.trace = trace.get();
+  profile.parent_span = root_span;
+  Status s = ExecutePlan(cluster_, qp, gxid_, owner_, snapshot_, group_.get(),
+                         mem.get(),
+                         [&](Row&& row) -> Status {
+                           result.rows.push_back(std::move(row));
+                           return Status::OK();
+                         },
+                         trace ? &profile : nullptr);
+  cluster_->net().Deliver(MsgKind::kResult);
+  if (trace) {
+    if (s.ok()) {
+      trace->EndSpan(root_span, static_cast<int64_t>(result.rows.size()));
+    } else {
+      // Aborted queries used to leak open spans (producers bail between
+      // StartSpan and EndSpan); close them all and flag them aborted.
+      trace->CloseOpenSpans(/*mark_aborted=*/true);
+    }
+    if (WaitContext* cur = CurrentWaitContext()) {
+      cur->trace = nullptr;
+      cur->parent_span = 0;
+    }
+    cluster_->RetainTrace(trace);
+  }
+  GPHTAP_RETURN_IF_ERROR(s);
+  result.affected = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query,
+                                             const std::string* cache_sql) {
+  return RunReadOnlyStatement([&] {
+    return RunStatement([&]() -> StatusOr<QueryResult> {
+    // Parse-analyze locks on the coordinator. System views are lock-free
+    // snapshots of live state — observing a stuck cluster must not itself
+    // queue behind anything.
+    for (const TableDef& t : query.tables) {
+      if (t.is_system_view) continue;
+      GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
+    }
+
+    // Stamp the catalog version before planning: a concurrent DDL landing
+    // mid-plan leaves the entry stale-stamped, so later lookups re-plan.
+    const uint64_t catalog_version = cluster_->catalog_version();
+    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned,
+                            PlanSelect(query, MakePlannerOptions()));
+
+    auto cached = std::make_shared<CachedPlan>();
+    cached->root = std::move(planned.root);
+    cached->gang = std::move(planned.gang);
+    cached->columns = std::move(planned.columns);
+    cached->tables = query.tables;
+    cached->catalog_version = catalog_version;
+    if (cache_sql != nullptr) {
+      cluster_->plan_cache().Insert(*cache_sql, cached);
+    }
+    return RunPlannedSelect(*cached);
+    });
+  });
+}
+
+StatusOr<QueryResult> Session::ExecuteCachedPlan(
+    std::shared_ptr<const CachedPlan> plan) {
+  return RunReadOnlyStatement([&] {
+    return RunStatement([&]() -> StatusOr<QueryResult> {
+      // Same parse-analyze locks a fresh plan would take; the plan tree itself
+      // is immutable shared state.
+      for (const TableDef& t : plan->tables) {
+        if (t.is_system_view) continue;
+        GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
+      }
+      return RunPlannedSelect(*plan);
+    });
+  });
+}
+
+StatusOr<QueryResult> Session::ExplainSelect(const SelectQuery& query) {
+  GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned,
+                          PlanSelect(query, MakePlannerOptions()));
 
   QueryResult result;
   result.columns = {"QUERY PLAN"};
@@ -751,25 +808,8 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
       GPHTAP_RETURN_IF_ERROR(LockRelationCoordinator(t, LockMode::kAccessShare));
     }
 
-    PlannerOptions popts;
-    popts.num_segments = cluster_->num_segments();
-    popts.use_orca = cluster_->options().use_orca;
-    popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
-    popts.vectorize = cluster_->options().vectorized_execution_enabled;
-    popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
-    popts.table_dist = [this](TableId id) {
-      Cluster::TableDistInfo d = cluster_->TableDist(id);
-      return std::make_pair(d.dist_segments, d.rebalancing);
-    };
-    popts.row_estimate = [this](TableId id) -> uint64_t {
-      Segment* seg0 = cluster_->segment(0);
-      auto pin = seg0->Pin();
-      if (!pin.ok()) return 1000;
-      Table* t = seg0->GetTable(id);
-      if (t == nullptr) return 1000;
-      return t->StoredVersionCount() * static_cast<uint64_t>(cluster_->num_segments()) + 1;
-    };
-    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned, PlanSelect(query, popts));
+    GPHTAP_ASSIGN_OR_RETURN(PlannedSelect planned,
+                            PlanSelect(query, MakePlannerOptions()));
     AssignPlanNodeIds(planned.root.get());
 
     for (size_t i = 0; i < planned.gang.size(); ++i) {

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -17,6 +18,8 @@
 #include "plan/select_query.h"
 
 namespace gphtap {
+
+struct PreparedStatement;  // sql/prepared_statement.h (opaque to the session)
 
 struct QueryResult {
   std::vector<std::string> columns;
@@ -55,7 +58,14 @@ class Session {
   bool txn_failed() const { return txn_failed_; }
   Gxid current_gxid() const { return gxid_; }
 
-  StatusOr<QueryResult> ExecuteSelect(const SelectQuery& query);
+  /// Plans and executes a bound SELECT. When `cache_sql` is set, the freshly
+  /// planned tree is published to the cluster plan cache under that text.
+  StatusOr<QueryResult> ExecuteSelect(const SelectQuery& query,
+                                      const std::string* cache_sql = nullptr);
+  /// Executes an already-planned SELECT (plan-cache hit or EXECUTE of a
+  /// prepared statement): skips parse/analyze/plan, re-acquires the
+  /// parse-analyze locks, and runs the shared immutable plan tree.
+  StatusOr<QueryResult> ExecuteCachedPlan(std::shared_ptr<const CachedPlan> plan);
   /// Plans the query and returns the plan text (EXPLAIN), without executing.
   StatusOr<QueryResult> ExplainSelect(const SelectQuery& query);
   /// EXPLAIN ANALYZE: executes the query (discarding its rows) and returns the
@@ -106,6 +116,17 @@ class Session {
 
   Cluster* cluster() { return cluster_; }
 
+  // ---- Prepared statements (PREPARE / EXECUTE / DEALLOCATE) ----
+  // Session-local named statements, managed by the SQL driver; the session
+  // only owns the storage so their lifetime matches the connection.
+  std::shared_ptr<PreparedStatement> GetPrepared(const std::string& name) const;
+  void PutPrepared(const std::string& name, std::shared_ptr<PreparedStatement> ps);
+  bool RemovePrepared(const std::string& name);
+  void ClearPrepared();
+  /// Plans a bound SELECT generically (parameters left as placeholders) and
+  /// stores the plan into `ps` for EXECUTE to clone per invocation.
+  Status PlanForPrepare(const SelectQuery& query, PreparedStatement* ps);
+
   // ---- Tracing ----
   /// Traces every subsequent query in this session (also on cluster-wide via
   /// ClusterOptions::trace_queries).
@@ -148,6 +169,14 @@ class Session {
   // writes always surface. Never retries past the statement deadline.
   template <typename Fn>
   StatusOr<QueryResult> RunReadOnlyStatement(Fn&& fn);
+
+  // Planner inputs resolved from live cluster state (shared by ExecuteSelect /
+  // ExplainSelect / ExplainAnalyzeSelect).
+  PlannerOptions MakePlannerOptions();
+
+  // The dispatch/trace/execute tail shared by the fresh-plan and cached-plan
+  // select paths. Runs inside RunStatement.
+  StatusOr<QueryResult> RunPlannedSelect(const CachedPlan& plan);
 
   // Arms/disarms the per-statement absolute deadline + lock timeout on the
   // transaction's LockOwner and publishes it to gp_stat_activity.
@@ -277,6 +306,9 @@ class Session {
 
   bool trace_enabled_ = false;
   std::shared_ptr<Trace> last_trace_;
+
+  mutable std::mutex prepared_mu_;
+  std::unordered_map<std::string, std::shared_ptr<PreparedStatement>> prepared_;
 
   // Published live state (gp_stat_activity) — registered at connect,
   // unregistered at disconnect. Never null after construction.

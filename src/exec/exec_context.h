@@ -44,6 +44,12 @@ struct ExecContext {
   // EXPLAIN ANALYZE per-operator actuals; null = not collecting.
   OperatorStatsCollector* op_stats = nullptr;
 
+  // The slice's root node. ExecuteNode explodes a vectorize-marked subtree's
+  // batches into rows for its caller; when that caller is a row operator
+  // mid-plan the boundary is a genuine engine fallback (vec.fallbacks), but at
+  // the slice root it is just final delivery and not counted.
+  const void* slice_root = nullptr;
+
   /// Builds the visibility context for this node.
   VisibilityContext Vis() const {
     VisibilityContext v;

@@ -427,6 +427,9 @@ Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) 
   // row operator (this call), batches are exploded back into rows at the
   // boundary. ExecuteNodeVec does its own per-operator instrumentation.
   if (node.vectorize && VecEngineSupports(node.kind)) {
+    if (ctx.cluster != nullptr && &node != ctx.slice_root) {
+      ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+    }
     return ExecuteNodeVec(node, ctx, [&](ColumnBatch&& batch) -> Status {
       for (int32_t r : batch.sel) {
         Status s = sink(batch.MaterializeRow(r));
@@ -562,6 +565,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         int64_t rows_out = 0;
         Status s;
         const PlanNode& slice_root = *m->children[0];
+        ctx.slice_root = &slice_root;
         if (slice_root.vectorize && VecEngineSupports(slice_root.kind)) {
           // Vectorized slice: ship whole ColumnBatch chunks instead of rows.
           s = ExecuteNodeVec(slice_root, ctx, [&](ColumnBatch&& batch) -> Status {
@@ -643,6 +647,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   top.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
   top.op_stats = op_stats;
   top.deadline_us = deadline_us;
+  top.slice_root = plan.root.get();
 
   uint64_t top_span = 0;
   int64_t top_rows = 0;

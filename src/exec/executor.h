@@ -29,7 +29,9 @@ Status TableForNode(ExecContext& ctx, TableId id, Table** out);
 Status AcquireScanLock(ExecContext& ctx, TableId table);
 
 struct QueryPlan {
-  PlanPtr root;
+  /// Shared + immutable so a cached plan can be executed by many statements
+  /// (plan cache, prepared statements) without copying the tree.
+  std::shared_ptr<const PlanNode> root;
   /// Segments executing the leaf slices (all segments, or one under direct
   /// dispatch). The top slice always runs on the coordinator.
   std::vector<int> gang;

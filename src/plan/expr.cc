@@ -50,6 +50,13 @@ ExprPtr Expr::Column(int index) {
   return e;
 }
 
+ExprPtr Expr::Param(int index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param = index;
+  return e;
+}
+
 ExprPtr Expr::Binary(BinOp op, ExprPtr l, ExprPtr r) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kBinary;
@@ -85,6 +92,8 @@ std::string Expr::ToString() const {
       return "NOT " + left->ToString();
     case ExprKind::kIsNull:
       return left->ToString() + " IS NULL";
+    case ExprKind::kParam:
+      return "$param" + std::to_string(param + 1);
   }
   return "?";
 }
@@ -222,6 +231,10 @@ StatusOr<Datum> EvalExpr(const Expr& e, const Row& row) {
         return Status::Internal("column index out of range: " + std::to_string(e.column));
       }
       return row[static_cast<size_t>(e.column)];
+    case ExprKind::kParam:
+      // Parameters must be substituted out (ClonePlanWithParams) before a
+      // prepared plan executes; reaching one here is a bind failure.
+      return Status::Internal("unbound parameter $" + std::to_string(e.param + 1));
     case ExprKind::kNot: {
       GPHTAP_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.left, row));
       Tri t = AsTri(v);
@@ -297,6 +310,9 @@ bool ExprReadsColumns(const Expr& e) {
   switch (e.kind) {
     case ExprKind::kConst:
       return false;
+    case ExprKind::kParam:
+      // Not constant-foldable at plan time: the value arrives at EXECUTE.
+      return true;
     case ExprKind::kColumn:
       return true;
     case ExprKind::kNot:

@@ -10,7 +10,7 @@
 
 namespace gphtap {
 
-enum class ExprKind : uint8_t { kConst, kColumn, kBinary, kNot, kIsNull };
+enum class ExprKind : uint8_t { kConst, kColumn, kBinary, kNot, kIsNull, kParam };
 
 enum class BinOp : uint8_t {
   kAdd,
@@ -38,12 +38,14 @@ struct Expr {
   ExprKind kind = ExprKind::kConst;
   Datum value;      // kConst
   int column = -1;  // kColumn: index into the input row
+  int param = -1;   // kParam: 0-based position into the EXECUTE argument list
   BinOp op = BinOp::kAdd;
   ExprPtr left;
   ExprPtr right;  // null for kNot / kIsNull
 
   static ExprPtr Const(Datum d);
   static ExprPtr Column(int index);
+  static ExprPtr Param(int index);
   static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r);
   static ExprPtr Not(ExprPtr e);
   static ExprPtr IsNull(ExprPtr e);

@@ -140,6 +140,93 @@ PlanPtr MakeIndexScan(TableId table, int arity, int col, Datum key, ExprPtr filt
   return p;
 }
 
+namespace {
+// Does any kParam appear in this expression?
+bool ExprHasParams(const Expr& e) {
+  if (e.kind == ExprKind::kParam) return true;
+  if (e.left != nullptr && ExprHasParams(*e.left)) return true;
+  return e.right != nullptr && ExprHasParams(*e.right);
+}
+}  // namespace
+
+StatusOr<ExprPtr> CloneExprWithParams(const ExprPtr& e,
+                                      const std::vector<Datum>& params) {
+  if (e == nullptr) return ExprPtr{};
+  if (!ExprHasParams(*e)) return e;  // immutable: share the subtree
+  switch (e->kind) {
+    case ExprKind::kParam: {
+      if (e->param < 0 || static_cast<size_t>(e->param) >= params.size()) {
+        return Status::InvalidArgument("parameter $" +
+                                       std::to_string(e->param + 1) +
+                                       " has no value");
+      }
+      return Expr::Const(params[static_cast<size_t>(e->param)]);
+    }
+    case ExprKind::kNot: {
+      GPHTAP_ASSIGN_OR_RETURN(ExprPtr l, CloneExprWithParams(e->left, params));
+      return Expr::Not(std::move(l));
+    }
+    case ExprKind::kIsNull: {
+      GPHTAP_ASSIGN_OR_RETURN(ExprPtr l, CloneExprWithParams(e->left, params));
+      return Expr::IsNull(std::move(l));
+    }
+    case ExprKind::kBinary: {
+      GPHTAP_ASSIGN_OR_RETURN(ExprPtr l, CloneExprWithParams(e->left, params));
+      GPHTAP_ASSIGN_OR_RETURN(ExprPtr r, CloneExprWithParams(e->right, params));
+      return Expr::Binary(e->op, std::move(l), std::move(r));
+    }
+    case ExprKind::kConst:
+    case ExprKind::kColumn:
+      return e;  // unreachable given ExprHasParams, kept for completeness
+  }
+  return Status::Internal("bad expr kind");
+}
+
+StatusOr<PlanPtr> ClonePlanWithParams(const PlanNode& node,
+                                      const std::vector<Datum>& params) {
+  auto p = std::make_unique<PlanNode>();
+  p->kind = node.kind;
+  p->table = node.table;
+  p->scan_cols = node.scan_cols;
+  GPHTAP_ASSIGN_OR_RETURN(p->filter, CloneExprWithParams(node.filter, params));
+  p->index_col = node.index_col;
+  p->index_key = node.index_key;
+  p->rows = node.rows;
+  p->series_start = node.series_start;
+  p->series_end = node.series_end;
+  p->exprs.reserve(node.exprs.size());
+  for (const ExprPtr& e : node.exprs) {
+    GPHTAP_ASSIGN_OR_RETURN(ExprPtr c, CloneExprWithParams(e, params));
+    p->exprs.push_back(std::move(c));
+  }
+  p->left_keys = node.left_keys;
+  p->right_keys = node.right_keys;
+  p->prefetch_inner = node.prefetch_inner;
+  p->group_cols = node.group_cols;
+  p->aggs.reserve(node.aggs.size());
+  for (const AggSpec& a : node.aggs) {
+    AggSpec spec;
+    spec.fn = a.fn;
+    GPHTAP_ASSIGN_OR_RETURN(spec.arg, CloneExprWithParams(a.arg, params));
+    p->aggs.push_back(std::move(spec));
+  }
+  p->agg_phase = node.agg_phase;
+  p->sort_keys = node.sort_keys;
+  p->limit = node.limit;
+  p->motion = node.motion;
+  p->hash_cols = node.hash_cols;
+  p->motion_id = node.motion_id;
+  p->output_arity = node.output_arity;
+  p->node_id = node.node_id;
+  p->vectorize = node.vectorize;
+  p->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    GPHTAP_ASSIGN_OR_RETURN(PlanPtr c, ClonePlanWithParams(*child, params));
+    p->children.push_back(std::move(c));
+  }
+  return p;
+}
+
 PlanPtr MakeMotion(MotionKind kind, PlanPtr child, int motion_id,
                    std::vector<int> hash_cols) {
   auto p = std::make_unique<PlanNode>();

@@ -120,6 +120,19 @@ PlanPtr MakeMotion(MotionKind kind, PlanPtr child, int motion_id,
 /// Number of output columns contributed by one aggregate's partial state.
 int AggStateArity(AggFunc fn);
 
+/// Deep-copies `e` with every kParam node replaced by Const(params[param]).
+/// Subtrees without parameters are shared, not copied (Expr is immutable).
+/// Returns an error if a parameter position is outside `params`.
+StatusOr<ExprPtr> CloneExprWithParams(const ExprPtr& e,
+                                      const std::vector<Datum>& params);
+
+/// Deep-copies a (cached/prepared) plan tree, substituting EXECUTE-time
+/// parameter values into every expression. The node copy is required even
+/// when no parameters appear under a node: callers execute the clone while
+/// other sessions may concurrently clone the same cached original.
+StatusOr<PlanPtr> ClonePlanWithParams(const PlanNode& node,
+                                      const std::vector<Datum>& params);
+
 }  // namespace gphtap
 
 #endif  // GPHTAP_PLAN_PLAN_H_

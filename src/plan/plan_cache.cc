@@ -1,0 +1,72 @@
+#include "plan/plan_cache.h"
+
+namespace gphtap {
+
+PlanCache::PlanCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics != nullptr) {
+    m_hits_ = metrics->counter("plan_cache.hits");
+    m_misses_ = metrics->counter("plan_cache.misses");
+    m_invalidations_ = metrics->counter("plan_cache.invalidations");
+    m_evictions_ = metrics->counter("plan_cache.evictions");
+  }
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& sql,
+                                                    uint64_t catalog_version) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = index_.find(sql);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->Add(1);
+    return nullptr;
+  }
+  if (it->second->plan->catalog_version != catalog_version) {
+    // Planned against a catalog that has since changed (DDL, expansion,
+    // rebalance): the plan may reference dropped tables or a stale gang.
+    lru_.erase(it->second);
+    index_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (m_invalidations_ != nullptr) m_invalidations_->Add(1);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (m_hits_ != nullptr) m_hits_->Add(1);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& sql,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = index_.find(sql);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{sql, std::move(plan)});
+  index_[sql] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().sql);
+    lru_.pop_back();
+    if (m_evictions_ != nullptr) m_evictions_->Add(1);
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return lru_.size();
+}
+
+}  // namespace gphtap

@@ -14,6 +14,7 @@ ExprPtr RemapExpr(const ExprPtr& e, const std::vector<int>& remap) {
   if (!e) return nullptr;
   switch (e->kind) {
     case ExprKind::kConst:
+    case ExprKind::kParam:  // no column references; survives remapping as-is
       return e;
     case ExprKind::kColumn: {
       if (e->column < 0 || static_cast<size_t>(e->column) >= remap.size() ||
@@ -101,10 +102,10 @@ struct RelState {
 
 // Bottom-up vectorizability marking. A node is marked when the batch engine
 // can run its whole input side: SeqScans over AO-column tables, and
-// Filter/Project/Motion/partial-HashAgg chains above them. Final-phase aggs
-// stay on the row engine (they merge partial state, a per-group row walk).
-// Unmarked parents over marked children are fine — the executor bridges the
-// boundary by materializing rows out of batches.
+// Filter/Project/Motion/HashAgg/HashJoin chains above them (all agg phases —
+// the batch engine merges partial state itself). Unmarked parents over marked
+// children are fine — the executor bridges the boundary by materializing rows
+// out of batches.
 bool MarkVectorizable(PlanNode* n, const std::set<TableId>& vec_tables) {
   bool children_marked = !n->children.empty();
   for (auto& c : n->children) {
@@ -117,10 +118,9 @@ bool MarkVectorizable(PlanNode* n, const std::set<TableId>& vec_tables) {
     case PlanKind::kFilter:
     case PlanKind::kProject:
     case PlanKind::kMotion:
-      n->vectorize = children_marked;
-      break;
     case PlanKind::kHashAgg:
-      n->vectorize = children_marked && n->agg_phase != AggPhase::kFinal;
+    case PlanKind::kHashJoin:
+      n->vectorize = children_marked;
       break;
     default:
       n->vectorize = false;

@@ -114,6 +114,8 @@ StatusOr<ExprPtr> Analyzer::BindExpr(const ExprNode& e, const Scope& scope) {
       return Status::NotSupported("function " + e.func);
     case ExprNodeKind::kStar:
       return Status::InvalidArgument("'*' not allowed in this context");
+    case ExprNodeKind::kParam:
+      return Expr::Param(e.param - 1);  // SQL positions are 1-based
   }
   return Status::Internal("bad expr node");
 }
@@ -201,6 +203,8 @@ StatusOr<ExprPtr> Analyzer::BindHavingExpr(const ExprNode& e, const Scope& scope
     }
     case ExprNodeKind::kStar:
       return Status::InvalidArgument("'*' not allowed in HAVING");
+    case ExprNodeKind::kParam:
+      return Expr::Param(e.param - 1);
   }
   return Status::Internal("bad having expr");
 }

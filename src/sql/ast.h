@@ -25,6 +25,7 @@ enum class ExprNodeKind : uint8_t {
   kIsNotNull,
   kFuncCall,   // aggregates and generate_series
   kStar,       // inside COUNT(*)
+  kParam,      // $N positional parameter (PREPARE/EXECUTE)
 };
 
 struct ExprNode;
@@ -38,6 +39,7 @@ struct ExprNode {
   std::string op;      // kBinary: "+", "=", "and", ...
   std::string func;    // kFuncCall name (lowercased)
   std::vector<ExprNodePtr> args;  // binary: [l, r]; not/isnull: [x]; func: args
+  int param = 0;       // kParam: 1-based position ($1, $2, ...)
 };
 
 // ---------- SELECT ----------
@@ -173,6 +175,24 @@ struct SetNode {
   std::string value;
 };
 
+// ---------- prepared statements ----------
+
+struct Statement;
+
+struct PrepareNode {  // PREPARE name AS <statement>
+  std::string name;
+  std::shared_ptr<Statement> stmt;  // the parameterized inner statement
+};
+
+struct ExecuteStmtNode {  // EXECUTE name [( arg, ... )]
+  std::string name;
+  std::vector<ExprNodePtr> args;  // constant expressions
+};
+
+struct DeallocateNode {  // DEALLOCATE name
+  std::string name;
+};
+
 // ---------- statement ----------
 
 enum class StatementKind : uint8_t {
@@ -198,6 +218,9 @@ enum class StatementKind : uint8_t {
   kShowTables,
   kExplain,  // EXPLAIN SELECT ...
   kTruncate,
+  kPrepare,          // PREPARE name AS <stmt>
+  kExecutePrepared,  // EXECUTE name(args)
+  kDeallocate,       // DEALLOCATE name
 };
 
 struct Statement {
@@ -219,6 +242,9 @@ struct Statement {
   std::shared_ptr<DropResourceGroupNode> drop_resource_group;
   std::shared_ptr<RoleResourceGroupNode> role_resource_group;
   std::shared_ptr<SetNode> set;
+  std::shared_ptr<PrepareNode> prepare;
+  std::shared_ptr<ExecuteStmtNode> execute;
+  std::shared_ptr<DeallocateNode> deallocate;
 };
 
 }  // namespace sql_ast

@@ -1,10 +1,12 @@
 #include "sql/driver.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "cluster/session.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
+#include "sql/prepared_statement.h"
 
 namespace gphtap {
 namespace sql_driver {
@@ -256,13 +258,21 @@ StatusOr<QueryResult> LocalSelect(const sql_ast::SelectNode& node) {
   return result;
 }
 
-StatusOr<QueryResult> RunSelect(Session* session, const sql_ast::SelectNode& node) {
+// `sql`: the statement text, used as the plan-cache key for top-level SELECTs;
+// null for embedded selects (INSERT ... SELECT) which skip the cache.
+StatusOr<QueryResult> RunSelect(Session* session, const sql_ast::SelectNode& node,
+                                const std::string* sql = nullptr) {
   if (node.from.empty() || Analyzer::IsPureFunctionScan(node)) {
     return LocalSelect(node);
   }
-  Analyzer analyzer(session->cluster());
+  Cluster* cluster = session->cluster();
+  if (sql != nullptr) {
+    auto hit = cluster->plan_cache().Lookup(*sql, cluster->catalog_version());
+    if (hit != nullptr) return session->ExecuteCachedPlan(std::move(hit));
+  }
+  Analyzer analyzer(cluster);
   GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(node));
-  return session->ExecuteSelect(q);
+  return session->ExecuteSelect(q, sql);
 }
 
 StatusOr<QueryResult> RunCreateTable(Session* session,
@@ -350,15 +360,152 @@ StatusOr<QueryResult> RunResourceGroup(Session* session,
   return QueryResult{};
 }
 
-}  // namespace
+// ---------- PREPARE / EXECUTE parameter machinery ----------
 
-StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
-  GPHTAP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+// Highest $N appearing in an (unbound) expression tree.
+int MaxParam(const sql_ast::ExprNodePtr& e) {
+  if (e == nullptr) return 0;
+  int m = e->kind == ExprNodeKind::kParam ? e->param : 0;
+  for (const auto& a : e->args) m = std::max(m, MaxParam(a));
+  return m;
+}
+
+int MaxParamInSelect(const sql_ast::SelectNode& s) {
+  int m = 0;
+  for (const auto& item : s.items) m = std::max(m, MaxParam(item.expr));
+  for (const auto& t : s.from) {
+    for (const auto& a : t.func_args) m = std::max(m, MaxParam(a));
+  }
+  for (const auto& q : s.join_quals) m = std::max(m, MaxParam(q));
+  m = std::max(m, MaxParam(s.where));
+  for (const auto& g : s.group_by) m = std::max(m, MaxParam(g));
+  m = std::max(m, MaxParam(s.having));
+  for (const auto& o : s.order_by) m = std::max(m, MaxParam(o.expr));
+  return m;
+}
+
+int MaxParamInStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return MaxParamInSelect(*stmt.select);
+    case StatementKind::kInsert: {
+      int m = 0;
+      for (const auto& row : stmt.insert->rows) {
+        for (const auto& e : row) m = std::max(m, MaxParam(e));
+      }
+      if (stmt.insert->select != nullptr) {
+        m = std::max(m, MaxParamInSelect(*stmt.insert->select));
+      }
+      return m;
+    }
+    case StatementKind::kUpdate: {
+      int m = MaxParam(stmt.update->where);
+      for (const auto& [col, e] : stmt.update->sets) m = std::max(m, MaxParam(e));
+      return m;
+    }
+    case StatementKind::kDelete:
+      return MaxParam(stmt.del->where);
+    default:
+      return 0;
+  }
+}
+
+// Clones an unbound expression with every $N replaced by its literal value.
+// Param-free subtrees are shared (the analyzer never mutates parse nodes).
+sql_ast::ExprNodePtr SubstParams(const sql_ast::ExprNodePtr& e,
+                                 const std::vector<Datum>& params) {
+  if (e == nullptr) return nullptr;
+  if (MaxParam(e) == 0) return e;
+  auto c = std::make_shared<ExprNode>(*e);
+  if (e->kind == ExprNodeKind::kParam) {
+    c->kind = ExprNodeKind::kLiteral;
+    c->literal = params[static_cast<size_t>(e->param - 1)];
+    c->param = 0;
+    return c;
+  }
+  for (auto& a : c->args) a = SubstParams(a, params);
+  return c;
+}
+
+std::shared_ptr<sql_ast::SelectNode> SubstParamsInSelect(
+    const sql_ast::SelectNode& s, const std::vector<Datum>& params) {
+  auto c = std::make_shared<sql_ast::SelectNode>(s);
+  for (auto& item : c->items) item.expr = SubstParams(item.expr, params);
+  for (auto& t : c->from) {
+    for (auto& a : t.func_args) a = SubstParams(a, params);
+  }
+  for (auto& q : c->join_quals) q = SubstParams(q, params);
+  c->where = SubstParams(c->where, params);
+  for (auto& g : c->group_by) g = SubstParams(g, params);
+  c->having = SubstParams(c->having, params);
+  for (auto& o : c->order_by) o.expr = SubstParams(o.expr, params);
+  return c;
+}
+
+// Clones the prepared statement with EXECUTE's argument values substituted.
+Statement SubstParamsInStatement(const Statement& stmt,
+                                 const std::vector<Datum>& params) {
+  Statement out = stmt;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      out.select = SubstParamsInSelect(*stmt.select, params);
+      break;
+    case StatementKind::kInsert: {
+      out.insert = std::make_shared<sql_ast::InsertNode>(*stmt.insert);
+      for (auto& row : out.insert->rows) {
+        for (auto& e : row) e = SubstParams(e, params);
+      }
+      if (out.insert->select != nullptr) {
+        out.insert->select = SubstParamsInSelect(*out.insert->select, params);
+      }
+      break;
+    }
+    case StatementKind::kUpdate: {
+      out.update = std::make_shared<sql_ast::UpdateNode>(*stmt.update);
+      for (auto& [col, e] : out.update->sets) e = SubstParams(e, params);
+      out.update->where = SubstParams(out.update->where, params);
+      break;
+    }
+    case StatementKind::kDelete: {
+      out.del = std::make_shared<sql_ast::DeleteNode>(*stmt.del);
+      out.del->where = SubstParams(out.del->where, params);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node);
+StatusOr<QueryResult> RunExecutePrepared(Session* session,
+                                         const sql_ast::ExecuteStmtNode& node);
+
+StatusOr<QueryResult> DispatchStatement(Session* session, const Statement& stmt,
+                                        const std::string* sql) {
   Analyzer analyzer(session->cluster());
 
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return RunSelect(session, *stmt.select);
+      return RunSelect(session, *stmt.select, sql);
+
+    case StatementKind::kPrepare:
+      return RunPrepare(session, *stmt.prepare);
+
+    case StatementKind::kExecutePrepared:
+      return RunExecutePrepared(session, *stmt.execute);
+
+    case StatementKind::kDeallocate: {
+      if (stmt.deallocate->name == "*") {
+        session->ClearPrepared();
+        return QueryResult{};
+      }
+      if (!session->RemovePrepared(stmt.deallocate->name)) {
+        return Status::NotFound("prepared statement " + stmt.deallocate->name +
+                                " does not exist");
+      }
+      return QueryResult{};
+    }
 
     case StatementKind::kExplain: {
       GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(*stmt.select));
@@ -536,6 +683,146 @@ StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
     }
   }
   return Status::Internal("unhandled statement kind");
+}
+
+// Does any conjunct pin a combined-layout column to a parameter? Collects the
+// pinned columns (the same shape ExtractEqualityConst matches for constants).
+void CollectParamEqCols(const Expr& e, std::vector<int>* cols) {
+  if (e.kind == ExprKind::kBinary && e.op == BinOp::kAnd) {
+    CollectParamEqCols(*e.left, cols);
+    CollectParamEqCols(*e.right, cols);
+    return;
+  }
+  if (e.kind != ExprKind::kBinary || e.op != BinOp::kEq) return;
+  const Expr& l = *e.left;
+  const Expr& r = *e.right;
+  if (l.kind == ExprKind::kColumn && r.kind == ExprKind::kParam) {
+    cols->push_back(l.column);
+  } else if (r.kind == ExprKind::kColumn && l.kind == ExprKind::kParam) {
+    cols->push_back(r.column);
+  }
+}
+
+// Postgres keeps re-planning per EXECUTE ("custom plans") when the generic
+// plan is structurally worse. Here that is exactly when a parameter pins an
+// indexed column or a hash-distribution key: planned as an opaque parameter
+// the scan forfeits the index lookup and direct dispatch a constant would
+// get, turning a one-segment point read into a full-cluster seq scan.
+bool GenericPlanForfeitsKeyLookup(const SelectQuery& q) {
+  std::vector<int> cols;
+  for (const ExprPtr& qual : q.quals) {
+    if (qual != nullptr) CollectParamEqCols(*qual, &cols);
+  }
+  if (cols.empty()) return false;
+  for (int col : cols) {
+    int offset = 0;
+    for (const TableDef& t : q.tables) {
+      int n = static_cast<int>(t.schema.num_columns());
+      if (col < offset + n) {
+        int local = col - offset;
+        for (int ic : t.indexed_cols) {
+          if (ic == local) return true;
+        }
+        if (t.distribution.kind == DistributionKind::kHash) {
+          for (int kc : t.distribution.key_cols) {
+            if (kc == local) return true;
+          }
+        }
+        break;
+      }
+      offset += n;
+    }
+  }
+  return false;
+}
+
+StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node) {
+  const Statement& inner = *node.stmt;
+  switch (inner.kind) {
+    case StatementKind::kSelect:
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+    case StatementKind::kDelete:
+      break;
+    default:
+      return Status::NotSupported("PREPARE supports SELECT/INSERT/UPDATE/DELETE");
+  }
+  auto ps = std::make_shared<PreparedStatement>();
+  ps->name = node.name;
+  ps->stmt = node.stmt;
+  ps->num_params = MaxParamInStatement(inner);
+  // SELECTs over tables get their generic plan now; EXECUTE only substitutes
+  // values into a clone. FROM-less / function-scan selects and DML re-bind
+  // per EXECUTE (still skipping the parse).
+  if (inner.kind == StatementKind::kSelect && !inner.select->from.empty() &&
+      !Analyzer::IsPureFunctionScan(*inner.select)) {
+    Analyzer analyzer(session->cluster());
+    GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(*inner.select));
+    if (!GenericPlanForfeitsKeyLookup(q)) {
+      GPHTAP_RETURN_IF_ERROR(session->PlanForPrepare(q, ps.get()));
+    }
+    // else: custom-plan mode — EXECUTE substitutes values into the parse
+    // tree and plans fresh, keeping index scans / direct dispatch.
+  }
+  session->PutPrepared(node.name, std::move(ps));
+  return QueryResult{};
+}
+
+StatusOr<QueryResult> RunExecutePrepared(Session* session,
+                                         const sql_ast::ExecuteStmtNode& node) {
+  std::shared_ptr<PreparedStatement> ps = session->GetPrepared(node.name);
+  if (ps == nullptr) {
+    return Status::NotFound("prepared statement " + node.name + " does not exist");
+  }
+  if (static_cast<int>(node.args.size()) != ps->num_params) {
+    return Status::InvalidArgument(
+        "wrong number of parameters for " + node.name + ": expected " +
+        std::to_string(ps->num_params) + ", got " +
+        std::to_string(node.args.size()));
+  }
+  std::vector<Datum> params;
+  params.reserve(node.args.size());
+  for (const auto& arg : node.args) {
+    GPHTAP_ASSIGN_OR_RETURN(Datum d, Analyzer::EvalConst(*arg));
+    params.push_back(std::move(d));
+  }
+
+  if (ps->has_plan) {
+    // Generic-plan fast path: no parse, no analyze, no planning. Replan only
+    // when DDL/expansion/rebalance moved the catalog version.
+    Cluster* cluster = session->cluster();
+    if (ps->catalog_version != cluster->catalog_version()) {
+      Analyzer analyzer(cluster);
+      GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(*ps->stmt->select));
+      GPHTAP_RETURN_IF_ERROR(session->PlanForPrepare(q, ps.get()));
+    }
+    auto plan = std::make_shared<CachedPlan>();
+    if (params.empty()) {
+      plan->root = ps->plan_root;  // no substitution needed: share the tree
+    } else {
+      GPHTAP_ASSIGN_OR_RETURN(PlanPtr root,
+                              ClonePlanWithParams(*ps->plan_root, params));
+      plan->root = std::move(root);
+    }
+    plan->gang = ps->gang;
+    plan->columns = ps->columns;
+    plan->tables = ps->tables;
+    plan->catalog_version = ps->catalog_version;
+    return session->ExecuteCachedPlan(std::move(plan));
+  }
+
+  // DML / local selects: substitute values into the parse tree and dispatch,
+  // skipping only the parse. (Row-DML binding is cheap; the win is the
+  // SELECT path above.)
+  Statement substituted = SubstParamsInStatement(*ps->stmt, params);
+  return DispatchStatement(session, substituted, nullptr);
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ExecuteSql(Session* session, const std::string& sql) {
+  GPHTAP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return DispatchStatement(session, stmt, &sql);
 }
 
 }  // namespace sql_driver

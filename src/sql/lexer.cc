@@ -102,6 +102,15 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
       tokens.push_back(std::move(tok));
       continue;
     }
+    // $N positional parameters (PREPARE/EXECUTE).
+    if (c == '$' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      size_t start = ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      tok.type = TokenType::kParam;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
     // Two-char symbols.
     if ((c == '<' && (peek(1) == '=' || peek(1) == '>')) ||
         (c == '>' && peek(1) == '=') || (c == '!' && peek(1) == '=')) {

@@ -15,6 +15,7 @@ enum class TokenType : uint8_t {
   kFloat,
   kString,    // 'quoted'
   kSymbol,    // ( ) , ; * = < > <= >= <> != + - / % .
+  kParam,     // $N positional parameter (text holds N)
   kEnd,
 };
 

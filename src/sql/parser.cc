@@ -198,6 +198,14 @@ class Parser {
       e->kind = ExprNodeKind::kStar;
       return StatusOr<ExprNodePtr>(std::move(e));
     }
+    if (t.Is(TokenType::kParam)) {
+      Advance();
+      int pos = std::atoi(t.text.c_str());
+      if (pos < 1) return Err("parameter positions start at $1");
+      e->kind = ExprNodeKind::kParam;
+      e->param = pos;
+      return StatusOr<ExprNodePtr>(std::move(e));
+    }
     if (t.Is(TokenType::kIdent)) {
       std::string first = Advance().text;
       // Function call?
@@ -284,6 +292,45 @@ class Parser {
       AcceptWord("transaction");
       Statement s;
       s.kind = StatementKind::kRollback;
+      return s;
+    }
+    if (AcceptWord("prepare")) {
+      Statement s;
+      s.kind = StatementKind::kPrepare;
+      s.prepare = std::make_shared<PrepareNode>();
+      GPHTAP_ASSIGN_OR_RETURN(s.prepare->name, ExpectIdent());
+      GPHTAP_RETURN_IF_ERROR(ExpectWord("as"));
+      GPHTAP_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+      s.prepare->stmt = std::make_shared<Statement>(std::move(inner));
+      return s;
+    }
+    if (AcceptWord("execute")) {
+      Statement s;
+      s.kind = StatementKind::kExecutePrepared;
+      s.execute = std::make_shared<ExecuteStmtNode>();
+      GPHTAP_ASSIGN_OR_RETURN(s.execute->name, ExpectIdent());
+      if (AcceptSymbol("(")) {
+        if (!Peek().IsSymbol(")")) {
+          while (true) {
+            GPHTAP_ASSIGN_OR_RETURN(ExprNodePtr arg, ParseExpr());
+            s.execute->args.push_back(std::move(arg));
+            if (!AcceptSymbol(",")) break;
+          }
+        }
+        GPHTAP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return s;
+    }
+    if (AcceptWord("deallocate")) {
+      AcceptWord("prepare");
+      Statement s;
+      s.kind = StatementKind::kDeallocate;
+      s.deallocate = std::make_shared<DeallocateNode>();
+      if (AcceptWord("all")) {
+        s.deallocate->name = "*";
+      } else {
+        GPHTAP_ASSIGN_OR_RETURN(s.deallocate->name, ExpectIdent());
+      }
       return s;
     }
     if (AcceptWord("lock")) return ParseLock();

@@ -1,0 +1,40 @@
+// Session-scoped prepared statements (PREPARE / EXECUTE / DEALLOCATE).
+//
+// PREPARE parses and (for SELECTs) binds + plans once, keeping the generic
+// plan with kParam placeholders in its expressions. EXECUTE substitutes the
+// argument values into a cloned plan tree and runs it, skipping the
+// parse/analyze/plan pipeline — the per-statement overhead the Greenplum
+// paper's OLTP path (Section 6) pays only once per connection.
+#ifndef GPHTAP_SQL_PREPARED_STATEMENT_H_
+#define GPHTAP_SQL_PREPARED_STATEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "plan/plan.h"
+#include "sql/ast.h"
+
+namespace gphtap {
+
+struct PreparedStatement {
+  std::string name;
+  // The parsed parameterized statement. DML executes by substituting the
+  // argument values into a clone of this AST and rebinding.
+  std::shared_ptr<const sql_ast::Statement> stmt;
+  int num_params = 0;  // highest $N seen across the statement
+
+  // SELECT fast path: the generic plan built at PREPARE time. Invalidated
+  // (replanned) when the catalog version moves, like plan-cache entries.
+  bool has_plan = false;
+  std::shared_ptr<const PlanNode> plan_root;
+  std::vector<int> gang;
+  std::vector<std::string> columns;
+  std::vector<TableDef> tables;
+  uint64_t catalog_version = 0;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_SQL_PREPARED_STATEMENT_H_

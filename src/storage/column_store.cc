@@ -122,48 +122,52 @@ Status AoColumnTable::ScanImpl(const VisibilityContext& ctx, const std::vector<i
   return Status::OK();
 }
 
-Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
-                                  const std::vector<int>& cols,
-                                  const BatchScanCallback& fn) {
-  size_t num_sealed;
+size_t AoColumnTable::NumSealedGroups() const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  return sealed_.size();
+}
+
+StatusOr<bool> AoColumnTable::DecodeGroupBatch(size_t gi, const VisibilityContext& ctx,
+                                               const std::vector<int>& cols,
+                                               ColumnBatch* batch) {
+  ColumnBatch out;
+  std::vector<LocalXid> xmins;
   {
     std::shared_lock<std::shared_mutex> g(latch_);
-    num_sealed = sealed_.size();
+    if (gi >= sealed_.size()) return false;
+    const RowGroup& group = sealed_[gi];
+    // Reclaimed groups held only rows dead to every snapshot (ours too).
+    if (group.reclaimed) return false;
+    xmins = group.xmins;
+    out.columns.resize(cols.size());
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
+      bytes_scanned_.fetch_add(block.bytes.size(), std::memory_order_relaxed);
+      auto vals = DecompressColumn(block);
+      if (!vals.ok()) return vals.status();
+      // Decompressed column values adopt the unboxed typed layout: zero
+      // per-tuple materialization on the scan path.
+      out.columns[k].AdoptDatums(std::move(*vals), block.type);
+    }
   }
-
+  out.rows = xmins.size();
   std::vector<uint8_t> visible;
-  for (size_t gi = 0; gi < num_sealed; ++gi) {
-    ColumnBatch batch;
-    std::vector<LocalXid> xmins;
-    {
-      std::shared_lock<std::shared_mutex> g(latch_);
-      const RowGroup& group = sealed_[gi];
-      if (group.reclaimed) continue;
-      xmins = group.xmins;
-      batch.columns.resize(cols.size());
-      for (size_t k = 0; k < cols.size(); ++k) {
-        const CompressedBlock& block = group.columns[static_cast<size_t>(cols[k])];
-        bytes_scanned_.fetch_add(block.bytes.size(), std::memory_order_relaxed);
-        auto vals = DecompressColumn(block);
-        if (!vals.ok()) return vals.status();
-        // Decompressed column vectors move straight into the batch: zero
-        // per-tuple materialization on the scan path.
-        batch.columns[k] = std::move(*vals);
-      }
-    }
-    batch.rows = xmins.size();
-    GroupVisibility(gi * kRowGroupSize, xmins, ctx, &visible);
-    batch.sel.reserve(batch.rows);
-    for (size_t r = 0; r < xmins.size(); ++r) {
-      if (visible[r]) batch.sel.push_back(static_cast<int32_t>(r));
-    }
-    // Fully-deleted (or fully-invisible) groups never leave the scan.
-    if (batch.sel.empty()) continue;
-    if (!fn(std::move(batch))) return Status::OK();
+  GroupVisibility(gi * kRowGroupSize, xmins, ctx, &visible);
+  out.sel.reserve(out.rows);
+  for (size_t r = 0; r < xmins.size(); ++r) {
+    if (visible[r]) out.sel.push_back(static_cast<int32_t>(r));
   }
+  // Fully-deleted (or fully-invisible) groups never leave the scan.
+  if (out.sel.empty()) return false;
+  *batch = std::move(out);
+  return true;
+}
 
-  // Open tail: one dense batch of the visible unsealed rows. Same fresh-base
-  // rule as ScanImpl.
+StatusOr<bool> AoColumnTable::DecodeOpenTail(const VisibilityContext& ctx,
+                                             const std::vector<int>& cols,
+                                             ColumnBatch* batch) {
+  // One dense batch of the visible unsealed rows. Same fresh-base rule as
+  // ScanImpl.
   ColumnBatch tail;
   tail.columns.resize(cols.size());
   {
@@ -174,16 +178,33 @@ Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
       LocalXid xmax = del == visimap_.end() ? kInvalidLocalXid : del->second;
       if (!TupleVisible(open_xmins_[r], xmax, ctx)) continue;
       for (size_t k = 0; k < cols.size(); ++k) {
-        tail.columns[k].push_back(open_rows_[r][static_cast<size_t>(cols[k])]);
+        tail.columns[k].Append(open_rows_[r][static_cast<size_t>(cols[k])]);
       }
       bytes_scanned_.fetch_add(16 * cols.size(), std::memory_order_relaxed);
       ++tail.rows;
     }
   }
-  if (tail.rows > 0) {
-    tail.SelectAll();
-    if (!fn(std::move(tail))) return Status::OK();
+  if (tail.rows == 0) return false;
+  tail.SelectAll();
+  *batch = std::move(tail);
+  return true;
+}
+
+Status AoColumnTable::ScanBatches(const VisibilityContext& ctx,
+                                  const std::vector<int>& cols,
+                                  const BatchScanCallback& fn) {
+  size_t num_sealed = NumSealedGroups();
+  for (size_t gi = 0; gi < num_sealed; ++gi) {
+    ColumnBatch batch;
+    auto decoded = DecodeGroupBatch(gi, ctx, cols, &batch);
+    if (!decoded.ok()) return decoded.status();
+    if (!*decoded) continue;
+    if (!fn(std::move(batch))) return Status::OK();
   }
+  ColumnBatch tail;
+  auto decoded = DecodeOpenTail(ctx, cols, &tail);
+  if (!decoded.ok()) return decoded.status();
+  if (*decoded && !fn(std::move(tail))) return Status::OK();
   return Status::OK();
 }
 

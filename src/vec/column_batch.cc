@@ -2,10 +2,162 @@
 
 namespace gphtap {
 
+void ColumnVector::ResetTyped(Tag t, size_t n) {
+  Clear();
+  tag = t;
+  switch (tag) {
+    case Tag::kInt64:
+      ints.assign(n, 0);
+      break;
+    case Tag::kDouble:
+      dbls.assign(n, 0.0);
+      break;
+    case Tag::kDatum:
+      datums.assign(n, Datum());
+      break;
+  }
+}
+
+void ColumnVector::AdoptDatums(std::vector<Datum>&& vals, TypeId type) {
+  Clear();
+  if (type == TypeId::kInt64 || type == TypeId::kDouble) {
+    const bool want_int = type == TypeId::kInt64;
+    bool typed_ok = true;
+    for (const Datum& d : vals) {
+      if (!d.is_null() && (want_int ? !d.is_int() : !d.is_double())) {
+        typed_ok = false;
+        break;
+      }
+    }
+    if (typed_ok) {
+      tag = want_int ? Tag::kInt64 : Tag::kDouble;
+      bool any_null = false;
+      if (want_int) {
+        ints.reserve(vals.size());
+        for (const Datum& d : vals) {
+          ints.push_back(d.is_null() ? 0 : d.int_val());
+          any_null |= d.is_null();
+        }
+      } else {
+        dbls.reserve(vals.size());
+        for (const Datum& d : vals) {
+          dbls.push_back(d.is_null() ? 0.0 : d.double_val());
+          any_null |= d.is_null();
+        }
+      }
+      if (any_null) {
+        nulls.resize(vals.size());
+        for (size_t i = 0; i < vals.size(); ++i) nulls[i] = vals[i].is_null();
+      }
+      return;
+    }
+  }
+  tag = Tag::kDatum;
+  datums = std::move(vals);
+}
+
+void ColumnVector::Demote() {
+  if (tag == Tag::kDatum) return;
+  const size_t n = size();
+  std::vector<Datum> boxed;
+  boxed.reserve(n);
+  for (size_t r = 0; r < n; ++r) boxed.push_back(GetDatum(r));
+  Clear();
+  tag = Tag::kDatum;
+  datums = std::move(boxed);
+}
+
+void ColumnVector::Append(const Datum& d) {
+  if (size() == 0 && nulls.empty()) {
+    // Empty column: adopt the datum's type (NULL defaults to the int layout —
+    // the mask keeps it exact whatever arrives later).
+    if (d.is_double()) {
+      tag = Tag::kDouble;
+    } else if (d.is_string()) {
+      tag = Tag::kDatum;
+    } else {
+      tag = Tag::kInt64;
+    }
+  }
+  switch (tag) {
+    case Tag::kInt64:
+      if (d.is_null()) {
+        EnsureNulls();
+        ints.push_back(0);
+        nulls.push_back(1);
+        return;
+      }
+      if (d.is_int()) {
+        ints.push_back(d.int_val());
+        if (!nulls.empty()) nulls.push_back(0);
+        return;
+      }
+      break;
+    case Tag::kDouble:
+      if (d.is_null()) {
+        EnsureNulls();
+        dbls.push_back(0.0);
+        nulls.push_back(1);
+        return;
+      }
+      if (d.is_double()) {
+        dbls.push_back(d.double_val());
+        if (!nulls.empty()) nulls.push_back(0);
+        return;
+      }
+      break;
+    case Tag::kDatum:
+      datums.push_back(d);
+      return;
+  }
+  Demote();
+  datums.push_back(d);
+}
+
+void ColumnVector::Append(Datum&& d) {
+  if (tag == Tag::kDatum && size() > 0) {
+    datums.push_back(std::move(d));
+    return;
+  }
+  Append(static_cast<const Datum&>(d));
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t r) {
+  if (size() == 0 && nulls.empty()) tag = src.tag;
+  if (tag == src.tag) {
+    switch (tag) {
+      case Tag::kInt64:
+        if (src.IsNull(r)) {
+          EnsureNulls();
+          ints.push_back(0);
+          nulls.push_back(1);
+        } else {
+          ints.push_back(src.ints[r]);
+          if (!nulls.empty()) nulls.push_back(0);
+        }
+        return;
+      case Tag::kDouble:
+        if (src.IsNull(r)) {
+          EnsureNulls();
+          dbls.push_back(0.0);
+          nulls.push_back(1);
+        } else {
+          dbls.push_back(src.dbls[r]);
+          if (!nulls.empty()) nulls.push_back(0);
+        }
+        return;
+      case Tag::kDatum:
+        datums.push_back(src.datums[r]);
+        return;
+    }
+  }
+  Append(src.GetDatum(r));
+}
+
 void ColumnBatch::Reset(size_t ncols, size_t capacity) {
   Clear();
   columns.resize(ncols);
-  for (auto& col : columns) col.reserve(capacity);
+  for (auto& col : columns) col.Reserve(capacity);
   sel.reserve(capacity);
 }
 
@@ -15,13 +167,21 @@ void ColumnBatch::SelectAll() {
 }
 
 void ColumnBatch::AppendRow(const Row& row) {
-  for (size_t c = 0; c < columns.size(); ++c) columns[c].push_back(row[c]);
+  for (size_t c = 0; c < columns.size(); ++c) columns[c].Append(row[c]);
   sel.push_back(static_cast<int32_t>(rows));
   ++rows;
 }
 
 void ColumnBatch::AppendRow(Row&& row) {
-  for (size_t c = 0; c < columns.size(); ++c) columns[c].push_back(std::move(row[c]));
+  for (size_t c = 0; c < columns.size(); ++c) columns[c].Append(std::move(row[c]));
+  sel.push_back(static_cast<int32_t>(rows));
+  ++rows;
+}
+
+void ColumnBatch::AppendSelectedFrom(const ColumnBatch& src, int32_t r) {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].AppendFrom(src.columns[c], static_cast<size_t>(r));
+  }
   sel.push_back(static_cast<int32_t>(rows));
   ++rows;
 }
@@ -29,7 +189,7 @@ void ColumnBatch::AppendRow(Row&& row) {
 Row ColumnBatch::MaterializeRow(int32_t r) const {
   Row out;
   out.reserve(columns.size());
-  for (const auto& col : columns) out.push_back(col[static_cast<size_t>(r)]);
+  for (const auto& col : columns) out.push_back(col.GetDatum(static_cast<size_t>(r)));
   return out;
 }
 
@@ -48,9 +208,10 @@ ColumnBatch ColumnBatch::FromRows(const std::vector<Row>& rows) {
 void ColumnBatch::Compact() {
   if (sel.size() == rows) return;  // already dense
   for (auto& col : columns) {
-    std::vector<Datum> dense;
-    dense.reserve(sel.size());
-    for (int32_t r : sel) dense.push_back(std::move(col[static_cast<size_t>(r)]));
+    ColumnVector dense;
+    dense.tag = col.tag;
+    dense.Reserve(sel.size());
+    for (int32_t r : sel) dense.AppendFrom(col, static_cast<size_t>(r));
     col = std::move(dense);
   }
   rows = sel.size();
@@ -62,7 +223,7 @@ int64_t ColumnBatch::FootprintBytes() const {
   for (int32_t r : sel) {
     bytes += static_cast<int64_t>(sizeof(Row));
     for (const auto& col : columns) {
-      bytes += static_cast<int64_t>(col[static_cast<size_t>(r)].FootprintBytes());
+      bytes += static_cast<int64_t>(col.FootprintAt(static_cast<size_t>(r)));
     }
   }
   return bytes;

@@ -1,7 +1,13 @@
 #include "vec/vec_executor.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -18,6 +24,7 @@ bool VecEngineSupports(PlanKind kind) {
     case PlanKind::kFilter:
     case PlanKind::kProject:
     case PlanKind::kHashAgg:
+    case PlanKind::kHashJoin:
     case PlanKind::kMotion:
       return true;
     default:
@@ -32,6 +39,16 @@ Status ExecuteNodeVecImpl(const PlanNode& node, ExecContext& ctx, const BatchSin
 int64_t VecRowFootprint(const Row& row) {
   int64_t bytes = 32;
   for (const Datum& d : row) bytes += static_cast<int64_t>(d.FootprintBytes());
+  return bytes;
+}
+
+// Footprint of physical row `r` of a batch, mirroring the row engine's
+// RowFootprint without materializing the Row.
+int64_t BatchRowFootprint(const ColumnBatch& b, int32_t r) {
+  int64_t bytes = 32;
+  for (const ColumnVector& col : b.columns) {
+    bytes += static_cast<int64_t>(col.FootprintAt(static_cast<size_t>(r)));
+  }
   return bytes;
 }
 
@@ -115,6 +132,135 @@ Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* tab
   return Status::OK();
 }
 
+// ---------- morsel-parallel sealed-group scan ----------
+//
+// Workers claim ascending group indexes from an atomic counter, decode +
+// filter them (both pure / latch-protected), and publish results into a
+// bounded reorder buffer. The consumer (the slice's own thread) drains the
+// buffer strictly in group order, so output is byte-identical to the
+// single-threaded scan; it alone runs ctx.Tick and the sink (neither is
+// thread-safe).
+struct MorselQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  // gi -> decoded batch; null marks a skipped (reclaimed / fully-invisible /
+  // fully-filtered) group. Bounded by `capacity` entries.
+  std::map<size_t, std::unique_ptr<ColumnBatch>> ready;
+  size_t capacity = 4;
+  size_t next_consume = 0;
+  std::atomic<size_t> next_claim{0};
+  int active_workers = 0;
+  bool stop = false;  // consumer asks workers to quit (error or early stop)
+  Status error;
+  bool failed = false;
+};
+
+void MorselWorker(MorselQueue* q, AoColumnTable* aoc, const VisibilityContext vis,
+                  const std::vector<int>& cols, const Expr* filter,
+                  size_t num_groups) {
+  for (;;) {
+    size_t gi = q->next_claim.fetch_add(1, std::memory_order_relaxed);
+    if (gi >= num_groups) break;
+    {
+      // Backpressure: don't run far ahead of the in-order consumer.
+      std::unique_lock<std::mutex> g(q->mu);
+      q->cv.wait(g, [&] {
+        return q->stop || q->failed || gi < q->next_consume + q->capacity;
+      });
+      if (q->stop || q->failed) {
+        // Publish a skip so the consumer never waits on this index.
+        q->ready.emplace(gi, nullptr);
+        q->cv.notify_all();
+        break;
+      }
+    }
+    auto batch = std::make_unique<ColumnBatch>();
+    auto decoded = aoc->DecodeGroupBatch(gi, vis, cols, batch.get());
+    Status st = decoded.ok() ? Status::OK() : decoded.status();
+    bool skip = st.ok() && !*decoded;
+    if (st.ok() && !skip && filter != nullptr) {
+      st = VecFilterBatch(*filter, batch.get());
+      if (st.ok() && batch->ActiveRows() == 0) skip = true;
+    }
+    std::lock_guard<std::mutex> g(q->mu);
+    if (!st.ok() && !q->failed) {
+      q->failed = true;
+      q->error = st;
+    }
+    q->ready.emplace(gi, skip || !st.ok() ? nullptr : std::move(batch));
+    q->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> g(q->mu);
+  --q->active_workers;
+  q->cv.notify_all();
+}
+
+Status ExecSeqScanVecMorsel(const PlanNode& node, ExecContext& ctx, AoColumnTable* aoc,
+                            const std::vector<int>& cols, const VisibilityContext& vis,
+                            size_t num_groups, int workers, const BatchSink& sink) {
+  MorselQueue q;
+  q.capacity = static_cast<size_t>(workers) * 2;
+  q.active_workers = workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  const Expr* filter = node.filter.get();
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back(MorselWorker, &q, aoc, vis, std::cref(cols), filter, num_groups);
+  }
+  if (ctx.cluster != nullptr) {
+    MetricsRegistry& m = ctx.cluster->metrics();
+    m.counter("vec.morsels")->Add(num_groups);
+    m.counter("vec.morsel_workers")->Add(static_cast<uint64_t>(workers));
+  }
+
+  Status result = Status::OK();
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    std::unique_ptr<ColumnBatch> batch;
+    {
+      std::unique_lock<std::mutex> g(q.mu);
+      q.cv.wait(g, [&] {
+        return q.failed || q.ready.count(gi) > 0 ||
+               (q.active_workers == 0 && q.ready.count(gi) == 0);
+      });
+      if (q.failed) {
+        result = q.error;
+        break;
+      }
+      auto it = q.ready.find(gi);
+      if (it == q.ready.end()) break;  // workers gone without publishing: stop
+      batch = std::move(it->second);
+      q.ready.erase(it);
+      q.next_consume = gi + 1;
+      q.cv.notify_all();
+    }
+    if (batch == nullptr) continue;  // skipped group
+    Status t = ctx.Tick(static_cast<int>(batch->rows));
+    if (t.ok()) t = sink(std::move(*batch));
+    if (!t.ok()) {
+      result = t;
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(q.mu);
+    q.stop = true;
+    q.cv.notify_all();
+  }
+  for (auto& th : pool) th.join();
+  GPHTAP_RETURN_IF_ERROR(result);
+
+  // Open tail runs inline, after every sealed group, like the serial scan.
+  ColumnBatch tail;
+  auto decoded = aoc->DecodeOpenTail(vis, cols, &tail);
+  if (!decoded.ok()) return decoded.status();
+  if (*decoded) {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(tail.rows)));
+    if (node.filter) GPHTAP_RETURN_IF_ERROR(VecFilterBatch(*node.filter, &tail));
+    if (tail.ActiveRows() > 0) return sink(std::move(tail));
+  }
+  return Status::OK();
+}
+
 Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
   Table* table = nullptr;
   GPHTAP_RETURN_IF_ERROR(TableForNode(ctx, node.table, &table));
@@ -128,6 +274,19 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
     for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
   }
   VisibilityContext vis = ctx.Vis();
+
+  if (ctx.cluster != nullptr) {
+    const ClusterOptions& opts = ctx.cluster->options();
+    size_t num_groups = aoc->NumSealedGroups();
+    if (opts.vec_morsel_workers > 1 && num_groups >= opts.vec_morsel_min_groups) {
+      int workers = opts.vec_morsel_workers;
+      if (static_cast<size_t>(workers) > num_groups) {
+        workers = static_cast<int>(num_groups);
+      }
+      return ExecSeqScanVecMorsel(node, ctx, aoc, cols, vis, num_groups, workers, sink);
+    }
+  }
+
   Status inner = Status::OK();
   Status scan = aoc->ScanBatches(vis, cols, [&](ColumnBatch&& batch) -> bool {
     // One Tick per batch amortizes cancellation checks and simulated-CPU
@@ -156,6 +315,104 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
   return scan;
 }
 
+// ---------- vectorized hash join ----------
+//
+// Mirrors the row engine's ExecHashJoin exactly (null keys never match, hash
+// collisions verified by Datum::Compare, combined layout = probe columns then
+// build columns, node.filter applied to the combined row, same memory
+// accounting) — but the build store is one dense ColumnBatch addressed by row
+// index, and probe/emit work batch-at-a-time by column copy.
+Status ExecHashJoinVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
+  // Build side = children[1] (inner), fully materialized first — this is also
+  // the Appendix-B network-deadlock prophylactic.
+  ColumnBatch build;
+  std::unordered_multimap<uint64_t, int32_t> ht;
+  Status st = ExecuteChildVec(*node.children[1], ctx, [&](ColumnBatch&& b) -> Status {
+    if (build.columns.empty()) build.Reset(b.NumColumns());
+    for (int32_t r : b.sel) {
+      bool null_key = false;
+      for (int k : node.right_keys) {
+        if (b.columns[static_cast<size_t>(k)].IsNull(static_cast<size_t>(r))) {
+          null_key = true;
+          break;
+        }
+      }
+      if (null_key) continue;
+      if (ctx.mem != nullptr) {
+        GPHTAP_RETURN_IF_ERROR(ctx.mem->Reserve(BatchRowFootprint(b, r)));
+      }
+      ht.emplace(VecHashRowKey(b, node.right_keys, r),
+                 static_cast<int32_t>(build.rows));
+      build.AppendSelectedFrom(b, r);
+    }
+    return Status::OK();
+  });
+  GPHTAP_RETURN_IF_ERROR(st);
+
+  // Probe side streams; matches accumulate into output batches.
+  ColumnBatch out;
+  bool shaped = false;
+  auto flush = [&]() -> Status {
+    if (node.filter) {
+      GPHTAP_RETURN_IF_ERROR(VecFilterBatch(*node.filter, &out));
+    }
+    size_t ncols = out.NumColumns();
+    ColumnBatch full = std::move(out);
+    out = ColumnBatch();
+    out.Reset(ncols);
+    if (full.ActiveRows() == 0) return Status::OK();
+    return sink(std::move(full));
+  };
+  Status ps = ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& p) -> Status {
+    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(p.ActiveRows())));
+    if (!shaped) {
+      out.Reset(p.NumColumns() + build.NumColumns());
+      shaped = true;
+    }
+    for (int32_t r : p.sel) {
+      bool null_key = false;
+      for (int k : node.left_keys) {
+        if (p.columns[static_cast<size_t>(k)].IsNull(static_cast<size_t>(r))) {
+          null_key = true;
+          break;
+        }
+      }
+      if (null_key) continue;
+      auto range = ht.equal_range(VecHashRowKey(p, node.left_keys, r));
+      for (auto it = range.first; it != range.second; ++it) {
+        const size_t m = static_cast<size_t>(it->second);
+        // Verify key equality (hash collisions).
+        bool match = true;
+        for (size_t k = 0; k < node.left_keys.size(); ++k) {
+          if (p.columns[static_cast<size_t>(node.left_keys[k])]
+                  .GetDatum(static_cast<size_t>(r))
+                  .Compare(build.columns[static_cast<size_t>(node.right_keys[k])]
+                               .GetDatum(m)) != 0) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        for (size_t c = 0; c < p.NumColumns(); ++c) {
+          out.columns[c].AppendFrom(p.columns[c], static_cast<size_t>(r));
+        }
+        for (size_t c = 0; c < build.NumColumns(); ++c) {
+          out.columns[p.NumColumns() + c].AppendFrom(build.columns[c], m);
+        }
+        out.sel.push_back(static_cast<int32_t>(out.rows));
+        ++out.rows;
+        if (out.rows >= ColumnBatch::kDefaultCapacity) {
+          GPHTAP_RETURN_IF_ERROR(flush());
+        }
+      }
+    }
+    return Status::OK();
+  });
+  GPHTAP_RETURN_IF_ERROR(ps);
+  if (out.rows > 0) return flush();
+  return Status::OK();
+}
+
 Status ExecHashAggVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
   struct Group {
     Row key;
@@ -177,57 +434,91 @@ Status ExecHashAggVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
     return g;
   };
 
-  Status s = ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
-    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(b.ActiveRows())));
-    // Evaluate each aggregate's argument once over the whole batch.
-    std::vector<std::vector<Datum>> argvals(node.aggs.size());
-    for (size_t a = 0; a < node.aggs.size(); ++a) {
-      if (node.aggs[a].arg != nullptr) {
-        GPHTAP_RETURN_IF_ERROR(VecEval(*node.aggs[a].arg, b, b.sel, &argvals[a]));
-      }
-    }
-
-    if (node.group_cols.empty()) {
-      // Global aggregation: one group, column-at-a-time accumulation.
-      auto it = groups.find("");
-      if (it == groups.end()) {
-        it = groups.emplace("", new_group({})).first;
-        GPHTAP_RETURN_IF_ERROR(mem_status);
-      }
-      for (size_t a = 0; a < node.aggs.size(); ++a) {
-        VecAggUpdate(node.aggs[a].fn, argvals[a], b.sel, &it->second.states[a]);
+  Status s;
+  if (node.agg_phase == AggPhase::kFinal) {
+    // Final phase: merge partial states. Input layout: group cols first, then
+    // each agg's partial state columns (AggStateArity wide). Input volume is
+    // one row per (group, sender), so per-row materialization is cheap.
+    std::vector<int> gcols(node.group_cols.size());
+    for (size_t i = 0; i < gcols.size(); ++i) gcols[i] = static_cast<int>(i);
+    s = ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
+      GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(b.ActiveRows())));
+      for (int32_t r : b.sel) {
+        Row row = b.MaterializeRow(r);
+        std::string key = GroupKeyString(row, gcols);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          Row gkey;
+          gkey.reserve(gcols.size());
+          for (int c : gcols) gkey.push_back(row[static_cast<size_t>(c)]);
+          it = groups.emplace(std::move(key), new_group(std::move(gkey))).first;
+          GPHTAP_RETURN_IF_ERROR(mem_status);
+        }
+        int col = static_cast<int>(node.group_cols.size());
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          GPHTAP_RETURN_IF_ERROR(
+              AggMergePartial(node.aggs[a], &it->second.states[a], row, col));
+          col += AggStateArity(node.aggs[a].fn);
+        }
       }
       return Status::OK();
-    }
-
-    std::string key;
-    for (int32_t r : b.sel) {
-      key.clear();
-      for (int c : node.group_cols) {
-        AppendGroupKeyPart(b.columns[static_cast<size_t>(c)][static_cast<size_t>(r)],
-                           &key);
-      }
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        Row gkey;
-        gkey.reserve(node.group_cols.size());
-        for (int c : node.group_cols) {
-          gkey.push_back(b.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
-        }
-        it = groups.emplace(key, new_group(std::move(gkey))).first;
-        GPHTAP_RETURN_IF_ERROR(mem_status);
-      }
+    });
+  } else {
+    s = ExecuteChildVec(*node.children[0], ctx, [&](ColumnBatch&& b) -> Status {
+      GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(b.ActiveRows())));
+      // Evaluate each aggregate's argument once over the whole batch.
+      std::vector<ColumnVector> argvals(node.aggs.size());
       for (size_t a = 0; a < node.aggs.size(); ++a) {
-        AggState& st = it->second.states[a];
-        if (node.aggs[a].fn == AggFunc::kCountStar) {
-          ++st.count;
-        } else {
-          AggUpdateValue(node.aggs[a].fn, &st, argvals[a][static_cast<size_t>(r)]);
+        if (node.aggs[a].arg != nullptr) {
+          GPHTAP_RETURN_IF_ERROR(VecEval(*node.aggs[a].arg, b, b.sel, &argvals[a]));
         }
       }
-    }
-    return Status::OK();
-  });
+
+      if (node.group_cols.empty()) {
+        // Global aggregation: one group, column-at-a-time accumulation.
+        auto it = groups.find("");
+        if (it == groups.end()) {
+          it = groups.emplace("", new_group({})).first;
+          GPHTAP_RETURN_IF_ERROR(mem_status);
+        }
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          VecAggUpdate(node.aggs[a].fn, argvals[a], b.sel, &it->second.states[a]);
+        }
+        return Status::OK();
+      }
+
+      std::string key;
+      for (int32_t r : b.sel) {
+        key.clear();
+        for (int c : node.group_cols) {
+          AppendGroupKeyPart(
+              b.columns[static_cast<size_t>(c)].GetDatum(static_cast<size_t>(r)),
+              &key);
+        }
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          Row gkey;
+          gkey.reserve(node.group_cols.size());
+          for (int c : node.group_cols) {
+            gkey.push_back(
+                b.columns[static_cast<size_t>(c)].GetDatum(static_cast<size_t>(r)));
+          }
+          it = groups.emplace(key, new_group(std::move(gkey))).first;
+          GPHTAP_RETURN_IF_ERROR(mem_status);
+        }
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          AggState& st = it->second.states[a];
+          if (node.aggs[a].fn == AggFunc::kCountStar) {
+            ++st.count;
+          } else {
+            AggUpdateValue(node.aggs[a].fn, &st,
+                           argvals[a].GetDatum(static_cast<size_t>(r)));
+          }
+        }
+      }
+      return Status::OK();
+    });
+  }
   GPHTAP_RETURN_IF_ERROR(s);
 
   // Global aggregates with zero input rows still produce one output group.
@@ -309,6 +600,8 @@ Status ExecuteNodeVecImpl(const PlanNode& node, ExecContext& ctx, const BatchSin
       });
     case PlanKind::kHashAgg:
       return ExecHashAggVec(node, ctx, sink);
+    case PlanKind::kHashJoin:
+      return ExecHashJoinVec(node, ctx, sink);
     case PlanKind::kMotion:
       return ExecMotionRecvVec(node, ctx, sink);
     default:

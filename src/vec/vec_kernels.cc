@@ -1,10 +1,14 @@
 #include "vec/vec_kernels.h"
 
+#include <cmath>
+
 namespace gphtap {
 
 namespace {
 
-// Comparison fast path for two non-null int64 datums.
+using Tag = ColumnVector::Tag;
+
+// Comparison fast path for two non-null int64 values.
 inline int64_t CompareIntOp(BinOp op, int64_t a, int64_t b) {
   switch (op) {
     case BinOp::kEq:
@@ -24,6 +28,27 @@ inline int64_t CompareIntOp(BinOp op, int64_t a, int64_t b) {
   }
 }
 
+// Comparison over a three-way result, mirroring EvalCompare's use of
+// Datum::Compare (so NaN handling matches the row engine exactly).
+inline int64_t CompareCmp(BinOp op, int c) {
+  switch (op) {
+    case BinOp::kEq:
+      return c == 0;
+    case BinOp::kNe:
+      return c != 0;
+    case BinOp::kLt:
+      return c < 0;
+    case BinOp::kLe:
+      return c <= 0;
+    case BinOp::kGt:
+      return c > 0;
+    case BinOp::kGe:
+      return c >= 0;
+    default:
+      return 0;
+  }
+}
+
 inline bool IsCompare(BinOp op) {
   switch (op) {
     case BinOp::kEq:
@@ -38,11 +63,37 @@ inline bool IsCompare(BinOp op) {
   }
 }
 
+// Numeric slot read for an int64- or double-tagged column.
+inline double NumAt(const ColumnVector& v, size_t r) {
+  return v.tag == Tag::kInt64 ? static_cast<double>(v.ints[r]) : v.dbls[r];
+}
+
+/// Evaluates an operand, returning a pointer either straight into the batch
+/// (bare column reference: zero copies) or at `scratch` holding the result.
+Status EvalOperand(const Expr& e, const ColumnBatch& batch,
+                   const std::vector<int32_t>& pos, ColumnVector* scratch,
+                   const ColumnVector** out) {
+  if (e.kind == ExprKind::kColumn) {
+    if (e.column < 0 || static_cast<size_t>(e.column) >= batch.NumColumns()) {
+      return Status::Internal("column index out of range: " +
+                              std::to_string(e.column));
+    }
+    *out = &batch.columns[static_cast<size_t>(e.column)];
+    return Status::OK();
+  }
+  GPHTAP_RETURN_IF_ERROR(VecEval(e, batch, pos, scratch));
+  *out = scratch;
+  return Status::OK();
+}
+
 Status VecEvalLogical(const Expr& e, const ColumnBatch& batch,
-                      const std::vector<int32_t>& pos, std::vector<Datum>* out) {
+                      const std::vector<int32_t>& pos, ColumnVector* out) {
   const bool is_and = e.op == BinOp::kAnd;
-  std::vector<Datum> lvals;
-  GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &lvals));
+  ColumnVector lscratch;
+  const ColumnVector* lv = nullptr;
+  GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.left, batch, pos, &lscratch, &lv));
+
+  out->ResetTyped(Tag::kInt64, batch.rows);
 
   // Positions the left operand did not decide; the right operand is evaluated
   // ONLY there (short circuit: errors in the skipped positions never surface,
@@ -50,78 +101,266 @@ Status VecEvalLogical(const Expr& e, const ColumnBatch& batch,
   std::vector<int32_t> undecided;
   undecided.reserve(pos.size());
   for (int32_t r : pos) {
-    int lt = DatumTruth(lvals[static_cast<size_t>(r)]);
+    const size_t i = static_cast<size_t>(r);
+    int lt = VecTruthAt(*lv, i);
     if (is_and && lt == 0) {
-      (*out)[static_cast<size_t>(r)] = Datum(int64_t{0});
+      out->ints[i] = 0;
     } else if (!is_and && lt == 1) {
-      (*out)[static_cast<size_t>(r)] = Datum(int64_t{1});
+      out->ints[i] = 1;
     } else {
       undecided.push_back(r);
     }
   }
   if (undecided.empty()) return Status::OK();
 
-  std::vector<Datum> rvals;
-  GPHTAP_RETURN_IF_ERROR(VecEval(*e.right, batch, undecided, &rvals));
+  ColumnVector rscratch;
+  const ColumnVector* rv = nullptr;
+  GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.right, batch, undecided, &rscratch, &rv));
   for (int32_t r : undecided) {
-    int lt = DatumTruth(lvals[static_cast<size_t>(r)]);
-    int rt = DatumTruth(rvals[static_cast<size_t>(r)]);
-    Datum& o = (*out)[static_cast<size_t>(r)];
+    const size_t i = static_cast<size_t>(r);
+    int lt = VecTruthAt(*lv, i);
+    int rt = VecTruthAt(*rv, i);
     if (is_and) {
       if (lt == 1 && rt == 1) {
-        o = Datum(int64_t{1});
+        out->ints[i] = 1;
       } else if (rt == 0) {
-        o = Datum(int64_t{0});
+        out->ints[i] = 0;
       } else {
-        o = Datum::Null();
+        out->SetNull(i);
       }
     } else {
       if (lt == 0 && rt == 0) {
-        o = Datum(int64_t{0});
+        out->ints[i] = 0;
       } else if (rt == 1) {
-        o = Datum(int64_t{1});
+        out->ints[i] = 1;
       } else {
-        o = Datum::Null();
+        out->SetNull(i);
       }
     }
   }
   return Status::OK();
 }
 
+// Int64 x int64 kernel: branchless compare/add/sub/mul loops split by null
+// presence; div/mod keep their per-row zero check (they can error).
+Status EvalBinaryIntInt(BinOp op, const ColumnVector& l, const ColumnVector& r,
+                        const std::vector<int32_t>& pos, size_t rows,
+                        ColumnVector* out) {
+  out->ResetTyped(Tag::kInt64, rows);
+  const bool nullable = !l.nulls.empty() || !r.nulls.empty();
+  const int64_t* a = l.ints.data();
+  const int64_t* b = r.ints.data();
+  int64_t* o = out->ints.data();
+  if (op == BinOp::kDiv || op == BinOp::kMod) {
+    for (int32_t p : pos) {
+      const size_t i = static_cast<size_t>(p);
+      if (nullable && (l.IsNull(i) || r.IsNull(i))) {
+        out->SetNull(i);
+        continue;
+      }
+      if (b[i] == 0) return Status::InvalidArgument("division by zero");
+      o[i] = op == BinOp::kDiv ? a[i] / b[i] : a[i] % b[i];
+    }
+    return Status::OK();
+  }
+  if (!nullable) {
+    switch (op) {
+      case BinOp::kAdd:
+        for (int32_t p : pos) o[p] = a[p] + b[p];
+        return Status::OK();
+      case BinOp::kSub:
+        for (int32_t p : pos) o[p] = a[p] - b[p];
+        return Status::OK();
+      case BinOp::kMul:
+        for (int32_t p : pos) o[p] = a[p] * b[p];
+        return Status::OK();
+      case BinOp::kEq:
+        for (int32_t p : pos) o[p] = a[p] == b[p];
+        return Status::OK();
+      case BinOp::kNe:
+        for (int32_t p : pos) o[p] = a[p] != b[p];
+        return Status::OK();
+      case BinOp::kLt:
+        for (int32_t p : pos) o[p] = a[p] < b[p];
+        return Status::OK();
+      case BinOp::kLe:
+        for (int32_t p : pos) o[p] = a[p] <= b[p];
+        return Status::OK();
+      case BinOp::kGt:
+        for (int32_t p : pos) o[p] = a[p] > b[p];
+        return Status::OK();
+      case BinOp::kGe:
+        for (int32_t p : pos) o[p] = a[p] >= b[p];
+        return Status::OK();
+      default:
+        return Status::Internal("bad int binary op");
+    }
+  }
+  for (int32_t p : pos) {
+    const size_t i = static_cast<size_t>(p);
+    if (l.IsNull(i) || r.IsNull(i)) {
+      out->SetNull(i);
+      continue;
+    }
+    o[i] = IsCompare(op) ? CompareIntOp(op, a[i], b[i])
+           : op == BinOp::kAdd ? a[i] + b[i]
+           : op == BinOp::kSub ? a[i] - b[i]
+                               : a[i] * b[i];
+  }
+  return Status::OK();
+}
+
+// Numeric kernel with at least one double side: comparisons produce int64
+// truth values, arithmetic promotes to double (EvalArith's mixed-type rule).
+Status EvalBinaryNumeric(BinOp op, const ColumnVector& l, const ColumnVector& r,
+                         const std::vector<int32_t>& pos, size_t rows,
+                         ColumnVector* out) {
+  const bool nullable = !l.nulls.empty() || !r.nulls.empty();
+  if (IsCompare(op)) {
+    out->ResetTyped(Tag::kInt64, rows);
+    for (int32_t p : pos) {
+      const size_t i = static_cast<size_t>(p);
+      if (nullable && (l.IsNull(i) || r.IsNull(i))) {
+        out->SetNull(i);
+        continue;
+      }
+      double a = NumAt(l, i), b = NumAt(r, i);
+      int c = a < b ? -1 : (a > b ? 1 : 0);
+      out->ints[i] = CompareCmp(op, c);
+    }
+    return Status::OK();
+  }
+  out->ResetTyped(Tag::kDouble, rows);
+  for (int32_t p : pos) {
+    const size_t i = static_cast<size_t>(p);
+    if (nullable && (l.IsNull(i) || r.IsNull(i))) {
+      out->SetNull(i);
+      continue;
+    }
+    double a = NumAt(l, i), b = NumAt(r, i);
+    switch (op) {
+      case BinOp::kAdd:
+        out->dbls[i] = a + b;
+        break;
+      case BinOp::kSub:
+        out->dbls[i] = a - b;
+        break;
+      case BinOp::kMul:
+        out->dbls[i] = a * b;
+        break;
+      case BinOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        out->dbls[i] = a / b;
+        break;
+      case BinOp::kMod:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        out->dbls[i] = std::fmod(a, b);
+        break;
+      default:
+        return Status::Internal("bad numeric binary op");
+    }
+  }
+  return Status::OK();
+}
+
+// Boxed fallback for string/mixed columns: per-row EvalBinaryOp with the
+// int-int datum fast path, exactly the pre-typed-vector behaviour.
+Status EvalBinaryBoxed(BinOp op, const ColumnVector& lv, const ColumnVector& rv,
+                       const std::vector<int32_t>& pos, size_t rows,
+                       ColumnVector* out) {
+  out->ResetTyped(Tag::kDatum, rows);
+  const bool cmp = IsCompare(op);
+  const bool fast_arith = op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul;
+  for (int32_t p : pos) {
+    const size_t i = static_cast<size_t>(p);
+    Datum l = lv.GetDatum(i);
+    Datum v = rv.GetDatum(i);
+    Datum& o = out->datums[i];
+    if (l.is_int() && v.is_int()) {
+      int64_t a = l.int_val(), b = v.int_val();
+      if (cmp) {
+        o = Datum(CompareIntOp(op, a, b));
+        continue;
+      }
+      if (fast_arith) {
+        o = Datum(op == BinOp::kAdd   ? a + b
+                  : op == BinOp::kSub ? a - b
+                                      : a * b);
+        continue;
+      }
+    }
+    GPHTAP_ASSIGN_OR_RETURN(o, EvalBinaryOp(op, l, v));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
+int VecTruthAt(const ColumnVector& v, size_t r) {
+  if (v.IsNull(r)) return -1;
+  switch (v.tag) {
+    case Tag::kInt64:
+      return v.ints[r] != 0 ? 1 : 0;
+    case Tag::kDouble:
+      return v.dbls[r] != 0 ? 1 : 0;
+    case Tag::kDatum:
+      return DatumTruth(v.datums[r]);
+  }
+  return -1;
+}
+
 Status VecEval(const Expr& e, const ColumnBatch& batch,
-               const std::vector<int32_t>& pos, std::vector<Datum>* out) {
-  if (out->size() < batch.rows) out->resize(batch.rows);
+               const std::vector<int32_t>& pos, ColumnVector* out) {
   switch (e.kind) {
-    case ExprKind::kConst:
-      for (int32_t r : pos) (*out)[static_cast<size_t>(r)] = e.value;
+    case ExprKind::kConst: {
+      const Datum& v = e.value;
+      if (v.is_int()) {
+        out->ResetTyped(Tag::kInt64, batch.rows);
+        std::fill(out->ints.begin(), out->ints.end(), v.int_val());
+      } else if (v.is_double()) {
+        out->ResetTyped(Tag::kDouble, batch.rows);
+        std::fill(out->dbls.begin(), out->dbls.end(), v.double_val());
+      } else if (v.is_null()) {
+        out->ResetTyped(Tag::kInt64, batch.rows);
+        out->nulls.assign(batch.rows, 1);
+      } else {
+        out->ResetTyped(Tag::kDatum, batch.rows);
+        for (int32_t r : pos) out->datums[static_cast<size_t>(r)] = v;
+      }
       return Status::OK();
+    }
     case ExprKind::kColumn: {
       if (e.column < 0 || static_cast<size_t>(e.column) >= batch.NumColumns()) {
         return Status::Internal("column index out of range: " +
                                 std::to_string(e.column));
       }
-      const std::vector<Datum>& col = batch.columns[static_cast<size_t>(e.column)];
-      for (int32_t r : pos) (*out)[static_cast<size_t>(r)] = col[static_cast<size_t>(r)];
+      *out = batch.columns[static_cast<size_t>(e.column)];
       return Status::OK();
     }
     case ExprKind::kNot: {
-      std::vector<Datum> vals;
-      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &vals));
+      ColumnVector scratch;
+      const ColumnVector* v = nullptr;
+      GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.left, batch, pos, &scratch, &v));
+      out->ResetTyped(Tag::kInt64, batch.rows);
       for (int32_t r : pos) {
-        int t = DatumTruth(vals[static_cast<size_t>(r)]);
-        (*out)[static_cast<size_t>(r)] =
-            t < 0 ? Datum::Null() : Datum(static_cast<int64_t>(t == 1 ? 0 : 1));
+        const size_t i = static_cast<size_t>(r);
+        int t = VecTruthAt(*v, i);
+        if (t < 0) {
+          out->SetNull(i);
+        } else {
+          out->ints[i] = t == 1 ? 0 : 1;
+        }
       }
       return Status::OK();
     }
     case ExprKind::kIsNull: {
-      std::vector<Datum> vals;
-      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &vals));
+      ColumnVector scratch;
+      const ColumnVector* v = nullptr;
+      GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.left, batch, pos, &scratch, &v));
+      out->ResetTyped(Tag::kInt64, batch.rows);
       for (int32_t r : pos) {
-        (*out)[static_cast<size_t>(r)] = Datum(
-            static_cast<int64_t>(vals[static_cast<size_t>(r)].is_null() ? 1 : 0));
+        const size_t i = static_cast<size_t>(r);
+        out->ints[i] = v->IsNull(i) ? 1 : 0;
       }
       return Status::OK();
     }
@@ -129,45 +368,44 @@ Status VecEval(const Expr& e, const ColumnBatch& batch,
       if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
         return VecEvalLogical(e, batch, pos, out);
       }
-      std::vector<Datum> lvals, rvals;
-      GPHTAP_RETURN_IF_ERROR(VecEval(*e.left, batch, pos, &lvals));
-      GPHTAP_RETURN_IF_ERROR(VecEval(*e.right, batch, pos, &rvals));
-      const bool cmp = IsCompare(e.op);
-      const bool fast_arith =
-          e.op == BinOp::kAdd || e.op == BinOp::kSub || e.op == BinOp::kMul;
-      for (int32_t r : pos) {
-        const Datum& l = lvals[static_cast<size_t>(r)];
-        const Datum& v = rvals[static_cast<size_t>(r)];
-        Datum& o = (*out)[static_cast<size_t>(r)];
-        // Int-int fast path: no dispatch, no Status machinery per row.
-        if (l.is_int() && v.is_int()) {
-          int64_t a = l.int_val(), b = v.int_val();
-          if (cmp) {
-            o = Datum(CompareIntOp(e.op, a, b));
-            continue;
-          }
-          if (fast_arith) {
-            o = Datum(e.op == BinOp::kAdd   ? a + b
-                      : e.op == BinOp::kSub ? a - b
-                                            : a * b);
-            continue;
-          }
-        }
-        GPHTAP_ASSIGN_OR_RETURN(o, EvalBinaryOp(e.op, l, v));
+      ColumnVector lscratch, rscratch;
+      const ColumnVector* lv = nullptr;
+      const ColumnVector* rv = nullptr;
+      GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.left, batch, pos, &lscratch, &lv));
+      GPHTAP_RETURN_IF_ERROR(EvalOperand(*e.right, batch, pos, &rscratch, &rv));
+      if (lv->tag == Tag::kInt64 && rv->tag == Tag::kInt64) {
+        return EvalBinaryIntInt(e.op, *lv, *rv, pos, batch.rows, out);
       }
-      return Status::OK();
+      if (lv->tag != Tag::kDatum && rv->tag != Tag::kDatum) {
+        return EvalBinaryNumeric(e.op, *lv, *rv, pos, batch.rows, out);
+      }
+      return EvalBinaryBoxed(e.op, *lv, *rv, pos, batch.rows, out);
     }
+    case ExprKind::kParam:
+      // Parameters are substituted before execution (ClonePlanWithParams);
+      // one surviving to a kernel is a bind failure, same as the row engine.
+      return Status::Internal("unbound parameter $" + std::to_string(e.param + 1));
   }
   return Status::Internal("bad expr kind");
 }
 
 Status VecFilterBatch(const Expr& filter, ColumnBatch* batch) {
   if (batch->sel.empty()) return Status::OK();
-  std::vector<Datum> vals;
+  ColumnVector vals;
   GPHTAP_RETURN_IF_ERROR(VecEval(filter, *batch, batch->sel, &vals));
   size_t w = 0;
-  for (int32_t r : batch->sel) {
-    if (DatumTruth(vals[static_cast<size_t>(r)]) == 1) batch->sel[w++] = r;
+  if (vals.tag == Tag::kInt64 && vals.nulls.empty()) {
+    // Branchless compaction over the unboxed truth vector.
+    const int64_t* t = vals.ints.data();
+    for (int32_t r : batch->sel) {
+      batch->sel[w] = r;
+      w += t[r] != 0;
+    }
+  } else {
+    for (int32_t r : batch->sel) {
+      batch->sel[w] = r;
+      w += VecTruthAt(vals, static_cast<size_t>(r)) == 1;
+    }
   }
   batch->sel.resize(w);
   return Status::OK();
@@ -177,45 +415,114 @@ Status VecProjectBatch(const std::vector<ExprPtr>& exprs, const ColumnBatch& in,
                        ColumnBatch* out) {
   out->Clear();
   out->columns.resize(exprs.size());
-  std::vector<Datum> vals;
+  ColumnVector vals;
+  const bool dense = in.sel.size() == in.rows;
   for (size_t i = 0; i < exprs.size(); ++i) {
     GPHTAP_RETURN_IF_ERROR(VecEval(*exprs[i], in, in.sel, &vals));
-    std::vector<Datum>& col = out->columns[i];
-    col.clear();
-    col.reserve(in.sel.size());
-    for (int32_t r : in.sel) col.push_back(std::move(vals[static_cast<size_t>(r)]));
+    ColumnVector& col = out->columns[i];
+    if (dense) {
+      col = std::move(vals);
+    } else {
+      col.Clear();
+      col.tag = vals.tag;
+      col.Reserve(in.sel.size());
+      for (int32_t r : in.sel) col.AppendFrom(vals, static_cast<size_t>(r));
+    }
   }
   out->rows = in.sel.size();
   out->SelectAll();
   return Status::OK();
 }
 
+uint64_t VecHashRowKey(const ColumnBatch& in, const std::vector<int>& hash_cols,
+                       int32_t r) {
+  // Mirrors HashRowKey(in.MaterializeRow(r), hash_cols) term for term.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : hash_cols) {
+    h = h * 1099511628211ULL ^ in.columns[static_cast<size_t>(c)].HashAt(static_cast<size_t>(r));
+  }
+  return h;
+}
+
 Status VecPartitionBatch(const ColumnBatch& in, const std::vector<int>& hash_cols,
                          int num_targets, std::vector<ColumnBatch>* out) {
   if (num_targets <= 0) return Status::InvalidArgument("num_targets");
+  for (int c : hash_cols) {
+    if (c < 0 || static_cast<size_t>(c) >= in.NumColumns()) {
+      return Status::Internal("hash column out of range");
+    }
+  }
   out->clear();
   out->resize(static_cast<size_t>(num_targets));
-  for (ColumnBatch& b : *out) b.Reset(in.NumColumns(), in.sel.size());
+  for (ColumnBatch& b : *out) {
+    b.Reset(in.NumColumns(),
+            in.sel.size() / static_cast<size_t>(num_targets) + 1);
+  }
   for (int32_t r : in.sel) {
-    Row row = in.MaterializeRow(r);
-    size_t t = static_cast<size_t>(HashRowKey(row, hash_cols) %
+    size_t t = static_cast<size_t>(VecHashRowKey(in, hash_cols, r) %
                                    static_cast<uint64_t>(num_targets));
-    (*out)[t].AppendRow(std::move(row));
+    (*out)[t].AppendSelectedFrom(in, r);
   }
   return Status::OK();
 }
 
-void VecAggUpdate(AggFunc fn, const std::vector<Datum>& vals,
+void VecAggUpdate(AggFunc fn, const ColumnVector& vals,
                   const std::vector<int32_t>& pos, AggState* s) {
   if (fn == AggFunc::kCountStar) {
     s->count += static_cast<int64_t>(pos.size());
     return;
   }
-  if ((fn == AggFunc::kSum || fn == AggFunc::kAvg) && s->sum_is_int) {
-    // Int-sum hot loop; bail to the generic path on the first non-int value.
+  if (fn == AggFunc::kCount && vals.tag != Tag::kDatum) {
+    if (vals.nulls.empty()) {
+      s->count += static_cast<int64_t>(pos.size());
+    } else {
+      for (int32_t r : pos) s->count += vals.nulls[static_cast<size_t>(r)] == 0;
+    }
+    return;
+  }
+  if ((fn == AggFunc::kSum || fn == AggFunc::kAvg) && vals.tag == Tag::kInt64 &&
+      s->sum_is_int) {
+    // Unboxed int-sum hot loop (a typed int column can never force the
+    // accumulator to widen).
+    const int64_t* v = vals.ints.data();
+    if (vals.nulls.empty()) {
+      int64_t acc = 0;
+      for (int32_t r : pos) acc += v[r];
+      s->isum += acc;
+      s->count += static_cast<int64_t>(pos.size());
+      if (!pos.empty()) s->has_value = true;
+    } else {
+      for (int32_t r : pos) {
+        const size_t i = static_cast<size_t>(r);
+        if (vals.nulls[i]) continue;
+        s->isum += v[i];
+        ++s->count;
+        s->has_value = true;
+      }
+    }
+    return;
+  }
+  if ((fn == AggFunc::kSum || fn == AggFunc::kAvg) && vals.tag == Tag::kDouble) {
+    const double* v = vals.dbls.data();
+    for (int32_t r : pos) {
+      const size_t i = static_cast<size_t>(r);
+      if (!vals.nulls.empty() && vals.nulls[i]) continue;
+      if (s->sum_is_int) {
+        s->sum = static_cast<double>(s->isum);
+        s->sum_is_int = false;
+      }
+      s->sum += v[i];
+      ++s->count;
+      s->has_value = true;
+    }
+    return;
+  }
+  if ((fn == AggFunc::kSum || fn == AggFunc::kAvg) && vals.tag == Tag::kDatum &&
+      s->sum_is_int) {
+    // Boxed int-sum loop; bail to the generic path on the first non-int value.
     size_t i = 0;
     for (; i < pos.size(); ++i) {
-      const Datum& v = vals[static_cast<size_t>(pos[i])];
+      const Datum& v = vals.datums[static_cast<size_t>(pos[i])];
       if (v.is_null()) continue;
       if (!v.is_int()) break;
       s->isum += v.int_val();
@@ -223,11 +530,11 @@ void VecAggUpdate(AggFunc fn, const std::vector<Datum>& vals,
       s->has_value = true;
     }
     for (; i < pos.size(); ++i) {
-      AggUpdateValue(fn, s, vals[static_cast<size_t>(pos[i])]);
+      AggUpdateValue(fn, s, vals.datums[static_cast<size_t>(pos[i])]);
     }
     return;
   }
-  for (int32_t r : pos) AggUpdateValue(fn, s, vals[static_cast<size_t>(r)]);
+  for (int32_t r : pos) AggUpdateValue(fn, s, vals.GetDatum(static_cast<size_t>(r)));
 }
 
 }  // namespace gphtap

@@ -64,6 +64,33 @@ Status LoadTpcb(Cluster* cluster, const TpcbConfig& config) {
   return Status::OK();
 }
 
+namespace {
+
+// Prepares the five TPC-B statements once per session (pgbench -M prepared):
+// every transaction after the first skips parse/analyze/plan and just
+// substitutes the argument values.
+Status EnsureTpcbPrepared(Session* session) {
+  if (session->GetPrepared("tpcb_update_account") != nullptr) return Status::OK();
+  static const char* kStatements[] = {
+      "PREPARE tpcb_update_account AS UPDATE pgbench_accounts "
+      "SET abalance = abalance + $1 WHERE aid = $2",
+      "PREPARE tpcb_select_account AS SELECT abalance FROM pgbench_accounts "
+      "WHERE aid = $1",
+      "PREPARE tpcb_update_teller AS UPDATE pgbench_tellers "
+      "SET tbalance = tbalance + $1 WHERE tid = $2",
+      "PREPARE tpcb_update_branch AS UPDATE pgbench_branches "
+      "SET bbalance = bbalance + $1 WHERE bid = $2",
+      "PREPARE tpcb_insert_history AS INSERT INTO pgbench_history "
+      "(tid, bid, aid, delta) VALUES ($1, $2, $3, $4)",
+  };
+  for (const char* s : kStatements) {
+    GPHTAP_RETURN_IF_ERROR(session->Execute(s).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RunTpcbTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
   int64_t aid = rng.UniformRange(1, config.num_accounts());
   int64_t tid = rng.UniformRange(1, config.num_tellers());
@@ -71,47 +98,48 @@ Status RunTpcbTransaction(Session* session, Rng& rng, const TpcbConfig& config) 
   int64_t delta = rng.UniformRange(-5000, 5000);
   std::string d = std::to_string(delta);
 
+  GPHTAP_RETURN_IF_ERROR(EnsureTpcbPrepared(session));
   GPHTAP_RETURN_IF_ERROR(session->Execute("BEGIN").status());
   auto run = [&](const std::string& sql) -> Status {
     Status s = session->Execute(sql).status();
     if (!s.ok()) session->Rollback();
     return s;
   };
-  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_accounts SET abalance = abalance + " + d +
-                             " WHERE aid = " + std::to_string(aid)));
+  GPHTAP_RETURN_IF_ERROR(run("EXECUTE tpcb_update_account(" + d + ", " +
+                             std::to_string(aid) + ")"));
   GPHTAP_RETURN_IF_ERROR(
-      run("SELECT abalance FROM pgbench_accounts WHERE aid = " + std::to_string(aid)));
-  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_tellers SET tbalance = tbalance + " + d +
-                             " WHERE tid = " + std::to_string(tid)));
-  GPHTAP_RETURN_IF_ERROR(run("UPDATE pgbench_branches SET bbalance = bbalance + " + d +
-                             " WHERE bid = " + std::to_string(bid)));
-  GPHTAP_RETURN_IF_ERROR(run("INSERT INTO pgbench_history (tid, bid, aid, delta) VALUES (" +
-                             std::to_string(tid) + ", " + std::to_string(bid) + ", " +
+      run("EXECUTE tpcb_select_account(" + std::to_string(aid) + ")"));
+  GPHTAP_RETURN_IF_ERROR(run("EXECUTE tpcb_update_teller(" + d + ", " +
+                             std::to_string(tid) + ")"));
+  GPHTAP_RETURN_IF_ERROR(run("EXECUTE tpcb_update_branch(" + d + ", " +
+                             std::to_string(bid) + ")"));
+  GPHTAP_RETURN_IF_ERROR(run("EXECUTE tpcb_insert_history(" + std::to_string(tid) +
+                             ", " + std::to_string(bid) + ", " +
                              std::to_string(aid) + ", " + d + ")"));
   return session->Execute("COMMIT").status();
 }
 
 Status RunUpdateOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
   int64_t aid = rng.UniformRange(1, config.num_accounts());
+  GPHTAP_RETURN_IF_ERROR(EnsureTpcbPrepared(session));
   return session
-      ->Execute("UPDATE pgbench_accounts SET abalance = abalance + 1 WHERE aid = " +
-                std::to_string(aid))
+      ->Execute("EXECUTE tpcb_update_account(1, " + std::to_string(aid) + ")")
       .status();
 }
 
 Status RunInsertOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
   int64_t aid = rng.UniformRange(1, config.num_accounts());
+  GPHTAP_RETURN_IF_ERROR(EnsureTpcbPrepared(session));
   return session
-      ->Execute("INSERT INTO pgbench_history (tid, bid, aid, delta) VALUES (1, 1, " +
-                std::to_string(aid) + ", 1)")
+      ->Execute("EXECUTE tpcb_insert_history(1, 1, " + std::to_string(aid) + ", 1)")
       .status();
 }
 
 Status RunSelectOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& config) {
   int64_t aid = rng.UniformRange(1, config.num_accounts());
+  GPHTAP_RETURN_IF_ERROR(EnsureTpcbPrepared(session));
   return session
-      ->Execute("SELECT abalance FROM pgbench_accounts WHERE aid = " +
-                std::to_string(aid))
+      ->Execute("EXECUTE tpcb_select_account(" + std::to_string(aid) + ")")
       .status();
 }
 

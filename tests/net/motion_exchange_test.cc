@@ -203,7 +203,7 @@ TEST(MotionExchangeTest, RecvBatchWrapsRowsAndPassesBatches) {
   auto b1 = ex.RecvBatch(0);
   ASSERT_TRUE(b1.has_value());
   EXPECT_EQ(b1->ActiveRows(), 1u);
-  EXPECT_EQ(b1->columns[0][0].int_val(), 7);
+  EXPECT_EQ(b1->columns[0].GetDatum(0).int_val(), 7);
   auto b2 = ex.RecvBatch(0);
   ASSERT_TRUE(b2.has_value());
   EXPECT_EQ(b2->ActiveRows(), 3u);
@@ -219,7 +219,7 @@ TEST(MotionExchangeTest, BroadcastBatchReachesEveryReceiver) {
     ASSERT_TRUE(b.has_value());
     ASSERT_EQ(b->ActiveRows(), 4u);
     for (int64_t i = 0; i < 4; ++i) {
-      EXPECT_EQ(b->columns[0][static_cast<size_t>(i)].int_val(), i);
+      EXPECT_EQ(b->columns[0].GetDatum(static_cast<size_t>(i)).int_val(), i);
     }
   }
 }

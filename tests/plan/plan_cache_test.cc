@@ -1,0 +1,156 @@
+// Plan cache: LRU + catalog-version invalidation unit tests, and end-to-end
+// coverage that repeated SELECT texts skip planning (hits), DDL invalidates,
+// and cached plans still return correct results.
+#include "plan/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+
+namespace gphtap {
+namespace {
+
+std::shared_ptr<const CachedPlan> MakePlan(uint64_t version) {
+  auto p = std::make_shared<CachedPlan>();
+  p->catalog_version = version;
+  return p;
+}
+
+TEST(PlanCacheTest, MissThenHit) {
+  PlanCache cache(4, nullptr);
+  EXPECT_EQ(cache.Lookup("SELECT 1", 1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert("SELECT 1", MakePlan(1));
+  auto hit = cache.Lookup("SELECT 1", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, StaleCatalogVersionInvalidates) {
+  PlanCache cache(4, nullptr);
+  cache.Insert("SELECT 1", MakePlan(1));
+  // Catalog moved (DDL): the stamped plan must not be served.
+  EXPECT_EQ(cache.Lookup("SELECT 1", 2), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);  // evicted eagerly on the stale lookup
+}
+
+TEST(PlanCacheTest, LruEvictsOldest) {
+  PlanCache cache(2, nullptr);
+  cache.Insert("a", MakePlan(1));
+  cache.Insert("b", MakePlan(1));
+  ASSERT_NE(cache.Lookup("a", 1), nullptr);  // touch a: b is now oldest
+  cache.Insert("c", MakePlan(1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);
+  EXPECT_NE(cache.Lookup("c", 1), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0, nullptr);
+  cache.Insert("a", MakePlan(1));
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, ReinsertReplacesEntry) {
+  PlanCache cache(4, nullptr);
+  cache.Insert("a", MakePlan(1));
+  cache.Insert("a", MakePlan(2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup("a", 2), nullptr);  // replaced entry is the live one
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);  // old stamp is stale (and evicts)
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+class PlanCacheEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_segments = 2;
+    cluster_ = std::make_unique<Cluster>(options);
+    session_ = cluster_->Connect();
+    ASSERT_TRUE(session_
+                    ->Execute("CREATE TABLE t (a int, b int) DISTRIBUTED BY (a)")
+                    .ok());
+    ASSERT_TRUE(session_
+                    ->Execute("INSERT INTO t SELECT i, i * 2 "
+                              "FROM generate_series(1, 100) i")
+                    .ok());
+  }
+
+  uint64_t Counter(const std::string& name) {
+    return cluster_->StatsSnapshot().counter(name);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Session> session_;
+};
+
+TEST_F(PlanCacheEndToEndTest, RepeatedSelectHitsCache) {
+  const std::string sql = "SELECT sum(b) FROM t WHERE a <= 50";
+  auto first = session_->Execute(sql);
+  ASSERT_TRUE(first.ok());
+  uint64_t hits_before = Counter("plan_cache.hits");
+  auto second = session_->Execute(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Counter("plan_cache.hits"), hits_before + 1);
+  // The cached plan must produce the same answer.
+  ASSERT_EQ(second->rows.size(), 1u);
+  EXPECT_EQ(second->rows[0][0].int_val(), first->rows[0][0].int_val());
+}
+
+TEST_F(PlanCacheEndToEndTest, CachedPlanServesOtherSessions) {
+  const std::string sql = "SELECT count(*) FROM t";
+  ASSERT_TRUE(session_->Execute(sql).ok());
+  auto other = cluster_->Connect();
+  uint64_t hits_before = Counter("plan_cache.hits");
+  auto r = other->Execute(sql);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Counter("plan_cache.hits"), hits_before + 1);
+  EXPECT_EQ(r->rows[0][0].int_val(), 100);
+}
+
+TEST_F(PlanCacheEndToEndTest, DdlInvalidatesCachedPlans) {
+  const std::string sql = "SELECT count(*) FROM t WHERE b > 0";
+  ASSERT_TRUE(session_->Execute(sql).ok());
+  // Any catalog change bumps the version; the next lookup must re-plan.
+  ASSERT_TRUE(session_->Execute("CREATE TABLE other (x int)").ok());
+  uint64_t invalidations_before = Counter("plan_cache.invalidations");
+  auto r = session_->Execute(sql);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Counter("plan_cache.invalidations"), invalidations_before + 1);
+  EXPECT_EQ(r->rows[0][0].int_val(), 100);
+}
+
+TEST_F(PlanCacheEndToEndTest, DroppedTableDoesNotServeStalePlan) {
+  const std::string sql = "SELECT count(*) FROM t";
+  ASSERT_TRUE(session_->Execute(sql).ok());
+  ASSERT_TRUE(session_->Execute("DROP TABLE t").ok());
+  // Version bumped: the cached plan for the dropped table must not run.
+  auto r = session_->Execute(sql);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PlanCacheEndToEndTest, WritesSeenThroughCachedPlan) {
+  const std::string sql = "SELECT sum(b) FROM t";
+  auto before = session_->Execute(sql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET b = b + 1 WHERE a <= 10").ok());
+  // DML does not bump the catalog version; the cached plan is reused but must
+  // observe the new data (plans cache structure, not results).
+  uint64_t hits_before = Counter("plan_cache.hits");
+  auto after = session_->Execute(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Counter("plan_cache.hits"), hits_before + 1);
+  EXPECT_EQ(after->rows[0][0].int_val(), before->rows[0][0].int_val() + 10);
+}
+
+}  // namespace
+}  // namespace gphtap

@@ -1,0 +1,195 @@
+// PREPARE / EXECUTE / DEALLOCATE: parameter binding, generic vs custom plan
+// selection, catalog-version replanning, and parity with the equivalent
+// literal statements.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/session.h"
+
+namespace gphtap {
+namespace {
+
+class PrepareExecuteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_segments = 3;
+    cluster_ = std::make_unique<Cluster>(options);
+    session_ = cluster_->Connect();
+    ASSERT_TRUE(session_
+                    ->Execute("CREATE TABLE acct (id int, grp int, bal int) "
+                              "DISTRIBUTED BY (id)")
+                    .ok());
+    ASSERT_TRUE(session_
+                    ->Execute("INSERT INTO acct SELECT i, i % 7, i * 10 "
+                              "FROM generate_series(1, 200) i")
+                    .ok());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Session> session_;
+};
+
+TEST_F(PrepareExecuteTest, SelectWithParamsMatchesLiteralStatement) {
+  ASSERT_TRUE(
+      session_->Execute("PREPARE q AS SELECT bal FROM acct WHERE id = $1").ok());
+  for (int id : {1, 42, 200}) {
+    auto prepared = session_->Execute("EXECUTE q(" + std::to_string(id) + ")");
+    auto literal = session_->Execute("SELECT bal FROM acct WHERE id = " +
+                                     std::to_string(id));
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ASSERT_TRUE(literal.ok());
+    ASSERT_EQ(prepared->rows.size(), 1u);
+    EXPECT_EQ(prepared->rows[0][0].int_val(), literal->rows[0][0].int_val());
+  }
+}
+
+TEST_F(PrepareExecuteTest, GenericPlanReusedForNonKeyPredicate) {
+  // grp is neither indexed nor the distribution key: the generic plan is as
+  // good as a custom one, so PREPARE plans once and EXECUTE only substitutes.
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE byg AS SELECT count(*), sum(bal) FROM acct "
+                            "WHERE grp = $1")
+                  .ok());
+  for (int g = 0; g < 7; ++g) {
+    auto r = session_->Execute("EXECUTE byg(" + std::to_string(g) + ")");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto lit = session_->Execute("SELECT count(*), sum(bal) FROM acct WHERE grp = " +
+                                 std::to_string(g));
+    ASSERT_TRUE(lit.ok());
+    EXPECT_EQ(r->rows[0][0].int_val(), lit->rows[0][0].int_val());
+    EXPECT_EQ(r->rows[0][1].int_val(), lit->rows[0][1].int_val());
+  }
+}
+
+TEST_F(PrepareExecuteTest, NoParamsPreparedStatement) {
+  ASSERT_TRUE(
+      session_->Execute("PREPARE total AS SELECT sum(bal) FROM acct").ok());
+  auto r1 = session_->Execute("EXECUTE total");
+  ASSERT_TRUE(r1.ok());
+  auto r2 = session_->Execute("EXECUTE total");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->rows[0][0].int_val(), r2->rows[0][0].int_val());
+}
+
+TEST_F(PrepareExecuteTest, DmlThroughExecute) {
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE upd AS UPDATE acct SET bal = bal + $1 "
+                            "WHERE id = $2")
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE ins AS INSERT INTO acct (id, grp, bal) "
+                            "VALUES ($1, $2, $3)")
+                  .ok());
+  auto upd = session_->Execute("EXECUTE upd(5, 1)");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->affected, 1);
+  auto check = session_->Execute("SELECT bal FROM acct WHERE id = 1");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].int_val(), 15);
+
+  ASSERT_TRUE(session_->Execute("EXECUTE ins(1000, 1, -7)").ok());
+  auto inserted = session_->Execute("SELECT bal FROM acct WHERE id = 1000");
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_EQ(inserted->rows.size(), 1u);
+  EXPECT_EQ(inserted->rows[0][0].int_val(), -7);
+
+  // Negative argument through the EXECUTE arg list (unary minus path).
+  ASSERT_TRUE(session_->Execute("EXECUTE upd(-5, 1)").ok());
+  check = session_->Execute("SELECT bal FROM acct WHERE id = 1");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].int_val(), 10);
+}
+
+TEST_F(PrepareExecuteTest, WrongArityRejected) {
+  ASSERT_TRUE(
+      session_->Execute("PREPARE q AS SELECT bal FROM acct WHERE id = $1").ok());
+  EXPECT_FALSE(session_->Execute("EXECUTE q").ok());
+  EXPECT_FALSE(session_->Execute("EXECUTE q(1, 2)").ok());
+  EXPECT_TRUE(session_->Execute("EXECUTE q(1)").ok());
+}
+
+TEST_F(PrepareExecuteTest, UnknownAndDeallocatedStatementsRejected) {
+  EXPECT_FALSE(session_->Execute("EXECUTE nope").ok());
+  ASSERT_TRUE(
+      session_->Execute("PREPARE q AS SELECT count(*) FROM acct").ok());
+  ASSERT_TRUE(session_->Execute("EXECUTE q").ok());
+  ASSERT_TRUE(session_->Execute("DEALLOCATE q").ok());
+  EXPECT_FALSE(session_->Execute("EXECUTE q").ok());
+  EXPECT_FALSE(session_->Execute("DEALLOCATE q").ok());
+}
+
+TEST_F(PrepareExecuteTest, DeallocateAllClearsEverything) {
+  ASSERT_TRUE(session_->Execute("PREPARE a AS SELECT count(*) FROM acct").ok());
+  ASSERT_TRUE(session_->Execute("PREPARE b AS SELECT sum(bal) FROM acct").ok());
+  ASSERT_TRUE(session_->Execute("DEALLOCATE ALL").ok());
+  EXPECT_FALSE(session_->Execute("EXECUTE a").ok());
+  EXPECT_FALSE(session_->Execute("EXECUTE b").ok());
+}
+
+TEST_F(PrepareExecuteTest, PreparedStatementsAreSessionLocal) {
+  ASSERT_TRUE(session_->Execute("PREPARE q AS SELECT count(*) FROM acct").ok());
+  auto other = cluster_->Connect();
+  EXPECT_FALSE(other->Execute("EXECUTE q").ok());
+}
+
+TEST_F(PrepareExecuteTest, CatalogChangeReplansGenericPlan) {
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE byg AS SELECT count(*) FROM acct "
+                            "WHERE grp = $1")
+                  .ok());
+  auto before = session_->Execute("EXECUTE byg(3)");
+  ASSERT_TRUE(before.ok());
+  // DDL bumps the catalog version: the generic plan is stamped stale and the
+  // next EXECUTE must replan (and still answer correctly).
+  ASSERT_TRUE(session_->Execute("CREATE TABLE unrelated (x int)").ok());
+  auto after = session_->Execute("EXECUTE byg(3)");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows[0][0].int_val(), before->rows[0][0].int_val());
+}
+
+TEST_F(PrepareExecuteTest, ExecuteSeesLaterWrites) {
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE byg AS SELECT count(*) FROM acct "
+                            "WHERE grp = $1")
+                  .ok());
+  auto before = session_->Execute("EXECUTE byg(0)");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(
+      session_->Execute("INSERT INTO acct (id, grp, bal) VALUES (999, 0, 1)").ok());
+  auto after = session_->Execute("EXECUTE byg(0)");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0][0].int_val(), before->rows[0][0].int_val() + 1);
+}
+
+TEST_F(PrepareExecuteTest, ParamInArithmeticAndProjection) {
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE p AS SELECT bal + $1, grp FROM acct "
+                            "WHERE id = $2")
+                  .ok());
+  auto r = session_->Execute("EXECUTE p(100, 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 120);  // bal(id=2)=20, +100
+}
+
+TEST_F(PrepareExecuteTest, PrepareInsideTransactionRollsBackDmlOnly) {
+  ASSERT_TRUE(session_
+                  ->Execute("PREPARE upd AS UPDATE acct SET bal = bal + $1 "
+                            "WHERE id = $2")
+                  .ok());
+  ASSERT_TRUE(session_->Execute("BEGIN").ok());
+  ASSERT_TRUE(session_->Execute("EXECUTE upd(7, 3)").ok());
+  ASSERT_TRUE(session_->Execute("ROLLBACK").ok());
+  auto check = session_->Execute("SELECT bal FROM acct WHERE id = 3");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].int_val(), 30);  // update rolled back
+  // The prepared statement survives the rollback (session state, not txn).
+  EXPECT_TRUE(session_->Execute("EXECUTE upd(1, 3)").ok());
+}
+
+}  // namespace
+}  // namespace gphtap

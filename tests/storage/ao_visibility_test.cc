@@ -57,7 +57,7 @@ class AoVisibilityTest : public ::testing::Test {
     EXPECT_TRUE(t->ScanBatches(Ctx(), {0, 1}, [&](ColumnBatch&& b) {
                    if (batches != nullptr) ++(*batches);
                    for (int32_t r : b.sel) {
-                     out.push_back(b.columns[0][static_cast<size_t>(r)].int_val());
+                     out.push_back(b.columns[0].GetDatum(static_cast<size_t>(r)).int_val());
                    }
                    return true;
                  }).ok());
@@ -174,7 +174,7 @@ TEST_F(AoVisibilityTest, ProjectedBatchScanReadsOnlyRequestedColumns) {
   int64_t sum = 0;
   ASSERT_TRUE(t.ScanBatches(Ctx(), {1}, [&](ColumnBatch&& b) {
                  EXPECT_EQ(b.NumColumns(), 1u);
-                 for (int32_t r : b.sel) sum += b.columns[0][static_cast<size_t>(r)].int_val();
+                 for (int32_t r : b.sel) sum += b.columns[0].GetDatum(static_cast<size_t>(r)).int_val();
                  return true;
                }).ok());
   EXPECT_EQ(sum, n * (n - 1));  // sum of 2*i for i in [0, n)

@@ -42,8 +42,8 @@ TEST(ColumnBatchTest, CompactDropsUnselectedRows) {
   b.Compact();
   EXPECT_EQ(b.rows, 2u);
   EXPECT_EQ(b.ActiveRows(), 2u);
-  EXPECT_EQ(b.columns[0][0].int_val(), 10);
-  EXPECT_EQ(b.columns[0][1].int_val(), 42);
+  EXPECT_EQ(b.columns[0].GetDatum(0).int_val(), 10);
+  EXPECT_EQ(b.columns[0].GetDatum(1).int_val(), 42);
   EXPECT_EQ(b.sel, (std::vector<int32_t>{0, 1}));
 }
 
@@ -59,7 +59,7 @@ TEST(ColumnBatchTest, FootprintCountsLiveRowsOnly) {
 // Every expression here is evaluated by both engines over every row; results
 // (value, NULL-ness, or error) must match exactly.
 void ExpectParity(const ExprPtr& e, const ColumnBatch& b) {
-  std::vector<Datum> out;
+  ColumnVector out;
   Status vs = VecEval(*e, b, b.sel, &out);
   // The batch kernel fails the whole batch if ANY live row errors; the row
   // engine errors per row. At the query level both abort, so parity means:
@@ -75,7 +75,7 @@ void ExpectParity(const ExprPtr& e, const ColumnBatch& b) {
   for (int32_t r : b.sel) {
     auto rowv = EvalExpr(*e, b.MaterializeRow(r));
     ASSERT_TRUE(rowv.ok());
-    const Datum& vecd = out[static_cast<size_t>(r)];
+    Datum vecd = out.GetDatum(static_cast<size_t>(r));
     EXPECT_EQ(rowv->is_null(), vecd.is_null()) << e->ToString() << " row " << r;
     if (!rowv->is_null()) {
       EXPECT_EQ(rowv->Compare(vecd), 0)
@@ -122,7 +122,7 @@ TEST(VecKernelsTest, ShortCircuitSuppressesDivisionByZero) {
                    Expr::Binary(BinOp::kDiv, Expr::Const(Datum(int64_t{10})),
                                 Expr::Column(1)),
                    Expr::Const(Datum(int64_t{1}))));
-  std::vector<Datum> out;
+  ColumnVector out;
   ASSERT_TRUE(VecEval(*guarded, b, b.sel, &out).ok());
   ExpectParity(guarded, b);
 
@@ -190,7 +190,7 @@ TEST(VecKernelsTest, ProjectionMatchesRowEngine) {
     for (size_t e = 0; e < exprs.size(); ++e) {
       auto want = EvalExpr(*exprs[e], row);
       ASSERT_TRUE(want.ok());
-      const Datum& got = out.columns[e][i];
+      Datum got = out.columns[e].GetDatum(i);
       EXPECT_EQ(want->is_null(), got.is_null());
       if (!want->is_null()) EXPECT_EQ(want->Compare(got), 0);
     }
@@ -235,7 +235,8 @@ TEST(VecKernelsTest, AggUpdateMatchesRowAccumulation) {
       AggState vec_state, row_state;
       VecAggUpdate(fn, b.columns[col], b.sel, &vec_state);
       for (int32_t r : b.sel) {
-        AggUpdateValue(fn, &row_state, b.columns[col][static_cast<size_t>(r)]);
+        AggUpdateValue(fn, &row_state,
+                       b.columns[col].GetDatum(static_cast<size_t>(r)));
       }
       Row vec_emit, row_emit;
       AggEmitFinal(AggSpec{fn, nullptr}, vec_state, &vec_emit);
@@ -253,6 +254,43 @@ TEST(VecKernelsTest, AggUpdateMatchesRowAccumulation) {
   }
 }
 
+// Regression: VecEval's output vector used to be grow-only — evaluating a big
+// batch then a smaller one left stale tail entries visible to consumers that
+// sized their loops off the output. The contract is now size == batch.rows,
+// exactly, on every call.
+TEST(VecKernelsTest, EvalOutputSizedToEachBatchNotGrowOnly) {
+  ExprPtr e = Expr::Binary(BinOp::kAdd, Expr::Column(0),
+                           Expr::Const(Datum(int64_t{1})));
+  ColumnBatch big = TestBatch();  // 5 rows
+  ColumnVector out;
+  ASSERT_TRUE(VecEval(*e, big, big.sel, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.GetDatum(4).int_val(), 6);
+
+  std::vector<Row> small_rows = {{Datum(int64_t{100})}, {Datum(int64_t{200})}};
+  ColumnBatch small = ColumnBatch::FromRows(small_rows);
+  ASSERT_TRUE(VecEval(*e, small, small.sel, &out).ok());
+  EXPECT_EQ(out.size(), 2u);  // shrank with the batch; no stale row 2..4
+  EXPECT_EQ(out.GetDatum(0).int_val(), 101);
+  EXPECT_EQ(out.GetDatum(1).int_val(), 201);
+}
+
+// Typed columns must keep exact row-engine semantics when every row is
+// filtered out: kernels see an empty position list and must not touch state.
+TEST(VecKernelsTest, AllFilteredBatchLeavesAggUntouched) {
+  ColumnBatch b = TestBatch();
+  ExprPtr none = Expr::Binary(BinOp::kGt, Expr::Column(0),
+                              Expr::Const(Datum(int64_t{1000})));
+  ASSERT_TRUE(VecFilterBatch(*none, &b).ok());
+  EXPECT_TRUE(b.sel.empty());
+  AggState st;
+  VecAggUpdate(AggFunc::kSum, b.columns[0], b.sel, &st);
+  VecAggUpdate(AggFunc::kCountStar, b.columns[0], b.sel, &st);
+  Row emit;
+  AggEmitFinal(AggSpec{AggFunc::kSum, nullptr}, st, &emit);
+  EXPECT_TRUE(emit[0].is_null());  // sum over zero rows is NULL, not 0
+}
+
 // Int sum overflowing into mixed int/double accumulation: the tight int loop
 // must bail to the generic path at the first non-int datum.
 TEST(VecKernelsTest, SumSwitchesToDoubleMidColumn) {
@@ -262,7 +300,8 @@ TEST(VecKernelsTest, SumSwitchesToDoubleMidColumn) {
   AggState vec_state, row_state;
   VecAggUpdate(AggFunc::kSum, b.columns[0], b.sel, &vec_state);
   for (int32_t r : b.sel) {
-    AggUpdateValue(AggFunc::kSum, &row_state, b.columns[0][static_cast<size_t>(r)]);
+    AggUpdateValue(AggFunc::kSum, &row_state,
+                   b.columns[0].GetDatum(static_cast<size_t>(r)));
   }
   Row ve, re;
   AggEmitFinal(AggSpec{AggFunc::kSum, nullptr}, vec_state, &ve);

@@ -127,5 +127,170 @@ TEST(VecDifferentialTest, RandomPredicatesAgreeAcrossEngines) {
   EXPECT_GT(vec_cluster->StatsSnapshot().counter("vec.batches"), 0u);
 }
 
+// NULLs in every column type (int, double, string): the typed vectors carry
+// a null mask per payload kind, and each kind has its own kernel path.
+TEST(VecDifferentialTest, NullsInEveryColumnTypeAgreeAcrossEngines) {
+  auto make = [](bool vectorized) {
+    ClusterOptions options;
+    options.num_segments = 3;
+    options.vectorized_execution_enabled = vectorized;
+    return std::make_unique<Cluster>(options);
+  };
+  auto vec_cluster = make(true);
+  auto row_cluster = make(false);
+  for (Cluster* c : {vec_cluster.get(), row_cluster.get()}) {
+    auto s = c->Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE mixed (k int, i int, d double, t text) "
+                           "WITH (storage=ao_column) DISTRIBUTED BY (k)")
+                    .ok());
+    // Every third int NULL, every fourth double NULL, every fifth string NULL.
+    for (int base = 0; base < 2000; base += 500) {
+      std::string values;
+      for (int k = base; k < base + 500; ++k) {
+        if (!values.empty()) values += ", ";
+        std::string i = k % 3 == 0 ? "NULL" : std::to_string(k % 41);
+        std::string d = k % 4 == 0 ? "NULL" : std::to_string(k % 17) + ".5";
+        std::string t = k % 5 == 0 ? "NULL" : "'s" + std::to_string(k % 11) + "'";
+        values += "(" + std::to_string(k) + ", " + i + ", " + d + ", " + t + ")";
+      }
+      ASSERT_TRUE(s->Execute("INSERT INTO mixed VALUES " + values).ok());
+    }
+  }
+  auto vec_session = vec_cluster->Connect();
+  auto row_session = row_cluster->Connect();
+  const char* queries[] = {
+      "SELECT k, i, d, t FROM mixed WHERE i IS NULL",
+      "SELECT k, i, d, t FROM mixed WHERE d IS NOT NULL AND i > 20",
+      "SELECT k, t FROM mixed WHERE t IS NULL OR i IS NULL",
+      "SELECT count(*), count(i), count(d), count(t) FROM mixed",
+      "SELECT sum(i), sum(d), min(i), max(d) FROM mixed",
+      "SELECT i, count(*), sum(d) FROM mixed GROUP BY i",
+      "SELECT k, i + 1, d * 2 FROM mixed WHERE k % 7 = 0",
+      "SELECT count(*) FROM mixed WHERE i = i",  // NULL = NULL is not true
+  };
+  for (const char* sql : queries) {
+    auto vec = vec_session->Execute(sql);
+    auto row = row_session->Execute(sql);
+    ASSERT_EQ(vec.ok(), row.ok()) << sql;
+    if (!vec.ok()) continue;
+    EXPECT_EQ(SortedRows(*vec), SortedRows(*row)) << sql;
+  }
+  EXPECT_GT(vec_cluster->StatsSnapshot().counter("vec.batches"), 0u);
+}
+
+// A vectorized AO-column scan feeding a join against a heap table: the heap
+// side cannot vectorize, so the join bridges engines mid-stream. The counted
+// fallback is the boundary where batches re-materialize into rows.
+TEST(VecDifferentialTest, MidStreamFallbackAtJoinBoundaryAgrees) {
+  auto make = [](bool vectorized) {
+    ClusterOptions options;
+    options.num_segments = 3;
+    options.vectorized_execution_enabled = vectorized;
+    return std::make_unique<Cluster>(options);
+  };
+  auto vec_cluster = make(true);
+  auto row_cluster = make(false);
+  for (Cluster* c : {vec_cluster.get(), row_cluster.get()}) {
+    auto s = c->Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE fact (k int, dim_id int, v int) "
+                           "WITH (storage=ao_column) DISTRIBUTED BY (k)")
+                    .ok());
+    ASSERT_TRUE(s->Execute("CREATE TABLE dim (id int, label text) "
+                           "DISTRIBUTED BY (id)")  // heap: not vectorizable
+                    .ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO fact SELECT i, i % 20, i * 3 "
+                           "FROM generate_series(0, 2999) i")
+                    .ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO dim SELECT i, 'd' FROM "
+                           "generate_series(0, 19) i")
+                    .ok());
+  }
+  auto vec_session = vec_cluster->Connect();
+  auto row_session = row_cluster->Connect();
+  const char* queries[] = {
+      "SELECT fact.k, dim.label FROM fact JOIN dim ON fact.dim_id = dim.id "
+      "WHERE fact.v % 5 = 0",
+      "SELECT dim.id, count(*), sum(fact.v) FROM fact JOIN dim "
+      "ON fact.dim_id = dim.id GROUP BY dim.id",
+  };
+  for (const char* sql : queries) {
+    auto vec = vec_session->Execute(sql);
+    auto row = row_session->Execute(sql);
+    ASSERT_TRUE(vec.ok()) << sql << ": " << vec.status().ToString();
+    ASSERT_TRUE(row.ok()) << sql << ": " << row.status().ToString();
+    EXPECT_EQ(SortedRows(*vec), SortedRows(*row)) << sql;
+  }
+  // The vec cluster both ran batches and bridged at least one boundary.
+  EXPECT_GT(vec_cluster->StatsSnapshot().counter("vec.batches"), 0u);
+  EXPECT_GT(vec_cluster->StatsSnapshot().counter("vec.fallbacks"), 0u);
+}
+
+// Morsel-parallel scans must be indistinguishable from serial ones: same
+// rows, and (per segment slice) the same order after the reorder buffer.
+TEST(VecDifferentialTest, MorselParallelScanMatchesSerial) {
+  for (uint64_t seed : {42u, 1337u, 7u}) {
+    auto make = [&](int workers) {
+      ClusterOptions options;
+      options.num_segments = 2;
+      options.vectorized_execution_enabled = true;
+      options.vec_morsel_workers = workers;
+      return std::make_unique<Cluster>(options);
+    };
+    auto parallel_cluster = make(4);
+    auto serial_cluster = make(1);
+    Rng rng(seed);
+    // Same generated data on both clusters: enough rows per segment to seal
+    // multiple 1024-row groups, with NULLs and deletes in the mix.
+    std::vector<std::string> inserts;
+    for (int base = 0; base < 10000; base += 1000) {
+      std::string values;
+      for (int k = base; k < base + 1000; ++k) {
+        if (!values.empty()) values += ", ";
+        int64_t v = rng.UniformRange(-100, 1000);
+        std::string sv = rng.Chance(0.05) ? "NULL" : std::to_string(v);
+        values += "(" + std::to_string(k) + ", " + std::to_string(k % 31) +
+                  ", " + sv + ")";
+      }
+      inserts.push_back("INSERT INTO fact VALUES " + values);
+    }
+    for (Cluster* c : {parallel_cluster.get(), serial_cluster.get()}) {
+      auto s = c->Connect();
+      ASSERT_TRUE(s->Execute("CREATE TABLE fact (k int, grp int, v int) "
+                             "WITH (storage=ao_column) DISTRIBUTED BY (k)")
+                      .ok());
+      for (const std::string& ins : inserts) ASSERT_TRUE(s->Execute(ins).ok());
+      ASSERT_TRUE(s->Execute("DELETE FROM fact WHERE grp = 13").ok());
+    }
+    auto par = parallel_cluster->Connect();
+    auto ser = serial_cluster->Connect();
+    const char* queries[] = {
+        "SELECT k, grp, v FROM fact WHERE v > 500",
+        "SELECT count(*), sum(v), min(v), max(v) FROM fact",
+        "SELECT grp, count(*), sum(v) FROM fact GROUP BY grp",
+        "SELECT k, v FROM fact WHERE v IS NULL",
+        "SELECT k FROM fact WHERE k % 2 = 0 ORDER BY k LIMIT 100",
+    };
+    for (const char* sql : queries) {
+      auto p = par->Execute(sql);
+      auto s = ser->Execute(sql);
+      ASSERT_TRUE(p.ok()) << "seed " << seed << ": " << sql << ": "
+                          << p.status().ToString();
+      ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << sql;
+      EXPECT_EQ(SortedRows(*p), SortedRows(*s)) << "seed " << seed << ": " << sql;
+    }
+    // ORDER BY results must match exactly (not just as sets).
+    auto p_ord = par->Execute("SELECT k, v FROM fact ORDER BY k");
+    auto s_ord = ser->Execute("SELECT k, v FROM fact ORDER BY k");
+    ASSERT_TRUE(p_ord.ok() && s_ord.ok());
+    ASSERT_EQ(p_ord->rows.size(), s_ord->rows.size());
+    for (size_t i = 0; i < p_ord->rows.size(); ++i) {
+      ASSERT_EQ(RowText(p_ord->rows[i]), RowText(s_ord->rows[i])) << "row " << i;
+    }
+    EXPECT_GT(parallel_cluster->StatsSnapshot().counter("vec.morsels"), 0u)
+        << "seed " << seed << ": morsel path never engaged";
+    EXPECT_EQ(serial_cluster->StatsSnapshot().counter("vec.morsels"), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace gphtap

@@ -99,11 +99,46 @@ TEST(VecExecutorTest, LimitStopsBatchProduction) {
 }
 
 TEST(VecExecutorTest, JoinFallsBackWithVectorizedLeaves) {
-  // HashJoin is row-engine-only; the AO-column scans under it may still be
-  // marked, exercising the batch->row boundary inside a join pipeline.
+  // dim is a heap table, so the join itself stays on the row engine; the
+  // AO-column scan under it is still marked, exercising the batch->row
+  // boundary inside a join pipeline.
   ExpectSameResults(
       "SELECT f.grp, count(*) AS n, sum(f.v) AS s FROM fact f "
       "JOIN dim d ON f.grp = d.grp GROUP BY f.grp ORDER BY f.grp");
+}
+
+TEST(VecExecutorTest, ExplainAnalyzeShowsVectorizedHashJoin) {
+  // CH-benCH shape: AO-column fact joined to an AO-column dimension with a
+  // grouped aggregate on top — the whole pipeline runs on the batch engine,
+  // and EXPLAIN ANALYZE must say so on the HashJoin line itself.
+  auto cluster = MakeCluster(true);
+  Load(cluster.get());
+  auto s = cluster->Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE item (grp int, price int) "
+                         "WITH (storage=ao_column) DISTRIBUTED BY (grp)")
+                  .ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO item SELECT i, i * 3 "
+                         "FROM generate_series(0, 9) i")
+                  .ok());
+  auto r = s->Execute(
+      "EXPLAIN ANALYZE SELECT f.grp, count(*) AS n, sum(i.price) AS rev "
+      "FROM fact f JOIN item i ON f.grp = i.grp GROUP BY f.grp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string text;
+  for (const Row& row : r->rows) text += RowText(row) + "\n";
+  bool join_vectorized_with_batches = false;
+  size_t pos = 0;
+  while ((pos = text.find("HashJoin", pos)) != std::string::npos) {
+    std::string line = text.substr(pos, text.find('\n', pos) - pos);
+    if (line.find("(vectorized)") != std::string::npos &&
+        line.find("batches=") != std::string::npos) {
+      join_vectorized_with_batches = true;
+    }
+    pos += 1;
+  }
+  EXPECT_TRUE(join_vectorized_with_batches)
+      << "no vectorized HashJoin with batch counts in:\n"
+      << text;
 }
 
 TEST(VecExecutorTest, DistinctOverVectorizedScan) {
