@@ -1,0 +1,190 @@
+// Columnar delta-store benchmarks: how fresh is "fresh", and what does it buy.
+//
+//   Delta/Freshness/Lag        — commit-to-columnar latency: time from a heap
+//                                INSERT returning to the delta feed having
+//                                applied every change-log record it produced.
+//   Delta/Freshness/Merged     — grouped-aggregate tps over heap rows loaded
+//                                moments earlier, served by the vectorized
+//                                delta-merged scan.
+//   Delta/Freshness/RowEngine  — the same query on the same fresh data with
+//                                the row engine (SET vectorized_execution =
+//                                off); the baseline the merged scan must beat.
+//   Delta/Seal/Throughput      — rows/s drained from open delta runs into
+//                                sealed compressed groups by forced seal
+//                                passes under a steady insert feed.
+#include "bench_common.h"
+#include "delta/delta_index.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+ClusterOptions DeltaOptions() {
+  ClusterOptions o;
+  o.num_segments = 2;
+  o.vectorized_execution_enabled = true;
+  o.delta_store_enabled = true;
+  o.delta_seal_period_us = 0;  // benches control sealing explicitly
+  return o;
+}
+
+// Blocks until every segment's delta feed has applied its whole change log.
+void WaitAllApplied(Cluster* cluster) {
+  for (int i = 0; i < cluster->num_segments(); ++i) {
+    DeltaIndex* di = cluster->delta_index(i);
+    if (di == nullptr) std::abort();
+    Status s = di->WaitForApplied(cluster->segment(i)->change_log()->size(),
+                                  /*timeout_us=*/10'000'000);
+    if (!s.ok()) std::abort();
+  }
+}
+
+// Commit-to-columnar freshness: one single-row INSERT per iteration, timed
+// until the change-log records it appended are applied on every segment.
+void BM_FreshnessLag(::benchmark::State& state) {
+  ClusterOptions options = DeltaOptions();
+  options.delta_seal_period_us = 20'000;  // the daemon runs, as in production
+  Cluster cluster(options);
+  auto session = cluster.Connect();
+  auto r = session->Execute(
+      "CREATE TABLE lag (k int, v int) DISTRIBUTED BY (k)");
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  int64_t k = 0;
+  RunMicro(state, "Delta/Freshness/Lag", 1, [&] {
+    auto ins = session->Execute("INSERT INTO lag VALUES (" + std::to_string(k) +
+                                ", " + std::to_string(k % 97) + ")");
+    if (!ins.ok()) std::abort();
+    ++k;
+    WaitAllApplied(&cluster);
+  });
+}
+
+// Fresh-data analytics: load heap rows, then hammer a CH-benCH-shaped grouped
+// aggregate over them. `vectorized` toggles delta-merged vs row engine on the
+// same session, same data, same statement.
+void RunFreshScan(::benchmark::State& state, const std::string& series,
+                  bool vectorized) {
+  int64_t rows = state.range(0);
+  Cluster cluster(DeltaOptions());
+  auto session = cluster.Connect();
+  auto r = session->Execute(
+      "CREATE TABLE fresh (k int, grp int, v int) DISTRIBUTED BY (k)");
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  TableDef def = *cluster.LookupTable("fresh");
+  std::vector<Row> data;
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back(Row{Datum(i), Datum(static_cast<int64_t>(i % 11)),
+                       Datum(static_cast<int64_t>(rng.Uniform(1000)))});
+  }
+  if (!session->ExecuteInsert(def, data).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  if (!vectorized &&
+      !session->Execute("SET vectorized_execution = off").ok()) {
+    state.SkipWithError("override failed");
+    return;
+  }
+  RunMicro(state, series, rows, [&] {
+    auto q = session->Execute(
+        "SELECT grp, count(*) AS n, sum(v) AS s FROM fresh "
+        "WHERE v < 500 GROUP BY grp");
+    if (!q.ok()) std::abort();
+    ::benchmark::DoNotOptimize(q->rows);
+  });
+}
+
+void BM_FreshScanMerged(::benchmark::State& state) {
+  RunFreshScan(state, "Delta/Freshness/Merged", true);
+}
+
+void BM_FreshScanRow(::benchmark::State& state) {
+  RunFreshScan(state, "Delta/Freshness/RowEngine", false);
+}
+
+// Seal throughput: each iteration feeds a burst of inserts and then forces a
+// seal pass on every segment, timing only the seal. The JSON point reports
+// rows drained per second of seal time.
+void BM_SealThroughput(::benchmark::State& state) {
+  int64_t burst = state.range(0);
+  Cluster cluster(DeltaOptions());
+  auto session = cluster.Connect();
+  auto r = session->Execute(
+      "CREATE TABLE seal (k int, v int) DISTRIBUTED BY (k)");
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  TableDef def = *cluster.LookupTable("seal");
+  uint64_t sealed_before = cluster.StatsSnapshot().counter("delta.sealed_rows");
+  Histogram lat;
+  int64_t active_us = 0;
+  int64_t k = 0;
+  for (auto _ : state) {
+    std::vector<Row> data;
+    for (int64_t i = 0; i < burst; ++i, ++k) {
+      data.push_back(Row{Datum(k), Datum(k % 13)});
+    }
+    if (!session->ExecuteInsert(def, data).ok()) std::abort();
+    WaitAllApplied(&cluster);
+    Stopwatch sw;
+    for (int i = 0; i < cluster.num_segments(); ++i) {
+      if (!cluster.SealDeltaNow(i).ok()) std::abort();
+    }
+    int64_t us = sw.ElapsedMicros();
+    active_us += us;
+    lat.Record(us);
+  }
+  uint64_t sealed =
+      cluster.StatsSnapshot().counter("delta.sealed_rows") - sealed_before;
+  JsonFields fields;
+  fields.push_back({"throughput_tps",
+                    active_us > 0 ? static_cast<double>(sealed) * 1e6 /
+                                        static_cast<double>(active_us)
+                                  : 0});
+  fields.push_back({"p50_us", static_cast<double>(lat.Percentile(50))});
+  fields.push_back({"p95_us", static_cast<double>(lat.Percentile(95))});
+  fields.push_back({"p99_us", static_cast<double>(lat.Percentile(99))});
+  fields.push_back({"rows_sealed", static_cast<double>(sealed)});
+  AddClusterCounters(&cluster, &fields);
+  RecordPoint("Delta/Seal/Throughput", burst, std::move(fields));
+  state.counters["rows_sealed"] = static_cast<double>(sealed);
+}
+
+void RegisterAll() {
+  {
+    auto* b = ::benchmark::RegisterBenchmark("Delta/Freshness/Lag",
+                                             BM_FreshnessLag);
+    b->Args({1});
+    b->Unit(::benchmark::kMicrosecond);
+  }
+  for (auto* fn : {BM_FreshScanMerged, BM_FreshScanRow}) {
+    const char* name = fn == BM_FreshScanMerged ? "Delta/Freshness/Merged"
+                                                : "Delta/Freshness/RowEngine";
+    auto* b = ::benchmark::RegisterBenchmark(name, fn);
+    for (int64_t rows : Points({20000, 100000})) b->Args({rows});
+    b->Unit(::benchmark::kMicrosecond);
+  }
+  {
+    auto* b = ::benchmark::RegisterBenchmark("Delta/Seal/Throughput",
+                                             BM_SealThroughput);
+    for (int64_t burst : Points({4096, 16384})) b->Args({burst});
+    b->Unit(::benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "delta",
+                                  gphtap::bench::RegisterAll);
+}

@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test|delta_store_test|delta_scan_test|delta_differential_test')
 
 # Smoke-run one benchmark and validate its machine-readable output. The run
 # also exports a Chrome trace_event dump of the traced queries, validated
@@ -127,4 +127,41 @@ for pair in ("Filter", "Agg", "ScanQuery", "Partition"):
         print(f"  {pair}@{arg}: vec {vec_tps:.0f} tps vs row {row_tps:.0f} tps "
               f"({vec_tps / row_tps:.2f}x)")
 print(f"BENCH vec json OK: {len(doc['points'])} points, vectorized wins everywhere")
+EOF
+
+# Delta-store bench: smoke-run, validate the JSON, and assert the vectorized
+# delta-merged scan over fresh heap rows beats (or ties) the row engine on the
+# same data at every swept arg, that the freshness lag was measured, and that
+# forced seal passes actually drained rows.
+(cd build && GPHTAP_BENCH_MS=100 ./bench/bench_delta --smoke)
+python3 - build/BENCH_delta.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "delta", doc
+assert doc["points"], "no points recorded"
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us"}
+for point in doc["points"]:
+    missing = required - set(point)
+    assert not missing, f"point {point.get('series')} missing {missing}"
+by_key = {(p["series"], p["arg"]): p for p in doc["points"]}
+series = {p["series"] for p in doc["points"]}
+assert "Delta/Freshness/Lag" in series, f"missing lag series in {sorted(series)}"
+lag = next(p for p in doc["points"] if p["series"] == "Delta/Freshness/Lag")
+assert lag["p95_us"] >= lag["p50_us"] >= 0, lag
+merged_args = sorted(a for (n, a) in by_key if n == "Delta/Freshness/Merged")
+assert merged_args, f"missing merged series in {sorted(series)}"
+for arg in merged_args:
+    merged = by_key[("Delta/Freshness/Merged", arg)]
+    row = by_key.get(("Delta/Freshness/RowEngine", arg))
+    assert row is not None, f"Delta/Freshness/RowEngine has no point at arg {arg}"
+    m_tps, r_tps = merged["throughput_tps"], row["throughput_tps"]
+    assert m_tps >= r_tps, (
+        f"Freshness@{arg}: delta-merged {m_tps:.0f} tps < row engine {r_tps:.0f} tps")
+    print(f"  Freshness@{arg}: merged {m_tps:.0f} tps vs row {r_tps:.0f} tps "
+          f"({m_tps / r_tps:.2f}x), lag p50 {lag['p50_us']:.0f}us")
+seal = next(p for p in doc["points"] if p["series"] == "Delta/Seal/Throughput")
+assert seal["rows_sealed"] > 0, "seal passes drained no rows"
+print(f"BENCH delta json OK: {len(doc['points'])} points, "
+      f"seal {seal['throughput_tps']:.0f} rows/s")
 EOF

@@ -91,6 +91,21 @@ std::vector<TableDef> BuildDefs() {
                            {"iterations", TypeId::kInt64},
                            {"reason", TypeId::kString}}));
 
+  // One row per (segment, delta-tracked heap table): change-log feed position
+  // and the columnar delta store's shape on that segment.
+  defs.push_back(MakeView(SystemViewId::kDeltaStatus, "gp_delta_status",
+                          {{"segment", TypeId::kInt64},
+                           {"table_name", TypeId::kString},
+                           {"log_size", TypeId::kInt64},
+                           {"applied", TypeId::kInt64},
+                           {"lag", TypeId::kInt64},  // log records not yet applied
+                           {"open_rows", TypeId::kInt64},
+                           {"sealed_groups", TypeId::kInt64},
+                           {"sealed_rows", TypeId::kInt64},
+                           {"freed_groups", TypeId::kInt64},
+                           {"deletes", TypeId::kInt64},
+                           {"pending_frees", TypeId::kInt64}}));
+
   return defs;
 }
 

@@ -24,6 +24,7 @@ enum class SystemViewId : TableId {
   kSegmentStatus = kSystemViewIdBase + 3,  // gp_segment_status
   kWaitEvents = kSystemViewIdBase + 4,     // gp_wait_events
   kDistDeadlocks = kSystemViewIdBase + 5,  // gp_dist_deadlocks
+  kDeltaStatus = kSystemViewIdBase + 6,    // gp_delta_status
 };
 
 /// All system-view defs (is_system_view set, Replicated distribution — they

@@ -44,13 +44,16 @@ Cluster::Cluster(ClusterOptions options)
   seg_options_.fsync_cost_us = options.fsync_cost_us;
   seg_options_.locks = options.locks;
   seg_options_.enable_mirroring = options.mirrors_enabled;
-  seg_options_.enable_recovery = options.crash_recovery_enabled;
+  // The delta feed tails the same change stream crash recovery replays.
+  seg_options_.enable_recovery =
+      options.crash_recovery_enabled || options.delta_store_enabled;
   seg_options_.metrics = &metrics_;
   // Fixed-capacity slot arrays: AddSegments fills slots past the serving count
   // at runtime, so the vectors themselves never reallocate under readers.
   segments_.resize(kMaxSegments);
   mirrors_.resize(kMaxSegments);
   breakers_.resize(kMaxSegments);
+  delta_indexes_.resize(kMaxSegments);
   const int initial = std::min(options.num_segments, kMaxSegments);
   for (int i = 0; i < initial; ++i) {
     Status built = BuildSegmentSlot(i, {});
@@ -129,11 +132,22 @@ Cluster::Cluster(ClusterOptions options)
     maintenance_running_.store(true);
     maintenance_thread_ = std::thread([this] { MaintenanceLoop(); });
   }
+
+  if (options.delta_store_enabled && options.delta_seal_period_us > 0) {
+    delta_seal_running_.store(true);
+    delta_seal_thread_ = std::thread([this] { DeltaSealLoop(); });
+  }
 }
 
 Cluster::~Cluster() {
   if (dtx_recovery_) dtx_recovery_->Stop();
   if (fts_) fts_->Stop();
+  if (delta_seal_running_.exchange(false) && delta_seal_thread_.joinable()) {
+    delta_seal_thread_.join();
+  }
+  for (auto& di : delta_indexes_) {
+    if (di != nullptr) di->Stop();
+  }
   for (auto& m : mirrors_) {
     if (m != nullptr) m->Stop();
   }
@@ -172,7 +186,63 @@ Status Cluster::BuildSegmentSlot(int index, const std::vector<TableDef>& defs) {
     b->set_trip_counter(metrics_.counter("resilience.breaker_trips"));
     breakers_[static_cast<size_t>(index)] = std::move(b);
   }
+  if (options_.delta_store_enabled) {
+    auto di = std::make_unique<DeltaIndex>(
+        index, [this](TableId id) { return LookupTableById(id); }, &metrics_);
+    di->Start(seg->change_log());
+    delta_indexes_[static_cast<size_t>(index)] = std::move(di);
+  }
   segments_[static_cast<size_t>(index)] = std::move(seg);
+  return Status::OK();
+}
+
+void Cluster::DeltaSealLoop() {
+  // The daemon thread gets its own wait context so seal stalls behind a
+  // recovering segment show up in gp_wait_events as delta_seal_stall.
+  WaitContext ctx;
+  ctx.registry = &wait_events_;
+  WaitContextGuard guard(ctx);
+  while (delta_seal_running_.load(std::memory_order_relaxed)) {
+    const int n = num_segments();
+    for (int i = 0; i < n; ++i) {
+      if (!delta_seal_running_.load(std::memory_order_relaxed)) return;
+      Status s = SealDeltaNow(i);
+      (void)s;  // a down segment skips its pass; the next one retries
+    }
+    int64_t slept = 0;
+    while (slept < options_.delta_seal_period_us &&
+           delta_seal_running_.load(std::memory_order_relaxed)) {
+      const int64_t chunk = std::min<int64_t>(options_.delta_seal_period_us - slept, 1000);
+      std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+      slept += chunk;
+    }
+  }
+}
+
+Status Cluster::SealDeltaNow(int index) {
+  DeltaIndex* di = delta_index(index);
+  if (di == nullptr) return Status::NotSupported("delta store disabled");
+  Segment* seg = segment(index);
+  if (seg == nullptr) return Status::NotFound("segment " + std::to_string(index));
+  // Pin fails fast when the segment is down and blocks behind Recover()'s
+  // exclusive service lock — the seal-stall point.
+  WaitEventScope stall(WaitEvent::kDeltaSealStall, index);
+  auto pin = seg->Pin();
+  if (!pin.ok()) return pin.status();
+  const CommitLog& clog = seg->clog();
+  DistributedLog& dlog = seg->dlog();
+  // Same physical-reclamation horizon as heap VACUUM: an aborted creator is
+  // dead to everyone; a committed deleter only once it predates every live
+  // snapshot (clog-committed alone is NOT safe — an older snapshot may still
+  // need the row).
+  const Gxid oldest_gxid = dtm_.OldestVisibleGxid();
+  AoRowDeadFn dead = [&clog, &dlog, oldest_gxid](LocalXid xmin, LocalXid xmax) {
+    if (clog.GetState(xmin) == TxnState::kAborted) return true;
+    if (xmax == kInvalidLocalXid || !clog.IsCommitted(xmax)) return false;
+    auto gxid = dlog.Lookup(xmax);
+    return !gxid.has_value() || *gxid < oldest_gxid;
+  };
+  di->SealAndReclaim(&clog, seg->change_log(), dead);
   return Status::OK();
 }
 

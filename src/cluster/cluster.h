@@ -16,6 +16,7 @@
 
 #include "cluster/circuit_breaker.h"
 #include "cluster/dtx_recovery.h"
+#include "delta/delta_index.h"
 #include "cluster/fts.h"
 #include "cluster/mirror.h"
 #include "cluster/segment.h"
@@ -85,6 +86,18 @@ struct ClusterOptions {
   // Coordinator plan cache: planned SELECTs memoized by SQL text, invalidated
   // by catalog-version bumps (DDL / expansion / rebalance). 0 disables.
   size_t plan_cache_capacity = 64;
+
+  // In-memory columnar delta store (src/delta/): every plain heap table gets a
+  // per-segment column index tailing the change log, and heap scans run as
+  // vectorized delta-merged scans after a freshness wait. Implies the
+  // crash-recovery change stream (segments must produce change records).
+  bool delta_store_enabled = false;
+  // Seal-daemon period: seal cold delta runs + reclaim all-dead groups on
+  // every segment this often. 0 = no daemon (SealDeltaNow still works).
+  int64_t delta_seal_period_us = 20'000;
+  // How long a delta-merged scan waits for the feed to reach the log position
+  // captured at scan start before falling back to the row engine.
+  int64_t delta_freshness_timeout_us = 200'000;
 
   // Interconnect buffering (rows per receiver queue) for motions.
   size_t motion_buffer_rows = 8192;
@@ -375,6 +388,16 @@ class Cluster {
     catalog_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // ---- Delta store (when options.delta_store_enabled) ----
+  /// Segment `i`'s delta index, or null when the feature is off.
+  DeltaIndex* delta_index(int i) const {
+    return delta_indexes_[static_cast<size_t>(i)].get();
+  }
+  /// One synchronous seal+reclaim pass over segment `index`'s delta stores
+  /// (what the seal daemon runs every delta_seal_period_us). Blocks behind a
+  /// recovering segment (kDeltaSealStall) and fails fast on a down one.
+  Status SealDeltaNow(int index);
+
   // ---- Mirrors (when options.mirrors_enabled) ----
   MirrorSegment* mirror(int i) { return mirrors_[static_cast<size_t>(i)].get(); }
   /// Waits for every mirror to apply everything its primary produced.
@@ -424,6 +447,9 @@ class Cluster {
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<MirrorSegment>> mirrors_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  // Declared after segments_: a delta index tails its segment's change log,
+  // so it must be destroyed (and is stopped) first.
+  std::vector<std::unique_ptr<DeltaIndex>> delta_indexes_;
   std::atomic<int> serving_segments_{0};
   // Serializes expansion against catalog DDL's per-segment fanout, so every
   // table lands on every segment exactly once.
@@ -452,6 +478,10 @@ class Cluster {
 
   std::atomic<bool> maintenance_running_{false};
   std::thread maintenance_thread_;
+
+  void DeltaSealLoop();
+  std::atomic<bool> delta_seal_running_{false};
+  std::thread delta_seal_thread_;
 };
 
 }  // namespace gphtap

@@ -191,6 +191,27 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
       }
       return rows;
     }
+    case SystemViewId::kDeltaStatus: {
+      const int n = num_segments();
+      for (int i = 0; i < n; ++i) {
+        DeltaIndex* di = delta_index(i);
+        Segment* seg = segment(i);
+        if (di == nullptr || seg == nullptr) continue;
+        ChangeLog* log = seg->change_log();
+        const int64_t log_size =
+            log == nullptr ? 0 : static_cast<int64_t>(log->size());
+        const int64_t applied = static_cast<int64_t>(di->applied());
+        const int64_t lag = std::max<int64_t>(0, log_size - applied);
+        for (const DeltaIndex::TableStatus& ts : di->TableStatuses()) {
+          rows.push_back(Row{Int(i), Datum(ts.name), Int(log_size), Int(applied),
+                             Int(lag), Uint(ts.stats.open_rows),
+                             Uint(ts.stats.sealed_groups), Uint(ts.stats.sealed_rows),
+                             Uint(ts.stats.freed_groups), Uint(ts.stats.deletes),
+                             Uint(ts.stats.pending_frees)});
+        }
+      }
+      return rows;
+    }
   }
   return Status::NotFound("no system view with id " + std::to_string(view_id));
 }

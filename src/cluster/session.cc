@@ -653,7 +653,10 @@ PlannerOptions Session::MakePlannerOptions() {
   popts.num_segments = cluster_->num_segments();
   popts.use_orca = cluster_->options().use_orca;
   popts.direct_dispatch = cluster_->options().direct_dispatch_enabled;
-  popts.vectorize = cluster_->options().vectorized_execution_enabled;
+  popts.vectorize =
+      vectorize_override_.value_or(cluster_->options().vectorized_execution_enabled);
+  // Delta-merged scans ride the vectorized engine: both switches must be on.
+  popts.delta_store = cluster_->options().delta_store_enabled && popts.vectorize;
   popts.next_motion_id = [this] { return cluster_->NextMotionId(); };
   popts.table_dist = [this](TableId id) {
     Cluster::TableDistInfo d = cluster_->TableDist(id);
@@ -751,7 +754,7 @@ StatusOr<QueryResult> Session::ExecuteSelect(const SelectQuery& query,
     cached->columns = std::move(planned.columns);
     cached->tables = query.tables;
     cached->catalog_version = catalog_version;
-    if (cache_sql != nullptr) {
+    if (cache_sql != nullptr && PlanCacheEligible()) {
       cluster_->plan_cache().Insert(*cache_sql, cached);
     }
     return RunPlannedSelect(*cached);
@@ -853,8 +856,13 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
       size_t eol = text.find('\n');
       std::string line = text.substr(0, eol == std::string::npos ? text.size() : eol);
       OperatorStatsCollector::OpStats os = op_stats.Get(node.node_id);
+      // A labeled scan's batch count rides directly on the store label
+      // ("store=delta-merged (vectorized) batches=12"), answering which engine
+      // served the scan and how in one glance.
+      bool store_batches = os.batches > 0 && !node.scan_store.empty();
+      if (store_batches) line += " batches=" + std::to_string(os.batches);
       char buf[128];
-      if (os.batches > 0) {
+      if (os.batches > 0 && !store_batches) {
         std::snprintf(buf, sizeof(buf),
                       "  (actual rows=%lld batches=%lld loops=%lld time=%.3f ms)",
                       static_cast<long long>(os.rows),
@@ -868,6 +876,14 @@ StatusOr<QueryResult> Session::ExplainAnalyzeSelect(const SelectQuery& query) {
                       static_cast<double>(os.total_time_us) / 1000.0);
       }
       line += buf;
+      if (!os.store_rows.empty()) {
+        // Visible rows the scan drew from each physical store, pre-filter.
+        line += "  (stores:";
+        for (const auto& [store, n] : os.store_rows) {
+          line += " " + store + "=" + std::to_string(n);
+        }
+        line += ")";
+      }
       if (node.kind == PlanKind::kMotion) {
         // Time spent blocked on the exchange, reported separately from the
         // inclusive operator time: send = producers on a full queue, recv =

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -113,6 +114,15 @@ class Session {
   int64_t lock_timeout_us() const { return lock_timeout_us_; }
   void set_admission_timeout_us(int64_t us) { admission_timeout_us_ = us; }
   int64_t admission_timeout_us() const { return admission_timeout_us_; }
+
+  // SET vectorized_execution = on/off/default: per-session override of the
+  // cluster-wide vectorization switch (and with it the delta-merged scan
+  // path, which requires vectorize). nullopt = follow ClusterOptions.
+  void set_vectorize_override(std::optional<bool> v) { vectorize_override_ = v; }
+  std::optional<bool> vectorize_override() const { return vectorize_override_; }
+  // Plans shaped by a session override must not land in (or be served from)
+  // the shared plan cache keyed by SQL text alone.
+  bool PlanCacheEligible() const { return !vectorize_override_.has_value(); }
 
   Cluster* cluster() { return cluster_; }
 
@@ -267,6 +277,9 @@ class Session {
   int64_t statement_timeout_us_ = 0;
   int64_t lock_timeout_us_ = 0;
   int64_t admission_timeout_us_ = 0;
+
+  // Per-session engine override; nullopt follows the cluster option.
+  std::optional<bool> vectorize_override_;
 
   // Transaction state.
   Gxid gxid_ = kInvalidGxid;

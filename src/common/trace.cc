@@ -113,6 +113,12 @@ void OperatorStatsCollector::RecordMotionWait(int node_id, int64_t send_wait_us,
   s.recv_wait_us += recv_wait_us;
 }
 
+void OperatorStatsCollector::RecordStoreRows(int node_id, const std::string& store,
+                                             int64_t rows) {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_[node_id].store_rows[store] += rows;
+}
+
 OperatorStatsCollector::OpStats OperatorStatsCollector::Get(int node_id) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = stats_.find(node_id);

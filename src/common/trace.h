@@ -86,11 +86,17 @@ class OperatorStatsCollector {
     // operator wall time in EXPLAIN ANALYZE.
     int64_t send_wait_us = 0;
     int64_t recv_wait_us = 0;
+    // Scan nodes only: visible rows served per physical store ("heap",
+    // "ao-column", "delta-sealed", "delta-open", ...), accumulated across the
+    // gang. EXPLAIN ANALYZE renders these on the scan line.
+    std::map<std::string, int64_t> store_rows;
   };
 
   void Record(int node_id, int64_t rows, int64_t elapsed_us, int64_t batches = 0);
   /// Adds interconnect blocked time to a motion node's stats.
   void RecordMotionWait(int node_id, int64_t send_wait_us, int64_t recv_wait_us);
+  /// Accumulates rows a scan served from one physical store.
+  void RecordStoreRows(int node_id, const std::string& store, int64_t rows);
   /// Zero-valued OpStats when the node never executed.
   OpStats Get(int node_id) const;
 

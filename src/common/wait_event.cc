@@ -49,6 +49,10 @@ const char* WaitEventName(WaitEvent e) {
       return "commit_prepared_ack";
     case WaitEvent::kResGroupSlot:
       return "resgroup_slot";
+    case WaitEvent::kDeltaFreshness:
+      return "delta_freshness";
+    case WaitEvent::kDeltaSealStall:
+      return "delta_seal_stall";
   }
   return "?";
 }
@@ -72,6 +76,10 @@ WaitEventClass ClassOfEvent(WaitEvent e) {
       return WaitEventClass::kIpc;
     case WaitEvent::kResGroupSlot:
       return WaitEventClass::kResGroup;
+    case WaitEvent::kDeltaFreshness:
+      return WaitEventClass::kIpc;
+    case WaitEvent::kDeltaSealStall:
+      return WaitEventClass::kLock;
   }
   return WaitEventClass::kNone;
 }

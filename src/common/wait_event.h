@@ -59,6 +59,8 @@ enum class WaitEvent {
   kPrepareAck,
   kCommitPreparedAck,
   kResGroupSlot,
+  kDeltaFreshness,  // merged scan waiting for the delta feed to catch up
+  kDeltaSealStall,  // seal daemon parked behind a down/recovering segment
 };
 
 const char* WaitEventClassName(WaitEventClass c);

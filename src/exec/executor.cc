@@ -33,6 +33,20 @@ Status AcquireScanLock(ExecContext& ctx, TableId table) {
   return locks.Acquire(ctx.owner, LockTag::Relation(table), LockMode::kAccessShare);
 }
 
+const char* ScanStoreLabel(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kHeap:
+      return "heap";
+    case StorageKind::kAoRow:
+      return "ao-row";
+    case StorageKind::kAoColumn:
+      return "ao-column";
+    case StorageKind::kExternal:
+      return "external";
+  }
+  return "heap";
+}
+
 namespace {
 
 // ---------- helpers ----------
@@ -61,12 +75,14 @@ Status ExecScanCommon(const PlanNode& node, ExecContext& ctx, Table* table,
                       const RowSink& sink) {
   Status inner = Status::OK();
   VisibilityContext vis = ctx.Vis();
+  int64_t visible_rows = 0;
   auto cb = [&](TupleId, const Row& row) {
     Status t = ctx.Tick();
     if (!t.ok()) {
       inner = t;
       return false;
     }
+    ++visible_rows;
     if (node.filter) {
       auto pass = EvalPredicate(*node.filter, row);
       if (!pass.ok()) {
@@ -89,6 +105,10 @@ Status ExecScanCommon(const PlanNode& node, ExecContext& ctx, Table* table,
   } else {
     scan = table->Scan(vis, cb);
   }
+  if (ctx.op_stats != nullptr && visible_rows > 0) {
+    ctx.op_stats->RecordStoreRows(node.node_id, ScanStoreLabel(table->def().storage),
+                                  visible_rows);
+  }
   if (!inner.ok()) return inner;
   return scan;
 }
@@ -102,16 +122,22 @@ Status ExecIndexScan(const PlanNode& node, ExecContext& ctx, const RowSink& sink
     return ExecScanCommon(node, ctx, table, sink);
   }
   VisibilityContext vis = ctx.Vis();
+  int64_t visible_rows = 0;
   for (TupleId tid : heap->IndexLookup(node.index_col, node.index_key)) {
     GPHTAP_RETURN_IF_ERROR(ctx.Tick());
     auto v = heap->Get(tid);
     if (!v.ok()) continue;  // vacuumed concurrently
     if (!TupleVisible(v->header.xmin, v->header.xmax, vis)) continue;
+    ++visible_rows;
     if (node.filter) {
       GPHTAP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*node.filter, v->row));
       if (!pass) continue;
     }
     GPHTAP_RETURN_IF_ERROR(sink(std::move(v->row)));
+  }
+  if (ctx.op_stats != nullptr && visible_rows > 0) {
+    ctx.op_stats->RecordStoreRows(node.node_id, ScanStoreLabel(heap->def().storage),
+                                  visible_rows);
   }
   return Status::OK();
 }

@@ -28,6 +28,11 @@ Status TableForNode(ExecContext& ctx, TableId id, Table** out);
 /// transaction end per two-phase locking. Shared with src/vec/.
 Status AcquireScanLock(ExecContext& ctx, TableId table);
 
+/// EXPLAIN-facing physical store label ("heap", "ao-row", "ao-column",
+/// "external") for per-store row accounting. Shared with src/vec/. Distinct
+/// from StorageKindName, which is the catalog's storage-clause spelling.
+const char* ScanStoreLabel(StorageKind kind);
+
 struct QueryPlan {
   /// Shared + immutable so a cached plan can be executed by many statements
   /// (plan cache, prepared statements) without copying the tree.

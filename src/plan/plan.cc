@@ -87,6 +87,7 @@ std::string PlanNode::ToString(int indent) const {
         s += " key[$" + std::to_string(index_col) + "=" + index_key.ToString() + "]";
       }
       if (filter) s += " filter=" + filter->ToString();
+      if (!scan_store.empty()) s += " store=" + scan_store;
       break;
     case PlanKind::kFilter:
       if (filter) s += " " + filter->ToString();
@@ -219,6 +220,7 @@ StatusOr<PlanPtr> ClonePlanWithParams(const PlanNode& node,
   p->output_arity = node.output_arity;
   p->node_id = node.node_id;
   p->vectorize = node.vectorize;
+  p->scan_store = node.scan_store;
   p->children.reserve(node.children.size());
   for (const auto& child : node.children) {
     GPHTAP_ASSIGN_OR_RETURN(PlanPtr c, ClonePlanWithParams(*child, params));

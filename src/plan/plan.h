@@ -101,6 +101,11 @@ struct PlanNode {
   /// bridges at marked/unmarked boundaries.
   bool vectorize = false;
 
+  /// Scan nodes only: which store serves the scan ("heap", "ao-row",
+  /// "ao-column", "delta-merged", ...). Labeled by the planner, rendered by
+  /// EXPLAIN so delta coverage is visible per query.
+  std::string scan_store;
+
   std::string ToString(int indent = 0) const;
 };
 

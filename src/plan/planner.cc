@@ -129,6 +129,47 @@ bool MarkVectorizable(PlanNode* n, const std::set<TableId>& vec_tables) {
   return n->vectorize;
 }
 
+// Labels every scan node with the store that will serve it, for EXPLAIN
+// transparency: a vectorized heap scan under the delta store is served by the
+// delta-merged path, everything else by its table's physical storage.
+void LabelScanStores(PlanNode* n, const std::vector<TableDef>& tables,
+                     const PlannerOptions& opts) {
+  if (n == nullptr) return;
+  for (auto& c : n->children) LabelScanStores(c.get(), tables, opts);
+  if (n->kind == PlanKind::kVirtualScan) {
+    n->scan_store = "virtual";
+    return;
+  }
+  if (n->kind != PlanKind::kSeqScan && n->kind != PlanKind::kIndexScan) return;
+  const TableDef* def = nullptr;
+  for (const TableDef& t : tables) {
+    if (t.id == n->table) {
+      def = &t;
+      break;
+    }
+  }
+  if (def == nullptr) return;
+  if (def->partitions.has_value()) {
+    n->scan_store = "partitioned";
+    return;
+  }
+  switch (def->storage) {
+    case StorageKind::kHeap:
+      n->scan_store =
+          (n->vectorize && opts.delta_store) ? "delta-merged" : "heap";
+      break;
+    case StorageKind::kAoRow:
+      n->scan_store = "ao-row";
+      break;
+    case StorageKind::kAoColumn:
+      n->scan_store = "ao-column";
+      break;
+    case StorageKind::kExternal:
+      n->scan_store = "external";
+      break;
+  }
+}
+
 }  // namespace
 
 int DirectDispatchSegment(const TableDef& table, const std::vector<ExprPtr>& quals,
@@ -645,9 +686,17 @@ StatusOr<PlannedSelect> PlanSelect(const SelectQuery& query, const PlannerOption
       if (def.storage == StorageKind::kAoColumn && !def.partitions.has_value()) {
         vec_tables.insert(def.id);
       }
+      // With the delta store on, plain heap tables scan as delta-merged
+      // batches (sealed delta groups + open columnar tail) — the fresh-data
+      // vectorization path. Same partitioned-root exclusion.
+      if (opts.delta_store && def.storage == StorageKind::kHeap &&
+          !def.partitions.has_value() && !def.is_system_view) {
+        vec_tables.insert(def.id);
+      }
     }
     if (!vec_tables.empty()) MarkVectorizable(out.root.get(), vec_tables);
   }
+  LabelScanStores(out.root.get(), query.tables, opts);
   return out;
 }
 

@@ -19,6 +19,10 @@ struct PlannerOptions {
   bool use_orca = false;          // cost-based join order + motion choice
   bool direct_dispatch = true;    // single-segment routing for pinned keys
   bool vectorize = false;         // mark batch-executable subtrees (src/vec/)
+  // Delta store on: plain heap scans run as vectorized delta-merged scans
+  // (src/delta/), so they join the vec_tables set and their scan lines are
+  // labeled store=delta-merged. Only meaningful with `vectorize`.
+  bool delta_store = false;
   /// Estimated stored rows per table (for the cost-based mode); may be null.
   std::function<uint64_t(TableId)> row_estimate;
   /// Allocates cluster-unique motion ids.

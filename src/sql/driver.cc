@@ -1,7 +1,9 @@
 #include "sql/driver.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <optional>
 
 #include "cluster/session.h"
 #include "sql/analyzer.h"
@@ -266,7 +268,7 @@ StatusOr<QueryResult> RunSelect(Session* session, const sql_ast::SelectNode& nod
     return LocalSelect(node);
   }
   Cluster* cluster = session->cluster();
-  if (sql != nullptr) {
+  if (sql != nullptr && session->PlanCacheEligible()) {
     auto hit = cluster->plan_cache().Lookup(*sql, cluster->catalog_version());
     if (hit != nullptr) return session->ExecuteCachedPlan(std::move(hit));
   }
@@ -662,6 +664,21 @@ StatusOr<QueryResult> DispatchStatement(Session* session, const Statement& stmt,
       } else if (stmt.set->name == "admission_timeout") {
         GPHTAP_ASSIGN_OR_RETURN(int64_t us, parse_timeout_ms());
         session->set_admission_timeout_us(us);
+      } else if (stmt.set->name == "vectorized_execution") {
+        // Engine-choice override for A/B comparisons (differential tests,
+        // bench baselines). "default" reverts to the cluster option.
+        std::string v = stmt.set->value;
+        for (char& c : v) c = static_cast<char>(std::tolower(c));
+        if (v == "on" || v == "true" || v == "1") {
+          session->set_vectorize_override(true);
+        } else if (v == "off" || v == "false" || v == "0") {
+          session->set_vectorize_override(false);
+        } else if (v == "default" || v.empty()) {
+          session->set_vectorize_override(std::nullopt);
+        } else {
+          return Status::InvalidArgument(
+              "invalid value for vectorized_execution: " + stmt.set->value);
+        }
       }
       // Other settings are accepted and ignored (GUC compatibility).
       return QueryResult{};

@@ -11,9 +11,12 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/wait_event.h"
+#include "delta/delta_index.h"
 #include "exec/agg_ops.h"
 #include "exec/executor.h"
 #include "storage/column_store.h"
+#include "storage/heap_table.h"
 #include "vec/vec_kernels.h"
 
 namespace gphtap {
@@ -91,6 +94,7 @@ Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* tab
   VisibilityContext vis = ctx.Vis();
   ColumnBatch batch;
   bool shaped = false;
+  int64_t visible_rows = 0;
   Status inner = Status::OK();
   auto cb = [&](TupleId, const Row& row) -> bool {
     Status t = ctx.Tick();
@@ -98,6 +102,7 @@ Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* tab
       inner = t;
       return false;
     }
+    ++visible_rows;
     if (node.filter) {
       auto pass = EvalPredicate(*node.filter, row);
       if (!pass.ok()) {
@@ -126,6 +131,10 @@ Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* tab
   };
   Status scan = node.scan_cols.empty() ? table->Scan(vis, cb)
                                        : table->ScanColumns(vis, node.scan_cols, cb);
+  if (ctx.op_stats != nullptr && visible_rows > 0) {
+    ctx.op_stats->RecordStoreRows(node.node_id, ScanStoreLabel(table->def().storage),
+                                  visible_rows);
+  }
   if (!inner.ok()) return inner;
   GPHTAP_RETURN_IF_ERROR(scan);
   if (batch.rows > 0) return sink(std::move(batch));
@@ -149,6 +158,8 @@ struct MorselQueue {
   size_t capacity = 4;
   size_t next_consume = 0;
   std::atomic<size_t> next_claim{0};
+  // Pre-filter visible rows decoded across all workers (store accounting).
+  std::atomic<int64_t> visible_rows{0};
   int active_workers = 0;
   bool stop = false;  // consumer asks workers to quit (error or early stop)
   Status error;
@@ -178,6 +189,10 @@ void MorselWorker(MorselQueue* q, AoColumnTable* aoc, const VisibilityContext vi
     auto decoded = aoc->DecodeGroupBatch(gi, vis, cols, batch.get());
     Status st = decoded.ok() ? Status::OK() : decoded.status();
     bool skip = st.ok() && !*decoded;
+    if (st.ok() && !skip) {
+      q->visible_rows.fetch_add(static_cast<int64_t>(batch->ActiveRows()),
+                                std::memory_order_relaxed);
+    }
     if (st.ok() && !skip && filter != nullptr) {
       st = VecFilterBatch(*filter, batch.get());
       if (st.ok() && batch->ActiveRows() == 0) skip = true;
@@ -249,16 +264,111 @@ Status ExecSeqScanVecMorsel(const PlanNode& node, ExecContext& ctx, AoColumnTabl
   for (auto& th : pool) th.join();
   GPHTAP_RETURN_IF_ERROR(result);
 
+  int64_t visible_rows = q.visible_rows.load(std::memory_order_relaxed);
+
   // Open tail runs inline, after every sealed group, like the serial scan.
   ColumnBatch tail;
   auto decoded = aoc->DecodeOpenTail(vis, cols, &tail);
   if (!decoded.ok()) return decoded.status();
+  Status tail_status = Status::OK();
   if (*decoded) {
-    GPHTAP_RETURN_IF_ERROR(ctx.Tick(static_cast<int>(tail.rows)));
-    if (node.filter) GPHTAP_RETURN_IF_ERROR(VecFilterBatch(*node.filter, &tail));
-    if (tail.ActiveRows() > 0) return sink(std::move(tail));
+    visible_rows += static_cast<int64_t>(tail.ActiveRows());
+    tail_status = ctx.Tick(static_cast<int>(tail.rows));
+    if (tail_status.ok() && node.filter) {
+      tail_status = VecFilterBatch(*node.filter, &tail);
+    }
+    if (tail_status.ok() && tail.ActiveRows() > 0) {
+      tail_status = sink(std::move(tail));
+    }
   }
-  return Status::OK();
+  if (ctx.op_stats != nullptr && visible_rows > 0) {
+    ctx.op_stats->RecordStoreRows(node.node_id, "ao-column", visible_rows);
+  }
+  return tail_status;
+}
+
+// Vectorized delta-merged scan of a heap table: wait for the delta feed to
+// reach the log position captured at scan start, then scan the table's
+// columnar delta store (sealed groups + open tail) under the statement's own
+// visibility context. The wait makes the scan snapshot-exact: every record of
+// every transaction the snapshot can see was appended before `target`.
+// Sets `served=false` (without consuming the sink) when the delta path cannot
+// run — no delta index here, or the feed missed the freshness deadline — so
+// the caller falls back to the row engine.
+Status ExecSeqScanDeltaMerged(const PlanNode& node, ExecContext& ctx,
+                              const std::vector<int>& cols, const BatchSink& sink,
+                              bool* served) {
+  *served = false;
+  if (ctx.cluster == nullptr || ctx.segment == nullptr) return Status::OK();
+  DeltaIndex* di = ctx.cluster->delta_index(ctx.segment->index());
+  ChangeLog* log = ctx.segment->change_log();
+  if (di == nullptr || log == nullptr) return Status::OK();
+  MetricsRegistry& m = ctx.cluster->metrics();
+
+  const uint64_t target = log->size();
+  const int64_t t0 = MonotonicMicros();
+  Status fresh;
+  {
+    WaitEventScope scope(WaitEvent::kDeltaFreshness, ctx.segment->index());
+    fresh = di->WaitForApplied(target,
+                               ctx.cluster->options().delta_freshness_timeout_us);
+  }
+  m.counter("delta.freshness_wait_us")->Add(
+      static_cast<uint64_t>(MonotonicMicros() - t0));
+  if (!fresh.ok()) {
+    m.counter("delta.freshness_timeouts")->Add(1);
+    return Status::OK();  // the row engine serves this scan instead
+  }
+
+  *served = true;
+  m.counter("delta.merged_scans")->Add(1);
+  DeltaStore* ds = di->store(node.table);
+  // No store after a successful freshness wait means no record ever touched
+  // the table on this segment: it is empty here.
+  if (ds == nullptr) return Status::OK();
+
+  VisibilityContext vis = ctx.Vis();
+  uint64_t sealed_rows = 0;
+  uint64_t open_rows = 0;
+  Status inner = Status::OK();
+  Status scan = ds->ScanBatches(
+      vis, cols,
+      [&](ColumnBatch&& batch) -> bool {
+        Status t = ctx.Tick(static_cast<int>(batch.rows));
+        if (!t.ok()) {
+          inner = t;
+          return false;
+        }
+        if (node.filter) {
+          Status f = VecFilterBatch(*node.filter, &batch);
+          if (!f.ok()) {
+            inner = f;
+            return false;
+          }
+        }
+        if (batch.ActiveRows() == 0) return true;
+        Status s = sink(std::move(batch));
+        if (!s.ok()) {
+          inner = s;
+          return false;
+        }
+        return true;
+      },
+      &sealed_rows, &open_rows);
+  if (ctx.op_stats != nullptr) {
+    ctx.op_stats->RecordStoreRows(node.node_id, "delta-merged",
+                                  static_cast<int64_t>(sealed_rows + open_rows));
+    if (sealed_rows > 0) {
+      ctx.op_stats->RecordStoreRows(node.node_id, "delta-sealed",
+                                    static_cast<int64_t>(sealed_rows));
+    }
+    if (open_rows > 0) {
+      ctx.op_stats->RecordStoreRows(node.node_id, "delta-open",
+                                    static_cast<int64_t>(open_rows));
+    }
+  }
+  if (!inner.ok()) return inner;
+  return scan;
 }
 
 Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& sink) {
@@ -266,7 +376,22 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
   GPHTAP_RETURN_IF_ERROR(TableForNode(ctx, node.table, &table));
   GPHTAP_RETURN_IF_ERROR(AcquireScanLock(ctx, node.table));
   auto* aoc = dynamic_cast<AoColumnTable*>(table);
-  if (aoc == nullptr) return ExecSeqScanVecFallback(node, ctx, table, sink);
+  if (aoc == nullptr) {
+    std::vector<int> cols = node.scan_cols;
+    if (cols.empty()) {
+      cols.resize(table->schema().num_columns());
+      for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
+    }
+    if (dynamic_cast<HeapTable*>(table) != nullptr) {
+      bool served = false;
+      Status s = ExecSeqScanDeltaMerged(node, ctx, cols, sink, &served);
+      if (served) return s;
+      if (ctx.cluster != nullptr) {
+        ctx.cluster->metrics().counter("delta.fallback_scans")->Add(1);
+      }
+    }
+    return ExecSeqScanVecFallback(node, ctx, table, sink);
+  }
 
   std::vector<int> cols = node.scan_cols;
   if (cols.empty()) {
@@ -288,6 +413,7 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
   }
 
   Status inner = Status::OK();
+  int64_t visible_rows = 0;
   Status scan = aoc->ScanBatches(vis, cols, [&](ColumnBatch&& batch) -> bool {
     // One Tick per batch amortizes cancellation checks and simulated-CPU
     // charging over the whole group.
@@ -296,6 +422,7 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
       inner = t;
       return false;
     }
+    visible_rows += static_cast<int64_t>(batch.ActiveRows());
     if (node.filter) {
       Status f = VecFilterBatch(*node.filter, &batch);
       if (!f.ok()) {
@@ -311,6 +438,9 @@ Status ExecSeqScanVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
     }
     return true;
   });
+  if (ctx.op_stats != nullptr && visible_rows > 0) {
+    ctx.op_stats->RecordStoreRows(node.node_id, "ao-column", visible_rows);
+  }
   if (!inner.ok()) return inner;
   return scan;
 }

@@ -256,6 +256,31 @@ void ExpandWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
   state->report.rebalanced = true;
 }
 
+// Seal-under-crash chaos: force delta-store seal passes on random segments
+// while the fault schedule crashes and recovers them. A pass hitting a downed
+// segment fails cleanly (counted, tolerated); a pass that succeeds must leave
+// the merged scan's answer untouched — the invariant scans running alongside
+// catch any corruption.
+void SealWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
+                ChaosState* state) {
+  Rng rng(cfg.seed * 982451653 + 17);
+  while (MonotonicMicros() < end_us) {
+    SleepUntil(MonotonicMicros() +
+                   rng.UniformRange(cfg.seal_min_gap_ms, cfg.seal_max_gap_ms) * 1000,
+               end_us);
+    if (MonotonicMicros() >= end_us) break;
+    int idx =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(cluster->num_segments())));
+    Status s = cluster->SealDeltaNow(idx);
+    std::lock_guard<std::mutex> g(state->mu);
+    if (s.ok()) {
+      ++state->report.seal_passes;
+    } else {
+      ++state->report.seal_failures;
+    }
+  }
+}
+
 // The seeded fault scheduler: draws one action per gap from the run's RNG and
 // heals its own damage (crashed primaries recover after a delay; armed net
 // faults are cleared by the periodic "clear" action and at teardown).
@@ -367,6 +392,10 @@ std::string ChaosReport::ToString() const {
            " expanded=" + std::to_string(expanded) +
            " rebalanced=" + std::to_string(rebalanced) + "\n";
   }
+  if (seal_passes + seal_failures > 0) {
+    out += "delta seals: ok=" + std::to_string(seal_passes) +
+           " failed=" + std::to_string(seal_failures) + "\n";
+  }
   out += "faults: injected=" + std::to_string(faults_injected) +
          " crashes=" + std::to_string(crashes) +
          " recoveries=" + std::to_string(recoveries) +
@@ -432,6 +461,10 @@ ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
   if (config.expand_segments > 0) {
     maintenance.emplace_back(
         [&] { ExpandWorker(cluster, config, end_us, &state); });
+  }
+  if (config.delta_seal_enabled) {
+    maintenance.emplace_back(
+        [&] { SealWorker(cluster, config, end_us, &state); });
   }
 
   for (auto& t : threads) t.join();

@@ -69,6 +69,15 @@ struct ChaosConfig {
   // run and rebalances every chaos table onto them, retrying (crashes land on
   // sources mid-copy) until the cutover completes.
   int expand_segments = 0;
+
+  // --- Delta-store seal-under-crash (requires delta_store_enabled on the
+  // cluster) --- A seal worker drives Cluster::SealDeltaNow against random
+  // segments throughout the run, so seal passes race crashes, recoveries, and
+  // the write traffic; a seal pass landing on a crashed segment must fail
+  // cleanly and never corrupt the merged-scan answer.
+  bool delta_seal_enabled = false;
+  int64_t seal_min_gap_ms = 15;
+  int64_t seal_max_gap_ms = 60;
 };
 
 struct ChaosReport {
@@ -95,6 +104,12 @@ struct ChaosReport {
   uint64_t rebalance_attempts = 0;
   bool expanded = false;        // AddSegments took effect mid-run
   bool rebalanced = false;      // every chaos table completed its cutover
+
+  // Delta-store seal passes (when the config enables them). Failures are
+  // expected — a seal pass racing a crashed segment fails cleanly — but they
+  // must stay failures, never corruption.
+  uint64_t seal_passes = 0;
+  uint64_t seal_failures = 0;
 
   // Fault schedule actually executed.
   uint64_t faults_injected = 0;

@@ -103,6 +103,41 @@ TEST(ChaosTest, ReorgAndExpansionInvariantsSeed1337) { RunReorgExpandSeed(1337);
 
 TEST(ChaosTest, ReorgAndExpansionInvariantsSeed7) { RunReorgExpandSeed(7); }
 
+// Delta-store seal-under-crash: the chaos tables are heap tables, so with the
+// delta store enabled every transfer feeds the columnar delta and the
+// invariant scans are served by delta-merged vectorized scans — while a seal
+// worker forces seal passes on random segments racing the crash schedule. A
+// seal pass landing on a downed segment fails cleanly; a successful one must
+// never change sum(balance) or lose/invent history markers.
+void RunSealUnderCrashSeed(uint64_t seed) {
+  ClusterOptions o = ChaosCluster();
+  o.vectorized_execution_enabled = true;
+  o.delta_store_enabled = true;
+  o.delta_seal_period_us = 5'000;  // background daemon races the forced passes
+  Cluster cluster(o);
+  ChaosConfig cfg = SmokeConfig(seed);
+  cfg.delta_seal_enabled = true;
+  ASSERT_TRUE(SetupChaosTables(&cluster, cfg).ok());
+  ChaosReport report = RunChaosWorkload(&cluster, cfg);
+  SCOPED_TRACE(report.ToString());
+
+  EXPECT_TRUE(report.invariants_ok()) << report.ToString();
+  EXPECT_GT(report.transfers_committed, 0u);
+  EXPECT_GT(report.scans_ok, 0u);
+  EXPECT_GE(report.crashes, 1u);
+  EXPECT_GT(report.seal_passes, 0u);
+
+  // The invariant scans really went through the delta-merged path.
+  MetricsSnapshot snap = cluster.StatsSnapshot();
+  EXPECT_GT(snap.counter("delta.merged_scans"), 0u);
+}
+
+TEST(ChaosTest, SealUnderCrashInvariantsSeed42) { RunSealUnderCrashSeed(42); }
+
+TEST(ChaosTest, SealUnderCrashInvariantsSeed1337) { RunSealUnderCrashSeed(1337); }
+
+TEST(ChaosTest, SealUnderCrashInvariantsSeed7) { RunSealUnderCrashSeed(7); }
+
 // Overload shedding composes with the chaos schedule: a tight bounded queue
 // sheds rather than stalls, and shedding never breaks a safety invariant.
 TEST(ChaosTest, InvariantsHoldUnderSheddingConfig) {
