@@ -1,0 +1,101 @@
+// Stats-collector overhead: TPC-B throughput with the statement-stats
+// collector + history daemon on vs fully off. The acceptance gate (checked by
+// run_tier1.sh) is <= 2% tps overhead: fingerprinting is one lexer pass per
+// statement and the per-statement Sample is a handful of relaxed atomic adds,
+// so the collector must be effectively free. Repeats are interleaved
+// (on/off/on/off...) and the best run per mode is reported so machine noise
+// does not masquerade as overhead.
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace gphtap {
+namespace bench {
+namespace {
+
+constexpr int kRepeats = 4;
+
+ClusterOptions StatsOptions(bool stats_on) {
+  ClusterOptions o = Gpdb6Options();
+  o.stats_enabled = stats_on;
+  o.stats_history_period_us = stats_on ? 100'000 : 0;
+  return o;
+}
+
+double RunOnce(const ClusterOptions& options, int clients, DriverResult* out) {
+  Cluster cluster(options);
+  TpcbConfig config = BenchTpcb();
+  Status load = LoadTpcb(&cluster, config);
+  if (!load.ok()) return -1.0;
+  DriverOptions opts;
+  opts.num_clients = clients;
+  opts.duration_ms = PointMs();
+  DriverResult r = RunWorkload(&cluster, opts, [&](Session* s, Rng& rng) {
+    return RunTpcbTransaction(s, rng, config);
+  });
+  if (!CheckTpcbInvariant(&cluster).ok()) return -1.0;
+  // With the collector on, the run itself must have populated the registry
+  // with fingerprinted TPC-B statements and gang-attributed resources.
+  if (options.stats_enabled) {
+    uint64_t calls = 0, cpu = 0;
+    for (const auto& e : cluster.statement_stats().Snapshot()) {
+      calls += e.calls;
+      cpu += e.exec_cpu_ns;
+    }
+    if (calls == 0 || cpu == 0) return -1.0;
+  }
+  *out = std::move(r);
+  return out->Tps();
+}
+
+void RunOverheadPoint(::benchmark::State& state) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<double> tps_on, tps_off;
+    DriverResult last_on, last_off;
+    // Interleave the modes so drift hits both equally.
+    for (int i = 0; i < kRepeats; ++i) {
+      double on = RunOnce(StatsOptions(true), clients, &last_on);
+      double off = RunOnce(StatsOptions(false), clients, &last_off);
+      if (on < 0 || off < 0) {
+        state.SkipWithError("stats-overhead run failed");
+        return;
+      }
+      tps_on.push_back(on);
+      tps_off.push_back(off);
+    }
+    // Best-of-N per mode: ambient machine noise only ever slows a run down,
+    // so the fastest repeat is the least-contaminated estimate of each mode's
+    // true capability. Interleaving plus best-of-N keeps a transient load
+    // spike from masquerading as collector overhead.
+    double best_on = *std::max_element(tps_on.begin(), tps_on.end());
+    double best_off = *std::max_element(tps_off.begin(), tps_off.end());
+    double overhead_pct = best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0.0;
+
+    state.counters["tps_on"] = best_on;
+    state.counters["overhead_pct"] = overhead_pct;
+    JsonFields on_fields;
+    AddDriverFields(last_on, &on_fields);
+    on_fields.push_back({"best_tps", best_on});
+    on_fields.push_back({"overhead_pct", overhead_pct});
+    RecordPoint("Stats/Overhead/StatsOn", clients, std::move(on_fields));
+    JsonFields off_fields;
+    AddDriverFields(last_off, &off_fields);
+    off_fields.push_back({"best_tps", best_off});
+    RecordPoint("Stats/Overhead/StatsOff", clients, std::move(off_fields));
+  }
+}
+
+void RegisterAll() {
+  auto* b = ::benchmark::RegisterBenchmark("Stats/Overhead", RunOverheadPoint);
+  for (int64_t clients : Points({20, 100})) b->Arg(clients);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gphtap
+
+int main(int argc, char** argv) {
+  return gphtap::bench::BenchMain(argc, argv, "stats", gphtap::bench::RegisterAll);
+}

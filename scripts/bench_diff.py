@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files point-by-point.
+
+Usage: bench_diff.py OLD.json NEW.json
+
+Prints a per-(series, arg) table of throughput_tps and p99_us with absolute
+and percent deltas, plus series present in only one file. Advisory only:
+always exits 0 (run_tier1.sh runs it to surface regressions in the log, not
+to gate on them — smoke-mode numbers are too noisy for a hard gate).
+"""
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    points = {}
+    for p in doc.get("points", []):
+        points[(p.get("series", "?"), p.get("arg", 0))] = p
+    return doc.get("bench", "?"), points
+
+
+def fmt_delta(old, new):
+    if old is None or new is None:
+        return "n/a"
+    delta = new - old
+    pct = (delta / old * 100.0) if old else 0.0
+    return f"{delta:+.1f} ({pct:+.1f}%)"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    old_name, old_pts = load_points(sys.argv[1])
+    new_name, new_pts = load_points(sys.argv[2])
+    print(f"bench diff: {sys.argv[1]} ({old_name}) -> {sys.argv[2]} ({new_name})")
+
+    shared = sorted(set(old_pts) & set(new_pts))
+    if shared:
+        rows = [("series", "arg", "tps old", "tps new", "tps delta",
+                 "p99 old", "p99 new", "p99 delta")]
+        for key in shared:
+            o, n = old_pts[key], new_pts[key]
+            o_tps, n_tps = o.get("throughput_tps"), n.get("throughput_tps")
+            o_p99, n_p99 = o.get("p99_us"), n.get("p99_us")
+            rows.append((
+                key[0], str(key[1]),
+                f"{o_tps:.1f}" if o_tps is not None else "n/a",
+                f"{n_tps:.1f}" if n_tps is not None else "n/a",
+                fmt_delta(o_tps, n_tps),
+                f"{o_p99:.0f}" if o_p99 is not None else "n/a",
+                f"{n_p99:.0f}" if n_p99 is not None else "n/a",
+                fmt_delta(o_p99, n_p99),
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        for r in rows:
+            print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    else:
+        print("  no shared (series, arg) points")
+
+    for label, only in (("only in old", set(old_pts) - set(new_pts)),
+                        ("only in new", set(new_pts) - set(old_pts))):
+        for key in sorted(only):
+            print(f"  {label}: {key[0]} @ {key[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,13 +13,26 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test|delta_store_test|delta_scan_test|delta_differential_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test|delta_store_test|delta_scan_test|delta_differential_test|stats_test|stats_views_test')
+
+# Advisory bench diffing: the previous run's BENCH_*.json is kept as .prev and
+# a per-series tps/p99 delta table is printed after each fresh run. Informative
+# only — smoke numbers are too noisy to gate on — so regressions surface in
+# the log without failing the build.
+snapshot_prev() { if [ -f "build/$1" ]; then cp "build/$1" "build/$1.prev"; fi; }
+diff_prev() {
+  if [ -f "build/$1.prev" ]; then
+    python3 scripts/bench_diff.py "build/$1.prev" "build/$1"
+  fi
+}
 
 # Smoke-run one benchmark and validate its machine-readable output. The run
 # also exports a Chrome trace_event dump of the traced queries, validated
 # below (loadable in Perfetto / about:tracing).
+snapshot_prev BENCH_fig12_tpcb.json
 (cd build && GPHTAP_BENCH_MS=100 GPHTAP_TRACE_OUT=TRACE_fig12_tpcb.json \
   ./bench/bench_fig12_tpcb --smoke)
+diff_prev BENCH_fig12_tpcb.json
 python3 - build/BENCH_fig12_tpcb.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -54,7 +67,9 @@ EOF
 # Chaos smoke: a 10-second seeded fault schedule (crashes + failover + delay
 # + drop) over concurrent transfers and scans. The binary exits non-zero on
 # any safety-invariant violation; the JSON carries the resilience rates.
+snapshot_prev BENCH_chaos.json
 (cd build && GPHTAP_CHAOS_MS=10000 ./bench/bench_chaos --smoke)
+diff_prev BENCH_chaos.json
 python3 - build/BENCH_chaos.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -73,7 +88,9 @@ EOF
 # Expansion smoke: transfers flow while the cluster grows 3 -> 5 segments and
 # rebalances online. Validates throughput before/during/after, a bounded
 # cutover pause, rows actually moved, and data served from the new segments.
+snapshot_prev BENCH_expand.json
 (cd build && GPHTAP_BENCH_MS=300 ./bench/bench_expand --smoke)
+diff_prev BENCH_expand.json
 python3 - build/BENCH_expand.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -98,7 +115,9 @@ EOF
 # Vectorized-kernel microbench: smoke-run, validate the JSON, and assert the
 # vectorized path actually wins — every Vectorized series must beat (or tie)
 # its RowEngine twin at every swept arg.
+snapshot_prev BENCH_vec_kernels.json
 (cd build && GPHTAP_BENCH_MS=100 ./bench/bench_vec_kernels --smoke)
+diff_prev BENCH_vec_kernels.json
 python3 - build/BENCH_vec_kernels.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -133,7 +152,9 @@ EOF
 # delta-merged scan over fresh heap rows beats (or ties) the row engine on the
 # same data at every swept arg, that the freshness lag was measured, and that
 # forced seal passes actually drained rows.
+snapshot_prev BENCH_delta.json
 (cd build && GPHTAP_BENCH_MS=100 ./bench/bench_delta --smoke)
+diff_prev BENCH_delta.json
 python3 - build/BENCH_delta.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -164,4 +185,32 @@ seal = next(p for p in doc["points"] if p["series"] == "Delta/Seal/Throughput")
 assert seal["rows_sealed"] > 0, "seal passes drained no rows"
 print(f"BENCH delta json OK: {len(doc['points'])} points, "
       f"seal {seal['throughput_tps']:.0f} rows/s")
+EOF
+
+# Stats-collector overhead: TPC-B with gp_stat_statements + the history
+# daemon on vs off, interleaved repeats, median per mode. Gate: the collector
+# costs at most 2% throughput (with slack for smoke-run noise handled by the
+# interleaved-median measurement itself).
+snapshot_prev BENCH_stats.json
+(cd build && GPHTAP_BENCH_MS=200 ./bench/bench_stats --smoke)
+diff_prev BENCH_stats.json
+python3 - build/BENCH_stats.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "stats", doc
+points = {p["series"]: p for p in doc["points"]}
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us", "best_tps"}
+for name in ("Stats/Overhead/StatsOn", "Stats/Overhead/StatsOff"):
+    assert name in points, f"missing {name} in {sorted(points)}"
+    missing = required - set(points[name])
+    assert not missing, f"{name} missing {missing}"
+on = points["Stats/Overhead/StatsOn"]
+off = points["Stats/Overhead/StatsOff"]
+assert on["best_tps"] > 0 and off["best_tps"] > 0, (on, off)
+overhead = on["overhead_pct"]
+print(f"BENCH stats json OK: stats-on {on['best_tps']:.0f} tps vs "
+      f"stats-off {off['best_tps']:.0f} tps ({overhead:+.2f}% overhead)")
+assert overhead <= 2.0, (
+    f"stats collector overhead {overhead:.2f}% exceeds the 2% budget")
 EOF

@@ -106,6 +106,60 @@ std::vector<TableDef> BuildDefs() {
                            {"deletes", TypeId::kInt64},
                            {"pending_frees", TypeId::kInt64}}));
 
+  // Cumulative per-fingerprint statement statistics (pg_stat_statements
+  // analogue): latency distribution plus gang-aggregated resource usage.
+  defs.push_back(MakeView(SystemViewId::kStatStatements, "gp_stat_statements",
+                          {{"fingerprint", TypeId::kString},
+                           {"calls", TypeId::kInt64},
+                           {"rows", TypeId::kInt64},
+                           {"errors", TypeId::kInt64},
+                           {"timeouts", TypeId::kInt64},
+                           {"retries", TypeId::kInt64},
+                           {"plan_cache_hits", TypeId::kInt64},
+                           {"total_us", TypeId::kInt64},
+                           {"min_us", TypeId::kInt64},
+                           {"max_us", TypeId::kInt64},
+                           {"p95_us", TypeId::kInt64},
+                           // p95 of per-slice (gang member) wall time, merged
+                           // across every gang the fingerprint ever ran.
+                           {"gang_p95_us", TypeId::kInt64},
+                           {"vec_batches", TypeId::kInt64},
+                           {"vec_fallbacks", TypeId::kInt64},
+                           {"exec_cpu_ns", TypeId::kInt64},
+                           {"net_bytes", TypeId::kInt64},
+                           {"buffer_hits", TypeId::kInt64},
+                           {"buffer_misses", TypeId::kInt64},
+                           {"top_wait", TypeId::kString},
+                           {"top_wait_us", TypeId::kInt64}}));
+
+  // Periodic snapshots of the metrics registry: one row per (tick, metric)
+  // whose value or delta was nonzero at capture time.
+  defs.push_back(MakeView(SystemViewId::kStatHistory, "gp_stat_history",
+                          {{"tick", TypeId::kInt64},
+                           {"at_us", TypeId::kInt64},
+                           {"metric", TypeId::kString},
+                           {"value", TypeId::kInt64},
+                           {"delta", TypeId::kInt64}}));
+
+  // Live + recently finished maintenance commands (VACUUM / CLUSTER /
+  // REBALANCE TABLE / delta seal daemon) with phase and unit counters.
+  defs.push_back(MakeView(SystemViewId::kStatProgress, "gp_stat_progress",
+                          {{"op_id", TypeId::kInt64},
+                           {"kind", TypeId::kString},
+                           {"target", TypeId::kString},
+                           {"node", TypeId::kInt64},
+                           {"phase", TypeId::kString},
+                           {"units_done", TypeId::kInt64},
+                           {"units_total", TypeId::kInt64},
+                           {"elapsed_us", TypeId::kInt64},
+                           {"finished", TypeId::kInt64}}));
+
+  // Raw dump of every counter and gauge in the metrics registry.
+  defs.push_back(MakeView(SystemViewId::kMetrics, "gp_metrics",
+                          {{"name", TypeId::kString},
+                           {"kind", TypeId::kString},  // counter | gauge
+                           {"value", TypeId::kInt64}}));
+
   return defs;
 }
 

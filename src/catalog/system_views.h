@@ -25,6 +25,10 @@ enum class SystemViewId : TableId {
   kWaitEvents = kSystemViewIdBase + 4,     // gp_wait_events
   kDistDeadlocks = kSystemViewIdBase + 5,  // gp_dist_deadlocks
   kDeltaStatus = kSystemViewIdBase + 6,    // gp_delta_status
+  kStatStatements = kSystemViewIdBase + 7, // gp_stat_statements
+  kStatHistory = kSystemViewIdBase + 8,    // gp_stat_history
+  kStatProgress = kSystemViewIdBase + 9,   // gp_stat_progress
+  kMetrics = kSystemViewIdBase + 10,       // gp_metrics
 };
 
 /// All system-view defs (is_system_view set, Replicated distribution — they

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 
 #include "catalog/system_views.h"
 #include "cluster/session.h"
@@ -137,9 +138,18 @@ Cluster::Cluster(ClusterOptions options)
     delta_seal_running_.store(true);
     delta_seal_thread_ = std::thread([this] { DeltaSealLoop(); });
   }
+
+  metrics_history_ = std::make_unique<MetricsHistory>(options.stats_history_capacity);
+  if (options.stats_history_period_us > 0) {
+    stats_history_running_.store(true);
+    stats_history_thread_ = std::thread([this] { StatsHistoryLoop(); });
+  }
 }
 
 Cluster::~Cluster() {
+  if (stats_history_running_.exchange(false) && stats_history_thread_.joinable()) {
+    stats_history_thread_.join();
+  }
   if (dtx_recovery_) dtx_recovery_->Stop();
   if (fts_) fts_->Stop();
   if (delta_seal_running_.exchange(false) && delta_seal_thread_.joinable()) {
@@ -202,12 +212,19 @@ void Cluster::DeltaSealLoop() {
   WaitContext ctx;
   ctx.registry = &wait_events_;
   WaitContextGuard guard(ctx);
+  // Daemon-lifetime progress entry (gp_stat_progress): phase "seal", node =
+  // segment currently being sealed, units_done = completed per-segment passes.
+  // Never finishes while the daemon runs; total stays 0 (unbounded).
+  ProgressRegistry::Handle progress = progress_.Begin(ProgressOp::kDeltaSeal, "");
+  progress.SetPhase("seal");
   while (delta_seal_running_.load(std::memory_order_relaxed)) {
     const int n = num_segments();
     for (int i = 0; i < n; ++i) {
       if (!delta_seal_running_.load(std::memory_order_relaxed)) return;
+      progress.SetNode(i);
       Status s = SealDeltaNow(i);
       (void)s;  // a down segment skips its pass; the next one retries
+      progress.Advance();
     }
     int64_t slept = 0;
     while (slept < options_.delta_seal_period_us &&
@@ -662,5 +679,33 @@ MetricsSnapshot Cluster::StatsSnapshot() {
 }
 
 std::string Cluster::StatsDump() { return StatsSnapshot().ToString(); }
+
+void Cluster::CaptureHistoryTick() {
+  metrics_history_->Capture(StatsSnapshot(), MonotonicMicros());
+}
+
+void Cluster::StatsHistoryLoop() {
+  while (stats_history_running_.load(std::memory_order_relaxed)) {
+    CaptureHistoryTick();
+    // Chunked sleep so Stop is prompt (same pattern as the seal daemon).
+    int64_t slept = 0;
+    while (slept < options_.stats_history_period_us &&
+           stats_history_running_.load(std::memory_order_relaxed)) {
+      const int64_t chunk =
+          std::min<int64_t>(options_.stats_history_period_us - slept, 1000);
+      std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+      slept += chunk;
+    }
+  }
+}
+
+Status Cluster::DumpHistoryCsv(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return Status::Internal("cannot open " + path);
+  f << metrics_history_->ToCsv();
+  f.close();
+  if (!f.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
 
 }  // namespace gphtap

@@ -29,6 +29,9 @@
 #include "net/sim_net.h"
 #include "plan/plan_cache.h"
 #include "resgroup/resource_group.h"
+#include "stats/metrics_history.h"
+#include "stats/progress.h"
+#include "stats/statement_stats.h"
 #include "txn/distributed_txn_manager.h"
 
 namespace gphtap {
@@ -136,6 +139,14 @@ struct ClusterOptions {
   bool trace_queries = false;
   // Statements slower than this land in the slow-query log; 0 = disabled.
   int64_t slow_query_threshold_us = 0;
+  // Cumulative per-fingerprint statement statistics (gp_stat_statements):
+  // every Session::Execute records into the cluster StatementStatsRegistry.
+  bool stats_enabled = true;
+  // Metrics history daemon (gp_stat_history): snapshot the MetricsRegistry
+  // every period into a bounded ring of per-metric deltas. 0 = daemon off
+  // (Cluster::CaptureHistoryTick still works for manual capture).
+  int64_t stats_history_period_us = 0;
+  size_t stats_history_capacity = 120;
 
   // --- Query-lifecycle resilience ---
   // Cluster-wide defaults for the session timeout GUCs (SET statement_timeout
@@ -324,6 +335,18 @@ class Cluster {
   /// Human-readable text dump of StatsSnapshot().
   std::string StatsDump();
 
+  /// Cumulative per-fingerprint statement statistics (gp_stat_statements).
+  StatementStatsRegistry& statement_stats() { return statement_stats_; }
+  /// Metrics-history ring (gp_stat_history), fed by the history daemon.
+  MetricsHistory& metrics_history() { return *metrics_history_; }
+  /// Maintenance progress registry (gp_stat_progress).
+  ProgressRegistry& progress() { return progress_; }
+  /// Takes one history tick now (what the daemon does every period); the
+  /// manual path for tests and deployments with the daemon off.
+  void CaptureHistoryTick();
+  /// Writes MetricsHistory::ToCsv() to `path` for offline plotting.
+  Status DumpHistoryCsv(const std::string& path);
+
   /// Cancels a transaction everywhere: flags its owner, wakes any lock wait it
   /// is parked in (coordinator or segments), and aborts the query's registered
   /// motion exchanges so receivers parked in Recv/RecvBatch wake promptly.
@@ -426,6 +449,10 @@ class Cluster {
   std::atomic<uint64_t> next_trace_id_{0};
   WaitEventRegistry wait_events_;
   SessionRegistry sessions_;
+  StatementStatsRegistry statement_stats_;
+  ProgressRegistry progress_;
+  // unique_ptr: capacity comes from options at construction time.
+  std::unique_ptr<MetricsHistory> metrics_history_;
   mutable std::mutex traces_mu_;
   std::deque<std::shared_ptr<Trace>> retained_traces_;  // newest at the back
   static constexpr size_t kRetainedTraceCapacity = 256;
@@ -482,6 +509,10 @@ class Cluster {
   void DeltaSealLoop();
   std::atomic<bool> delta_seal_running_{false};
   std::thread delta_seal_thread_;
+
+  void StatsHistoryLoop();
+  std::atomic<bool> stats_history_running_{false};
+  std::thread stats_history_thread_;
 };
 
 }  // namespace gphtap

@@ -212,6 +212,50 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
       }
       return rows;
     }
+    case SystemViewId::kStatStatements: {
+      for (const auto& e : statement_stats_.Snapshot()) {
+        std::string top_wait;
+        if (e.top_wait != WaitEvent::kNone) {
+          top_wait = std::string(WaitEventClassName(ClassOfEvent(e.top_wait))) +
+                     ":" + WaitEventName(e.top_wait);
+        }
+        rows.push_back(Row{Datum(e.fingerprint), Uint(e.calls), Uint(e.rows),
+                           Uint(e.errors), Uint(e.timeouts), Uint(e.retries),
+                           Uint(e.plan_cache_hits), Int(e.total_us), Int(e.min_us),
+                           Int(e.max_us), Int(e.p95_us), Int(e.gang_p95_us),
+                           Uint(e.vec_batches), Uint(e.vec_fallbacks),
+                           Uint(e.exec_cpu_ns), Uint(e.net_bytes),
+                           Uint(e.buffer_hits), Uint(e.buffer_misses),
+                           Datum(std::move(top_wait)), Int(e.top_wait_us)});
+      }
+      return rows;
+    }
+    case SystemViewId::kStatHistory: {
+      for (const MetricsHistory::Row& r : metrics_history_->Rows()) {
+        rows.push_back(Row{Int(r.tick), Int(r.at_us), Datum(r.metric),
+                           Int(r.value), Int(r.delta)});
+      }
+      return rows;
+    }
+    case SystemViewId::kStatProgress: {
+      for (const auto& s : progress_.SnapshotAll()) {
+        rows.push_back(Row{Int(s.op_id), Str(ProgressOpName(s.op)),
+                           Datum(s.target), Int(s.node), Datum(s.phase),
+                           Int(s.units_done), Int(s.units_total),
+                           Int(s.elapsed_us), Int(s.finished ? 1 : 0)});
+      }
+      return rows;
+    }
+    case SystemViewId::kMetrics: {
+      MetricsSnapshot snap = StatsSnapshot();
+      for (const auto& [name, value] : snap.counters) {
+        rows.push_back(Row{Datum(name), Str("counter"), Uint(value)});
+      }
+      for (const auto& [name, value] : snap.gauges) {
+        rows.push_back(Row{Datum(name), Str("gauge"), Int(value)});
+      }
+      return rows;
+    }
   }
   return Status::NotFound("no system view with id " + std::to_string(view_id));
 }

@@ -174,12 +174,18 @@ StatusOr<QueryResult> Session::ExecuteCluster(const TableDef& def, int order_col
     // must be visible to the rewrite, or their versions would look live-but-
     // undeletable (kFollow) and abort the CLUSTER spuriously.
     GPHTAP_RETURN_IF_ERROR(TakeStatementSnapshot());
+    ProgressRegistry::Handle progress =
+        cluster_->progress().Begin(ProgressOp::kCluster, def.name);
+    progress.SetPhase("rewrite");
+    progress.SetTotal(cluster_->num_segments());
     int64_t rewritten = 0;
     for (int i = 0; i < cluster_->num_segments(); ++i) {
+      progress.SetNode(i);
       Segment* seg = cluster_->segment(i);
       GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(LockRelationSegment(seg, def, LockMode::kExclusive));
       GPHTAP_RETURN_IF_ERROR(ClusterSegment(seg, def, order_col, &rewritten));
+      progress.Advance();
     }
     QueryResult r;
     r.affected = rewritten;
@@ -192,8 +198,10 @@ StatusOr<QueryResult> Session::ExecuteCluster(const TableDef& def, int order_col
 // ---------------------------------------------------------------------------
 
 Status Session::RebalanceHashTable(const TableDef& def, int new_span,
-                                   RebalanceReport* report) {
+                                   RebalanceReport* report,
+                                   ProgressRegistry::Handle* progress) {
   const int64_t copy_start = MonotonicMicros();
+  progress->SetPhase("copy");
   const std::vector<int>& key_cols = def.distribution.key_cols;
   // Scan every serving segment, not just the recorded span: a previously
   // aborted attempt can leave rows at mixed homes, and this pass must herd
@@ -248,10 +256,12 @@ Status Session::RebalanceHashTable(const TableDef& def, int new_span,
     GPHTAP_ASSIGN_OR_RETURN(TupleId dst_tid, dst_table->Insert(dst_xid, row));
     staged[static_cast<size_t>(src)][src_tid] = Staged{dst, dst_tid};
     ++report->rows_moved;
+    progress->Advance();  // units = rows staged onto their new homes
     return Status::OK();
   };
 
   for (int s = 0; s < src_span; ++s) {
+    progress->SetNode(s);
     Segment* src = cluster_->segment(s);
     if (cluster_->faults().Evaluate(fault_points::kCrashDuringRebalanceCopy, s)) {
       (void)src->Crash();
@@ -292,6 +302,7 @@ Status Session::RebalanceHashTable(const TableDef& def, int new_span,
   // commit), so from here every xmin/xmax on this table is resolved and the
   // local clog alone decides visibility.
   const int64_t cutover_start = MonotonicMicros();
+  progress->SetPhase("cutover");
   GPHTAP_RETURN_IF_ERROR(
       LockRelationCoordinator(def, LockMode::kAccessExclusive));
   for (int s = 0; s < src_span; ++s) {
@@ -365,8 +376,10 @@ Status Session::RebalanceHashTable(const TableDef& def, int new_span,
 }
 
 Status Session::RebalanceReplicatedTable(const TableDef& def, int new_span,
-                                         RebalanceReport* report) {
+                                         RebalanceReport* report,
+                                         ProgressRegistry::Handle* progress) {
   const int64_t start = MonotonicMicros();
+  progress->SetPhase("copy");
   // Replicated sync is not online: the table is fenced for the duration of
   // the copy (it is expected to be small — that is why it is replicated).
   GPHTAP_RETURN_IF_ERROR(
@@ -405,6 +418,7 @@ Status Session::RebalanceReplicatedTable(const TableDef& def, int new_span,
   // inserts commit atomically with this transaction, so a retry after any
   // failure starts from the same clean rule.
   for (int t = old_span; t < new_span; ++t) {
+    progress->SetNode(t);
     Segment* dst = cluster_->segment(t);
     Table* dst_table = dst->GetTable(def.id);
     if (dst_table == nullptr) return Status::NotFound("table missing on segment");
@@ -428,6 +442,7 @@ Status Session::RebalanceReplicatedTable(const TableDef& def, int new_span,
     for (const Row& row : content) {
       GPHTAP_RETURN_IF_ERROR(dst_table->Insert(dst_xid, row).status());
       ++report->rows_moved;
+      progress->Advance();
     }
   }
   report->copy_us = MonotonicMicros() - start;
@@ -464,18 +479,22 @@ StatusOr<RebalanceReport> Session::RebalanceTable(const std::string& name) {
 
   Gxid rebalance_gxid = kInvalidGxid;
   const bool replicated = def.distribution.kind == DistributionKind::kReplicated;
+  ProgressRegistry::Handle progress =
+      cluster_->progress().Begin(ProgressOp::kRebalance, def.name);
   auto body = RunStatementErased([&]() -> StatusOr<QueryResult> {
     rebalance_gxid = gxid_;
     switch (def.distribution.kind) {
       case DistributionKind::kHash:
-        GPHTAP_RETURN_IF_ERROR(RebalanceHashTable(def, new_span, &report));
+        GPHTAP_RETURN_IF_ERROR(RebalanceHashTable(def, new_span, &report, &progress));
         break;
       case DistributionKind::kReplicated:
-        GPHTAP_RETURN_IF_ERROR(RebalanceReplicatedTable(def, new_span, &report));
+        GPHTAP_RETURN_IF_ERROR(
+            RebalanceReplicatedTable(def, new_span, &report, &progress));
         break;
       case DistributionKind::kRandom:
         // Round-robin placement has nothing to restore; widening the modulus
         // under a writer fence is the whole job.
+        progress.SetPhase("cutover");
         GPHTAP_RETURN_IF_ERROR(
             LockRelationCoordinator(def, LockMode::kAccessExclusive));
         GPHTAP_RETURN_IF_ERROR(cluster_->SetTableDistSegments(def.name, new_span));
@@ -484,6 +503,7 @@ StatusOr<RebalanceReport> Session::RebalanceTable(const std::string& name) {
     return QueryResult{};
   });
   if (!body.ok()) return body.status();
+  progress.SetPhase("horizon-wait");
 
   // Clear the flag only when no live snapshot predates the cutover: an older
   // snapshot must keep full-fan-out reads (it still sees rows at their old

@@ -9,6 +9,8 @@
 #include "exec/executor.h"
 #include "sql/driver.h"
 #include "sql/prepared_statement.h"
+#include "stats/fingerprint.h"
+#include "stats/statement_stats.h"
 #include "storage/ao_table.h"
 #include "storage/column_store.h"
 #include "storage/heap_table.h"
@@ -113,6 +115,9 @@ WaitContext Session::MakeWaitContext() {
   ctx.profile = &wait_profile_;
   ctx.node = -1;  // coordinator; slice/DML workers override per segment
   ctx.group = group_->name();
+  // Statement resource accumulator rides along so slices / buffer pool /
+  // motion charge this statement without explicit plumbing.
+  ctx.resources = &stmt_resources_;
   // Ambient interruption: blocking points poll this owner's cancellation /
   // statement deadline. Null before the first transaction begins; RunStatement
   // patches the installed context once EnsureTxn creates the owner.
@@ -981,6 +986,10 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
 
     int64_t inserted = 0;
     for (auto& [seg_index, seg_rows] : buckets) {
+      // The per-segment apply is this statement's "slice": charge its wall
+      // time to the statement resources so DML shows exec CPU and per-segment
+      // skew in gp_stat_statements just like gang-dispatched reads do.
+      Stopwatch seg_sw;
       Segment* seg = cluster_->segment(seg_index);
       cluster_->net().Deliver(MsgKind::kDispatch);
       GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
@@ -995,6 +1004,9 @@ StatusOr<QueryResult> Session::ExecuteInsert(const TableDef& def,
         ++inserted;
       }
       cluster_->net().Deliver(MsgKind::kResult);
+      stmt_resources_.exec_cpu_ns.fetch_add(
+          static_cast<uint64_t>(seg_sw.ElapsedNanos()), std::memory_order_relaxed);
+      stmt_resources_.RecordSliceUs(seg_sw.ElapsedMicros());
     }
     QueryResult r;
     r.affected = def.distribution.kind == DistributionKind::kReplicated
@@ -1030,6 +1042,18 @@ std::vector<int> Session::TargetSegmentsForWrite(const TableDef& def, const Expr
 Status Session::DmlWorker(Segment* seg, const TableDef& def,
                           const std::vector<std::pair<int, ExprPtr>>* sets,
                           const ExprPtr& where, int64_t* affected) {
+  // The worker is this statement's per-segment "slice"; charge its wall time
+  // on every exit path so UPDATE/DELETE show exec CPU and per-segment skew in
+  // gp_stat_statements (relaxed adds — workers run concurrently).
+  struct SliceCharge {
+    Stopwatch sw;
+    StatementResources* res;
+    ~SliceCharge() {
+      res->exec_cpu_ns.fetch_add(static_cast<uint64_t>(sw.ElapsedNanos()),
+                                 std::memory_order_relaxed);
+      res->RecordSliceUs(sw.ElapsedMicros());
+    }
+  } charge{Stopwatch(), &stmt_resources_};
   // Service pin for the whole worker: held across lock waits (a crash cancels
   // the wait and the pin drains), released before the commit protocol runs.
   GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
@@ -1443,22 +1467,32 @@ StatusOr<QueryResult> Session::ExecuteVacuum(const TableDef& def) {
   return RunStatement([&]() -> StatusOr<QueryResult> {
     GPHTAP_RETURN_IF_ERROR(
         LockRelationCoordinator(def, LockMode::kShareUpdateExclusive));
+    ProgressRegistry::Handle progress =
+        cluster_->progress().Begin(ProgressOp::kVacuum, def.name);
+    progress.SetTotal(cluster_->num_segments());
     int64_t reclaimed = 0;
     for (int i = 0; i < cluster_->num_segments(); ++i) {
+      progress.SetNode(i);
       Segment* seg = cluster_->segment(i);
       GPHTAP_ASSIGN_OR_RETURN(SegmentPin pin, seg->Pin());
       GPHTAP_RETURN_IF_ERROR(
           LockRelationSegment(seg, def, LockMode::kShareUpdateExclusive));
       Table* table = seg->GetTable(def.id);
-      if (table == nullptr) continue;
+      if (table == nullptr) {
+        progress.Advance();
+        continue;
+      }
       auto* heap = dynamic_cast<HeapTable*>(table);
       if (heap == nullptr) {
         // Append-optimized: free all-dead sealed groups, then compact
         // dead-heavy ones by rewriting their live rows into the open tail.
+        progress.SetPhase("ao-reclaim");
         GPHTAP_RETURN_IF_ERROR(
             VacuumAppendOptimizedSegment(seg, def, table, &reclaimed));
+        progress.Advance();
         continue;
       }
+      progress.SetPhase("heap");
       // A deleted version is reclaimable only when every live distributed
       // snapshot already sees the deletion: read-only sessions never acquire a
       // local xid here, so the local running set alone is NOT a safe horizon.
@@ -1469,6 +1503,7 @@ StatusOr<QueryResult> Session::ExecuteVacuum(const TableDef& def) {
             // Mapping truncated => the deleter predates every live snapshot.
             return !gxid.has_value() || *gxid < oldest_gxid;
           }));
+      progress.Advance();
     }
     QueryResult r;
     r.affected = reclaimed;
@@ -1496,25 +1531,56 @@ StatusOr<QueryResult> Session::Execute(const std::string& sql) {
   // and publish the query text for gp_stat_activity.
   WaitContextGuard wait_guard(MakeWaitContext(), /*only_if_absent=*/true);
   wait_profile_.Reset();
+  stmt_resources_.Reset();
+  stmt_plan_cache_hit_ = false;
+  stmt_fingerprint_override_.clear();
+  // Per-statement retry count: RunReadOnlyStatement resets it too, but write
+  // statements never pass through there and must not inherit the previous
+  // statement's count.
+  info_->retries.store(0, std::memory_order_relaxed);
   info_->SetStrings(nullptr, nullptr, &sql);
   const int64_t threshold_us = cluster_->options().slow_query_threshold_us;
+  const bool stats_enabled = cluster_->options().stats_enabled;
   Stopwatch sw;
   auto result = sql_driver::ExecuteSql(this, sql);
-  if (threshold_us > 0) {
-    int64_t elapsed_us = sw.ElapsedMicros();
-    if (elapsed_us >= threshold_us) {
-      std::vector<SlowQueryLog::WaitItem> waits;
-      for (const QueryWaitProfile::Item& item : wait_profile_.Top(3)) {
-        SlowQueryLog::WaitItem w;
-        w.event = std::string(WaitEventClassName(ClassOfEvent(item.event))) + ":" +
-                  WaitEventName(item.event);
-        w.count = item.count;
-        w.total_us = item.total_us;
-        waits.push_back(std::move(w));
-      }
-      cluster_->slow_query_log().Record(sql, elapsed_us, MonotonicMicros(),
-                                        std::move(waits));
+  const int64_t elapsed_us = sw.ElapsedMicros();
+  const uint64_t retries = info_->retries.load(std::memory_order_relaxed);
+  std::string fingerprint;
+  if (stats_enabled || (threshold_us > 0 && elapsed_us >= threshold_us)) {
+    // EXECUTE of a prepared statement set an override so it accumulates under
+    // the prepared text, not under "execute name($1)".
+    fingerprint = !stmt_fingerprint_override_.empty() ? stmt_fingerprint_override_
+                                                      : FingerprintSql(sql);
+  }
+  if (stats_enabled) {
+    StatementStatsRegistry::Sample sample;
+    sample.ok = result.ok();
+    sample.timed_out = !result.ok() && result.status().code() == StatusCode::kTimedOut;
+    sample.retries = retries;
+    sample.plan_cache_hit = stmt_plan_cache_hit_;
+    // Writes report affected rows; reads report returned rows.
+    if (result.ok()) {
+      sample.rows = result->affected > 0 ? static_cast<uint64_t>(result->affected)
+                                         : result->rows.size();
     }
+    sample.elapsed_us = elapsed_us;
+    sample.resources = &stmt_resources_;
+    sample.top_waits = wait_profile_.Top(3);
+    cluster_->statement_stats().Record(fingerprint, sample);
+  }
+  if (threshold_us > 0 && elapsed_us >= threshold_us) {
+    std::vector<SlowQueryLog::WaitItem> waits;
+    for (const QueryWaitProfile::Item& item : wait_profile_.Top(3)) {
+      SlowQueryLog::WaitItem w;
+      w.event = std::string(WaitEventClassName(ClassOfEvent(item.event))) + ":" +
+                WaitEventName(item.event);
+      w.count = item.count;
+      w.total_us = item.total_us;
+      waits.push_back(std::move(w));
+    }
+    cluster_->slow_query_log().Record(sql, elapsed_us, MonotonicMicros(),
+                                      std::move(waits), fingerprint,
+                                      stmt_plan_cache_hit_, retries);
   }
   // Errors that never reached the statement executor (parse/analyze time)
   // still abort an open explicit transaction, PostgreSQL-style.

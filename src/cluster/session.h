@@ -17,6 +17,7 @@
 #include "common/wait_event.h"
 #include "plan/planner.h"
 #include "plan/select_query.h"
+#include "stats/statement_resources.h"
 
 namespace gphtap {
 
@@ -161,6 +162,16 @@ class Session {
   };
   const Stats& stats() const { return stats_; }
 
+  // ---- Cumulative statement statistics hooks (gp_stat_statements) ----
+  // Called by the SQL driver during dispatch; Execute() folds them into the
+  // cluster's StatementStatsRegistry at statement end.
+  /// The statement was served from the plan cache (or a prepared statement's
+  /// generic plan) instead of being planned fresh.
+  void NoteStmtPlanCacheHit() { stmt_plan_cache_hit_ = true; }
+  /// Overrides the fingerprint the statement is accumulated under (EXECUTE of
+  /// a prepared statement attributes to the prepared text).
+  void SetStmtFingerprint(const std::string& fp) { stmt_fingerprint_override_ = fp; }
+
  private:
   // Wraps a statement in an implicit transaction when none is open.
   template <typename Fn>
@@ -240,10 +251,13 @@ class Session {
   Status ClusterSegment(Segment* seg, const TableDef& def, int order_col,
                         int64_t* rewritten);
   // Rebalance bodies, one distributed transaction each. Run inside
-  // RunStatement by RebalanceTable.
-  Status RebalanceHashTable(const TableDef& def, int new_span, RebalanceReport* report);
+  // RunStatement by RebalanceTable, which owns the gp_stat_progress handle the
+  // bodies advance (per staged row in the copy phase).
+  Status RebalanceHashTable(const TableDef& def, int new_span, RebalanceReport* report,
+                            ProgressRegistry::Handle* progress);
   Status RebalanceReplicatedTable(const TableDef& def, int new_span,
-                                  RebalanceReport* report);
+                                  RebalanceReport* report,
+                                  ProgressRegistry::Handle* progress);
   // Deletes `tid` with `xid` on any storage kind; callers hold locks strong
   // enough that the tuple cannot be concurrently write-locked.
   Status MarkDeletedResolved(Table* table, TupleId tid, LocalXid xid);
@@ -329,6 +343,12 @@ class Session {
   // Per-statement wait accumulation; Execute() resets it per statement and
   // hands the top entries to the slow-query log.
   QueryWaitProfile wait_profile_;
+  // Per-statement gang resource accumulator, carried on the wait context so
+  // executor slices / buffer pool / motion attribute to it ambiently. Reset by
+  // Execute() at statement start, read at statement end.
+  StatementResources stmt_resources_;
+  bool stmt_plan_cache_hit_ = false;
+  std::string stmt_fingerprint_override_;
 };
 
 }  // namespace gphtap

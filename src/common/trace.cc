@@ -126,9 +126,11 @@ OperatorStatsCollector::OpStats OperatorStatsCollector::Get(int node_id) const {
 }
 
 void SlowQueryLog::Record(const std::string& sql, int64_t duration_us, int64_t at_us,
-                          std::vector<WaitItem> top_waits) {
+                          std::vector<WaitItem> top_waits, std::string fingerprint,
+                          bool plan_cache_hit, uint64_t retries) {
   std::lock_guard<std::mutex> g(mu_);
-  entries_.push_back(Entry{sql, duration_us, at_us, std::move(top_waits)});
+  entries_.push_back(Entry{sql, duration_us, at_us, std::move(top_waits),
+                           std::move(fingerprint), plan_cache_hit, retries});
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 

@@ -122,12 +122,19 @@ class SlowQueryLog {
     /// OLAP scan (empty / Net-heavy) reads differently from a lock-starved
     /// OLTP statement (Lock-heavy) at a glance.
     std::vector<WaitItem> top_waits;
+    // Join key against gp_stat_statements ("" when fingerprinting is off),
+    // plus the execution-shape facts that explain a one-off slow run: did it
+    // miss the plan cache, and how many transparent retries did it take.
+    std::string fingerprint;
+    bool plan_cache_hit = false;
+    uint64_t retries = 0;
   };
 
   explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
 
   void Record(const std::string& sql, int64_t duration_us, int64_t at_us,
-              std::vector<WaitItem> top_waits = {});
+              std::vector<WaitItem> top_waits = {}, std::string fingerprint = "",
+              bool plan_cache_hit = false, uint64_t retries = 0);
   std::vector<Entry> Entries() const;
 
  private:

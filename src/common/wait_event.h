@@ -37,6 +37,7 @@
 namespace gphtap {
 
 class LockOwner;
+struct StatementResources;
 
 enum class WaitEventClass {
   kNone = 0,
@@ -140,6 +141,11 @@ struct WaitContext {
   // parameter (WAL fsync, motion queue waits). The session keeps the owner
   // alive for the statement's duration, so a raw pointer is safe here.
   LockOwner* owner = nullptr;
+  // Gang-wide per-statement resource accumulator (src/stats/). The executor
+  // copies the caller's context into every producer slice, so segment-side
+  // code (buffer pool, motion) attributes to the statement ambiently. Owned by
+  // the session; reset at statement start, read at statement end.
+  StatementResources* resources = nullptr;
 };
 
 /// Cancellation/deadline state of the ambient owner (OK when none installed).

@@ -14,6 +14,8 @@
 
 namespace gphtap {
 
+struct StatementResources;
+
 using ExchangeMap = std::unordered_map<int, std::shared_ptr<MotionExchange>>;
 
 struct ExecContext {
@@ -43,6 +45,11 @@ struct ExecContext {
 
   // EXPLAIN ANALYZE per-operator actuals; null = not collecting.
   OperatorStatsCollector* op_stats = nullptr;
+
+  // Per-statement gang-wide resource accumulator (gp_stat_statements); null =
+  // not collecting. Updated off the per-row hot path only (batch boundaries,
+  // fallback events, slice teardown).
+  StatementResources* resources = nullptr;
 
   // The slice's root node. ExecuteNode explodes a vectorize-marked subtree's
   // batches into rows for its caller; when that caller is a row operator

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/wait_event.h"
 #include "exec/agg_ops.h"
+#include "stats/statement_resources.h"
 #include "storage/heap_table.h"
 #include "vec/vec_executor.h"
 #include "vec/vec_kernels.h"
@@ -453,8 +454,13 @@ Status ExecuteNode(const PlanNode& node, ExecContext& ctx, const RowSink& sink) 
   // row operator (this call), batches are exploded back into rows at the
   // boundary. ExecuteNodeVec does its own per-operator instrumentation.
   if (node.vectorize && VecEngineSupports(node.kind)) {
-    if (ctx.cluster != nullptr && &node != ctx.slice_root) {
-      ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+    if (&node != ctx.slice_root) {
+      if (ctx.cluster != nullptr) {
+        ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+      }
+      if (ctx.resources != nullptr) {
+        ctx.resources->vec_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return ExecuteNodeVec(node, ctx, [&](ColumnBatch&& batch) -> Status {
       for (int32_t r : batch.sel) {
@@ -542,6 +548,9 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   // misses — is attributed to the owning statement, relabeled with the
   // segment it happened on and parented under the slice's span.
   const WaitContext* caller_wait = CurrentWaitContext();
+  // Statement-level resource accumulator (gp_stat_statements): inherited from
+  // the session's wait context, shared by every slice of the gang.
+  StatementResources* res = caller_wait != nullptr ? caller_wait->resources : nullptr;
   std::vector<std::thread> producers;
   for (const PlanNode* m : motions) {
     for (size_t gi = 0; gi < plan.gang.size(); ++gi) {
@@ -583,6 +592,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         ctx.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
         ctx.op_stats = op_stats;
         ctx.deadline_us = deadline_us;
+        ctx.resources = res;
 
         MotionExchange& ex = *exchanges[m->motion_id];
         const std::vector<int>& hash_cols = m->hash_cols;
@@ -592,6 +602,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
         Status s;
         const PlanNode& slice_root = *m->children[0];
         ctx.slice_root = &slice_root;
+        Stopwatch slice_sw;
         if (slice_root.vectorize && VecEngineSupports(slice_root.kind)) {
           // Vectorized slice: ship whole ColumnBatch chunks instead of rows.
           s = ExecuteNodeVec(slice_root, ctx, [&](ColumnBatch&& batch) -> Status {
@@ -645,6 +656,11 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
           });
         }
         ctx.FlushCpu();
+        if (res != nullptr) {
+          res->exec_cpu_ns.fetch_add(static_cast<uint64_t>(slice_sw.ElapsedNanos()),
+                                     std::memory_order_relaxed);
+          res->RecordSliceUs(slice_sw.ElapsedMicros());
+        }
         record_error(s);
         ex.CloseSender();
         if (trace != nullptr) trace->EndSpan(span, rows_out);
@@ -673,6 +689,7 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
   top.cpu_ns_per_row = cluster->options().exec_cpu_ns_per_row;
   top.op_stats = op_stats;
   top.deadline_us = deadline_us;
+  top.resources = res;
   top.slice_root = plan.root.get();
 
   uint64_t top_span = 0;
@@ -685,9 +702,15 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
       return sink(std::move(row));
     };
   }
+  Stopwatch top_sw;
   Status top_status = ExecuteNode(*plan.root, top, top_sink);
   if (top_status.code() == StatusCode::kStopIteration) top_status = Status::OK();
   top.FlushCpu();
+  if (res != nullptr) {
+    res->exec_cpu_ns.fetch_add(static_cast<uint64_t>(top_sw.ElapsedNanos()),
+                               std::memory_order_relaxed);
+    res->RecordSliceUs(top_sw.ElapsedMicros());
+  }
   if (trace != nullptr) trace->EndSpan(top_span, top_rows);
   // A cancellation (GDD kill, statement timeout) aborts the exchanges, which a
   // receiver observes as a clean end-of-stream — so an ok top status does not
@@ -712,6 +735,13 @@ Status ExecutePlan(Cluster* cluster, const QueryPlan& plan, Gxid gxid,
     for (const PlanNode* m : motions) {
       MotionExchange& ex = *exchanges[m->motion_id];
       op_stats->RecordMotionWait(m->node_id, ex.send_wait_us(), ex.recv_wait_us());
+    }
+  }
+  // Gang network attribution: total payload bytes shipped by this statement's
+  // exchanges (same tally SimNet was charged with).
+  if (res != nullptr) {
+    for (auto& [id, ex] : exchanges) {
+      res->net_bytes.fetch_add(ex->bytes_sent(), std::memory_order_relaxed);
     }
   }
 

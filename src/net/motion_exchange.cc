@@ -19,7 +19,9 @@ MotionExchange::MotionExchange(int num_senders, int num_receivers, size_t buffer
 }
 
 void MotionExchange::ChargeRows(uint64_t n, uint64_t bytes) {
-  if (net_ == nullptr || n == 0) return;
+  if (n == 0) return;
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  if (net_ == nullptr) return;
   uint64_t old = rows_sent_.fetch_add(n, std::memory_order_relaxed);
   // Messages = kRowsPerMessage boundaries in [old, old + n). For n == 1 this
   // reduces to the historical "charge when old % kRowsPerMessage == 0".

@@ -84,6 +84,11 @@ class MotionExchange {
   int64_t send_wait_us() const { return send_wait_us_.load(std::memory_order_relaxed); }
   int64_t recv_wait_us() const { return recv_wait_us_.load(std::memory_order_relaxed); }
 
+  /// Cumulative payload bytes sent through this exchange (the same byte tally
+  /// SimNet is charged with); per-statement network attribution sums this
+  /// across the plan's exchanges after the gang joins.
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+
  private:
   struct Eos {};
   using Item = std::variant<Row, BatchPtr, Eos>;
@@ -110,6 +115,7 @@ class MotionExchange {
   std::atomic<int> closed_senders_{0};
   std::atomic<bool> aborted_{false};
   std::atomic<uint64_t> rows_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<int64_t> send_wait_us_{0};
   std::atomic<int64_t> recv_wait_us_{0};
 };

@@ -9,6 +9,7 @@
 #include "sql/analyzer.h"
 #include "sql/parser.h"
 #include "sql/prepared_statement.h"
+#include "stats/fingerprint.h"
 
 namespace gphtap {
 namespace sql_driver {
@@ -270,7 +271,10 @@ StatusOr<QueryResult> RunSelect(Session* session, const sql_ast::SelectNode& nod
   Cluster* cluster = session->cluster();
   if (sql != nullptr && session->PlanCacheEligible()) {
     auto hit = cluster->plan_cache().Lookup(*sql, cluster->catalog_version());
-    if (hit != nullptr) return session->ExecuteCachedPlan(std::move(hit));
+    if (hit != nullptr) {
+      session->NoteStmtPlanCacheHit();
+      return session->ExecuteCachedPlan(std::move(hit));
+    }
   }
   Analyzer analyzer(cluster);
   GPHTAP_ASSIGN_OR_RETURN(SelectQuery q, analyzer.BindSelect(node));
@@ -479,7 +483,8 @@ Statement SubstParamsInStatement(const Statement& stmt,
   return out;
 }
 
-StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node);
+StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node,
+                                 const std::string* sql);
 StatusOr<QueryResult> RunExecutePrepared(Session* session,
                                          const sql_ast::ExecuteStmtNode& node);
 
@@ -492,7 +497,7 @@ StatusOr<QueryResult> DispatchStatement(Session* session, const Statement& stmt,
       return RunSelect(session, *stmt.select, sql);
 
     case StatementKind::kPrepare:
-      return RunPrepare(session, *stmt.prepare);
+      return RunPrepare(session, *stmt.prepare, sql);
 
     case StatementKind::kExecutePrepared:
       return RunExecutePrepared(session, *stmt.execute);
@@ -753,7 +758,8 @@ bool GenericPlanForfeitsKeyLookup(const SelectQuery& q) {
   return false;
 }
 
-StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node) {
+StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& node,
+                                 const std::string* sql) {
   const Statement& inner = *node.stmt;
   switch (inner.kind) {
     case StatementKind::kSelect:
@@ -768,6 +774,9 @@ StatusOr<QueryResult> RunPrepare(Session* session, const sql_ast::PrepareNode& n
   ps->name = node.name;
   ps->stmt = node.stmt;
   ps->num_params = MaxParamInStatement(inner);
+  // FingerprintSql strips the PREPARE..AS wrapper, so this equals the inner
+  // statement's fingerprint and EXECUTEs aggregate with the literal form.
+  if (sql != nullptr) ps->fingerprint = FingerprintSql(*sql);
   // SELECTs over tables get their generic plan now; EXECUTE only substitutes
   // values into a clone. FROM-less / function-scan selects and DML re-bind
   // per EXECUTE (still skipping the parse).
@@ -803,8 +812,16 @@ StatusOr<QueryResult> RunExecutePrepared(Session* session,
     GPHTAP_ASSIGN_OR_RETURN(Datum d, Analyzer::EvalConst(*arg));
     params.push_back(std::move(d));
   }
+  // Attribute this EXECUTE to the prepared text's fingerprint, not to
+  // "execute name($1)".
+  if (!ps->fingerprint.empty()) session->SetStmtFingerprint(ps->fingerprint);
 
   if (ps->has_plan) {
+    // Generic-plan reuse is the prepared-statement analogue of a plan-cache
+    // hit; a catalog-version miss below replans and is counted as a miss.
+    if (ps->catalog_version == session->cluster()->catalog_version()) {
+      session->NoteStmtPlanCacheHit();
+    }
     // Generic-plan fast path: no parse, no analyze, no planning. Replan only
     // when DDL/expansion/rebalance moved the catalog version.
     Cluster* cluster = session->cluster();

@@ -25,6 +25,11 @@ struct PreparedStatement {
   std::shared_ptr<const sql_ast::Statement> stmt;
   int num_params = 0;  // highest $N seen across the statement
 
+  // Normalized fingerprint of the prepared text (FingerprintSql of the inner
+  // statement): every EXECUTE is attributed to this in gp_stat_statements, so
+  // prepared and literal forms of a statement aggregate onto one row.
+  std::string fingerprint;
+
   // SELECT fast path: the generic plan built at PREPARE time. Invalidated
   // (replanned) when the catalog version moves, like plan-cache entries.
   bool has_plan = false;

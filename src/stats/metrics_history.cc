@@ -1,0 +1,65 @@
+#include "stats/metrics_history.h"
+
+#include <sstream>
+
+namespace gphtap {
+
+void MetricsHistory::Capture(const MetricsSnapshot& snapshot, int64_t at_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tick t;
+  t.tick = next_tick_++;
+  t.at_us = at_us;
+
+  auto add = [&](const std::string& name, int64_t value) {
+    auto prev_it = prev_.find(name);
+    int64_t prev = prev_it == prev_.end() ? 0 : prev_it->second;
+    int64_t delta = value - prev;
+    prev_[name] = value;
+    if (value != 0 || delta != 0) {
+      t.metrics.emplace_back(name, std::make_pair(value, delta));
+    }
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    add(name, static_cast<int64_t>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    add("gauge:" + name, value);
+  }
+
+  ring_.push_back(std::move(t));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<MetricsHistory::Row> MetricsHistory::Rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out;
+  for (const Tick& t : ring_) {
+    for (const auto& [name, vd] : t.metrics) {
+      Row r;
+      r.tick = t.tick;
+      r.at_us = t.at_us;
+      r.metric = name;
+      r.value = vd.first;
+      r.delta = vd.second;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+uint64_t MetricsHistory::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tick_;
+}
+
+std::string MetricsHistory::ToCsv() const {
+  std::ostringstream out;
+  out << "tick,at_us,metric,value,delta\n";
+  for (const Row& r : Rows()) {
+    out << r.tick << ',' << r.at_us << ',' << r.metric << ',' << r.value << ','
+        << r.delta << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gphtap

@@ -1,0 +1,64 @@
+// Metrics history ring (gp_stat_history): the cluster's history daemon calls
+// Capture() with a fresh MetricsSnapshot every stats_history_period_us; the
+// ring keeps the last `capacity` ticks. To keep ticks small, a tick stores
+// only metrics that are nonzero or changed since the previous capture, along
+// with the per-metric delta — so a counter's trajectory ("what did
+// vec.fallbacks look like five minutes ago") is one SQL query over
+// (tick, metric, value, delta) instead of diffing two StatsDump() blobs.
+#ifndef GPHTAP_STATS_METRICS_HISTORY_H_
+#define GPHTAP_STATS_METRICS_HISTORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace gphtap {
+
+class MetricsHistory {
+ public:
+  explicit MetricsHistory(size_t capacity = 120) : capacity_(capacity) {}
+
+  struct Row {
+    uint64_t tick = 0;     // monotonically increasing capture sequence
+    int64_t at_us = 0;     // monotonic capture time
+    std::string metric;    // counter name, or gauge name prefixed "gauge:"
+    int64_t value = 0;     // absolute value at the tick
+    int64_t delta = 0;     // change since the previous capture
+  };
+
+  /// Records one capture. Only metrics with a nonzero value or nonzero delta
+  /// land in the tick; deltas are computed against the previous capture even
+  /// when the older tick has already been evicted from the ring.
+  void Capture(const MetricsSnapshot& snapshot, int64_t at_us);
+
+  /// Every retained (tick, metric) row, oldest tick first.
+  std::vector<Row> Rows() const;
+
+  uint64_t ticks() const;
+
+  /// CSV dump (tick,at_us,metric,value,delta) for offline plotting.
+  std::string ToCsv() const;
+
+ private:
+  struct Tick {
+    uint64_t tick = 0;
+    int64_t at_us = 0;
+    // metric -> (value, delta)
+    std::vector<std::pair<std::string, std::pair<int64_t, int64_t>>> metrics;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Tick> ring_;
+  uint64_t next_tick_ = 0;
+  std::map<std::string, int64_t> prev_;  // last value per metric, persistent
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STATS_METRICS_HISTORY_H_

@@ -1,0 +1,162 @@
+#include "stats/progress.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace gphtap {
+
+const char* ProgressOpName(ProgressOp op) {
+  switch (op) {
+    case ProgressOp::kVacuum:
+      return "vacuum";
+    case ProgressOp::kCluster:
+      return "cluster";
+    case ProgressOp::kRebalance:
+      return "rebalance";
+    case ProgressOp::kDeltaSeal:
+      return "delta-seal";
+  }
+  return "?";
+}
+
+struct ProgressRegistry::Handle::State {
+  uint64_t op_id = 0;
+  ProgressOp op = ProgressOp::kVacuum;
+  std::string target;
+  int64_t started_us = 0;
+  std::atomic<int> node{-1};
+  std::atomic<int64_t> done{0};
+  std::atomic<int64_t> total{0};
+  std::atomic<int64_t> updated_us{0};
+
+  mutable std::mutex phase_mu;
+  std::string phase;
+  std::vector<std::string> phase_history;
+};
+
+ProgressRegistry::Handle::Handle(Handle&& o) noexcept
+    : state_(std::move(o.state_)), registry_(o.registry_) {
+  o.registry_ = nullptr;
+}
+
+ProgressRegistry::Handle& ProgressRegistry::Handle::operator=(
+    Handle&& o) noexcept {
+  if (this != &o) {
+    if (state_ != nullptr && registry_ != nullptr) registry_->Finish(state_);
+    state_ = std::move(o.state_);
+    registry_ = o.registry_;
+    o.registry_ = nullptr;
+  }
+  return *this;
+}
+
+ProgressRegistry::Handle::~Handle() {
+  if (state_ != nullptr && registry_ != nullptr) registry_->Finish(state_);
+}
+
+void ProgressRegistry::Handle::SetPhase(const std::string& phase) {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->phase_mu);
+  state_->phase = phase;
+  if (state_->phase_history.size() < kPhaseHistoryCapacity &&
+      (state_->phase_history.empty() || state_->phase_history.back() != phase)) {
+    state_->phase_history.push_back(phase);
+  }
+  state_->updated_us.store(MonotonicMicros(), std::memory_order_relaxed);
+}
+
+void ProgressRegistry::Handle::SetNode(int node) {
+  if (state_ == nullptr) return;
+  state_->node.store(node, std::memory_order_relaxed);
+  state_->updated_us.store(MonotonicMicros(), std::memory_order_relaxed);
+}
+
+void ProgressRegistry::Handle::SetTotal(int64_t total) {
+  if (state_ == nullptr) return;
+  state_->total.store(total, std::memory_order_relaxed);
+}
+
+void ProgressRegistry::Handle::SetDone(int64_t done) {
+  if (state_ == nullptr) return;
+  state_->done.store(done, std::memory_order_relaxed);
+  state_->updated_us.store(MonotonicMicros(), std::memory_order_relaxed);
+}
+
+void ProgressRegistry::Handle::Advance(int64_t n) {
+  if (state_ == nullptr) return;
+  state_->done.fetch_add(n, std::memory_order_relaxed);
+  state_->updated_us.store(MonotonicMicros(), std::memory_order_relaxed);
+}
+
+ProgressRegistry::Handle ProgressRegistry::Begin(ProgressOp op,
+                                                 const std::string& target) {
+  auto state = std::make_shared<Handle::State>();
+  state->op = op;
+  state->target = target;
+  state->started_us = MonotonicMicros();
+  state->updated_us.store(state->started_us, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->op_id = next_id_++;
+    active_.push_back(state);
+  }
+  Handle h;
+  h.state_ = std::move(state);
+  h.registry_ = this;
+  return h;
+}
+
+ProgressRegistry::Snapshot ProgressRegistry::Read(const Handle::State& state,
+                                                  bool finished) {
+  Snapshot s;
+  s.op_id = state.op_id;
+  s.op = state.op;
+  s.target = state.target;
+  s.node = state.node.load(std::memory_order_relaxed);
+  s.units_done = state.done.load(std::memory_order_relaxed);
+  s.units_total = state.total.load(std::memory_order_relaxed);
+  s.elapsed_us =
+      state.updated_us.load(std::memory_order_relaxed) - state.started_us;
+  s.finished = finished;
+  {
+    std::lock_guard<std::mutex> lock(state.phase_mu);
+    s.phase = state.phase;
+    s.phase_history = state.phase_history;
+  }
+  return s;
+}
+
+void ProgressRegistry::Finish(const std::shared_ptr<Handle::State>& state) {
+  Snapshot final = Read(*state, /*finished=*/true);
+  final.elapsed_us = MonotonicMicros() - state->started_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(std::remove(active_.begin(), active_.end(), state),
+                active_.end());
+  finished_.push_back(std::move(final));
+  while (finished_.size() > kFinishedCapacity) finished_.pop_front();
+}
+
+std::vector<ProgressRegistry::Snapshot> ProgressRegistry::SnapshotAll() const {
+  std::vector<Snapshot> out;
+  std::vector<std::shared_ptr<Handle::State>> active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = active_;
+    out.assign(finished_.begin(), finished_.end());
+  }
+  for (const auto& state : active) {
+    Snapshot s = Read(*state, /*finished=*/false);
+    s.elapsed_us = MonotonicMicros() - state->started_us;
+    out.push_back(std::move(s));
+  }
+  // Finished ops first (oldest first), then live ones — stable op_id order
+  // within each group.
+  std::sort(out.begin(), out.end(), [](const Snapshot& a, const Snapshot& b) {
+    if (a.finished != b.finished) return a.finished;
+    return a.op_id < b.op_id;
+  });
+  return out;
+}
+
+}  // namespace gphtap

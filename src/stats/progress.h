@@ -1,0 +1,97 @@
+// Maintenance progress reporting (gp_stat_progress, modeled on PostgreSQL's
+// pg_stat_progress_* views): a long-running operation — VACUUM, CLUSTER,
+// REBALANCE TABLE, the delta seal daemon — opens a RAII Handle on the
+// cluster's ProgressRegistry and updates phase / node / units-done /
+// units-total from its existing loops. Readers see live operations plus a
+// bounded ring of recently finished ones (so a test or operator can confirm
+// an op ran, which phases it passed through, and how many units it covered,
+// even after it completed).
+#ifndef GPHTAP_STATS_PROGRESS_H_
+#define GPHTAP_STATS_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gphtap {
+
+enum class ProgressOp {
+  kVacuum = 0,
+  kCluster,
+  kRebalance,
+  kDeltaSeal,
+};
+
+const char* ProgressOpName(ProgressOp op);
+
+class ProgressRegistry {
+ public:
+  struct Snapshot {
+    uint64_t op_id = 0;
+    ProgressOp op = ProgressOp::kVacuum;
+    std::string target;  // table name, or "" for daemon-wide ops
+    int node = -1;       // segment currently being worked, -1 = cluster-wide
+    std::string phase;
+    int64_t units_done = 0;
+    int64_t units_total = 0;  // 0 = unknown
+    int64_t elapsed_us = 0;
+    bool finished = false;
+    std::vector<std::string> phase_history;  // phases entered, in order
+  };
+
+  /// Move-only RAII registration. All updates are cheap (atomics; phase takes
+  /// a short mutex) so per-row Advance() from a copy loop is fine. The
+  /// destructor retires the entry into the finished ring.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&&) noexcept;
+    Handle& operator=(Handle&&) noexcept;
+    ~Handle();
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    void SetPhase(const std::string& phase);
+    void SetNode(int node);
+    void SetTotal(int64_t total);
+    void SetDone(int64_t done);
+    void Advance(int64_t n = 1);
+
+    bool active() const { return state_ != nullptr; }
+
+   private:
+    friend class ProgressRegistry;
+    struct State;
+    std::shared_ptr<State> state_;
+    ProgressRegistry* registry_ = nullptr;
+  };
+
+  /// Registers a new live operation. `target` names what is being worked on
+  /// (table name; "" for daemons).
+  Handle Begin(ProgressOp op, const std::string& target);
+
+  /// Live operations followed by recently finished ones (newest-finished
+  /// last). Backs the gp_stat_progress view.
+  std::vector<Snapshot> SnapshotAll() const;
+
+ private:
+  static constexpr size_t kFinishedCapacity = 32;
+  static constexpr size_t kPhaseHistoryCapacity = 16;
+
+  void Finish(const std::shared_ptr<Handle::State>& state);
+  static Snapshot Read(const Handle::State& state, bool finished);
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::vector<std::shared_ptr<Handle::State>> active_;
+  std::deque<Snapshot> finished_;
+};
+
+}  // namespace gphtap
+
+#endif  // GPHTAP_STATS_PROGRESS_H_

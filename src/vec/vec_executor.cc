@@ -15,6 +15,7 @@
 #include "delta/delta_index.h"
 #include "exec/agg_ops.h"
 #include "exec/executor.h"
+#include "stats/statement_resources.h"
 #include "storage/column_store.h"
 #include "storage/heap_table.h"
 #include "vec/vec_kernels.h"
@@ -63,6 +64,7 @@ Status ExecuteChildVec(const PlanNode& child, ExecContext& ctx, const BatchSink&
     return ExecuteNodeVec(child, ctx, sink);
   }
   if (ctx.cluster != nullptr) ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+  if (ctx.resources != nullptr) ctx.resources->vec_fallbacks.fetch_add(1, std::memory_order_relaxed);
   ColumnBatch batch;
   bool shaped = false;
   Status s = ExecuteNode(child, ctx, [&](Row&& row) -> Status {
@@ -91,6 +93,7 @@ Status ExecuteChildVec(const PlanNode& child, ExecContext& ctx, const BatchSink&
 Status ExecSeqScanVecFallback(const PlanNode& node, ExecContext& ctx, Table* table,
                               const BatchSink& sink) {
   if (ctx.cluster != nullptr) ctx.cluster->metrics().counter("vec.fallbacks")->Add(1);
+  if (ctx.resources != nullptr) ctx.resources->vec_fallbacks.fetch_add(1, std::memory_order_relaxed);
   VisibilityContext vis = ctx.Vis();
   ColumnBatch batch;
   bool shaped = false;
@@ -757,6 +760,12 @@ Status ExecuteNodeVec(const PlanNode& node, ExecContext& ctx, const BatchSink& s
     MetricsRegistry& m = ctx.cluster->metrics();
     m.counter("vec.batches")->Add(static_cast<uint64_t>(batches));
     m.counter("vec.rows")->Add(static_cast<uint64_t>(rows));
+  }
+  if (ctx.resources != nullptr && batches > 0) {
+    // Same per-node semantics as the vec.batches counter (nested marked nodes
+    // each count their output), so the view column joins against the metric.
+    ctx.resources->vec_batches.fetch_add(static_cast<uint64_t>(batches),
+                                         std::memory_order_relaxed);
   }
   return s;
 }

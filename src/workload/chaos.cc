@@ -281,6 +281,27 @@ void SealWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
   }
 }
 
+// Observability-under-chaos: hammer the stats system views while segments
+// crash, recover, and rebalance underneath. The views snapshot coordinator
+// state, so every read should answer; failures are counted (a statement
+// timeout under heavy fault load is tolerable) but must stay clean failures.
+void ViewsReaderWorker(Cluster* cluster, const ChaosConfig& cfg, int worker_id,
+                       int64_t end_us, ChaosState* state) {
+  auto session = cluster->Connect();
+  session->set_statement_timeout_us(cfg.statement_timeout_ms * 1000);
+  Rng rng(cfg.seed * 179424673 + static_cast<uint64_t>(worker_id) + 19);
+  const std::string views[] = {"gp_stat_statements", "gp_stat_history",
+                               "gp_stat_progress", "gp_metrics",
+                               "gp_stat_activity"};
+  while (MonotonicMicros() < end_us) {
+    const std::string& view = views[rng.Uniform(5)];
+    auto r = session->Execute("SELECT * FROM " + view);
+    std::lock_guard<std::mutex> g(state->mu);
+    ++state->report.view_reads;
+    if (!r.ok()) ++state->report.view_read_failures;
+  }
+}
+
 // The seeded fault scheduler: draws one action per gap from the run's RNG and
 // heals its own damage (crashed primaries recover after a delay; armed net
 // faults are cleared by the periodic "clear" action and at teardown).
@@ -396,6 +417,10 @@ std::string ChaosReport::ToString() const {
     out += "delta seals: ok=" + std::to_string(seal_passes) +
            " failed=" + std::to_string(seal_failures) + "\n";
   }
+  if (view_reads > 0) {
+    out += "view reads: ok=" + std::to_string(view_reads - view_read_failures) +
+           " failed=" + std::to_string(view_read_failures) + "\n";
+  }
   out += "faults: injected=" + std::to_string(faults_injected) +
          " crashes=" + std::to_string(crashes) +
          " recoveries=" + std::to_string(recoveries) +
@@ -465,6 +490,10 @@ ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
   if (config.delta_seal_enabled) {
     maintenance.emplace_back(
         [&] { SealWorker(cluster, config, end_us, &state); });
+  }
+  if (config.views_reader_enabled) {
+    maintenance.emplace_back(
+        [&] { ViewsReaderWorker(cluster, config, 0, end_us, &state); });
   }
 
   for (auto& t : threads) t.join();

@@ -78,6 +78,13 @@ struct ChaosConfig {
   bool delta_seal_enabled = false;
   int64_t seal_min_gap_ms = 15;
   int64_t seal_max_gap_ms = 60;
+
+  // --- Observability-under-chaos --- A reader session cycles through the
+  // stats system views (gp_stat_statements, gp_stat_history, gp_stat_progress,
+  // gp_metrics, gp_stat_activity) while the fault schedule and the write
+  // traffic run. View scans are coordinator-only, so they must keep answering
+  // (never crash, never corrupt) no matter what the schedule does to segments.
+  bool views_reader_enabled = false;
 };
 
 struct ChaosReport {
@@ -110,6 +117,10 @@ struct ChaosReport {
   // must stay failures, never corruption.
   uint64_t seal_passes = 0;
   uint64_t seal_failures = 0;
+
+  // Stats-view reads under chaos (when the config enables the reader).
+  uint64_t view_reads = 0;
+  uint64_t view_read_failures = 0;
 
   // Fault schedule actually executed.
   uint64_t faults_injected = 0;

@@ -74,6 +74,10 @@ void RunReorgExpandSeed(uint64_t seed) {
   ChaosConfig cfg = SmokeConfig(seed);
   cfg.reorg_enabled = true;
   cfg.expand_segments = 2;
+  // Hammer the stats views (gp_stat_statements / gp_stat_history /
+  // gp_stat_progress / gp_metrics) while VACUUM, CLUSTER, and the rebalance
+  // publish progress under the fault schedule.
+  cfg.views_reader_enabled = true;
   ASSERT_TRUE(SetupChaosTables(&cluster, cfg).ok());
   ChaosReport report = RunChaosWorkload(&cluster, cfg);
   SCOPED_TRACE(report.ToString());
@@ -81,6 +85,9 @@ void RunReorgExpandSeed(uint64_t seed) {
   EXPECT_TRUE(report.invariants_ok()) << report.ToString();
   EXPECT_GT(report.transfers_committed, 0u);
   EXPECT_GT(report.scans_ok, 0u);
+  EXPECT_GT(report.view_reads, 0u);
+  EXPECT_LT(report.view_read_failures, report.view_reads)
+      << "every stats-view read failed under chaos";
   EXPECT_TRUE(report.expanded);
   EXPECT_TRUE(report.rebalanced);
   EXPECT_GT(report.reorg_ops + report.reorg_failures, 0u);
