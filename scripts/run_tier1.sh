@@ -13,7 +13,7 @@ cmake --build build -j
 cmake -B build-tsan -S . -DGPHTAP_SANITIZE=thread
 cmake --build build-tsan -j
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R \
-  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test|delta_store_test|delta_scan_test|delta_differential_test|stats_test|stats_views_test')
+  'lock_manager_test|lock_modes_test|gdd_daemon_test|gdd_algorithm_test|gdd_cases_test|commit_protocol_test|mirror_test|fault_injector_test|crash_recovery_test|failover_test|metrics_test|observability_test|motion_exchange_test|column_batch_test|vec_executor_test|vec_differential_test|ao_visibility_test|ao_compaction_test|reorg_test|expand_test|wait_event_test|system_views_test|timeout_test|chaos_test|plan_cache_test|prepare_execute_test|delta_store_test|delta_scan_test|delta_differential_test|stats_test|stats_views_test|frontend_test')
 
 # Advisory bench diffing: the previous run's BENCH_*.json is kept as .prev and
 # a per-series tps/p99 delta table is printed after each fresh run. Informative
@@ -213,4 +213,57 @@ print(f"BENCH stats json OK: stats-on {on['best_tps']:.0f} tps vs "
       f"stats-off {off['best_tps']:.0f} tps ({overhead:+.2f}% overhead)")
 assert overhead <= 2.0, (
     f"stats collector overhead {overhead:.2f}% exceeds the 2% budget")
+EOF
+
+# Front-door session scaling: 50k logical sessions must be admitted and
+# sustained over the fixed 8-worker pool with zero invariant violations and a
+# bounded shed rate, every shed classified as retryable (the binary itself
+# exits non-zero on a violation), and steady-state front-door TPC-B tps must
+# land within 10% of the direct-session baseline at equal worker count.
+snapshot_prev BENCH_sessions.json
+(cd build && GPHTAP_BENCH_MS=500 ./bench/bench_sessions --smoke)
+diff_prev BENCH_sessions.json
+python3 - build/BENCH_sessions.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "sessions", doc
+assert doc["points"], "no points recorded"
+by_key = {(p["series"], p["arg"]): p for p in doc["points"]}
+required = {"throughput_tps", "p50_us", "p95_us", "p99_us"}
+for point in doc["points"]:
+    missing = required - set(point)
+    assert not missing, f"point {point.get('series')} missing {missing}"
+
+storm = by_key.get(("Sessions/Storm/Connect", 50000))
+assert storm is not None, f"missing 50k storm point in {sorted(by_key)}"
+assert storm["violations"] == 0, f"invariant violations under storm: {storm}"
+assert storm["connect_ok"] >= 45000, (
+    f"storm admitted only {storm['connect_ok']:.0f} of 50000 sessions")
+assert storm["committed"] > 0, "storm made no forward progress"
+assert storm["connect_p99_us"] > 0, "no connect latency recorded"
+assert storm["shed_rate"] <= 0.95, (
+    f"shed rate {storm['shed_rate']:.3f} unbounded under storm")
+
+steady = next((p for p in doc["points"]
+               if p["series"] == "Sessions/Steady/Frontend"), None)
+assert steady is not None, "missing steady front-door point"
+assert steady["violations"] == 0, f"steady-state invariant violation: {steady}"
+assert steady["connect_ok"] == steady["sessions"], (
+    f"steady ramp incomplete: {steady['connect_ok']:.0f}/{steady['sessions']:.0f}")
+assert steady["pool_utilization"] > 0.5, (
+    f"pool underutilized at saturation: {steady['pool_utilization']:.2f}")
+
+front = by_key.get(("Sessions/Compare/Frontend", 1000))
+direct = by_key.get(("Sessions/Direct/Baseline", 8))
+assert front is not None, "missing front-door compare point"
+assert direct is not None, "missing direct-session baseline point"
+ratio = front["best_tps"] / direct["best_tps"]
+assert ratio >= 0.9, (
+    f"front-door tps {front['best_tps']:.0f} is {ratio:.2f}x the direct "
+    f"baseline {direct['best_tps']:.0f} (must be >= 0.9x)")
+print(f"BENCH sessions json OK: storm admitted {storm['connect_ok']:.0f} sessions "
+      f"(connect p99 {storm['connect_p99_us']:.0f}us, shed rate "
+      f"{storm['shed_rate']:.2f}), front-door {front['best_tps']:.0f} tps = "
+      f"{ratio:.2f}x direct baseline, pool {steady['pool_utilization']:.0%} busy")
 EOF

@@ -18,13 +18,23 @@
 //   cluster.FailoverToMirror(i) — promote a mirror (FTS does this automatically
 //                                 when ClusterOptions::fts_enabled)
 //   cluster.Health()            — per-segment up/down, mirror lag, FTS stats
+//
+// Front door (docs/RESILIENCE.md "Overload and the front door"): with
+// ClusterOptions::frontend.enabled, cluster.ConnectLogical() returns a
+// thread-decoupled logical session multiplexed over a bounded worker pool —
+// tens of thousands of them coexist without per-session OS threads, and
+// overload degrades gracefully into retryable sheds with retry-after hints:
+//   auto fs = cluster.ConnectLogical();         // sheds instead of blocking
+//   (*fs)->Execute("SELECT 1");                 // sync facade
+//   (*fs)->Submit("SELECT 1", callback);        // async, callback-chained
 #ifndef GPHTAP_API_GPHTAP_H_
 #define GPHTAP_API_GPHTAP_H_
 
-#include "cluster/cluster.h"   // IWYU pragma: export
-#include "cluster/session.h"   // IWYU pragma: export
-#include "common/status.h"     // IWYU pragma: export
-#include "catalog/datum.h"     // IWYU pragma: export
-#include "catalog/schema.h"    // IWYU pragma: export
+#include "cluster/cluster.h"     // IWYU pragma: export
+#include "cluster/session.h"     // IWYU pragma: export
+#include "common/status.h"       // IWYU pragma: export
+#include "catalog/datum.h"       // IWYU pragma: export
+#include "catalog/schema.h"      // IWYU pragma: export
+#include "frontend/frontend.h"   // IWYU pragma: export
 
 #endif  // GPHTAP_API_GPHTAP_H_

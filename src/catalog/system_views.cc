@@ -32,7 +32,10 @@ std::vector<TableDef> BuildDefs() {
        // Resilience: time left before the statement deadline fires (-1 = no
        // deadline armed) and transparent retry count of the current statement.
        {"deadline_remaining_us", TypeId::kInt64},
-       {"retries", TypeId::kInt64}}));
+       {"retries", TypeId::kInt64},
+       // Front door: dispatch-queue depth this session's statement joined
+       // behind (0 unless state = queued, wait frontend:dispatch).
+       {"queue_depth", TypeId::kInt64}}));
 
   // Every grant and every queued waiter in every lock table (coordinator = -1).
   defs.push_back(MakeView(SystemViewId::kLocks, "gp_locks",

@@ -7,6 +7,7 @@
 #include "catalog/system_views.h"
 #include "cluster/session.h"
 #include "common/clock.h"
+#include "frontend/frontend.h"
 #include "net/motion_exchange.h"
 #include "storage/ao_table.h"
 #include "storage/column_store.h"
@@ -144,9 +145,19 @@ Cluster::Cluster(ClusterOptions options)
     stats_history_running_.store(true);
     stats_history_thread_ = std::thread([this] { StatsHistoryLoop(); });
   }
+
+  // Last: front-door sessions drive every subsystem above.
+  if (options.frontend.enabled) {
+    frontend_ = std::make_unique<FrontDoor>(this, options.frontend);
+  }
 }
 
 Cluster::~Cluster() {
+  // First: front-door workers may be mid-statement anywhere in the cluster.
+  if (frontend_) {
+    frontend_->Stop();
+    frontend_.reset();
+  }
   if (stats_history_running_.exchange(false) && stats_history_thread_.joinable()) {
     stats_history_thread_.join();
   }
@@ -437,6 +448,14 @@ std::vector<TableDef> Cluster::ListTables() const {
 
 std::unique_ptr<Session> Cluster::Connect(const std::string& role) {
   return std::make_unique<Session>(this, role);
+}
+
+StatusOr<std::shared_ptr<FrontendSession>> Cluster::ConnectLogical(
+    const std::string& role) {
+  if (frontend_ == nullptr) {
+    return Status::NotSupported("front door disabled (ClusterOptions::frontend)");
+  }
+  return frontend_->Connect(role);
 }
 
 void Cluster::CancelTxn(Gxid gxid, Status reason) {

@@ -23,6 +23,7 @@
 #include "cluster/session_registry.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "frontend/frontend_options.h"
 #include "common/trace.h"
 #include "common/wait_event.h"
 #include "gdd/gdd_daemon.h"
@@ -36,6 +37,8 @@
 
 namespace gphtap {
 
+class FrontDoor;
+class FrontendSession;
 class MotionExchange;
 class Session;
 
@@ -180,6 +183,13 @@ struct ClusterOptions {
   // (DtxRecoveryDaemon). The transaction stays in the distributed in-progress
   // set — invisible to every snapshot — until the daemon completes it.
   int64_t dtx_recovery_period_us = 5'000;
+
+  // --- Million-session front door (src/frontend/) ---
+  // Thread-decoupled logical sessions over a bounded worker pool, with
+  // bounded accept/dispatch queues, per-resgroup backpressure, shed/retry-
+  // after overload degradation and idle/login timeouts. Off by default;
+  // direct Connect() sessions work the same either way.
+  FrontDoorOptions frontend;
 };
 
 /// Point-in-time health of one segment (cluster health API).
@@ -253,6 +263,15 @@ class Cluster {
 
   // ---- Sessions ----
   std::unique_ptr<Session> Connect(const std::string& role = "");
+
+  /// Front-door connect (options.frontend.enabled): a lightweight logical
+  /// session multiplexed over the bounded worker pool. Under saturation this
+  /// sheds with a retryable kUnavailable + retry-after hint instead of
+  /// blocking; kNotSupported when the front door is off.
+  StatusOr<std::shared_ptr<FrontendSession>> ConnectLogical(const std::string& role = "");
+
+  /// The front door, or null when options.frontend.enabled is false.
+  FrontDoor* frontend() { return frontend_.get(); }
 
   // ---- Distributed transaction machinery ----
   DistributedTxnManager& dtm() { return dtm_; }
@@ -513,6 +532,10 @@ class Cluster {
   void StatsHistoryLoop();
   std::atomic<bool> stats_history_running_{false};
   std::thread stats_history_thread_;
+
+  // Constructed last (its sessions touch every subsystem) and stopped first
+  // in ~Cluster, before anything its in-flight statements could be using.
+  std::unique_ptr<FrontDoor> frontend_;
 };
 
 }  // namespace gphtap

@@ -127,7 +127,8 @@ StatusOr<std::vector<Row>> Cluster::SystemViewRows(TableId view_id) {
                 static_cast<SessionState>(s->state.load(std::memory_order_acquire)))),
             Datum(std::move(cls)), Datum(std::move(name)), Int(wait_us),
             Datum(s->query()), Int(deadline_remaining),
-            Int(s->retries.load(std::memory_order_acquire))});
+            Int(s->retries.load(std::memory_order_acquire)),
+            Int(s->queue_depth.load(std::memory_order_acquire))});
       }
       return rows;
     }

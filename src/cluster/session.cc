@@ -622,7 +622,9 @@ StatusOr<QueryResult> Session::RunReadOnlyStatement(Fn&& fn) {
     ++stats_.statement_retries;
     m_.stmt_retries->Add(1);
     info_->retries.fetch_add(1, std::memory_order_acq_rel);
-    PreciseSleepUs(backoff_us);
+    // A shed response carries the producer's own backoff estimate (front-door
+    // retry-after hint); never retry sooner than the producer asked.
+    PreciseSleepUs(std::max(backoff_us, result.status().retry_after_us()));
     backoff_us = std::min(backoff_us * 2, opts.statement_retry_max_backoff_us);
   }
 }

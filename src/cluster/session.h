@@ -127,6 +127,10 @@ class Session {
 
   Cluster* cluster() { return cluster_; }
 
+  /// This session's gp_stat_activity entry. The front door publishes queued /
+  /// dispatch state into it while the session has no thread of its own.
+  const std::shared_ptr<SessionInfo>& session_info() const { return info_; }
+
   // ---- Prepared statements (PREPARE / EXECUTE / DEALLOCATE) ----
   // Session-local named statements, managed by the SQL driver; the session
   // only owns the storage so their lifetime matches the connection.

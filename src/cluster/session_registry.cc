@@ -1,7 +1,5 @@
 #include "cluster/session_registry.h"
 
-#include <algorithm>
-
 namespace gphtap {
 
 const char* SessionStateName(SessionState s) {
@@ -12,6 +10,8 @@ const char* SessionStateName(SessionState s) {
       return "active";
     case SessionState::kIdleInTransaction:
       return "idle in transaction";
+    case SessionState::kQueued:
+      return "queued";
   }
   return "?";
 }
@@ -22,22 +22,26 @@ std::shared_ptr<SessionInfo> SessionRegistry::Register(const std::string& role,
   info->SetStrings(&role, &group, nullptr);
   std::lock_guard<std::mutex> g(mu_);
   info->id = ++next_id_;
-  sessions_.push_back(info);
+  sessions_.emplace(info->id, info);
   return info;
 }
 
 void SessionRegistry::Unregister(int64_t id) {
   std::lock_guard<std::mutex> g(mu_);
-  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
-                                 [&](const std::shared_ptr<SessionInfo>& s) {
-                                   return s->id == id;
-                                 }),
-                  sessions_.end());
+  sessions_.erase(id);
 }
 
 std::vector<std::shared_ptr<SessionInfo>> SessionRegistry::Snapshot() const {
   std::lock_guard<std::mutex> g(mu_);
-  return sessions_;
+  std::vector<std::shared_ptr<SessionInfo>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, info] : sessions_) out.push_back(info);
+  return out;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return sessions_.size();
 }
 
 }  // namespace gphtap

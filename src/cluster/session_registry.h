@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +23,9 @@ enum class SessionState : int {
   kIdle = 0,
   kActive = 1,
   kIdleInTransaction = 2,
+  // A front-door logical session whose statement sits in the dispatch queue
+  // waiting for a pool worker (wait_event frontend:dispatch while here).
+  kQueued = 3,
 };
 
 const char* SessionStateName(SessionState s);
@@ -38,6 +42,10 @@ struct SessionInfo {
   // deadline (0 = none) and how many times it was transparently retried.
   std::atomic<int64_t> deadline_us{0};
   std::atomic<int64_t> retries{0};
+  // Front-door dispatch-queue depth observed when this session's statement
+  // was enqueued (0 when the session is not queued). gp_stat_activity shows
+  // it so a connection storm is diagnosable from the view alone.
+  std::atomic<int64_t> queue_depth{0};
 
   void SetStrings(const std::string* role, const std::string* group,
                   const std::string* query) {
@@ -66,7 +74,9 @@ struct SessionInfo {
   std::string query_;  // current statement, or the last one when idle
 };
 
-/// Registry of live sessions; Cluster owns one.
+/// Registry of live sessions; Cluster owns one. Keyed by id so register /
+/// unregister stay O(log n) — the front door churns tens of thousands of
+/// logical sessions, and a linear unregister scan would go quadratic there.
 class SessionRegistry {
  public:
   std::shared_ptr<SessionInfo> Register(const std::string& role,
@@ -76,10 +86,13 @@ class SessionRegistry {
   /// Shared handles to every live session, ordered by session id.
   std::vector<std::shared_ptr<SessionInfo>> Snapshot() const;
 
+  /// Number of live sessions.
+  size_t size() const;
+
  private:
   mutable std::mutex mu_;
   int64_t next_id_ = 0;
-  std::vector<std::shared_ptr<SessionInfo>> sessions_;
+  std::map<int64_t, std::shared_ptr<SessionInfo>> sessions_;
 };
 
 }  // namespace gphtap

@@ -47,6 +47,12 @@ inline constexpr char kFtsProbeTimeout[] = "fts.probe_timeout";
 // coordinator retries after recovery.
 inline constexpr char kCrashDuringRebalanceCopy[] =
     "segment.crash_during_rebalance_copy";
+// Front door: a pool worker stalls (delay point, EvaluateDelay) after
+// dequeuing a statement and before executing it — a GC pause / hung disk.
+inline constexpr char kFrontendWorkerStall[] = "frontend.worker_stall";
+// Front door: an arriving connect is dropped at accept; surfaced to the
+// client as a retryable shed (kUnavailable + retry-after), never a hang.
+inline constexpr char kFrontendAcceptDrop[] = "frontend.accept_drop";
 }  // namespace fault_points
 
 /// Thread-safe registry of armed fault points. One per Cluster.

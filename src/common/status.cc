@@ -40,4 +40,8 @@ bool IsRetryableStatementFailure(const Status& s) {
   return s.code() == StatusCode::kUnavailable;
 }
 
+bool IsShedFailure(const Status& s) {
+  return s.code() == StatusCode::kUnavailable && s.retry_after_us() > 0;
+}
+
 }  // namespace gphtap

@@ -63,6 +63,22 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Attaches a retry-after hint: the producer's estimate of how long the
+  /// caller should back off before retrying. Carried by shed responses from
+  /// the front door (accept/dispatch queue overflow) so clients pace their
+  /// retries to the service rate instead of hammering a saturated pool.
+  Status WithRetryAfter(int64_t retry_after_us) && {
+    retry_after_us_ = retry_after_us;
+    return std::move(*this);
+  }
+  Status WithRetryAfter(int64_t retry_after_us) const& {
+    Status s = *this;
+    s.retry_after_us_ = retry_after_us;
+    return s;
+  }
+  /// Backoff hint in microseconds; 0 when the producer offered none.
+  int64_t retry_after_us() const { return retry_after_us_; }
+
   /// True if the transaction holding this status must roll back (victim/cancel paths).
   bool IsAbortLike() const {
     return code_ == StatusCode::kAborted || code_ == StatusCode::kDeadlockDetected ||
@@ -82,6 +98,7 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+  int64_t retry_after_us_ = 0;  // producer backoff hint; not part of equality
 };
 
 inline bool operator==(const Status& a, const Status& b) {
@@ -104,6 +121,12 @@ bool IsRetryableFailure(const Status& s);
 /// retried when read-only (write retry past the commit decision point could
 /// double-apply effects).
 bool IsRetryableStatementFailure(const Status& s);
+
+/// True when the front door (or any admission layer) shed the request to
+/// protect itself: retryable kUnavailable carrying a retry-after hint. A shed
+/// is guaranteed to have had no effect, so callers may retry writes too —
+/// unlike a generic kUnavailable, whose outcome may be ambiguous.
+bool IsShedFailure(const Status& s);
 
 /// A Status or a value of type T.
 template <typename T>

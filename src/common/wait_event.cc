@@ -21,6 +21,8 @@ const char* WaitEventClassName(WaitEventClass c) {
       return "IPC";
     case WaitEventClass::kResGroup:
       return "ResGroup";
+    case WaitEventClass::kFrontend:
+      return "frontend";
   }
   return "?";
 }
@@ -53,6 +55,8 @@ const char* WaitEventName(WaitEvent e) {
       return "delta_freshness";
     case WaitEvent::kDeltaSealStall:
       return "delta_seal_stall";
+    case WaitEvent::kFrontendDispatch:
+      return "dispatch";
   }
   return "?";
 }
@@ -80,6 +84,8 @@ WaitEventClass ClassOfEvent(WaitEvent e) {
       return WaitEventClass::kIpc;
     case WaitEvent::kDeltaSealStall:
       return WaitEventClass::kLock;
+    case WaitEvent::kFrontendDispatch:
+      return WaitEventClass::kFrontend;
   }
   return WaitEventClass::kNone;
 }

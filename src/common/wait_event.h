@@ -46,6 +46,7 @@ enum class WaitEventClass {
   kIO,        // WAL fsync, buffer-pool miss
   kIpc,       // 2PC PREPARE / COMMIT PREPARED ack round trips
   kResGroup,  // resource-group admission slot
+  kFrontend,  // front-door dispatch queue (statement waiting for a pool worker)
 };
 
 enum class WaitEvent {
@@ -60,8 +61,9 @@ enum class WaitEvent {
   kPrepareAck,
   kCommitPreparedAck,
   kResGroupSlot,
-  kDeltaFreshness,  // merged scan waiting for the delta feed to catch up
-  kDeltaSealStall,  // seal daemon parked behind a down/recovering segment
+  kDeltaFreshness,   // merged scan waiting for the delta feed to catch up
+  kDeltaSealStall,   // seal daemon parked behind a down/recovering segment
+  kFrontendDispatch,  // logical session's statement queued for a pool worker
 };
 
 const char* WaitEventClassName(WaitEventClass c);

@@ -105,6 +105,16 @@ Status ResourceGroup::Admit(const AdmitRequest& req) {
   return Status::OK();
 }
 
+int ResourceGroup::DispatchBound(int resgroup_max_queue, int overflow_per_slot) const {
+  int bound = config_.concurrency;
+  if (resgroup_max_queue > 0) {
+    bound += resgroup_max_queue;
+  } else {
+    bound += config_.concurrency * std::max(overflow_per_slot, 0);
+  }
+  return std::max(bound, 1);
+}
+
 ResourceGroup::OverloadStats ResourceGroup::overload_stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   OverloadStats s;

@@ -74,6 +74,15 @@ class ResourceGroup {
   void Leave();
   int active() const;
 
+  /// Upper bound the front door applies to this group's in-flight (queued +
+  /// executing) statements before shedding: the group's concurrency slots plus
+  /// the admission queue it may legally fill downstream (`resgroup_max_queue`
+  /// when that GUC bounds it, otherwise `overflow_per_slot` extra per slot as
+  /// dispatch buffer). Keeping the front-door bound at or below this means a
+  /// shed happens at accept time, before the statement ties up a pool worker
+  /// just to park in PR 5's admission queue.
+  int DispatchBound(int resgroup_max_queue, int overflow_per_slot) const;
+
   /// Overload-protection counters (gp_resgroup_status).
   struct OverloadStats {
     int queued_now = 0;            // requests currently parked in admission

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "net/sim_net.h"
+#include "workload/driver.h"
 
 namespace gphtap {
 
@@ -302,6 +303,59 @@ void ViewsReaderWorker(Cluster* cluster, const ChaosConfig& cfg, int worker_id,
   }
 }
 
+// Connection-storm chaos: ramp storm_sessions logical sessions through the
+// front door while the fault schedule crashes segments underneath, each one
+// looping markerless two-account transfers once admitted. The front-door
+// workload engine already embodies the client contract under test — sheds are
+// retried after the retry-after hint, closed sessions are re-dialed — so the
+// storm reuses it and converts anything the engine could NOT classify
+// (result.fatal) into an invariant violation. Balance conservation over
+// chaos_accounts covers the storm's writes: the concurrent scans and the
+// final sum see every storm transfer or none of it.
+void ConnectionStormWorker(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
+                           ChaosState* state) {
+  if (cluster->frontend() == nullptr) {
+    state->Violation("connection storm requires ClusterOptions::frontend.enabled");
+    return;
+  }
+  FrontendWorkloadOptions opts;
+  opts.logical_sessions = cfg.storm_sessions;
+  opts.duration_ms = std::max<int64_t>(1, (end_us - MonotonicMicros()) / 1000);
+  opts.seed = cfg.seed * 6700417 + 23;
+  opts.ramp_threads = cfg.storm_ramp_threads;
+  // Bound every storm statement the same way direct chaos sessions are
+  // bounded, so the classified-termination slack applies to the storm too.
+  opts.session_init = {"SET statement_timeout = " +
+                       std::to_string(cfg.statement_timeout_ms)};
+  const int64_t num = cfg.num_accounts;
+  FrontendWorkloadResult r = RunFrontendWorkload(
+      cluster, opts, [num](Rng& rng) {
+        int64_t from = rng.UniformRange(1, num);
+        int64_t to = rng.UniformRange(1, num);
+        if (to == from) to = to % num + 1;
+        std::string d = std::to_string(rng.UniformRange(1, 1000));
+        return std::vector<std::string>{
+            "BEGIN",
+            "UPDATE chaos_accounts SET balance = balance + " + d +
+                " WHERE aid = " + std::to_string(from),
+            "UPDATE chaos_accounts SET balance = balance - " + d +
+                " WHERE aid = " + std::to_string(to),
+            "COMMIT"};
+      });
+  std::lock_guard<std::mutex> g(state->mu);
+  ChaosReport& rep = state->report;
+  rep.storm_connect_ok += r.connect_ok;
+  rep.storm_connect_shed += r.connect_sheds;
+  rep.storm_connect_failed += r.connect_failed;
+  rep.storm_committed += r.committed;
+  rep.storm_failures += r.aborted + r.retryable + r.shed;
+  rep.storm_reconnects += r.reconnects;
+  if (!r.fatal.ok()) {
+    rep.violations.push_back("connection storm: unclassified failure: " +
+                             r.fatal.ToString());
+  }
+}
+
 // The seeded fault scheduler: draws one action per gap from the run's RNG and
 // heals its own damage (crashed primaries recover after a delay; armed net
 // faults are cleared by the periodic "clear" action and at teardown).
@@ -333,7 +387,20 @@ void FaultScheduler(Cluster* cluster, const ChaosConfig& cfg, int64_t end_us,
         if (info.index == it->segment && info.up) already_up = true;
       }
       Status rs = Status::OK();
-      if (!already_up) rs = cluster->RecoverSegment(it->segment);
+      if (!already_up) {
+        rs = cluster->RecoverSegment(it->segment);
+        if (!rs.ok()) {
+          // The health probe above races FTS: a promotion landing between it
+          // and Recover() makes Recover() fail on an up segment. That is the
+          // promotion case, not a failed recovery.
+          for (const SegmentHealthInfo& info : cluster->Health().segments) {
+            if (info.index == it->segment && info.up) {
+              already_up = true;
+              rs = Status::OK();
+            }
+          }
+        }
+      }
       std::lock_guard<std::mutex> g(state->mu);
       if (already_up) {
         // FTS promoted the mirror before our recovery was due.
@@ -421,6 +488,14 @@ std::string ChaosReport::ToString() const {
     out += "view reads: ok=" + std::to_string(view_reads - view_read_failures) +
            " failed=" + std::to_string(view_read_failures) + "\n";
   }
+  if (storm_connect_ok + storm_connect_shed + storm_connect_failed > 0) {
+    out += "storm: connected=" + std::to_string(storm_connect_ok) +
+           " shed=" + std::to_string(storm_connect_shed) +
+           " failed=" + std::to_string(storm_connect_failed) +
+           " committed=" + std::to_string(storm_committed) +
+           " failures=" + std::to_string(storm_failures) +
+           " reconnects=" + std::to_string(storm_reconnects) + "\n";
+  }
   out += "faults: injected=" + std::to_string(faults_injected) +
          " crashes=" + std::to_string(crashes) +
          " recoveries=" + std::to_string(recoveries) +
@@ -495,6 +570,10 @@ ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
     maintenance.emplace_back(
         [&] { ViewsReaderWorker(cluster, config, 0, end_us, &state); });
   }
+  if (config.storm_sessions > 0) {
+    maintenance.emplace_back(
+        [&] { ConnectionStormWorker(cluster, config, end_us, &state); });
+  }
 
   for (auto& t : threads) t.join();
   scheduler.join();
@@ -517,8 +596,16 @@ ChaosReport RunChaosWorkload(Cluster* cluster, const ChaosConfig& config) {
     if (!info.up) {
       Status rs = cluster->RecoverSegment(info.index);
       if (!rs.ok()) {
-        state.Violation("final recovery of segment " + std::to_string(info.index) +
-                        " failed: " + rs.message());
+        // FTS is still probing here and can promote the mirror between the
+        // health read and Recover(); up-by-promotion is healed, not failed.
+        bool now_up = false;
+        for (const SegmentHealthInfo& after : cluster->Health().segments) {
+          if (after.index == info.index && after.up) now_up = true;
+        }
+        if (!now_up) {
+          state.Violation("final recovery of segment " + std::to_string(info.index) +
+                          " failed: " + rs.message());
+        }
       }
     }
   }

@@ -85,6 +85,16 @@ struct ChaosConfig {
   // traffic run. View scans are coordinator-only, so they must keep answering
   // (never crash, never corrupt) no matter what the schedule does to segments.
   bool views_reader_enabled = false;
+
+  // --- Connection storm (requires frontend.enabled on the cluster) ---
+  // When > 0, this many logical sessions ramp in through the front door while
+  // the fault schedule runs, each one looping markerless two-account
+  // transfers once admitted (balance conservation covers them; no marker
+  // bookkeeping so the storm scales to tens of thousands of sessions). Every
+  // rejected connect must be a shed — a retryable kUnavailable carrying a
+  // retry-after hint; any other rejection shape is a violation.
+  int storm_sessions = 0;
+  int storm_ramp_threads = 4;
 };
 
 struct ChaosReport {
@@ -121,6 +131,16 @@ struct ChaosReport {
   // Stats-view reads under chaos (when the config enables the reader).
   uint64_t view_reads = 0;
   uint64_t view_read_failures = 0;
+
+  // Connection-storm outcomes (when storm_sessions > 0). Sheds and statement
+  // failures are expected under the schedule — what is checked is that every
+  // one of them is classified and that the invariants above still hold.
+  uint64_t storm_connect_ok = 0;
+  uint64_t storm_connect_shed = 0;    // shed connects (classified, retried)
+  uint64_t storm_connect_failed = 0;  // clients whose retry budget ran out
+  uint64_t storm_committed = 0;       // storm transfers acknowledged
+  uint64_t storm_failures = 0;        // classified statement failures
+  uint64_t storm_reconnects = 0;      // sessions re-dialed after a close
 
   // Fault schedule actually executed.
   uint64_t faults_injected = 0;

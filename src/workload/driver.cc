@@ -1,6 +1,9 @@
 #include "workload/driver.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -80,6 +83,424 @@ DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const T
     merged.latency_us.Merge(r.latency);
   }
   return merged;
+}
+
+std::string FrontendWorkloadResult::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "tps=%.1f committed=%llu aborted=%llu shed=%llu retryable=%llu "
+      "reconnects=%llu connect_ok=%llu connect_sheds=%llu connect_failed=%llu "
+      "p95=%lldus connect_p99=%lldus",
+      Tps(), static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(aborted), static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(retryable),
+      static_cast<unsigned long long>(reconnects),
+      static_cast<unsigned long long>(connect_ok),
+      static_cast<unsigned long long>(connect_sheds),
+      static_cast<unsigned long long>(connect_failed),
+      static_cast<long long>(latency_us.Percentile(95)),
+      static_cast<long long>(connect_latency_us.Percentile(99)));
+  return buf;
+}
+
+StatusOr<std::shared_ptr<FrontendSession>> ConnectWithRetry(
+    Cluster* cluster, const std::string& role, int max_attempts,
+    int64_t initial_backoff_us, int64_t max_backoff_us, uint64_t* sheds,
+    const std::atomic<bool>* stop, int64_t deadline_us) {
+  int64_t backoff = std::max<int64_t>(1, initial_backoff_us);
+  Status last = Status::Unavailable("connect: no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("connect aborted: stop requested");
+    }
+    if (deadline_us > 0 && MonotonicMicros() >= deadline_us) return last;
+    auto r = cluster->ConnectLogical(role);
+    if (r.ok()) return r;
+    last = r.status();
+    // Only shed responses are worth retrying here: they are guaranteed
+    // no-effect and carry the producer's own backoff estimate.
+    if (!IsShedFailure(last)) return last;
+    if (sheds != nullptr) ++*sheds;
+    int64_t wait = std::max(backoff, last.retry_after_us());
+    if (deadline_us > 0) {
+      wait = std::min(wait, std::max<int64_t>(0, deadline_us - MonotonicMicros()));
+    }
+    PreciseSleepUs(wait);
+    backoff = std::min(max_backoff_us, backoff * 2);
+  }
+  return last;
+}
+
+namespace {
+
+// The front-door workload engine: each logical session is a callback-chained
+// state machine, not a thread. A statement's completion callback (running on
+// a front-door pool worker) submits the next statement directly; anything
+// that must wait — a shed retry-after, a reconnect backoff — is handed to a
+// single pacer thread so pool workers never sleep on the driver's behalf.
+class FrontendEngine {
+ public:
+  FrontendEngine(Cluster* cluster, const FrontendWorkloadOptions& opts,
+                 const ScriptFn& script)
+      : cluster_(cluster), opts_(opts), script_(script) {}
+
+  FrontendWorkloadResult Run() {
+    if (cluster_->frontend() == nullptr) {
+      result_.fatal = Status::NotSupported(
+          "RunFrontendWorkload requires ClusterOptions::frontend.enabled");
+      return std::move(result_);
+    }
+    std::atomic<bool> local_stop{false};
+    stop_ = opts_.stop != nullptr ? opts_.stop : &local_stop;
+    deadline_us_ = MonotonicMicros() + opts_.duration_ms * 1000;
+
+    clients_.reserve(static_cast<size_t>(opts_.logical_sessions));
+    for (int i = 0; i < opts_.logical_sessions; ++i) {
+      auto c = std::make_shared<Client>();
+      c->index = i;
+      c->rng = Rng(opts_.seed * 1099511628211ULL + static_cast<uint64_t>(i));
+      c->backoff_us = opts_.connect_backoff_initial_us;
+      clients_.push_back(std::move(c));
+    }
+
+    Stopwatch run_clock;
+    pacer_ = std::thread([this] { PacerLoop(); });
+
+    // Ramp: a bounded set of driver threads dials the sessions in; once a
+    // session is connected its client runs entirely on callbacks.
+    int ramp = std::max(1, opts_.ramp_threads);
+    std::vector<std::thread> rampers;
+    rampers.reserve(static_cast<size_t>(ramp));
+    for (int t = 0; t < ramp; ++t) {
+      rampers.emplace_back([this, t, ramp] {
+        for (size_t i = static_cast<size_t>(t); i < clients_.size();
+             i += static_cast<size_t>(ramp)) {
+          RampOne(clients_[i]);
+        }
+      });
+    }
+    for (auto& t : rampers) t.join();
+
+    // Clients finish themselves at the deadline (checked at txn boundaries
+    // and before every pacer retry). The warmup boundary snapshots the live
+    // commit counter so steady-state tps excludes ramp + session_init cost.
+    uint64_t warm_commits = 0;
+    double warm_seconds = 0;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      if (opts_.warmup_ms > 0) {
+        done_cv_.wait_for(l, std::chrono::milliseconds(opts_.warmup_ms),
+                          [this] { return active_ == 0; });
+        warm_commits = commits_.load(std::memory_order_relaxed);
+        warm_seconds = run_clock.ElapsedSeconds();
+      }
+      done_cv_.wait(l, [this] { return active_ == 0; });
+    }
+    result_.seconds = run_clock.ElapsedSeconds();
+    result_.steady_committed = commits_.load(std::memory_order_relaxed) - warm_commits;
+    result_.steady_seconds = result_.seconds - warm_seconds;
+
+    {
+      std::lock_guard<std::mutex> g(pacer_mu_);
+      pacer_stop_ = true;
+    }
+    pacer_cv_.notify_all();
+    pacer_.join();
+
+    // Close every session (rolls back whatever a deadline-abandoned client
+    // left open) before handing the result back.
+    for (auto& c : clients_) {
+      if (c->fs != nullptr) c->fs->Close();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Client {
+    int index = 0;
+    Rng rng{0};
+    std::shared_ptr<FrontendSession> fs;
+    std::vector<std::string> txn;  // current transaction script
+    size_t stmt = 0;               // next statement in txn
+    int64_t txn_start_us = 0;
+    int64_t backoff_us = 0;        // current shed/reconnect backoff
+    int retry_attempts = 0;
+    bool active = false;           // counted in active_ (FinishClient once)
+    // Per-client tallies, merged under mu_ when the client finishes.
+    uint64_t committed = 0, aborted = 0, shed = 0, retryable = 0, reconnects = 0;
+    Histogram latency;
+  };
+  using ClientPtr = std::shared_ptr<Client>;
+
+  bool Expired() const {
+    return stop_->load(std::memory_order_relaxed) || MonotonicMicros() >= deadline_us_;
+  }
+
+  void RampOne(const ClientPtr& c) {
+    Stopwatch connect_clock;
+    uint64_t sheds = 0;
+    auto r = ConnectWithRetry(cluster_, opts_.role, opts_.connect_max_attempts,
+                              opts_.connect_backoff_initial_us,
+                              opts_.connect_backoff_max_us, &sheds, stop_,
+                              deadline_us_);
+    int64_t connect_us = connect_clock.ElapsedMicros();
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      result_.connect_sheds += sheds;
+      if (!r.ok()) {
+        ++result_.connect_failed;
+        if (!IsShedFailure(r.status()) &&
+            r.status().code() != StatusCode::kUnavailable && result_.fatal.ok()) {
+          result_.fatal = r.status();
+        }
+        return;
+      }
+      ++result_.connect_ok;
+      result_.connect_latency_us.Record(connect_us);
+      ++active_;
+    }
+    c->fs = std::move(r).value();
+    c->active = true;
+    RunInit(c, 0);
+  }
+
+  // Session-init statements (PREPAREs), chained like everything else. A
+  // retryable failure retries the same statement — skipping a PREPARE would
+  // turn every later EXECUTE into a hard error.
+  void RunInit(const ClientPtr& c, size_t i) {
+    if (Expired()) return FinishClient(c);
+    if (i >= opts_.session_init.size()) return StartNextTxn(c);
+    SubmitStmt(c, opts_.session_init[i],
+               [this, c, i](StatusOr<QueryResult> r) {
+                 if (!r.ok()) {
+                   if (!Count(c, r.status())) return;
+                   return Cleanup(c, [this, c, i] { RunInit(c, i); });
+                 }
+                 RunInit(c, i + 1);
+               },
+               [this, c, i] { RunInit(c, i); });
+  }
+
+  void StartNextTxn(const ClientPtr& c) {
+    if (Expired()) return FinishClient(c);
+    c->txn = script_(c->rng);
+    c->stmt = 0;
+    c->txn_start_us = MonotonicMicros();
+    c->backoff_us = opts_.connect_backoff_initial_us;
+    c->retry_attempts = 0;
+    SubmitCurrent(c);
+  }
+
+  void SubmitCurrent(const ClientPtr& c) {
+    SubmitStmt(c, c->txn[c->stmt],
+               [this, c](StatusOr<QueryResult> r) { OnDone(c, std::move(r)); },
+               [this, c] { SubmitCurrent(c); });
+  }
+
+  // Submits `sql`; `done` runs on completion, `retry` re-runs the submit
+  // after a shed (via the pacer) or a reconnect (session closed under us).
+  void SubmitStmt(const ClientPtr& c, const std::string& sql,
+                  StatementCallback done, std::function<void()> retry) {
+    Status s = c->fs->Submit(sql, std::move(done));
+    if (s.ok()) return;
+    if (c->fs->closed()) return Reconnect(c, std::move(retry));
+    if (IsShedFailure(s)) {
+      ++c->shed;
+      SchedulePaced(c, std::max(c->backoff_us, s.retry_after_us()), std::move(retry));
+      return;
+    }
+    Fatal(c, s);
+  }
+
+  // Completion of a workload statement: advance the chain or classify.
+  void OnDone(const ClientPtr& c, StatusOr<QueryResult> r) {
+    if (r.ok()) {
+      c->backoff_us = opts_.connect_backoff_initial_us;
+      ++c->stmt;
+      if (c->stmt < c->txn.size()) return SubmitCurrent(c);
+      ++c->committed;
+      commits_.fetch_add(1, std::memory_order_relaxed);
+      c->latency.Record(MonotonicMicros() - c->txn_start_us);
+      return StartNextTxn(c);
+    }
+    if (!Count(c, r.status())) return;
+    Cleanup(c, [this, c] { StartNextTxn(c); });
+  }
+
+  // Tallies a statement failure. Returns false (and finishes the client) on
+  // a non-retryable infrastructure error.
+  bool Count(const ClientPtr& c, const Status& s) {
+    if (s.IsAbortLike() || s.code() == StatusCode::kDeadlockDetected) {
+      ++c->aborted;
+      return true;
+    }
+    if (s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimedOut) {
+      // Segment down / failover / front-door teardown mid-statement: clean
+      // retryable failure; roll back and start over.
+      ++c->retryable;
+      return true;
+    }
+    Fatal(c, s);
+    return false;
+  }
+
+  // Rolls the session out of a failed transaction block, then runs `next`.
+  // ROLLBACK outside a transaction is a no-op, so this is safe even when the
+  // failure already aborted the transaction remotely.
+  void Cleanup(const ClientPtr& c, std::function<void()> next) {
+    auto retry = [this, c, next] { Cleanup(c, next); };
+    SubmitStmt(c, "ROLLBACK",
+               [this, c, next, retry](StatusOr<QueryResult> r) {
+                 if (!r.ok()) {
+                   if (!Count(c, r.status())) return;
+                   // ROLLBACK itself failed (teardown, crash window): pace the
+                   // retry so a dying cluster doesn't become a hot loop.
+                   return SchedulePaced(c, c->backoff_us, retry);
+                 }
+                 next();
+               },
+               retry);
+  }
+
+  // The session was closed under the client (idle/login sweep, storm chaos):
+  // re-dial through the pacer — never blocking a pool worker — re-run the
+  // init script (a fresh Session has no prepared statements), then `resume`.
+  void Reconnect(const ClientPtr& c, std::function<void()> resume) {
+    ++c->reconnects;
+    c->fs = nullptr;
+    ReconnectStep(c, std::move(resume));
+  }
+
+  void ReconnectStep(const ClientPtr& c, std::function<void()> resume) {
+    if (Expired()) return FinishClient(c);
+    auto r = cluster_->ConnectLogical(opts_.role);
+    if (r.ok()) {
+      c->fs = std::move(r).value();
+      c->backoff_us = opts_.connect_backoff_initial_us;
+      // The old transaction died with the old session; restart from init.
+      // `resume` is dropped on purpose: its statement belonged to the dead
+      // session's transaction.
+      (void)resume;
+      return RunInit(c, 0);
+    }
+    if (r.status().code() != StatusCode::kUnavailable) return Fatal(c, r.status());
+    if (IsShedFailure(r.status())) {
+      std::lock_guard<std::mutex> g(mu_);
+      ++result_.connect_sheds;
+    }
+    int64_t wait = std::max(c->backoff_us, r.status().retry_after_us());
+    c->backoff_us = std::min(opts_.connect_backoff_max_us, c->backoff_us * 2);
+    auto again = [this, c, resume = std::move(resume)]() mutable {
+      ReconnectStep(c, std::move(resume));
+    };
+    Pace(wait, std::move(again));
+  }
+
+  // Shed-retry with capped exponential backoff stretched by the hint.
+  void SchedulePaced(const ClientPtr& c, int64_t wait_us, std::function<void()> fn) {
+    c->backoff_us = std::min(opts_.connect_backoff_max_us, c->backoff_us * 2);
+    ++c->retry_attempts;
+    auto guarded = [this, c, fn = std::move(fn)] {
+      if (Expired()) return FinishClient(c);
+      fn();
+    };
+    Pace(wait_us, std::move(guarded));
+  }
+
+  void Fatal(const ClientPtr& c, const Status& s) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (result_.fatal.ok()) result_.fatal = s;
+    }
+    stop_->store(true, std::memory_order_relaxed);
+    FinishClient(c);
+  }
+
+  void FinishClient(const ClientPtr& c) {
+    if (!c->active) return;
+    c->active = false;
+    std::lock_guard<std::mutex> g(mu_);
+    result_.committed += c->committed;
+    result_.aborted += c->aborted;
+    result_.shed += c->shed;
+    result_.retryable += c->retryable;
+    result_.reconnects += c->reconnects;
+    result_.latency_us.Merge(c->latency);
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+
+  // --- Pacer: one thread, a time-ordered multimap of deferred actions. ---
+  void Pace(int64_t delay_us, std::function<void()> fn) {
+    int64_t due = MonotonicMicros() + std::max<int64_t>(0, delay_us);
+    {
+      std::lock_guard<std::mutex> g(pacer_mu_);
+      paced_.emplace(due, std::move(fn));
+    }
+    pacer_cv_.notify_one();
+  }
+
+  void PacerLoop() {
+    std::unique_lock<std::mutex> l(pacer_mu_);
+    while (true) {
+      if (pacer_stop_) {
+        // Remaining actions belong to clients already finished (active_ hit
+        // zero before stop) — run them anyway so FinishClient's idempotence
+        // is the only invariant; they no-op.
+        while (!paced_.empty()) {
+          auto fn = std::move(paced_.begin()->second);
+          paced_.erase(paced_.begin());
+          l.unlock();
+          fn();
+          l.lock();
+        }
+        return;
+      }
+      if (paced_.empty()) {
+        pacer_cv_.wait(l);
+        continue;
+      }
+      int64_t due = paced_.begin()->first;
+      int64_t now = MonotonicMicros();
+      if (now < due) {
+        pacer_cv_.wait_for(l, std::chrono::microseconds(due - now));
+        continue;
+      }
+      auto fn = std::move(paced_.begin()->second);
+      paced_.erase(paced_.begin());
+      l.unlock();
+      fn();
+      l.lock();
+    }
+  }
+
+  Cluster* const cluster_;
+  const FrontendWorkloadOptions& opts_;
+  const ScriptFn& script_;
+  std::atomic<bool>* stop_ = nullptr;
+  int64_t deadline_us_ = 0;
+  std::vector<ClientPtr> clients_;
+
+  std::mutex mu_;  // result_ + active_
+  std::condition_variable done_cv_;
+  int active_ = 0;
+  std::atomic<uint64_t> commits_{0};  // live total (per-client tallies merge late)
+  FrontendWorkloadResult result_;
+
+  std::mutex pacer_mu_;
+  std::condition_variable pacer_cv_;
+  bool pacer_stop_ = false;
+  std::multimap<int64_t, std::function<void()>> paced_;
+  std::thread pacer_;
+};
+
+}  // namespace
+
+FrontendWorkloadResult RunFrontendWorkload(Cluster* cluster,
+                                           const FrontendWorkloadOptions& options,
+                                           const ScriptFn& script) {
+  FrontendEngine engine(cluster, options, script);
+  return engine.Run();
 }
 
 }  // namespace gphtap

@@ -1,16 +1,29 @@
-// Multi-client benchmark driver: N sessions on N threads hammering a
-// transaction function for a fixed duration, reporting throughput and latency.
+// Multi-client benchmark drivers.
+//
+// RunWorkload: the classic shape — N sessions on N OS threads hammering a
+// transaction function for a fixed duration.
+//
+// RunFrontendWorkload: the million-session shape — N *logical* sessions
+// connected through the front door (src/frontend/), driven as callback-
+// chained state machines with zero client threads per session: a statement's
+// completion callback submits the next one, sheds are retried through a
+// single pacer thread with capped backoff honoring retry-after hints, and a
+// session closed under it (idle timeout, storm) reconnects. This is what
+// lets a connection-storm bench ramp to 50k clients without thread explosion.
 #ifndef GPHTAP_WORKLOAD_DRIVER_H_
 #define GPHTAP_WORKLOAD_DRIVER_H_
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/session.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "frontend/frontend.h"
 
 namespace gphtap {
 
@@ -39,6 +52,80 @@ struct DriverOptions {
 };
 
 DriverResult RunWorkload(Cluster* cluster, const DriverOptions& options, const TxnFn& fn);
+
+// ---------------------------------------------------------------------------
+// Front-door (logical-session) driver
+// ---------------------------------------------------------------------------
+
+/// One transaction as a statement script ("BEGIN" ... "COMMIT", or a single
+/// implicit statement). Regenerated per transaction from the client's RNG.
+using ScriptFn = std::function<std::vector<std::string>(Rng&)>;
+
+struct FrontendWorkloadOptions {
+  int logical_sessions = 1000;
+  int64_t duration_ms = 1000;
+  std::string role;
+  uint64_t seed = 42;
+  /// Statements run once per logical session before its first transaction
+  /// (PREPAREs); re-run after a reconnect (a fresh Session has no prepared
+  /// statements).
+  std::vector<std::string> session_init;
+  /// Connect-retry policy (capped exponential backoff; retry-after hints from
+  /// shed responses stretch the sleep further).
+  int connect_max_attempts = 200;
+  int64_t connect_backoff_initial_us = 1'000;
+  int64_t connect_backoff_max_us = 100'000;
+  /// Driver threads used to ramp the connect storm (not per-session threads).
+  int ramp_threads = 8;
+  /// Steady-state boundary (ms from run start): commits before it are
+  /// excluded from steady_committed / steady_seconds, so ramp + session_init
+  /// cost does not dilute SteadyTps(). 0 measures the whole run.
+  int64_t warmup_ms = 0;
+  /// Optional external stop signal.
+  std::atomic<bool>* stop = nullptr;
+};
+
+struct FrontendWorkloadResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;     // deadlock victims / cancels, rolled back + restarted
+  uint64_t shed = 0;        // submits shed by the front door (retried after hint)
+  uint64_t retryable = 0;   // segment-down / timeout failures, restarted
+  uint64_t reconnects = 0;  // sessions found closed under the client (re-dialed)
+  uint64_t connect_ok = 0;
+  uint64_t connect_sheds = 0;   // shed connect attempts (retried)
+  uint64_t connect_failed = 0;  // clients that never got a session
+  uint64_t steady_committed = 0;  // commits after the warmup boundary
+  double steady_seconds = 0;      // wall time past the warmup boundary
+  Histogram latency_us;          // per committed transaction
+  Histogram connect_latency_us;  // per admitted session, retries included
+  Status fatal;  // first non-retryable infrastructure error (OK when none)
+
+  double Tps() const { return seconds > 0 ? static_cast<double>(committed) / seconds : 0; }
+  /// Post-warmup throughput; the whole-run Tps() when no warmup was set (or
+  /// the run ended inside it).
+  double SteadyTps() const {
+    return steady_seconds > 1e-3 ? static_cast<double>(steady_committed) / steady_seconds
+                                 : Tps();
+  }
+  std::string Summary() const;
+};
+
+/// Connects through the front door with capped-backoff retry, sleeping the
+/// larger of the backoff and the shed's retry-after hint between attempts.
+/// `sheds` (optional) accumulates the shed attempts observed. Gives up at
+/// `deadline_us` (monotonic; 0 = none) — a storm past capacity must not keep
+/// a ramp thread retrying long after the run ended.
+StatusOr<std::shared_ptr<FrontendSession>> ConnectWithRetry(
+    Cluster* cluster, const std::string& role, int max_attempts,
+    int64_t initial_backoff_us, int64_t max_backoff_us, uint64_t* sheds = nullptr,
+    const std::atomic<bool>* stop = nullptr, int64_t deadline_us = 0);
+
+/// Drives `options.logical_sessions` callback-chained clients through the
+/// front door for the duration. Requires ClusterOptions::frontend.enabled.
+FrontendWorkloadResult RunFrontendWorkload(Cluster* cluster,
+                                           const FrontendWorkloadOptions& options,
+                                           const ScriptFn& script);
 
 }  // namespace gphtap
 

@@ -143,6 +143,39 @@ Status RunSelectOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& co
       .status();
 }
 
+std::vector<std::string> TpcbPrepareScript() {
+  return {
+      "PREPARE tpcb_update_account AS UPDATE pgbench_accounts "
+      "SET abalance = abalance + $1 WHERE aid = $2",
+      "PREPARE tpcb_select_account AS SELECT abalance FROM pgbench_accounts "
+      "WHERE aid = $1",
+      "PREPARE tpcb_update_teller AS UPDATE pgbench_tellers "
+      "SET tbalance = tbalance + $1 WHERE tid = $2",
+      "PREPARE tpcb_update_branch AS UPDATE pgbench_branches "
+      "SET bbalance = bbalance + $1 WHERE bid = $2",
+      "PREPARE tpcb_insert_history AS INSERT INTO pgbench_history "
+      "(tid, bid, aid, delta) VALUES ($1, $2, $3, $4)",
+  };
+}
+
+std::vector<std::string> TpcbTransactionScript(Rng& rng, const TpcbConfig& config) {
+  int64_t aid = rng.UniformRange(1, config.num_accounts());
+  int64_t tid = rng.UniformRange(1, config.num_tellers());
+  int64_t bid = rng.UniformRange(1, config.scale);
+  int64_t delta = rng.UniformRange(-5000, 5000);
+  std::string d = std::to_string(delta);
+  return {
+      "BEGIN",
+      "EXECUTE tpcb_update_account(" + d + ", " + std::to_string(aid) + ")",
+      "EXECUTE tpcb_select_account(" + std::to_string(aid) + ")",
+      "EXECUTE tpcb_update_teller(" + d + ", " + std::to_string(tid) + ")",
+      "EXECUTE tpcb_update_branch(" + d + ", " + std::to_string(bid) + ")",
+      "EXECUTE tpcb_insert_history(" + std::to_string(tid) + ", " +
+          std::to_string(bid) + ", " + std::to_string(aid) + ", " + d + ")",
+      "COMMIT",
+  };
+}
+
 Status CheckTpcbInvariant(Cluster* cluster) {
   auto session = cluster->Connect();
   auto get_sum = [&](const std::string& sql) -> StatusOr<int64_t> {

@@ -42,6 +42,16 @@ Status RunSelectOnlyTransaction(Session* session, Rng& rng, const TpcbConfig& co
 /// history row count matches the number of committed full transactions.
 Status CheckTpcbInvariant(Cluster* cluster);
 
+/// The five PREPARE statements of the TPC-B mix, as texts — the session_init
+/// script for front-door (logical-session) drivers, which run statements
+/// through callbacks instead of a TxnFn.
+std::vector<std::string> TpcbPrepareScript();
+
+/// The full TPC-B transaction as a statement script (BEGIN + five EXECUTEs +
+/// COMMIT), sampling with the same RNG order as RunTpcbTransaction so the two
+/// drivers are apples-to-apples.
+std::vector<std::string> TpcbTransactionScript(Rng& rng, const TpcbConfig& config);
+
 }  // namespace gphtap
 
 #endif  // GPHTAP_WORKLOAD_TPCB_H_
